@@ -1,0 +1,62 @@
+// Extension analysis: does cache staleness harm exactly the predictions
+// it touches? HET-KG keeps HOT relations stale between refreshes while
+// cold relations are always read fresh from the PS — so any accuracy
+// cost of partial staleness should concentrate on test triples with hot
+// relations. This bench splits test MRR by relation hotness for DGL-KE
+// (no staleness) and HET-KG-D at increasing staleness bounds.
+#include "harness.h"
+
+#include "hetkg/hetkg.h"
+
+int main(int argc, char** argv) {
+  using namespace hetkg;
+  FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  bench::InitBench(&flags, argc, argv);
+
+  bench::PrintBanner(
+      "bench_ablation_hotcold_accuracy",
+      "Extension - staleness impact split by relation hotness");
+
+  const auto dataset = bench::GetDataset("fb15k", flags);
+  core::TrainerConfig base = bench::ConfigFromFlags(flags);
+  if (!flags.IsSet("cache")) {
+    base.cache_capacity = 512;  // Enough for staleness to cover reads.
+  }
+  const size_t epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const eval::EvalOptions eval_options = bench::EvalOptionsFromFlags(flags);
+  const auto relation_freqs = dataset.graph.RelationFrequencies();
+
+  bench::Table table({"System", "Staleness P", "Hot-rel MRR",
+                      "Cold-rel MRR", "Hot rankings", "Cold rankings"});
+  auto add_row = [&](core::SystemKind system, size_t staleness) {
+    core::TrainerConfig config = base;
+    config.sync.staleness_bound = staleness;
+    auto engine = core::MakeEngine(system, config, dataset.graph,
+                                   dataset.split.train)
+                      .value();
+    engine->Train(epochs).value();
+    const auto split = eval::EvaluateByRelationHotness(
+                           engine->Embeddings(), engine->ScoreFn(),
+                           dataset.graph, dataset.split.test, relation_freqs,
+                           eval_options)
+                           .value();
+    table.AddRow({std::string(core::SystemKindName(system)),
+                  system == core::SystemKind::kDglKe
+                      ? "-"
+                      : std::to_string(staleness),
+                  bench::Fmt(split.hot.mrr, 3),
+                  bench::Fmt(split.cold.mrr, 3),
+                  std::to_string(split.hot.rankings),
+                  std::to_string(split.cold.rankings)});
+  };
+  add_row(core::SystemKind::kDglKe, 8);
+  for (size_t staleness : {1u, 8u, 64u, 256u}) {
+    add_row(core::SystemKind::kHetKgDps, staleness);
+  }
+  table.Print("Extension: MRR by relation hotness under staleness "
+              "(FB15k synthetic)");
+  std::printf("\nExpected: cold-relation MRR is insensitive to P; any "
+              "staleness penalty shows up on hot-relation triples first.\n");
+  return 0;
+}

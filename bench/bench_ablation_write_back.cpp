@@ -1,0 +1,60 @@
+// Extension ablation (beyond the paper): write-back caching. The
+// paper's protocol pushes every gradient each iteration, so the hot
+// cache only saves PULL traffic. Accumulating cached rows' gradients
+// locally and flushing every K iterations saves push traffic
+// symmetrically, with the server lagging hot updates by at most K.
+#include "harness.h"
+
+#include "hetkg/hetkg.h"
+
+int main(int argc, char** argv) {
+  using namespace hetkg;
+  FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  bench::InitBench(&flags, argc, argv);
+
+  bench::PrintBanner(
+      "bench_ablation_write_back",
+      "Extension - write-through (paper) vs write-back gradient pushes");
+
+  const auto dataset = bench::GetDataset("fb15k", flags);
+  core::TrainerConfig base = bench::ConfigFromFlags(flags);
+  const size_t epochs = static_cast<size_t>(flags.GetInt("epochs"));
+  const eval::EvalOptions eval_options = bench::EvalOptionsFromFlags(flags);
+
+  // DGL-KE reference.
+  const auto baseline = bench::RunSystem(core::SystemKind::kDglKe, base,
+                                         dataset, epochs, eval_options);
+
+  bench::Table table({"Write-back K", "Remote bytes", "Time(s)",
+                      "vs DGL-KE", "Test MRR"});
+  table.AddRow({"DGL-KE (no cache)",
+                HumanBytes(static_cast<double>(
+                    baseline.report.total_remote_bytes)),
+                bench::Fmt(baseline.report.total_time.total_seconds(), 2),
+                "1.00x", bench::Fmt(baseline.test_metrics.mrr, 3)});
+  for (size_t period : {1u, 4u, 16u, 64u}) {
+    core::TrainerConfig config = base;
+    config.sync.write_back_period = period;
+    const auto outcome =
+        bench::RunSystem(core::SystemKind::kHetKgDps, config, dataset,
+                         epochs, eval_options);
+    table.AddRow(
+        {period == 1 ? "1 (paper, write-through)" : std::to_string(period),
+         HumanBytes(static_cast<double>(outcome.report.total_remote_bytes)),
+         bench::Fmt(outcome.report.total_time.total_seconds(), 2),
+         bench::Fmt(baseline.report.total_time.total_seconds() /
+                        outcome.report.total_time.total_seconds(),
+                    2) +
+             "x",
+         bench::Fmt(outcome.test_metrics.mrr, 3)});
+  }
+  table.Print("Extension: write-back period sweep (FB15k synthetic, "
+              "HET-KG-D)");
+  std::printf(
+      "\nExpected: larger K saves push traffic on top of the paper's "
+      "pull savings at stable\naccuracy. Note the refresh protocol "
+      "flushes pending gradients every P iterations, so\nthe effective "
+      "write-back period is min(K, P).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig. 6: runtime speedup on Freebase-86m as the worker count
+// grows (1, 2, 4, 8 machines). Paper shape: PBG scales poorly (dense
+// relation transfer + lock-server stalls); DGL-KE and HET-KG scale
+// near-linearly, with HET-KG's average speedup ~30% above DGL-KE's.
+#include "harness.h"
+
+#include "hetkg/hetkg.h"
+
+int main(int argc, char** argv) {
+  using namespace hetkg;
+  FlagParser flags;
+  bench::DefineCommonFlags(&flags);
+  bench::InitBench(&flags, argc, argv);
+
+  bench::PrintBanner("bench_fig6_scalability",
+                     "Fig. 6 - speedup vs number of workers (Freebase-86m)");
+
+  const auto dataset = bench::GetDataset("freebase86m", flags);
+  core::TrainerConfig base = bench::ConfigFromFlags(flags);
+  bench::ApplyDatasetDefaults("freebase86m", flags, &base);
+  if (!flags.IsSet("dim")) {
+    // Scalability depends on the compute:communication balance. The
+    // paper ran d=400, where single-machine compute dominates; d=64
+    // keeps that regime while staying tractable on one core.
+    base.dim = 64;
+  }
+  const size_t machine_counts[] = {1, 2, 4, 8};
+
+  bench::Table table({"System", "Workers", "Epoch time(s)", "Speedup"});
+  for (core::SystemKind system :
+       {core::SystemKind::kPbg, core::SystemKind::kDglKe,
+        core::SystemKind::kHetKgDps}) {
+    double single_machine_time = 0.0;
+    for (size_t machines : machine_counts) {
+      core::TrainerConfig config = base;
+      config.num_machines = machines;
+      config.pbg_partitions = 2 * machines;
+      auto engine = core::MakeEngine(system, config, dataset.graph,
+                                     dataset.split.train)
+                        .value();
+      const auto report = engine->Train(1).value();
+      const double t = report.total_time.total_seconds();
+      if (machines == 1) single_machine_time = t;
+      table.AddRow({std::string(core::SystemKindName(system)),
+                    std::to_string(machines), bench::Fmt(t, 2),
+                    bench::Fmt(single_machine_time / t, 2) + "x"});
+    }
+  }
+  table.Print("Fig. 6: speedup over 1 worker, Freebase-86m synthetic");
+  std::printf("\nPaper reference: PBG plateaus early; HET-KG's average "
+              "acceleration ratio is ~30%% above DGL-KE's.\n");
+  return 0;
+}

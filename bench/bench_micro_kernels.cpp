@@ -1,0 +1,138 @@
+// google-benchmark micro-kernels for the inner loops every experiment
+// leans on: score forward/backward per model, sparse AdaGrad, cache
+// lookup/assignment, Zipf sampling, and the prefetch+filter pipeline.
+#include <benchmark/benchmark.h>
+
+#include "hetkg/hetkg.h"
+
+namespace {
+
+using namespace hetkg;
+
+void BM_ScoreForward(benchmark::State& state) {
+  const auto kind = static_cast<embedding::ModelKind>(state.range(0));
+  const size_t dim = 64;
+  auto fn = embedding::MakeScoreFunction(kind, dim).value();
+  Rng rng(1);
+  std::vector<float> h(dim), t(dim), r(fn->RelationDim(dim));
+  for (auto* v : {&h, &t, &r}) {
+    for (auto& x : *v) x = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn->Score(h, r, t));
+  }
+  state.SetLabel(std::string(fn->name()));
+}
+BENCHMARK(BM_ScoreForward)
+    ->Arg(static_cast<int>(embedding::ModelKind::kTransEL1))
+    ->Arg(static_cast<int>(embedding::ModelKind::kDistMult))
+    ->Arg(static_cast<int>(embedding::ModelKind::kComplEx))
+    ->Arg(static_cast<int>(embedding::ModelKind::kTransH));
+
+void BM_ScoreBackward(benchmark::State& state) {
+  const auto kind = static_cast<embedding::ModelKind>(state.range(0));
+  const size_t dim = 64;
+  auto fn = embedding::MakeScoreFunction(kind, dim).value();
+  Rng rng(2);
+  std::vector<float> h(dim), t(dim), r(fn->RelationDim(dim));
+  std::vector<float> gh(dim), gt(dim), gr(fn->RelationDim(dim));
+  for (auto* v : {&h, &t, &r}) {
+    for (auto& x : *v) x = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    fn->ScoreBackward(h, r, t, 1.0, gh, gr, gt);
+    benchmark::DoNotOptimize(gh.data());
+  }
+  state.SetLabel(std::string(fn->name()));
+}
+BENCHMARK(BM_ScoreBackward)
+    ->Arg(static_cast<int>(embedding::ModelKind::kTransEL1))
+    ->Arg(static_cast<int>(embedding::ModelKind::kDistMult))
+    ->Arg(static_cast<int>(embedding::ModelKind::kComplEx));
+
+void BM_AdaGradApply(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  embedding::EmbeddingTable table(1024, dim);
+  embedding::AdaGrad opt(1024, dim, 0.1);
+  std::vector<float> grad(dim, 0.01f);
+  size_t row = 0;
+  for (auto _ : state) {
+    opt.Apply(row, table.Row(row), grad);
+    row = (row + 1) % 1024;
+  }
+  state.SetBytesProcessed(state.iterations() * dim * sizeof(float));
+}
+BENCHMARK(BM_AdaGradApply)->Arg(16)->Arg(64)->Arg(400);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<size_t>(state.range(0)), 0.8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_HotTableLookup(benchmark::State& state) {
+  core::HotEmbeddingTable table(512, 1536, 64, 64, 0.1);
+  std::vector<EmbKey> keys;
+  for (EntityId e = 0; e < 512; ++e) keys.push_back(EntityKey(e));
+  for (RelationId r = 0; r < 1536; ++r) keys.push_back(RelationKey(r));
+  table.Assign(keys);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(keys[i]));
+    benchmark::DoNotOptimize(table.Row(keys[i]).data());
+    i = (i + 1) % keys.size();
+  }
+}
+BENCHMARK(BM_HotTableLookup);
+
+void BM_PrefetchAndFilter(benchmark::State& state) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 5000;
+  spec.num_relations = 100;
+  spec.num_triples = 50000;
+  spec.planted_structure = false;
+  auto graph = graph::GenerateSynthetic(spec).value();
+  embedding::BatchedNegativeSampler sampler(spec.num_entities, 8, 8, 5);
+  const auto& triples = graph.triples();
+  core::Prefetcher prefetcher(&triples, 32, &sampler, 7);
+  const core::FilterOptions options{256, 0.25, true};
+  const core::FilterQuota quota =
+      core::ComputeQuota(options, spec.num_entities, spec.num_relations);
+  for (auto _ : state) {
+    core::FrequencyMap freq;
+    prefetcher.PrefetchCountOnly(64, &freq);
+    benchmark::DoNotOptimize(core::FilterHotKeys(freq, options, quota));
+  }
+}
+BENCHMARK(BM_PrefetchAndFilter)->Unit(benchmark::kMillisecond);
+
+void BM_LinkPredictionRanking(benchmark::State& state) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 2000;
+  spec.num_relations = 20;
+  spec.num_triples = 20000;
+  auto dataset = graph::GenerateDataset(spec).value();
+  embedding::EmbeddingTable entities(spec.num_entities, 32);
+  embedding::EmbeddingTable relations(spec.num_relations, 32);
+  Rng rng(9);
+  entities.InitXavierUniform(&rng);
+  relations.InitXavierUniform(&rng);
+  core::TableLookup lookup(&entities, &relations);
+  auto fn =
+      embedding::MakeScoreFunction(embedding::ModelKind::kTransEL1, 32)
+          .value();
+  eval::EvalOptions options;
+  options.max_triples = 20;
+  options.num_candidates = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::EvaluateLinkPrediction(
+        lookup, *fn, dataset.graph, dataset.split.test, options));
+  }
+}
+BENCHMARK(BM_LinkPredictionRanking)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,242 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "graph/serialize.h"
+
+namespace hetkg::bench {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  HETKG_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+void PrintBanner(const std::string& name, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\nReproduces: %s\n", name.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+void DefineCommonFlags(FlagParser* flags) {
+  flags->Define("dim", "16", "embedding dimension (paper: 400)");
+  flags->Define("epochs", "6", "training epochs");
+  flags->Define("machines", "4", "simulated machines / workers");
+  flags->Define("lr", "0.1", "AdaGrad learning rate");
+  flags->Define("batch", "32", "mini-batch size per worker (paper Table II)");
+  flags->Define("negatives", "8", "negatives per positive (paper Table II)");
+  flags->Define("cache", "64", "hot-embedding cache rows per worker");
+  flags->Define("staleness", "8", "staleness bound P (iterations)");
+  flags->Define("dps_window", "64", "DPS prefetch window D (iterations)");
+  flags->Define("entity_ratio", "0.25", "entity share of the cache");
+  flags->Define("triple_fraction", "0.25",
+                "fraction of the dataset's triples to generate");
+  flags->Define("fb86m_scale", "0.002",
+                "Freebase-86m entity/triple scale (paper: 1.0)");
+  flags->Define("eval_triples", "400", "test triples evaluated (0 = all)");
+  flags->Define("eval_candidates", "1000",
+                "ranking candidates (0 = all entities)");
+  flags->Define("seed", "1234", "global seed");
+}
+
+core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
+  core::TrainerConfig config;
+  config.dim = static_cast<size_t>(flags.GetInt("dim"));
+  config.learning_rate = flags.GetDouble("lr");
+  config.batch_size = static_cast<size_t>(flags.GetInt("batch"));
+  config.negatives_per_positive =
+      static_cast<size_t>(flags.GetInt("negatives"));
+  config.negative_chunk_size = std::max<size_t>(
+      1, config.negatives_per_positive);
+  config.num_machines = static_cast<size_t>(flags.GetInt("machines"));
+  config.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
+  config.cache_entity_ratio = flags.GetDouble("entity_ratio");
+  config.sync.staleness_bound =
+      static_cast<size_t>(flags.GetInt("staleness"));
+  config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
+  config.pbg_partitions = 2 * config.num_machines;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  return config;
+}
+
+eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags) {
+  eval::EvalOptions options;
+  options.max_triples = static_cast<size_t>(flags.GetInt("eval_triples"));
+  options.num_candidates =
+      static_cast<size_t>(flags.GetInt("eval_candidates"));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed")) ^ 0xEEAA;
+  return options;
+}
+
+graph::SyntheticDataset GetDataset(const std::string& name,
+                                   const FlagParser& flags) {
+  const double fraction = flags.GetDouble("triple_fraction");
+  graph::SyntheticSpec spec;
+  if (name == "fb15k") {
+    spec = graph::Fb15kSpec();
+  } else if (name == "wn18") {
+    spec = graph::Wn18Spec();
+  } else if (name == "freebase86m") {
+    spec = graph::Freebase86mSpec(flags.GetDouble("fb86m_scale"));
+  } else {
+    HETKG_CHECK(false) << "unknown dataset: " << name;
+  }
+  spec.num_triples = std::max<size_t>(
+      10000, static_cast<size_t>(spec.num_triples * fraction));
+
+  // Generation is the slowest part of a bench run; cache the snapshot
+  // keyed by every generation parameter.
+  char cache_path[256];
+  std::snprintf(cache_path, sizeof(cache_path),
+                "/tmp/hetkg_dataset_%s_%zu_%zu_%zu_%.3f_%.3f_%zu_%zu_%llu.bin",
+                spec.name.c_str(), spec.num_entities, spec.num_relations,
+                spec.num_triples, spec.entity_exponent,
+                spec.relation_exponent, spec.latent_dim,
+                spec.tail_candidates,
+                static_cast<unsigned long long>(spec.seed));
+  if (auto cached = graph::LoadDataset(cache_path); cached.ok()) {
+    return graph::SyntheticDataset{std::move(cached->graph),
+                                   std::move(cached->split)};
+  }
+  auto dataset = graph::GenerateDataset(spec);
+  HETKG_CHECK(dataset.ok()) << dataset.status().ToString();
+  graph::SaveDataset(cache_path, dataset->graph, dataset->split)
+      .ok();  // Best-effort; regeneration is always possible.
+  return std::move(dataset).value();
+}
+
+void InitBench(FlagParser* flags, int argc, char** argv) {
+  const Status status = flags->Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags->Usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  SetLogLevel(LogLevel::kWarning);
+}
+
+void ApplyDatasetDefaults(const std::string& dataset_name,
+                          const FlagParser& flags,
+                          core::TrainerConfig* config) {
+  if (dataset_name != "freebase86m") return;
+  if (!flags.IsSet("batch")) {
+    config->batch_size = 512;  // Paper Table II: b = 512 on Freebase-86m.
+    config->negative_chunk_size = std::max(
+        config->negative_chunk_size, config->negatives_per_positive);
+  }
+  if (!flags.IsSet("cache")) {
+    // "setting the top-k value larger" (Sec. VI-B3): bigger batches make
+    // more rows profitable to cache.
+    config->cache_capacity = 1024;
+  }
+}
+
+RunOutcome RunSystem(core::SystemKind system,
+                     const core::TrainerConfig& config,
+                     const graph::SyntheticDataset& dataset,
+                     size_t num_epochs, const eval::EvalOptions& eval_options,
+                     bool with_validation_curve) {
+  auto engine =
+      core::MakeEngine(system, config, dataset.graph, dataset.split.train);
+  HETKG_CHECK(engine.ok()) << engine.status().ToString();
+  if (with_validation_curve) {
+    eval::EvalOptions valid_options = eval_options;
+    valid_options.max_triples =
+        std::min<size_t>(eval_options.max_triples == 0
+                             ? 200
+                             : eval_options.max_triples,
+                         200);
+    (*engine)->EnableValidation(&dataset.graph, dataset.split.valid,
+                                valid_options);
+  }
+  auto report = (*engine)->Train(num_epochs);
+  HETKG_CHECK(report.ok()) << report.status().ToString();
+  auto metrics = eval::EvaluateLinkPrediction(
+      (*engine)->Embeddings(), (*engine)->ScoreFn(), dataset.graph,
+      dataset.split.test, eval_options);
+  HETKG_CHECK(metrics.ok()) << metrics.status().ToString();
+  return RunOutcome{std::move(report).value(), std::move(metrics).value()};
+}
+
+void RunLinkPredictionTable(const std::string& title,
+                            const graph::SyntheticDataset& dataset,
+                            const core::TrainerConfig& base_config,
+                            const std::vector<embedding::ModelKind>& models,
+                            size_t num_epochs,
+                            const eval::EvalOptions& eval_options) {
+  static const core::SystemKind kSystems[] = {
+      core::SystemKind::kPbg, core::SystemKind::kDglKe,
+      core::SystemKind::kHetKgCps, core::SystemKind::kHetKgDps};
+  Table table({"System", "Model", "MRR", "Hits@1", "Hits@10", "Time(s)",
+               "Hit ratio"});
+  for (embedding::ModelKind model : models) {
+    for (core::SystemKind system : kSystems) {
+      core::TrainerConfig config = base_config;
+      config.model = model;
+      const RunOutcome outcome = RunSystem(system, config, dataset,
+                                           num_epochs, eval_options);
+      table.AddRow({std::string(core::SystemKindName(system)),
+                    std::string(embedding::ModelKindName(model)),
+                    Fmt(outcome.test_metrics.mrr, 3),
+                    Fmt(outcome.test_metrics.hits1, 3),
+                    Fmt(outcome.test_metrics.hits10, 3),
+                    Fmt(outcome.report.total_time.total_seconds(), 2),
+                    system == core::SystemKind::kPbg ||
+                            system == core::SystemKind::kDglKe
+                        ? "-"
+                        : Fmt(outcome.report.overall_hit_ratio, 3)});
+    }
+  }
+  table.Print(title);
+}
+
+}  // namespace hetkg::bench

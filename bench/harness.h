@@ -1,0 +1,95 @@
+#ifndef HETKG_BENCH_HARNESS_H_
+#define HETKG_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/trainer.h"
+#include "eval/link_prediction.h"
+#include "graph/synthetic.h"
+
+namespace hetkg::bench {
+
+/// Fixed-width console table matching the row/column layout of the
+/// paper's tables, so bench output can be diffed against the paper
+/// side by side.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns.
+  std::string ToString() const;
+
+  /// Convenience: render to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fmt(double value, int digits = 3);
+
+/// Prints the standard bench banner: binary name + what it reproduces.
+void PrintBanner(const std::string& name, const std::string& what);
+
+/// Registers the flags shared by every table/figure bench:
+///   --dim --epochs --machines --lr --batch --negatives --cache
+///   --staleness --dps_window --triple_fraction --fb86m_scale
+///   --eval_triples --eval_candidates --seed
+/// Defaults are single-core scale; pass paper-scale values to override.
+void DefineCommonFlags(FlagParser* flags);
+
+/// Builds a TrainerConfig from the parsed common flags.
+core::TrainerConfig ConfigFromFlags(const FlagParser& flags);
+
+/// Evaluation options from the parsed common flags.
+eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags);
+
+/// One of the paper's datasets, generated synthetically at the scale
+/// given by the flags. `name` is "fb15k", "wn18" or "freebase86m";
+/// `triple_fraction` (from flags) scales the triple count so benches
+/// finish on one core, and `fb86m_scale` scales the Freebase entity
+/// count.
+graph::SyntheticDataset GetDataset(const std::string& name,
+                                   const FlagParser& flags);
+
+/// Parses flags (exits with usage on error) and silences info logs so
+/// table output stays clean.
+void InitBench(FlagParser* flags, int argc, char** argv);
+
+/// Applies the paper's per-dataset hyperparameters (Table II) for
+/// values the user did not override: Freebase-86m trains with batch 512
+/// (vs 32 on FB15k/WN18) and a proportionally larger cache.
+void ApplyDatasetDefaults(const std::string& dataset_name,
+                          const FlagParser& flags,
+                          core::TrainerConfig* config);
+
+/// Trains `system` on a dataset and evaluates the test split.
+struct RunOutcome {
+  core::TrainReport report;
+  eval::EvalMetrics test_metrics;
+};
+RunOutcome RunSystem(core::SystemKind system,
+                     const core::TrainerConfig& config,
+                     const graph::SyntheticDataset& dataset,
+                     size_t num_epochs, const eval::EvalOptions& eval_options,
+                     bool with_validation_curve = false);
+
+/// Emits one of the paper's link-prediction tables (III/IV/V): every
+/// system x model combination with MRR / Hits@1 / Hits@10 / Time.
+void RunLinkPredictionTable(const std::string& title,
+                            const graph::SyntheticDataset& dataset,
+                            const core::TrainerConfig& base_config,
+                            const std::vector<embedding::ModelKind>& models,
+                            size_t num_epochs,
+                            const eval::EvalOptions& eval_options);
+
+}  // namespace hetkg::bench
+
+#endif  // HETKG_BENCH_HARNESS_H_

@@ -1,0 +1,175 @@
+// Full command-line trainer: pick a dataset (synthetic preset or TSV
+// files), a system, a model, and the cache/sync knobs; train; evaluate;
+// optionally checkpoint. This is the "binary you would actually deploy"
+// walkthrough of the public API.
+//
+//   ./example_hetkg_train --dataset fb15k --system hetkg-d --model transe
+//       --epochs 10 --dim 32 --checkpoint /tmp/model.ck
+//   ./example_hetkg_train --train train.tsv --valid valid.tsv --test test.tsv
+#include <cstdio>
+
+#include "hetkg/hetkg.h"
+
+int main(int argc, char** argv) {
+  using namespace hetkg;
+
+  FlagParser flags;
+  flags.Define("dataset", "fb15k",
+               "synthetic preset: fb15k | wn18 | freebase86m (ignored when "
+               "--train is given)");
+  flags.Define("triple_fraction", "0.1", "scale of the synthetic dataset");
+  flags.Define("train", "", "TSV training triples (head\\trel\\ttail)");
+  flags.Define("valid", "", "TSV validation triples");
+  flags.Define("test", "", "TSV test triples");
+  flags.Define("system", "hetkg-d", "pbg | dglke | hetkg-c | hetkg-d");
+  flags.Define("model", "transe",
+               "transe | transe_l2 | distmult | complex | transh | transr | "
+               "transd | hole | rescal");
+  flags.Define("loss", "margin", "margin | logistic");
+  flags.Define("dim", "32", "embedding dimension");
+  flags.Define("epochs", "10", "training epochs");
+  flags.Define("lr", "0.1", "AdaGrad learning rate");
+  flags.Define("batch", "64", "mini-batch size per worker");
+  flags.Define("negatives", "8", "negatives per positive");
+  flags.Define("machines", "4", "simulated machines");
+  flags.Define("cache", "256", "hot-embedding rows per worker");
+  flags.Define("staleness", "8", "staleness bound P");
+  flags.Define("dps_window", "64", "DPS window D");
+  flags.Define("checkpoint", "", "path to write the trained embeddings");
+  flags.Define("seed", "1234", "seed");
+  const Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+
+  // ---- Dataset --------------------------------------------------------
+  graph::SyntheticDataset dataset{
+      graph::KnowledgeGraph::Create(1, 1, {}, "empty").value(), {}};
+  if (!flags.GetString("train").empty()) {
+    auto loaded = graph::LoadTsvDataset(flags.GetString("train"),
+                                        flags.GetString("valid"),
+                                        flags.GetString("test"), "tsv");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset.graph = std::move(loaded->graph);
+    dataset.split = std::move(loaded->split);
+  } else {
+    graph::SyntheticSpec spec;
+    const std::string name = flags.GetString("dataset");
+    if (name == "fb15k") {
+      spec = graph::Fb15kSpec();
+    } else if (name == "wn18") {
+      spec = graph::Wn18Spec();
+    } else if (name == "freebase86m") {
+      spec = graph::Freebase86mSpec(0.002);
+    } else {
+      std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+      return 2;
+    }
+    spec.num_triples = static_cast<size_t>(
+        spec.num_triples * flags.GetDouble("triple_fraction"));
+    auto generated = graph::GenerateDataset(spec);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(generated).value();
+  }
+  std::printf("dataset %s: %zu entities, %zu relations, %zu train triples\n",
+              dataset.graph.name().c_str(), dataset.graph.num_entities(),
+              dataset.graph.num_relations(), dataset.split.train.size());
+
+  // ---- Engine ---------------------------------------------------------
+  auto system = core::ParseSystemKind(flags.GetString("system"));
+  auto model = embedding::ParseModelKind(flags.GetString("model"));
+  if (!system.ok() || !model.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!system.ok() ? system.status() : model.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  core::TrainerConfig config;
+  config.model = *model;
+  config.loss = flags.GetString("loss");
+  config.dim = static_cast<size_t>(flags.GetInt("dim"));
+  config.learning_rate = flags.GetDouble("lr");
+  config.batch_size = static_cast<size_t>(flags.GetInt("batch"));
+  config.negatives_per_positive =
+      static_cast<size_t>(flags.GetInt("negatives"));
+  config.negative_chunk_size = config.negatives_per_positive;
+  config.num_machines = static_cast<size_t>(flags.GetInt("machines"));
+  config.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
+  config.sync.staleness_bound =
+      static_cast<size_t>(flags.GetInt("staleness"));
+  config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
+  config.pbg_partitions = 2 * config.num_machines;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  auto engine =
+      core::MakeEngine(*system, config, dataset.graph, dataset.split.train);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  eval::EvalOptions eval_options;
+  eval_options.max_triples = 500;
+  eval_options.num_candidates = 1000;
+  if (!dataset.split.valid.empty()) {
+    eval::EvalOptions valid_options = eval_options;
+    valid_options.max_triples = 200;
+    (*engine)->EnableValidation(&dataset.graph, dataset.split.valid,
+                                valid_options);
+  }
+
+  // ---- Train ----------------------------------------------------------
+  auto report = (*engine)->Train(static_cast<size_t>(flags.GetInt("epochs")));
+  if (!report.ok()) {
+    std::fprintf(stderr, "train: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& epoch : report->epochs) {
+    std::printf("epoch %2zu  loss=%.4f  sim=%s  hit=%.2f%s\n",
+                epoch.epoch + 1, epoch.mean_loss,
+                HumanSeconds(epoch.epoch_time.total_seconds()).c_str(),
+                epoch.cache_hit_ratio,
+                epoch.has_valid_metrics
+                    ? ("  validMRR=" +
+                       std::to_string(epoch.valid_metrics.mrr))
+                          .c_str()
+                    : "");
+  }
+  std::printf("total %s simulated, %s transferred, hit ratio %.3f\n",
+              HumanSeconds(report->total_time.total_seconds()).c_str(),
+              HumanBytes(static_cast<double>(report->total_remote_bytes))
+                  .c_str(),
+              report->overall_hit_ratio);
+
+  // ---- Evaluate + checkpoint -------------------------------------------
+  if (!dataset.split.test.empty()) {
+    auto metrics = eval::EvaluateLinkPrediction(
+        (*engine)->Embeddings(), (*engine)->ScoreFn(), dataset.graph,
+        dataset.split.test, eval_options);
+    if (metrics.ok()) {
+      std::printf("test: MRR=%.3f MR=%.1f Hits@1=%.3f Hits@3=%.3f "
+                  "Hits@10=%.3f\n",
+                  metrics->mrr, metrics->mr, metrics->hits1, metrics->hits3,
+                  metrics->hits10);
+    }
+  }
+  const std::string checkpoint = flags.GetString("checkpoint");
+  if (!checkpoint.empty()) {
+    const Status saved = core::SaveEngineCheckpoint(**engine, checkpoint);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint saved to %s\n", checkpoint.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Compares the four systems of the paper — PBG, DGL-KE, HET-KG-C and
+// HET-KG-D — on one workload through the public API: accuracy, simulated
+// cluster time, communication volume, and cache behaviour.
+//
+//   ./example_system_comparison
+#include <cstdio>
+
+#include "hetkg/hetkg.h"
+
+int main() {
+  using namespace hetkg;
+
+  graph::SyntheticSpec spec = graph::Fb15kSpec();
+  spec.num_triples /= 10;  // Keep the example snappy.
+  auto dataset = graph::GenerateDataset(spec).value();
+
+  core::TrainerConfig config;
+  config.model = embedding::ModelKind::kTransEL1;
+  config.dim = 16;
+  config.batch_size = 32;
+  config.negatives_per_positive = 8;
+  config.negative_chunk_size = 8;
+  config.num_machines = 4;
+  config.cache_capacity = 64;
+  config.sync.staleness_bound = 8;
+  config.sync.dps_window = 64;
+
+  eval::EvalOptions eval_options;
+  eval_options.max_triples = 300;
+  eval_options.num_candidates = 1000;
+
+  std::printf("%-10s %8s %8s %10s %12s %10s\n", "system", "MRR", "Hits@10",
+              "sim time", "remote", "hit ratio");
+  for (core::SystemKind system :
+       {core::SystemKind::kPbg, core::SystemKind::kDglKe,
+        core::SystemKind::kHetKgCps, core::SystemKind::kHetKgDps}) {
+    auto engine = core::MakeEngine(system, config, dataset.graph,
+                                   dataset.split.train)
+                      .value();
+    auto report = engine->Train(/*num_epochs=*/5).value();
+    auto metrics = eval::EvaluateLinkPrediction(
+                       engine->Embeddings(), engine->ScoreFn(),
+                       dataset.graph, dataset.split.test, eval_options)
+                       .value();
+    std::printf(
+        "%-10s %8.3f %8.3f %10s %12s %10.3f\n",
+        std::string(core::SystemKindName(system)).c_str(), metrics.mrr,
+        metrics.hits10,
+        HumanSeconds(report.total_time.total_seconds()).c_str(),
+        HumanBytes(static_cast<double>(report.total_remote_bytes)).c_str(),
+        report.overall_hit_ratio);
+  }
+  std::printf(
+      "\nExpected: comparable accuracy everywhere; PBG pays for dense\n"
+      "relation synchronization and partition swaps; the HET-KG variants\n"
+      "trim DGL-KE's communication through the hot-embedding cache.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace hetkg {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(double value) {
+  assert(value >= 0.0);
+  if (value < 1.0) return 0;
+  const int e = static_cast<int>(std::floor(std::log2(value))) + 1;
+  return std::min(static_cast<size_t>(e), kNumBuckets - 1);
+}
+
+double Histogram::BucketLow(size_t b) {
+  if (b == 0) return 0.0;
+  return std::pow(2.0, static_cast<double>(b - 1));
+}
+
+double Histogram::BucketHigh(size_t b) {
+  return std::pow(2.0, static_cast<double>(b));
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= target) {
+      const double frac =
+          buckets_[b] == 0 ? 0.0 : (target - seen) / static_cast<double>(buckets_[b]);
+      const double lo = std::max(BucketLow(b), min_);
+      const double hi = std::min(BucketHigh(b), max_);
+      return lo + frac * (hi - lo);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)
+     << " p95=" << Quantile(0.95) << " p99=" << Quantile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace hetkg

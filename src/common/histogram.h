@@ -1,0 +1,57 @@
+#ifndef HETKG_COMMON_HISTOGRAM_H_
+#define HETKG_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetkg {
+
+/// Streaming summary of a scalar distribution: exact count/mean/min/max
+/// plus approximate quantiles from power-of-two buckets. Used for access
+/// frequency skew reporting (Fig. 2) and message-size accounting.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one non-negative observation.
+  void Add(double value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+
+  /// Approximate quantile in [0, 1]; interpolates within the bucket.
+  double Quantile(double q) const;
+
+  /// One-line rendering: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 128;
+
+  /// Bucket index for `value`; bucket b covers [2^(b-1), 2^b).
+  static size_t BucketFor(double value);
+  /// Lower edge of bucket `b`.
+  static double BucketLow(size_t b);
+  /// Upper edge of bucket `b`.
+  static double BucketHigh(size_t b);
+
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_HISTOGRAM_H_

@@ -1,0 +1,71 @@
+#ifndef HETKG_COMMON_LOGGING_H_
+#define HETKG_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hetkg {
+
+/// Log severities in increasing order of urgency. `kFatal` aborts the
+/// process after emitting the message.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that is emitted. Defaults to kInfo;
+/// benches raise it to kWarning to keep table output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message; emits on destruction. Not for direct use —
+/// go through the HETKG_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is filtered out.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace hetkg
+
+/// Usage: HETKG_LOG(INFO) << "epoch " << e << " done";
+#define HETKG_LOG(severity)                                              \
+  (::hetkg::LogLevel::k##severity < ::hetkg::GetLogLevel())              \
+      ? (void)0                                                          \
+      : ::hetkg::internal::LogMessageVoidify() &                         \
+            ::hetkg::internal::LogMessage(::hetkg::LogLevel::k##severity, \
+                                          __FILE__, __LINE__)            \
+                .stream()
+
+/// Invariant check that stays on in release builds; logs and aborts on
+/// failure. Use for conditions whose violation means a library bug.
+#define HETKG_CHECK(condition)                                       \
+  (condition) ? (void)0                                              \
+              : ::hetkg::internal::LogMessageVoidify() &             \
+                    ::hetkg::internal::LogMessage(                   \
+                        ::hetkg::LogLevel::kFatal, __FILE__, __LINE__) \
+                        .stream()                                    \
+                        << "Check failed: " #condition " "
+
+#endif  // HETKG_COMMON_LOGGING_H_

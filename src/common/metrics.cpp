@@ -1,0 +1,41 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace hetkg {
+
+void MetricRegistry::Increment(const std::string& name, uint64_t delta) {
+  counters_[name] += delta;
+}
+
+uint64_t MetricRegistry::Get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricRegistry::Merge(const MetricRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+}
+
+void MetricRegistry::Clear() {
+  for (auto& [name, value] : counters_) {
+    value = 0;
+  }
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricRegistry::Snapshot()
+    const {
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string MetricRegistry::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetkg

@@ -1,0 +1,62 @@
+#ifndef HETKG_COMMON_METRICS_H_
+#define HETKG_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetkg {
+
+/// A named bag of monotonically increasing counters. Each simulated
+/// component (PS client, cache, network link) owns one; benches merge
+/// them for reporting. Not thread-safe by design: the simulator is
+/// single-threaded and deterministic.
+class MetricRegistry {
+ public:
+  /// Adds `delta` to counter `name`, creating it at zero on first use.
+  void Increment(const std::string& name, uint64_t delta = 1);
+
+  /// Current value; zero for counters never touched.
+  uint64_t Get(const std::string& name) const;
+
+  /// Sums every counter of `other` into this registry.
+  void Merge(const MetricRegistry& other);
+
+  /// Resets all counters to zero without forgetting their names.
+  void Clear();
+
+  /// Snapshot of all counters in name order.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Multi-line "name = value" rendering, for debug output.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+/// Well-known counter names shared between the PS, cache, and network
+/// layers so benches can aggregate without string drift.
+namespace metric {
+inline constexpr char kRemotePullRows[] = "ps.remote_pull_rows";
+inline constexpr char kRemotePushRows[] = "ps.remote_push_rows";
+inline constexpr char kLocalPullRows[] = "ps.local_pull_rows";
+inline constexpr char kLocalPushRows[] = "ps.local_push_rows";
+inline constexpr char kRemoteMessages[] = "net.remote_messages";
+inline constexpr char kRemoteBytes[] = "net.remote_bytes";
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheRefreshRows[] = "cache.refresh_rows";
+inline constexpr char kCacheRebuilds[] = "cache.rebuilds";
+inline constexpr char kWriteBackFlushes[] = "cache.write_back_flushes";
+inline constexpr char kTriplesTrained[] = "engine.triples_trained";
+inline constexpr char kNegativesTrained[] = "engine.negatives_trained";
+inline constexpr char kPartitionSwaps[] = "pbg.partition_swaps";
+inline constexpr char kPartitionSwapBytes[] = "pbg.partition_swap_bytes";
+inline constexpr char kDenseRelationBytes[] = "pbg.dense_relation_bytes";
+}  // namespace metric
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_METRICS_H_

@@ -1,0 +1,34 @@
+#ifndef HETKG_COMMON_STRING_UTIL_H_
+#define HETKG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetkg {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimString(std::string_view input);
+
+/// Parses a base-10 integer / double; returns false on any trailing
+/// garbage or overflow.
+bool ParseInt64(std::string_view input, int64_t* out);
+bool ParseUint64(std::string_view input, uint64_t* out);
+bool ParseDouble(std::string_view input, double* out);
+
+/// Renders `bytes` with a binary unit suffix ("1.5 GiB").
+std::string HumanBytes(double bytes);
+
+/// Renders `seconds` adaptively ("1.2 ms", "3.4 s", "2.1 min").
+std::string HumanSeconds(double seconds);
+
+/// True when `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_STRING_UTIL_H_

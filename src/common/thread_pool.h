@@ -1,0 +1,55 @@
+#ifndef HETKG_COMMON_THREAD_POOL_H_
+#define HETKG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hetkg {
+
+/// Fixed-size worker pool used by the link-prediction evaluator to rank
+/// test triples in parallel. The training simulator itself is
+/// deliberately single-threaded (determinism), so this pool only runs
+/// read-only scoring work.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks
+  /// across the pool, and blocks until done.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_THREAD_POOL_H_

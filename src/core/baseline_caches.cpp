@@ -1,0 +1,115 @@
+#include "core/baseline_caches.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace hetkg::core {
+
+FifoCache::FifoCache(size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+bool FifoCache::Access(EmbKey key) {
+  const bool hit = resident_.contains(key);
+  RecordAccess(hit);
+  if (!hit) {
+    if (resident_.size() >= capacity_) {
+      resident_.erase(queue_.front());
+      queue_.pop_front();
+    }
+    queue_.push_back(key);
+    resident_.insert(key);
+  }
+  return hit;
+}
+
+LruCache::LruCache(size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+bool LruCache::Access(EmbKey key) {
+  auto it = index_.find(key);
+  const bool hit = it != index_.end();
+  RecordAccess(hit);
+  if (hit) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  index_[key] = order_.begin();
+  return false;
+}
+
+LfuCache::LfuCache(size_t capacity) : capacity_(capacity) {
+  assert(capacity >= 1);
+}
+
+bool LfuCache::Access(EmbKey key) {
+  const uint64_t freq = ++frequency_[key];
+  const bool hit = resident_.contains(key);
+  RecordAccess(hit);
+  if (hit) {
+    // Move the resident to its new frequency bucket.
+    auto it = buckets_.find(freq - 1);
+    it->second.erase(key);
+    if (it->second.empty()) buckets_.erase(it);
+    buckets_[freq].insert(key);
+    return true;
+  }
+  if (resident_.size() >= capacity_) {
+    auto it = buckets_.begin();
+    const EmbKey victim = *it->second.begin();
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) buckets_.erase(it);
+    resident_.erase(victim);
+  }
+  resident_.insert(key);
+  buckets_[freq].insert(key);
+  return false;
+}
+
+ImportanceCache::ImportanceCache(std::vector<EmbKey> keys)
+    : resident_(keys.begin(), keys.end()) {}
+
+bool ImportanceCache::Access(EmbKey key) {
+  const bool hit = resident_.contains(key);
+  RecordAccess(hit);
+  return hit;
+}
+
+std::vector<EmbKey> TopDegreeKeys(const std::vector<uint32_t>& entity_degrees,
+                                  const std::vector<uint32_t>& relation_freqs,
+                                  size_t capacity) {
+  struct Ranked {
+    EmbKey key;
+    uint32_t weight;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(entity_degrees.size() + relation_freqs.size());
+  for (size_t e = 0; e < entity_degrees.size(); ++e) {
+    ranked.push_back({EntityKey(static_cast<EntityId>(e)), entity_degrees[e]});
+  }
+  for (size_t r = 0; r < relation_freqs.size(); ++r) {
+    ranked.push_back(
+        {RelationKey(static_cast<RelationId>(r)), relation_freqs[r]});
+  }
+  const size_t k = std::min(capacity, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const Ranked& a, const Ranked& b) {
+                      if (a.weight != b.weight) return a.weight > b.weight;
+                      return a.key < b.key;
+                    });
+  std::vector<EmbKey> keys;
+  keys.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    keys.push_back(ranked[i].key);
+  }
+  return keys;
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,118 @@
+#ifndef HETKG_CORE_BASELINE_CACHES_H_
+#define HETKG_CORE_BASELINE_CACHES_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace hetkg::core {
+
+/// Access-driven cache policy interface, used for the Table VI
+/// comparison against FIFO / LRU / LFU / degree-"importance" caching.
+/// `Access` reports whether the key was resident and (for the evicting
+/// policies) admits it on a miss.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+  virtual std::string_view name() const = 0;
+  virtual bool Access(EmbKey key) = 0;
+  virtual size_t size() const = 0;
+
+  /// Running hit statistics.
+  uint64_t hits() const { return hits_; }
+  uint64_t accesses() const { return accesses_; }
+  double HitRatio() const {
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(accesses_);
+  }
+
+ protected:
+  void RecordAccess(bool hit) {
+    ++accesses_;
+    if (hit) ++hits_;
+  }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t accesses_ = 0;
+};
+
+/// First-in first-out eviction.
+class FifoCache : public CachePolicy {
+ public:
+  explicit FifoCache(size_t capacity);
+  std::string_view name() const override { return "FIFO"; }
+  bool Access(EmbKey key) override;
+  size_t size() const override { return resident_.size(); }
+
+ private:
+  size_t capacity_;
+  std::list<EmbKey> queue_;  // Front = oldest.
+  std::unordered_set<EmbKey> resident_;
+};
+
+/// Least-recently-used eviction.
+class LruCache : public CachePolicy {
+ public:
+  explicit LruCache(size_t capacity);
+  std::string_view name() const override { return "LRU"; }
+  bool Access(EmbKey key) override;
+  size_t size() const override { return index_.size(); }
+
+ private:
+  size_t capacity_;
+  std::list<EmbKey> order_;  // Front = most recent.
+  std::unordered_map<EmbKey, std::list<EmbKey>::iterator> index_;
+};
+
+/// Least-frequently-used eviction (frequency counted over all accesses
+/// so far, resident or not — the classic LFU-with-history variant HET
+/// uses). Residents are indexed by frequency bucket so eviction is
+/// O(log #distinct frequencies).
+class LfuCache : public CachePolicy {
+ public:
+  explicit LfuCache(size_t capacity);
+  std::string_view name() const override { return "LFU"; }
+  bool Access(EmbKey key) override;
+  size_t size() const override { return resident_.size(); }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<EmbKey, uint64_t> frequency_;
+  std::unordered_set<EmbKey> resident_;
+  std::map<uint64_t, std::unordered_set<EmbKey>> buckets_;
+};
+
+/// The paper's "Importance cache" baseline: a fixed set chosen before
+/// training by a static importance score (entity degree / relation
+/// frequency in the training graph) with no runtime adaptation.
+class ImportanceCache : public CachePolicy {
+ public:
+  /// `keys` is the pre-ranked static hot set (already cut to capacity).
+  explicit ImportanceCache(std::vector<EmbKey> keys);
+  std::string_view name() const override { return "Importance"; }
+  bool Access(EmbKey key) override;
+  size_t size() const override { return resident_.size(); }
+
+ private:
+  std::unordered_set<EmbKey> resident_;
+};
+
+/// Builds the static degree-ranked key set for ImportanceCache from
+/// graph statistics: top keys by (degree or relation frequency),
+/// mixing kinds in one global ranking.
+std::vector<EmbKey> TopDegreeKeys(const std::vector<uint32_t>& entity_degrees,
+                                  const std::vector<uint32_t>& relation_freqs,
+                                  size_t capacity);
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_BASELINE_CACHES_H_

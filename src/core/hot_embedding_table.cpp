@@ -1,0 +1,143 @@
+#include "core/hot_embedding_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hetkg::core {
+
+HotEmbeddingTable::HotEmbeddingTable(size_t entity_slots,
+                                     size_t relation_slots, size_t entity_dim,
+                                     size_t relation_dim,
+                                     double learning_rate)
+    : entity_slots_(entity_slots),
+      relation_slots_(relation_slots),
+      entity_rows_(std::max<size_t>(1, entity_slots), entity_dim),
+      relation_rows_(std::max<size_t>(1, relation_slots), relation_dim),
+      entity_opt_(std::max<size_t>(1, entity_slots), entity_dim,
+                  learning_rate),
+      relation_opt_(std::max<size_t>(1, relation_slots), relation_dim,
+                    learning_rate) {
+  index_.reserve(capacity() * 2);
+}
+
+std::span<float> HotEmbeddingTable::Row(EmbKey key) {
+  auto it = index_.find(key);
+  HETKG_CHECK(it != index_.end()) << "key not cached: " << key;
+  return it->second.is_relation ? relation_rows_.Row(it->second.slot)
+                                : entity_rows_.Row(it->second.slot);
+}
+
+std::span<const float> HotEmbeddingTable::Row(EmbKey key) const {
+  auto it = index_.find(key);
+  HETKG_CHECK(it != index_.end()) << "key not cached: " << key;
+  return it->second.is_relation ? relation_rows_.Row(it->second.slot)
+                                : entity_rows_.Row(it->second.slot);
+}
+
+std::vector<EmbKey> HotEmbeddingTable::Assign(std::span<const EmbKey> keys) {
+  // Split the incoming set by kind, respecting the slot quotas.
+  std::vector<EmbKey> want_entities;
+  std::vector<EmbKey> want_relations;
+  for (EmbKey key : keys) {
+    if (IsRelationKey(key)) {
+      if (want_relations.size() < relation_slots_) {
+        want_relations.push_back(key);
+      }
+    } else if (want_entities.size() < entity_slots_) {
+      want_entities.push_back(key);
+    }
+  }
+
+  std::unordered_set<EmbKey> want_set;
+  want_set.reserve((want_entities.size() + want_relations.size()) * 2);
+  want_set.insert(want_entities.begin(), want_entities.end());
+  want_set.insert(want_relations.begin(), want_relations.end());
+
+  // Evict keys not in the new set, collecting their slots for reuse.
+  std::vector<uint32_t> free_entity_slots;
+  std::vector<uint32_t> free_relation_slots;
+  for (auto it = index_.begin(); it != index_.end();) {
+    const bool keep = want_set.contains(it->first);
+    if (keep) {
+      ++it;
+      continue;
+    }
+    if (it->second.is_relation) {
+      free_relation_slots.push_back(it->second.slot);
+    } else {
+      free_entity_slots.push_back(it->second.slot);
+    }
+    it = index_.erase(it);
+  }
+  // Any never-used slots are also free.
+  {
+    std::vector<bool> used_e(entity_slots_, false);
+    std::vector<bool> used_r(relation_slots_, false);
+    for (const auto& [key, ref] : index_) {
+      (ref.is_relation ? used_r : used_e)[ref.slot] = true;
+    }
+    free_entity_slots.clear();
+    free_relation_slots.clear();
+    for (uint32_t s = 0; s < entity_slots_; ++s) {
+      if (!used_e[s]) free_entity_slots.push_back(s);
+    }
+    for (uint32_t s = 0; s < relation_slots_; ++s) {
+      if (!used_r[s]) free_relation_slots.push_back(s);
+    }
+  }
+
+  // Admit the new keys.
+  std::vector<EmbKey> admitted;
+  auto admit = [&](std::span<const EmbKey> want, bool is_relation,
+                   std::vector<uint32_t>* free_slots,
+                   embedding::AdaGrad* opt) {
+    for (EmbKey key : want) {
+      if (index_.contains(key)) continue;  // Retained from previous set.
+      HETKG_CHECK(!free_slots->empty()) << "cache slot accounting error";
+      const uint32_t slot = free_slots->back();
+      free_slots->pop_back();
+      opt->ResetRow(slot);
+      index_[key] = SlotRef{is_relation, slot};
+      admitted.push_back(key);
+    }
+  };
+  admit(want_entities, false, &free_entity_slots, &entity_opt_);
+  admit(want_relations, true, &free_relation_slots, &relation_opt_);
+  return admitted;
+}
+
+std::vector<EmbKey> HotEmbeddingTable::Keys() const {
+  std::vector<EmbKey> keys;
+  keys.reserve(index_.size());
+  for (const auto& [key, ref] : index_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+void HotEmbeddingTable::ApplyLocalGradient(EmbKey key,
+                                           std::span<const float> grad,
+                                           bool normalize_entities) {
+  auto it = index_.find(key);
+  HETKG_CHECK(it != index_.end()) << "key not cached: " << key;
+  if (it->second.is_relation) {
+    relation_opt_.Apply(it->second.slot, relation_rows_.Row(it->second.slot),
+                        grad);
+    return;
+  }
+  entity_opt_.Apply(it->second.slot, entity_rows_.Row(it->second.slot), grad);
+  if (normalize_entities) {
+    entity_rows_.L2NormalizeRow(it->second.slot);
+  }
+}
+
+void HotEmbeddingTable::Refresh(EmbKey key, std::span<const float> value) {
+  auto row = Row(key);
+  HETKG_CHECK(row.size() == value.size());
+  std::copy(value.begin(), value.end(), row.begin());
+}
+
+}  // namespace hetkg::core

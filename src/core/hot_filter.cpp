@@ -1,0 +1,117 @@
+#include "core/hot_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetkg::core {
+
+FilterQuota ComputeQuota(const FilterOptions& options, size_t num_entities,
+                         size_t num_relations) {
+  FilterQuota quota;
+  if (!options.heterogeneity_aware) {
+    // No reserved split: both slabs sized to the full capacity upper
+    // bound, the global ranking decides the mix.
+    quota.entity_slots = std::min(options.capacity, num_entities);
+    quota.relation_slots = std::min(options.capacity, num_relations);
+    return quota;
+  }
+  size_t entity_slots = static_cast<size_t>(
+      std::llround(static_cast<double>(options.capacity) *
+                   options.entity_ratio));
+  entity_slots = std::min(entity_slots, options.capacity);
+  size_t relation_slots = options.capacity - entity_slots;
+
+  // Surplus flows across kinds when a vocabulary is too small to fill
+  // its quota.
+  if (relation_slots > num_relations) {
+    entity_slots += relation_slots - num_relations;
+    relation_slots = num_relations;
+  }
+  if (entity_slots > num_entities) {
+    const size_t surplus = entity_slots - num_entities;
+    entity_slots = num_entities;
+    relation_slots = std::min(num_relations, relation_slots + surplus);
+  }
+  quota.entity_slots = entity_slots;
+  quota.relation_slots = relation_slots;
+  return quota;
+}
+
+namespace {
+
+struct KeyFreq {
+  EmbKey key;
+  uint32_t freq;
+};
+
+/// Descending frequency; ascending key on ties (determinism).
+bool ByHotness(const KeyFreq& a, const KeyFreq& b) {
+  if (a.freq != b.freq) return a.freq > b.freq;
+  return a.key < b.key;
+}
+
+}  // namespace
+
+std::vector<EmbKey> FilterHotKeys(const FrequencyMap& frequencies,
+                                  const FilterOptions& options,
+                                  const FilterQuota& quota) {
+  std::vector<KeyFreq> entities;
+  std::vector<KeyFreq> relations;
+  entities.reserve(frequencies.size());
+  for (const auto& [key, freq] : frequencies) {
+    (IsRelationKey(key) ? relations : entities).push_back({key, freq});
+  }
+
+  std::vector<EmbKey> hot;
+  if (options.heterogeneity_aware) {
+    auto take = [&hot](std::vector<KeyFreq>* ranked, size_t k) {
+      const size_t n = std::min(k, ranked->size());
+      std::partial_sort(ranked->begin(), ranked->begin() + n, ranked->end(),
+                        ByHotness);
+      for (size_t i = 0; i < n; ++i) {
+        hot.push_back((*ranked)[i].key);
+      }
+    };
+    take(&entities, quota.entity_slots);
+    take(&relations, quota.relation_slots);
+    return hot;
+  }
+
+  // HET-KG-N: one global ranking, bounded by capacity and the slab
+  // sizes of the receiving cache.
+  std::vector<KeyFreq> all;
+  all.reserve(entities.size() + relations.size());
+  all.insert(all.end(), entities.begin(), entities.end());
+  all.insert(all.end(), relations.begin(), relations.end());
+  std::sort(all.begin(), all.end(), ByHotness);
+  size_t taken_entities = 0;
+  size_t taken_relations = 0;
+  for (const KeyFreq& kf : all) {
+    if (hot.size() >= options.capacity) break;
+    if (IsRelationKey(kf.key)) {
+      if (taken_relations >= quota.relation_slots) continue;
+      ++taken_relations;
+    } else {
+      if (taken_entities >= quota.entity_slots) continue;
+      ++taken_entities;
+    }
+    hot.push_back(kf.key);
+  }
+  return hot;
+}
+
+double PredictedHitRatio(const FrequencyMap& frequencies,
+                         const std::vector<EmbKey>& hot_keys,
+                         uint64_t total_accesses) {
+  if (total_accesses == 0) return 0.0;
+  uint64_t hits = 0;
+  for (EmbKey key : hot_keys) {
+    auto it = frequencies.find(key);
+    if (it != frequencies.end()) {
+      hits += it->second;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(total_accesses);
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,54 @@
+#ifndef HETKG_CORE_HOT_FILTER_H_
+#define HETKG_CORE_HOT_FILTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/prefetcher.h"
+#include "graph/types.h"
+
+namespace hetkg::core {
+
+/// Options for Algorithm 2 (the filtering step).
+struct FilterOptions {
+  /// Total hot-embedding slots (top-k of the paper).
+  size_t capacity = 1024;
+  /// Fraction of slots reserved for entity embeddings. The paper's
+  /// heterogeneity study (Fig. 8c, Table VII) fixes 25% entities / 75%
+  /// relations as the best split on Freebase-86m.
+  double entity_ratio = 0.25;
+  /// When false (the HET-KG-N ablation), the quota is ignored and the
+  /// global top-k by frequency is taken regardless of kind.
+  bool heterogeneity_aware = true;
+};
+
+/// Slot quotas derived from FilterOptions. When the relation vocabulary
+/// is smaller than the relation quota, the surplus flows back to
+/// entities (and vice versa) so the cache never wastes slots.
+struct FilterQuota {
+  size_t entity_slots = 0;
+  size_t relation_slots = 0;
+};
+FilterQuota ComputeQuota(const FilterOptions& options, size_t num_entities,
+                         size_t num_relations);
+
+/// Algorithm 2: ranks the keys of `frequencies` by descending count
+/// (ties broken by key for determinism) and returns the hot set.
+/// With heterogeneity awareness the entity and relation rankings are
+/// cut independently at their quotas; without it a single global top-k
+/// is taken (still bounded by the slab sizes of the cache that will
+/// receive the set).
+std::vector<EmbKey> FilterHotKeys(const FrequencyMap& frequencies,
+                                  const FilterOptions& options,
+                                  const FilterQuota& quota);
+
+/// Share of `total_accesses` (from the same window the frequencies were
+/// counted over) that the chosen `hot_keys` would serve — the cache hit
+/// ratio the construction predicts.
+double PredictedHitRatio(const FrequencyMap& frequencies,
+                         const std::vector<EmbKey>& hot_keys,
+                         uint64_t total_accesses);
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_HOT_FILTER_H_

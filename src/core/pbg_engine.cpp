@@ -1,0 +1,302 @@
+#include "core/pbg_engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace hetkg::core {
+
+namespace {
+constexpr uint64_t kUpdateFlopsPerParam = 6;
+}  // namespace
+
+PbgEngine::PbgEngine(const TrainerConfig& config,
+                     const graph::KnowledgeGraph& graph)
+    : config_(config),
+      graph_(graph),
+      cluster_(config.num_machines, config.network, config.compute),
+      rng_(config.seed ^ 0xB16) {}
+
+Result<std::unique_ptr<PbgEngine>> PbgEngine::Create(
+    const TrainerConfig& config, const graph::KnowledgeGraph& graph,
+    const std::vector<Triple>& train) {
+  if (config.num_machines == 0) {
+    return Status::InvalidArgument("need at least one machine");
+  }
+  if (train.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config.pbg_partitions < config.num_machines) {
+    return Status::InvalidArgument(
+        "PBG needs at least as many partitions as machines");
+  }
+  std::unique_ptr<PbgEngine> engine(new PbgEngine(config, graph));
+  HETKG_RETURN_IF_ERROR(engine->Setup(train));
+  return engine;
+}
+
+Status PbgEngine::Setup(const std::vector<Triple>& train) {
+  HETKG_ASSIGN_OR_RETURN(
+      score_fn_, embedding::MakeScoreFunction(config_.model, config_.dim));
+  HETKG_ASSIGN_OR_RETURN(
+      loss_fn_,
+      embedding::MakeLossFunction(config_.loss, config_.margin,
+                                  config_.negatives_per_positive));
+
+  HETKG_ASSIGN_OR_RETURN(
+      graph::KnowledgeGraph train_graph,
+      graph::KnowledgeGraph::Create(graph_.num_entities(),
+                                    graph_.num_relations(), train,
+                                    "train"));
+  partition::PbgBucketizer bucketizer(config_.seed);
+  HETKG_ASSIGN_OR_RETURN(
+      plan_, bucketizer.Build(train_graph, config_.pbg_partitions,
+                              config_.num_machines));
+
+  partition_entities_.assign(plan_.num_partitions, {});
+  for (EntityId e = 0; e < graph_.num_entities(); ++e) {
+    partition_entities_[plan_.entity_part[e]].push_back(e);
+  }
+
+  const size_t relation_dim = score_fn_->RelationDim(config_.dim);
+  entities_ = embedding::EmbeddingTable(graph_.num_entities(), config_.dim);
+  relations_ =
+      embedding::EmbeddingTable(graph_.num_relations(), relation_dim);
+  Rng init_rng(config_.seed ^ 0xE1B0);
+  entities_.InitXavierUniform(&init_rng);
+  relations_.InitXavierUniform(&init_rng);
+  if (score_fn_->NormalizesEntities()) {
+    for (size_t e = 0; e < entities_.num_rows(); ++e) {
+      entities_.L2NormalizeRow(e);
+    }
+  }
+  entity_opt_ = std::make_unique<embedding::AdaGrad>(
+      graph_.num_entities(), config_.dim, config_.learning_rate);
+  relation_opt_ = std::make_unique<embedding::AdaGrad>(
+      graph_.num_relations(), relation_dim, config_.learning_rate);
+  lookup_ = TableLookup(&entities_, &relations_);
+
+  machine_held_.assign(config_.num_machines, {});
+  return Status::OK();
+}
+
+void PbgEngine::SwapPartitions(uint32_t machine, uint32_t i, uint32_t j) {
+  std::vector<uint32_t> want = {i};
+  if (j != i) want.push_back(j);
+
+  auto& held = machine_held_[machine];
+  const uint64_t row_bytes = config_.dim * sizeof(float);
+
+  // Save partitions no longer needed (embeddings + optimizer state go
+  // back to the shared filesystem).
+  for (uint32_t p : held) {
+    if (std::find(want.begin(), want.end(), p) != want.end()) continue;
+    const uint64_t bytes = partition_entities_[p].size() * row_bytes * 2;
+    cluster_.RecordExternalOut(machine, bytes);
+    metrics_.Increment(metric::kPartitionSwaps);
+    metrics_.Increment(metric::kPartitionSwapBytes, bytes);
+  }
+  // Load the missing ones.
+  for (uint32_t p : want) {
+    if (std::find(held.begin(), held.end(), p) != held.end()) continue;
+    const uint64_t bytes = partition_entities_[p].size() * row_bytes * 2;
+    cluster_.RecordExternalIn(machine, bytes);
+    metrics_.Increment(metric::kPartitionSwaps);
+    metrics_.Increment(metric::kPartitionSwapBytes, bytes);
+  }
+  held = want;
+}
+
+std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
+                                                   uint32_t bucket_id) {
+  const uint32_t i =
+      static_cast<uint32_t>(bucket_id / plan_.num_partitions);
+  const uint32_t j =
+      static_cast<uint32_t>(bucket_id % plan_.num_partitions);
+  SwapPartitions(machine, i, j);
+
+  // Candidate pool for corruption: only the loaded partitions (PBG
+  // samples negatives from in-memory partitions).
+  const auto& pool_i = partition_entities_[i];
+  const auto& pool_j = partition_entities_[j];
+  const size_t pool_size = pool_i.size() + (j != i ? pool_j.size() : 0);
+  auto pool_at = [&](uint64_t idx) -> EntityId {
+    return idx < pool_i.size() ? pool_i[idx]
+                               : pool_j[idx - pool_i.size()];
+  };
+
+  std::vector<Triple> triples = plan_.bucket_triples[bucket_id];
+  rng_.Shuffle(&triples);
+
+  const size_t relation_dim = score_fn_->RelationDim(config_.dim);
+  const uint64_t dense_relation_bytes =
+      graph_.num_relations() * relation_dim * sizeof(float);
+
+  double loss_sum = 0.0;
+  uint64_t pairs = 0;
+  const uint64_t score_flops = score_fn_->FlopsPerTriple(config_.dim);
+  const size_t sync_period = std::max<size_t>(
+      1, config_.pbg_relation_sync_period);
+  size_t iteration_in_bucket = 0;
+
+  for (size_t begin = 0; begin < triples.size();
+       begin += config_.batch_size) {
+    const size_t end = std::min(triples.size(), begin + config_.batch_size);
+
+    scratch_grads_.clear();
+    auto grad = [&](EmbKey key, size_t width) -> std::span<float> {
+      auto [it, inserted] = scratch_grads_.try_emplace(key);
+      if (inserted) it->second.assign(width, 0.0f);
+      return it->second;
+    };
+
+    uint64_t backward_calls = 0;
+    uint64_t scored = 0;
+    for (size_t b = begin; b < end; ++b) {
+      const Triple& pos = triples[b];
+      const auto h = entities_.Row(pos.head);
+      const auto r = relations_.Row(pos.relation);
+      const auto t = entities_.Row(pos.tail);
+      const double pos_score = score_fn_->Score(h, r, t);
+      ++scored;
+
+      for (size_t k = 0; k < config_.negatives_per_positive; ++k) {
+        if (pool_size == 0) break;
+        const EntityId replacement = pool_at(rng_.NextBounded(pool_size));
+        const bool corrupt_head = rng_.NextBernoulli(0.5);
+        Triple neg = pos;
+        (corrupt_head ? neg.head : neg.tail) = replacement;
+        const double neg_score =
+            score_fn_->Score(entities_.Row(neg.head), r,
+                             entities_.Row(neg.tail));
+        ++scored;
+        const embedding::LossGrad lg =
+            loss_fn_->PairLoss(pos_score, neg_score);
+        loss_sum += lg.loss;
+        ++pairs;
+        if (lg.dpos != 0.0) {
+          score_fn_->ScoreBackward(h, r, t, lg.dpos,
+                                   grad(EntityKey(pos.head), config_.dim),
+                                   grad(RelationKey(pos.relation),
+                                        relation_dim),
+                                   grad(EntityKey(pos.tail), config_.dim));
+          ++backward_calls;
+        }
+        if (lg.dneg != 0.0) {
+          score_fn_->ScoreBackward(entities_.Row(neg.head), r,
+                                   entities_.Row(neg.tail), lg.dneg,
+                                   grad(EntityKey(neg.head), config_.dim),
+                                   grad(RelationKey(neg.relation),
+                                        relation_dim),
+                                   grad(EntityKey(neg.tail), config_.dim));
+          ++backward_calls;
+        }
+      }
+    }
+    cluster_.RecordCompute(machine,
+                           (scored + backward_calls) * score_flops / 2);
+
+    // Apply updates: entities locally (the partitions are resident);
+    // relations locally, then the DENSE relation weights are pushed to /
+    // pulled from the shared parameter server hosted on machine 0.
+    uint64_t updated_params = 0;
+    for (auto& [key, g] : scratch_grads_) {
+      updated_params += g.size();
+      if (IsRelationKey(key)) {
+        const RelationId r = KeyRelation(key);
+        relation_opt_->Apply(r, relations_.Row(r), g);
+      } else {
+        const EntityId e = KeyEntity(key);
+        entity_opt_->Apply(e, entities_.Row(e), g);
+        if (score_fn_->NormalizesEntities()) {
+          entities_.L2NormalizeRow(e);
+        }
+      }
+    }
+    cluster_.RecordCompute(machine, updated_params * kUpdateFlopsPerParam);
+
+    // Dense relation weights round-trip to the shared parameter server
+    // (hosted on machine 0) every `sync_period` iterations — PBG's
+    // rate-limited asynchronous relation synchronization.
+    if (iteration_in_bucket % sync_period == 0) {
+      if (machine == 0) {
+        cluster_.RecordLocalCopy(0, 2 * dense_relation_bytes);
+      } else {
+        cluster_.RecordRemoteMessage(machine, 0, dense_relation_bytes);
+        cluster_.RecordRemoteMessage(0, machine, dense_relation_bytes);
+      }
+      metrics_.Increment(metric::kDenseRelationBytes,
+                         2 * dense_relation_bytes);
+    }
+    ++iteration_in_bucket;
+    metrics_.Increment(metric::kTriplesTrained, end - begin);
+  }
+  return {loss_sum, pairs};
+}
+
+void PbgEngine::EnableValidation(const graph::KnowledgeGraph* graph,
+                                 std::span<const Triple> valid,
+                                 const eval::EvalOptions& options) {
+  valid_graph_ = graph;
+  valid_triples_ = valid;
+  valid_options_ = options;
+}
+
+Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
+  TrainReport report;
+  double cumulative_seconds = 0.0;
+  for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    double loss_sum = 0.0;
+    uint64_t pair_count = 0;
+    sim::TimeBreakdown epoch_time;
+    uint64_t epoch_remote_bytes = 0;
+
+    Stopwatch wall;
+    // Lock-server rounds: buckets inside a round run concurrently on
+    // distinct machines, so the round's cost is its critical path and
+    // the epoch is the sum of rounds (a machine idles when its round
+    // has no bucket for it — exactly PBG's scheduling stall).
+    for (const auto& round : plan_.schedule) {
+      cluster_.Reset();
+      for (size_t slot = 0; slot < round.size(); ++slot) {
+        const uint32_t machine =
+            static_cast<uint32_t>(slot % config_.num_machines);
+        const auto [loss, pairs] = TrainBucket(machine, round[slot]);
+        loss_sum += loss;
+        pair_count += pairs;
+      }
+      const sim::TimeBreakdown round_time = cluster_.CriticalPath();
+      epoch_time.compute_seconds += round_time.compute_seconds;
+      epoch_time.comm_seconds += round_time.comm_seconds;
+      epoch_remote_bytes += cluster_.TotalRemoteBytes();
+    }
+
+    EpochReport er;
+    er.epoch = epoch;
+    er.mean_loss = pair_count == 0 ? 0.0 : loss_sum / pair_count;
+    er.epoch_time = epoch_time;
+    cumulative_seconds += epoch_time.total_seconds();
+    er.cumulative_seconds = cumulative_seconds;
+    er.wall_seconds = wall.ElapsedSeconds();
+    er.cache_hit_ratio = 0.0;
+    er.remote_bytes = epoch_remote_bytes;
+    report.total_remote_bytes += epoch_remote_bytes;
+    report.total_time.compute_seconds += epoch_time.compute_seconds;
+    report.total_time.comm_seconds += epoch_time.comm_seconds;
+    report.total_wall_seconds += er.wall_seconds;
+
+    if (valid_graph_ != nullptr && !valid_triples_.empty()) {
+      HETKG_ASSIGN_OR_RETURN(
+          er.valid_metrics,
+          eval::EvaluateLinkPrediction(lookup_, *score_fn_, *valid_graph_,
+                                       valid_triples_, valid_options_));
+      er.has_valid_metrics = true;
+    }
+    report.epochs.push_back(er);
+  }
+  report.metrics.Merge(metrics_);
+  return report;
+}
+
+}  // namespace hetkg::core

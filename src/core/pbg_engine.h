@@ -1,0 +1,107 @@
+#ifndef HETKG_CORE_PBG_ENGINE_H_
+#define HETKG_CORE_PBG_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trainer.h"
+#include "embedding/adagrad.h"
+#include "embedding/embedding_table.h"
+#include "embedding/loss.h"
+#include "partition/bucketizer.h"
+
+namespace hetkg::core {
+
+/// EmbeddingLookup over in-process tables (used by PbgEngine).
+class TableLookup : public eval::EmbeddingLookup {
+ public:
+  TableLookup(const embedding::EmbeddingTable* entities,
+              const embedding::EmbeddingTable* relations)
+      : entities_(entities), relations_(relations) {}
+  std::span<const float> Entity(EntityId id) const override {
+    return entities_->Row(id);
+  }
+  std::span<const float> Relation(RelationId id) const override {
+    return relations_->Row(id);
+  }
+  size_t num_entities() const override { return entities_->num_rows(); }
+  size_t num_relations() const override { return relations_->num_rows(); }
+
+ private:
+  const embedding::EmbeddingTable* entities_;
+  const embedding::EmbeddingTable* relations_;
+};
+
+/// The PyTorch-BigGraph baseline (Sec. III-B): entities are split into
+/// p uniform partitions; triples form p x p buckets; a lock server
+/// schedules non-conflicting buckets onto machines; entity partitions
+/// are swapped through a shared filesystem between buckets; negatives
+/// are corrupted within the loaded partitions; and relation embeddings
+/// are treated as DENSE model weights synchronized with a shared
+/// parameter server every iteration — the behaviour the paper blames
+/// for PBG's communication volume (Fig. 7).
+class PbgEngine : public TrainingEngine {
+ public:
+  static Result<std::unique_ptr<PbgEngine>> Create(
+      const TrainerConfig& config, const graph::KnowledgeGraph& graph,
+      const std::vector<Triple>& train);
+
+  std::string_view name() const override { return "PBG"; }
+  void EnableValidation(const graph::KnowledgeGraph* graph,
+                        std::span<const Triple> valid,
+                        const eval::EvalOptions& options) override;
+  Result<TrainReport> Train(size_t num_epochs) override;
+  const eval::EmbeddingLookup& Embeddings() const override {
+    return lookup_;
+  }
+  const embedding::ScoreFunction& ScoreFn() const override {
+    return *score_fn_;
+  }
+
+  const partition::BucketPlan& plan() const { return plan_; }
+  const sim::ClusterSim& cluster() const { return cluster_; }
+
+ private:
+  PbgEngine(const TrainerConfig& config, const graph::KnowledgeGraph& graph);
+  Status Setup(const std::vector<Triple>& train);
+
+  /// Charges the shared-filesystem swap for `machine` taking bucket
+  /// (i, j): saves partitions it holds but no longer needs, loads the
+  /// missing ones.
+  void SwapPartitions(uint32_t machine, uint32_t i, uint32_t j);
+
+  /// Trains all triples of one bucket once on `machine`. Returns
+  /// (summed pair loss, pair count).
+  std::pair<double, uint64_t> TrainBucket(uint32_t machine,
+                                          uint32_t bucket_id);
+
+  TrainerConfig config_;
+  const graph::KnowledgeGraph& graph_;
+  sim::ClusterSim cluster_;
+
+  std::unique_ptr<embedding::ScoreFunction> score_fn_;
+  std::unique_ptr<embedding::LossFunction> loss_fn_;
+  embedding::EmbeddingTable entities_{1, 1};
+  embedding::EmbeddingTable relations_{1, 1};
+  std::unique_ptr<embedding::AdaGrad> entity_opt_;
+  std::unique_ptr<embedding::AdaGrad> relation_opt_;
+  TableLookup lookup_{nullptr, nullptr};
+
+  partition::BucketPlan plan_;
+  std::vector<std::vector<EntityId>> partition_entities_;
+  std::vector<std::vector<uint32_t>> machine_held_;  // Partitions held.
+  Rng rng_{0};
+  MetricRegistry metrics_;
+
+  const graph::KnowledgeGraph* valid_graph_ = nullptr;
+  std::span<const Triple> valid_triples_;
+  eval::EvalOptions valid_options_;
+
+  // Scratch.
+  std::unordered_map<EmbKey, std::vector<float>> scratch_grads_;
+};
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_PBG_ENGINE_H_

@@ -1,0 +1,575 @@
+#include "core/ps_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/hot_filter.h"
+#include "partition/metis_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace hetkg::core {
+
+namespace {
+
+/// Batches prefetched per refill when no DPS window drives prefetching.
+constexpr size_t kRefillWindow = 32;
+/// Modeled bookkeeping cost of prefetch counting, per counted access.
+constexpr uint64_t kPrefetchFlopsPerAccess = 8;
+/// Modeled cost of the filter's top-k selection, per candidate key.
+constexpr uint64_t kFilterFlopsPerKey = 16;
+/// Modeled optimizer cost per updated parameter.
+constexpr uint64_t kUpdateFlopsPerParam = 6;
+
+}  // namespace
+
+std::string_view SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHetKgCps:
+      return "HET-KG-C";
+    case SystemKind::kHetKgDps:
+      return "HET-KG-D";
+    case SystemKind::kDglKe:
+      return "DGL-KE";
+    case SystemKind::kPbg:
+      return "PBG";
+  }
+  return "Unknown";
+}
+
+Result<SystemKind> ParseSystemKind(std::string_view name) {
+  if (name == "hetkg-c" || name == "HET-KG-C" || name == "cps") {
+    return SystemKind::kHetKgCps;
+  }
+  if (name == "hetkg-d" || name == "HET-KG-D" || name == "dps") {
+    return SystemKind::kHetKgDps;
+  }
+  if (name == "dglke" || name == "DGL-KE") return SystemKind::kDglKe;
+  if (name == "pbg" || name == "PBG") return SystemKind::kPbg;
+  return Status::InvalidArgument("unknown system: " + std::string(name));
+}
+
+PsTrainingEngine::PsTrainingEngine(const TrainerConfig& config,
+                                   SyncController sync,
+                                   const graph::KnowledgeGraph& graph)
+    : config_(config),
+      sync_(sync),
+      graph_(graph),
+      cluster_(config.num_machines, config.network, config.compute) {}
+
+Result<std::unique_ptr<PsTrainingEngine>> PsTrainingEngine::Create(
+    const TrainerConfig& config, const graph::KnowledgeGraph& graph,
+    const std::vector<Triple>& train) {
+  if (config.num_machines == 0) {
+    return Status::InvalidArgument("need at least one machine");
+  }
+  if (train.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (config.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  HETKG_ASSIGN_OR_RETURN(SyncController sync,
+                         SyncController::Create(config.sync));
+  std::unique_ptr<PsTrainingEngine> engine(
+      new PsTrainingEngine(config, sync, graph));
+  HETKG_RETURN_IF_ERROR(engine->Setup(train));
+  return engine;
+}
+
+std::string_view PsTrainingEngine::name() const {
+  switch (sync_.config().strategy) {
+    case CacheStrategy::kCps:
+      return "HET-KG-C";
+    case CacheStrategy::kDps:
+      return "HET-KG-D";
+    case CacheStrategy::kNone:
+      return "DGL-KE";
+  }
+  return "Unknown";
+}
+
+Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
+  // Scoring model and loss.
+  HETKG_ASSIGN_OR_RETURN(
+      score_fn_, embedding::MakeScoreFunction(config_.model, config_.dim));
+  HETKG_ASSIGN_OR_RETURN(
+      loss_fn_,
+      embedding::MakeLossFunction(config_.loss, config_.margin,
+                                  config_.negatives_per_positive));
+
+  // Partition the training graph's entities across machines.
+  HETKG_ASSIGN_OR_RETURN(
+      graph::KnowledgeGraph train_graph,
+      graph::KnowledgeGraph::Create(graph_.num_entities(),
+                                    graph_.num_relations(), train,
+                                    "train"));
+  std::unique_ptr<partition::Partitioner> partitioner;
+  if (config_.partitioner == "metis") {
+    partition::MetisOptions options;
+    options.seed = config_.seed;
+    partitioner = std::make_unique<partition::MetisPartitioner>(options);
+  } else if (config_.partitioner == "random") {
+    partitioner = std::make_unique<partition::RandomPartitioner>(config_.seed);
+  } else {
+    return Status::InvalidArgument("unknown partitioner: " +
+                                   config_.partitioner);
+  }
+  HETKG_ASSIGN_OR_RETURN(
+      partition::PartitionResult parts,
+      partitioner->Partition(train_graph, config_.num_machines));
+
+  std::vector<std::vector<Triple>> worker_triples =
+      partition::AssignTriples(train_graph, parts);
+  // Tiny graphs can starve a worker; rebalance a triple over from the
+  // fullest list so every worker has work.
+  for (size_t w = 0; w < worker_triples.size(); ++w) {
+    if (!worker_triples[w].empty()) continue;
+    auto fullest = std::max_element(
+        worker_triples.begin(), worker_triples.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    if (fullest->size() <= 1) {
+      return Status::InvalidArgument(
+          "training set too small for the machine count");
+    }
+    worker_triples[w].push_back(fullest->back());
+    fullest->pop_back();
+  }
+
+  // Parameter server over the partition.
+  ps::PsConfig ps_config;
+  ps_config.num_entities = graph_.num_entities();
+  ps_config.num_relations = graph_.num_relations();
+  ps_config.entity_dim = config_.dim;
+  ps_config.relation_dim = score_fn_->RelationDim(config_.dim);
+  ps_config.learning_rate = config_.learning_rate;
+  ps_config.normalize_entities = score_fn_->NormalizesEntities();
+  ps_config.init_seed = config_.seed ^ 0xE1B0;
+  HETKG_ASSIGN_OR_RETURN(
+      server_, ps::ParameterServer::Create(ps_config,
+                                           std::move(parts.entity_part),
+                                           &cluster_));
+  server_->InitEmbeddings();
+  lookup_ = PsEmbeddingLookup(server_.get());
+
+  // Workers, one per machine.
+  const FilterQuota quota = ComputeQuota(
+      FilterOptions{config_.cache_capacity, config_.cache_entity_ratio,
+                    config_.heterogeneity_aware},
+      graph_.num_entities(), graph_.num_relations());
+  workers_.resize(config_.num_machines);
+  const std::vector<uint32_t> train_degrees =
+      config_.degree_weighted_negatives ? train_graph.EntityDegrees()
+                                        : std::vector<uint32_t>{};
+  Rng seeder(config_.seed ^ 0x5EED);
+  for (uint32_t m = 0; m < config_.num_machines; ++m) {
+    Worker& w = workers_[m];
+    w.machine = m;
+    w.triples = std::move(worker_triples[m]);
+    embedding::NegativeSamplerSpec sampler_spec;
+    sampler_spec.name = config_.negative_sampler;
+    sampler_spec.num_entities = graph_.num_entities();
+    sampler_spec.negatives_per_positive = config_.negatives_per_positive;
+    sampler_spec.chunk_size = config_.negative_chunk_size;
+    sampler_spec.seed = seeder.NextUint64();
+    sampler_spec.relation_corruption_prob =
+        config_.relation_corruption_prob;
+    sampler_spec.num_relations = graph_.num_relations();
+    if (config_.degree_weighted_negatives) {
+      sampler_spec.entity_degrees = &train_degrees;
+    }
+    HETKG_ASSIGN_OR_RETURN(w.sampler,
+                           embedding::MakeNegativeSampler(sampler_spec));
+    w.prefetcher = std::make_unique<Prefetcher>(
+        &w.triples, config_.batch_size, w.sampler.get(),
+        seeder.NextUint64());
+    if (sync_.config().strategy != CacheStrategy::kNone) {
+      w.cache = std::make_unique<HotEmbeddingTable>(
+          quota.entity_slots, quota.relation_slots, config_.dim,
+          ps_config.relation_dim, config_.learning_rate);
+    }
+    iterations_per_epoch_ =
+        std::max(iterations_per_epoch_, w.prefetcher->IterationsPerEpoch());
+  }
+  return Status::OK();
+}
+
+void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
+                                       size_t iter) {
+  FrequencyMap freq;
+  uint64_t accesses = 0;
+  if (whole_epoch) {
+    // CPS: count one full pass over the local subgraph; the counted
+    // samples are statistically identical to (though not literally) the
+    // trained ones, which an epoch-scale preload buffer could not hold.
+    accesses = w->prefetcher->PrefetchCountOnly(
+        w->prefetcher->IterationsPerEpoch(), &freq);
+  } else {
+    // DPS: the next D batches are both counted and queued for training.
+    PrefetchWindow window =
+        w->prefetcher->Prefetch(sync_.config().dps_window);
+    accesses = window.total_accesses;
+    freq = std::move(window.frequencies);
+    for (auto& batch : window.batches) {
+      w->batch_queue.push_back(std::move(batch));
+    }
+  }
+
+  const FilterOptions options{config_.cache_capacity,
+                              config_.cache_entity_ratio,
+                              config_.heterogeneity_aware};
+  const FilterQuota quota{w->cache->entity_slots(),
+                          w->cache->relation_slots()};
+  const std::vector<EmbKey> hot = FilterHotKeys(freq, options, quota);
+  const std::vector<EmbKey> admitted = w->cache->Assign(hot);
+  // Staleness clocks: evicted keys drop their entries; admitted keys
+  // are anchored at this iteration (their values are pulled below);
+  // retained keys keep their existing anchors.
+  for (auto it = w->last_refresh.begin(); it != w->last_refresh.end();) {
+    if (!w->cache->Contains(it->first)) {
+      it = w->last_refresh.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (EmbKey key : admitted) {
+    w->last_refresh[key] = iter;
+  }
+
+  // Charge the modeled bookkeeping cost of prefetch + filter.
+  cluster_.RecordCompute(w->machine,
+                         accesses * kPrefetchFlopsPerAccess +
+                             freq.size() * kFilterFlopsPerKey);
+  server_->metrics().Increment(metric::kCacheRebuilds);
+
+  // Pull values for newly admitted rows.
+  if (!admitted.empty()) {
+    scratch_pull_spans_.clear();
+    for (EmbKey key : admitted) {
+      scratch_pull_spans_.push_back(w->cache->Row(key));
+    }
+    server_->PullBatch(w->machine, admitted, scratch_pull_spans_);
+  }
+}
+
+void PsTrainingEngine::FlushPendingGradients(Worker* w) {
+  if (w->pending_grads.empty()) return;
+  std::vector<EmbKey> keys;
+  std::vector<std::span<const float>> grads;
+  keys.reserve(w->pending_grads.size());
+  grads.reserve(w->pending_grads.size());
+  for (const auto& [key, grad] : w->pending_grads) {
+    keys.push_back(key);
+    grads.emplace_back(grad.data(), grad.size());
+  }
+  server_->PushGradBatch(w->machine, keys, grads);
+  server_->metrics().Increment(metric::kWriteBackFlushes);
+  w->pending_grads.clear();
+}
+
+void PsTrainingEngine::FillBatchQueue(Worker* w) {
+  if (!w->batch_queue.empty()) return;
+  const size_t window = sync_.config().strategy == CacheStrategy::kDps
+                            ? sync_.config().dps_window
+                            : kRefillWindow;
+  PrefetchWindow prefetched = w->prefetcher->Prefetch(window);
+  cluster_.RecordCompute(
+      w->machine, prefetched.total_accesses * kPrefetchFlopsPerAccess);
+  for (auto& batch : prefetched.batches) {
+    w->batch_queue.push_back(std::move(batch));
+  }
+}
+
+std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
+  const bool has_cache = w->cache != nullptr;
+  if (has_cache) {
+    // Algorithm 3 lines 5-7: (re)construct when the fetch threshold D
+    // is reached.
+    const size_t write_back = sync_.config().write_back_period;
+    if (write_back > 1 && iter % write_back == 0) {
+      FlushPendingGradients(w);
+    }
+    if (iter == 0) {
+      ConstructHotSet(w, sync_.config().strategy == CacheStrategy::kCps,
+                      iter);
+    } else if (sync_.ShouldRebuild(iter)) {
+      // The rebuild may evict rows whose pending gradients would
+      // otherwise be dropped.
+      FlushPendingGradients(w);
+      ConstructHotSet(w, false, iter);
+    }
+  }
+  FillBatchQueue(w);
+  MiniBatch batch = std::move(w->batch_queue.front());
+  w->batch_queue.pop_front();
+
+  // Resolve every required row: cached rows are read in place, the rest
+  // are pulled from the PS in one accounted batch.
+  scratch_keys_ = BatchKeys(batch);
+  std::sort(scratch_keys_.begin(), scratch_keys_.end());  // Determinism.
+  scratch_missing_.clear();
+  scratch_rows_.clear();
+  scratch_grad_rows_.clear();
+  scratch_pull_spans_.clear();
+
+  size_t grad_floats = 0;
+  size_t value_floats = 0;
+  for (EmbKey key : scratch_keys_) {
+    const size_t width = server_->RowDim(key);
+    grad_floats += width;
+    const bool cached = has_cache && w->cache->Contains(key);
+    if (!cached) value_floats += width;
+  }
+  scratch_grads_.assign(grad_floats, 0.0f);
+  scratch_values_.resize(value_floats);
+
+  const bool on_access_refresh =
+      has_cache &&
+      sync_.config().refresh_mode == RefreshMode::kOnAccess;
+  uint64_t refreshed_rows = 0;
+  size_t grad_offset = 0;
+  size_t value_offset = 0;
+  for (EmbKey key : scratch_keys_) {
+    const size_t width = server_->RowDim(key);
+    scratch_grad_rows_[key] =
+        std::span<float>(scratch_grads_.data() + grad_offset, width);
+    grad_offset += width;
+    if (has_cache && w->cache->Contains(key)) {
+      ++w->hits;
+      scratch_rows_[key] = w->cache->Row(key);
+      if (on_access_refresh) {
+        // Fine-grained staleness: re-pull this row if its last refresh
+        // is older than P iterations.
+        auto [it, inserted] = w->last_refresh.try_emplace(key, iter);
+        if (!inserted &&
+            iter - it->second >= sync_.config().staleness_bound) {
+          it->second = iter;
+          scratch_missing_.push_back(key);
+          scratch_pull_spans_.push_back(w->cache->Row(key));
+          ++refreshed_rows;
+        }
+      }
+    } else {
+      ++w->misses;
+      std::span<float> dest(scratch_values_.data() + value_offset, width);
+      value_offset += width;
+      scratch_rows_[key] = dest;
+      scratch_missing_.push_back(key);
+      scratch_pull_spans_.push_back(dest);
+    }
+  }
+  if (refreshed_rows > 0) {
+    server_->metrics().Increment(metric::kCacheRefreshRows, refreshed_rows);
+  }
+  // Algorithm 3 lines 8-9: when the sync threshold P is reached, the
+  // latest versions of ALL cached hot-embeddings are pulled, bounding
+  // staleness by P. The refresh rides the iteration's pull batch so it
+  // costs bytes but no extra round-trips. (kOnAccess mode instead
+  // refreshed the stale rows inline above.)
+  if (has_cache && !on_access_refresh && iter != 0 &&
+      sync_.ShouldRefresh(iter)) {
+    FlushPendingGradients(w);
+    const std::vector<EmbKey> cached = w->cache->Keys();
+    for (EmbKey key : cached) {
+      scratch_missing_.push_back(key);
+      scratch_pull_spans_.push_back(w->cache->Row(key));
+    }
+    server_->metrics().Increment(metric::kCacheRefreshRows, cached.size());
+  }
+  if (!scratch_missing_.empty()) {
+    server_->PullBatch(w->machine, scratch_missing_, scratch_pull_spans_);
+  }
+
+  // Forward + backward over all (positive, negative) pairs.
+  auto row = [&](EmbKey key) -> std::span<const float> {
+    return scratch_rows_.find(key)->second;
+  };
+  auto grad = [&](EmbKey key) -> std::span<float> {
+    return scratch_grad_rows_.find(key)->second;
+  };
+
+  std::vector<double> pos_scores(batch.positives.size());
+  for (size_t i = 0; i < batch.positives.size(); ++i) {
+    const Triple& t = batch.positives[i];
+    pos_scores[i] = score_fn_->Score(row(EntityKey(t.head)),
+                                     row(RelationKey(t.relation)),
+                                     row(EntityKey(t.tail)));
+  }
+
+  double loss_sum = 0.0;
+  uint64_t pairs = 0;
+  uint64_t backward_calls = 0;
+  for (const auto& neg : batch.negatives) {
+    const Triple& nt = neg.triple;
+    const double neg_score = score_fn_->Score(row(EntityKey(nt.head)),
+                                              row(RelationKey(nt.relation)),
+                                              row(EntityKey(nt.tail)));
+    const embedding::LossGrad lg =
+        loss_fn_->PairLoss(pos_scores[neg.positive_index], neg_score);
+    loss_sum += lg.loss;
+    ++pairs;
+    if (lg.dpos != 0.0) {
+      const Triple& pt = batch.positives[neg.positive_index];
+      score_fn_->ScoreBackward(row(EntityKey(pt.head)),
+                               row(RelationKey(pt.relation)),
+                               row(EntityKey(pt.tail)), lg.dpos,
+                               grad(EntityKey(pt.head)),
+                               grad(RelationKey(pt.relation)),
+                               grad(EntityKey(pt.tail)));
+      ++backward_calls;
+    }
+    if (lg.dneg != 0.0) {
+      score_fn_->ScoreBackward(row(EntityKey(nt.head)),
+                               row(RelationKey(nt.relation)),
+                               row(EntityKey(nt.tail)), lg.dneg,
+                               grad(EntityKey(nt.head)),
+                               grad(RelationKey(nt.relation)),
+                               grad(EntityKey(nt.tail)));
+      ++backward_calls;
+    }
+  }
+  const uint64_t score_flops = score_fn_->FlopsPerTriple(config_.dim);
+  cluster_.RecordCompute(
+      w->machine,
+      (batch.positives.size() + batch.negatives.size() + backward_calls) *
+          score_flops / 2);
+
+  // Local cache update for hot rows, then push the gradients of this
+  // iteration to the PS (step 4 of Hot-Embedding Oriented Training).
+  // Keys whose gradient is identically zero (margin satisfied for every
+  // pair touching them, Algorithm 3 line 17) produce no update and are
+  // not pushed — matching sparse-gradient systems.
+  const bool normalize = score_fn_->NormalizesEntities();
+  std::vector<EmbKey> push_keys;
+  std::vector<std::span<const float>> push_spans;
+  push_keys.reserve(scratch_keys_.size());
+  push_spans.reserve(scratch_keys_.size());
+  uint64_t local_update_params = 0;
+  for (EmbKey key : scratch_keys_) {
+    const std::span<float> g = scratch_grad_rows_.find(key)->second;
+    bool nonzero = false;
+    for (float v : g) {
+      if (v != 0.0f) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (!nonzero) continue;
+    if (has_cache && w->cache->Contains(key)) {
+      w->cache->ApplyLocalGradient(key, g, normalize);
+      local_update_params += g.size();
+      if (sync_.config().write_back_period > 1) {
+        // Write-back: accumulate locally; the flush pushes it later.
+        auto [it, inserted] = w->pending_grads.try_emplace(key);
+        if (inserted) {
+          it->second.assign(g.begin(), g.end());
+        } else {
+          for (size_t j = 0; j < g.size(); ++j) {
+            it->second[j] += g[j];
+          }
+        }
+        continue;
+      }
+    }
+    push_keys.push_back(key);
+    push_spans.emplace_back(g.data(), g.size());
+  }
+  cluster_.RecordCompute(w->machine,
+                         local_update_params * kUpdateFlopsPerParam);
+  if (!push_keys.empty()) {
+    server_->PushGradBatch(w->machine, push_keys, push_spans);
+  }
+
+  server_->metrics().Increment(metric::kTriplesTrained,
+                               batch.positives.size());
+  server_->metrics().Increment(metric::kNegativesTrained,
+                               batch.negatives.size());
+  return {loss_sum, pairs};
+}
+
+void PsTrainingEngine::EnableValidation(const graph::KnowledgeGraph* graph,
+                                        std::span<const Triple> valid,
+                                        const eval::EvalOptions& options) {
+  valid_graph_ = graph;
+  valid_triples_ = valid;
+  valid_options_ = options;
+}
+
+double PsTrainingEngine::OverallHitRatio() const {
+  const uint64_t total = total_hits_ + total_misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(total_hits_) /
+                          static_cast<double>(total);
+}
+
+Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
+  TrainReport report;
+  double cumulative_seconds = 0.0;
+  for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    cluster_.Reset();
+    for (Worker& w : workers_) {
+      w.hits = 0;
+      w.misses = 0;
+    }
+    double loss_sum = 0.0;
+    uint64_t pair_count = 0;
+
+    Stopwatch wall;
+    for (size_t i = 0; i < iterations_per_epoch_; ++i) {
+      for (Worker& w : workers_) {
+        const auto [loss, pairs] = Step(&w, global_iteration_);
+        loss_sum += loss;
+        pair_count += pairs;
+      }
+      ++global_iteration_;
+    }
+    // Epoch boundary: write-back gradients may not linger (validation
+    // and checkpoints read the global tables).
+    for (Worker& w : workers_) {
+      FlushPendingGradients(&w);
+    }
+
+    EpochReport er;
+    er.epoch = epoch;
+    er.mean_loss = pair_count == 0 ? 0.0 : loss_sum / pair_count;
+    er.epoch_time = cluster_.CriticalPath();
+    cumulative_seconds += er.epoch_time.total_seconds();
+    er.cumulative_seconds = cumulative_seconds;
+    er.wall_seconds = wall.ElapsedSeconds();
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (const Worker& w : workers_) {
+      hits += w.hits;
+      misses += w.misses;
+    }
+    total_hits_ += hits;
+    total_misses_ += misses;
+    er.cache_hit_ratio =
+        (hits + misses) == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    er.remote_bytes = cluster_.TotalRemoteBytes();
+    report.total_remote_bytes += er.remote_bytes;
+    report.total_time.compute_seconds += er.epoch_time.compute_seconds;
+    report.total_time.comm_seconds += er.epoch_time.comm_seconds;
+    report.total_wall_seconds += er.wall_seconds;
+
+    if (valid_graph_ != nullptr && !valid_triples_.empty()) {
+      HETKG_ASSIGN_OR_RETURN(
+          er.valid_metrics,
+          eval::EvaluateLinkPrediction(lookup_, *score_fn_, *valid_graph_,
+                                       valid_triples_, valid_options_));
+      er.has_valid_metrics = true;
+    }
+    report.epochs.push_back(er);
+  }
+  report.overall_hit_ratio = OverallHitRatio();
+  report.metrics.Merge(server_->metrics());
+  const uint64_t total = total_hits_ + total_misses_;
+  report.metrics.Increment(metric::kCacheHits, total_hits_);
+  report.metrics.Increment(metric::kCacheMisses, total - total_hits_);
+  return report;
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,150 @@
+#ifndef HETKG_CORE_PS_ENGINE_H_
+#define HETKG_CORE_PS_ENGINE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hot_embedding_table.h"
+#include "core/prefetcher.h"
+#include "core/sync_controller.h"
+#include "core/trainer.h"
+#include "embedding/loss.h"
+#include "embedding/negative_sampler.h"
+#include "ps/parameter_server.h"
+
+namespace hetkg::core {
+
+/// EmbeddingLookup over a parameter server's global tables (evaluation
+/// reads are not charged to the network model).
+class PsEmbeddingLookup : public eval::EmbeddingLookup {
+ public:
+  explicit PsEmbeddingLookup(const ps::ParameterServer* server)
+      : server_(server) {}
+  std::span<const float> Entity(EntityId id) const override {
+    return server_->Value(EntityKey(id));
+  }
+  std::span<const float> Relation(RelationId id) const override {
+    return server_->Value(RelationKey(id));
+  }
+  size_t num_entities() const override {
+    return server_->config().num_entities;
+  }
+  size_t num_relations() const override {
+    return server_->config().num_relations;
+  }
+
+ private:
+  const ps::ParameterServer* server_;
+};
+
+/// Parameter-server training engine implementing Algorithms 1-4. The
+/// three PS-based systems of the paper are configurations of this one
+/// engine:
+///   * HET-KG-C : sync.strategy = kCps (whole-epoch hot set, fixed)
+///   * HET-KG-D : sync.strategy = kDps (hot set rebuilt every D iters)
+///   * DGL-KE   : sync.strategy = kNone (no worker cache)
+/// One worker runs per machine; each training iteration executes every
+/// worker once against the shared (simulated) cluster, and all
+/// embedding traffic flows through the ParameterServer's accounted
+/// pull/push paths.
+class PsTrainingEngine : public TrainingEngine {
+ public:
+  static Result<std::unique_ptr<PsTrainingEngine>> Create(
+      const TrainerConfig& config, const graph::KnowledgeGraph& graph,
+      const std::vector<Triple>& train);
+
+  std::string_view name() const override;
+  void EnableValidation(const graph::KnowledgeGraph* graph,
+                        std::span<const Triple> valid,
+                        const eval::EvalOptions& options) override;
+  Result<TrainReport> Train(size_t num_epochs) override;
+  const eval::EmbeddingLookup& Embeddings() const override {
+    return lookup_;
+  }
+  const embedding::ScoreFunction& ScoreFn() const override {
+    return *score_fn_;
+  }
+
+  /// Iterations that constitute one epoch (max over workers).
+  size_t IterationsPerEpoch() const { return iterations_per_epoch_; }
+
+  /// Cache hit ratio accumulated since construction.
+  double OverallHitRatio() const;
+
+  /// The simulated cluster (exposed for benches that inspect traffic).
+  const sim::ClusterSim& cluster() const { return cluster_; }
+
+ private:
+  struct Worker {
+    uint32_t machine = 0;
+    std::vector<Triple> triples;
+    std::unique_ptr<embedding::NegativeSampler> sampler;
+    std::unique_ptr<Prefetcher> prefetcher;
+    std::unique_ptr<HotEmbeddingTable> cache;
+    std::deque<MiniBatch> batch_queue;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// kOnAccess refresh bookkeeping: iteration of each cached row's
+    /// last pull from the PS.
+    std::unordered_map<EmbKey, size_t> last_refresh;
+    /// Write-back mode: locally accumulated, not-yet-pushed gradients
+    /// of cached rows.
+    std::unordered_map<EmbKey, std::vector<float>> pending_grads;
+  };
+
+  PsTrainingEngine(const TrainerConfig& config, SyncController sync,
+                   const graph::KnowledgeGraph& graph);
+
+  Status Setup(const std::vector<Triple>& train);
+
+  /// Builds (CPS: whole epoch, counting-only) or rebuilds (DPS: next D
+  /// batches) the worker's hot set, pulling newly admitted rows.
+  /// `iter` anchors the staleness clock of the freshly pulled rows.
+  void ConstructHotSet(Worker* w, bool whole_epoch, size_t iter);
+
+  /// Ensures the worker has a mini-batch ready.
+  void FillBatchQueue(Worker* w);
+
+  /// Pushes all locally accumulated (write-back) gradients to the PS.
+  void FlushPendingGradients(Worker* w);
+
+  /// One training iteration for one worker at global iteration `iter`.
+  /// Returns the summed pair loss and pair count.
+  std::pair<double, uint64_t> Step(Worker* w, size_t iter);
+
+  TrainerConfig config_;
+  SyncController sync_;
+  const graph::KnowledgeGraph& graph_;
+
+  sim::ClusterSim cluster_;
+  std::unique_ptr<ps::ParameterServer> server_;
+  std::unique_ptr<embedding::ScoreFunction> score_fn_;
+  std::unique_ptr<embedding::LossFunction> loss_fn_;
+  PsEmbeddingLookup lookup_{nullptr};
+
+  std::vector<Worker> workers_;
+  size_t iterations_per_epoch_ = 0;
+  size_t global_iteration_ = 0;
+  uint64_t total_hits_ = 0;
+  uint64_t total_misses_ = 0;
+
+  // Validation hookup.
+  const graph::KnowledgeGraph* valid_graph_ = nullptr;
+  std::span<const Triple> valid_triples_;
+  eval::EvalOptions valid_options_;
+
+  // Per-iteration scratch, reused to avoid allocation churn.
+  std::vector<EmbKey> scratch_keys_;
+  std::vector<EmbKey> scratch_missing_;
+  std::vector<float> scratch_values_;
+  std::vector<float> scratch_grads_;
+  std::vector<std::span<float>> scratch_pull_spans_;
+  std::unordered_map<EmbKey, std::span<float>> scratch_rows_;
+  std::unordered_map<EmbKey, std::span<float>> scratch_grad_rows_;
+};
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_PS_ENGINE_H_

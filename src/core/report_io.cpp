@@ -1,0 +1,45 @@
+#include "core/report_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hetkg::core {
+
+std::string TrainReportCsv(const TrainReport& report) {
+  std::ostringstream os;
+  os << "epoch,mean_loss,compute_s,comm_s,total_s,cumulative_s,wall_s,"
+        "hit_ratio,remote_bytes,valid_mrr\n";
+  char buf[256];
+  for (const EpochReport& e : report.epochs) {
+    std::snprintf(buf, sizeof(buf),
+                  "%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%llu,",
+                  e.epoch, e.mean_loss, e.epoch_time.compute_seconds,
+                  e.epoch_time.comm_seconds,
+                  e.epoch_time.total_seconds(), e.cumulative_seconds,
+                  e.wall_seconds, e.cache_hit_ratio,
+                  static_cast<unsigned long long>(e.remote_bytes));
+    os << buf;
+    if (e.has_valid_metrics) {
+      std::snprintf(buf, sizeof(buf), "%.6f", e.valid_metrics.mrr);
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteTrainReportCsv(const TrainReport& report,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << TrainReportCsv(report);
+  if (!out) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,25 @@
+#ifndef HETKG_CORE_REPORT_IO_H_
+#define HETKG_CORE_REPORT_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/trainer.h"
+
+namespace hetkg::core {
+
+/// Writes a TrainReport's per-epoch series as CSV:
+///   epoch,mean_loss,compute_s,comm_s,total_s,cumulative_s,wall_s,
+///   hit_ratio,remote_bytes,valid_mrr
+/// (valid_mrr is empty when validation was not enabled). This is the
+/// hand-off format for regenerating the paper's figures with any
+/// plotting tool.
+Status WriteTrainReportCsv(const TrainReport& report,
+                           const std::string& path);
+
+/// Renders the same series as a string (used by tests and for piping).
+std::string TrainReportCsv(const TrainReport& report);
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_REPORT_IO_H_

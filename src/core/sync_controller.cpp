@@ -1,0 +1,19 @@
+#include "core/sync_controller.h"
+
+namespace hetkg::core {
+
+Result<SyncController> SyncController::Create(const SyncConfig& config) {
+  if (config.strategy != CacheStrategy::kNone &&
+      config.staleness_bound == 0) {
+    return Status::InvalidArgument("staleness bound P must be >= 1");
+  }
+  if (config.strategy == CacheStrategy::kDps && config.dps_window == 0) {
+    return Status::InvalidArgument("DPS window D must be >= 1");
+  }
+  if (config.write_back_period == 0) {
+    return Status::InvalidArgument("write-back period must be >= 1");
+  }
+  return SyncController(config);
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,92 @@
+#ifndef HETKG_CORE_SYNC_CONTROLLER_H_
+#define HETKG_CORE_SYNC_CONTROLLER_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace hetkg::core {
+
+/// Cache construction strategies (Sec. IV-B).
+enum class CacheStrategy {
+  kNone,  // No worker cache: plain PS training (the DGL-KE baseline).
+  kCps,   // Constant partial stale: hot set fixed from a whole-epoch
+          // prefetch before training.
+  kDps,   // Dynamic partial stale: hot set rebuilt from the next D
+          // iterations' prefetch, every D iterations.
+};
+
+/// How cached values are refreshed against the staleness bound.
+enum class RefreshMode {
+  /// Algorithm 3 lines 8-9: every P iterations the ENTIRE hot table is
+  /// re-pulled — the paper's coarse-grained protocol, chosen over HET's
+  /// per-embedding clocks for simplicity.
+  kFullTable,
+  /// Fine-grained per-row staleness in the spirit of HET's embedding
+  /// clocks: a cached row is refreshed on access when its last refresh
+  /// is more than P iterations old. Rows that are cached but unread
+  /// generate no refresh traffic; every row actually READ is still at
+  /// most P iterations stale, so the convergence bound is preserved.
+  kOnAccess,
+};
+
+/// Timing of the hot-embedding synchronization protocol (Algorithms 3-4).
+struct SyncConfig {
+  CacheStrategy strategy = CacheStrategy::kCps;
+  /// P: cached values are re-pulled from the PS every P iterations,
+  /// bounding staleness by P (Sec. IV-C).
+  size_t staleness_bound = 8;
+  /// D: the DPS prefetch/rebuild window, in iterations.
+  size_t dps_window = 64;
+  RefreshMode refresh_mode = RefreshMode::kFullTable;
+  /// Write-back extension (beyond the paper): gradients for CACHED rows
+  /// are accumulated locally and pushed to the PS every
+  /// `write_back_period` iterations instead of every iteration. 1 =
+  /// the paper's write-through behaviour. Larger values cut push
+  /// traffic symmetrically to how the cache cuts pull traffic, at the
+  /// cost of the server lagging a worker's hot updates by up to this
+  /// many iterations. Pending gradients are always flushed before a
+  /// refresh or hot-set rebuild so no update is ever lost.
+  size_t write_back_period = 1;
+};
+
+/// Pure schedule logic of Algorithm 3's worker loop, factored out so the
+/// trigger arithmetic is testable in isolation. Iterations are counted
+/// from 0; construction happens before iteration 0 for every strategy.
+class SyncController {
+ public:
+  static Result<SyncController> Create(const SyncConfig& config);
+
+  const SyncConfig& config() const { return config_; }
+
+  /// True when the cached values must be refreshed from the PS before
+  /// running `iteration` (every P iterations, skipping iteration 0
+  /// where the cache was just filled).
+  bool ShouldRefresh(size_t iteration) const {
+    if (config_.strategy == CacheStrategy::kNone) return false;
+    return iteration != 0 && iteration % config_.staleness_bound == 0;
+  }
+
+  /// True when DPS must prefetch the next window and rebuild the hot
+  /// set before running `iteration`.
+  bool ShouldRebuild(size_t iteration) const {
+    if (config_.strategy != CacheStrategy::kDps) return false;
+    return iteration != 0 && iteration % config_.dps_window == 0;
+  }
+
+  /// Worst-case number of iterations a cached value may lag the global
+  /// value — the staleness bound the convergence analysis relies on.
+  size_t MaxStaleness() const {
+    return config_.strategy == CacheStrategy::kNone
+               ? 0
+               : config_.staleness_bound;
+  }
+
+ private:
+  explicit SyncController(const SyncConfig& config) : config_(config) {}
+  SyncConfig config_;
+};
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_SYNC_CONTROLLER_H_

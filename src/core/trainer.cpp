@@ -1,0 +1,49 @@
+#include "core/trainer.h"
+
+#include "core/pbg_engine.h"
+#include "core/ps_engine.h"
+
+namespace hetkg::core {
+
+Status SaveEngineCheckpoint(const TrainingEngine& engine,
+                            const std::string& path) {
+  const eval::EmbeddingLookup& lookup = engine.Embeddings();
+  const size_t entity_dim = lookup.Entity(0).size();
+  const size_t relation_dim = lookup.Relation(0).size();
+  embedding::EmbeddingTable entities(lookup.num_entities(), entity_dim);
+  embedding::EmbeddingTable relations(lookup.num_relations(), relation_dim);
+  for (size_t e = 0; e < lookup.num_entities(); ++e) {
+    entities.SetRow(e, lookup.Entity(static_cast<EntityId>(e)));
+  }
+  for (size_t r = 0; r < lookup.num_relations(); ++r) {
+    relations.SetRow(r, lookup.Relation(static_cast<RelationId>(r)));
+  }
+  return embedding::SaveCheckpoint(path, entities, relations);
+}
+
+Result<std::unique_ptr<TrainingEngine>> MakeEngine(
+    SystemKind system, const TrainerConfig& config,
+    const graph::KnowledgeGraph& graph, const std::vector<Triple>& train) {
+  TrainerConfig effective = config;
+  switch (system) {
+    case SystemKind::kHetKgCps:
+      effective.sync.strategy = CacheStrategy::kCps;
+      break;
+    case SystemKind::kHetKgDps:
+      effective.sync.strategy = CacheStrategy::kDps;
+      break;
+    case SystemKind::kDglKe:
+      effective.sync.strategy = CacheStrategy::kNone;
+      break;
+    case SystemKind::kPbg: {
+      HETKG_ASSIGN_OR_RETURN(std::unique_ptr<PbgEngine> engine,
+                             PbgEngine::Create(effective, graph, train));
+      return std::unique_ptr<TrainingEngine>(std::move(engine));
+    }
+  }
+  HETKG_ASSIGN_OR_RETURN(std::unique_ptr<PsTrainingEngine> engine,
+                         PsTrainingEngine::Create(effective, graph, train));
+  return std::unique_ptr<TrainingEngine>(std::move(engine));
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,159 @@
+#ifndef HETKG_CORE_TRAINER_H_
+#define HETKG_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "embedding/checkpoint.h"
+#include "core/sync_controller.h"
+#include "embedding/score_function.h"
+#include "eval/link_prediction.h"
+#include "graph/knowledge_graph.h"
+#include "sim/cluster.h"
+
+namespace hetkg::core {
+
+/// The four systems the paper compares (Sec. VI).
+enum class SystemKind {
+  kHetKgCps,  // HET-KG-C: constant partial stale cache.
+  kHetKgDps,  // HET-KG-D: dynamic partial stale cache.
+  kDglKe,     // PS training without a worker cache.
+  kPbg,       // Block training with lock server + dense relations.
+};
+std::string_view SystemKindName(SystemKind kind);
+Result<SystemKind> ParseSystemKind(std::string_view name);
+
+/// Everything needed to instantiate a distributed training run on the
+/// simulated cluster. Defaults are the reduced single-core scale; the
+/// paper-scale values are documented inline.
+struct TrainerConfig {
+  embedding::ModelKind model = embedding::ModelKind::kTransEL1;
+  size_t dim = 32;                  // Paper: 400.
+  double learning_rate = 0.1;      // Paper: 0.1.
+  std::string loss = "margin";     // "margin" | "logistic".
+  double margin = 1.0;
+  size_t batch_size = 32;          // Paper: 32 (FB15k/WN18), 512 (FB-86m).
+  size_t negatives_per_positive = 8;  // Paper: 8 / 128.
+  std::string negative_sampler = "batched";  // "uniform" | "batched".
+  size_t negative_chunk_size = 8;
+  /// Fraction of negatives corrupting the relation instead of an
+  /// endpoint (uniform sampler only; Sec. III-A's (h, r', t) variant).
+  double relation_corruption_prob = 0.0;
+  /// Draw replacement entities proportionally to degree^0.75 instead of
+  /// uniformly (uniform sampler only).
+  bool degree_weighted_negatives = false;
+
+  size_t num_machines = 4;         // Paper: 4; one worker per machine.
+  std::string partitioner = "metis";  // "metis" | "random".
+
+  /// Cache construction + synchronization (HET-KG systems only).
+  SyncConfig sync;
+  size_t cache_capacity = 4096;    // Hot-embedding rows per worker.
+  double cache_entity_ratio = 0.25;
+  bool heterogeneity_aware = true;
+
+  /// PBG-only: number of entity partitions p (>= 2 * machines).
+  size_t pbg_partitions = 8;
+  /// PBG-only: iterations between dense relation-weight synchronizations
+  /// with the shared parameter server. Real PBG syncs relation gradients
+  /// through an asynchronous, rate-limited PS rather than per batch;
+  /// this period models that rate.
+  size_t pbg_relation_sync_period = 4;
+
+  sim::NetworkConfig network;
+  sim::ComputeConfig compute;
+  uint64_t seed = 1234;
+};
+
+/// Per-epoch observables. Times are the simulated cluster critical path
+/// (what the paper's Time columns and Fig. 7 stacks report); wall time
+/// is the real time this process spent and is reported separately.
+struct EpochReport {
+  size_t epoch = 0;
+  double mean_loss = 0.0;
+  sim::TimeBreakdown epoch_time;
+  double cumulative_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double cache_hit_ratio = 0.0;
+  uint64_t remote_bytes = 0;
+  bool has_valid_metrics = false;
+  eval::EvalMetrics valid_metrics;
+};
+
+/// Outcome of a full training run.
+struct TrainReport {
+  std::vector<EpochReport> epochs;
+  sim::TimeBreakdown total_time;
+  double total_wall_seconds = 0.0;
+  double overall_hit_ratio = 0.0;
+  uint64_t total_remote_bytes = 0;
+  MetricRegistry metrics;
+};
+
+/// Common interface of the three engine families.
+class TrainingEngine {
+ public:
+  virtual ~TrainingEngine() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Enables per-epoch validation MRR tracking (Fig. 5 / Fig. 9 curves).
+  /// `graph` and `valid` must outlive the engine.
+  virtual void EnableValidation(const graph::KnowledgeGraph* graph,
+                                std::span<const Triple> valid,
+                                const eval::EvalOptions& options) = 0;
+
+  /// Trains `num_epochs` epochs and returns the per-epoch reports.
+  virtual Result<TrainReport> Train(size_t num_epochs) = 0;
+
+  /// Read-only view of the trained global embeddings.
+  virtual const eval::EmbeddingLookup& Embeddings() const = 0;
+
+  /// Scoring model in use (for evaluation).
+  virtual const embedding::ScoreFunction& ScoreFn() const = 0;
+};
+
+/// Snapshots an engine's trained global embeddings to `path` (see
+/// embedding/checkpoint.h for the format). A saved checkpoint can be
+/// reloaded with embedding::LoadCheckpoint and evaluated through
+/// CheckpointLookup without re-training.
+Status SaveEngineCheckpoint(const TrainingEngine& engine,
+                            const std::string& path);
+
+/// EmbeddingLookup over a loaded checkpoint (the checkpoint must
+/// outlive the lookup).
+class CheckpointLookup : public eval::EmbeddingLookup {
+ public:
+  explicit CheckpointLookup(const embedding::Checkpoint* checkpoint)
+      : checkpoint_(checkpoint) {}
+  std::span<const float> Entity(EntityId id) const override {
+    return checkpoint_->entities.Row(id);
+  }
+  std::span<const float> Relation(RelationId id) const override {
+    return checkpoint_->relations.Row(id);
+  }
+  size_t num_entities() const override {
+    return checkpoint_->entities.num_rows();
+  }
+  size_t num_relations() const override {
+    return checkpoint_->relations.num_rows();
+  }
+
+ private:
+  const embedding::Checkpoint* checkpoint_;
+};
+
+/// Builds the engine for `system`, wiring the sync strategy implied by
+/// the system kind (CPS/DPS/no-cache) into `config.sync.strategy`.
+/// `graph` supplies entity/relation counts and the partitioning
+/// structure; `train` is the triple list to train on. Both must outlive
+/// the engine.
+Result<std::unique_ptr<TrainingEngine>> MakeEngine(
+    SystemKind system, const TrainerConfig& config,
+    const graph::KnowledgeGraph& graph, const std::vector<Triple>& train);
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_TRAINER_H_

@@ -1,0 +1,38 @@
+#include "embedding/adagrad.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hetkg::embedding {
+
+AdaGrad::AdaGrad(size_t num_rows, size_t dim, double learning_rate,
+                 double epsilon)
+    : dim_(dim),
+      learning_rate_(learning_rate),
+      epsilon_(epsilon),
+      accum_(num_rows * dim, 0.0f) {
+  assert(dim > 0);
+  assert(learning_rate > 0.0);
+}
+
+void AdaGrad::ResetRow(size_t i) {
+  float* acc = accum_.data() + i * dim_;
+  for (size_t j = 0; j < dim_; ++j) {
+    acc[j] = 0.0f;
+  }
+}
+
+void AdaGrad::Apply(size_t row_index, std::span<float> row,
+                    std::span<const float> grad) {
+  assert(row.size() == dim_);
+  assert(grad.size() == dim_);
+  float* acc = accum_.data() + row_index * dim_;
+  for (size_t j = 0; j < dim_; ++j) {
+    const double g = grad[j];
+    acc[j] += static_cast<float>(g * g);
+    row[j] -= static_cast<float>(learning_rate_ * g /
+                                 std::sqrt(static_cast<double>(acc[j]) + epsilon_));
+  }
+}
+
+}  // namespace hetkg::embedding

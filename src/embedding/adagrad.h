@@ -1,0 +1,53 @@
+#ifndef HETKG_EMBEDDING_ADAGRAD_H_
+#define HETKG_EMBEDDING_ADAGRAD_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetkg::embedding {
+
+/// Sparse AdaGrad (Duchi et al.), the optimizer used by the paper's
+/// Algorithm 4 on the parameter server:
+///   G_i  += g_i * g_i            (per-coordinate accumulator)
+///   w_i  -= lr * g_i / sqrt(G_i + eps)
+///
+/// State is one accumulator per parameter, allocated per row lazily is
+/// unnecessary here since tables are dense; we keep a parallel table.
+class AdaGrad {
+ public:
+  /// `num_rows` x `dim` accumulator initialized to zero.
+  AdaGrad(size_t num_rows, size_t dim, double learning_rate,
+          double epsilon = 1e-10);
+
+  /// Applies gradient `grad` to parameter row `row` (both length dim).
+  void Apply(size_t row_index, std::span<float> row,
+             std::span<const float> grad);
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+  size_t dim() const { return dim_; }
+
+  /// Accumulator row, exposed for tests and for checkpointing.
+  std::span<const float> AccumulatorRow(size_t i) const {
+    return {accum_.data() + i * dim_, dim_};
+  }
+
+  /// Clears one row's accumulator (used when a cache slot is reassigned
+  /// to a different embedding).
+  void ResetRow(size_t i);
+
+  /// Memory held by the optimizer state (the paper notes AdaGrad's
+  /// extra memory cost in Sec. VI-A).
+  size_t SizeBytes() const { return accum_.size() * sizeof(float); }
+
+ private:
+  size_t dim_;
+  double learning_rate_;
+  double epsilon_;
+  std::vector<float> accum_;
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_ADAGRAD_H_

@@ -1,0 +1,134 @@
+#include "embedding/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace hetkg::embedding {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'E', 'T', 'K', 'G', 'C', 'K', '1'};
+
+/// Order-sensitive 64-bit mix over the payload, cheap but sensitive to
+/// any flipped byte.
+uint64_t ChecksumRows(const EmbeddingTable& table, uint64_t state) {
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (float v : table.Row(i)) {
+      uint32_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      state = (state ^ bits) * 0x100000001B3ULL;
+    }
+  }
+  return state;
+}
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+void WriteRows(std::ofstream& out, const EmbeddingTable& table) {
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto row = table.Row(i);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+}
+
+bool ReadRows(std::ifstream& in, EmbeddingTable* table) {
+  std::vector<float> row(table->dim());
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+    if (!in) return false;
+    table->SetRow(i, row);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const EmbeddingTable& entities,
+                      const EmbeddingTable& relations) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(kMagic, sizeof(kMagic));
+    WriteU64(out, entities.num_rows());
+    WriteU64(out, entities.dim());
+    WriteU64(out, relations.num_rows());
+    WriteU64(out, relations.dim());
+    WriteRows(out, entities);
+    WriteRows(out, relations);
+    uint64_t checksum = 0xCBF29CE484222325ULL;
+    checksum = ChecksumRows(entities, checksum);
+    checksum = ChecksumRows(relations, checksum);
+    WriteU64(out, checksum);
+    if (!out) {
+      return Status::IoError("short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  uint64_t num_entities = 0;
+  uint64_t entity_dim = 0;
+  uint64_t num_relations = 0;
+  uint64_t relation_dim = 0;
+  if (!ReadU64(in, &num_entities) || !ReadU64(in, &entity_dim) ||
+      !ReadU64(in, &num_relations) || !ReadU64(in, &relation_dim)) {
+    return Status::Corruption("truncated checkpoint header in " + path);
+  }
+  if (num_entities == 0 || entity_dim == 0 || num_relations == 0 ||
+      relation_dim == 0) {
+    return Status::Corruption("zero-sized table in checkpoint header");
+  }
+  // Refuse absurd shapes before allocating.
+  constexpr uint64_t kMaxElements = 1ULL << 36;  // 256 GiB of floats.
+  if (num_entities * entity_dim > kMaxElements ||
+      num_relations * relation_dim > kMaxElements) {
+    return Status::Corruption("implausible checkpoint shape");
+  }
+
+  Checkpoint ck;
+  ck.entities = EmbeddingTable(num_entities, entity_dim);
+  ck.relations = EmbeddingTable(num_relations, relation_dim);
+  if (!ReadRows(in, &ck.entities) || !ReadRows(in, &ck.relations)) {
+    return Status::Corruption("truncated checkpoint payload in " + path);
+  }
+  uint64_t stored_checksum = 0;
+  if (!ReadU64(in, &stored_checksum)) {
+    return Status::Corruption("missing checkpoint checksum in " + path);
+  }
+  uint64_t checksum = 0xCBF29CE484222325ULL;
+  checksum = ChecksumRows(ck.entities, checksum);
+  checksum = ChecksumRows(ck.relations, checksum);
+  if (checksum != stored_checksum) {
+    return Status::Corruption("checkpoint checksum mismatch in " + path);
+  }
+  return ck;
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,34 @@
+#ifndef HETKG_EMBEDDING_CHECKPOINT_H_
+#define HETKG_EMBEDDING_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "embedding/embedding_table.h"
+
+namespace hetkg::embedding {
+
+/// On-disk snapshot of a trained model: both embedding tables plus the
+/// shape metadata needed to reload them without external context.
+///
+/// Format (little-endian):
+///   magic "HETKGCK1" | u64 num_entities | u64 entity_dim
+///   | u64 num_relations | u64 relation_dim
+///   | entity rows (f32) | relation rows (f32) | u64 xor-checksum
+struct Checkpoint {
+  EmbeddingTable entities{1, 1};
+  EmbeddingTable relations{1, 1};
+};
+
+/// Writes `entities` and `relations` to `path` atomically (temp file +
+/// rename), so a crash never leaves a truncated checkpoint behind.
+Status SaveCheckpoint(const std::string& path, const EmbeddingTable& entities,
+                      const EmbeddingTable& relations);
+
+/// Reads a checkpoint; fails with Corruption on bad magic, size
+/// mismatch, or checksum failure.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_CHECKPOINT_H_

@@ -1,0 +1,57 @@
+#include "embedding/complex.h"
+
+#include <cassert>
+
+namespace hetkg::embedding {
+
+double ComplEx::Score(std::span<const float> h, std::span<const float> r,
+                      std::span<const float> t) const {
+  assert(h.size() % 2 == 0);
+  assert(h.size() == r.size() && h.size() == t.size());
+  const size_t m = h.size() / 2;
+  const float* hr = h.data();
+  const float* hi = h.data() + m;
+  const float* rr = r.data();
+  const float* ri = r.data() + m;
+  const float* tr = t.data();
+  const float* ti = t.data() + m;
+  double acc = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    acc += static_cast<double>(hr[j]) * rr[j] * tr[j] +
+           static_cast<double>(hi[j]) * rr[j] * ti[j] +
+           static_cast<double>(hr[j]) * ri[j] * ti[j] -
+           static_cast<double>(hi[j]) * ri[j] * tr[j];
+  }
+  return acc;
+}
+
+void ComplEx::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                            std::span<const float> t, double upstream,
+                            std::span<float> gh, std::span<float> gr,
+                            std::span<float> gt) const {
+  assert(h.size() % 2 == 0);
+  const size_t m = h.size() / 2;
+  const float* hr = h.data();
+  const float* hi = h.data() + m;
+  const float* rr = r.data();
+  const float* ri = r.data() + m;
+  const float* tr = t.data();
+  const float* ti = t.data() + m;
+  float* ghr = gh.data();
+  float* ghi = gh.data() + m;
+  float* grr = gr.data();
+  float* gri = gr.data() + m;
+  float* gtr = gt.data();
+  float* gti = gt.data() + m;
+  const float u = static_cast<float>(upstream);
+  for (size_t j = 0; j < m; ++j) {
+    ghr[j] += u * (rr[j] * tr[j] + ri[j] * ti[j]);
+    ghi[j] += u * (rr[j] * ti[j] - ri[j] * tr[j]);
+    grr[j] += u * (hr[j] * tr[j] + hi[j] * ti[j]);
+    gri[j] += u * (hr[j] * ti[j] - hi[j] * tr[j]);
+    gtr[j] += u * (hr[j] * rr[j] - hi[j] * ri[j]);
+    gti[j] += u * (hi[j] * rr[j] + hr[j] * ri[j]);
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,32 @@
+#ifndef HETKG_EMBEDDING_COMPLEX_H_
+#define HETKG_EMBEDDING_COMPLEX_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// ComplEx (Trouillon et al., 2016): embeddings in C^{d/2}, stored as
+/// [real parts | imaginary parts] in one row of length d (d must be
+/// even). score(h, r, t) = Re(<h, r, conj(t)>), which for component j:
+///   re_h re_r re_t + im_h re_r im_t + re_h im_r im_t - im_h im_r re_t
+/// Handles asymmetric relations that DistMult cannot model.
+class ComplEx : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kComplEx; }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    return 22 * static_cast<uint64_t>(entity_dim);
+  }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_COMPLEX_H_

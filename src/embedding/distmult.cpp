@@ -1,0 +1,30 @@
+#include "embedding/distmult.h"
+
+#include <cassert>
+
+namespace hetkg::embedding {
+
+double DistMult::Score(std::span<const float> h, std::span<const float> r,
+                       std::span<const float> t) const {
+  assert(h.size() == r.size() && h.size() == t.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    acc += static_cast<double>(h[i]) * r[i] * t[i];
+  }
+  return acc;
+}
+
+void DistMult::ScoreBackward(std::span<const float> h,
+                             std::span<const float> r,
+                             std::span<const float> t, double upstream,
+                             std::span<float> gh, std::span<float> gr,
+                             std::span<float> gt) const {
+  assert(h.size() == r.size() && h.size() == t.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    gh[i] += static_cast<float>(upstream * r[i] * t[i]);
+    gr[i] += static_cast<float>(upstream * h[i] * t[i]);
+    gt[i] += static_cast<float>(upstream * h[i] * r[i]);
+  }
+}
+
+}  // namespace hetkg::embedding

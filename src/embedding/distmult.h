@@ -1,0 +1,30 @@
+#ifndef HETKG_EMBEDDING_DISTMULT_H_
+#define HETKG_EMBEDDING_DISTMULT_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// DistMult (Yang et al., 2015): score(h, r, t) = sum_i h_i * r_i * t_i,
+/// i.e., RESCAL restricted to a diagonal relation matrix. The semantic-
+/// matching model used in the paper's FB15k and WN18 experiments.
+class DistMult : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kDistMult; }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    return 9 * static_cast<uint64_t>(entity_dim);
+  }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_DISTMULT_H_

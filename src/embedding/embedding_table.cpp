@@ -1,0 +1,76 @@
+#include "embedding/embedding_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hetkg::embedding {
+
+EmbeddingTable::EmbeddingTable(size_t num_rows, size_t dim)
+    : num_rows_(num_rows), dim_(dim), data_(num_rows * dim, 0.0f) {
+  assert(dim > 0);
+}
+
+void EmbeddingTable::SetRow(size_t i, std::span<const float> values) {
+  assert(i < num_rows_);
+  assert(values.size() == dim_);
+  std::copy(values.begin(), values.end(), data_.begin() + i * dim_);
+}
+
+void EmbeddingTable::AccumulateRow(size_t i, std::span<const float> delta) {
+  assert(i < num_rows_);
+  assert(delta.size() == dim_);
+  float* row = data_.data() + i * dim_;
+  for (size_t j = 0; j < dim_; ++j) {
+    row[j] += delta[j];
+  }
+}
+
+void EmbeddingTable::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void EmbeddingTable::InitUniform(Rng* rng, float bound) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->NextUniform(-bound, bound));
+  }
+}
+
+void EmbeddingTable::InitXavierUniform(Rng* rng) {
+  InitUniform(rng, 6.0f / std::sqrt(static_cast<float>(dim_)));
+}
+
+void EmbeddingTable::InitGaussian(Rng* rng, float stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng->NextGaussian() * stddev);
+  }
+}
+
+void EmbeddingTable::L2NormalizeRow(size_t i) {
+  auto row = Row(i);
+  const double norm = RowNorm(row);
+  if (norm <= 1e-12) return;
+  const float inv = static_cast<float>(1.0 / norm);
+  for (float& v : row) {
+    v *= inv;
+  }
+}
+
+double RowNorm(std::span<const float> row) {
+  double sum = 0.0;
+  for (float v : row) {
+    sum += static_cast<double>(v) * v;
+  }
+  return std::sqrt(sum);
+}
+
+double RowDot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,67 @@
+#ifndef HETKG_EMBEDDING_EMBEDDING_TABLE_H_
+#define HETKG_EMBEDDING_EMBEDDING_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hetkg::embedding {
+
+/// Dense row-major embedding storage: `num_rows` vectors of `dim`
+/// floats. This is the storage unit shared by the parameter-server
+/// shards (global embeddings) and the worker caches (hot embeddings).
+class EmbeddingTable {
+ public:
+  EmbeddingTable(size_t num_rows, size_t dim);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t dim() const { return dim_; }
+
+  std::span<float> Row(size_t i) {
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const float> Row(size_t i) const {
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  /// Overwrites row `i` with `values` (must have length dim()).
+  void SetRow(size_t i, std::span<const float> values);
+
+  /// Adds `delta` into row `i`.
+  void AccumulateRow(size_t i, std::span<const float> delta);
+
+  /// Fills every entry with `value` (typically 0 for gradient buffers).
+  void Fill(float value);
+
+  /// Uniform init in [-bound, bound]; the conventional KGE choice is
+  /// bound = 6 / sqrt(dim) (Xavier-style), which InitXavierUniform uses.
+  void InitUniform(Rng* rng, float bound);
+  void InitXavierUniform(Rng* rng);
+  void InitGaussian(Rng* rng, float stddev);
+
+  /// L2-normalizes row `i` in place (no-op on the zero vector). TransE
+  /// applies this to entity rows after updates, per Bordes et al.
+  void L2NormalizeRow(size_t i);
+
+  /// Total parameter bytes (for memory/communication accounting).
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  size_t num_rows_;
+  size_t dim_;
+  std::vector<float> data_;
+};
+
+/// Per-row L2 norms, mainly for tests/diagnostics.
+double RowNorm(std::span<const float> row);
+
+/// Dot product of two rows of equal length.
+double RowDot(std::span<const float> a, std::span<const float> b);
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_EMBEDDING_TABLE_H_

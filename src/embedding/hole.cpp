@@ -1,0 +1,55 @@
+#include "embedding/hole.h"
+
+#include <cassert>
+
+namespace hetkg::embedding {
+
+double HolE::Score(std::span<const float> h, std::span<const float> r,
+                   std::span<const float> t) const {
+  const size_t d = h.size();
+  assert(r.size() == d && t.size() == d);
+  double acc = 0.0;
+  for (size_t k = 0; k < d; ++k) {
+    double corr = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      corr += static_cast<double>(h[i]) * t[(k + i) % d];
+    }
+    acc += static_cast<double>(r[k]) * corr;
+  }
+  return acc;
+}
+
+void HolE::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                         std::span<const float> t, double upstream,
+                         std::span<float> gh, std::span<float> gr,
+                         std::span<float> gt) const {
+  const size_t d = h.size();
+  const float u = static_cast<float>(upstream);
+  // score = sum_k r_k sum_i h_i t_{(k+i)%d}
+  //   d/dr_k = sum_i h_i t_{(k+i)%d}
+  //   d/dh_i = sum_k r_k t_{(k+i)%d}
+  //   d/dt_m = sum_k r_k h_{(m-k+d)%d}
+  for (size_t k = 0; k < d; ++k) {
+    double corr = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      corr += static_cast<double>(h[i]) * t[(k + i) % d];
+    }
+    gr[k] += u * static_cast<float>(corr);
+  }
+  for (size_t i = 0; i < d; ++i) {
+    double acc = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      acc += static_cast<double>(r[k]) * t[(k + i) % d];
+    }
+    gh[i] += u * static_cast<float>(acc);
+  }
+  for (size_t m = 0; m < d; ++m) {
+    double acc = 0.0;
+    for (size_t k = 0; k < d; ++k) {
+      acc += static_cast<double>(r[k]) * h[(m + d - k) % d];
+    }
+    gt[m] += u * static_cast<float>(acc);
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,34 @@
+#ifndef HETKG_EMBEDDING_HOLE_H_
+#define HETKG_EMBEDDING_HOLE_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// HolE (Nickel et al., 2016): scores by circular correlation,
+/// "compressing the pairwise interactions of RESCAL" (paper Sec. II):
+///   score(h, r, t) = r . (h (star) t)
+///   (h (star) t)_k = sum_i h_i * t_{(k + i) mod d}
+/// Implemented as the direct O(d^2) correlation (an FFT would pay off
+/// only at dimensions far above this library's range).
+class HolE : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kHolE; }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    const uint64_t d = entity_dim;
+    return 6 * d * d;
+  }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_HOLE_H_

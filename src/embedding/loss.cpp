@@ -1,0 +1,61 @@
+#include "embedding/loss.h"
+
+#include <cmath>
+#include <string>
+
+namespace hetkg::embedding {
+
+namespace {
+
+/// Numerically stable log(1 + exp(x)).
+double Softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+/// Numerically stable 1 / (1 + exp(-x)).
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace
+
+LossGrad MarginRankingLoss::PairLoss(double pos_score,
+                                     double neg_score) const {
+  LossGrad out;
+  const double violation = margin_ - pos_score + neg_score;
+  if (violation > 0.0) {
+    out.loss = violation;
+    out.dpos = -1.0;
+    out.dneg = 1.0;
+  }
+  return out;
+}
+
+LossGrad LogisticLoss::PairLoss(double pos_score, double neg_score) const {
+  LossGrad out;
+  out.loss = pos_weight_ * Softplus(-pos_score) + Softplus(neg_score);
+  out.dpos = -pos_weight_ * Sigmoid(-pos_score);
+  out.dneg = Sigmoid(neg_score);
+  return out;
+}
+
+Result<std::unique_ptr<LossFunction>> MakeLossFunction(
+    std::string_view name, double margin, size_t negatives_per_positive) {
+  if (name == "margin") {
+    return std::unique_ptr<LossFunction>(new MarginRankingLoss(margin));
+  }
+  if (name == "logistic") {
+    return std::unique_ptr<LossFunction>(
+        new LogisticLoss(negatives_per_positive));
+  }
+  return Status::InvalidArgument("unknown loss: " + std::string(name));
+}
+
+}  // namespace hetkg::embedding

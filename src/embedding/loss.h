@@ -1,0 +1,70 @@
+#ifndef HETKG_EMBEDDING_LOSS_H_
+#define HETKG_EMBEDDING_LOSS_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hetkg::embedding {
+
+/// Loss value and its partials w.r.t. the positive and negative scores.
+struct LossGrad {
+  double loss = 0.0;
+  double dpos = 0.0;
+  double dneg = 0.0;
+};
+
+/// A pairwise training objective over (positive score, negative score).
+/// KGE training generates `n` negatives per positive; the loss sees each
+/// (positive, negative) pair once, so implementations that also penalize
+/// the positive on its own weight that term by 1/n to avoid counting it
+/// n times.
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Loss and gradients for one (positive, negative) score pair.
+  virtual LossGrad PairLoss(double pos_score, double neg_score) const = 0;
+};
+
+/// Margin ranking loss (the paper's Eq. 2):
+///   L = max(0, gamma - pos + neg)
+/// dL/dpos = -1 and dL/dneg = +1 when the margin is violated, else 0.
+class MarginRankingLoss : public LossFunction {
+ public:
+  explicit MarginRankingLoss(double margin) : margin_(margin) {}
+  std::string_view name() const override { return "margin"; }
+  LossGrad PairLoss(double pos_score, double neg_score) const override;
+  double margin() const { return margin_; }
+
+ private:
+  double margin_;
+};
+
+/// Logistic loss (the paper's Eq. 1):
+///   L = softplus(-pos) / n + softplus(neg)
+/// where n = negatives per positive so the positive term is counted
+/// exactly once per positive triple across its n pairs.
+class LogisticLoss : public LossFunction {
+ public:
+  explicit LogisticLoss(size_t negatives_per_positive)
+      : pos_weight_(1.0 / static_cast<double>(
+                              negatives_per_positive == 0
+                                  ? 1
+                                  : negatives_per_positive)) {}
+  std::string_view name() const override { return "logistic"; }
+  LossGrad PairLoss(double pos_score, double neg_score) const override;
+
+ private:
+  double pos_weight_;
+};
+
+/// Parses "margin" / "logistic".
+Result<std::unique_ptr<LossFunction>> MakeLossFunction(
+    std::string_view name, double margin, size_t negatives_per_positive);
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_LOSS_H_

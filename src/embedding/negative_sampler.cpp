@@ -1,0 +1,180 @@
+#include "embedding/negative_sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace hetkg::embedding {
+
+UniformNegativeSampler::UniformNegativeSampler(size_t num_entities,
+                                               size_t negatives_per_positive,
+                                               uint64_t seed)
+    : NegativeSampler(num_entities, negatives_per_positive, seed) {
+  assert(num_entities >= 2);
+}
+
+Status UniformNegativeSampler::EnableRelationCorruption(
+    double probability, size_t num_relations) {
+  if (probability < 0.0 || probability > 1.0) {
+    return Status::InvalidArgument("probability must be in [0, 1]");
+  }
+  if (probability > 0.0 && num_relations < 2) {
+    return Status::InvalidArgument(
+        "relation corruption needs at least two relations");
+  }
+  relation_corruption_prob_ = probability;
+  num_relations_ = num_relations;
+  return Status::OK();
+}
+
+Status UniformNegativeSampler::EnableDegreeWeighting(
+    const std::vector<uint32_t>& entity_degrees) {
+  if (entity_degrees.size() != num_entities_) {
+    return Status::InvalidArgument("degree vector size mismatch");
+  }
+  std::vector<double> weights(entity_degrees.size());
+  double total = 0.0;
+  for (size_t e = 0; e < entity_degrees.size(); ++e) {
+    // degree^0.75 with +1 smoothing so isolated entities stay samplable.
+    weights[e] = std::pow(static_cast<double>(entity_degrees[e]) + 1.0, 0.75);
+    total += weights[e];
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("degenerate degree distribution");
+  }
+  degree_sampler_ =
+      std::make_unique<AliasSampler>(weights, rng_.NextUint64());
+  return Status::OK();
+}
+
+EntityId UniformNegativeSampler::DrawEntity() {
+  if (degree_sampler_ != nullptr) {
+    return static_cast<EntityId>(degree_sampler_->Next());
+  }
+  return static_cast<EntityId>(rng_.NextBounded(num_entities_));
+}
+
+void UniformNegativeSampler::Sample(std::span<const Triple> positives,
+                                    std::vector<NegativeSample>* out) {
+  out->clear();
+  out->reserve(positives.size() * negatives_per_positive_);
+  for (uint32_t i = 0; i < positives.size(); ++i) {
+    const Triple& pos = positives[i];
+    for (size_t k = 0; k < negatives_per_positive_; ++k) {
+      NegativeSample neg;
+      neg.positive_index = i;
+      neg.triple = pos;
+      if (relation_corruption_prob_ > 0.0 &&
+          rng_.NextBernoulli(relation_corruption_prob_)) {
+        neg.corruption = Corruption::kRelation;
+        neg.triple.relation =
+            static_cast<RelationId>(rng_.NextBounded(num_relations_));
+      } else if (rng_.NextBernoulli(0.5)) {
+        neg.corruption = Corruption::kHead;
+        neg.triple.head = DrawEntity();
+      } else {
+        neg.corruption = Corruption::kTail;
+        neg.triple.tail = DrawEntity();
+      }
+      out->push_back(neg);
+    }
+  }
+}
+
+uint64_t UniformNegativeSampler::EntityDrawsPerBatch(size_t batch_size) const {
+  return static_cast<uint64_t>(batch_size) * negatives_per_positive_;
+}
+
+BatchedNegativeSampler::BatchedNegativeSampler(size_t num_entities,
+                                               size_t negatives_per_positive,
+                                               size_t chunk_size,
+                                               uint64_t seed)
+    : NegativeSampler(num_entities, negatives_per_positive, seed),
+      chunk_size_(std::max<size_t>(1, chunk_size)) {
+  assert(num_entities >= 2);
+}
+
+void BatchedNegativeSampler::Sample(std::span<const Triple> positives,
+                                    std::vector<NegativeSample>* out) {
+  out->clear();
+  out->reserve(positives.size() * negatives_per_positive_);
+  std::vector<EntityId> pool(negatives_per_positive_);
+  for (size_t chunk_begin = 0; chunk_begin < positives.size();
+       chunk_begin += chunk_size_) {
+    const size_t chunk_end =
+        std::min(positives.size(), chunk_begin + chunk_size_);
+    for (auto& e : pool) {
+      e = static_cast<EntityId>(rng_.NextBounded(num_entities_));
+    }
+    // Whole chunk corrupts the same side, as in PBG's batched kernel.
+    const Corruption corruption =
+        rng_.NextBernoulli(0.5) ? Corruption::kHead : Corruption::kTail;
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      const Triple& pos = positives[i];
+      for (EntityId replacement : pool) {
+        NegativeSample neg;
+        neg.positive_index = static_cast<uint32_t>(i);
+        neg.triple = pos;
+        neg.corruption = corruption;
+        if (corruption == Corruption::kHead) {
+          neg.triple.head = replacement;
+        } else {
+          neg.triple.tail = replacement;
+        }
+        out->push_back(neg);
+      }
+    }
+  }
+}
+
+uint64_t BatchedNegativeSampler::EntityDrawsPerBatch(size_t batch_size) const {
+  const uint64_t chunks = (batch_size + chunk_size_ - 1) / chunk_size_;
+  return chunks * negatives_per_positive_;
+}
+
+Result<std::unique_ptr<NegativeSampler>> MakeNegativeSampler(
+    const NegativeSamplerSpec& spec) {
+  if (spec.num_entities < 2) {
+    return Status::InvalidArgument("need at least two entities to corrupt");
+  }
+  if (spec.name == "uniform") {
+    auto sampler = std::make_unique<UniformNegativeSampler>(
+        spec.num_entities, spec.negatives_per_positive, spec.seed);
+    if (spec.relation_corruption_prob > 0.0) {
+      HETKG_RETURN_IF_ERROR(sampler->EnableRelationCorruption(
+          spec.relation_corruption_prob, spec.num_relations));
+    }
+    if (spec.entity_degrees != nullptr) {
+      HETKG_RETURN_IF_ERROR(
+          sampler->EnableDegreeWeighting(*spec.entity_degrees));
+    }
+    return std::unique_ptr<NegativeSampler>(std::move(sampler));
+  }
+  if (spec.name == "batched") {
+    if (spec.relation_corruption_prob > 0.0 ||
+        spec.entity_degrees != nullptr) {
+      return Status::InvalidArgument(
+          "relation corruption / degree weighting require the uniform "
+          "sampler");
+    }
+    return std::unique_ptr<NegativeSampler>(new BatchedNegativeSampler(
+        spec.num_entities, spec.negatives_per_positive, spec.chunk_size,
+        spec.seed));
+  }
+  return Status::InvalidArgument("unknown negative sampler: " + spec.name);
+}
+
+Result<std::unique_ptr<NegativeSampler>> MakeNegativeSampler(
+    std::string_view name, size_t num_entities, size_t negatives_per_positive,
+    size_t chunk_size, uint64_t seed) {
+  NegativeSamplerSpec spec;
+  spec.name = std::string(name);
+  spec.num_entities = num_entities;
+  spec.negatives_per_positive = negatives_per_positive;
+  spec.chunk_size = chunk_size;
+  spec.seed = seed;
+  return MakeNegativeSampler(spec);
+}
+
+}  // namespace hetkg::embedding

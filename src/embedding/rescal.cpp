@@ -1,0 +1,43 @@
+#include "embedding/rescal.h"
+
+#include <cassert>
+
+namespace hetkg::embedding {
+
+double Rescal::Score(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t) const {
+  const size_t d = h.size();
+  assert(r.size() == d * d && t.size() == d);
+  double acc = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    double row = 0.0;
+    const float* m = r.data() + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      row += static_cast<double>(m[j]) * t[j];
+    }
+    acc += static_cast<double>(h[i]) * row;
+  }
+  return acc;
+}
+
+void Rescal::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                           std::span<const float> t, double upstream,
+                           std::span<float> gh, std::span<float> gr,
+                           std::span<float> gt) const {
+  const size_t d = h.size();
+  assert(r.size() == d * d && gr.size() == d * d);
+  const float u = static_cast<float>(upstream);
+  for (size_t i = 0; i < d; ++i) {
+    const float* m = r.data() + i * d;
+    float* gm = gr.data() + i * d;
+    double mt = 0.0;  // (M t)_i
+    for (size_t j = 0; j < d; ++j) {
+      mt += static_cast<double>(m[j]) * t[j];
+      gm[j] += u * h[i] * t[j];
+      gt[j] += u * h[i] * m[j];
+    }
+    gh[i] += u * static_cast<float>(mt);
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,37 @@
+#ifndef HETKG_EMBEDDING_RESCAL_H_
+#define HETKG_EMBEDDING_RESCAL_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// RESCAL (Nickel et al., 2011): each relation is a full d x d matrix M
+/// stored row-major in a relation row of width d^2.
+///   score(h, r, t) = h^T M t = sum_ij h_i M_ij t_j
+/// The most expressive (and most expensive) of the semantic-matching
+/// family; included as the related-work extension the paper discusses.
+class Rescal : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kRescal; }
+
+  size_t RelationDim(size_t entity_dim) const override {
+    return entity_dim * entity_dim;
+  }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    const uint64_t d = entity_dim;
+    return 8 * d * d;
+  }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_RESCAL_H_

@@ -1,0 +1,85 @@
+#include "embedding/score_function.h"
+
+#include "embedding/complex.h"
+#include "embedding/distmult.h"
+#include "embedding/hole.h"
+#include "embedding/rescal.h"
+#include "embedding/transd.h"
+#include "embedding/transe.h"
+#include "embedding/transh.h"
+#include "embedding/transr.h"
+
+namespace hetkg::embedding {
+
+Result<ModelKind> ParseModelKind(std::string_view name) {
+  if (name == "transe" || name == "transe_l1") return ModelKind::kTransEL1;
+  if (name == "transe_l2") return ModelKind::kTransEL2;
+  if (name == "distmult") return ModelKind::kDistMult;
+  if (name == "complex") return ModelKind::kComplEx;
+  if (name == "transh") return ModelKind::kTransH;
+  if (name == "transr") return ModelKind::kTransR;
+  if (name == "transd") return ModelKind::kTransD;
+  if (name == "hole") return ModelKind::kHolE;
+  if (name == "rescal") return ModelKind::kRescal;
+  return Status::InvalidArgument("unknown model: " + std::string(name));
+}
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTransEL1:
+      return "TransE-L1";
+    case ModelKind::kTransEL2:
+      return "TransE-L2";
+    case ModelKind::kDistMult:
+      return "DistMult";
+    case ModelKind::kComplEx:
+      return "ComplEx";
+    case ModelKind::kTransH:
+      return "TransH";
+    case ModelKind::kTransR:
+      return "TransR";
+    case ModelKind::kTransD:
+      return "TransD";
+    case ModelKind::kHolE:
+      return "HolE";
+    case ModelKind::kRescal:
+      return "RESCAL";
+  }
+  return "Unknown";
+}
+
+Result<std::unique_ptr<ScoreFunction>> MakeScoreFunction(ModelKind kind,
+                                                         size_t entity_dim) {
+  if (entity_dim == 0) {
+    return Status::InvalidArgument("entity_dim must be positive");
+  }
+  switch (kind) {
+    case ModelKind::kTransEL1:
+      return std::unique_ptr<ScoreFunction>(new TransE(1));
+    case ModelKind::kTransEL2:
+      return std::unique_ptr<ScoreFunction>(new TransE(2));
+    case ModelKind::kDistMult:
+      return std::unique_ptr<ScoreFunction>(new DistMult());
+    case ModelKind::kComplEx:
+      if (entity_dim % 2 != 0) {
+        return Status::InvalidArgument("ComplEx requires an even dimension");
+      }
+      return std::unique_ptr<ScoreFunction>(new ComplEx());
+    case ModelKind::kTransH:
+      return std::unique_ptr<ScoreFunction>(new TransH());
+    case ModelKind::kTransR:
+      return std::unique_ptr<ScoreFunction>(new TransR());
+    case ModelKind::kTransD:
+      if (entity_dim % 2 != 0) {
+        return Status::InvalidArgument("TransD requires an even dimension");
+      }
+      return std::unique_ptr<ScoreFunction>(new TransD());
+    case ModelKind::kHolE:
+      return std::unique_ptr<ScoreFunction>(new HolE());
+    case ModelKind::kRescal:
+      return std::unique_ptr<ScoreFunction>(new Rescal());
+  }
+  return Status::InvalidArgument("unknown model kind");
+}
+
+}  // namespace hetkg::embedding

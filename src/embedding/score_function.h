@@ -1,0 +1,81 @@
+#ifndef HETKG_EMBEDDING_SCORE_FUNCTION_H_
+#define HETKG_EMBEDDING_SCORE_FUNCTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hetkg::embedding {
+
+/// Supported KGE scoring models. TransE and DistMult are the models the
+/// paper evaluates (Sec. VI-A); the others are the related-work models
+/// (Sec. II) implemented as library extensions.
+enum class ModelKind {
+  kTransEL1,
+  kTransEL2,
+  kDistMult,
+  kComplEx,
+  kTransH,
+  kTransR,
+  kTransD,
+  kHolE,
+  kRescal,
+};
+
+/// Parses "transe_l1" / "transe_l2" / "distmult" / "complex" / "transh" /
+/// "transr" / "transd" / "hole" / "rescal"; InvalidArgument otherwise.
+Result<ModelKind> ParseModelKind(std::string_view name);
+std::string_view ModelKindName(ModelKind kind);
+
+/// A triple scoring function f_r(h, t) with hand-derived exact
+/// gradients. Convention: HIGHER score means MORE plausible (distance
+/// models return negated distances), so all loss code is model-agnostic.
+///
+/// Entity rows have length `entity_dim`; relation rows have length
+/// `RelationDim(entity_dim)` (TransH stores [normal w; translation d],
+/// RESCAL stores a d x d matrix).
+class ScoreFunction {
+ public:
+  virtual ~ScoreFunction() = default;
+
+  virtual ModelKind kind() const = 0;
+  std::string_view name() const { return ModelKindName(kind()); }
+
+  /// Relation-row width for a given entity dimension.
+  virtual size_t RelationDim(size_t entity_dim) const { return entity_dim; }
+
+  /// Plausibility score of (h, r, t).
+  virtual double Score(std::span<const float> h, std::span<const float> r,
+                       std::span<const float> t) const = 0;
+
+  /// Accumulates d(upstream * score)/d{h,r,t} into the gradient spans
+  /// (callers zero or reuse them for accumulation across samples).
+  virtual void ScoreBackward(std::span<const float> h,
+                             std::span<const float> r,
+                             std::span<const float> t, double upstream,
+                             std::span<float> gh, std::span<float> gr,
+                             std::span<float> gt) const = 0;
+
+  /// Approximate forward+backward floating-point operations per triple,
+  /// used by the simulator's compute cost model.
+  virtual uint64_t FlopsPerTriple(size_t entity_dim) const {
+    return 8 * static_cast<uint64_t>(entity_dim);
+  }
+
+  /// Whether entity rows should be L2-normalized after updates (the
+  /// TransE-family convention).
+  virtual bool NormalizesEntities() const { return false; }
+};
+
+/// Builds the scoring function for `kind`. `entity_dim` is validated
+/// (e.g., ComplEx requires an even dimension).
+Result<std::unique_ptr<ScoreFunction>> MakeScoreFunction(ModelKind kind,
+                                                         size_t entity_dim);
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_SCORE_FUNCTION_H_

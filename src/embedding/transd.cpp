@@ -1,0 +1,89 @@
+#include "embedding/transd.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hetkg::embedding {
+
+namespace {
+
+struct Forward {
+  double hp_h = 0.0;  // h_p . h
+  double tp_t = 0.0;  // t_p . t
+  std::vector<double> e;
+};
+
+/// e = (h + (h_p.h) r_p) + r - (t + (t_p.t) r_p).
+Forward Residual(std::span<const float> h, std::span<const float> rel,
+                 std::span<const float> t) {
+  const size_t k = h.size() / 2;
+  const float* hv = h.data();
+  const float* hp = h.data() + k;
+  const float* tv = t.data();
+  const float* tp = t.data() + k;
+  const float* rv = rel.data();
+  const float* rp = rel.data() + k;
+
+  Forward f;
+  for (size_t i = 0; i < k; ++i) {
+    f.hp_h += static_cast<double>(hp[i]) * hv[i];
+    f.tp_t += static_cast<double>(tp[i]) * tv[i];
+  }
+  f.e.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    f.e[i] = (hv[i] + f.hp_h * rp[i]) + rv[i] - (tv[i] + f.tp_t * rp[i]);
+  }
+  return f;
+}
+
+}  // namespace
+
+double TransD::Score(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t) const {
+  assert(h.size() % 2 == 0 && h.size() == r.size() && h.size() == t.size());
+  const Forward f = Residual(h, r, t);
+  double acc = 0.0;
+  for (double v : f.e) {
+    acc += v * v;
+  }
+  return -acc;
+}
+
+void TransD::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                           std::span<const float> t, double upstream,
+                           std::span<float> gh, std::span<float> gr,
+                           std::span<float> gt) const {
+  const size_t k = h.size() / 2;
+  const Forward f = Residual(h, r, t);
+  const float* hv = h.data();
+  const float* hp = h.data() + k;
+  const float* tv = t.data();
+  const float* tp = t.data() + k;
+  const float* rp = r.data() + k;
+
+  // score = -e.e; write g_i = -2 u e_i.
+  //   e_i = h_i + a r_p_i + r_i - t_i - b r_p_i, a = h_p.h, b = t_p.t
+  //   d/dh_i   = g_i + (sum_j g_j r_p_j) h_p_i
+  //   d/dh_p_i = (sum_j g_j r_p_j) h_i
+  //   d/dt_i   = -g_i - (sum_j g_j r_p_j) t_p_i
+  //   d/dt_p_i = -(sum_j g_j r_p_j) t_i
+  //   d/dr_i   = g_i
+  //   d/dr_p_i = g_i (a - b)
+  std::vector<double> g(k);
+  double g_dot_rp = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    g[i] = -2.0 * upstream * f.e[i];
+    g_dot_rp += g[i] * rp[i];
+  }
+  const double ab = f.hp_h - f.tp_t;
+  for (size_t i = 0; i < k; ++i) {
+    gh[i] += static_cast<float>(g[i] + g_dot_rp * hp[i]);
+    gh[k + i] += static_cast<float>(g_dot_rp * hv[i]);
+    gt[i] += static_cast<float>(-g[i] - g_dot_rp * tp[i]);
+    gt[k + i] += static_cast<float>(-g_dot_rp * tv[i]);
+    gr[i] += static_cast<float>(g[i]);
+    gr[k + i] += static_cast<float>(g[i] * ab);
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,39 @@
+#ifndef HETKG_EMBEDDING_TRANSD_H_
+#define HETKG_EMBEDDING_TRANSD_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// TransD (Ji et al., 2015): replaces TransR's projection matrix with
+/// two projection vectors, cutting the cost from O(d^2) back to O(d)
+/// "while achieving the same effect as TransR" (paper Sec. II).
+///
+/// Rows are split in halves: an entity row of width d stores
+/// [e | e_p] (k = d/2 each); a relation row stores [r | r_p].
+/// With the dynamic mapping M_re = r_p e_p^T + I:
+///   h_proj = h + (h_p . h) r_p,  t_proj = t + (t_p . t) r_p
+///   score  = -|| h_proj + r - t_proj ||_2^2
+/// Requires an even dimension.
+class TransD : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kTransD; }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    return 24 * static_cast<uint64_t>(entity_dim);
+  }
+
+  bool NormalizesEntities() const override { return true; }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_TRANSD_H_

@@ -1,0 +1,41 @@
+#ifndef HETKG_EMBEDDING_TRANSE_H_
+#define HETKG_EMBEDDING_TRANSE_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// TransE (Bordes et al., 2013): score(h, r, t) = -||h + r - t||_p for
+/// p in {1, 2}. The translational-distance baseline used throughout the
+/// paper's evaluation.
+class TransE : public ScoreFunction {
+ public:
+  /// `p` must be 1 or 2.
+  explicit TransE(int p);
+
+  ModelKind kind() const override {
+    return p_ == 1 ? ModelKind::kTransEL1 : ModelKind::kTransEL2;
+  }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    // Forward: d adds + d subs + d abs/sq + reduce; backward: ~3d.
+    return 10 * static_cast<uint64_t>(entity_dim);
+  }
+
+  bool NormalizesEntities() const override { return true; }
+
+ private:
+  int p_;
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_TRANSE_H_

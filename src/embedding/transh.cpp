@@ -1,0 +1,109 @@
+#include "embedding/transh.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hetkg::embedding {
+
+namespace {
+
+/// Shared forward computation. `e` receives h_perp + d_r - t_perp and
+/// `w_hat` the normalized hyperplane normal; returns ||w||.
+double ComputeResidual(std::span<const float> h, std::span<const float> r,
+                       std::span<const float> t, std::vector<double>* w_hat,
+                       std::vector<double>* e) {
+  const size_t d = h.size();
+  const float* w = r.data();
+  const float* dr = r.data() + d;
+
+  double w_norm_sq = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    w_norm_sq += static_cast<double>(w[i]) * w[i];
+  }
+  const double w_norm = std::sqrt(w_norm_sq);
+  w_hat->resize(d);
+  const double inv = w_norm > 1e-12 ? 1.0 / w_norm : 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    (*w_hat)[i] = w[i] * inv;
+  }
+
+  double wh = 0.0;
+  double wt = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    wh += (*w_hat)[i] * h[i];
+    wt += (*w_hat)[i] * t[i];
+  }
+  e->resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const double h_perp = h[i] - wh * (*w_hat)[i];
+    const double t_perp = t[i] - wt * (*w_hat)[i];
+    (*e)[i] = h_perp + dr[i] - t_perp;
+  }
+  return w_norm;
+}
+
+}  // namespace
+
+double TransH::Score(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t) const {
+  assert(r.size() == 2 * h.size());
+  std::vector<double> w_hat;
+  std::vector<double> e;
+  ComputeResidual(h, r, t, &w_hat, &e);
+  double acc = 0.0;
+  for (double v : e) {
+    acc += v * v;
+  }
+  return -acc;
+}
+
+void TransH::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                           std::span<const float> t, double upstream,
+                           std::span<float> gh, std::span<float> gr,
+                           std::span<float> gt) const {
+  const size_t d = h.size();
+  assert(r.size() == 2 * d && gr.size() == 2 * d);
+  std::vector<double> w_hat;
+  std::vector<double> e;
+  const double w_norm = ComputeResidual(h, r, t, &w_hat, &e);
+
+  // score = -e.e; write a = t - h so e = -a + d_r + (w_hat.a) w_hat.
+  // d score/dh   = -2 (I - w_hat w_hat^T) e        (h enters as -(-a))
+  // d score/dt   = +2 (I - w_hat w_hat^T) e
+  // d score/dd_r = -2 e
+  // d score/dw_hat = -2 [ (e.w_hat) a + (w_hat.a) e ]
+  // d score/dw   = (I - w_hat w_hat^T) / ||w||  applied to d score/dw_hat
+  double ew = 0.0;  // e . w_hat
+  double wa = 0.0;  // w_hat . (t - h)
+  for (size_t i = 0; i < d; ++i) {
+    ew += e[i] * w_hat[i];
+    const double a = static_cast<double>(t[i]) - h[i];
+    wa += w_hat[i] * a;
+  }
+
+  const double u = upstream;
+  for (size_t i = 0; i < d; ++i) {
+    const double proj_e = e[i] - ew * w_hat[i];  // (I - w w^T) e
+    gh[i] += static_cast<float>(u * -2.0 * proj_e);
+    gt[i] += static_cast<float>(u * 2.0 * proj_e);
+    gr[d + i] += static_cast<float>(u * -2.0 * e[i]);  // d_r half.
+  }
+
+  if (w_norm > 1e-12) {
+    // Gradient w.r.t. w_hat, then pull back through normalization.
+    std::vector<double> g_what(d);
+    double gw_dot_what = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double a = static_cast<double>(t[i]) - h[i];
+      g_what[i] = -2.0 * (ew * a + wa * e[i]);
+      gw_dot_what += g_what[i] * w_hat[i];
+    }
+    for (size_t i = 0; i < d; ++i) {
+      const double g = (g_what[i] - gw_dot_what * w_hat[i]) / w_norm;
+      gr[i] += static_cast<float>(u * g);
+    }
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,40 @@
+#ifndef HETKG_EMBEDDING_TRANSH_H_
+#define HETKG_EMBEDDING_TRANSH_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// TransH (Wang et al., 2014): each relation owns a hyperplane with
+/// normal w and an in-plane translation d_r. A relation row stores
+/// [w | d_r] (width 2 * entity_dim). With w_hat = w / ||w||:
+///   h_perp = h - (w_hat . h) w_hat,   t_perp = t - (w_hat . t) w_hat
+///   score  = -|| h_perp + d_r - t_perp ||_2^2
+/// Gradients are exact, including the chain through the normalization
+/// of w, so the unit-norm constraint needs no extra projection step.
+class TransH : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kTransH; }
+
+  size_t RelationDim(size_t entity_dim) const override {
+    return 2 * entity_dim;
+  }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    return 40 * static_cast<uint64_t>(entity_dim);
+  }
+
+  bool NormalizesEntities() const override { return true; }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_TRANSH_H_

@@ -1,0 +1,70 @@
+#include "embedding/transr.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hetkg::embedding {
+
+namespace {
+
+/// e = M (h - t) + r, shared by forward and backward.
+void Residual(std::span<const float> h, std::span<const float> rel,
+              std::span<const float> t, std::vector<double>* e) {
+  const size_t d = h.size();
+  const float* m = rel.data();
+  const float* r = rel.data() + d * d;
+  e->resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    double acc = r[i];
+    const float* row = m + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      acc += static_cast<double>(row[j]) * (h[j] - t[j]);
+    }
+    (*e)[i] = acc;
+  }
+}
+
+}  // namespace
+
+double TransR::Score(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t) const {
+  assert(r.size() == h.size() * h.size() + h.size());
+  std::vector<double> e;
+  Residual(h, r, t, &e);
+  double acc = 0.0;
+  for (double v : e) {
+    acc += v * v;
+  }
+  return -acc;
+}
+
+void TransR::ScoreBackward(std::span<const float> h, std::span<const float> r,
+                           std::span<const float> t, double upstream,
+                           std::span<float> gh, std::span<float> gr,
+                           std::span<float> gt) const {
+  const size_t d = h.size();
+  assert(r.size() == d * d + d && gr.size() == d * d + d);
+  std::vector<double> e;
+  Residual(h, r, t, &e);
+
+  // score = -e.e with e = M(h-t) + r:
+  //   d/dh_j   = -2 sum_i e_i M_ij          d/dt_j = +2 sum_i e_i M_ij
+  //   d/dM_ij  = -2 e_i (h_j - t_j)         d/dr_i = -2 e_i
+  const float* m = r.data();
+  float* gm = gr.data();
+  float* gtrans = gr.data() + d * d;
+  const double u = upstream;
+  for (size_t i = 0; i < d; ++i) {
+    const double coeff = -2.0 * e[i] * u;
+    gtrans[i] += static_cast<float>(coeff);
+    const float* row = m + i * d;
+    float* grow = gm + i * d;
+    for (size_t j = 0; j < d; ++j) {
+      grow[j] += static_cast<float>(coeff * (h[j] - t[j]));
+      gh[j] += static_cast<float>(coeff * row[j]);
+      gt[j] -= static_cast<float>(coeff * row[j]);
+    }
+  }
+}
+
+}  // namespace hetkg::embedding

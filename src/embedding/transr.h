@@ -1,0 +1,41 @@
+#ifndef HETKG_EMBEDDING_TRANSR_H_
+#define HETKG_EMBEDDING_TRANSR_H_
+
+#include "embedding/score_function.h"
+
+namespace hetkg::embedding {
+
+/// TransR (Lin et al., 2015): each relation owns a projection matrix M
+/// into its own space plus a translation r. A relation row stores
+/// [M row-major | r] (width d^2 + d).
+///   score(h, r, t) = -|| M h + r - M t ||_2^2
+/// "Particularly successful in modeling complex relations but
+/// sacrifices simplicity and efficiency" (paper Sec. II) — the d^2
+/// relation rows make it the most communication-heavy model here.
+class TransR : public ScoreFunction {
+ public:
+  ModelKind kind() const override { return ModelKind::kTransR; }
+
+  size_t RelationDim(size_t entity_dim) const override {
+    return entity_dim * entity_dim + entity_dim;
+  }
+
+  double Score(std::span<const float> h, std::span<const float> r,
+               std::span<const float> t) const override;
+
+  void ScoreBackward(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t, double upstream,
+                     std::span<float> gh, std::span<float> gr,
+                     std::span<float> gt) const override;
+
+  uint64_t FlopsPerTriple(size_t entity_dim) const override {
+    const uint64_t d = entity_dim;
+    return 10 * d * d;
+  }
+
+  bool NormalizesEntities() const override { return true; }
+};
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_TRANSR_H_

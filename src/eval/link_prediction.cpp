@@ -1,0 +1,203 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace hetkg::eval {
+
+namespace {
+
+/// Accumulates rank statistics; mergeable across threads.
+struct RankAccumulator {
+  double mrr = 0.0;
+  double mr = 0.0;
+  uint64_t h1 = 0;
+  uint64_t h3 = 0;
+  uint64_t h10 = 0;
+  uint64_t count = 0;
+
+  void Add(uint64_t rank) {
+    mrr += 1.0 / static_cast<double>(rank);
+    mr += static_cast<double>(rank);
+    if (rank <= 1) ++h1;
+    if (rank <= 3) ++h3;
+    if (rank <= 10) ++h10;
+    ++count;
+  }
+  void Merge(const RankAccumulator& other) {
+    mrr += other.mrr;
+    mr += other.mr;
+    h1 += other.h1;
+    h3 += other.h3;
+    h10 += other.h10;
+    count += other.count;
+  }
+};
+
+/// Ranks one corruption side of one triple. Rank = 1 + number of valid
+/// candidates scoring strictly higher than the positive (optimistic on
+/// exact ties, the convention of DGL-KE).
+uint64_t RankOneSide(const EmbeddingLookup& embeddings,
+                     const embedding::ScoreFunction& fn,
+                     const graph::KnowledgeGraph& graph, const Triple& triple,
+                     bool corrupt_head, std::span<const EntityId> candidates,
+                     bool filtered) {
+  const auto h = embeddings.Entity(triple.head);
+  const auto r = embeddings.Relation(triple.relation);
+  const auto t = embeddings.Entity(triple.tail);
+  const double positive_score = fn.Score(h, r, t);
+
+  uint64_t rank = 1;
+  for (EntityId cand : candidates) {
+    if (corrupt_head) {
+      if (cand == triple.head) continue;
+      if (filtered &&
+          graph.ContainsTriple({cand, triple.relation, triple.tail})) {
+        continue;
+      }
+      if (fn.Score(embeddings.Entity(cand), r, t) > positive_score) {
+        ++rank;
+      }
+    } else {
+      if (cand == triple.tail) continue;
+      if (filtered &&
+          graph.ContainsTriple({triple.head, triple.relation, cand})) {
+        continue;
+      }
+      if (fn.Score(h, r, embeddings.Entity(cand)) > positive_score) {
+        ++rank;
+      }
+    }
+  }
+  return rank;
+}
+
+}  // namespace
+
+Result<EvalMetrics> EvaluateLinkPrediction(
+    const EmbeddingLookup& embeddings,
+    const embedding::ScoreFunction& score_fn,
+    const graph::KnowledgeGraph& graph, std::span<const Triple> test,
+    const EvalOptions& options) {
+  if (test.empty()) {
+    return Status::InvalidArgument("empty test set");
+  }
+  if (options.filtered) {
+    graph.BuildTripleSet();  // Built once, then shared read-only.
+  }
+
+  Rng rng(options.seed);
+
+  // Triple subset.
+  std::vector<Triple> triples(test.begin(), test.end());
+  if (options.max_triples != 0 && triples.size() > options.max_triples) {
+    rng.Shuffle(&triples);
+    triples.resize(options.max_triples);
+  }
+
+  // Candidate set: all entities or a fixed uniform sample shared by all
+  // triples (cheaper and unbiased for comparison purposes).
+  std::vector<EntityId> candidates;
+  if (options.num_candidates == 0 ||
+      options.num_candidates >= embeddings.num_entities()) {
+    candidates.resize(embeddings.num_entities());
+    for (size_t e = 0; e < candidates.size(); ++e) {
+      candidates[e] = static_cast<EntityId>(e);
+    }
+  } else {
+    candidates.reserve(options.num_candidates);
+    for (size_t i = 0; i < options.num_candidates; ++i) {
+      candidates.push_back(
+          static_cast<EntityId>(rng.NextBounded(embeddings.num_entities())));
+    }
+  }
+
+  RankAccumulator total;
+  if (options.num_threads <= 1) {
+    for (const Triple& triple : triples) {
+      total.Add(RankOneSide(embeddings, score_fn, graph, triple, true,
+                            candidates, options.filtered));
+      total.Add(RankOneSide(embeddings, score_fn, graph, triple, false,
+                            candidates, options.filtered));
+    }
+  } else {
+    ThreadPool pool(options.num_threads);
+    std::mutex mu;
+    pool.ParallelFor(triples.size(), [&](size_t begin, size_t end) {
+      RankAccumulator local;
+      for (size_t i = begin; i < end; ++i) {
+        local.Add(RankOneSide(embeddings, score_fn, graph, triples[i], true,
+                              candidates, options.filtered));
+        local.Add(RankOneSide(embeddings, score_fn, graph, triples[i], false,
+                              candidates, options.filtered));
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      total.Merge(local);
+    });
+  }
+
+  EvalMetrics metrics;
+  metrics.rankings = total.count;
+  const double n = static_cast<double>(total.count);
+  metrics.mrr = total.mrr / n;
+  metrics.mr = total.mr / n;
+  metrics.hits1 = static_cast<double>(total.h1) / n;
+  metrics.hits3 = static_cast<double>(total.h3) / n;
+  metrics.hits10 = static_cast<double>(total.h10) / n;
+  return metrics;
+}
+
+Result<HotColdEvalMetrics> EvaluateByRelationHotness(
+    const EmbeddingLookup& embeddings,
+    const embedding::ScoreFunction& score_fn,
+    const graph::KnowledgeGraph& graph, std::span<const Triple> test,
+    const std::vector<uint32_t>& relation_frequencies,
+    const EvalOptions& options) {
+  if (test.empty()) {
+    return Status::InvalidArgument("empty test set");
+  }
+  // Median frequency over the relations that actually occur.
+  std::vector<uint32_t> nonzero;
+  nonzero.reserve(relation_frequencies.size());
+  for (uint32_t f : relation_frequencies) {
+    if (f > 0) nonzero.push_back(f);
+  }
+  if (nonzero.empty()) {
+    return Status::InvalidArgument("no relation occurs in the graph");
+  }
+  std::nth_element(nonzero.begin(), nonzero.begin() + nonzero.size() / 2,
+                   nonzero.end());
+  const uint32_t threshold = nonzero[nonzero.size() / 2];
+
+  std::vector<Triple> hot;
+  std::vector<Triple> cold;
+  for (const Triple& t : test) {
+    if (t.relation < relation_frequencies.size() &&
+        relation_frequencies[t.relation] >= threshold) {
+      hot.push_back(t);
+    } else {
+      cold.push_back(t);
+    }
+  }
+
+  HotColdEvalMetrics out;
+  out.frequency_threshold = threshold;
+  if (!hot.empty()) {
+    HETKG_ASSIGN_OR_RETURN(
+        out.hot,
+        EvaluateLinkPrediction(embeddings, score_fn, graph, hot, options));
+  }
+  if (!cold.empty()) {
+    HETKG_ASSIGN_OR_RETURN(
+        out.cold,
+        EvaluateLinkPrediction(embeddings, score_fn, graph, cold, options));
+  }
+  return out;
+}
+
+}  // namespace hetkg::eval

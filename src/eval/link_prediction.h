@@ -1,0 +1,78 @@
+#ifndef HETKG_EVAL_LINK_PREDICTION_H_
+#define HETKG_EVAL_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "embedding/score_function.h"
+#include "graph/knowledge_graph.h"
+
+namespace hetkg::eval {
+
+/// Read-only view over trained embeddings, decoupling the evaluator
+/// from where the rows live (parameter server, checkpoint, ...).
+class EmbeddingLookup {
+ public:
+  virtual ~EmbeddingLookup() = default;
+  virtual std::span<const float> Entity(EntityId id) const = 0;
+  virtual std::span<const float> Relation(RelationId id) const = 0;
+  virtual size_t num_entities() const = 0;
+  virtual size_t num_relations() const = 0;
+};
+
+/// Standard link-prediction quality metrics (Sec. VI-A): for each test
+/// triple, the positive is ranked against corrupted candidates by score;
+/// both head and tail corruption count as one ranking each.
+struct EvalMetrics {
+  double mrr = 0.0;
+  double mr = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+  uint64_t rankings = 0;  // 2 per evaluated triple.
+};
+
+struct EvalOptions {
+  /// 0 ranks against every entity; otherwise against a uniform sample of
+  /// this many candidates (the standard down-sampling for large graphs —
+  /// the paper's Freebase-86m runs use neg_sample_eval=1000).
+  size_t num_candidates = 0;
+  /// Filtered metrics skip candidates that form a known true triple
+  /// (the "FilteredMRR" of the paper's Table II hyperparameters).
+  bool filtered = true;
+  /// Cap on evaluated test triples (0 = all); sampled deterministically.
+  size_t max_triples = 0;
+  uint64_t seed = 99;
+  /// Worker threads for the scoring loop (read-only work).
+  size_t num_threads = 1;
+};
+
+/// Computes ranking metrics for `test` triples. `graph` provides the
+/// membership oracle for filtered ranking and the entity count.
+Result<EvalMetrics> EvaluateLinkPrediction(
+    const EmbeddingLookup& embeddings,
+    const embedding::ScoreFunction& score_fn,
+    const graph::KnowledgeGraph& graph, std::span<const Triple> test,
+    const EvalOptions& options);
+
+/// Metrics split by relation hotness: triples whose relation carries at
+/// least the median training frequency versus the rest. HET-KG's cache
+/// keeps hot relations stale between refreshes, so this breakdown shows
+/// whether staleness harms exactly the predictions it touches.
+struct HotColdEvalMetrics {
+  EvalMetrics hot;
+  EvalMetrics cold;
+  uint32_t frequency_threshold = 0;  // Median relation frequency used.
+};
+Result<HotColdEvalMetrics> EvaluateByRelationHotness(
+    const EmbeddingLookup& embeddings,
+    const embedding::ScoreFunction& score_fn,
+    const graph::KnowledgeGraph& graph, std::span<const Triple> test,
+    const std::vector<uint32_t>& relation_frequencies,
+    const EvalOptions& options);
+
+}  // namespace hetkg::eval
+
+#endif  // HETKG_EVAL_LINK_PREDICTION_H_

@@ -1,0 +1,140 @@
+#include "graph/knowledge_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace hetkg::graph {
+
+Result<KnowledgeGraph> KnowledgeGraph::Create(size_t num_entities,
+                                              size_t num_relations,
+                                              std::vector<Triple> triples,
+                                              std::string name) {
+  if (num_entities == 0) {
+    return Status::InvalidArgument("graph needs at least one entity");
+  }
+  if (num_relations == 0) {
+    return Status::InvalidArgument("graph needs at least one relation");
+  }
+  for (const Triple& t : triples) {
+    if (t.head >= num_entities || t.tail >= num_entities) {
+      return Status::OutOfRange("entity id out of range in triple list");
+    }
+    if (t.relation >= num_relations) {
+      return Status::OutOfRange("relation id out of range in triple list");
+    }
+  }
+  KnowledgeGraph g;
+  g.num_entities_ = num_entities;
+  g.num_relations_ = num_relations;
+  g.triples_ = std::move(triples);
+  g.name_ = std::move(name);
+  return g;
+}
+
+std::vector<uint32_t> KnowledgeGraph::EntityDegrees() const {
+  std::vector<uint32_t> deg(num_entities_, 0);
+  for (const Triple& t : triples_) {
+    ++deg[t.head];
+    ++deg[t.tail];
+  }
+  return deg;
+}
+
+std::vector<uint32_t> KnowledgeGraph::RelationFrequencies() const {
+  std::vector<uint32_t> freq(num_relations_, 0);
+  for (const Triple& t : triples_) {
+    ++freq[t.relation];
+  }
+  return freq;
+}
+
+void KnowledgeGraph::BuildTripleSet() const {
+  if (triple_set_built_) return;
+  triple_set_.reserve(triples_.size() * 2);
+  for (const Triple& t : triples_) {
+    triple_set_.insert(t);
+  }
+  triple_set_built_ = true;
+}
+
+bool KnowledgeGraph::ContainsTriple(const Triple& t) const {
+  BuildTripleSet();
+  return triple_set_.contains(t);
+}
+
+const KnowledgeGraph::Csr& KnowledgeGraph::BuildCsr() const {
+  if (csr_built_) return csr_;
+
+  // Collect undirected endpoints, collapse parallel edges.
+  std::vector<std::pair<EntityId, EntityId>> edges;
+  edges.reserve(triples_.size());
+  for (const Triple& t : triples_) {
+    if (t.head == t.tail) continue;  // Self-loops do not affect cuts.
+    const EntityId a = std::min(t.head, t.tail);
+    const EntityId b = std::max(t.head, t.tail);
+    edges.emplace_back(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+
+  struct WeightedEdge {
+    EntityId a;
+    EntityId b;
+    uint32_t w;
+  };
+  std::vector<WeightedEdge> collapsed;
+  collapsed.reserve(edges.size());
+  for (size_t i = 0; i < edges.size();) {
+    size_t j = i;
+    while (j < edges.size() && edges[j] == edges[i]) ++j;
+    collapsed.push_back(
+        {edges[i].first, edges[i].second, static_cast<uint32_t>(j - i)});
+    i = j;
+  }
+
+  csr_.offsets.assign(num_entities_ + 1, 0);
+  for (const auto& e : collapsed) {
+    ++csr_.offsets[e.a + 1];
+    ++csr_.offsets[e.b + 1];
+  }
+  std::partial_sum(csr_.offsets.begin(), csr_.offsets.end(),
+                   csr_.offsets.begin());
+  csr_.neighbors.resize(csr_.offsets.back());
+  csr_.weights.resize(csr_.offsets.back());
+  std::vector<uint64_t> cursor(csr_.offsets.begin(), csr_.offsets.end() - 1);
+  for (const auto& e : collapsed) {
+    csr_.neighbors[cursor[e.a]] = e.b;
+    csr_.weights[cursor[e.a]++] = e.w;
+    csr_.neighbors[cursor[e.b]] = e.a;
+    csr_.weights[cursor[e.b]++] = e.w;
+  }
+  csr_built_ = true;
+  return csr_;
+}
+
+Result<DatasetSplit> SplitTriples(const std::vector<Triple>& triples,
+                                  double valid_fraction, double test_fraction,
+                                  uint64_t seed) {
+  if (valid_fraction < 0.0 || test_fraction < 0.0 ||
+      valid_fraction + test_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "valid/test fractions must be non-negative and sum below 1");
+  }
+  std::vector<Triple> shuffled = triples;
+  Rng rng(seed);
+  rng.Shuffle(&shuffled);
+
+  const size_t n = shuffled.size();
+  const size_t n_valid = static_cast<size_t>(n * valid_fraction);
+  const size_t n_test = static_cast<size_t>(n * test_fraction);
+
+  DatasetSplit split;
+  split.valid.assign(shuffled.begin(), shuffled.begin() + n_valid);
+  split.test.assign(shuffled.begin() + n_valid,
+                    shuffled.begin() + n_valid + n_test);
+  split.train.assign(shuffled.begin() + n_valid + n_test, shuffled.end());
+  return split;
+}
+
+}  // namespace hetkg::graph

@@ -1,0 +1,95 @@
+#ifndef HETKG_GRAPH_KNOWLEDGE_GRAPH_H_
+#define HETKG_GRAPH_KNOWLEDGE_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace hetkg::graph {
+
+/// An immutable triple store with optional CSR adjacency over entities.
+///
+/// The triple list is the unit the trainers iterate over; the CSR view
+/// (undirected, parallel edges collapsed with multiplicity weights) is
+/// what the METIS-style partitioner consumes.
+class KnowledgeGraph {
+ public:
+  /// Validates ids against the declared entity/relation counts.
+  static Result<KnowledgeGraph> Create(size_t num_entities,
+                                       size_t num_relations,
+                                       std::vector<Triple> triples,
+                                       std::string name = "kg");
+
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+  size_t num_triples() const { return triples_.size(); }
+  const std::string& name() const { return name_; }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const Triple& triple(size_t i) const { return triples_[i]; }
+
+  /// Entity degree counting each incident triple once (head + tail).
+  std::vector<uint32_t> EntityDegrees() const;
+
+  /// Number of triples carrying each relation.
+  std::vector<uint32_t> RelationFrequencies() const;
+
+  /// Membership test used by filtered link-prediction metrics. The set
+  /// is built lazily on first call and cached.
+  bool ContainsTriple(const Triple& t) const;
+
+  /// Pre-builds the membership set (e.g., before sharing the graph with
+  /// the read-only evaluator threads).
+  void BuildTripleSet() const;
+
+  /// Compressed sparse row view of the undirected entity graph.
+  /// `neighbors(v)` enumerates distinct adjacent entities; `weight`
+  /// carries the number of parallel triples between the pair. Self-loops
+  /// are dropped.
+  struct Csr {
+    std::vector<uint64_t> offsets;    // size num_entities + 1
+    std::vector<EntityId> neighbors;  // size = 2 * distinct edges
+    std::vector<uint32_t> weights;    // parallel-edge multiplicity
+  };
+
+  /// Builds (and caches) the CSR adjacency.
+  const Csr& BuildCsr() const;
+
+ private:
+  KnowledgeGraph() = default;
+
+  size_t num_entities_ = 0;
+  size_t num_relations_ = 0;
+  std::vector<Triple> triples_;
+  std::string name_;
+
+  // Lazily built caches; logically const.
+  mutable std::unordered_set<Triple, TripleHash> triple_set_;
+  mutable bool triple_set_built_ = false;
+  mutable Csr csr_;
+  mutable bool csr_built_ = false;
+};
+
+/// A train/valid/test partition of a graph's triples. The split holds
+/// indices into the parent graph's triple list plus materialized triple
+/// vectors for the two evaluation sets.
+struct DatasetSplit {
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+};
+
+/// Shuffles deterministically (seeded) and splits by fraction. The
+/// fractions must be in (0, 1] and sum to at most 1; any remainder goes
+/// to train.
+Result<DatasetSplit> SplitTriples(const std::vector<Triple>& triples,
+                                  double valid_fraction, double test_fraction,
+                                  uint64_t seed);
+
+}  // namespace hetkg::graph
+
+#endif  // HETKG_GRAPH_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,140 @@
+#include "graph/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace hetkg::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'E', 'T', 'K', 'G', 'G', 'R', '1'};
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+uint64_t MixTriple(uint64_t state, const Triple& t) {
+  uint64_t x = (static_cast<uint64_t>(t.head) << 32) ^
+               (static_cast<uint64_t>(t.relation) << 16) ^ t.tail;
+  return (state ^ x) * 0x100000001B3ULL;
+}
+
+void WriteTriples(std::ofstream& out, const std::vector<Triple>& triples,
+                  uint64_t* checksum) {
+  for (const Triple& t : triples) {
+    out.write(reinterpret_cast<const char*>(&t.head), sizeof(t.head));
+    out.write(reinterpret_cast<const char*>(&t.relation),
+              sizeof(t.relation));
+    out.write(reinterpret_cast<const char*>(&t.tail), sizeof(t.tail));
+    *checksum = MixTriple(*checksum, t);
+  }
+}
+
+bool ReadTriples(std::ifstream& in, size_t n, std::vector<Triple>* out,
+                 uint64_t* checksum) {
+  out->resize(n);
+  for (Triple& t : *out) {
+    in.read(reinterpret_cast<char*>(&t.head), sizeof(t.head));
+    in.read(reinterpret_cast<char*>(&t.relation), sizeof(t.relation));
+    in.read(reinterpret_cast<char*>(&t.tail), sizeof(t.tail));
+    if (!in) return false;
+    *checksum = MixTriple(*checksum, t);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveDataset(const std::string& path, const KnowledgeGraph& graph,
+                   const DatasetSplit& split) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(kMagic, sizeof(kMagic));
+    WriteU64(out, graph.num_entities());
+    WriteU64(out, graph.num_relations());
+    WriteU64(out, graph.name().size());
+    out.write(graph.name().data(),
+              static_cast<std::streamsize>(graph.name().size()));
+    WriteU64(out, split.train.size());
+    WriteU64(out, split.valid.size());
+    WriteU64(out, split.test.size());
+    uint64_t checksum = 0xCBF29CE484222325ULL;
+    WriteTriples(out, split.train, &checksum);
+    WriteTriples(out, split.valid, &checksum);
+    WriteTriples(out, split.test, &checksum);
+    WriteU64(out, checksum);
+    if (!out) {
+      return Status::IoError("short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<SerializedDataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad dataset magic in " + path);
+  }
+  uint64_t num_entities = 0;
+  uint64_t num_relations = 0;
+  uint64_t name_len = 0;
+  if (!ReadU64(in, &num_entities) || !ReadU64(in, &num_relations) ||
+      !ReadU64(in, &name_len) || name_len > 4096) {
+    return Status::Corruption("bad dataset header in " + path);
+  }
+  std::string name(name_len, '\0');
+  in.read(name.data(), static_cast<std::streamsize>(name_len));
+  uint64_t n_train = 0;
+  uint64_t n_valid = 0;
+  uint64_t n_test = 0;
+  if (!in || !ReadU64(in, &n_train) || !ReadU64(in, &n_valid) ||
+      !ReadU64(in, &n_test)) {
+    return Status::Corruption("bad dataset split sizes in " + path);
+  }
+  constexpr uint64_t kMaxTriples = 1ULL << 33;
+  if (n_train + n_valid + n_test > kMaxTriples) {
+    return Status::Corruption("implausible dataset size");
+  }
+
+  DatasetSplit split;
+  uint64_t checksum = 0xCBF29CE484222325ULL;
+  if (!ReadTriples(in, n_train, &split.train, &checksum) ||
+      !ReadTriples(in, n_valid, &split.valid, &checksum) ||
+      !ReadTriples(in, n_test, &split.test, &checksum)) {
+    return Status::Corruption("truncated dataset payload in " + path);
+  }
+  uint64_t stored = 0;
+  if (!ReadU64(in, &stored) || stored != checksum) {
+    return Status::Corruption("dataset checksum mismatch in " + path);
+  }
+
+  std::vector<Triple> all;
+  all.reserve(n_train + n_valid + n_test);
+  all.insert(all.end(), split.train.begin(), split.train.end());
+  all.insert(all.end(), split.valid.begin(), split.valid.end());
+  all.insert(all.end(), split.test.begin(), split.test.end());
+  HETKG_ASSIGN_OR_RETURN(KnowledgeGraph graph,
+                         KnowledgeGraph::Create(num_entities, num_relations,
+                                                std::move(all), name));
+  return SerializedDataset{std::move(graph), std::move(split)};
+}
+
+}  // namespace hetkg::graph

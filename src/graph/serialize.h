@@ -1,0 +1,36 @@
+#ifndef HETKG_GRAPH_SERIALIZE_H_
+#define HETKG_GRAPH_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace hetkg::graph {
+
+/// Binary snapshot of a dataset (graph + train/valid/test split), so
+/// expensive synthetic generation runs once and benches reload in
+/// milliseconds.
+///
+/// Format (little-endian):
+///   magic "HETKGGR1" | u64 num_entities | u64 num_relations
+///   | u64 name_len | name bytes
+///   | u64 n_train | u64 n_valid | u64 n_test
+///   | triples (u32 head, u32 relation, u32 tail) x (train+valid+test)
+///   | u64 xor-checksum
+struct SerializedDataset {
+  KnowledgeGraph graph;  // All triples.
+  DatasetSplit split;
+};
+
+/// Writes atomically (temp file + rename).
+Status SaveDataset(const std::string& path, const KnowledgeGraph& graph,
+                   const DatasetSplit& split);
+
+/// Reads a snapshot; Corruption on structural damage. The graph is
+/// rebuilt as train+valid+test in that order.
+Result<SerializedDataset> LoadDataset(const std::string& path);
+
+}  // namespace hetkg::graph
+
+#endif  // HETKG_GRAPH_SERIALIZE_H_

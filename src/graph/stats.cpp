@@ -1,0 +1,102 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace hetkg::graph {
+
+double TopShare(const std::vector<uint32_t>& frequencies, double fraction) {
+  if (frequencies.empty()) return 0.0;
+  std::vector<uint32_t> sorted = SortedDescending(frequencies);
+  const uint64_t total =
+      std::accumulate(sorted.begin(), sorted.end(), uint64_t{0});
+  if (total == 0) return 0.0;
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(sorted.size()) * fraction));
+  const uint64_t head = std::accumulate(sorted.begin(),
+                                        sorted.begin() + std::min(k, sorted.size()),
+                                        uint64_t{0});
+  return static_cast<double>(head) / static_cast<double>(total);
+}
+
+SkewStats ComputeSkew(const std::vector<uint32_t>& frequencies) {
+  SkewStats stats;
+  if (frequencies.empty()) return stats;
+
+  std::vector<uint32_t> sorted = SortedDescending(frequencies);
+  stats.total_accesses =
+      std::accumulate(sorted.begin(), sorted.end(), uint64_t{0});
+  stats.max_frequency = sorted.front();
+  stats.mean_frequency = static_cast<double>(stats.total_accesses) /
+                         static_cast<double>(sorted.size());
+
+  for (double f : {0.001, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(sorted.size()) * f));
+    const uint64_t head = std::accumulate(
+        sorted.begin(), sorted.begin() + std::min(k, sorted.size()),
+        uint64_t{0});
+    const double share =
+        stats.total_accesses == 0
+            ? 0.0
+            : static_cast<double>(head) / static_cast<double>(stats.total_accesses);
+    stats.top_share.emplace_back(f, share);
+  }
+
+  // Gini over the ascending distribution: G = (2*sum(i*x_i))/(n*sum(x)) -
+  // (n+1)/n with 1-based ranks.
+  std::vector<uint32_t> asc = sorted;
+  std::reverse(asc.begin(), asc.end());
+  long double weighted = 0.0L;
+  for (size_t i = 0; i < asc.size(); ++i) {
+    weighted += static_cast<long double>(i + 1) * asc[i];
+  }
+  const long double n = static_cast<long double>(asc.size());
+  const long double total = static_cast<long double>(stats.total_accesses);
+  if (total > 0) {
+    stats.gini =
+        static_cast<double>((2.0L * weighted) / (n * total) - (n + 1.0L) / n);
+  }
+  return stats;
+}
+
+AccessFrequencies CountEpochAccesses(const KnowledgeGraph& graph,
+                                     size_t negatives_per_positive,
+                                     uint64_t seed) {
+  AccessFrequencies out;
+  out.entity.assign(graph.num_entities(), 0);
+  out.relation.assign(graph.num_relations(), 0);
+  Rng rng(seed);
+
+  for (const Triple& t : graph.triples()) {
+    // The positive triple touches h, r, t.
+    ++out.entity[t.head];
+    ++out.entity[t.tail];
+    ++out.relation[t.relation];
+    // Each negative corrupts head or tail with a uniform entity; the
+    // kept endpoint and relation embeddings are read again.
+    for (size_t k = 0; k < negatives_per_positive; ++k) {
+      const EntityId corrupt =
+          static_cast<EntityId>(rng.NextBounded(graph.num_entities()));
+      ++out.entity[corrupt];
+      if (rng.NextBernoulli(0.5)) {
+        ++out.entity[t.tail];  // Head corrupted, tail re-read.
+      } else {
+        ++out.entity[t.head];
+      }
+      ++out.relation[t.relation];
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> SortedDescending(const std::vector<uint32_t>& freq) {
+  std::vector<uint32_t> sorted = freq;
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint32_t>());
+  return sorted;
+}
+
+}  // namespace hetkg::graph

@@ -1,0 +1,52 @@
+#ifndef HETKG_GRAPH_STATS_H_
+#define HETKG_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/knowledge_graph.h"
+
+namespace hetkg::graph {
+
+/// Skew statistics of an access-frequency vector, the quantity behind
+/// the paper's Fig. 2 micro-benchmark and the Sec. IV-B observation
+/// ("top 1% of entities and relations occupy 6% and 36% of the
+/// embedding usage").
+struct SkewStats {
+  uint64_t total_accesses = 0;
+  /// Share of total accesses captured by the most frequent `top_fraction`
+  /// of ids, for top_fraction in {0.001, 0.01, 0.05, 0.1, 0.25, 0.5}.
+  std::vector<std::pair<double, double>> top_share;
+  /// Gini coefficient of the frequency distribution (1 = maximal skew).
+  double gini = 0.0;
+  uint64_t max_frequency = 0;
+  double mean_frequency = 0.0;
+};
+
+/// Computes skew statistics from raw per-id access counts.
+SkewStats ComputeSkew(const std::vector<uint32_t>& frequencies);
+
+/// Returns the share of `frequencies`' mass held by its top
+/// `fraction` most frequent ids.
+double TopShare(const std::vector<uint32_t>& frequencies, double fraction);
+
+/// Per-epoch embedding access frequencies induced by uniform positive
+/// sampling plus `negatives_per_positive` corruptions (each corruption
+/// touches one uniformly random replacement entity and re-touches the
+/// kept endpoint and relation). This mirrors what the HET-KG prefetcher
+/// observes and is the exact distribution the cache filters on.
+struct AccessFrequencies {
+  std::vector<uint32_t> entity;
+  std::vector<uint32_t> relation;
+};
+AccessFrequencies CountEpochAccesses(const KnowledgeGraph& graph,
+                                     size_t negatives_per_positive,
+                                     uint64_t seed);
+
+/// Sorted (descending) copy of a frequency vector; handy for plotting
+/// rank/frequency series.
+std::vector<uint32_t> SortedDescending(const std::vector<uint32_t>& freq);
+
+}  // namespace hetkg::graph
+
+#endif  // HETKG_GRAPH_STATS_H_

@@ -1,0 +1,63 @@
+#ifndef HETKG_GRAPH_TYPES_H_
+#define HETKG_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hetkg {
+
+/// Dense 0-based identifiers for entities and relations. 32 bits covers
+/// the scaled Freebase-86m configuration (8.6e5 entities) with ample
+/// headroom; the full 86M-entity spec also fits.
+using EntityId = uint32_t;
+using RelationId = uint32_t;
+
+/// One knowledge-graph edge (h, r, t).
+struct Triple {
+  EntityId head = 0;
+  RelationId relation = 0;
+  EntityId tail = 0;
+
+  bool operator==(const Triple& other) const {
+    return head == other.head && relation == other.relation &&
+           tail == other.tail;
+  }
+};
+
+/// Unified 64-bit key space addressing both embedding tables: bit 63
+/// distinguishes relation keys from entity keys. The parameter server,
+/// caches, and network accounting all speak EmbKey so a single code path
+/// handles the heterogeneous id space the paper highlights.
+using EmbKey = uint64_t;
+
+inline constexpr EmbKey kRelationKeyBit = 1ULL << 63;
+
+inline EmbKey EntityKey(EntityId id) { return static_cast<EmbKey>(id); }
+inline EmbKey RelationKey(RelationId id) {
+  return kRelationKeyBit | static_cast<EmbKey>(id);
+}
+inline bool IsRelationKey(EmbKey key) { return (key & kRelationKeyBit) != 0; }
+inline EntityId KeyEntity(EmbKey key) { return static_cast<EntityId>(key); }
+inline RelationId KeyRelation(EmbKey key) {
+  return static_cast<RelationId>(key & ~kRelationKeyBit);
+}
+
+/// Mixes a Triple into a 64-bit hash (for dedup sets and filtered
+/// evaluation). Collision-free packing is used when the id widths allow
+/// it; otherwise a strong mix is applied.
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t x = (static_cast<uint64_t>(t.head) << 32) ^
+                 (static_cast<uint64_t>(t.tail) << 16) ^ t.relation;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace hetkg
+
+#endif  // HETKG_GRAPH_TYPES_H_

@@ -1,0 +1,72 @@
+#include "partition/bucketizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace hetkg::partition {
+
+Result<BucketPlan> PbgBucketizer::Build(const graph::KnowledgeGraph& g,
+                                        size_t num_partitions,
+                                        size_t num_machines) const {
+  if (num_partitions == 0 || num_machines == 0) {
+    return Status::InvalidArgument(
+        "num_partitions and num_machines must be positive");
+  }
+  BucketPlan plan;
+  plan.num_partitions = num_partitions;
+
+  // Uniform entity split via a shuffled block assignment, matching PBG's
+  // hash partitioning.
+  plan.entity_part.resize(g.num_entities());
+  {
+    std::vector<uint32_t> ids(g.num_entities());
+    std::iota(ids.begin(), ids.end(), 0);
+    Rng rng(seed_);
+    rng.Shuffle(&ids);
+    const size_t per_part =
+        (g.num_entities() + num_partitions - 1) / num_partitions;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      plan.entity_part[ids[i]] = static_cast<uint32_t>(i / per_part);
+    }
+  }
+
+  plan.bucket_triples.assign(num_partitions * num_partitions, {});
+  for (const Triple& t : g.triples()) {
+    const uint32_t i = plan.entity_part[t.head];
+    const uint32_t j = plan.entity_part[t.tail];
+    plan.bucket_triples[i * num_partitions + j].push_back(t);
+  }
+
+  // Greedy lock-server schedule: fill rounds with buckets whose two
+  // partitions are both free, up to num_machines buckets per round.
+  std::vector<bool> done(plan.bucket_triples.size(), false);
+  size_t remaining = 0;
+  for (size_t b = 0; b < plan.bucket_triples.size(); ++b) {
+    if (plan.bucket_triples[b].empty()) {
+      done[b] = true;
+    } else {
+      ++remaining;
+    }
+  }
+  while (remaining > 0) {
+    std::vector<uint32_t> round;
+    std::vector<bool> locked(num_partitions, false);
+    for (size_t b = 0; b < plan.bucket_triples.size(); ++b) {
+      if (done[b] || round.size() >= num_machines) continue;
+      const uint32_t i = static_cast<uint32_t>(b / num_partitions);
+      const uint32_t j = static_cast<uint32_t>(b % num_partitions);
+      if (locked[i] || locked[j]) continue;
+      locked[i] = true;
+      locked[j] = true;
+      round.push_back(static_cast<uint32_t>(b));
+      done[b] = true;
+      --remaining;
+    }
+    plan.schedule.push_back(std::move(round));
+  }
+  return plan;
+}
+
+}  // namespace hetkg::partition

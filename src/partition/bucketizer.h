@@ -1,0 +1,45 @@
+#ifndef HETKG_PARTITION_BUCKETIZER_H_
+#define HETKG_PARTITION_BUCKETIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace hetkg::partition {
+
+/// PBG-style block decomposition: entities are split uniformly into `p`
+/// partitions, and each triple lands in bucket (part(head), part(tail)).
+/// Training iterates over buckets; a machine working on bucket (i, j)
+/// must hold entity partitions i and j in memory, and a lock server
+/// guarantees no two machines share a partition concurrently (Sec. III-B
+/// steps 1-4 of the paper's PBG description).
+struct BucketPlan {
+  size_t num_partitions = 0;
+  std::vector<uint32_t> entity_part;
+  /// bucket_triples[i * p + j] holds the triples of bucket (i, j).
+  std::vector<std::vector<Triple>> bucket_triples;
+  /// Rounds of concurrently trainable buckets: within one round no two
+  /// buckets share an entity partition, so up to `num_machines` machines
+  /// proceed in parallel. Empty buckets are never scheduled.
+  std::vector<std::vector<uint32_t>> schedule;
+};
+
+class PbgBucketizer {
+ public:
+  explicit PbgBucketizer(uint64_t seed) : seed_(seed) {}
+
+  /// Builds the plan. `num_partitions` must be >= 1; the PBG convention
+  /// for `m` machines is p >= 2m so every round can keep all machines
+  /// busy on disjoint partition pairs.
+  Result<BucketPlan> Build(const graph::KnowledgeGraph& g,
+                           size_t num_partitions, size_t num_machines) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace hetkg::partition
+
+#endif  // HETKG_PARTITION_BUCKETIZER_H_

@@ -1,0 +1,39 @@
+#ifndef HETKG_PARTITION_METIS_PARTITIONER_H_
+#define HETKG_PARTITION_METIS_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace hetkg::partition {
+
+/// Configuration of the multilevel partitioner.
+struct MetisOptions {
+  /// Allowed imbalance: a part may hold up to `imbalance` times the mean
+  /// vertex weight (METIS' default ufactor corresponds to ~1.03; graph
+  /// learning systems usually accept a little more slack).
+  double imbalance = 1.05;
+  /// Stop coarsening when at most this many vertices per part remain.
+  size_t coarsen_to_per_part = 32;
+  /// Boundary refinement passes per uncoarsening level.
+  int refine_passes = 4;
+  uint64_t seed = 1;
+};
+
+/// Multilevel min-edge-cut partitioner in the METIS mold (Karypis &
+/// Kumar): heavy-edge-matching coarsening, greedy region-growing initial
+/// partition on the coarsest graph, and boundary Kernighan-Lin style
+/// refinement during uncoarsening. The paper relies on METIS to cut
+/// cross-machine triples before training (Sec. V).
+class MetisPartitioner : public Partitioner {
+ public:
+  explicit MetisPartitioner(MetisOptions options = {});
+  std::string_view name() const override { return "metis"; }
+  Result<PartitionResult> Partition(const graph::KnowledgeGraph& g,
+                                    size_t num_parts) override;
+
+ private:
+  MetisOptions options_;
+};
+
+}  // namespace hetkg::partition
+
+#endif  // HETKG_PARTITION_METIS_PARTITIONER_H_

@@ -1,0 +1,64 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hetkg::partition {
+
+Result<PartitionResult> RandomPartitioner::Partition(
+    const graph::KnowledgeGraph& g, size_t num_parts) {
+  if (num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  PartitionResult result;
+  result.num_parts = num_parts;
+  result.entity_part.resize(g.num_entities());
+  Rng rng(seed_);
+  for (auto& p : result.entity_part) {
+    p = static_cast<uint32_t>(rng.NextBounded(num_parts));
+  }
+  return result;
+}
+
+PartitionStats ComputePartitionStats(const graph::KnowledgeGraph& g,
+                                     const PartitionResult& parts) {
+  PartitionStats stats;
+  stats.part_entities.assign(parts.num_parts, 0);
+  stats.part_triples.assign(parts.num_parts, 0);
+  for (uint32_t p : parts.entity_part) {
+    ++stats.part_entities[p];
+  }
+  for (const Triple& t : g.triples()) {
+    const uint32_t hp = parts.entity_part[t.head];
+    const uint32_t tp = parts.entity_part[t.tail];
+    if (hp != tp) ++stats.cut_triples;
+    ++stats.part_triples[hp];
+  }
+  stats.cut_fraction =
+      g.num_triples() == 0
+          ? 0.0
+          : static_cast<double>(stats.cut_triples) / g.num_triples();
+  const uint64_t max_entities =
+      *std::max_element(stats.part_entities.begin(), stats.part_entities.end());
+  const double mean_entities =
+      static_cast<double>(g.num_entities()) / parts.num_parts;
+  stats.balance = mean_entities == 0.0 ? 0.0 : max_entities / mean_entities;
+  return stats;
+}
+
+std::vector<std::vector<Triple>> AssignTriples(const graph::KnowledgeGraph& g,
+                                               const PartitionResult& parts) {
+  std::vector<std::vector<Triple>> out(parts.num_parts);
+  std::vector<uint64_t> load(parts.num_parts, 0);
+  for (const Triple& t : g.triples()) {
+    const uint32_t hp = parts.entity_part[t.head];
+    const uint32_t tp = parts.entity_part[t.tail];
+    const uint32_t target = load[hp] <= load[tp] ? hp : tp;
+    out[target].push_back(t);
+    ++load[target];
+  }
+  return out;
+}
+
+}  // namespace hetkg::partition

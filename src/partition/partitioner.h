@@ -1,0 +1,63 @@
+#ifndef HETKG_PARTITION_PARTITIONER_H_
+#define HETKG_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/knowledge_graph.h"
+
+namespace hetkg::partition {
+
+/// An assignment of every entity to one of `num_parts` machines.
+struct PartitionResult {
+  size_t num_parts = 0;
+  std::vector<uint32_t> entity_part;  // size = num_entities
+};
+
+/// Interface for entity partitioners. HET-KG and DGL-KE both partition
+/// the knowledge graph before training (Sec. V, "Graph Partitioning") so
+/// that a worker's mini-batches mostly touch locally owned embeddings.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Partitions the graph's entities into `num_parts` balanced parts.
+  virtual Result<PartitionResult> Partition(const graph::KnowledgeGraph& g,
+                                            size_t num_parts) = 0;
+};
+
+/// Uniform random assignment — the baseline METIS is compared against.
+class RandomPartitioner : public Partitioner {
+ public:
+  explicit RandomPartitioner(uint64_t seed) : seed_(seed) {}
+  std::string_view name() const override { return "random"; }
+  Result<PartitionResult> Partition(const graph::KnowledgeGraph& g,
+                                    size_t num_parts) override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Quality metrics of a partition over the triple list.
+struct PartitionStats {
+  uint64_t cut_triples = 0;   // head and tail on different parts
+  double cut_fraction = 0.0;  // cut_triples / num_triples
+  double balance = 0.0;       // max part entity count / mean
+  std::vector<uint64_t> part_entities;
+  std::vector<uint64_t> part_triples;  // by head-entity ownership
+};
+PartitionStats ComputePartitionStats(const graph::KnowledgeGraph& g,
+                                     const PartitionResult& parts);
+
+/// Distributes triples to workers for PS-style training: each triple
+/// goes to the less-loaded of its endpoints' parts, which keeps worker
+/// batches balanced while preserving locality. Deterministic.
+std::vector<std::vector<Triple>> AssignTriples(const graph::KnowledgeGraph& g,
+                                               const PartitionResult& parts);
+
+}  // namespace hetkg::partition
+
+#endif  // HETKG_PARTITION_PARTITIONER_H_

@@ -1,0 +1,164 @@
+#include "ps/parameter_server.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace hetkg::ps {
+
+Result<std::unique_ptr<ParameterServer>> ParameterServer::Create(
+    const PsConfig& config, std::vector<uint32_t> entity_owner,
+    sim::ClusterSim* cluster) {
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("cluster must not be null");
+  }
+  if (config.num_entities == 0 || config.num_relations == 0) {
+    return Status::InvalidArgument("empty entity or relation table");
+  }
+  if (config.entity_dim == 0 || config.relation_dim == 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (entity_owner.size() != config.num_entities) {
+    return Status::InvalidArgument("entity_owner size mismatch");
+  }
+  for (uint32_t owner : entity_owner) {
+    if (owner >= cluster->num_machines()) {
+      return Status::OutOfRange("entity owner machine out of range");
+    }
+  }
+  return std::unique_ptr<ParameterServer>(
+      new ParameterServer(config, std::move(entity_owner), cluster));
+}
+
+ParameterServer::ParameterServer(const PsConfig& config,
+                                 std::vector<uint32_t> entity_owner,
+                                 sim::ClusterSim* cluster)
+    : config_(config),
+      entity_owner_(std::move(entity_owner)),
+      cluster_(cluster),
+      entity_table_(config.num_entities, config.entity_dim),
+      relation_table_(config.num_relations, config.relation_dim),
+      entity_opt_(config.num_entities, config.entity_dim,
+                  config.learning_rate),
+      relation_opt_(config.num_relations, config.relation_dim,
+                    config.learning_rate) {}
+
+void ParameterServer::InitEmbeddings() {
+  Rng rng(config_.init_seed);
+  entity_table_.InitXavierUniform(&rng);
+  relation_table_.InitXavierUniform(&rng);
+  if (config_.normalize_entities) {
+    for (size_t e = 0; e < config_.num_entities; ++e) {
+      entity_table_.L2NormalizeRow(e);
+    }
+  }
+}
+
+uint32_t ParameterServer::OwnerOf(EmbKey key) const {
+  if (IsRelationKey(key)) {
+    // Relations are sharded round-robin across co-located servers.
+    return static_cast<uint32_t>(KeyRelation(key) %
+                                 cluster_->num_machines());
+  }
+  return entity_owner_[KeyEntity(key)];
+}
+
+std::span<const float> ParameterServer::Value(EmbKey key) const {
+  if (IsRelationKey(key)) {
+    return relation_table_.Row(KeyRelation(key));
+  }
+  return entity_table_.Row(KeyEntity(key));
+}
+
+void ParameterServer::SetValue(EmbKey key, std::span<const float> value) {
+  if (IsRelationKey(key)) {
+    relation_table_.SetRow(KeyRelation(key), value);
+  } else {
+    entity_table_.SetRow(KeyEntity(key), value);
+  }
+}
+
+void ParameterServer::ApplyGradient(EmbKey key, std::span<const float> grad) {
+  if (IsRelationKey(key)) {
+    const RelationId r = KeyRelation(key);
+    relation_opt_.Apply(r, relation_table_.Row(r), grad);
+    return;
+  }
+  const EntityId e = KeyEntity(key);
+  entity_opt_.Apply(e, entity_table_.Row(e), grad);
+  if (config_.normalize_entities) {
+    entity_table_.L2NormalizeRow(e);
+  }
+}
+
+void ParameterServer::PullBatch(uint32_t worker_machine,
+                                std::span<const EmbKey> keys,
+                                std::span<std::span<float>> out) {
+  HETKG_CHECK(keys.size() == out.size());
+  const size_t num_machines = cluster_->num_machines();
+  scratch_owner_rows_.assign(num_machines, 0);
+  std::vector<uint64_t> payload(num_machines, 0);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const EmbKey key = keys[i];
+    const std::span<const float> value = Value(key);
+    HETKG_CHECK(out[i].size() == value.size())
+        << "pull destination width mismatch for key " << key;
+    std::copy(value.begin(), value.end(), out[i].begin());
+
+    const uint32_t owner = OwnerOf(key);
+    ++scratch_owner_rows_[owner];
+    payload[owner] += RowBytes(key);
+  }
+
+  for (uint32_t owner = 0; owner < num_machines; ++owner) {
+    if (scratch_owner_rows_[owner] == 0) continue;
+    if (owner == worker_machine) {
+      cluster_->RecordLocalCopy(worker_machine, payload[owner]);
+      metrics_.Increment(metric::kLocalPullRows, scratch_owner_rows_[owner]);
+    } else {
+      // Request carries the key list; response carries the rows.
+      cluster_->RecordRemoteMessage(worker_machine, owner,
+                                    scratch_owner_rows_[owner] * sizeof(EmbKey));
+      cluster_->RecordRemoteMessage(owner, worker_machine, payload[owner]);
+      metrics_.Increment(metric::kRemotePullRows, scratch_owner_rows_[owner]);
+      metrics_.Increment(metric::kRemoteMessages, 2);
+      metrics_.Increment(metric::kRemoteBytes, payload[owner]);
+    }
+  }
+}
+
+void ParameterServer::PushGradBatch(
+    uint32_t worker_machine, std::span<const EmbKey> keys,
+    std::span<const std::span<const float>> grads) {
+  HETKG_CHECK(keys.size() == grads.size());
+  const size_t num_machines = cluster_->num_machines();
+  scratch_owner_rows_.assign(num_machines, 0);
+  std::vector<uint64_t> payload(num_machines, 0);
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const EmbKey key = keys[i];
+    HETKG_CHECK(grads[i].size() == RowDim(key))
+        << "gradient width mismatch for key " << key;
+    ApplyGradient(key, grads[i]);
+
+    const uint32_t owner = OwnerOf(key);
+    ++scratch_owner_rows_[owner];
+    payload[owner] += RowBytes(key) + sizeof(EmbKey);
+  }
+
+  for (uint32_t owner = 0; owner < num_machines; ++owner) {
+    if (scratch_owner_rows_[owner] == 0) continue;
+    if (owner == worker_machine) {
+      cluster_->RecordLocalCopy(worker_machine, payload[owner]);
+      metrics_.Increment(metric::kLocalPushRows, scratch_owner_rows_[owner]);
+    } else {
+      cluster_->RecordRemoteMessage(worker_machine, owner, payload[owner]);
+      metrics_.Increment(metric::kRemotePushRows, scratch_owner_rows_[owner]);
+      metrics_.Increment(metric::kRemoteMessages, 1);
+      metrics_.Increment(metric::kRemoteBytes, payload[owner]);
+    }
+  }
+}
+
+}  // namespace hetkg::ps

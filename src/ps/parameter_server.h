@@ -1,0 +1,114 @@
+#ifndef HETKG_PS_PARAMETER_SERVER_H_
+#define HETKG_PS_PARAMETER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "embedding/adagrad.h"
+#include "embedding/embedding_table.h"
+#include "graph/types.h"
+#include "sim/cluster.h"
+
+namespace hetkg::ps {
+
+/// Configuration of the sharded parameter server.
+struct PsConfig {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  size_t entity_dim = 0;
+  size_t relation_dim = 0;  // May exceed entity_dim (TransH, RESCAL).
+  double learning_rate = 0.1;
+  /// L2-normalize entity rows after each update (TransE convention).
+  bool normalize_entities = false;
+  uint64_t init_seed = 7;
+};
+
+/// Co-located sharded parameter server (Sec. V, "Parameter Server").
+///
+/// Entity rows are owned by the machine their METIS partition maps to;
+/// relation rows are sharded round-robin across machines (DGL-KE's
+/// KVStore layout). Workers pull values and push gradients in batches;
+/// each batch becomes one request/response message per remote shard,
+/// while same-machine traffic goes through the shared-memory
+/// localPull/localPush path. All traffic is reported to the ClusterSim
+/// and mirrored into a MetricRegistry.
+///
+/// The server applies AdaGrad on arrival of each gradient (Algorithm 4's
+/// push handler); pulls always return the latest global value
+/// (Algorithm 4's pull handler).
+class ParameterServer {
+ public:
+  /// `entity_owner[e]` is the machine hosting entity e; values must be
+  /// < `cluster->num_machines()`.
+  static Result<std::unique_ptr<ParameterServer>> Create(
+      const PsConfig& config, std::vector<uint32_t> entity_owner,
+      sim::ClusterSim* cluster);
+
+  /// Initializes both tables Xavier-uniform (and normalizes entity rows
+  /// when configured).
+  void InitEmbeddings();
+
+  /// Owning machine of a key.
+  uint32_t OwnerOf(EmbKey key) const;
+
+  /// Width of the row addressed by `key`.
+  size_t RowDim(EmbKey key) const {
+    return IsRelationKey(key) ? config_.relation_dim : config_.entity_dim;
+  }
+
+  /// Batched pull issued by a worker on `worker_machine`: copies the
+  /// current global value of each key into `out[i]` (spans of RowDim).
+  /// Accounting: one message pair per distinct remote shard, plus
+  /// payload bytes; local rows cost shared-memory bandwidth only.
+  void PullBatch(uint32_t worker_machine, std::span<const EmbKey> keys,
+                 std::span<std::span<float>> out);
+
+  /// Batched gradient push: applies AdaGrad to each key's global row.
+  /// Same accounting shape as PullBatch.
+  void PushGradBatch(uint32_t worker_machine, std::span<const EmbKey> keys,
+                     std::span<const std::span<const float>> grads);
+
+  /// Unaccounted read of the current global value (evaluation only).
+  std::span<const float> Value(EmbKey key) const;
+
+  /// Unaccounted write (tests and checkpoint restore).
+  void SetValue(EmbKey key, std::span<const float> value);
+
+  const PsConfig& config() const { return config_; }
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+  /// Total bytes of one pulled/pushed row for `key` on the wire.
+  uint64_t RowBytes(EmbKey key) const {
+    return RowDim(key) * sizeof(float);
+  }
+
+ private:
+  ParameterServer(const PsConfig& config, std::vector<uint32_t> entity_owner,
+                  sim::ClusterSim* cluster);
+
+  /// Applies one gradient row to the global table.
+  void ApplyGradient(EmbKey key, std::span<const float> grad);
+
+  PsConfig config_;
+  std::vector<uint32_t> entity_owner_;
+  sim::ClusterSim* cluster_;  // Not owned.
+
+  embedding::EmbeddingTable entity_table_;
+  embedding::EmbeddingTable relation_table_;
+  embedding::AdaGrad entity_opt_;
+  embedding::AdaGrad relation_opt_;
+  MetricRegistry metrics_;
+
+  // Scratch, reused across batches to avoid per-call allocation.
+  std::vector<uint32_t> scratch_owner_rows_;
+};
+
+}  // namespace hetkg::ps
+
+#endif  // HETKG_PS_PARAMETER_SERVER_H_

@@ -1,0 +1,142 @@
+#include "embedding/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+
+namespace hetkg {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, RoundTripsBothTables) {
+  embedding::EmbeddingTable entities(10, 4);
+  embedding::EmbeddingTable relations(3, 8);
+  Rng rng(5);
+  entities.InitGaussian(&rng, 1.0f);
+  relations.InitGaussian(&rng, 1.0f);
+
+  const std::string path = TempPath("roundtrip.ck");
+  ASSERT_TRUE(embedding::SaveCheckpoint(path, entities, relations).ok());
+  auto loaded = embedding::LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->entities.num_rows(), 10u);
+  EXPECT_EQ(loaded->entities.dim(), 4u);
+  EXPECT_EQ(loaded->relations.num_rows(), 3u);
+  EXPECT_EQ(loaded->relations.dim(), 8u);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto a = entities.Row(i);
+    const auto b = loaded->entities.Row(i);
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(a[j], b[j]);
+    }
+  }
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  auto loaded = embedding::LoadCheckpoint("/nonexistent/x.ck");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, BadMagicIsCorruption) {
+  const std::string path = TempPath("badmagic.ck");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPT-and-some-padding-bytes-here";
+  }
+  auto loaded = embedding::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, TruncationIsDetected) {
+  embedding::EmbeddingTable entities(50, 8);
+  embedding::EmbeddingTable relations(5, 8);
+  Rng rng(7);
+  entities.InitGaussian(&rng, 1.0f);
+  const std::string path = TempPath("trunc.ck");
+  ASSERT_TRUE(embedding::SaveCheckpoint(path, entities, relations).ok());
+  // Chop off the tail.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(body.data(), static_cast<std::streamsize>(body.size() / 2));
+  }
+  auto loaded = embedding::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, BitFlipFailsChecksum) {
+  embedding::EmbeddingTable entities(20, 4);
+  embedding::EmbeddingTable relations(4, 4);
+  Rng rng(9);
+  entities.InitGaussian(&rng, 1.0f);
+  relations.InitGaussian(&rng, 1.0f);
+  const std::string path = TempPath("bitflip.ck");
+  ASSERT_TRUE(embedding::SaveCheckpoint(path, entities, relations).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);  // Somewhere in the entity payload.
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(64);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto loaded = embedding::LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointTest, EngineSnapshotEvaluatesIdentically) {
+  // Train briefly, snapshot, reload, and verify the checkpointed
+  // embeddings score link prediction exactly like the live engine.
+  graph::SyntheticSpec spec;
+  spec.num_entities = 300;
+  spec.num_relations = 8;
+  spec.num_triples = 3000;
+  spec.seed = 31;
+  const auto dataset = graph::GenerateDataset(spec).value();
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.batch_size = 32;
+  config.negatives_per_positive = 4;
+  config.num_machines = 2;
+  config.cache_capacity = 32;
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
+                                 dataset.graph, dataset.split.train)
+                    .value();
+  engine->Train(2).value();
+
+  const std::string path = TempPath("engine.ck");
+  ASSERT_TRUE(core::SaveEngineCheckpoint(*engine, path).ok());
+  auto checkpoint = embedding::LoadCheckpoint(path);
+  ASSERT_TRUE(checkpoint.ok());
+  core::CheckpointLookup lookup(&*checkpoint);
+
+  eval::EvalOptions options;
+  options.max_triples = 50;
+  const auto live = eval::EvaluateLinkPrediction(
+                        engine->Embeddings(), engine->ScoreFn(),
+                        dataset.graph, dataset.split.test, options)
+                        .value();
+  const auto restored = eval::EvaluateLinkPrediction(
+                            lookup, engine->ScoreFn(), dataset.graph,
+                            dataset.split.test, options)
+                            .value();
+  EXPECT_DOUBLE_EQ(live.mrr, restored.mrr);
+  EXPECT_DOUBLE_EQ(live.mr, restored.mr);
+}
+
+}  // namespace
+}  // namespace hetkg

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/flags.h"
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace hetkg {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = SplitString("a\t\tb\t", '\t');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(TrimString("  x y \r\n"), "x y");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString(" \t "), "");
+}
+
+TEST(StringUtilTest, ParseIntegers) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("-1", &u));
+}
+
+TEST(StringUtilTest, ParseDoubles) {
+  double d = 0.0;
+  EXPECT_TRUE(ParseDouble("2.5e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 0.0025);
+  EXPECT_FALSE(ParseDouble("abc", &d));
+}
+
+TEST(StringUtilTest, HumanRendering) {
+  EXPECT_EQ(HumanBytes(1536.0), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3.0 * 1024 * 1024 * 1024), "3.00 GiB");
+  EXPECT_EQ(HumanSeconds(0.0021), "2.1 ms");
+  EXPECT_EQ(HumanSeconds(200.0), "3.3 min");
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(EndsWith("file.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", ".tsv"));
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  double prev = 0.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+  // p50 in the right ballpark for a uniform 1..1000 stream.
+  EXPECT_GT(h.Quantile(0.5), 250.0);
+  EXPECT_LT(h.Quantile(0.5), 800.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Add(1.0);
+  b.Add(100.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, IncrementAndGet) {
+  MetricRegistry m;
+  EXPECT_EQ(m.Get("x"), 0u);
+  m.Increment("x");
+  m.Increment("x", 4);
+  EXPECT_EQ(m.Get("x"), 5u);
+}
+
+TEST(MetricsTest, MergeAndSnapshot) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.Increment("x", 1);
+  b.Increment("x", 2);
+  b.Increment("y", 3);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 3u);
+  EXPECT_EQ(a.Get("y"), 3u);
+  const auto snapshot = a.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "x");  // Name-ordered.
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  FlagParser flags;
+  flags.Define("alpha", "1", "");
+  flags.Define("beta", "x", "");
+  flags.Define("gamma", "false", "");
+  const char* argv[] = {"prog", "--alpha=7", "--beta", "hello", "--gamma"};
+  ASSERT_TRUE(flags.Parse(5, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("alpha"), 7);
+  EXPECT_EQ(flags.GetString("beta"), "hello");
+  EXPECT_TRUE(flags.GetBool("gamma"));
+  EXPECT_TRUE(flags.IsSet("alpha"));
+}
+
+TEST(FlagsTest, DefaultsApplyWhenUnset) {
+  FlagParser flags;
+  flags.Define("dim", "16", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt("dim"), 16);
+  EXPECT_FALSE(flags.IsSet("dim"));
+}
+
+TEST(FlagsTest, RejectsUnknownAndPositional) {
+  FlagParser flags;
+  flags.Define("known", "1", "");
+  const char* argv1[] = {"prog", "--unknown=2"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv1)).ok());
+  FlagParser flags2;
+  flags2.Define("known", "1", "");
+  const char* argv2[] = {"prog", "stray"};
+  EXPECT_FALSE(flags2.Parse(2, const_cast<char**>(argv2)).ok());
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagParser flags;
+  flags.Define("dim", "16", "embedding dimension");
+  const std::string usage = flags.Usage("prog");
+  EXPECT_NE(usage.find("--dim"), std::string::npos);
+  EXPECT_NE(usage.find("embedding dimension"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pool.ParallelFor(1000, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      touched[i].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) {
+    EXPECT_EQ(t.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace hetkg

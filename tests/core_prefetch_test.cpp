@@ -1,0 +1,114 @@
+#include "core/prefetcher.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace hetkg::core {
+namespace {
+
+std::vector<Triple> MakeTriples(size_t n) {
+  std::vector<Triple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<EntityId>(i % 50),
+                   static_cast<RelationId>(i % 5),
+                   static_cast<EntityId>((i + 7) % 50)});
+  }
+  return out;
+}
+
+TEST(PrefetcherTest, IterationsPerEpochRoundsUp) {
+  const auto triples = MakeTriples(100);
+  embedding::UniformNegativeSampler sampler(50, 2, 1);
+  Prefetcher p(&triples, 32, &sampler, 1);
+  EXPECT_EQ(p.IterationsPerEpoch(), 4u);  // ceil(100/32)
+}
+
+TEST(PrefetcherTest, EpochCoversEveryTripleExactlyOnce) {
+  const auto triples = MakeTriples(100);
+  embedding::UniformNegativeSampler sampler(50, 1, 2);
+  Prefetcher p(&triples, 32, &sampler, 3);
+  auto window = p.Prefetch(p.IterationsPerEpoch());
+  size_t positives = 0;
+  for (const auto& batch : window.batches) {
+    positives += batch.positives.size();
+  }
+  EXPECT_EQ(positives, 100u);
+  // Last batch of the epoch is the short remainder batch.
+  EXPECT_EQ(window.batches.back().positives.size(), 100u % 32u);
+}
+
+TEST(PrefetcherTest, NegativesAccompanyEveryBatch) {
+  const auto triples = MakeTriples(64);
+  embedding::UniformNegativeSampler sampler(50, 4, 5);
+  Prefetcher p(&triples, 16, &sampler, 7);
+  const auto window = p.Prefetch(2);
+  for (const auto& batch : window.batches) {
+    EXPECT_EQ(batch.negatives.size(), batch.positives.size() * 4);
+  }
+}
+
+TEST(PrefetcherTest, FrequenciesCountAllAccesses) {
+  std::vector<Triple> triples = {{0, 0, 1}};
+  embedding::UniformNegativeSampler sampler(10, 2, 11);
+  Prefetcher p(&triples, 1, &sampler, 13);
+  const auto window = p.Prefetch(1);
+  // Positive touches 3 rows; each of the 2 negatives touches 3 rows.
+  EXPECT_EQ(window.total_accesses, 3u + 2u * 3u);
+  // The relation is touched by the positive and both negatives.
+  EXPECT_EQ(window.frequencies.at(RelationKey(0)), 3u);
+}
+
+TEST(PrefetcherTest, CountOnlyMatchesMaterializedCounts) {
+  const auto triples = MakeTriples(80);
+  embedding::UniformNegativeSampler s1(50, 3, 17);
+  embedding::UniformNegativeSampler s2(50, 3, 17);
+  Prefetcher a(&triples, 16, &s1, 19);
+  Prefetcher b(&triples, 16, &s2, 19);
+  const auto window = a.Prefetch(5);
+  FrequencyMap counted;
+  const uint64_t accesses = b.PrefetchCountOnly(5, &counted);
+  EXPECT_EQ(accesses, window.total_accesses);
+  EXPECT_EQ(counted.size(), window.frequencies.size());
+  for (const auto& [key, freq] : window.frequencies) {
+    EXPECT_EQ(counted.at(key), freq);
+  }
+}
+
+TEST(PrefetcherTest, BatchKeysAreDeduplicated) {
+  MiniBatch batch;
+  batch.positives = {{1, 0, 2}, {1, 0, 3}};
+  embedding::NegativeSample neg;
+  neg.positive_index = 0;
+  neg.triple = {1, 0, 9};
+  neg.corruption = embedding::Corruption::kTail;
+  batch.negatives = {neg};
+  const auto keys = BatchKeys(batch);
+  const std::unordered_set<EmbKey> set(keys.begin(), keys.end());
+  EXPECT_EQ(set.size(), keys.size());
+  // {e1, e2, e3, e9, r0}.
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.contains(EntityKey(9)));
+  EXPECT_TRUE(set.contains(RelationKey(0)));
+}
+
+TEST(PrefetcherTest, DeterministicStreams) {
+  const auto triples = MakeTriples(60);
+  embedding::UniformNegativeSampler s1(50, 2, 23);
+  embedding::UniformNegativeSampler s2(50, 2, 23);
+  Prefetcher a(&triples, 8, &s1, 29);
+  Prefetcher b(&triples, 8, &s2, 29);
+  const auto wa = a.Prefetch(4);
+  const auto wb = b.Prefetch(4);
+  ASSERT_EQ(wa.batches.size(), wb.batches.size());
+  for (size_t i = 0; i < wa.batches.size(); ++i) {
+    ASSERT_EQ(wa.batches[i].positives.size(),
+              wb.batches[i].positives.size());
+    for (size_t j = 0; j < wa.batches[i].positives.size(); ++j) {
+      EXPECT_EQ(wa.batches[i].positives[j], wb.batches[i].positives[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetkg::core

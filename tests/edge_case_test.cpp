@@ -1,0 +1,142 @@
+// Edge cases across module boundaries that the per-module suites do not
+// reach.
+#include <gtest/gtest.h>
+
+#include "core/hot_filter.h"
+#include "core/prefetcher.h"
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+#include "partition/bucketizer.h"
+
+namespace hetkg {
+namespace {
+
+TEST(FilterEdgeTest, EmptyFrequencyMapYieldsEmptyHotSet) {
+  core::FrequencyMap empty;
+  const core::FilterOptions options{64, 0.25, true};
+  const auto quota = core::ComputeQuota(options, 100, 100);
+  EXPECT_TRUE(core::FilterHotKeys(empty, options, quota).empty());
+  EXPECT_EQ(core::PredictedHitRatio(empty, {}, 0), 0.0);
+}
+
+TEST(FilterEdgeTest, CapacityZeroCachesNothing) {
+  core::FrequencyMap freq;
+  freq[EntityKey(1)] = 10;
+  const core::FilterOptions options{0, 0.25, true};
+  const auto quota = core::ComputeQuota(options, 100, 100);
+  EXPECT_EQ(quota.entity_slots + quota.relation_slots, 0u);
+  EXPECT_TRUE(core::FilterHotKeys(freq, options, quota).empty());
+}
+
+TEST(PrefetcherEdgeTest, SingleTripleDataset) {
+  const std::vector<Triple> one = {{0, 0, 1}};
+  embedding::UniformNegativeSampler sampler(5, 2, 1);
+  core::Prefetcher prefetcher(&one, 8, &sampler, 2);
+  EXPECT_EQ(prefetcher.IterationsPerEpoch(), 1u);
+  const auto window = prefetcher.Prefetch(3);  // Wraps twice.
+  ASSERT_EQ(window.batches.size(), 3u);
+  for (const auto& batch : window.batches) {
+    ASSERT_EQ(batch.positives.size(), 1u);
+    EXPECT_EQ(batch.positives[0], one[0]);
+  }
+}
+
+TEST(BucketizerEdgeTest, SinglePartitionSingleBucket) {
+  std::vector<Triple> triples = {{0, 0, 1}, {1, 0, 2}};
+  const auto g =
+      graph::KnowledgeGraph::Create(3, 1, triples, "tiny").value();
+  partition::PbgBucketizer bucketizer(1);
+  const auto plan = bucketizer.Build(g, 1, 1).value();
+  ASSERT_EQ(plan.bucket_triples.size(), 1u);
+  EXPECT_EQ(plan.bucket_triples[0].size(), 2u);
+  ASSERT_EQ(plan.schedule.size(), 1u);
+  EXPECT_EQ(plan.schedule[0].size(), 1u);
+}
+
+TEST(EngineEdgeTest, TwoEntityGraphTrains) {
+  // The minimum viable knowledge graph: two entities, one relation.
+  std::vector<Triple> triples;
+  for (int i = 0; i < 40; ++i) {
+    triples.push_back({0, 0, 1});
+  }
+  const auto g =
+      graph::KnowledgeGraph::Create(2, 1, triples, "minimal").value();
+  core::TrainerConfig config;
+  config.dim = 4;
+  config.batch_size = 8;
+  config.negatives_per_positive = 1;
+  config.num_machines = 2;
+  config.cache_capacity = 2;
+  auto engine =
+      core::MakeEngine(core::SystemKind::kHetKgCps, config, g, triples);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto report = (*engine)->Train(2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->epochs.size(), 2u);
+}
+
+TEST(EngineEdgeTest, MoreMachinesThanUsefulStillRuns) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 50;
+  spec.num_relations = 3;
+  spec.num_triples = 200;
+  spec.seed = 4;
+  const auto dataset = graph::GenerateDataset(spec).value();
+  core::TrainerConfig config;
+  config.dim = 4;
+  config.batch_size = 4;
+  config.negatives_per_positive = 2;
+  config.num_machines = 8;  // 25 triples per worker.
+  config.cache_capacity = 8;
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
+                                 dataset.graph, dataset.split.train);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE((*engine)->Train(1).ok());
+}
+
+TEST(EngineEdgeTest, DpsWindowOfOneRebuildsEveryIteration) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 100;
+  spec.num_relations = 4;
+  spec.num_triples = 600;
+  spec.seed = 9;
+  const auto dataset = graph::GenerateDataset(spec).value();
+  core::TrainerConfig config;
+  config.dim = 4;
+  config.batch_size = 16;
+  config.negatives_per_positive = 2;
+  config.num_machines = 2;
+  config.cache_capacity = 16;
+  config.sync.dps_window = 1;
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
+                                 dataset.graph, dataset.split.train)
+                    .value();
+  auto report = engine->Train(1).value();
+  // Every iteration of every worker rebuilds.
+  const uint64_t rebuilds = report.metrics.Get(metric::kCacheRebuilds);
+  EXPECT_GT(rebuilds, 2u * 10u);
+}
+
+TEST(EngineEdgeTest, StalenessLargerThanEpochNeverRefreshesWithinIt) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 100;
+  spec.num_relations = 4;
+  spec.num_triples = 600;
+  spec.seed = 10;
+  const auto dataset = graph::GenerateDataset(spec).value();
+  core::TrainerConfig config;
+  config.dim = 4;
+  config.batch_size = 16;
+  config.negatives_per_positive = 2;
+  config.num_machines = 2;
+  config.cache_capacity = 16;
+  config.sync.staleness_bound = 1000000;
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgCps, config,
+                                 dataset.graph, dataset.split.train)
+                    .value();
+  auto report = engine->Train(1).value();
+  EXPECT_EQ(report.metrics.Get(metric::kCacheRefreshRows), 0u);
+}
+
+}  // namespace
+}  // namespace hetkg

@@ -1,0 +1,207 @@
+#include "embedding/negative_sampler.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace hetkg::embedding {
+namespace {
+
+std::vector<Triple> MakePositives(size_t n) {
+  std::vector<Triple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<EntityId>(i), static_cast<RelationId>(i % 3),
+                   static_cast<EntityId>(i + 100)});
+  }
+  return out;
+}
+
+TEST(UniformSamplerTest, ProducesRequestedCount) {
+  UniformNegativeSampler sampler(1000, 4, 1);
+  const auto positives = MakePositives(16);
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  EXPECT_EQ(negs.size(), 64u);
+}
+
+TEST(UniformSamplerTest, CorruptsExactlyOneEndpoint) {
+  UniformNegativeSampler sampler(1000, 8, 2);
+  const auto positives = MakePositives(32);
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  for (const auto& neg : negs) {
+    const Triple& pos = positives[neg.positive_index];
+    EXPECT_EQ(neg.triple.relation, pos.relation);
+    if (neg.corrupted_head()) {
+      EXPECT_EQ(neg.triple.tail, pos.tail);
+    } else {
+      EXPECT_EQ(neg.triple.head, pos.head);
+    }
+  }
+}
+
+TEST(UniformSamplerTest, CorruptsBothSidesOverTime) {
+  UniformNegativeSampler sampler(1000, 16, 3);
+  const auto positives = MakePositives(64);
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  size_t heads = 0;
+  for (const auto& n : negs) {
+    if (n.corrupted_head()) ++heads;
+  }
+  EXPECT_GT(heads, negs.size() / 4);
+  EXPECT_LT(heads, negs.size() * 3 / 4);
+}
+
+TEST(UniformSamplerTest, DeterministicGivenSeed) {
+  const auto positives = MakePositives(8);
+  std::vector<NegativeSample> a, b;
+  UniformNegativeSampler s1(100, 2, 42);
+  UniformNegativeSampler s2(100, 2, 42);
+  s1.Sample(positives, &a);
+  s2.Sample(positives, &b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].triple, b[i].triple);
+  }
+}
+
+TEST(BatchedSamplerTest, SharesNegativePoolWithinChunk) {
+  BatchedNegativeSampler sampler(10000, 4, /*chunk_size=*/8, 5);
+  const auto positives = MakePositives(8);  // One chunk.
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  ASSERT_EQ(negs.size(), 32u);
+  // All 8 positives must see the same 4 replacement entities.
+  std::unordered_set<EntityId> pool;
+  for (size_t k = 0; k < 4; ++k) {
+    pool.insert(negs[k].corrupted_head() ? negs[k].triple.head
+                                       : negs[k].triple.tail);
+  }
+  EXPECT_LE(pool.size(), 4u);
+  for (const auto& neg : negs) {
+    const EntityId replacement =
+        neg.corrupted_head() ? neg.triple.head : neg.triple.tail;
+    EXPECT_TRUE(pool.contains(replacement));
+  }
+}
+
+TEST(BatchedSamplerTest, DistinctChunksGetDistinctPools) {
+  BatchedNegativeSampler sampler(1000000, 4, /*chunk_size=*/4, 6);
+  const auto positives = MakePositives(8);  // Two chunks.
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  std::unordered_set<EntityId> pool1, pool2;
+  for (size_t i = 0; i < negs.size(); ++i) {
+    const EntityId repl =
+        negs[i].corrupted_head() ? negs[i].triple.head : negs[i].triple.tail;
+    (negs[i].positive_index < 4 ? pool1 : pool2).insert(repl);
+  }
+  // With a million entities the chance of overlap is negligible.
+  for (EntityId e : pool1) {
+    EXPECT_FALSE(pool2.contains(e));
+  }
+}
+
+TEST(BatchedSamplerTest, ReducesEntityDraws) {
+  UniformNegativeSampler uniform(1000, 64, 1);
+  BatchedNegativeSampler batched(1000, 64, /*chunk_size=*/16, 1);
+  EXPECT_EQ(uniform.EntityDrawsPerBatch(256), 256u * 64u);
+  EXPECT_EQ(batched.EntityDrawsPerBatch(256), 16u * 64u);
+}
+
+TEST(SamplerFactoryTest, ParsesNames) {
+  EXPECT_TRUE(MakeNegativeSampler("uniform", 10, 2, 4, 1).ok());
+  EXPECT_TRUE(MakeNegativeSampler("batched", 10, 2, 4, 1).ok());
+  EXPECT_FALSE(MakeNegativeSampler("nce", 10, 2, 4, 1).ok());
+  EXPECT_FALSE(MakeNegativeSampler("uniform", 1, 2, 4, 1).ok());
+}
+
+
+TEST(UniformSamplerTest, RelationCorruptionProducesRelationNegatives) {
+  UniformNegativeSampler sampler(1000, 16, 7);
+  ASSERT_TRUE(sampler.EnableRelationCorruption(0.5, 10).ok());
+  const auto positives = MakePositives(64);
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  size_t relation_corruptions = 0;
+  for (const auto& neg : negs) {
+    const Triple& pos = positives[neg.positive_index];
+    if (neg.corruption == Corruption::kRelation) {
+      ++relation_corruptions;
+      EXPECT_EQ(neg.triple.head, pos.head);
+      EXPECT_EQ(neg.triple.tail, pos.tail);
+      EXPECT_LT(neg.triple.relation, 10u);
+    } else {
+      EXPECT_EQ(neg.triple.relation, pos.relation);
+    }
+  }
+  // ~50% of 1024 negatives.
+  EXPECT_GT(relation_corruptions, negs.size() / 3);
+  EXPECT_LT(relation_corruptions, negs.size() * 2 / 3);
+}
+
+TEST(UniformSamplerTest, RelationCorruptionValidation) {
+  UniformNegativeSampler sampler(100, 4, 8);
+  EXPECT_FALSE(sampler.EnableRelationCorruption(-0.1, 10).ok());
+  EXPECT_FALSE(sampler.EnableRelationCorruption(1.5, 10).ok());
+  EXPECT_FALSE(sampler.EnableRelationCorruption(0.5, 1).ok());
+  EXPECT_TRUE(sampler.EnableRelationCorruption(0.0, 0).ok());
+}
+
+TEST(UniformSamplerTest, DegreeWeightingFavorsHubs) {
+  const size_t n = 100;
+  UniformNegativeSampler sampler(n, 8, 9);
+  std::vector<uint32_t> degrees(n, 1);
+  degrees[7] = 100000;  // One massive hub.
+  ASSERT_TRUE(sampler.EnableDegreeWeighting(degrees).ok());
+  const auto positives = MakePositives(200);
+  std::vector<NegativeSample> negs;
+  sampler.Sample(positives, &negs);
+  size_t hub_draws = 0;
+  for (const auto& neg : negs) {
+    const EntityId repl =
+        neg.corrupted_head() ? neg.triple.head : neg.triple.tail;
+    if (repl == 7) ++hub_draws;
+  }
+  // degree^0.75 weighting: the hub holds ~97% of the mass.
+  EXPECT_GT(hub_draws, negs.size() / 2);
+}
+
+TEST(UniformSamplerTest, DegreeWeightingValidatesSize) {
+  UniformNegativeSampler sampler(100, 4, 10);
+  std::vector<uint32_t> wrong_size(50, 1);
+  EXPECT_FALSE(sampler.EnableDegreeWeighting(wrong_size).ok());
+}
+
+TEST(SamplerSpecTest, BatchedRejectsUniformOnlyFeatures) {
+  NegativeSamplerSpec spec;
+  spec.name = "batched";
+  spec.num_entities = 100;
+  spec.negatives_per_positive = 4;
+  spec.chunk_size = 4;
+  spec.relation_corruption_prob = 0.3;
+  spec.num_relations = 10;
+  EXPECT_FALSE(MakeNegativeSampler(spec).ok());
+}
+
+TEST(SamplerSpecTest, UniformSpecComposesFeatures) {
+  std::vector<uint32_t> degrees(100, 2);
+  NegativeSamplerSpec spec;
+  spec.name = "uniform";
+  spec.num_entities = 100;
+  spec.negatives_per_positive = 4;
+  spec.seed = 3;
+  spec.relation_corruption_prob = 0.25;
+  spec.num_relations = 5;
+  spec.entity_degrees = &degrees;
+  auto sampler = MakeNegativeSampler(spec);
+  ASSERT_TRUE(sampler.ok());
+  const auto positives = MakePositives(32);
+  std::vector<NegativeSample> negs;
+  (*sampler)->Sample(positives, &negs);
+  EXPECT_EQ(negs.size(), 128u);
+}
+
+}  // namespace
+}  // namespace hetkg::embedding

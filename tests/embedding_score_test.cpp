@@ -1,0 +1,181 @@
+#include "embedding/score_function.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hetkg::embedding {
+namespace {
+
+/// Numerically checks ScoreBackward against central finite differences
+/// for every parameter of h, r, and t. This is the load-bearing
+/// correctness test for the hand-derived gradients: a wrong sign or a
+/// missing chain-rule term fails it immediately.
+void CheckGradients(ModelKind kind, size_t dim, uint64_t seed,
+                    double tolerance = 2e-3) {
+  auto fn_result = MakeScoreFunction(kind, dim);
+  ASSERT_TRUE(fn_result.ok()) << fn_result.status().ToString();
+  const auto& fn = *fn_result.value();
+  const size_t rdim = fn.RelationDim(dim);
+
+  Rng rng(seed);
+  std::vector<float> h(dim);
+  std::vector<float> r(rdim);
+  std::vector<float> t(dim);
+  for (auto& v : h) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  for (auto& v : r) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+  for (auto& v : t) v = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+
+  const double upstream = 1.7;
+  std::vector<float> gh(dim, 0.0f);
+  std::vector<float> gr(rdim, 0.0f);
+  std::vector<float> gt(dim, 0.0f);
+  fn.ScoreBackward(h, r, t, upstream, gh, gr, gt);
+
+  const double eps = 1e-3;
+  auto numeric = [&](std::vector<float>* param, size_t i) {
+    const float saved = (*param)[i];
+    (*param)[i] = saved + static_cast<float>(eps);
+    const double plus = fn.Score(h, r, t);
+    (*param)[i] = saved - static_cast<float>(eps);
+    const double minus = fn.Score(h, r, t);
+    (*param)[i] = saved;
+    return upstream * (plus - minus) / (2.0 * eps);
+  };
+
+  for (size_t i = 0; i < dim; ++i) {
+    EXPECT_NEAR(gh[i], numeric(&h, i), tolerance)
+        << "dh[" << i << "] for " << fn.name();
+    EXPECT_NEAR(gt[i], numeric(&t, i), tolerance)
+        << "dt[" << i << "] for " << fn.name();
+  }
+  for (size_t i = 0; i < rdim; ++i) {
+    EXPECT_NEAR(gr[i], numeric(&r, i), tolerance)
+        << "dr[" << i << "] for " << fn.name();
+  }
+}
+
+class GradientCheckTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(GradientCheckTest, MatchesFiniteDifferences) {
+  CheckGradients(GetParam(), 8, 101);
+  CheckGradients(GetParam(), 16, 202);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, GradientCheckTest,
+    ::testing::Values(ModelKind::kTransEL1, ModelKind::kTransEL2,
+                      ModelKind::kDistMult, ModelKind::kComplEx,
+                      ModelKind::kTransH, ModelKind::kTransR,
+                      ModelKind::kTransD, ModelKind::kHolE,
+                      ModelKind::kRescal),
+    [](const ::testing::TestParamInfo<ModelKind>& info) {
+      std::string name(ModelKindName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ScoreFunctionTest, TransEPerfectTripleScoresZero) {
+  auto fn = MakeScoreFunction(ModelKind::kTransEL2, 4).value();
+  std::vector<float> h = {1.0f, 0.0f, 0.0f, 0.0f};
+  std::vector<float> r = {0.0f, 1.0f, 0.0f, 0.0f};
+  std::vector<float> t = {1.0f, 1.0f, 0.0f, 0.0f};  // t = h + r.
+  EXPECT_NEAR(fn->Score(h, r, t), 0.0, 1e-9);
+  // Any perturbation lowers the score.
+  t[0] = 2.0f;
+  EXPECT_LT(fn->Score(h, r, t), -0.5);
+}
+
+TEST(ScoreFunctionTest, TransEL1UsesManhattanDistance) {
+  auto fn = MakeScoreFunction(ModelKind::kTransEL1, 2).value();
+  std::vector<float> h = {0.0f, 0.0f};
+  std::vector<float> r = {0.0f, 0.0f};
+  std::vector<float> t = {3.0f, 4.0f};
+  EXPECT_NEAR(fn->Score(h, r, t), -7.0, 1e-6);
+  auto l2 = MakeScoreFunction(ModelKind::kTransEL2, 2).value();
+  EXPECT_NEAR(l2->Score(h, r, t), -5.0, 1e-6);
+}
+
+TEST(ScoreFunctionTest, DistMultIsSymmetricInHeadTail) {
+  auto fn = MakeScoreFunction(ModelKind::kDistMult, 8).value();
+  Rng rng(5);
+  std::vector<float> h(8), r(8), t(8);
+  for (auto& v : h) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : r) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : t) v = static_cast<float>(rng.NextGaussian());
+  EXPECT_NEAR(fn->Score(h, r, t), fn->Score(t, r, h), 1e-9);
+}
+
+TEST(ScoreFunctionTest, ComplExModelsAsymmetricRelations) {
+  auto fn = MakeScoreFunction(ModelKind::kComplEx, 8).value();
+  Rng rng(6);
+  std::vector<float> h(8), r(8), t(8);
+  for (auto& v : h) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : r) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : t) v = static_cast<float>(rng.NextGaussian());
+  EXPECT_GT(std::fabs(fn->Score(h, r, t) - fn->Score(t, r, h)), 1e-4);
+}
+
+TEST(ScoreFunctionTest, ComplExRejectsOddDimension) {
+  auto fn = MakeScoreFunction(ModelKind::kComplEx, 7);
+  EXPECT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScoreFunctionTest, TransHInvariantToInPlaneTranslationOfNormal) {
+  // Scaling w must not change the score (w is normalized internally).
+  auto fn = MakeScoreFunction(ModelKind::kTransH, 4).value();
+  Rng rng(7);
+  std::vector<float> h(4), r(8), t(4);
+  for (auto& v : h) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : r) v = static_cast<float>(rng.NextGaussian());
+  for (auto& v : t) v = static_cast<float>(rng.NextGaussian());
+  const double base = fn->Score(h, r, t);
+  for (size_t i = 0; i < 4; ++i) r[i] *= 3.0f;  // Scale w half only.
+  EXPECT_NEAR(fn->Score(h, r, t), base, 1e-5);
+}
+
+TEST(ScoreFunctionTest, RescalRelationDimIsSquared) {
+  auto fn = MakeScoreFunction(ModelKind::kRescal, 6).value();
+  EXPECT_EQ(fn->RelationDim(6), 36u);
+}
+
+TEST(ScoreFunctionTest, RescalIdentityMatrixGivesDotProduct) {
+  auto fn = MakeScoreFunction(ModelKind::kRescal, 3).value();
+  std::vector<float> h = {1.0f, 2.0f, 3.0f};
+  std::vector<float> t = {4.0f, 5.0f, 6.0f};
+  std::vector<float> m(9, 0.0f);
+  m[0] = m[4] = m[8] = 1.0f;
+  EXPECT_NEAR(fn->Score(h, m, t), 32.0, 1e-6);
+}
+
+TEST(ScoreFunctionTest, ParseAndNameRoundTrip) {
+  for (auto kind : {ModelKind::kTransEL1, ModelKind::kTransEL2,
+                    ModelKind::kDistMult, ModelKind::kComplEx,
+                    ModelKind::kTransH, ModelKind::kRescal}) {
+    auto fn = MakeScoreFunction(kind, 8).value();
+    EXPECT_EQ(fn->kind(), kind);
+    EXPECT_FALSE(fn->name().empty());
+  }
+  EXPECT_EQ(*ParseModelKind("transe"), ModelKind::kTransEL1);
+  EXPECT_EQ(*ParseModelKind("distmult"), ModelKind::kDistMult);
+  EXPECT_FALSE(ParseModelKind("conveMist").ok());
+}
+
+TEST(ScoreFunctionTest, FlopsEstimatesArePositiveAndScaleWithDim) {
+  for (auto kind : {ModelKind::kTransEL1, ModelKind::kDistMult,
+                    ModelKind::kComplEx, ModelKind::kTransH,
+                    ModelKind::kRescal}) {
+    auto fn = MakeScoreFunction(kind, 8).value();
+    EXPECT_GT(fn->FlopsPerTriple(8), 0u);
+    EXPECT_GT(fn->FlopsPerTriple(64), fn->FlopsPerTriple(8));
+  }
+}
+
+}  // namespace
+}  // namespace hetkg::embedding

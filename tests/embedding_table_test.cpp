@@ -1,0 +1,188 @@
+#include "embedding/embedding_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "embedding/adagrad.h"
+#include "embedding/loss.h"
+
+namespace hetkg::embedding {
+namespace {
+
+TEST(EmbeddingTableTest, ShapeAndZeroInit) {
+  EmbeddingTable table(10, 4);
+  EXPECT_EQ(table.num_rows(), 10u);
+  EXPECT_EQ(table.dim(), 4u);
+  EXPECT_EQ(table.SizeBytes(), 10 * 4 * sizeof(float));
+  for (float v : table.Row(3)) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(EmbeddingTableTest, SetAndAccumulateRow) {
+  EmbeddingTable table(2, 3);
+  const float vals[] = {1.0f, 2.0f, 3.0f};
+  table.SetRow(1, vals);
+  EXPECT_EQ(table.Row(1)[2], 3.0f);
+  const float delta[] = {0.5f, -1.0f, 1.0f};
+  table.AccumulateRow(1, delta);
+  EXPECT_FLOAT_EQ(table.Row(1)[0], 1.5f);
+  EXPECT_FLOAT_EQ(table.Row(1)[1], 1.0f);
+  EXPECT_FLOAT_EQ(table.Row(1)[2], 4.0f);
+  // Row 0 untouched.
+  EXPECT_EQ(table.Row(0)[0], 0.0f);
+}
+
+TEST(EmbeddingTableTest, XavierInitStaysInBound) {
+  EmbeddingTable table(100, 16);
+  Rng rng(3);
+  table.InitXavierUniform(&rng);
+  const float bound = 6.0f / std::sqrt(16.0f);
+  bool any_nonzero = false;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (float v : table.Row(i)) {
+      EXPECT_LE(std::fabs(v), bound);
+      if (v != 0.0f) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(EmbeddingTableTest, GaussianInitHasRequestedSpread) {
+  EmbeddingTable table(1000, 16);
+  Rng rng(4);
+  table.InitGaussian(&rng, 0.1f);
+  double sumsq = 0.0;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (float v : table.Row(i)) {
+      sumsq += static_cast<double>(v) * v;
+    }
+  }
+  const double std_est = std::sqrt(sumsq / (1000.0 * 16.0));
+  EXPECT_NEAR(std_est, 0.1, 0.01);
+}
+
+TEST(EmbeddingTableTest, L2NormalizeMakesUnitRows) {
+  EmbeddingTable table(2, 3);
+  const float vals[] = {3.0f, 0.0f, 4.0f};
+  table.SetRow(0, vals);
+  table.L2NormalizeRow(0);
+  EXPECT_NEAR(RowNorm(table.Row(0)), 1.0, 1e-6);
+  EXPECT_FLOAT_EQ(table.Row(0)[0], 0.6f);
+  // Zero rows stay zero (no division by zero).
+  table.L2NormalizeRow(1);
+  EXPECT_EQ(table.Row(1)[0], 0.0f);
+}
+
+TEST(RowMathTest, DotAndNorm) {
+  const float a[] = {1.0f, 2.0f, 2.0f};
+  const float b[] = {2.0f, 1.0f, 0.0f};
+  EXPECT_NEAR(RowDot(a, b), 4.0, 1e-9);
+  EXPECT_NEAR(RowNorm(a), 3.0, 1e-9);
+}
+
+TEST(AdaGradTest, FirstStepIsLearningRateSized) {
+  // With zero accumulator: step = lr * g / sqrt(g^2 + eps) ~= lr*sign(g).
+  EmbeddingTable table(1, 2);
+  AdaGrad opt(1, 2, /*learning_rate=*/0.5);
+  const float grad[] = {2.0f, -2.0f};
+  opt.Apply(0, table.Row(0), grad);
+  EXPECT_NEAR(table.Row(0)[0], -0.5, 1e-4);
+  EXPECT_NEAR(table.Row(0)[1], 0.5, 1e-4);
+}
+
+TEST(AdaGradTest, StepsShrinkWithAccumulation) {
+  EmbeddingTable table(1, 1);
+  AdaGrad opt(1, 1, 0.1);
+  const float grad[] = {1.0f};
+  float prev = table.Row(0)[0];
+  double prev_step = 1e9;
+  for (int i = 0; i < 5; ++i) {
+    opt.Apply(0, table.Row(0), grad);
+    const double step = std::fabs(table.Row(0)[0] - prev);
+    EXPECT_LT(step, prev_step);
+    prev_step = step;
+    prev = table.Row(0)[0];
+  }
+}
+
+TEST(AdaGradTest, RowsHaveIndependentState) {
+  EmbeddingTable table(2, 1);
+  AdaGrad opt(2, 1, 0.1);
+  const float grad[] = {1.0f};
+  for (int i = 0; i < 10; ++i) {
+    opt.Apply(0, table.Row(0), grad);
+  }
+  // Row 1 still takes a full-size first step.
+  opt.Apply(1, table.Row(1), grad);
+  EXPECT_NEAR(table.Row(1)[0], -0.1, 1e-4);
+  EXPECT_GT(opt.AccumulatorRow(0)[0], opt.AccumulatorRow(1)[0]);
+}
+
+TEST(AdaGradTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 with AdaGrad; gradient = 2(x - 3).
+  EmbeddingTable table(1, 1);
+  AdaGrad opt(1, 1, 0.8);
+  for (int i = 0; i < 3000; ++i) {
+    const float x = table.Row(0)[0];
+    const float grad[] = {2.0f * (x - 3.0f)};
+    opt.Apply(0, table.Row(0), grad);
+  }
+  EXPECT_NEAR(table.Row(0)[0], 3.0f, 0.05f);
+}
+
+TEST(MarginLossTest, ZeroWhenMarginSatisfied) {
+  MarginRankingLoss loss(1.0);
+  const LossGrad g = loss.PairLoss(/*pos=*/5.0, /*neg=*/1.0);
+  EXPECT_EQ(g.loss, 0.0);
+  EXPECT_EQ(g.dpos, 0.0);
+  EXPECT_EQ(g.dneg, 0.0);
+}
+
+TEST(MarginLossTest, LinearInViolation) {
+  MarginRankingLoss loss(1.0);
+  const LossGrad g = loss.PairLoss(/*pos=*/0.0, /*neg=*/0.5);
+  EXPECT_NEAR(g.loss, 1.5, 1e-9);
+  EXPECT_EQ(g.dpos, -1.0);
+  EXPECT_EQ(g.dneg, 1.0);
+}
+
+TEST(LogisticLossTest, GradientsMatchFiniteDifference) {
+  LogisticLoss loss(4);
+  const double eps = 1e-6;
+  for (double pos : {-2.0, 0.0, 1.5}) {
+    for (double neg : {-1.0, 0.0, 2.0}) {
+      const LossGrad g = loss.PairLoss(pos, neg);
+      const double dpos_num =
+          (loss.PairLoss(pos + eps, neg).loss - loss.PairLoss(pos - eps, neg).loss) /
+          (2 * eps);
+      const double dneg_num =
+          (loss.PairLoss(pos, neg + eps).loss - loss.PairLoss(pos, neg - eps).loss) /
+          (2 * eps);
+      EXPECT_NEAR(g.dpos, dpos_num, 1e-5);
+      EXPECT_NEAR(g.dneg, dneg_num, 1e-5);
+      EXPECT_GT(g.loss, 0.0);
+    }
+  }
+}
+
+TEST(LogisticLossTest, StableAtExtremeScores) {
+  LogisticLoss loss(1);
+  const LossGrad g = loss.PairLoss(1000.0, -1000.0);
+  EXPECT_TRUE(std::isfinite(g.loss));
+  EXPECT_NEAR(g.loss, 0.0, 1e-6);
+  const LossGrad g2 = loss.PairLoss(-1000.0, 1000.0);
+  EXPECT_TRUE(std::isfinite(g2.loss));
+  EXPECT_NEAR(g2.dpos, -1.0, 1e-6);
+  EXPECT_NEAR(g2.dneg, 1.0, 1e-6);
+}
+
+TEST(LossFactoryTest, ParsesKnownNames) {
+  EXPECT_TRUE(MakeLossFunction("margin", 1.0, 8).ok());
+  EXPECT_TRUE(MakeLossFunction("logistic", 1.0, 8).ok());
+  EXPECT_FALSE(MakeLossFunction("hinge", 1.0, 8).ok());
+}
+
+}  // namespace
+}  // namespace hetkg::embedding

@@ -1,0 +1,233 @@
+#include "eval/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include "embedding/embedding_table.h"
+
+namespace hetkg::eval {
+namespace {
+
+/// Planted lookup where entity i sits at position i on a line and the
+/// single relation translates by +1: triple (i, 0, i+1) is perfectly
+/// predictable with TransE.
+class LineLookup : public EmbeddingLookup {
+ public:
+  explicit LineLookup(size_t n) : n_(n) {
+    entities_.resize(n * 2);
+    for (size_t i = 0; i < n; ++i) {
+      entities_[2 * i] = static_cast<float>(i);
+      entities_[2 * i + 1] = 0.0f;
+    }
+    relation_ = {1.0f, 0.0f};
+  }
+  std::span<const float> Entity(EntityId id) const override {
+    return {entities_.data() + 2 * id, 2};
+  }
+  std::span<const float> Relation(RelationId) const override {
+    return relation_;
+  }
+  size_t num_entities() const override { return n_; }
+  size_t num_relations() const override { return 1; }
+
+ private:
+  size_t n_;
+  std::vector<float> entities_;
+  std::array<float, 2> relation_;
+};
+
+graph::KnowledgeGraph LineGraph(size_t n) {
+  std::vector<Triple> triples;
+  for (EntityId i = 0; i + 1 < n; ++i) {
+    triples.push_back({i, 0, static_cast<EntityId>(i + 1)});
+  }
+  return graph::KnowledgeGraph::Create(n, 1, triples, "line").value();
+}
+
+TEST(LinkPredictionTest, PerfectEmbeddingsGetPerfectRanks) {
+  const size_t n = 20;
+  LineLookup lookup(n);
+  const auto graph = LineGraph(n);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test = {{5, 0, 6}, {10, 0, 11}};
+  EvalOptions options;
+  options.filtered = false;
+  const auto metrics =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, options).value();
+  EXPECT_NEAR(metrics.mrr, 1.0, 1e-9);
+  EXPECT_NEAR(metrics.hits1, 1.0, 1e-9);
+  EXPECT_NEAR(metrics.mr, 1.0, 1e-9);
+  EXPECT_EQ(metrics.rankings, 4u);  // Head + tail per triple.
+}
+
+TEST(LinkPredictionTest, FilteredBeatsRawWhenPositivesCollide) {
+  // Make entity 6 reachable from both 5 and 7 via extra true triples so
+  // raw ranking is polluted by known positives.
+  const size_t n = 20;
+  LineLookup lookup(n);
+  std::vector<Triple> triples;
+  for (EntityId i = 0; i + 1 < n; ++i) {
+    triples.push_back({i, 0, static_cast<EntityId>(i + 1)});
+  }
+  // A "shortcut" true triple whose tail is very close to 5 + 1:
+  triples.push_back({5, 0, 7});
+  const auto graph =
+      graph::KnowledgeGraph::Create(n, 1, triples, "line+").value();
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+
+  std::vector<Triple> test = {{5, 0, 6}};
+  EvalOptions raw;
+  raw.filtered = false;
+  EvalOptions filtered;
+  filtered.filtered = true;
+  const auto raw_m =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, raw).value();
+  const auto filt_m =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, filtered).value();
+  EXPECT_GE(filt_m.mrr, raw_m.mrr);
+  EXPECT_NEAR(filt_m.mrr, 1.0, 1e-9);
+}
+
+TEST(LinkPredictionTest, CandidateSamplingBoundsWork) {
+  const size_t n = 100;
+  LineLookup lookup(n);
+  const auto graph = LineGraph(n);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test = {{50, 0, 51}};
+  EvalOptions options;
+  options.num_candidates = 10;
+  options.filtered = false;
+  const auto metrics =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, options).value();
+  // The true completion still wins against any candidate subset.
+  EXPECT_NEAR(metrics.mrr, 1.0, 1e-9);
+}
+
+TEST(LinkPredictionTest, MaxTriplesCapsWork) {
+  const size_t n = 50;
+  LineLookup lookup(n);
+  const auto graph = LineGraph(n);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test(graph.triples().begin(), graph.triples().end());
+  EvalOptions options;
+  options.max_triples = 5;
+  const auto metrics =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, options).value();
+  EXPECT_EQ(metrics.rankings, 10u);
+}
+
+TEST(LinkPredictionTest, MultiThreadedMatchesSingleThreaded) {
+  const size_t n = 60;
+  LineLookup lookup(n);
+  const auto graph = LineGraph(n);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test(graph.triples().begin(), graph.triples().end());
+  EvalOptions single;
+  single.num_threads = 1;
+  EvalOptions multi;
+  multi.num_threads = 4;
+  const auto a =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, single).value();
+  const auto b =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, multi).value();
+  EXPECT_DOUBLE_EQ(a.mrr, b.mrr);
+  EXPECT_DOUBLE_EQ(a.mr, b.mr);
+  EXPECT_EQ(a.rankings, b.rankings);
+}
+
+TEST(LinkPredictionTest, EmptyTestSetIsError) {
+  LineLookup lookup(5);
+  const auto graph = LineGraph(5);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(lookup, *fn, graph, {}, EvalOptions{}).ok());
+}
+
+TEST(LinkPredictionTest, BadEmbeddingsScoreNearRandom) {
+  // Hash-pattern embeddings carry no relational signal, so ranks land
+  // mid-pack rather than near 1.
+  const size_t n = 40;
+  class JunkLookup : public EmbeddingLookup {
+   public:
+    JunkLookup() : table_(40, 2), relation_{0.37f, -0.21f} {
+      for (EntityId id = 0; id < 40; ++id) {
+        const float vals[2] = {
+            static_cast<float>((id * 2654435761u) % 97) / 97.0f,
+            static_cast<float>((id * 40503u) % 89) / 89.0f};
+        table_.SetRow(id, vals);
+      }
+    }
+    std::span<const float> Entity(EntityId id) const override {
+      return table_.Row(id);
+    }
+    std::span<const float> Relation(RelationId) const override {
+      return relation_;
+    }
+    size_t num_entities() const override { return 40; }
+    size_t num_relations() const override { return 1; }
+
+   private:
+    embedding::EmbeddingTable table_;
+    std::array<float, 2> relation_;
+  };
+  JunkLookup lookup;
+  const auto graph = LineGraph(n);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test(graph.triples().begin(), graph.triples().end());
+  EvalOptions options;
+  options.filtered = false;
+  const auto metrics =
+      EvaluateLinkPrediction(lookup, *fn, graph, test, options).value();
+  // Junk ranks in the middle of the pack, nowhere near 1.
+  EXPECT_GT(metrics.mr, 5.0);
+  EXPECT_LT(metrics.hits1, 0.3);
+}
+
+
+TEST(HotColdEvalTest, SplitsTestSetByRelationFrequency) {
+  const size_t n = 30;
+  LineLookup lookup(n);
+  // Two relations: relation 0 occurs 25 times, relation 1 occurs 4.
+  std::vector<Triple> triples;
+  for (EntityId i = 0; i + 1 < 26; ++i) {
+    triples.push_back({i, 0, static_cast<EntityId>(i + 1)});
+  }
+  for (EntityId i = 0; i < 4; ++i) {
+    triples.push_back({i, 1, static_cast<EntityId>(i + 2)});
+  }
+  const auto graph =
+      graph::KnowledgeGraph::Create(n, 2, triples, "two-rel").value();
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  std::vector<Triple> test = {{5, 0, 6}, {10, 0, 11}, {1, 1, 3}};
+  EvalOptions options;
+  options.filtered = false;
+  const auto split = EvaluateByRelationHotness(
+                         lookup, *fn, graph, test,
+                         graph.RelationFrequencies(), options)
+                         .value();
+  EXPECT_EQ(split.hot.rankings, 4u);   // Two relation-0 triples.
+  EXPECT_EQ(split.cold.rankings, 2u);  // One relation-1 triple.
+  // Relation 0's +1 structure is perfectly modeled by the line lookup.
+  EXPECT_NEAR(split.hot.mrr, 1.0, 1e-9);
+}
+
+TEST(HotColdEvalTest, EmptyTestSetIsError) {
+  LineLookup lookup(5);
+  const auto graph = LineGraph(5);
+  auto fn = embedding::MakeScoreFunction(embedding::ModelKind::kTransEL2, 2)
+                .value();
+  EXPECT_FALSE(EvaluateByRelationHotness(lookup, *fn, graph, {},
+                                         graph.RelationFrequencies(),
+                                         EvalOptions{})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hetkg::eval

@@ -1,0 +1,100 @@
+#include "graph/serialize.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/synthetic.h"
+
+namespace hetkg::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+SyntheticDataset SmallDataset() {
+  SyntheticSpec spec;
+  spec.name = "serialize-test";
+  spec.num_entities = 200;
+  spec.num_relations = 6;
+  spec.num_triples = 1500;
+  spec.seed = 17;
+  return GenerateDataset(spec).value();
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("ds_roundtrip.bin");
+  ASSERT_TRUE(SaveDataset(path, dataset.graph, dataset.split).ok());
+
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.num_entities(), dataset.graph.num_entities());
+  EXPECT_EQ(loaded->graph.num_relations(), dataset.graph.num_relations());
+  EXPECT_EQ(loaded->graph.num_triples(), dataset.graph.num_triples());
+  EXPECT_EQ(loaded->graph.name(), dataset.graph.name());
+  ASSERT_EQ(loaded->split.train.size(), dataset.split.train.size());
+  ASSERT_EQ(loaded->split.valid.size(), dataset.split.valid.size());
+  ASSERT_EQ(loaded->split.test.size(), dataset.split.test.size());
+  for (size_t i = 0; i < dataset.split.train.size(); ++i) {
+    EXPECT_EQ(loaded->split.train[i], dataset.split.train[i]);
+  }
+  for (size_t i = 0; i < dataset.split.test.size(); ++i) {
+    EXPECT_EQ(loaded->split.test[i], dataset.split.test[i]);
+  }
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  auto loaded = LoadDataset("/nonexistent/ds.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, GarbageIsCorruption) {
+  const std::string path = TempPath("ds_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset snapshot at all, sorry";
+  }
+  auto loaded = LoadDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncationIsCorruption) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("ds_trunc.bin");
+  ASSERT_TRUE(SaveDataset(path, dataset.graph, dataset.split).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string body((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(body.data(), static_cast<std::streamsize>(body.size() * 3 / 4));
+  }
+  auto loaded = LoadDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, FlippedTripleFailsChecksum) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("ds_flip.bin");
+  ASSERT_TRUE(SaveDataset(path, dataset.graph, dataset.split).ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(120);  // Inside the triple payload.
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(120);
+    byte = static_cast<char>(byte ^ 0x1);
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadDataset(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace hetkg::graph

@@ -1,0 +1,129 @@
+// End-to-end pipeline over user-supplied TSV data: load -> partition ->
+// train on the simulated cluster -> evaluate -> checkpoint -> reload.
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "graph/loader.h"
+
+namespace hetkg {
+namespace {
+
+std::string WriteToyTsv(const char* name, int people, int cities) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  for (int i = 0; i < people; ++i) {
+    out << "person" << i << "\tlives_in\tcity" << (i % cities) << "\n";
+    out << "person" << i << "\tknows\tperson" << ((i + 1) % people) << "\n";
+    out << "person" << i << "\tworks_in\tcity" << ((i + 3) % cities) << "\n";
+  }
+  for (int c = 0; c < cities; ++c) {
+    out << "city" << c << "\tneighbor_of\tcity" << ((c + 1) % cities)
+        << "\n";
+  }
+  return path;
+}
+
+TEST(TsvPipelineTest, LoadTrainEvaluateCheckpoint) {
+  const std::string train_path = WriteToyTsv("pipe_train.tsv", 40, 6);
+  const std::string test_path = WriteToyTsv("pipe_test.tsv", 8, 6);
+
+  auto loaded = graph::LoadTsvDataset(train_path, "", test_path, "toy");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_GT(loaded->graph.num_entities(), 40u);
+  EXPECT_EQ(loaded->graph.num_relations(), 4u);
+
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.batch_size = 16;
+  config.negatives_per_positive = 4;
+  config.num_machines = 2;
+  config.cache_capacity = 16;
+  config.seed = 5;
+  for (core::SystemKind system :
+       {core::SystemKind::kHetKgDps, core::SystemKind::kPbg}) {
+    auto engine = core::MakeEngine(system, config, loaded->graph,
+                                   loaded->split.train);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    auto report = (*engine)->Train(20);
+    ASSERT_TRUE(report.ok());
+    EXPECT_LT(report->epochs.back().mean_loss,
+              report->epochs.front().mean_loss);
+
+    eval::EvalOptions options;
+    options.max_triples = 20;
+    auto metrics = eval::EvaluateLinkPrediction(
+        (*engine)->Embeddings(), (*engine)->ScoreFn(), loaded->graph,
+        loaded->split.test, options);
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_GT(metrics->mrr, 0.0);
+
+    const std::string ck_path = ::testing::TempDir() + "/pipe.ck";
+    ASSERT_TRUE(core::SaveEngineCheckpoint(**engine, ck_path).ok());
+    auto checkpoint = embedding::LoadCheckpoint(ck_path);
+    ASSERT_TRUE(checkpoint.ok());
+    EXPECT_EQ(checkpoint->entities.num_rows(), loaded->graph.num_entities());
+  }
+}
+
+TEST(TsvPipelineTest, RelationCorruptionFlowsThroughTraining) {
+  const std::string train_path = WriteToyTsv("pipe_rc.tsv", 30, 5);
+  auto loaded = graph::LoadTsvDataset(train_path, "", "", "toy-rc");
+  ASSERT_TRUE(loaded.ok());
+
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.batch_size = 16;
+  config.negatives_per_positive = 4;
+  config.negative_sampler = "uniform";
+  config.relation_corruption_prob = 0.3;
+  config.num_machines = 2;
+  config.cache_capacity = 16;
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgCps, config,
+                                 loaded->graph, loaded->split.train);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto report = (*engine)->Train(5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->epochs.back().mean_loss,
+            report->epochs.front().mean_loss);
+}
+
+TEST(TsvPipelineTest, DegreeWeightedNegativesFlowThroughTraining) {
+  const std::string train_path = WriteToyTsv("pipe_dw.tsv", 30, 5);
+  auto loaded = graph::LoadTsvDataset(train_path, "", "", "toy-dw");
+  ASSERT_TRUE(loaded.ok());
+
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.batch_size = 16;
+  config.negatives_per_positive = 4;
+  config.negative_sampler = "uniform";
+  config.degree_weighted_negatives = true;
+  config.num_machines = 2;
+  config.cache_capacity = 16;
+  auto engine = core::MakeEngine(core::SystemKind::kDglKe, config,
+                                 loaded->graph, loaded->split.train);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto report = (*engine)->Train(5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->epochs.back().mean_loss,
+            report->epochs.front().mean_loss);
+}
+
+TEST(TsvPipelineTest, BatchedSamplerRejectsUniformOnlyConfig) {
+  const std::string train_path = WriteToyTsv("pipe_bad.tsv", 20, 4);
+  auto loaded = graph::LoadTsvDataset(train_path, "", "", "toy-bad");
+  ASSERT_TRUE(loaded.ok());
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.num_machines = 2;
+  config.relation_corruption_prob = 0.5;  // Needs "uniform".
+  auto engine = core::MakeEngine(core::SystemKind::kDglKe, config,
+                                 loaded->graph, loaded->split.train);
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace hetkg

@@ -1,0 +1,195 @@
+#include "partition/partitioner.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/synthetic.h"
+#include "partition/bucketizer.h"
+#include "partition/metis_partitioner.h"
+
+namespace hetkg::partition {
+namespace {
+
+graph::KnowledgeGraph CommunityGraph(size_t communities, size_t per_comm,
+                                     size_t intra_edges, size_t inter_edges,
+                                     uint64_t seed) {
+  // Dense communities with sparse cross edges — the structure a min-cut
+  // partitioner must discover.
+  hetkg::Rng rng(seed);
+  std::vector<Triple> triples;
+  const size_t n = communities * per_comm;
+  for (size_t c = 0; c < communities; ++c) {
+    for (size_t e = 0; e < intra_edges; ++e) {
+      const EntityId a = static_cast<EntityId>(c * per_comm +
+                                               rng.NextBounded(per_comm));
+      const EntityId b = static_cast<EntityId>(c * per_comm +
+                                               rng.NextBounded(per_comm));
+      if (a == b) continue;
+      triples.push_back({a, 0, b});
+    }
+  }
+  for (size_t e = 0; e < inter_edges; ++e) {
+    const EntityId a = static_cast<EntityId>(rng.NextBounded(n));
+    const EntityId b = static_cast<EntityId>(rng.NextBounded(n));
+    if (a == b) continue;
+    triples.push_back({a, 1, b});
+  }
+  return graph::KnowledgeGraph::Create(n, 2, triples, "community").value();
+}
+
+TEST(RandomPartitionerTest, CoversAllPartsRoughlyEvenly) {
+  const auto g = CommunityGraph(4, 50, 300, 20, 1);
+  RandomPartitioner partitioner(7);
+  const auto parts = partitioner.Partition(g, 4).value();
+  ASSERT_EQ(parts.entity_part.size(), g.num_entities());
+  const auto stats = ComputePartitionStats(g, parts);
+  EXPECT_LT(stats.balance, 1.5);
+  for (uint64_t count : stats.part_entities) {
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(RandomPartitionerTest, RejectsZeroParts) {
+  const auto g = CommunityGraph(2, 10, 30, 5, 2);
+  RandomPartitioner partitioner(7);
+  EXPECT_FALSE(partitioner.Partition(g, 0).ok());
+}
+
+TEST(MetisPartitionerTest, RecoversCommunityStructure) {
+  const auto g = CommunityGraph(4, 64, 800, 40, 3);
+  MetisPartitioner metis;
+  const auto parts = metis.Partition(g, 4).value();
+  const auto stats = ComputePartitionStats(g, parts);
+  // Balanced within the configured slack (+ a little for granularity).
+  EXPECT_LT(stats.balance, 1.20);
+  // Cut is dominated by the sparse inter-community edges.
+  EXPECT_LT(stats.cut_fraction, 0.15);
+}
+
+TEST(MetisPartitionerTest, BeatsRandomOnCut) {
+  const auto g = CommunityGraph(8, 40, 400, 80, 4);
+  MetisPartitioner metis;
+  RandomPartitioner random(5);
+  const auto metis_stats =
+      ComputePartitionStats(g, metis.Partition(g, 4).value());
+  const auto random_stats =
+      ComputePartitionStats(g, random.Partition(g, 4).value());
+  EXPECT_LT(metis_stats.cut_triples, random_stats.cut_triples / 2);
+}
+
+TEST(MetisPartitionerTest, SinglePartIsTrivial) {
+  const auto g = CommunityGraph(2, 20, 60, 10, 6);
+  MetisPartitioner metis;
+  const auto parts = metis.Partition(g, 1).value();
+  for (uint32_t p : parts.entity_part) {
+    EXPECT_EQ(p, 0u);
+  }
+  EXPECT_EQ(ComputePartitionStats(g, parts).cut_triples, 0u);
+}
+
+TEST(MetisPartitionerTest, WorksOnLargerSyntheticGraph) {
+  graph::SyntheticSpec spec;
+  spec.num_entities = 5000;
+  spec.num_relations = 20;
+  spec.num_triples = 40000;
+  spec.planted_structure = false;  // Speed; structure irrelevant here.
+  spec.seed = 9;
+  const auto g = graph::GenerateSynthetic(spec).value();
+  MetisPartitioner metis;
+  RandomPartitioner random(1);
+  const auto metis_stats =
+      ComputePartitionStats(g, metis.Partition(g, 4).value());
+  const auto random_stats =
+      ComputePartitionStats(g, random.Partition(g, 4).value());
+  // Power-law graphs do not cut as cleanly as planted communities, but
+  // multilevel KL must still beat random clearly.
+  EXPECT_LT(metis_stats.cut_fraction, random_stats.cut_fraction * 0.9);
+  EXPECT_LT(metis_stats.balance, 1.25);
+}
+
+TEST(AssignTriplesTest, EveryTripleAssignedToAnEndpointPart) {
+  const auto g = CommunityGraph(4, 30, 200, 30, 8);
+  MetisPartitioner metis;
+  const auto parts = metis.Partition(g, 4).value();
+  const auto assignment = AssignTriples(g, parts);
+  ASSERT_EQ(assignment.size(), 4u);
+  size_t total = 0;
+  for (size_t w = 0; w < assignment.size(); ++w) {
+    total += assignment[w].size();
+    for (const Triple& t : assignment[w]) {
+      const bool local = parts.entity_part[t.head] == w ||
+                         parts.entity_part[t.tail] == w;
+      EXPECT_TRUE(local);
+    }
+  }
+  EXPECT_EQ(total, g.num_triples());
+}
+
+TEST(AssignTriplesTest, LoadIsBalanced) {
+  const auto g = CommunityGraph(4, 50, 500, 60, 10);
+  MetisPartitioner metis;
+  const auto parts = metis.Partition(g, 4).value();
+  const auto assignment = AssignTriples(g, parts);
+  size_t min_load = SIZE_MAX;
+  size_t max_load = 0;
+  for (const auto& list : assignment) {
+    min_load = std::min(min_load, list.size());
+    max_load = std::max(max_load, list.size());
+  }
+  EXPECT_LT(max_load, 2 * min_load + 10);
+}
+
+TEST(BucketizerTest, BucketsPartitionTheTriples) {
+  const auto g = CommunityGraph(4, 40, 300, 40, 11);
+  PbgBucketizer bucketizer(3);
+  const auto plan = bucketizer.Build(g, 4, 2).value();
+  size_t total = 0;
+  for (size_t b = 0; b < plan.bucket_triples.size(); ++b) {
+    const uint32_t i = static_cast<uint32_t>(b / plan.num_partitions);
+    const uint32_t j = static_cast<uint32_t>(b % plan.num_partitions);
+    for (const Triple& t : plan.bucket_triples[b]) {
+      EXPECT_EQ(plan.entity_part[t.head], i);
+      EXPECT_EQ(plan.entity_part[t.tail], j);
+    }
+    total += plan.bucket_triples[b].size();
+  }
+  EXPECT_EQ(total, g.num_triples());
+}
+
+TEST(BucketizerTest, ScheduleRoundsHaveDisjointPartitions) {
+  const auto g = CommunityGraph(6, 30, 250, 50, 12);
+  PbgBucketizer bucketizer(4);
+  const auto plan = bucketizer.Build(g, 6, 3).value();
+  size_t scheduled = 0;
+  for (const auto& round : plan.schedule) {
+    EXPECT_LE(round.size(), 3u);
+    std::unordered_set<uint32_t> locked;
+    for (uint32_t b : round) {
+      const uint32_t i = b / plan.num_partitions;
+      const uint32_t j = b % plan.num_partitions;
+      EXPECT_TRUE(locked.insert(i).second);
+      if (j != i) {
+        EXPECT_TRUE(locked.insert(j).second);
+      }
+      ++scheduled;
+    }
+  }
+  // Every non-empty bucket appears exactly once across the schedule.
+  size_t nonempty = 0;
+  for (const auto& bucket : plan.bucket_triples) {
+    if (!bucket.empty()) ++nonempty;
+  }
+  EXPECT_EQ(scheduled, nonempty);
+}
+
+TEST(BucketizerTest, RejectsInvalidArguments) {
+  const auto g = CommunityGraph(2, 10, 40, 5, 13);
+  PbgBucketizer bucketizer(1);
+  EXPECT_FALSE(bucketizer.Build(g, 0, 2).ok());
+  EXPECT_FALSE(bucketizer.Build(g, 4, 0).ok());
+}
+
+}  // namespace
+}  // namespace hetkg::partition

@@ -1,0 +1,155 @@
+#include "ps/parameter_server.h"
+
+#include <gtest/gtest.h>
+
+namespace hetkg::ps {
+namespace {
+
+struct PsFixture {
+  sim::ClusterSim cluster{2};
+  std::unique_ptr<ParameterServer> server;
+
+  explicit PsFixture(bool normalize = false) {
+    PsConfig config;
+    config.num_entities = 10;
+    config.num_relations = 4;
+    config.entity_dim = 4;
+    config.relation_dim = 4;
+    config.learning_rate = 0.5;
+    config.normalize_entities = normalize;
+    // Entities 0-4 on machine 0, 5-9 on machine 1.
+    std::vector<uint32_t> owner(10);
+    for (size_t e = 0; e < 10; ++e) owner[e] = e < 5 ? 0 : 1;
+    server = ParameterServer::Create(config, owner, &cluster).value();
+    server->InitEmbeddings();
+  }
+};
+
+TEST(ParameterServerTest, CreateValidates) {
+  sim::ClusterSim cluster(2);
+  PsConfig config;
+  config.num_entities = 4;
+  config.num_relations = 2;
+  config.entity_dim = 4;
+  config.relation_dim = 4;
+  EXPECT_FALSE(
+      ParameterServer::Create(config, {0, 0, 0}, &cluster).ok());  // Size.
+  EXPECT_FALSE(
+      ParameterServer::Create(config, {0, 0, 0, 9}, &cluster).ok());  // Range.
+  EXPECT_TRUE(ParameterServer::Create(config, {0, 1, 0, 1}, &cluster).ok());
+}
+
+TEST(ParameterServerTest, OwnershipMapping) {
+  PsFixture f;
+  EXPECT_EQ(f.server->OwnerOf(EntityKey(2)), 0u);
+  EXPECT_EQ(f.server->OwnerOf(EntityKey(7)), 1u);
+  // Relations are sharded round-robin over 2 machines.
+  EXPECT_EQ(f.server->OwnerOf(RelationKey(0)), 0u);
+  EXPECT_EQ(f.server->OwnerOf(RelationKey(1)), 1u);
+  EXPECT_EQ(f.server->OwnerOf(RelationKey(2)), 0u);
+}
+
+TEST(ParameterServerTest, PullReturnsCurrentValues) {
+  PsFixture f;
+  const float value[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  f.server->SetValue(EntityKey(3), value);
+  std::vector<float> out(4);
+  std::vector<EmbKey> keys = {EntityKey(3)};
+  std::vector<std::span<float>> spans = {std::span<float>(out)};
+  f.server->PullBatch(0, keys, spans);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[3], 4.0f);
+}
+
+TEST(ParameterServerTest, LocalPullCostsNoNetwork) {
+  PsFixture f;
+  std::vector<float> out(4);
+  std::vector<EmbKey> keys = {EntityKey(1)};  // Owned by machine 0.
+  std::vector<std::span<float>> spans = {std::span<float>(out)};
+  f.server->PullBatch(/*worker=*/0, keys, spans);
+  EXPECT_EQ(f.cluster.TotalRemoteBytes(), 0u);
+  EXPECT_EQ(f.server->metrics().Get(metric::kLocalPullRows), 1u);
+  EXPECT_EQ(f.server->metrics().Get(metric::kRemotePullRows), 0u);
+}
+
+TEST(ParameterServerTest, RemotePullCostsRequestAndResponse) {
+  PsFixture f;
+  std::vector<float> out(4);
+  std::vector<EmbKey> keys = {EntityKey(7)};  // Owned by machine 1.
+  std::vector<std::span<float>> spans = {std::span<float>(out)};
+  f.server->PullBatch(/*worker=*/0, keys, spans);
+  EXPECT_GT(f.cluster.TotalRemoteBytes(), 0u);
+  EXPECT_EQ(f.cluster.TotalRemoteMessages(), 2u);  // Request + response.
+  EXPECT_EQ(f.server->metrics().Get(metric::kRemotePullRows), 1u);
+}
+
+TEST(ParameterServerTest, BatchingGroupsMessagesByShard) {
+  PsFixture f;
+  // Three remote rows in one batch: still exactly one request/response
+  // pair to machine 1.
+  std::vector<float> out(12);
+  std::vector<EmbKey> keys = {EntityKey(6), EntityKey(7), EntityKey(8)};
+  std::vector<std::span<float>> spans = {
+      std::span<float>(out.data(), 4), std::span<float>(out.data() + 4, 4),
+      std::span<float>(out.data() + 8, 4)};
+  f.server->PullBatch(0, keys, spans);
+  EXPECT_EQ(f.cluster.TotalRemoteMessages(), 2u);
+}
+
+TEST(ParameterServerTest, PushAppliesAdaGradOnServer) {
+  PsFixture f;
+  const float zero[] = {0.0f, 0.0f, 0.0f, 0.0f};
+  f.server->SetValue(EntityKey(2), zero);
+  const float grad[] = {2.0f, -2.0f, 0.0f, 0.0f};
+  std::vector<EmbKey> keys = {EntityKey(2)};
+  std::vector<std::span<const float>> grads = {std::span<const float>(grad)};
+  f.server->PushGradBatch(0, keys, grads);
+  const auto value = f.server->Value(EntityKey(2));
+  // First AdaGrad step: -lr * sign(g).
+  EXPECT_NEAR(value[0], -0.5f, 1e-4);
+  EXPECT_NEAR(value[1], 0.5f, 1e-4);
+  EXPECT_NEAR(value[2], 0.0f, 1e-6);
+}
+
+TEST(ParameterServerTest, NormalizesEntitiesWhenConfigured) {
+  PsFixture f(/*normalize=*/true);
+  const float grad[] = {1.0f, 1.0f, 1.0f, 1.0f};
+  std::vector<EmbKey> keys = {EntityKey(4)};
+  std::vector<std::span<const float>> grads = {std::span<const float>(grad)};
+  f.server->PushGradBatch(1, keys, grads);
+  const auto value = f.server->Value(EntityKey(4));
+  double norm_sq = 0.0;
+  for (float v : value) norm_sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-5);
+}
+
+TEST(ParameterServerTest, RelationRowsCanBeWider) {
+  sim::ClusterSim cluster(1);
+  PsConfig config;
+  config.num_entities = 2;
+  config.num_relations = 2;
+  config.entity_dim = 4;
+  config.relation_dim = 8;  // TransH layout.
+  std::vector<uint32_t> owner = {0, 0};
+  auto server = ParameterServer::Create(config, owner, &cluster).value();
+  server->InitEmbeddings();
+  EXPECT_EQ(server->RowDim(EntityKey(0)), 4u);
+  EXPECT_EQ(server->RowDim(RelationKey(0)), 8u);
+  EXPECT_EQ(server->RowBytes(RelationKey(1)), 32u);
+  EXPECT_EQ(server->Value(RelationKey(0)).size(), 8u);
+}
+
+TEST(ParameterServerTest, InitializationIsDeterministic) {
+  PsFixture a;
+  PsFixture b;
+  for (EntityId e = 0; e < 10; ++e) {
+    const auto va = a.server->Value(EntityKey(e));
+    const auto vb = b.server->Value(EntityKey(e));
+    for (size_t i = 0; i < va.size(); ++i) {
+      EXPECT_EQ(va[i], vb[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetkg::ps

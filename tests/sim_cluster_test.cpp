@@ -1,0 +1,112 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace hetkg::sim {
+namespace {
+
+TEST(ClusterSimTest, RemoteMessageChargesBothNics) {
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 1000.0;
+  net.latency_seconds = 0.5;
+  net.header_bytes = 10;
+  ClusterSim sim(2, net);
+  sim.RecordRemoteMessage(0, 1, 90);  // 100 wire bytes.
+  // Sender: 100 bytes out + 1 message latency.
+  const auto t0 = sim.MachineTime(0);
+  EXPECT_NEAR(t0.comm_seconds, 100.0 / 1000.0 + 0.5, 1e-12);
+  // Receiver: 100 bytes in, no initiated message.
+  const auto t1 = sim.MachineTime(1);
+  EXPECT_NEAR(t1.comm_seconds, 100.0 / 1000.0, 1e-12);
+  EXPECT_EQ(sim.TotalRemoteBytes(), 100u);
+  EXPECT_EQ(sim.TotalRemoteMessages(), 1u);
+}
+
+TEST(ClusterSimTest, ComputeUsesFlopRate) {
+  ComputeConfig compute;
+  compute.flops_per_second = 1e6;
+  ClusterSim sim(1, NetworkConfig{}, compute);
+  sim.RecordCompute(0, 500000);
+  EXPECT_NEAR(sim.MachineTime(0).compute_seconds, 0.5, 1e-12);
+  EXPECT_EQ(sim.TotalFlops(), 500000u);
+}
+
+TEST(ClusterSimTest, LocalCopyIsMemoryBandwidthOnly) {
+  NetworkConfig net;
+  net.memory_bandwidth_bytes_per_sec = 1e6;
+  ClusterSim sim(1, net);
+  sim.RecordLocalCopy(0, 500000);
+  const auto t = sim.MachineTime(0);
+  EXPECT_NEAR(t.compute_seconds, 0.5, 1e-12);
+  EXPECT_EQ(t.comm_seconds, 0.0);
+  EXPECT_EQ(sim.TotalRemoteBytes(), 0u);
+}
+
+TEST(ClusterSimTest, CriticalPathPicksSlowestMachine) {
+  ComputeConfig compute;
+  compute.flops_per_second = 1e6;
+  ClusterSim sim(3, NetworkConfig{}, compute);
+  sim.RecordCompute(0, 100);
+  sim.RecordCompute(1, 2000000);  // 2 seconds: the straggler.
+  sim.RecordCompute(2, 100);
+  EXPECT_NEAR(sim.CriticalPath().compute_seconds, 2.0, 1e-9);
+}
+
+TEST(ClusterSimTest, ExternalTransfersChargeOneSide) {
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 100.0;
+  net.latency_seconds = 0.0;
+  net.header_bytes = 0;
+  ClusterSim sim(2, net);
+  sim.RecordExternalIn(0, 50);
+  sim.RecordExternalOut(0, 50);
+  EXPECT_NEAR(sim.MachineTime(0).comm_seconds, 1.0, 1e-12);
+  EXPECT_EQ(sim.MachineTime(1).comm_seconds, 0.0);
+}
+
+TEST(ClusterSimTest, ResetClearsCounters) {
+  ClusterSim sim(2);
+  sim.RecordRemoteMessage(0, 1, 1000);
+  sim.RecordCompute(0, 1000);
+  sim.Reset();
+  EXPECT_EQ(sim.TotalRemoteBytes(), 0u);
+  EXPECT_EQ(sim.TotalFlops(), 0u);
+  EXPECT_EQ(sim.CriticalPath().total_seconds(), 0.0);
+}
+
+TEST(ClusterSimTest, DefaultConfigMatchesPaperTestbed) {
+  // 1 Gbps = 125 MB/s (Sec. VI-A: "network bandwidth of 1Gbps").
+  NetworkConfig net;
+  EXPECT_NEAR(net.bandwidth_bytes_per_sec, 125e6, 1.0);
+}
+
+
+TEST(ClusterSimTest, StragglerStretchesCriticalPath) {
+  ComputeConfig compute;
+  compute.flops_per_second = 1e6;
+  ClusterSim sim(2, NetworkConfig{}, compute);
+  sim.RecordCompute(0, 1000000);
+  sim.RecordCompute(1, 1000000);
+  EXPECT_NEAR(sim.CriticalPath().compute_seconds, 1.0, 1e-9);
+  sim.SetMachineSlowdown(1, 3.0);
+  EXPECT_NEAR(sim.CriticalPath().compute_seconds, 3.0, 1e-9);
+  // Communication is unaffected by the slowdown.
+  sim.RecordRemoteMessage(0, 1, 1000);
+  EXPECT_NEAR(sim.MachineTime(1).comm_seconds,
+              sim.MachineTime(0).comm_seconds -
+                  sim.network_config().latency_seconds,
+              1e-9);
+}
+
+TEST(ClusterSimTest, SlowdownSurvivesReset) {
+  ComputeConfig compute;
+  compute.flops_per_second = 1e6;
+  ClusterSim sim(1, NetworkConfig{}, compute);
+  sim.SetMachineSlowdown(0, 2.0);
+  sim.Reset();
+  sim.RecordCompute(0, 1000000);
+  EXPECT_NEAR(sim.MachineTime(0).compute_seconds, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hetkg::sim
