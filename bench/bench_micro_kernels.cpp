@@ -108,6 +108,85 @@ void BM_PrefetchAndFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefetchAndFilter)->Unit(benchmark::kMillisecond);
 
+// Full batch forward/backward through the deterministic parallel
+// scorer at 1/2/4/8 threads. The decomposition is identical at every
+// thread count, so this measures pure fan-out speedup (on a machine
+// with that many cores; a single-core host shows ~flat numbers plus
+// scheduling overhead).
+void BM_BatchForwardBackward(benchmark::State& state) {
+  const size_t num_threads = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  const size_t num_entities = 1024;
+  const size_t num_relations = 32;
+  const size_t num_positives = 128;
+  const size_t negatives_per_positive = 8;
+
+  auto score_fn =
+      embedding::MakeScoreFunction(embedding::ModelKind::kTransEL1, dim)
+          .value();
+  auto loss_fn =
+      embedding::MakeLossFunction("margin", 1.0, negatives_per_positive)
+          .value();
+
+  // One dense key table standing in for a resolved mini-batch: entity
+  // rows first, relation rows after (same layout the engines build).
+  const size_t num_keys = num_entities + num_relations;
+  Rng rng(17);
+  std::vector<float> table(num_keys * dim);
+  for (float& v : table) {
+    v = static_cast<float>(rng.NextUniform(-0.5, 0.5));
+  }
+  std::vector<std::span<float>> rows;
+  std::vector<size_t> offsets = {0};
+  for (size_t k = 0; k < num_keys; ++k) {
+    rows.emplace_back(table.data() + k * dim, dim);
+    offsets.push_back(offsets.back() + dim);
+  }
+
+  std::vector<core::ResolvedTriple> positives;
+  std::vector<core::ResolvedPair> pairs;
+  for (size_t p = 0; p < num_positives; ++p) {
+    core::ResolvedTriple pos;
+    pos.head = static_cast<uint32_t>(rng.NextBounded(num_entities));
+    pos.relation = static_cast<uint32_t>(
+        num_entities + rng.NextBounded(num_relations));
+    pos.tail = static_cast<uint32_t>(rng.NextBounded(num_entities));
+    positives.push_back(pos);
+    for (size_t n = 0; n < negatives_per_positive; ++n) {
+      core::ResolvedPair pair;
+      pair.positive_index = static_cast<uint32_t>(p);
+      pair.negative = pos;
+      (rng.NextBernoulli(0.5) ? pair.negative.head : pair.negative.tail) =
+          static_cast<uint32_t>(rng.NextBounded(num_entities));
+      pairs.push_back(pair);
+    }
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (num_threads > 1) pool = std::make_unique<ThreadPool>(num_threads);
+  core::ParallelBatchScorer scorer;
+  std::vector<float> grads(offsets.back(), 0.0f);
+  std::vector<double> pos_scores;
+  for (auto _ : state) {
+    std::fill(grads.begin(), grads.end(), 0.0f);
+    const core::BatchStats stats =
+        scorer.Run(*score_fn, *loss_fn, positives, pairs, rows, offsets,
+                   grads, &pos_scores, pool.get());
+    benchmark::DoNotOptimize(stats.loss_sum);
+    benchmark::DoNotOptimize(grads.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+  state.SetLabel("threads=" + std::to_string(num_threads));
+}
+BENCHMARK(BM_BatchForwardBackward)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_LinkPredictionRanking(benchmark::State& state) {
   graph::SyntheticSpec spec;
   spec.num_entities = 2000;

@@ -85,6 +85,9 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("eval_triples", "400", "test triples evaluated (0 = all)");
   flags->Define("eval_candidates", "1000",
                 "ranking candidates (0 = all entities)");
+  flags->Define("threads", "1",
+                "compute threads for the intra-batch forward/backward "
+                "fan-out (bit-identical results at any value)");
   flags->Define("seed", "1234", "global seed");
 }
 
@@ -104,6 +107,7 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("staleness"));
   config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
   config.pbg_partitions = 2 * config.num_machines;
+  config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   return config;
 }
@@ -113,6 +117,7 @@ eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags) {
   options.max_triples = static_cast<size_t>(flags.GetInt("eval_triples"));
   options.num_candidates =
       static_cast<size_t>(flags.GetInt("eval_candidates"));
+  options.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed")) ^ 0xEEAA;
   return options;
 }

@@ -35,6 +35,9 @@ int main(int argc, char** argv) {
   flags.Define("cache", "256", "hot-embedding rows per worker");
   flags.Define("staleness", "8", "staleness bound P");
   flags.Define("dps_window", "64", "DPS window D");
+  flags.Define("threads", "1",
+               "compute threads for the intra-batch forward/backward "
+               "fan-out (results are bit-identical at any value)");
   flags.Define("checkpoint", "", "path to write the trained embeddings");
   flags.Define("seed", "1234", "seed");
   const Status parsed = flags.Parse(argc, argv);
@@ -109,6 +112,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("staleness"));
   config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
   config.pbg_partitions = 2 * config.num_machines;
+  config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
   auto engine =
@@ -120,6 +124,7 @@ int main(int argc, char** argv) {
   eval::EvalOptions eval_options;
   eval_options.max_triples = 500;
   eval_options.num_candidates = 1000;
+  eval_options.num_threads = config.num_threads;
   if (!dataset.split.valid.empty()) {
     eval::EvalOptions valid_options = eval_options;
     valid_options.max_triples = 200;

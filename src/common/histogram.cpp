@@ -1,7 +1,6 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -11,8 +10,11 @@ namespace hetkg {
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
 size_t Histogram::BucketFor(double value) {
-  assert(value >= 0.0);
-  if (value < 1.0) return 0;
+  // Negative (and NaN) inputs clamp to bucket 0: log2 of a negative is
+  // NaN, and casting NaN to int is undefined behaviour in release
+  // builds where the old assert compiled away. min/sum still record the
+  // true value.
+  if (!(value >= 1.0)) return 0;
   const int e = static_cast<int>(std::floor(std::log2(value))) + 1;
   return std::min(static_cast<size_t>(e), kNumBuckets - 1);
 }

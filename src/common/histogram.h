@@ -15,7 +15,9 @@ class Histogram {
  public:
   Histogram();
 
-  /// Records one non-negative observation.
+  /// Records one observation. Values below 1 — including negatives,
+  /// which the power-of-two buckets cannot represent — land in the
+  /// first bucket; min/sum still record the true value.
   void Add(double value);
 
   /// Merges another histogram into this one.

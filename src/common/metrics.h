@@ -10,8 +10,11 @@ namespace hetkg {
 
 /// A named bag of monotonically increasing counters. Each simulated
 /// component (PS client, cache, network link) owns one; benches merge
-/// them for reporting. Not thread-safe by design: the simulator is
-/// single-threaded and deterministic.
+/// them for reporting. Not thread-safe by design: simulation accounting
+/// is single-threaded and deterministic. The intra-batch compute
+/// fan-out (core/parallel_batch.h) must therefore NEVER touch a
+/// MetricRegistry from inside a parallel region — engines record
+/// counters before or after the fan-out, on the scheduling thread.
 class MetricRegistry {
  public:
   /// Adds `delta` to counter `name`, creating it at zero on first use.

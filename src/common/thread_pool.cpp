@@ -1,14 +1,14 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <cassert>
+#include <memory>
 
 namespace hetkg {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  assert(num_threads >= 1);
-  threads_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -38,18 +38,63 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --in_flight_;
+    if (in_flight_ == 0) {
+      all_done_.notify_all();
+    }
+  }
+  return true;
+}
+
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   const size_t chunks = std::min(n, threads_.size());
   const size_t per_chunk = (n + chunks - 1) / chunks;
+
+  // Per-call latch: this call returns when ITS chunks are done, not when
+  // the pool-global task count drains, so concurrent and nested calls
+  // cannot observe each other's completion.
+  auto state = std::make_shared<ForkState>();
+  size_t submitted = 0;
   for (size_t c = 0; c < chunks; ++c) {
+    if (c * per_chunk >= n) break;
+    ++submitted;
+  }
+  state->remaining = submitted;
+  for (size_t c = 0; c < submitted; ++c) {
     const size_t begin = c * per_chunk;
     const size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    Submit([&fn, begin, end] { fn(begin, end); });
+    Submit([state, &fn, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
   }
-  Wait();
+
+  // Help drain the queue while this call's chunks are outstanding: the
+  // caller may itself be a pool worker (nested ParallelFor), and parking
+  // it on the latch would deadlock a fully busy pool.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      if (state->remaining == 0) return;
+    }
+    if (!RunOneTask()) break;
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {

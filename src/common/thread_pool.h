@@ -11,13 +11,19 @@
 
 namespace hetkg {
 
-/// Fixed-size worker pool used by the link-prediction evaluator to rank
-/// test triples in parallel. The training simulator itself is
-/// deliberately single-threaded (determinism), so this pool only runs
-/// read-only scoring work.
+/// Fixed-size worker pool shared by the training engines (deterministic
+/// intra-batch parallelism), the link-prediction evaluator, and the
+/// benches. A requested size of 0 is clamped to 1 worker so release
+/// builds (where the old assert compiled out) cannot divide by zero.
+///
+/// ParallelFor tracks completion with a per-call latch: concurrent
+/// ParallelFor calls from different threads, and nested calls issued
+/// from inside a pool task, each wait for exactly their own chunks. The
+/// calling thread helps drain the queue while it waits, so nested calls
+/// cannot deadlock even on a fully busy single-worker pool.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (>= 1).
+  /// Spawns max(1, num_threads) workers.
   explicit ThreadPool(size_t num_threads);
 
   /// Drains pending tasks, then joins the workers.
@@ -29,17 +35,34 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted SO FAR has finished. This is a
+  /// pool-global drain: tasks submitted concurrently by other threads
+  /// extend the wait. Fork-join work should use ParallelFor, which
+  /// waits on a per-call latch instead.
   void Wait();
 
-  /// Runs `fn(i)` for i in [0, n), partitioned into contiguous chunks
-  /// across the pool, and blocks until done.
+  /// Runs `fn(begin, end)` over [0, n) partitioned into contiguous
+  /// chunks across the pool, and blocks until exactly these chunks are
+  /// done. Safe to call concurrently from several threads and
+  /// re-entrantly from inside pool tasks.
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  /// Completion latch for one ParallelFor call.
+  struct ForkState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining = 0;
+  };
+
   void WorkerLoop();
+
+  /// Pops and runs one queued task if one is available; returns whether
+  /// it did. Used by waiting ParallelFor callers to help drain the
+  /// queue.
+  bool RunOneTask();
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;

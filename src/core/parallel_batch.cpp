@@ -1,0 +1,146 @@
+#include "core/parallel_batch.h"
+
+#include <algorithm>
+
+namespace hetkg::core {
+
+namespace {
+
+/// Target pairs per accumulation chunk; small enough that the default
+/// configuration (batch 32 x 8 negatives = 256 pairs) still fans out
+/// across 8 cores.
+constexpr size_t kPairsPerChunk = 32;
+/// Upper bound on chunks per batch: caps per-chunk gradient scratch at
+/// paper-scale batches (512 x 128 = 65k pairs) while leaving far more
+/// chunks than any realistic core count.
+constexpr size_t kMaxChunks = 64;
+
+}  // namespace
+
+size_t BatchChunkCount(size_t num_pairs) {
+  if (num_pairs == 0) return 0;
+  const size_t want = (num_pairs + kPairsPerChunk - 1) / kPairsPerChunk;
+  return std::min(want, kMaxChunks);
+}
+
+void ParallelBatchScorer::ProcessChunk(
+    size_t chunk, size_t begin, size_t end,
+    const embedding::ScoreFunction& score_fn,
+    const embedding::LossFunction& loss_fn,
+    std::span<const ResolvedTriple> positives,
+    std::span<const ResolvedPair> pairs,
+    std::span<const std::span<float>> rows,
+    std::span<const size_t> grad_offsets,
+    std::span<const double> pos_scores) {
+  ChunkScratch& cs = chunks_[chunk];
+  const size_t grad_floats = grad_offsets.back();
+  const size_t num_keys = grad_offsets.size() - 1;
+  // Grow-only: rows outside the touched set stay zero across batches.
+  if (cs.grads.size() < grad_floats) cs.grads.resize(grad_floats, 0.0f);
+  if (cs.touched_flag.size() < num_keys) cs.touched_flag.resize(num_keys, 0);
+
+  auto grad = [&](uint32_t k) -> std::span<float> {
+    if (!cs.touched_flag[k]) {
+      cs.touched_flag[k] = 1;
+      cs.touched.push_back(k);
+    }
+    return std::span<float>(cs.grads.data() + grad_offsets[k],
+                            grad_offsets[k + 1] - grad_offsets[k]);
+  };
+
+  for (size_t i = begin; i < end; ++i) {
+    const ResolvedPair& pr = pairs[i];
+    const ResolvedTriple& nt = pr.negative;
+    const double neg_score =
+        score_fn.Score(rows[nt.head], rows[nt.relation], rows[nt.tail]);
+    const embedding::LossGrad lg =
+        loss_fn.PairLoss(pos_scores[pr.positive_index], neg_score);
+    cs.stats.loss_sum += lg.loss;
+    ++cs.stats.pairs;
+    if (lg.dpos != 0.0) {
+      const ResolvedTriple& pt = positives[pr.positive_index];
+      score_fn.ScoreBackward(rows[pt.head], rows[pt.relation], rows[pt.tail],
+                             lg.dpos, grad(pt.head), grad(pt.relation),
+                             grad(pt.tail));
+      ++cs.stats.backward_calls;
+    }
+    if (lg.dneg != 0.0) {
+      score_fn.ScoreBackward(rows[nt.head], rows[nt.relation], rows[nt.tail],
+                             lg.dneg, grad(nt.head), grad(nt.relation),
+                             grad(nt.tail));
+      ++cs.stats.backward_calls;
+    }
+  }
+}
+
+BatchStats ParallelBatchScorer::Run(
+    const embedding::ScoreFunction& score_fn,
+    const embedding::LossFunction& loss_fn,
+    std::span<const ResolvedTriple> positives,
+    std::span<const ResolvedPair> pairs,
+    std::span<const std::span<float>> rows,
+    std::span<const size_t> grad_offsets, std::span<float> grads,
+    std::vector<double>* pos_scores, ThreadPool* pool) {
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
+
+  // Phase 1 — forward scores of the positives. Each iteration writes
+  // only its own slot, so any partition is bit-identical.
+  pos_scores->resize(positives.size());
+  auto score_positives = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const ResolvedTriple& t = positives[i];
+      (*pos_scores)[i] =
+          score_fn.Score(rows[t.head], rows[t.relation], rows[t.tail]);
+    }
+  };
+  if (parallel && positives.size() > 1) {
+    pool->ParallelFor(positives.size(), score_positives);
+  } else {
+    score_positives(0, positives.size());
+  }
+
+  // Phase 2 — the pair loop, decomposed into thread-count-independent
+  // chunks that accumulate into private scratch.
+  const size_t chunk_count = BatchChunkCount(pairs.size());
+  if (chunk_count == 0) return BatchStats{};
+  const size_t per_chunk = (pairs.size() + chunk_count - 1) / chunk_count;
+  if (chunks_.size() < chunk_count) chunks_.resize(chunk_count);
+  auto process_chunks = [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t begin = c * per_chunk;
+      const size_t end = std::min(pairs.size(), begin + per_chunk);
+      if (begin >= end) continue;
+      ProcessChunk(c, begin, end, score_fn, loss_fn, positives, pairs, rows,
+                   grad_offsets, *pos_scores);
+    }
+  };
+  if (parallel && chunk_count > 1) {
+    pool->ParallelFor(chunk_count, process_chunks);
+  } else {
+    process_chunks(0, chunk_count);
+  }
+
+  // Phase 3 — ordered reduction: partials merge in ascending chunk
+  // order, making the sums independent of which thread ran which chunk.
+  BatchStats total;
+  for (size_t c = 0; c < chunk_count; ++c) {
+    ChunkScratch& cs = chunks_[c];
+    total.loss_sum += cs.stats.loss_sum;
+    total.pairs += cs.stats.pairs;
+    total.backward_calls += cs.stats.backward_calls;
+    cs.stats = BatchStats{};
+    for (uint32_t k : cs.touched) {
+      const size_t row_begin = grad_offsets[k];
+      const size_t row_end = grad_offsets[k + 1];
+      for (size_t j = row_begin; j < row_end; ++j) {
+        grads[j] += cs.grads[j];
+        cs.grads[j] = 0.0f;  // Leave the scratch zeroed for reuse.
+      }
+      cs.touched_flag[k] = 0;
+    }
+    cs.touched.clear();
+  }
+  return total;
+}
+
+}  // namespace hetkg::core

@@ -1,0 +1,105 @@
+#ifndef HETKG_CORE_PARALLEL_BATCH_H_
+#define HETKG_CORE_PARALLEL_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "embedding/loss.h"
+#include "embedding/score_function.h"
+
+namespace hetkg::core {
+
+/// A triple whose embedding rows have been resolved to dense indices
+/// into a batch's scratch arrays. Resolution happens once per key per
+/// batch (sorted-key binary search), replacing the per-access hash
+/// lookups the score/backward hot loops used to pay.
+struct ResolvedTriple {
+  uint32_t head = 0;
+  uint32_t relation = 0;
+  uint32_t tail = 0;
+};
+
+/// One (positive, negative) scoring pair of a mini-batch.
+struct ResolvedPair {
+  uint32_t positive_index = 0;  // Into the batch's positives.
+  ResolvedTriple negative;
+};
+
+/// Forward/backward totals of one batch.
+struct BatchStats {
+  double loss_sum = 0.0;
+  uint64_t pairs = 0;
+  uint64_t backward_calls = 0;
+};
+
+/// Number of fixed-order accumulation chunks the pair loop of a batch
+/// with `num_pairs` scoring pairs is decomposed into. Depends ONLY on
+/// the pair count — never on the thread count — which is what makes the
+/// parallel path deterministic.
+size_t BatchChunkCount(size_t num_pairs);
+
+/// Deterministic intra-batch forward/backward executor.
+///
+/// The pair loop is decomposed into chunks (see BatchChunkCount). Each
+/// chunk accumulates gradients into its own scratch buffer, recording
+/// which rows it touched, and the per-chunk partials are merged into the
+/// caller's gradient buffer in ascending chunk order. Every
+/// floating-point addition therefore happens in the same order whether
+/// the chunks run on 1 thread or N, so training is bit-identical at any
+/// `--threads` setting. (Results differ in low bits from the
+/// pre-chunking serial loop, which accumulated the whole batch as one
+/// chain; the chunked order is the canonical one now, and `threads=1`
+/// executes exactly the same decomposition serially.)
+///
+/// One instance per engine amortizes the chunk scratch across batches.
+/// Not itself thread-safe: one Run() at a time per instance.
+class ParallelBatchScorer {
+ public:
+  /// Computes the forward scores of `positives` (into `pos_scores`) and
+  /// runs the pair loss/backward loop, accumulating gradients into
+  /// `grads`.
+  ///
+  /// `rows[k]` is the embedding row of dense key index k. `grad_offsets`
+  /// has K+1 prefix entries; key k's gradient lives at
+  /// `grads[grad_offsets[k], grad_offsets[k+1])`. `grads` must be zeroed
+  /// by the caller. `pool` may be null (or single-threaded): the same
+  /// chunk decomposition then runs inline, producing bit-identical
+  /// results.
+  BatchStats Run(const embedding::ScoreFunction& score_fn,
+                 const embedding::LossFunction& loss_fn,
+                 std::span<const ResolvedTriple> positives,
+                 std::span<const ResolvedPair> pairs,
+                 std::span<const std::span<float>> rows,
+                 std::span<const size_t> grad_offsets,
+                 std::span<float> grads, std::vector<double>* pos_scores,
+                 ThreadPool* pool);
+
+ private:
+  /// Per-chunk gradient scratch with touched-row tracking, so zeroing
+  /// and merging cost is proportional to the rows the chunk actually
+  /// used, not the whole gradient buffer.
+  struct ChunkScratch {
+    std::vector<float> grads;
+    std::vector<uint32_t> touched;      // Key indices, first-touch order.
+    std::vector<uint8_t> touched_flag;  // Per key index.
+    BatchStats stats;
+  };
+
+  void ProcessChunk(size_t chunk, size_t begin, size_t end,
+                    const embedding::ScoreFunction& score_fn,
+                    const embedding::LossFunction& loss_fn,
+                    std::span<const ResolvedTriple> positives,
+                    std::span<const ResolvedPair> pairs,
+                    std::span<const std::span<float>> rows,
+                    std::span<const size_t> grad_offsets,
+                    std::span<const double> pos_scores);
+
+  std::vector<ChunkScratch> chunks_;
+};
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_PARALLEL_BATCH_H_

@@ -77,6 +77,12 @@ Status PbgEngine::Setup(const std::vector<Triple>& train) {
       graph_.num_relations(), relation_dim, config_.learning_rate);
   lookup_ = TableLookup(&entities_, &relations_);
 
+  // Worker compute fans out over this pool; bucket scheduling, partition
+  // swaps, and rng sampling stay single-threaded.
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+
   machine_held_.assign(config_.num_machines, {});
   return Status::OK();
 }
@@ -140,69 +146,115 @@ std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
       1, config_.pbg_relation_sync_period);
   size_t iteration_in_bucket = 0;
 
+  std::vector<Triple> batch_negatives;
   for (size_t begin = 0; begin < triples.size();
        begin += config_.batch_size) {
     const size_t end = std::min(triples.size(), begin + config_.batch_size);
+    const size_t batch_count = end - begin;
 
-    scratch_grads_.clear();
-    auto grad = [&](EmbKey key, size_t width) -> std::span<float> {
-      auto [it, inserted] = scratch_grads_.try_emplace(key);
-      if (inserted) it->second.assign(width, 0.0f);
-      return it->second;
-    };
-
-    uint64_t backward_calls = 0;
-    uint64_t scored = 0;
+    // Materialize the batch's negatives serially first: the rng_ stream
+    // (one NextBounded + one NextBernoulli per negative, in triple
+    // order) is exactly what the old inline loop consumed, so sampling
+    // is unchanged by the parallel scoring that follows.
+    batch_negatives.clear();
+    scratch_pairs_.clear();
     for (size_t b = begin; b < end; ++b) {
       const Triple& pos = triples[b];
-      const auto h = entities_.Row(pos.head);
-      const auto r = relations_.Row(pos.relation);
-      const auto t = entities_.Row(pos.tail);
-      const double pos_score = score_fn_->Score(h, r, t);
-      ++scored;
-
       for (size_t k = 0; k < config_.negatives_per_positive; ++k) {
         if (pool_size == 0) break;
         const EntityId replacement = pool_at(rng_.NextBounded(pool_size));
         const bool corrupt_head = rng_.NextBernoulli(0.5);
         Triple neg = pos;
         (corrupt_head ? neg.head : neg.tail) = replacement;
-        const double neg_score =
-            score_fn_->Score(entities_.Row(neg.head), r,
-                             entities_.Row(neg.tail));
-        ++scored;
-        const embedding::LossGrad lg =
-            loss_fn_->PairLoss(pos_score, neg_score);
-        loss_sum += lg.loss;
-        ++pairs;
-        if (lg.dpos != 0.0) {
-          score_fn_->ScoreBackward(h, r, t, lg.dpos,
-                                   grad(EntityKey(pos.head), config_.dim),
-                                   grad(RelationKey(pos.relation),
-                                        relation_dim),
-                                   grad(EntityKey(pos.tail), config_.dim));
-          ++backward_calls;
-        }
-        if (lg.dneg != 0.0) {
-          score_fn_->ScoreBackward(entities_.Row(neg.head), r,
-                                   entities_.Row(neg.tail), lg.dneg,
-                                   grad(EntityKey(neg.head), config_.dim),
-                                   grad(RelationKey(neg.relation),
-                                        relation_dim),
-                                   grad(EntityKey(neg.tail), config_.dim));
-          ++backward_calls;
-        }
+        batch_negatives.push_back(neg);
+        ResolvedPair pair;
+        pair.positive_index = static_cast<uint32_t>(b - begin);
+        scratch_pairs_.push_back(pair);
       }
     }
-    cluster_.RecordCompute(machine,
-                           (scored + backward_calls) * score_flops / 2);
+
+    // Resolve every key the batch touches to a dense index once
+    // (sorted-unique list + binary search), so the score/backward hot
+    // loops index spans instead of hashing.
+    scratch_keys_.clear();
+    for (size_t b = begin; b < end; ++b) {
+      const Triple& pos = triples[b];
+      scratch_keys_.push_back(EntityKey(pos.head));
+      scratch_keys_.push_back(RelationKey(pos.relation));
+      scratch_keys_.push_back(EntityKey(pos.tail));
+    }
+    for (const Triple& neg : batch_negatives) {
+      scratch_keys_.push_back(EntityKey(neg.head));
+      scratch_keys_.push_back(EntityKey(neg.tail));
+    }
+    std::sort(scratch_keys_.begin(), scratch_keys_.end());
+    scratch_keys_.erase(
+        std::unique(scratch_keys_.begin(), scratch_keys_.end()),
+        scratch_keys_.end());
+    const size_t num_keys = scratch_keys_.size();
+
+    scratch_grad_offsets_.assign(1, 0);
+    scratch_row_spans_.clear();
+    for (EmbKey key : scratch_keys_) {
+      if (IsRelationKey(key)) {
+        scratch_row_spans_.push_back(relations_.Row(KeyRelation(key)));
+        scratch_grad_offsets_.push_back(scratch_grad_offsets_.back() +
+                                        relation_dim);
+      } else {
+        scratch_row_spans_.push_back(entities_.Row(KeyEntity(key)));
+        scratch_grad_offsets_.push_back(scratch_grad_offsets_.back() +
+                                        config_.dim);
+      }
+    }
+    auto key_index = [&](EmbKey key) -> uint32_t {
+      return static_cast<uint32_t>(
+          std::lower_bound(scratch_keys_.begin(), scratch_keys_.end(), key) -
+          scratch_keys_.begin());
+    };
+
+    scratch_positives_.clear();
+    for (size_t b = begin; b < end; ++b) {
+      const Triple& pos = triples[b];
+      ResolvedTriple rt;
+      rt.head = key_index(EntityKey(pos.head));
+      rt.relation = key_index(RelationKey(pos.relation));
+      rt.tail = key_index(EntityKey(pos.tail));
+      scratch_positives_.push_back(rt);
+    }
+    for (size_t p = 0; p < scratch_pairs_.size(); ++p) {
+      const Triple& neg = batch_negatives[p];
+      ResolvedTriple& nt = scratch_pairs_[p].negative;
+      nt.head = key_index(EntityKey(neg.head));
+      nt.relation = key_index(RelationKey(neg.relation));
+      nt.tail = key_index(EntityKey(neg.tail));
+    }
+
+    scratch_grads_.assign(scratch_grad_offsets_.back(), 0.0f);
+    const BatchStats stats = scorer_.Run(
+        *score_fn_, *loss_fn_, scratch_positives_, scratch_pairs_,
+        scratch_row_spans_, scratch_grad_offsets_, scratch_grads_,
+        &scratch_pos_scores_, pool_.get());
+    loss_sum += stats.loss_sum;
+    pairs += stats.pairs;
+    const uint64_t scored = batch_count + stats.pairs;
+    cluster_.RecordCompute(
+        machine, (scored + stats.backward_calls) * score_flops / 2);
 
     // Apply updates: entities locally (the partitions are resident);
     // relations locally, then the DENSE relation weights are pushed to /
     // pulled from the shared parameter server hosted on machine 0.
+    // All-zero rows were never touched by a backward call and are
+    // skipped, matching the old hash-map scratch behaviour.
     uint64_t updated_params = 0;
-    for (auto& [key, g] : scratch_grads_) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      const std::span<float> g(
+          scratch_grads_.data() + scratch_grad_offsets_[k],
+          scratch_grad_offsets_[k + 1] - scratch_grad_offsets_[k]);
+      const bool touched = std::any_of(g.begin(), g.end(),
+                                       [](float v) { return v != 0.0f; });
+      if (!touched) continue;
       updated_params += g.size();
+      const EmbKey key = scratch_keys_[k];
       if (IsRelationKey(key)) {
         const RelationId r = KeyRelation(key);
         relation_opt_->Apply(r, relations_.Row(r), g);
@@ -241,6 +293,9 @@ void PbgEngine::EnableValidation(const graph::KnowledgeGraph* graph,
   valid_graph_ = graph;
   valid_triples_ = valid;
   valid_options_ = options;
+  if (valid_options_.pool == nullptr) {
+    valid_options_.pool = pool_.get();  // Lend the engine's pool.
+  }
 }
 
 Result<TrainReport> PbgEngine::Train(size_t num_epochs) {

@@ -2,9 +2,11 @@
 #define HETKG_CORE_PBG_ENGINE_H_
 
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
+#include "core/parallel_batch.h"
 #include "core/trainer.h"
 #include "embedding/adagrad.h"
 #include "embedding/embedding_table.h"
@@ -98,8 +100,21 @@ class PbgEngine : public TrainingEngine {
   std::span<const Triple> valid_triples_;
   eval::EvalOptions valid_options_;
 
-  // Scratch.
-  std::unordered_map<EmbKey, std::vector<float>> scratch_grads_;
+  // Deterministic intra-batch parallelism (null pool when
+  // config.num_threads <= 1); see ps_engine.h for the scheme. Negative
+  // sampling stays serial so the rng_ stream is unchanged.
+  std::unique_ptr<ThreadPool> pool_;
+  ParallelBatchScorer scorer_;
+
+  // Per-batch scratch, reused across batches. Rows and gradients are
+  // addressed by the dense index of the batch's sorted key list.
+  std::vector<EmbKey> scratch_keys_;
+  std::vector<float> scratch_grads_;
+  std::vector<std::span<float>> scratch_row_spans_;
+  std::vector<size_t> scratch_grad_offsets_;  // K+1 prefix offsets.
+  std::vector<ResolvedTriple> scratch_positives_;
+  std::vector<ResolvedPair> scratch_pairs_;
+  std::vector<double> scratch_pos_scores_;
 };
 
 }  // namespace hetkg::core

@@ -192,6 +192,14 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
     iterations_per_epoch_ =
         std::max(iterations_per_epoch_, w.prefetcher->IterationsPerEpoch());
   }
+
+  // Intra-batch compute fan-out. Sampling, prefetching, and simulation
+  // accounting stay single-threaded; only the per-batch forward/backward
+  // math runs on the pool, with an ordered reduction that keeps results
+  // bit-identical at any thread count.
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
   return Status::OK();
 }
 
@@ -304,23 +312,30 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   MiniBatch batch = std::move(w->batch_queue.front());
   w->batch_queue.pop_front();
 
-  // Resolve every required row: cached rows are read in place, the rest
-  // are pulled from the PS in one accounted batch.
+  // Resolve every required row ONCE: the batch's keys are sorted and
+  // mapped to dense scratch indices, so the score/backward hot loops
+  // index spans directly instead of paying a hash lookup per access.
+  // Cached rows are read in place; the rest are pulled from the PS in
+  // one accounted batch.
   scratch_keys_ = BatchKeys(batch);
   std::sort(scratch_keys_.begin(), scratch_keys_.end());  // Determinism.
+  const size_t num_keys = scratch_keys_.size();
   scratch_missing_.clear();
-  scratch_rows_.clear();
-  scratch_grad_rows_.clear();
   scratch_pull_spans_.clear();
+  scratch_row_spans_.resize(num_keys);
+  scratch_grad_offsets_.resize(num_keys + 1);
 
   size_t grad_floats = 0;
   size_t value_floats = 0;
-  for (EmbKey key : scratch_keys_) {
+  for (size_t k = 0; k < num_keys; ++k) {
+    const EmbKey key = scratch_keys_[k];
     const size_t width = server_->RowDim(key);
+    scratch_grad_offsets_[k] = grad_floats;
     grad_floats += width;
     const bool cached = has_cache && w->cache->Contains(key);
     if (!cached) value_floats += width;
   }
+  scratch_grad_offsets_[num_keys] = grad_floats;
   scratch_grads_.assign(grad_floats, 0.0f);
   scratch_values_.resize(value_floats);
 
@@ -328,16 +343,12 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
       has_cache &&
       sync_.config().refresh_mode == RefreshMode::kOnAccess;
   uint64_t refreshed_rows = 0;
-  size_t grad_offset = 0;
   size_t value_offset = 0;
-  for (EmbKey key : scratch_keys_) {
-    const size_t width = server_->RowDim(key);
-    scratch_grad_rows_[key] =
-        std::span<float>(scratch_grads_.data() + grad_offset, width);
-    grad_offset += width;
+  for (size_t k = 0; k < num_keys; ++k) {
+    const EmbKey key = scratch_keys_[k];
     if (has_cache && w->cache->Contains(key)) {
       ++w->hits;
-      scratch_rows_[key] = w->cache->Row(key);
+      scratch_row_spans_[k] = w->cache->Row(key);
       if (on_access_refresh) {
         // Fine-grained staleness: re-pull this row if its last refresh
         // is older than P iterations.
@@ -352,9 +363,11 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
       }
     } else {
       ++w->misses;
+      const size_t width =
+          scratch_grad_offsets_[k + 1] - scratch_grad_offsets_[k];
       std::span<float> dest(scratch_values_.data() + value_offset, width);
       value_offset += width;
-      scratch_rows_[key] = dest;
+      scratch_row_spans_[k] = dest;
       scratch_missing_.push_back(key);
       scratch_pull_spans_.push_back(dest);
     }
@@ -381,58 +394,42 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
     server_->PullBatch(w->machine, scratch_missing_, scratch_pull_spans_);
   }
 
-  // Forward + backward over all (positive, negative) pairs.
-  auto row = [&](EmbKey key) -> std::span<const float> {
-    return scratch_rows_.find(key)->second;
+  // Forward + backward over all (positive, negative) pairs: resolve the
+  // batch's triples to dense key indices once, then run the
+  // deterministic chunked executor (parallel when a pool is configured,
+  // bit-identical either way).
+  auto key_index = [&](EmbKey key) -> uint32_t {
+    return static_cast<uint32_t>(
+        std::lower_bound(scratch_keys_.begin(), scratch_keys_.end(), key) -
+        scratch_keys_.begin());
   };
-  auto grad = [&](EmbKey key) -> std::span<float> {
-    return scratch_grad_rows_.find(key)->second;
-  };
-
-  std::vector<double> pos_scores(batch.positives.size());
+  scratch_positives_.resize(batch.positives.size());
   for (size_t i = 0; i < batch.positives.size(); ++i) {
     const Triple& t = batch.positives[i];
-    pos_scores[i] = score_fn_->Score(row(EntityKey(t.head)),
-                                     row(RelationKey(t.relation)),
-                                     row(EntityKey(t.tail)));
+    scratch_positives_[i] = ResolvedTriple{key_index(EntityKey(t.head)),
+                                           key_index(RelationKey(t.relation)),
+                                           key_index(EntityKey(t.tail))};
+  }
+  scratch_pairs_.resize(batch.negatives.size());
+  for (size_t i = 0; i < batch.negatives.size(); ++i) {
+    const auto& neg = batch.negatives[i];
+    scratch_pairs_[i].positive_index = neg.positive_index;
+    scratch_pairs_[i].negative =
+        ResolvedTriple{key_index(EntityKey(neg.triple.head)),
+                       key_index(RelationKey(neg.triple.relation)),
+                       key_index(EntityKey(neg.triple.tail))};
   }
 
-  double loss_sum = 0.0;
-  uint64_t pairs = 0;
-  uint64_t backward_calls = 0;
-  for (const auto& neg : batch.negatives) {
-    const Triple& nt = neg.triple;
-    const double neg_score = score_fn_->Score(row(EntityKey(nt.head)),
-                                              row(RelationKey(nt.relation)),
-                                              row(EntityKey(nt.tail)));
-    const embedding::LossGrad lg =
-        loss_fn_->PairLoss(pos_scores[neg.positive_index], neg_score);
-    loss_sum += lg.loss;
-    ++pairs;
-    if (lg.dpos != 0.0) {
-      const Triple& pt = batch.positives[neg.positive_index];
-      score_fn_->ScoreBackward(row(EntityKey(pt.head)),
-                               row(RelationKey(pt.relation)),
-                               row(EntityKey(pt.tail)), lg.dpos,
-                               grad(EntityKey(pt.head)),
-                               grad(RelationKey(pt.relation)),
-                               grad(EntityKey(pt.tail)));
-      ++backward_calls;
-    }
-    if (lg.dneg != 0.0) {
-      score_fn_->ScoreBackward(row(EntityKey(nt.head)),
-                               row(RelationKey(nt.relation)),
-                               row(EntityKey(nt.tail)), lg.dneg,
-                               grad(EntityKey(nt.head)),
-                               grad(RelationKey(nt.relation)),
-                               grad(EntityKey(nt.tail)));
-      ++backward_calls;
-    }
-  }
+  const BatchStats stats = scorer_.Run(
+      *score_fn_, *loss_fn_, scratch_positives_, scratch_pairs_,
+      scratch_row_spans_, scratch_grad_offsets_, scratch_grads_,
+      &scratch_pos_scores_, pool_.get());
+
   const uint64_t score_flops = score_fn_->FlopsPerTriple(config_.dim);
   cluster_.RecordCompute(
       w->machine,
-      (batch.positives.size() + batch.negatives.size() + backward_calls) *
+      (batch.positives.size() + batch.negatives.size() +
+       stats.backward_calls) *
           score_flops / 2);
 
   // Local cache update for hot rows, then push the gradients of this
@@ -446,8 +443,11 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   push_keys.reserve(scratch_keys_.size());
   push_spans.reserve(scratch_keys_.size());
   uint64_t local_update_params = 0;
-  for (EmbKey key : scratch_keys_) {
-    const std::span<float> g = scratch_grad_rows_.find(key)->second;
+  for (size_t k = 0; k < num_keys; ++k) {
+    const EmbKey key = scratch_keys_[k];
+    const std::span<float> g(
+        scratch_grads_.data() + scratch_grad_offsets_[k],
+        scratch_grad_offsets_[k + 1] - scratch_grad_offsets_[k]);
     bool nonzero = false;
     for (float v : g) {
       if (v != 0.0f) {
@@ -485,7 +485,7 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
                                batch.positives.size());
   server_->metrics().Increment(metric::kNegativesTrained,
                                batch.negatives.size());
-  return {loss_sum, pairs};
+  return {stats.loss_sum, stats.pairs};
 }
 
 void PsTrainingEngine::EnableValidation(const graph::KnowledgeGraph* graph,
@@ -494,6 +494,10 @@ void PsTrainingEngine::EnableValidation(const graph::KnowledgeGraph* graph,
   valid_graph_ = graph;
   valid_triples_ = valid;
   valid_options_ = options;
+  // Reuse the training pool for the per-epoch validation rankings.
+  if (valid_options_.pool == nullptr) {
+    valid_options_.pool = pool_.get();
+  }
 }
 
 double PsTrainingEngine::OverallHitRatio() const {

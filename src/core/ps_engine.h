@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/hot_embedding_table.h"
+#include "core/parallel_batch.h"
 #include "core/prefetcher.h"
 #include "core/sync_controller.h"
 #include "core/trainer.h"
@@ -135,14 +137,26 @@ class PsTrainingEngine : public TrainingEngine {
   std::span<const Triple> valid_triples_;
   eval::EvalOptions valid_options_;
 
-  // Per-iteration scratch, reused to avoid allocation churn.
+  // Deterministic intra-batch parallelism: worker forward/backward math
+  // fans out over this pool (null when config.num_threads <= 1); the
+  // scorer's ordered reduction keeps results bit-identical at any
+  // thread count.
+  std::unique_ptr<ThreadPool> pool_;
+  ParallelBatchScorer scorer_;
+
+  // Per-iteration scratch, reused to avoid allocation churn. Rows and
+  // gradients are addressed by the dense index of the batch's sorted
+  // key list (scratch_keys_), not by hash lookups.
   std::vector<EmbKey> scratch_keys_;
   std::vector<EmbKey> scratch_missing_;
   std::vector<float> scratch_values_;
   std::vector<float> scratch_grads_;
   std::vector<std::span<float>> scratch_pull_spans_;
-  std::unordered_map<EmbKey, std::span<float>> scratch_rows_;
-  std::unordered_map<EmbKey, std::span<float>> scratch_grad_rows_;
+  std::vector<std::span<float>> scratch_row_spans_;  // Per key index.
+  std::vector<size_t> scratch_grad_offsets_;         // K+1 prefix offsets.
+  std::vector<ResolvedTriple> scratch_positives_;
+  std::vector<ResolvedPair> scratch_pairs_;
+  std::vector<double> scratch_pos_scores_;
 };
 
 }  // namespace hetkg::core

@@ -3,15 +3,19 @@
 namespace hetkg::core {
 
 Result<SyncController> SyncController::Create(const SyncConfig& config) {
-  if (config.strategy != CacheStrategy::kNone &&
-      config.staleness_bound == 0) {
-    return Status::InvalidArgument("staleness bound P must be >= 1");
+  // Cache-sync knobs only constrain configurations that actually run a
+  // cache; kNone (DGL-KE-style) configs carry don't-care zeros and
+  // nothing is ever written back.
+  if (config.strategy != CacheStrategy::kNone) {
+    if (config.staleness_bound == 0) {
+      return Status::InvalidArgument("staleness bound P must be >= 1");
+    }
+    if (config.write_back_period == 0) {
+      return Status::InvalidArgument("write-back period must be >= 1");
+    }
   }
   if (config.strategy == CacheStrategy::kDps && config.dps_window == 0) {
     return Status::InvalidArgument("DPS window D must be >= 1");
-  }
-  if (config.write_back_period == 0) {
-    return Status::InvalidArgument("write-back period must be >= 1");
   }
   return SyncController(config);
 }

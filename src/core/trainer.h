@@ -48,6 +48,11 @@ struct TrainerConfig {
 
   size_t num_machines = 4;         // Paper: 4; one worker per machine.
   std::string partitioner = "metis";  // "metis" | "random".
+  /// Compute threads for the intra-batch forward/backward fan-out (the
+  /// deterministic parallel path: results are bit-identical at any
+  /// value). 0 and 1 both mean serial execution. Simulation accounting
+  /// and sampling stay single-threaded regardless.
+  size_t num_threads = 1;
 
   /// Cache construction + synchronization (HET-KG systems only).
   SyncConfig sync;

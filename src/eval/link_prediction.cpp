@@ -1,9 +1,8 @@
 #include "eval/link_prediction.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <mutex>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -117,28 +116,43 @@ Result<EvalMetrics> EvaluateLinkPrediction(
     }
   }
 
-  RankAccumulator total;
-  if (options.num_threads <= 1) {
-    for (const Triple& triple : triples) {
-      total.Add(RankOneSide(embeddings, score_fn, graph, triple, true,
-                            candidates, options.filtered));
-      total.Add(RankOneSide(embeddings, score_fn, graph, triple, false,
-                            candidates, options.filtered));
-    }
-  } else {
-    ThreadPool pool(options.num_threads);
-    std::mutex mu;
-    pool.ParallelFor(triples.size(), [&](size_t begin, size_t end) {
-      RankAccumulator local;
+  // Fixed-size chunks with an ordered merge: the accumulation order of
+  // the rank statistics depends only on the triple count, never on the
+  // thread count, so the metrics are bit-identical between the serial
+  // path and any pool size.
+  constexpr size_t kTriplesPerChunk = 16;
+  const size_t chunk_count =
+      (triples.size() + kTriplesPerChunk - 1) / kTriplesPerChunk;
+  std::vector<RankAccumulator> partials(chunk_count);
+  auto rank_chunks = [&](size_t chunk_begin, size_t chunk_end) {
+    for (size_t c = chunk_begin; c < chunk_end; ++c) {
+      RankAccumulator& acc = partials[c];
+      const size_t begin = c * kTriplesPerChunk;
+      const size_t end = std::min(triples.size(), begin + kTriplesPerChunk);
       for (size_t i = begin; i < end; ++i) {
-        local.Add(RankOneSide(embeddings, score_fn, graph, triples[i], true,
-                              candidates, options.filtered));
-        local.Add(RankOneSide(embeddings, score_fn, graph, triples[i], false,
-                              candidates, options.filtered));
+        acc.Add(RankOneSide(embeddings, score_fn, graph, triples[i], true,
+                            candidates, options.filtered));
+        acc.Add(RankOneSide(embeddings, score_fn, graph, triples[i], false,
+                            candidates, options.filtered));
       }
-      std::lock_guard<std::mutex> lock(mu);
-      total.Merge(local);
-    });
+    }
+  };
+
+  ThreadPool* pool = options.pool;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && options.num_threads > 1) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = owned_pool.get();
+  }
+  if (pool != nullptr && pool->num_threads() > 1 && chunk_count > 1) {
+    pool->ParallelFor(chunk_count, rank_chunks);
+  } else {
+    rank_chunks(0, chunk_count);
+  }
+
+  RankAccumulator total;
+  for (const RankAccumulator& acc : partials) {
+    total.Merge(acc);
   }
 
   EvalMetrics metrics;

@@ -9,6 +9,10 @@
 #include "embedding/score_function.h"
 #include "graph/knowledge_graph.h"
 
+namespace hetkg {
+class ThreadPool;
+}  // namespace hetkg
+
 namespace hetkg::eval {
 
 /// Read-only view over trained embeddings, decoupling the evaluator
@@ -45,8 +49,14 @@ struct EvalOptions {
   /// Cap on evaluated test triples (0 = all); sampled deterministically.
   size_t max_triples = 0;
   uint64_t seed = 99;
-  /// Worker threads for the scoring loop (read-only work).
+  /// Worker threads for the scoring loop (read-only work). The ranking
+  /// statistics accumulate in fixed chunk order, so the metrics are
+  /// bit-identical at any thread count.
   size_t num_threads = 1;
+  /// Optional externally owned pool to run the scoring loop on (the
+  /// training engines lend theirs to the per-epoch validation pass).
+  /// When null and num_threads > 1, a temporary pool is spawned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Computes ranking metrics for `test` triples. `graph` provides the

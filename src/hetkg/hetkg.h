@@ -34,6 +34,7 @@
 #include "core/baseline_caches.h"
 #include "core/hot_embedding_table.h"
 #include "core/hot_filter.h"
+#include "core/parallel_batch.h"
 #include "core/pbg_engine.h"
 #include "core/prefetcher.h"
 #include "core/report_io.h"

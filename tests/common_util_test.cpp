@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/histogram.h"
@@ -101,6 +103,23 @@ TEST(HistogramTest, ClearResets) {
   EXPECT_EQ(h.Quantile(0.5), 0.0);
 }
 
+TEST(HistogramTest, NegativeValuesClampToFirstBucket) {
+  // log2 of a negative value is UB territory; Add must clamp instead.
+  Histogram h;
+  h.Add(-1.0);
+  h.Add(0.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  // Quantiles stay inside the observed range and finite.
+  for (double q : {0.0, 0.5, 1.0}) {
+    const double value = h.Quantile(q);
+    EXPECT_GE(value, h.min());
+    EXPECT_LE(value, h.max());
+  }
+}
+
 TEST(MetricsTest, IncrementAndGet) {
   MetricRegistry m;
   EXPECT_EQ(m.Get("x"), 0u);
@@ -192,6 +211,59 @@ TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   bool ran = false;
   pool.ParallelFor(0, [&](size_t, size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  // A release build used to divide by zero in ParallelFor's chunk math;
+  // the constructor now clamps the thread count.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(10, [&](size_t begin, size_t end) {
+    counter.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForWaitsOnlyForOwnWork) {
+  // Two callers sharing one pool: each ParallelFor must observe ALL of
+  // its own iterations done when it returns, even while the other
+  // caller's tasks are still in flight. The old pool-global in_flight_
+  // wait let a caller return while its own chunks were still queued
+  // behind the other caller's.
+  ThreadPool pool(4);
+  constexpr size_t kIterations = 2000;
+  constexpr int kRounds = 20;
+  auto hammer = [&pool]() {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::atomic<int>> touched(kIterations);
+      pool.ParallelFor(kIterations, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+      });
+      for (const auto& t : touched) {
+        ASSERT_EQ(t.load(), 1);  // Complete exactly once on return.
+      }
+    }
+  };
+  std::thread other(hammer);
+  hammer();
+  other.join();
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A task that itself calls ParallelFor must not deadlock: the waiting
+  // caller helps drain the queue instead of blocking on a pool-global
+  // counter that its own wait keeps nonzero.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(8, [&](size_t ib, size_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
 }
 
 }  // namespace

@@ -192,6 +192,29 @@ TEST(SyncControllerTest, RejectsZeroThresholds) {
   EXPECT_TRUE(SyncController::Create({CacheStrategy::kNone, 0, 0}).ok());
 }
 
+TEST(SyncControllerTest, WriteBackPeriodOnlyConstrainedWhenCacheActive) {
+  // kNone runs no cache, so its don't-care zeros must be accepted —
+  // a DGL-KE config with write_back_period = 0 used to be rejected.
+  SyncConfig none;
+  none.strategy = CacheStrategy::kNone;
+  none.staleness_bound = 0;
+  none.dps_window = 64;
+  none.write_back_period = 0;
+  EXPECT_TRUE(SyncController::Create(none).ok());
+
+  SyncConfig cps = none;
+  cps.strategy = CacheStrategy::kCps;
+  cps.staleness_bound = 8;
+  EXPECT_FALSE(SyncController::Create(cps).ok());  // wb = 0 still invalid.
+  cps.write_back_period = 1;
+  EXPECT_TRUE(SyncController::Create(cps).ok());
+
+  SyncConfig dps = cps;
+  dps.strategy = CacheStrategy::kDps;
+  dps.write_back_period = 0;
+  EXPECT_FALSE(SyncController::Create(dps).ok());
+}
+
 TEST(FifoCacheTest, EvictsOldestFirst) {
   FifoCache cache(2);
   EXPECT_FALSE(cache.Access(EntityKey(1)));
