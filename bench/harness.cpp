@@ -89,6 +89,36 @@ void DefineCommonFlags(FlagParser* flags) {
                 "compute threads for the intra-batch forward/backward "
                 "fan-out (bit-identical results at any value)");
   flags->Define("seed", "1234", "global seed");
+  // Fault-injection transport knobs (sim/transport.h). All-zero
+  // probabilities (the default) keep the perfect-network behaviour
+  // bit-identical; a fixed --fault_seed replays a scenario exactly.
+  flags->Define("fault_drop", "0",
+                "probability one wire attempt is lost in the network");
+  flags->Define("fault_duplicate", "0",
+                "probability a delivered message arrives twice");
+  flags->Define("fault_delay", "0",
+                "probability a delivered message is late");
+  flags->Define("fault_delay_us", "500",
+                "modeled lateness of one delayed delivery (microseconds)");
+  flags->Define("fault_retries", "3",
+                "retransmissions before the sender gives up");
+  flags->Define("fault_backoff_us", "200",
+                "first retry backoff (microseconds, doubles per retry)");
+  flags->Define("fault_seed", "42", "seed of the deterministic fault plan");
+}
+
+sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
+  sim::FaultConfig fault;
+  fault.drop_prob = flags.GetDouble("fault_drop");
+  fault.duplicate_prob = flags.GetDouble("fault_duplicate");
+  fault.delay_prob = flags.GetDouble("fault_delay");
+  fault.delay_seconds = flags.GetDouble("fault_delay_us") * 1e-6;
+  fault.max_retries = static_cast<size_t>(flags.GetInt("fault_retries"));
+  fault.retry_backoff_seconds = flags.GetDouble("fault_backoff_us") * 1e-6;
+  fault.seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
+  fault.enabled = fault.drop_prob > 0.0 || fault.duplicate_prob > 0.0 ||
+                  fault.delay_prob > 0.0;
+  return fault;
 }
 
 core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
@@ -109,6 +139,7 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.pbg_partitions = 2 * config.num_machines;
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.fault = FaultConfigFromFlags(flags);
   return config;
 }
 

@@ -41,12 +41,20 @@ void PrintBanner(const std::string& name, const std::string& what);
 /// Registers the flags shared by every table/figure bench:
 ///   --dim --epochs --machines --lr --batch --negatives --cache
 ///   --staleness --dps_window --triple_fraction --fb86m_scale
-///   --eval_triples --eval_candidates --seed
+///   --eval_triples --eval_candidates --threads --seed, plus the
+/// fault-injection knobs --fault_drop --fault_duplicate --fault_delay
+/// --fault_delay_us --fault_retries --fault_backoff_us --fault_seed
+/// (all-zero probabilities = perfect network; a fixed --fault_seed
+/// replays a fault scenario bit-identically).
 /// Defaults are single-core scale; pass paper-scale values to override.
 void DefineCommonFlags(FlagParser* flags);
 
 /// Builds a TrainerConfig from the parsed common flags.
 core::TrainerConfig ConfigFromFlags(const FlagParser& flags);
+
+/// Builds the fault-injection plan from the parsed fault flags;
+/// `enabled` is set iff any fault probability is nonzero.
+sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags);
 
 /// Evaluation options from the parsed common flags.
 eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags);

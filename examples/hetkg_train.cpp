@@ -40,6 +40,18 @@ int main(int argc, char** argv) {
                "fan-out (results are bit-identical at any value)");
   flags.Define("checkpoint", "", "path to write the trained embeddings");
   flags.Define("seed", "1234", "seed");
+  // Fault injection: simulate an unreliable worker <-> PS network.
+  // All-zero probabilities (default) = perfect network; with a fixed
+  // --fault_seed the same scenario replays bit-identically.
+  flags.Define("fault_drop", "0",
+               "probability one wire attempt is lost in the network");
+  flags.Define("fault_duplicate", "0",
+               "probability a delivered message arrives twice");
+  flags.Define("fault_delay", "0",
+               "probability a delivered message is late");
+  flags.Define("fault_retries", "3",
+               "retransmissions before the sender gives up");
+  flags.Define("fault_seed", "42", "seed of the deterministic fault plan");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -114,6 +126,14 @@ int main(int argc, char** argv) {
   config.pbg_partitions = 2 * config.num_machines;
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.fault.drop_prob = flags.GetDouble("fault_drop");
+  config.fault.duplicate_prob = flags.GetDouble("fault_duplicate");
+  config.fault.delay_prob = flags.GetDouble("fault_delay");
+  config.fault.max_retries = static_cast<size_t>(flags.GetInt("fault_retries"));
+  config.fault.seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
+  config.fault.enabled = config.fault.drop_prob > 0.0 ||
+                         config.fault.duplicate_prob > 0.0 ||
+                         config.fault.delay_prob > 0.0;
 
   auto engine =
       core::MakeEngine(*system, config, dataset.graph, dataset.split.train);
@@ -154,6 +174,21 @@ int main(int argc, char** argv) {
               HumanBytes(static_cast<double>(report->total_remote_bytes))
                   .c_str(),
               report->overall_hit_ratio);
+  if (config.fault.enabled) {
+    std::printf(
+        "faults: %llu dropped, %llu retries, %llu duplicates ignored, "
+        "%llu stale serves, %llu lost push rows\n",
+        static_cast<unsigned long long>(
+            report->metrics.Get(metric::kTransportDroppedMessages)),
+        static_cast<unsigned long long>(
+            report->metrics.Get(metric::kTransportRetries)),
+        static_cast<unsigned long long>(
+            report->metrics.Get(metric::kTransportDuplicatesIgnored)),
+        static_cast<unsigned long long>(
+            report->metrics.Get(metric::kTransportStaleServes)),
+        static_cast<unsigned long long>(
+            report->metrics.Get(metric::kTransportLostPushRows)));
+  }
 
   // ---- Evaluate + checkpoint -------------------------------------------
   if (!dataset.split.test.empty()) {

@@ -58,6 +58,27 @@ inline constexpr char kNegativesTrained[] = "engine.negatives_trained";
 inline constexpr char kPartitionSwaps[] = "pbg.partition_swaps";
 inline constexpr char kPartitionSwapBytes[] = "pbg.partition_swap_bytes";
 inline constexpr char kDenseRelationBytes[] = "pbg.dense_relation_bytes";
+// Fault-injection transport (sim/transport.h). These counters exist
+// only when the corresponding fault fires, so fault-free runs keep
+// their pre-transport metric snapshots byte-identical.
+inline constexpr char kTransportRetries[] = "transport.retries";
+inline constexpr char kTransportDroppedMessages[] =
+    "transport.dropped_messages";
+inline constexpr char kTransportDuplicates[] =
+    "transport.duplicate_deliveries";
+inline constexpr char kTransportDelayed[] = "transport.delayed_deliveries";
+inline constexpr char kTransportExhaustedRetries[] =
+    "transport.exhausted_retries";
+// Degradation paths taken by the PS client when the transport gives up.
+inline constexpr char kTransportStaleServes[] = "transport.stale_serves";
+inline constexpr char kTransportDegradedReads[] =
+    "transport.degraded_reads";
+inline constexpr char kTransportLostPushRows[] =
+    "transport.lost_push_rows";
+inline constexpr char kTransportDuplicatesIgnored[] =
+    "transport.duplicates_ignored";
+inline constexpr char kTransportSkippedSyncs[] =
+    "transport.skipped_relation_syncs";
 }  // namespace metric
 
 }  // namespace hetkg

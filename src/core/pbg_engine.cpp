@@ -16,6 +16,7 @@ PbgEngine::PbgEngine(const TrainerConfig& config,
     : config_(config),
       graph_(graph),
       cluster_(config.num_machines, config.network, config.compute),
+      transport_(&cluster_, config.fault),
       rng_(config.seed ^ 0xB16) {}
 
 Result<std::unique_ptr<PbgEngine>> PbgEngine::Create(
@@ -274,12 +275,23 @@ std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
     if (iteration_in_bucket % sync_period == 0) {
       if (machine == 0) {
         cluster_.RecordLocalCopy(0, 2 * dense_relation_bytes);
+        metrics_.Increment(metric::kDenseRelationBytes,
+                           2 * dense_relation_bytes);
       } else {
-        cluster_.RecordRemoteMessage(machine, 0, dense_relation_bytes);
-        cluster_.RecordRemoteMessage(0, machine, dense_relation_bytes);
+        // Push-then-pull round-trip with the shared PS on machine 0.
+        // When the exchange exhausts its retries the sync is skipped —
+        // the machine trains on its local relation weights until the
+        // next period (graceful degradation; PBG's async PS has the
+        // same behaviour under backpressure).
+        const sim::Delivery delivery = transport_.Exchange(
+            machine, 0, dense_relation_bytes, dense_relation_bytes);
+        if (delivery.delivered) {
+          metrics_.Increment(metric::kDenseRelationBytes,
+                             2 * dense_relation_bytes);
+        } else {
+          metrics_.Increment(metric::kTransportSkippedSyncs);
+        }
       }
-      metrics_.Increment(metric::kDenseRelationBytes,
-                         2 * dense_relation_bytes);
     }
     ++iteration_in_bucket;
     metrics_.Increment(metric::kTriplesTrained, end - begin);
@@ -351,6 +363,8 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
     report.epochs.push_back(er);
   }
   report.metrics.Merge(metrics_);
+  // Empty unless a fault fired, keeping fault-free reports unchanged.
+  report.metrics.Merge(transport_.metrics());
   return report;
 }
 

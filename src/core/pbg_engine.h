@@ -64,6 +64,11 @@ class PbgEngine : public TrainingEngine {
   const partition::BucketPlan& plan() const { return plan_; }
   const sim::ClusterSim& cluster() const { return cluster_; }
 
+  /// Fault-injection transport carrying the dense relation-weight
+  /// round-trips to the shared PS. Partition swaps go through the
+  /// shared filesystem, which the fault model treats as reliable.
+  const sim::Transport& transport() const { return transport_; }
+
  private:
   PbgEngine(const TrainerConfig& config, const graph::KnowledgeGraph& graph);
   Status Setup(const std::vector<Triple>& train);
@@ -81,6 +86,7 @@ class PbgEngine : public TrainingEngine {
   TrainerConfig config_;
   const graph::KnowledgeGraph& graph_;
   sim::ClusterSim cluster_;
+  sim::Transport transport_;
 
   std::unique_ptr<embedding::ScoreFunction> score_fn_;
   std::unique_ptr<embedding::LossFunction> loss_fn_;

@@ -56,7 +56,8 @@ PsTrainingEngine::PsTrainingEngine(const TrainerConfig& config,
     : config_(config),
       sync_(sync),
       graph_(graph),
-      cluster_(config.num_machines, config.network, config.compute) {}
+      cluster_(config.num_machines, config.network, config.compute),
+      transport_(&cluster_, config.fault) {}
 
 Result<std::unique_ptr<PsTrainingEngine>> PsTrainingEngine::Create(
     const TrainerConfig& config, const graph::KnowledgeGraph& graph,
@@ -149,7 +150,7 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
   HETKG_ASSIGN_OR_RETURN(
       server_, ps::ParameterServer::Create(ps_config,
                                            std::move(parts.entity_part),
-                                           &cluster_));
+                                           &cluster_, &transport_));
   server_->InitEmbeddings();
   lookup_ = PsEmbeddingLookup(server_.get());
 
@@ -257,7 +258,18 @@ void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
     for (EmbKey key : admitted) {
       scratch_pull_spans_.push_back(w->cache->Row(key));
     }
-    server_->PullBatch(w->machine, admitted, scratch_pull_spans_);
+    const ps::PullResult pull =
+        server_->PullBatch(w->machine, admitted, scratch_pull_spans_);
+    // A newly admitted row has no stale copy to fall back on, so a
+    // failed construction pull takes the degraded-read path: fill from
+    // the global table directly (modeling the value arriving late,
+    // outside the accounted fast path).
+    for (uint32_t idx : pull.failed) {
+      const std::span<const float> value = server_->Value(admitted[idx]);
+      const std::span<float> dest = scratch_pull_spans_[idx];
+      std::copy(value.begin(), value.end(), dest.begin());
+      server_->metrics().Increment(metric::kTransportDegradedReads);
+    }
   }
 }
 
@@ -274,6 +286,38 @@ void PsTrainingEngine::FlushPendingGradients(Worker* w) {
   server_->PushGradBatch(w->machine, keys, grads);
   server_->metrics().Increment(metric::kWriteBackFlushes);
   w->pending_grads.clear();
+}
+
+void PsTrainingEngine::HandleFailedPulls(
+    Worker* w, size_t iter, std::span<const EmbKey> keys,
+    std::span<const std::span<float>> spans,
+    std::span<const uint32_t> failed) {
+  const bool on_access_refresh =
+      w->cache != nullptr &&
+      sync_.config().refresh_mode == RefreshMode::kOnAccess;
+  for (uint32_t idx : failed) {
+    const EmbKey key = keys[idx];
+    if (w->cache != nullptr && w->cache->Contains(key)) {
+      // A refresh that never arrived: the worker keeps serving the
+      // stale cached copy. Staleness degrades gracefully — each lost
+      // refresh round adds one more P window to the row's worst-case
+      // lag (SyncController::DegradedMaxStaleness).
+      server_->metrics().Increment(metric::kTransportStaleServes);
+      if (on_access_refresh) {
+        // Re-stale the anchor so the very next access retries the
+        // refresh instead of waiting another P iterations.
+        const size_t bound = sync_.config().staleness_bound;
+        w->last_refresh[key] = iter >= bound ? iter - bound : 0;
+      }
+    } else {
+      // A cold miss has no cached fallback; take the degraded read so
+      // the iteration can proceed with a live value.
+      const std::span<const float> value = server_->Value(key);
+      const std::span<float> dest = spans[idx];
+      std::copy(value.begin(), value.end(), dest.begin());
+      server_->metrics().Increment(metric::kTransportDegradedReads);
+    }
+  }
 }
 
 void PsTrainingEngine::FillBatchQueue(Worker* w) {
@@ -391,7 +435,12 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
     server_->metrics().Increment(metric::kCacheRefreshRows, cached.size());
   }
   if (!scratch_missing_.empty()) {
-    server_->PullBatch(w->machine, scratch_missing_, scratch_pull_spans_);
+    const ps::PullResult pull =
+        server_->PullBatch(w->machine, scratch_missing_, scratch_pull_spans_);
+    if (!pull.failed.empty()) {
+      HandleFailedPulls(w, iter, scratch_missing_, scratch_pull_spans_,
+                        pull.failed);
+    }
   }
 
   // Forward + backward over all (positive, negative) pairs: resolve the
@@ -570,6 +619,9 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
   }
   report.overall_hit_ratio = OverallHitRatio();
   report.metrics.Merge(server_->metrics());
+  // Fault-free transports never touch a counter, so this merge leaves
+  // the report byte-identical to the perfect-network behaviour.
+  report.metrics.Merge(transport_.metrics());
   const uint64_t total = total_hits_ + total_misses_;
   report.metrics.Increment(metric::kCacheHits, total_hits_);
   report.metrics.Increment(metric::kCacheMisses, total - total_hits_);

@@ -78,6 +78,10 @@ class PsTrainingEngine : public TrainingEngine {
   /// The simulated cluster (exposed for benches that inspect traffic).
   const sim::ClusterSim& cluster() const { return cluster_; }
 
+  /// The fault-injection transport carrying all PS traffic (exposed for
+  /// benches/tests that inspect retry and degradation counters).
+  const sim::Transport& transport() const { return transport_; }
+
  private:
   struct Worker {
     uint32_t machine = 0;
@@ -112,6 +116,16 @@ class PsTrainingEngine : public TrainingEngine {
   /// Pushes all locally accumulated (write-back) gradients to the PS.
   void FlushPendingGradients(Worker* w);
 
+  /// Degradation path of a pull whose retries were exhausted: cached
+  /// keys keep serving their stale copy (and stay refresh-eligible);
+  /// uncached keys fall back to an unaccounted degraded read so the
+  /// iteration can proceed. `keys[failed[i]]` are the unserved keys,
+  /// `spans[failed[i]]` their destinations.
+  void HandleFailedPulls(Worker* w, size_t iter,
+                         std::span<const EmbKey> keys,
+                         std::span<const std::span<float>> spans,
+                         std::span<const uint32_t> failed);
+
   /// One training iteration for one worker at global iteration `iter`.
   /// Returns the summed pair loss and pair count.
   std::pair<double, uint64_t> Step(Worker* w, size_t iter);
@@ -121,6 +135,7 @@ class PsTrainingEngine : public TrainingEngine {
   const graph::KnowledgeGraph& graph_;
 
   sim::ClusterSim cluster_;
+  sim::Transport transport_;
   std::unique_ptr<ps::ParameterServer> server_;
   std::unique_ptr<embedding::ScoreFunction> score_fn_;
   std::unique_ptr<embedding::LossFunction> loss_fn_;

@@ -82,6 +82,18 @@ class SyncController {
                : config_.staleness_bound;
   }
 
+  /// Staleness bound that still holds when the fault-injection
+  /// transport lost `missed_refreshes` consecutive refresh rounds for a
+  /// row: each lost round stretches the row's lag by one more P window
+  /// (the worker keeps serving the stale copy until the next refresh
+  /// attempt succeeds), so degradation is graceful — linear in the
+  /// number of lost refreshes, never unbounded while retries eventually
+  /// succeed. See DESIGN.md "Fault model".
+  size_t DegradedMaxStaleness(size_t missed_refreshes) const {
+    if (config_.strategy == CacheStrategy::kNone) return 0;
+    return (missed_refreshes + 1) * config_.staleness_bound;
+  }
+
  private:
   explicit SyncController(const SyncConfig& config) : config_(config) {}
   SyncConfig config_;

@@ -13,6 +13,7 @@
 #include "eval/link_prediction.h"
 #include "graph/knowledge_graph.h"
 #include "sim/cluster.h"
+#include "sim/transport.h"
 
 namespace hetkg::core {
 
@@ -70,6 +71,11 @@ struct TrainerConfig {
 
   sim::NetworkConfig network;
   sim::ComputeConfig compute;
+  /// Fault-injection plan for the worker <-> PS transport. Disabled by
+  /// default (bit-identical to a perfect network); when enabled, all
+  /// fault decisions are a pure function of `fault.seed` and the
+  /// message sequence, so a scenario replays bit-identically.
+  sim::FaultConfig fault;
   uint64_t seed = 1234;
 };
 

@@ -1,5 +1,6 @@
 #include "ps/parameter_server.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -8,7 +9,7 @@ namespace hetkg::ps {
 
 Result<std::unique_ptr<ParameterServer>> ParameterServer::Create(
     const PsConfig& config, std::vector<uint32_t> entity_owner,
-    sim::ClusterSim* cluster) {
+    sim::ClusterSim* cluster, sim::Transport* transport) {
   if (cluster == nullptr) {
     return Status::InvalidArgument("cluster must not be null");
   }
@@ -23,25 +24,40 @@ Result<std::unique_ptr<ParameterServer>> ParameterServer::Create(
   }
   for (uint32_t owner : entity_owner) {
     if (owner >= cluster->num_machines()) {
-      return Status::OutOfRange("entity owner machine out of range");
+      return Status::OutOfRange("entity owner machine " +
+                                std::to_string(owner) +
+                                " out of range (cluster has " +
+                                std::to_string(cluster->num_machines()) +
+                                " machines)");
     }
   }
-  return std::unique_ptr<ParameterServer>(
-      new ParameterServer(config, std::move(entity_owner), cluster));
+  if (transport != nullptr && transport->cluster() != cluster) {
+    return Status::InvalidArgument(
+        "transport must account to the same cluster");
+  }
+  return std::unique_ptr<ParameterServer>(new ParameterServer(
+      config, std::move(entity_owner), cluster, transport));
 }
 
 ParameterServer::ParameterServer(const PsConfig& config,
                                  std::vector<uint32_t> entity_owner,
-                                 sim::ClusterSim* cluster)
+                                 sim::ClusterSim* cluster,
+                                 sim::Transport* transport)
     : config_(config),
       entity_owner_(std::move(entity_owner)),
       cluster_(cluster),
+      owned_transport_(transport == nullptr
+                           ? std::make_unique<sim::Transport>(cluster)
+                           : nullptr),
+      transport_(transport == nullptr ? owned_transport_.get() : transport),
       entity_table_(config.num_entities, config.entity_dim),
       relation_table_(config.num_relations, config.relation_dim),
       entity_opt_(config.num_entities, config.entity_dim,
                   config.learning_rate),
       relation_opt_(config.num_relations, config.relation_dim,
-                    config.learning_rate) {}
+                    config.learning_rate),
+      push_seq_(cluster->num_machines(), 0),
+      applied_push_seq_(cluster->num_machines(), 0) {}
 
 void ParameterServer::InitEmbeddings() {
   Rng rng(config_.init_seed);
@@ -91,74 +107,123 @@ void ParameterServer::ApplyGradient(EmbKey key, std::span<const float> grad) {
   }
 }
 
-void ParameterServer::PullBatch(uint32_t worker_machine,
-                                std::span<const EmbKey> keys,
-                                std::span<std::span<float>> out) {
+PullResult ParameterServer::PullBatch(uint32_t worker_machine,
+                                      std::span<const EmbKey> keys,
+                                      std::span<std::span<float>> out) {
   HETKG_CHECK(keys.size() == out.size());
+  PullResult result;
   const size_t num_machines = cluster_->num_machines();
   scratch_owner_rows_.assign(num_machines, 0);
-  std::vector<uint64_t> payload(num_machines, 0);
+  scratch_payload_.assign(num_machines, 0);
+  scratch_key_owner_.resize(keys.size());
 
   for (size_t i = 0; i < keys.size(); ++i) {
     const EmbKey key = keys[i];
-    const std::span<const float> value = Value(key);
-    HETKG_CHECK(out[i].size() == value.size())
+    HETKG_CHECK(out[i].size() == RowDim(key))
         << "pull destination width mismatch for key " << key;
-    std::copy(value.begin(), value.end(), out[i].begin());
-
     const uint32_t owner = OwnerOf(key);
+    scratch_key_owner_[i] = owner;
     ++scratch_owner_rows_[owner];
-    payload[owner] += RowBytes(key);
+    scratch_payload_[owner] += RowBytes(key);
   }
 
+  // One request/response exchange per remote shard; the request carries
+  // the shard's key list, the response its rows.
+  scratch_shard_ok_.assign(num_machines, 1);
   for (uint32_t owner = 0; owner < num_machines; ++owner) {
     if (scratch_owner_rows_[owner] == 0) continue;
     if (owner == worker_machine) {
-      cluster_->RecordLocalCopy(worker_machine, payload[owner]);
+      cluster_->RecordLocalCopy(worker_machine, scratch_payload_[owner]);
       metrics_.Increment(metric::kLocalPullRows, scratch_owner_rows_[owner]);
     } else {
-      // Request carries the key list; response carries the rows.
-      cluster_->RecordRemoteMessage(worker_machine, owner,
-                                    scratch_owner_rows_[owner] * sizeof(EmbKey));
-      cluster_->RecordRemoteMessage(owner, worker_machine, payload[owner]);
+      const sim::Delivery delivery = transport_->Exchange(
+          worker_machine, owner,
+          scratch_owner_rows_[owner] * sizeof(EmbKey),
+          scratch_payload_[owner]);
+      if (!delivery.delivered) {
+        scratch_shard_ok_[owner] = 0;
+        continue;
+      }
       metrics_.Increment(metric::kRemotePullRows, scratch_owner_rows_[owner]);
       metrics_.Increment(metric::kRemoteMessages, 2);
-      metrics_.Increment(metric::kRemoteBytes, payload[owner]);
+      metrics_.Increment(metric::kRemoteBytes, scratch_payload_[owner]);
     }
   }
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!scratch_shard_ok_[scratch_key_owner_[i]]) {
+      result.failed.push_back(static_cast<uint32_t>(i));
+      continue;
+    }
+    const std::span<const float> value = Value(keys[i]);
+    std::copy(value.begin(), value.end(), out[i].begin());
+  }
+  return result;
 }
 
-void ParameterServer::PushGradBatch(
+PushResult ParameterServer::PushGradBatch(
     uint32_t worker_machine, std::span<const EmbKey> keys,
     std::span<const std::span<const float>> grads) {
   HETKG_CHECK(keys.size() == grads.size());
+  PushResult result;
   const size_t num_machines = cluster_->num_machines();
   scratch_owner_rows_.assign(num_machines, 0);
-  std::vector<uint64_t> payload(num_machines, 0);
+  scratch_payload_.assign(num_machines, 0);
+  scratch_key_owner_.resize(keys.size());
 
   for (size_t i = 0; i < keys.size(); ++i) {
     const EmbKey key = keys[i];
     HETKG_CHECK(grads[i].size() == RowDim(key))
         << "gradient width mismatch for key " << key;
-    ApplyGradient(key, grads[i]);
-
     const uint32_t owner = OwnerOf(key);
+    scratch_key_owner_[i] = owner;
     ++scratch_owner_rows_[owner];
-    payload[owner] += RowBytes(key) + sizeof(EmbKey);
+    scratch_payload_[owner] += RowBytes(key) + sizeof(EmbKey);
   }
 
+  // One message per remote shard, stamped with this worker's next
+  // sequence number. The server applies a sequence at most once, so a
+  // duplicated delivery cannot double-apply AdaGrad; a message that
+  // exhausts its retries loses the shard's gradients.
+  scratch_shard_ok_.assign(num_machines, 1);
   for (uint32_t owner = 0; owner < num_machines; ++owner) {
     if (scratch_owner_rows_[owner] == 0) continue;
     if (owner == worker_machine) {
-      cluster_->RecordLocalCopy(worker_machine, payload[owner]);
+      cluster_->RecordLocalCopy(worker_machine, scratch_payload_[owner]);
       metrics_.Increment(metric::kLocalPushRows, scratch_owner_rows_[owner]);
-    } else {
-      cluster_->RecordRemoteMessage(worker_machine, owner, payload[owner]);
+      continue;
+    }
+    const uint64_t seq = ++push_seq_[worker_machine];
+    const sim::Delivery delivery =
+        transport_->Send(worker_machine, owner, scratch_payload_[owner]);
+    if (!delivery.delivered) {
+      scratch_shard_ok_[owner] = 0;
+      result.lost_rows += scratch_owner_rows_[owner];
+      metrics_.Increment(metric::kTransportLostPushRows,
+                         scratch_owner_rows_[owner]);
+      continue;
+    }
+    // The push handler runs once per arrival; the sequence guard makes
+    // the second arrival of a duplicated message a no-op.
+    const uint32_t arrivals = delivery.duplicated ? 2 : 1;
+    for (uint32_t arrival = 0; arrival < arrivals; ++arrival) {
+      if (seq <= applied_push_seq_[worker_machine]) {
+        ++result.duplicates_ignored;
+        metrics_.Increment(metric::kTransportDuplicatesIgnored);
+        continue;
+      }
+      applied_push_seq_[worker_machine] = seq;
       metrics_.Increment(metric::kRemotePushRows, scratch_owner_rows_[owner]);
       metrics_.Increment(metric::kRemoteMessages, 1);
-      metrics_.Increment(metric::kRemoteBytes, payload[owner]);
+      metrics_.Increment(metric::kRemoteBytes, scratch_payload_[owner]);
     }
   }
+
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!scratch_shard_ok_[scratch_key_owner_[i]]) continue;
+    ApplyGradient(keys[i], grads[i]);
+  }
+  return result;
 }
 
 }  // namespace hetkg::ps

@@ -13,6 +13,7 @@
 #include "embedding/embedding_table.h"
 #include "graph/types.h"
 #include "sim/cluster.h"
+#include "sim/transport.h"
 
 namespace hetkg::ps {
 
@@ -28,6 +29,23 @@ struct PsConfig {
   uint64_t init_seed = 7;
 };
 
+/// Outcome of one batched pull under the fault-injection transport.
+/// Fault-free transports always deliver, so `failed` stays empty and
+/// the struct costs nothing.
+struct PullResult {
+  /// Indices into the pulled key list whose shard exchange exhausted
+  /// its retries; the corresponding `out` spans were NOT written.
+  std::vector<uint32_t> failed;
+};
+
+/// Outcome of one batched gradient push.
+struct PushResult {
+  /// Gradient rows lost because their shard message exhausted retries.
+  uint64_t lost_rows = 0;
+  /// Duplicate arrivals rejected by the sequence-number guard.
+  uint64_t duplicates_ignored = 0;
+};
+
 /// Co-located sharded parameter server (Sec. V, "Parameter Server").
 ///
 /// Entity rows are owned by the machine their METIS partition maps to;
@@ -35,19 +53,25 @@ struct PsConfig {
 /// KVStore layout). Workers pull values and push gradients in batches;
 /// each batch becomes one request/response message per remote shard,
 /// while same-machine traffic goes through the shared-memory
-/// localPull/localPush path. All traffic is reported to the ClusterSim
-/// and mirrored into a MetricRegistry.
+/// localPull/localPush path. All remote traffic flows through a
+/// sim::Transport, so per-message faults (drop/duplicate/delay/outage)
+/// and the retry costs they induce are charged to the ClusterSim and
+/// mirrored into a MetricRegistry.
 ///
 /// The server applies AdaGrad on arrival of each gradient (Algorithm 4's
 /// push handler); pulls always return the latest global value
-/// (Algorithm 4's pull handler).
+/// (Algorithm 4's pull handler). Push messages carry a per-worker
+/// sequence number and the server applies each sequence at most once,
+/// so a duplicated push never double-applies AdaGrad.
 class ParameterServer {
  public:
-  /// `entity_owner[e]` is the machine hosting entity e; values must be
-  /// < `cluster->num_machines()`.
+  /// `entity_owner[e]` is the machine hosting entity e; any value
+  /// >= `cluster->num_machines()` is rejected with OutOfRange.
+  /// `transport` (optional) carries all remote traffic; when null the
+  /// server owns a fault-free pass-through transport over `cluster`.
   static Result<std::unique_ptr<ParameterServer>> Create(
       const PsConfig& config, std::vector<uint32_t> entity_owner,
-      sim::ClusterSim* cluster);
+      sim::ClusterSim* cluster, sim::Transport* transport = nullptr);
 
   /// Initializes both tables Xavier-uniform (and normalizes entity rows
   /// when configured).
@@ -63,15 +87,23 @@ class ParameterServer {
 
   /// Batched pull issued by a worker on `worker_machine`: copies the
   /// current global value of each key into `out[i]` (spans of RowDim).
-  /// Accounting: one message pair per distinct remote shard, plus
-  /// payload bytes; local rows cost shared-memory bandwidth only.
-  void PullBatch(uint32_t worker_machine, std::span<const EmbKey> keys,
-                 std::span<std::span<float>> out);
+  /// Accounting: one request/response exchange per distinct remote
+  /// shard, plus payload bytes; local rows cost shared-memory bandwidth
+  /// only. Shards whose exchange exhausts its retries leave their
+  /// destination spans untouched and report the key indices in the
+  /// result — the caller decides the degradation (serve the stale
+  /// cached value, or fall back to a degraded read).
+  PullResult PullBatch(uint32_t worker_machine, std::span<const EmbKey> keys,
+                       std::span<std::span<float>> out);
 
   /// Batched gradient push: applies AdaGrad to each key's global row.
-  /// Same accounting shape as PullBatch.
-  void PushGradBatch(uint32_t worker_machine, std::span<const EmbKey> keys,
-                     std::span<const std::span<const float>> grads);
+  /// Same accounting shape as PullBatch (one message per remote shard).
+  /// A shard message that exhausts its retries loses its gradients
+  /// (reported in the result); a duplicated delivery is applied exactly
+  /// once via the per-worker sequence guard.
+  PushResult PushGradBatch(uint32_t worker_machine,
+                           std::span<const EmbKey> keys,
+                           std::span<const std::span<const float>> grads);
 
   /// Unaccounted read of the current global value (evaluation only).
   std::span<const float> Value(EmbKey key) const;
@@ -83,6 +115,10 @@ class ParameterServer {
   MetricRegistry& metrics() { return metrics_; }
   const MetricRegistry& metrics() const { return metrics_; }
 
+  /// Delivery layer carrying the server's remote traffic.
+  sim::Transport& transport() { return *transport_; }
+  const sim::Transport& transport() const { return *transport_; }
+
   /// Total bytes of one pulled/pushed row for `key` on the wire.
   uint64_t RowBytes(EmbKey key) const {
     return RowDim(key) * sizeof(float);
@@ -90,7 +126,7 @@ class ParameterServer {
 
  private:
   ParameterServer(const PsConfig& config, std::vector<uint32_t> entity_owner,
-                  sim::ClusterSim* cluster);
+                  sim::ClusterSim* cluster, sim::Transport* transport);
 
   /// Applies one gradient row to the global table.
   void ApplyGradient(EmbKey key, std::span<const float> grad);
@@ -99,14 +135,27 @@ class ParameterServer {
   std::vector<uint32_t> entity_owner_;
   sim::ClusterSim* cluster_;  // Not owned.
 
+  /// Pass-through transport owned when the caller supplied none.
+  std::unique_ptr<sim::Transport> owned_transport_;
+  sim::Transport* transport_;  // Points at owned_transport_ or external.
+
   embedding::EmbeddingTable entity_table_;
   embedding::EmbeddingTable relation_table_;
   embedding::AdaGrad entity_opt_;
   embedding::AdaGrad relation_opt_;
   MetricRegistry metrics_;
 
+  /// Per-worker push sequence numbers (stamped on outgoing messages)
+  /// and the highest sequence each worker has had applied — the
+  /// idempotence guard against duplicated deliveries.
+  std::vector<uint64_t> push_seq_;
+  std::vector<uint64_t> applied_push_seq_;
+
   // Scratch, reused across batches to avoid per-call allocation.
   std::vector<uint32_t> scratch_owner_rows_;
+  std::vector<uint32_t> scratch_key_owner_;
+  std::vector<uint64_t> scratch_payload_;
+  std::vector<char> scratch_shard_ok_;
 };
 
 }  // namespace hetkg::ps

@@ -21,6 +21,18 @@ void ClusterSim::RecordRemoteMessage(uint32_t src, uint32_t dst,
   ++per_machine_[src].messages_initiated;
 }
 
+void ClusterSim::RecordDroppedMessage(uint32_t src, uint64_t payload_bytes) {
+  assert(src < per_machine_.size());
+  per_machine_[src].bytes_out += payload_bytes + net_.header_bytes;
+  ++per_machine_[src].messages_initiated;
+}
+
+void ClusterSim::RecordStall(uint32_t machine, double seconds) {
+  assert(machine < per_machine_.size());
+  assert(seconds >= 0.0);
+  per_machine_[machine].stall_seconds += seconds;
+}
+
 void ClusterSim::RecordExternalIn(uint32_t machine, uint64_t payload_bytes) {
   assert(machine < per_machine_.size());
   per_machine_[machine].bytes_in += payload_bytes + net_.header_bytes;
@@ -50,7 +62,8 @@ TimeBreakdown ClusterSim::MachineTime(uint32_t machine) const {
   t.comm_seconds =
       static_cast<double>(c.bytes_out + c.bytes_in) /
           net_.bandwidth_bytes_per_sec +
-      static_cast<double>(c.messages_initiated) * net_.latency_seconds;
+      static_cast<double>(c.messages_initiated) * net_.latency_seconds +
+      c.stall_seconds;
   t.compute_seconds =
       c.slowdown *
       (static_cast<double>(c.flops) / compute_.flops_per_second +

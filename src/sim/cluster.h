@@ -69,6 +69,16 @@ class ClusterSim {
   /// the initiator. src == dst is invalid — use RecordLocalCopy.
   void RecordRemoteMessage(uint32_t src, uint32_t dst, uint64_t payload_bytes);
 
+  /// One message that left `src`'s NIC but was lost in the network
+  /// (fault injection): the sender pays wire bytes and latency, the
+  /// receiver sees nothing.
+  void RecordDroppedMessage(uint32_t src, uint64_t payload_bytes);
+
+  /// `seconds` of time `machine` spent waiting on the network without
+  /// moving bytes (retry backoff, delayed deliveries). Counted as
+  /// communication time.
+  void RecordStall(uint32_t machine, double seconds);
+
   /// Shared-memory transfer on `machine` (localPull/localPush).
   void RecordLocalCopy(uint32_t machine, uint64_t bytes);
 
@@ -108,6 +118,7 @@ class ClusterSim {
     uint64_t messages_initiated = 0;
     uint64_t local_bytes = 0;
     uint64_t flops = 0;
+    double stall_seconds = 0.0;
     double slowdown = 1.0;
   };
 

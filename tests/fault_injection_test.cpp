@@ -1,0 +1,475 @@
+// Fault-injection transport (sim/transport.h): the fault plan is a pure
+// function of its seed, every fault path (drop, duplicate, delay,
+// outage, retry exhaustion) is deterministic and fully accounted, and
+// the PS client degrades gracefully — duplicated pushes never
+// double-apply AdaGrad, retry-exhausted pulls fall back to the stale
+// cache copy, lost pushes are counted rather than corrupting state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/ps_engine.h"
+#include "core/sync_controller.h"
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+#include "ps/parameter_server.h"
+#include "sim/transport.h"
+
+namespace hetkg {
+namespace {
+
+using sim::ClusterSim;
+using sim::Delivery;
+using sim::FaultConfig;
+using sim::FaultOutage;
+using sim::FaultPlan;
+using sim::Transport;
+
+FaultConfig MakeFaults(double drop, double duplicate, double delay,
+                       uint64_t seed = 7) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = seed;
+  config.drop_prob = drop;
+  config.duplicate_prob = duplicate;
+  config.delay_prob = delay;
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan: deterministic, seed-sensitive, probability-calibrated.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlanTest, SameSeedReplaysIdentically) {
+  const FaultConfig config = MakeFaults(0.3, 0.2, 0.25, 99);
+  const FaultPlan a(config);
+  const FaultPlan b(config);
+  for (uint64_t tick = 0; tick < 2000; ++tick) {
+    ASSERT_EQ(a.AttemptLost(tick, 0, 1), b.AttemptLost(tick, 0, 1)) << tick;
+    ASSERT_EQ(a.Duplicates(tick), b.Duplicates(tick)) << tick;
+    ASSERT_EQ(a.Delays(tick), b.Delays(tick)) << tick;
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsProduceDifferentPlans) {
+  FaultConfig config = MakeFaults(0.3, 0.0, 0.0, 1);
+  const FaultPlan a(config);
+  config.seed = 2;
+  const FaultPlan b(config);
+  size_t differences = 0;
+  for (uint64_t tick = 0; tick < 2000; ++tick) {
+    if (a.AttemptLost(tick, 0, 1) != b.AttemptLost(tick, 0, 1)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0u);
+}
+
+TEST(FaultPlanTest, DropRateTracksConfiguredProbability) {
+  const FaultPlan plan(MakeFaults(0.3, 0.0, 0.0, 123));
+  size_t drops = 0;
+  const size_t kTicks = 20000;
+  for (uint64_t tick = 0; tick < kTicks; ++tick) {
+    if (plan.AttemptLost(tick, 0, 1)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / kTicks;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultPlanTest, DisabledPlanNeverFaults) {
+  FaultConfig config = MakeFaults(1.0, 1.0, 1.0);
+  config.enabled = false;
+  const FaultPlan plan(config);
+  for (uint64_t tick = 0; tick < 100; ++tick) {
+    EXPECT_FALSE(plan.AttemptLost(tick, 0, 1));
+    EXPECT_FALSE(plan.Duplicates(tick));
+    EXPECT_FALSE(plan.Delays(tick));
+  }
+}
+
+TEST(FaultPlanTest, OutageWindowCoversBothDirections) {
+  FaultConfig config;
+  config.enabled = true;
+  config.outages.push_back(FaultOutage{/*machine=*/1, /*start_tick=*/10,
+                                       /*end_tick=*/20});
+  const FaultPlan plan(config);
+  EXPECT_FALSE(plan.InOutage(1, 9));
+  EXPECT_TRUE(plan.InOutage(1, 10));
+  EXPECT_TRUE(plan.InOutage(1, 19));
+  EXPECT_FALSE(plan.InOutage(1, 20));
+  EXPECT_FALSE(plan.InOutage(0, 15));
+  // Messages to AND from the machine are lost during the window, with
+  // no random drop probability configured at all.
+  EXPECT_TRUE(plan.AttemptLost(15, 0, 1));
+  EXPECT_TRUE(plan.AttemptLost(15, 1, 0));
+  EXPECT_FALSE(plan.AttemptLost(15, 0, 2));
+  EXPECT_FALSE(plan.AttemptLost(25, 0, 1));
+}
+
+// ---------------------------------------------------------------------
+// Transport: accounting, retries, degradation, replay determinism.
+// ---------------------------------------------------------------------
+
+TEST(TransportTest, PassThroughMatchesDirectClusterAccounting) {
+  ClusterSim direct(3);
+  direct.RecordRemoteMessage(0, 1, 100);           // A push.
+  direct.RecordRemoteMessage(1, 2, 16);            // A pull request...
+  direct.RecordRemoteMessage(2, 1, 400);           // ...and its response.
+
+  ClusterSim routed(3);
+  Transport transport(&routed);  // Default config: faults disabled.
+  const Delivery push = transport.Send(0, 1, 100);
+  EXPECT_TRUE(push.delivered);
+  EXPECT_FALSE(push.duplicated);
+  EXPECT_EQ(push.attempts, 1u);
+  const Delivery pull = transport.Exchange(1, 2, 16, 400);
+  EXPECT_TRUE(pull.delivered);
+
+  EXPECT_EQ(routed.TotalRemoteBytes(), direct.TotalRemoteBytes());
+  EXPECT_EQ(routed.TotalRemoteMessages(), direct.TotalRemoteMessages());
+  for (uint32_t m = 0; m < 3; ++m) {
+    EXPECT_DOUBLE_EQ(routed.MachineTime(m).comm_seconds,
+                     direct.MachineTime(m).comm_seconds);
+  }
+  // No fault ever fired, so no fault counter was ever created.
+  EXPECT_TRUE(transport.metrics().Snapshot().empty());
+}
+
+TEST(TransportTest, DropEverythingExhaustsRetriesWithBackoff) {
+  FaultConfig config = MakeFaults(1.0, 0.0, 0.0);
+  config.max_retries = 3;
+  config.retry_backoff_seconds = 0.5;
+  ClusterSim cluster(2);
+  Transport transport(&cluster, config);
+
+  const Delivery d = transport.Send(0, 1, 936);  // 1000 wire bytes.
+  EXPECT_FALSE(d.delivered);
+  EXPECT_EQ(d.attempts, 4u);  // First try + 3 retries.
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportDroppedMessages), 4u);
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportRetries), 3u);
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportExhaustedRetries), 1u);
+
+  // The sender paid for every attempt; the receiver saw nothing.
+  EXPECT_EQ(cluster.TotalRemoteMessages(), 4u);
+  EXPECT_EQ(cluster.TotalRemoteBytes(), 4u * 1000u);
+  EXPECT_DOUBLE_EQ(cluster.MachineTime(1).comm_seconds, 0.0);
+  // Exponential backoff: 0.5 + 1.0 + 2.0 = 3.5 seconds of stall.
+  const sim::NetworkConfig& net = cluster.network_config();
+  const double wire = 4u * 1000u / net.bandwidth_bytes_per_sec +
+                      4 * net.latency_seconds;
+  EXPECT_DOUBLE_EQ(cluster.MachineTime(0).comm_seconds, wire + 3.5);
+}
+
+TEST(TransportTest, DuplicateDeliveryChargesTheWireTwice) {
+  ClusterSim cluster(2);
+  Transport transport(&cluster, MakeFaults(0.0, 1.0, 0.0));
+  const Delivery d = transport.Send(0, 1, 90);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_TRUE(d.duplicated);
+  EXPECT_EQ(cluster.TotalRemoteMessages(), 2u);
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportDuplicates), 1u);
+}
+
+TEST(TransportTest, DelayedExchangeStallsTheRequester) {
+  FaultConfig config = MakeFaults(0.0, 0.0, 1.0);
+  config.delay_seconds = 0.125;
+  ClusterSim cluster(2);
+  Transport transport(&cluster, config);
+
+  ClusterSim baseline(2);
+  Transport perfect(&baseline);
+  perfect.Exchange(0, 1, 8, 64);
+
+  const Delivery d = transport.Exchange(0, 1, 8, 64);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_TRUE(d.delayed);
+  EXPECT_DOUBLE_EQ(cluster.MachineTime(0).comm_seconds,
+                   baseline.MachineTime(0).comm_seconds + 0.125);
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportDelayed), 1u);
+}
+
+TEST(TransportTest, OutageWindowRecoversAfterwards) {
+  FaultConfig config;
+  config.enabled = true;
+  config.max_retries = 10;
+  config.outages.push_back(FaultOutage{/*machine=*/1, /*start_tick=*/0,
+                                       /*end_tick=*/4});
+  ClusterSim cluster(2);
+  Transport transport(&cluster, config);
+  // Ticks 0-3 fall inside the outage; the attempt at tick 4 delivers.
+  const Delivery d = transport.Send(0, 1, 100);
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.attempts, 5u);
+  EXPECT_EQ(transport.metrics().Get(metric::kTransportDroppedMessages), 4u);
+}
+
+TEST(TransportTest, FixedSeedReplaysScenarioBitIdentically) {
+  const FaultConfig config = MakeFaults(0.3, 0.2, 0.2, 2024);
+  ClusterSim cluster_a(4);
+  ClusterSim cluster_b(4);
+  Transport a(&cluster_a, config);
+  Transport b(&cluster_b, config);
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t src = static_cast<uint32_t>(i % 4);
+    const uint32_t dst = static_cast<uint32_t>((i + 1) % 4);
+    const Delivery da = i % 2 == 0 ? a.Send(src, dst, 64)
+                                   : a.Exchange(src, dst, 16, 256);
+    const Delivery db = i % 2 == 0 ? b.Send(src, dst, 64)
+                                   : b.Exchange(src, dst, 16, 256);
+    ASSERT_EQ(da.delivered, db.delivered) << i;
+    ASSERT_EQ(da.duplicated, db.duplicated) << i;
+    ASSERT_EQ(da.delayed, db.delayed) << i;
+    ASSERT_EQ(da.attempts, db.attempts) << i;
+  }
+  EXPECT_EQ(a.metrics().Snapshot(), b.metrics().Snapshot());
+  EXPECT_EQ(cluster_a.TotalRemoteBytes(), cluster_b.TotalRemoteBytes());
+  EXPECT_EQ(cluster_a.TotalRemoteMessages(),
+            cluster_b.TotalRemoteMessages());
+  for (uint32_t m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(cluster_a.MachineTime(m).comm_seconds,
+                     cluster_b.MachineTime(m).comm_seconds);
+  }
+  // The faulty run actually exercised the fault paths.
+  EXPECT_GT(a.metrics().Get(metric::kTransportDroppedMessages), 0u);
+  EXPECT_GT(a.metrics().Get(metric::kTransportDuplicates), 0u);
+}
+
+// ---------------------------------------------------------------------
+// ParameterServer under faults: idempotent pushes, stale-serving pulls,
+// validated construction.
+// ---------------------------------------------------------------------
+
+struct FaultyPs {
+  ClusterSim cluster{2};
+  std::unique_ptr<Transport> transport;
+  std::unique_ptr<ps::ParameterServer> server;
+
+  explicit FaultyPs(const FaultConfig& faults) {
+    transport = std::make_unique<Transport>(&cluster, faults);
+    ps::PsConfig config;
+    config.num_entities = 10;
+    config.num_relations = 4;
+    config.entity_dim = 4;
+    config.relation_dim = 4;
+    config.learning_rate = 0.5;
+    // Entities 0-4 on machine 0, 5-9 on machine 1.
+    std::vector<uint32_t> owner(10);
+    for (size_t e = 0; e < 10; ++e) owner[e] = e < 5 ? 0 : 1;
+    server =
+        ps::ParameterServer::Create(config, owner, &cluster, transport.get())
+            .value();
+    server->InitEmbeddings();
+  }
+};
+
+TEST(FaultInjectionPsTest, DuplicatedPushDoesNotDoubleApplyAdaGrad) {
+  FaultyPs duplicated(MakeFaults(0.0, 1.0, 0.0));
+  FaultyPs perfect(FaultConfig{});
+
+  const float zero[] = {0.0f, 0.0f, 0.0f, 0.0f};
+  const float grad[] = {2.0f, -2.0f, 0.0f, 0.0f};
+  const std::vector<EmbKey> keys = {EntityKey(7)};  // Remote from worker 0.
+  const std::vector<std::span<const float>> grads = {
+      std::span<const float>(grad)};
+  duplicated.server->SetValue(EntityKey(7), zero);
+  perfect.server->SetValue(EntityKey(7), zero);
+
+  const ps::PushResult faulty =
+      duplicated.server->PushGradBatch(0, keys, grads);
+  const ps::PushResult clean = perfect.server->PushGradBatch(0, keys, grads);
+  EXPECT_EQ(faulty.duplicates_ignored, 1u);
+  EXPECT_EQ(clean.duplicates_ignored, 0u);
+  EXPECT_EQ(duplicated.server->metrics().Get(
+                metric::kTransportDuplicatesIgnored),
+            1u);
+
+  // The duplicated delivery was applied exactly once: values match the
+  // fault-free server bit for bit.
+  const auto faulty_value = duplicated.server->Value(EntityKey(7));
+  const auto clean_value = perfect.server->Value(EntityKey(7));
+  for (size_t i = 0; i < faulty_value.size(); ++i) {
+    EXPECT_EQ(faulty_value[i], clean_value[i]) << i;
+  }
+  // The duplicate copy did cross the wire, though.
+  EXPECT_GT(duplicated.cluster.TotalRemoteBytes(),
+            perfect.cluster.TotalRemoteBytes());
+}
+
+TEST(FaultInjectionPsTest, ExhaustedPullLeavesDestinationUntouched) {
+  FaultConfig faults = MakeFaults(1.0, 0.0, 0.0);
+  faults.max_retries = 2;
+  FaultyPs f(faults);
+
+  // One local key (machine 0 owns entities 0-4) and one remote key.
+  std::vector<float> out(8, -123.0f);
+  const std::vector<EmbKey> keys = {EntityKey(1), EntityKey(7)};
+  std::vector<std::span<float>> spans = {
+      std::span<float>(out.data(), 4), std::span<float>(out.data() + 4, 4)};
+  const ps::PullResult result = f.server->PullBatch(0, keys, spans);
+
+  // The local shard cannot fail; the remote shard exhausted retries.
+  ASSERT_EQ(result.failed.size(), 1u);
+  EXPECT_EQ(result.failed[0], 1u);
+  EXPECT_NE(out[0], -123.0f);  // Local value served.
+  for (size_t i = 4; i < 8; ++i) {
+    EXPECT_EQ(out[i], -123.0f) << "failed pull must not write";
+  }
+  EXPECT_EQ(f.transport->metrics().Get(metric::kTransportExhaustedRetries),
+            1u);
+}
+
+TEST(FaultInjectionPsTest, LostPushDropsGradientsWithoutCorruption) {
+  FaultyPs f(MakeFaults(1.0, 0.0, 0.0));
+  std::vector<float> before(f.server->Value(EntityKey(7)).begin(),
+                            f.server->Value(EntityKey(7)).end());
+  const float grad[] = {1.0f, 1.0f, 1.0f, 1.0f};
+  const std::vector<EmbKey> keys = {EntityKey(7)};
+  const std::vector<std::span<const float>> grads = {
+      std::span<const float>(grad)};
+  const ps::PushResult result = f.server->PushGradBatch(0, keys, grads);
+  EXPECT_EQ(result.lost_rows, 1u);
+  EXPECT_EQ(f.server->metrics().Get(metric::kTransportLostPushRows), 1u);
+  const auto after = f.server->Value(EntityKey(7));
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i], before[i]) << "lost push must not mutate the row";
+  }
+}
+
+TEST(FaultInjectionPsTest, CreateRejectsOutOfRangeEntityOwner) {
+  ClusterSim cluster(2);
+  ps::PsConfig config;
+  config.num_entities = 4;
+  config.num_relations = 2;
+  config.entity_dim = 4;
+  config.relation_dim = 4;
+  // Owner id == num_machines is the first invalid value.
+  const auto at_boundary =
+      ps::ParameterServer::Create(config, {0, 1, 0, 2}, &cluster);
+  ASSERT_FALSE(at_boundary.ok());
+  EXPECT_EQ(at_boundary.status().code(), StatusCode::kOutOfRange);
+  const auto far_out =
+      ps::ParameterServer::Create(config, {0, 0, 0, 9}, &cluster);
+  ASSERT_FALSE(far_out.ok());
+  EXPECT_EQ(far_out.status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(
+      ps::ParameterServer::Create(config, {0, 1, 0, 1}, &cluster).ok());
+}
+
+TEST(FaultInjectionPsTest, CreateRejectsTransportOverForeignCluster) {
+  ClusterSim cluster(2);
+  ClusterSim other(2);
+  Transport transport(&other);
+  ps::PsConfig config;
+  config.num_entities = 2;
+  config.num_relations = 2;
+  config.entity_dim = 4;
+  config.relation_dim = 4;
+  const auto created =
+      ps::ParameterServer::Create(config, {0, 1}, &cluster, &transport);
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Degradation semantics: staleness bound under lost refreshes, and the
+// engine-level stale-serve fallback.
+// ---------------------------------------------------------------------
+
+TEST(FaultDegradationTest, DegradedStalenessBoundGrowsLinearly) {
+  core::SyncConfig config;
+  config.strategy = core::CacheStrategy::kCps;
+  config.staleness_bound = 8;
+  const auto sync = core::SyncController::Create(config).value();
+  EXPECT_EQ(sync.MaxStaleness(), 8u);
+  EXPECT_EQ(sync.DegradedMaxStaleness(0), 8u);   // No lost refresh: P.
+  EXPECT_EQ(sync.DegradedMaxStaleness(1), 16u);  // One lost round: 2P.
+  EXPECT_EQ(sync.DegradedMaxStaleness(3), 32u);
+
+  core::SyncConfig no_cache;
+  no_cache.strategy = core::CacheStrategy::kNone;
+  no_cache.write_back_period = 0;
+  const auto none = core::SyncController::Create(no_cache).value();
+  EXPECT_EQ(none.DegradedMaxStaleness(5), 0u);
+}
+
+core::TrainerConfig SmallFaultyConfig(core::SystemKind system,
+                                      const FaultConfig& faults) {
+  core::TrainerConfig config;
+  config.dim = 8;
+  config.batch_size = 16;
+  config.negatives_per_positive = 4;
+  config.negative_chunk_size = 4;
+  config.num_machines = 2;
+  config.cache_capacity = 64;
+  config.sync.staleness_bound = 4;
+  config.sync.dps_window = 8;
+  config.sync.strategy = system == core::SystemKind::kHetKgCps
+                             ? core::CacheStrategy::kCps
+                             : core::CacheStrategy::kDps;
+  config.seed = 11;
+  config.fault = faults;
+  return config;
+}
+
+TEST(FaultDegradationTest, ExhaustedRefreshServesStaleCacheAndCounts) {
+  graph::SyntheticSpec spec;
+  spec.name = "faulty";
+  spec.num_entities = 200;
+  spec.num_relations = 8;
+  spec.num_triples = 1500;
+  spec.seed = 33;
+  const auto dataset = graph::GenerateDataset(spec).value();
+
+  // Heavy loss with no retries: refresh pulls frequently exhaust, so
+  // the stale-serve path must fire.
+  FaultConfig faults = MakeFaults(0.5, 0.0, 0.0, 77);
+  faults.max_retries = 0;
+  const auto config =
+      SmallFaultyConfig(core::SystemKind::kHetKgCps, faults);
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgCps, config,
+                                 dataset.graph, dataset.split.train)
+                    .value();
+  const auto report = engine->Train(2).value();
+  EXPECT_GT(report.metrics.Get(metric::kTransportStaleServes), 0u);
+  EXPECT_GT(report.metrics.Get(metric::kTransportDroppedMessages), 0u);
+
+  // Replay: the same fault seed reproduces the identical run.
+  auto replay_engine = core::MakeEngine(core::SystemKind::kHetKgCps, config,
+                                        dataset.graph, dataset.split.train)
+                           .value();
+  const auto replay = replay_engine->Train(2).value();
+  EXPECT_EQ(replay.metrics.Snapshot(), report.metrics.Snapshot());
+  ASSERT_EQ(replay.epochs.size(), report.epochs.size());
+  for (size_t e = 0; e < report.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(replay.epochs[e].mean_loss,
+                     report.epochs[e].mean_loss);
+  }
+}
+
+TEST(FaultDegradationTest, FaultFreeConfigKeepsMetricsFreeOfFaultNames) {
+  graph::SyntheticSpec spec;
+  spec.name = "clean";
+  spec.num_entities = 150;
+  spec.num_relations = 6;
+  spec.num_triples = 800;
+  spec.seed = 12;
+  const auto dataset = graph::GenerateDataset(spec).value();
+  const auto config =
+      SmallFaultyConfig(core::SystemKind::kHetKgDps, FaultConfig{});
+  auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
+                                 dataset.graph, dataset.split.train)
+                    .value();
+  const auto report = engine->Train(1).value();
+  EXPECT_EQ(report.metrics.Get(metric::kTransportRetries), 0u);
+  EXPECT_EQ(report.metrics.Get(metric::kTransportDroppedMessages), 0u);
+  EXPECT_EQ(report.metrics.Get(metric::kTransportStaleServes), 0u);
+  bool has_transport_counter = false;
+  for (const auto& [name, value] : report.metrics.Snapshot()) {
+    if (name.rfind("transport.", 0) == 0) has_transport_counter = true;
+  }
+  EXPECT_FALSE(has_transport_counter);
+}
+
+}  // namespace
+}  // namespace hetkg

@@ -118,7 +118,9 @@ struct RunResult {
 };
 
 RunResult TrainOnce(SystemKind system, const graph::SyntheticDataset& dataset,
-                    size_t num_threads) {
+                    size_t num_threads,
+                    const sim::FaultConfig& fault = {},
+                    size_t num_epochs = 2) {
   TrainerConfig config;
   config.dim = 16;
   config.batch_size = 32;
@@ -130,6 +132,7 @@ RunResult TrainOnce(SystemKind system, const graph::SyntheticDataset& dataset,
   config.pbg_partitions = 4;
   config.seed = 5;
   config.num_threads = num_threads;
+  config.fault = fault;
   auto engine =
       core::MakeEngine(system, config, dataset.graph, dataset.split.train)
           .value();
@@ -138,7 +141,7 @@ RunResult TrainOnce(SystemKind system, const graph::SyntheticDataset& dataset,
   valid_options.num_candidates = 100;
   engine->EnableValidation(&dataset.graph, dataset.split.valid,
                            valid_options);
-  auto report = engine->Train(2).value();
+  auto report = engine->Train(num_epochs).value();
 
   RunResult result;
   const eval::EmbeddingLookup& lookup = engine->Embeddings();
@@ -183,6 +186,71 @@ TEST_P(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
     }
   }
 }
+
+// ---------------------------------------------------------------------
+// Fault-tolerant training: a lossy worker <-> PS network must not break
+// either guarantee — training still converges (the degradation paths
+// serve stale-but-bounded values instead of stopping), and the run
+// stays bit-identical across thread counts (fault decisions live on the
+// transport's logical clock, never on scheduling order).
+// ---------------------------------------------------------------------
+
+sim::FaultConfig LossyNetwork() {
+  sim::FaultConfig fault;
+  fault.enabled = true;
+  fault.seed = 97;
+  fault.drop_prob = 0.02;
+  fault.duplicate_prob = 0.01;
+  fault.delay_prob = 0.02;
+  return fault;
+}
+
+class FaultTolerantTrainingTest
+    : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(FaultTolerantTrainingTest, ConvergesAndStaysDeterministic) {
+  const auto dataset = TinyDataset();
+  const sim::FaultConfig fault = LossyNetwork();
+  const size_t kEpochs = 4;
+  const RunResult serial = TrainOnce(GetParam(), dataset, 1, fault, kEpochs);
+
+  // Convergence under faults: the loss still goes down over training.
+  ASSERT_EQ(serial.losses.size(), kEpochs);
+  EXPECT_LT(serial.losses.back(), serial.losses.front());
+
+  // The lossy network actually interfered (this is not a vacuous run).
+  uint64_t dropped = 0;
+  for (const auto& [name, value] : serial.metrics) {
+    if (name == metric::kTransportDroppedMessages) dropped = value;
+  }
+  EXPECT_GT(dropped, 0u);
+
+  // Bit-identical across thread counts, faults and all.
+  for (size_t threads : {2, 4}) {
+    const RunResult parallel =
+        TrainOnce(GetParam(), dataset, threads, fault, kEpochs);
+    EXPECT_EQ(parallel.losses, serial.losses) << threads << " threads";
+    EXPECT_EQ(parallel.valid_mrrs, serial.valid_mrrs);
+    EXPECT_EQ(parallel.metrics, serial.metrics);
+    ASSERT_EQ(parallel.embeddings.size(), serial.embeddings.size());
+    for (size_t j = 0; j < serial.embeddings.size(); ++j) {
+      ASSERT_EQ(parallel.embeddings[j], serial.embeddings[j])
+          << "embedding float " << j << " diverged at " << threads
+          << " threads under faults";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheEngines, FaultTolerantTrainingTest,
+                         ::testing::Values(SystemKind::kHetKgCps,
+                                           SystemKind::kHetKgDps),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           std::string name(core::SystemKindName(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
 
 INSTANTIATE_TEST_SUITE_P(Engines, ParallelDeterminismTest,
                          ::testing::Values(SystemKind::kHetKgDps,

@@ -98,6 +98,60 @@ TEST(ClusterSimTest, StragglerStretchesCriticalPath) {
               1e-9);
 }
 
+TEST(ClusterSimTest, GoldenAccountingForScriptedSequence) {
+  // Regression anchor: a scripted message/compute/fault sequence with
+  // every total written out by hand. Any change to the cost model's
+  // arithmetic shows up here as an exact-value failure.
+  NetworkConfig net;
+  net.bandwidth_bytes_per_sec = 1000.0;
+  net.latency_seconds = 0.25;
+  net.header_bytes = 20;
+  ComputeConfig compute;
+  compute.flops_per_second = 1e6;
+  ClusterSim sim(3, net, compute);
+  sim.SetMachineSlowdown(2, 2.0);
+
+  sim.RecordRemoteMessage(0, 1, 180);   // 200 wire bytes, 0 -> 1.
+  sim.RecordRemoteMessage(1, 0, 80);    // 100 wire bytes, 1 -> 0.
+  sim.RecordDroppedMessage(0, 280);     // 300 wire bytes, lost.
+  sim.RecordStall(0, 0.5);              // Retry backoff.
+  sim.RecordRemoteMessage(0, 2, 380);   // 400 wire bytes, 0 -> 2.
+  sim.RecordLocalCopy(1, 3000);
+  sim.RecordCompute(1, 250000);
+  sim.RecordCompute(2, 500000);
+  sim.RecordExternalOut(2, 480);        // 500 wire bytes to shared FS.
+
+  // Bytes out: m0 = 200 + 300 + 400, m1 = 100, m2 = 500.
+  EXPECT_EQ(sim.TotalRemoteBytes(), 1500u);
+  // Messages initiated: m0 = 3, m1 = 1, m2 = 1.
+  EXPECT_EQ(sim.TotalRemoteMessages(), 5u);
+  EXPECT_EQ(sim.TotalFlops(), 750000u);
+
+  // m0: (900 out + 100 in) / 1000 + 3 * 0.25 latency + 0.5 stall.
+  EXPECT_DOUBLE_EQ(sim.MachineTime(0).comm_seconds, 1.0 + 0.75 + 0.5);
+  EXPECT_DOUBLE_EQ(sim.MachineTime(0).compute_seconds, 0.0);
+  // m1: (100 out + 200 in) / 1000 + 1 * 0.25;
+  //     compute = 250000 / 1e6 + 3000 local bytes at default mem bw.
+  EXPECT_DOUBLE_EQ(sim.MachineTime(1).comm_seconds, 0.3 + 0.25);
+  EXPECT_NEAR(sim.MachineTime(1).compute_seconds,
+              0.25 + 3000.0 / net.memory_bandwidth_bytes_per_sec, 1e-12);
+  // m2: (500 out + 400 in) / 1000 + 1 * 0.25; compute slowed 2x.
+  EXPECT_DOUBLE_EQ(sim.MachineTime(2).comm_seconds, 0.9 + 0.25);
+  EXPECT_DOUBLE_EQ(sim.MachineTime(2).compute_seconds, 2.0 * 0.5);
+
+  // Critical path = m0: 2.25 total vs m1 ~0.80 vs m2 2.15.
+  EXPECT_DOUBLE_EQ(sim.CriticalPath().total_seconds(), 2.25);
+
+  // Reset clears every counter but the slowdown persists: the same
+  // compute on m2 still takes 2x.
+  sim.Reset();
+  EXPECT_EQ(sim.TotalRemoteBytes(), 0u);
+  EXPECT_EQ(sim.TotalRemoteMessages(), 0u);
+  EXPECT_DOUBLE_EQ(sim.MachineTime(0).comm_seconds, 0.0);
+  sim.RecordCompute(2, 500000);
+  EXPECT_DOUBLE_EQ(sim.MachineTime(2).compute_seconds, 1.0);
+}
+
 TEST(ClusterSimTest, SlowdownSurvivesReset) {
   ComputeConfig compute;
   compute.flops_per_second = 1e6;
