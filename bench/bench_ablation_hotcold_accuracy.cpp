@@ -32,6 +32,11 @@ int main(int argc, char** argv) {
   auto add_row = [&](core::SystemKind system, size_t staleness) {
     core::TrainerConfig config = base;
     config.sync.staleness_bound = staleness;
+    const std::string tag = std::string(core::SystemKindName(system)) +
+                            "_P" + std::to_string(staleness);
+    config.obs.trace_out = bench::SuffixedPath(base.obs.trace_out, tag);
+    config.obs.metrics_json =
+        bench::SuffixedPath(base.obs.metrics_json, tag);
     auto engine = core::MakeEngine(system, config, dataset.graph,
                                    dataset.split.train)
                       .value();

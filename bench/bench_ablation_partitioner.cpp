@@ -47,6 +47,12 @@ int main(int argc, char** argv) {
            {core::SystemKind::kDglKe, core::SystemKind::kHetKgDps}) {
         core::TrainerConfig config = base;
         config.partitioner = partitioner;
+        const std::string tag =
+            name + "_" + partitioner + "_" +
+            std::string(core::SystemKindName(system));
+        config.obs.trace_out = bench::SuffixedPath(base.obs.trace_out, tag);
+        config.obs.metrics_json =
+            bench::SuffixedPath(base.obs.metrics_json, tag);
         auto engine = core::MakeEngine(system, config, dataset.graph,
                                        dataset.split.train)
                           .value();

@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
       core::TrainerConfig config = base;
       config.num_machines = machines;
       config.pbg_partitions = 2 * machines;
+      const std::string tag = std::string(core::SystemKindName(system)) +
+                              "_w" + std::to_string(machines);
+      config.obs.trace_out = bench::SuffixedPath(base.obs.trace_out, tag);
+      config.obs.metrics_json =
+          bench::SuffixedPath(base.obs.metrics_json, tag);
       auto engine = core::MakeEngine(system, config, dataset.graph,
                                      dataset.split.train)
                         .value();

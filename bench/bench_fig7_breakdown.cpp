@@ -17,15 +17,25 @@ int main(int argc, char** argv) {
       "bench_fig7_breakdown",
       "Fig. 7 - computation vs communication time per epoch");
 
+  const core::TrainerConfig base_config = bench::ConfigFromFlags(flags);
   for (const std::string& name : {"fb15k", "wn18", "freebase86m"}) {
     const auto dataset = bench::GetDataset(name, flags);
-    core::TrainerConfig config = bench::ConfigFromFlags(flags);
+    core::TrainerConfig config = base_config;
     bench::ApplyDatasetDefaults(name, flags, &config);
     bench::Table table({"System", "Compute(s)", "Comm(s)", "Total(s)",
                         "Remote bytes"});
     for (core::SystemKind system :
          {core::SystemKind::kPbg, core::SystemKind::kDglKe,
           core::SystemKind::kHetKgCps, core::SystemKind::kHetKgDps}) {
+      // With --trace_out/--metrics_json set, each dataset x system run
+      // gets its own file; the metrics' phase.* gauges are exactly the
+      // per-phase split behind this figure's bars.
+      const std::string tag =
+          name + "_" + std::string(core::SystemKindName(system));
+      config.obs.trace_out =
+          bench::SuffixedPath(base_config.obs.trace_out, tag);
+      config.obs.metrics_json =
+          bench::SuffixedPath(base_config.obs.metrics_json, tag);
       auto engine = core::MakeEngine(system, config, dataset.graph,
                                      dataset.split.train)
                         .value();

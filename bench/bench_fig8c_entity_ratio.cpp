@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
   for (double ratio : {0.0, 0.125, 0.25, 0.375, 0.5, 0.75, 1.0}) {
     core::TrainerConfig config = base;
     config.cache_entity_ratio = ratio;
+    const std::string tag = "ratio" + bench::Fmt(ratio * 100.0, 1);
+    config.obs.trace_out = bench::SuffixedPath(base.obs.trace_out, tag);
+    config.obs.metrics_json =
+        bench::SuffixedPath(base.obs.metrics_json, tag);
     auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
                                    dataset.graph, dataset.split.train)
                       .value();

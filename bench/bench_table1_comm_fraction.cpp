@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
     const auto dataset = bench::GetDataset(name, flags);
     core::TrainerConfig config = bench::ConfigFromFlags(flags);
     bench::ApplyDatasetDefaults(name, flags, &config);
+    config.obs.trace_out = bench::SuffixedPath(config.obs.trace_out, name);
+    config.obs.metrics_json =
+        bench::SuffixedPath(config.obs.metrics_json, name);
     auto engine = core::MakeEngine(core::SystemKind::kDglKe, config,
                                    dataset.graph, dataset.split.train)
                       .value();

@@ -49,6 +49,32 @@ std::string Table::ToString() const {
   return os.str();
 }
 
+std::string Table::ToCsv() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out.push_back(',');
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        out.append(cell);
+        continue;
+      }
+      out.push_back('"');
+      for (char ch : cell) {
+        if (ch == '"') out.push_back('"');
+        out.push_back(ch);
+      }
+      out.push_back('"');
+    }
+    out.push_back('\n');
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out;
+}
+
 void Table::Print(const std::string& title) const {
   std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
   std::fflush(stdout);
@@ -105,6 +131,18 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("fault_backoff_us", "200",
                 "first retry backoff (microseconds, doubles per retry)");
   flags->Define("fault_seed", "42", "seed of the deterministic fault plan");
+  // Observability outputs (src/obs/, DESIGN.md §8). Empty paths keep
+  // tracing and metrics export disabled, which is bit-identical to a
+  // build without the obs layer.
+  flags->Define("trace_out", "",
+                "Chrome/Perfetto trace-event JSON output path "
+                "(empty = tracing off)");
+  flags->Define("metrics_json", "",
+                "per-epoch metrics time-series JSON output path "
+                "(empty = export off)");
+  flags->Define("metrics_window", "0",
+                "also sample metrics every N iterations within an epoch "
+                "(0 = per-epoch only; needs --metrics_json)");
 }
 
 sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
@@ -119,6 +157,24 @@ sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
   fault.enabled = fault.drop_prob > 0.0 || fault.duplicate_prob > 0.0 ||
                   fault.delay_prob > 0.0;
   return fault;
+}
+
+obs::ObsConfig ObsConfigFromFlags(const FlagParser& flags) {
+  obs::ObsConfig obs;
+  obs.trace_out = flags.GetString("trace_out");
+  obs.metrics_json = flags.GetString("metrics_json");
+  obs.metrics_window = static_cast<size_t>(flags.GetInt("metrics_window"));
+  return obs;
+}
+
+std::string SuffixedPath(const std::string& path, const std::string& tag) {
+  if (path.empty() || tag.empty()) return path;
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "_" + tag;
+  }
+  return path.substr(0, dot) + "_" + tag + path.substr(dot);
 }
 
 core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
@@ -140,6 +196,7 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.fault = FaultConfigFromFlags(flags);
+  config.obs = ObsConfigFromFlags(flags);
   return config;
 }
 
@@ -221,8 +278,14 @@ RunOutcome RunSystem(core::SystemKind system,
                      const graph::SyntheticDataset& dataset,
                      size_t num_epochs, const eval::EvalOptions& eval_options,
                      bool with_validation_curve) {
-  auto engine =
-      core::MakeEngine(system, config, dataset.graph, dataset.split.train);
+  // Benches train several systems against one set of flags; give each
+  // run its own trace/metrics file instead of overwriting the last.
+  core::TrainerConfig run_config = config;
+  const std::string tag(core::SystemKindName(system));
+  run_config.obs.trace_out = SuffixedPath(config.obs.trace_out, tag);
+  run_config.obs.metrics_json = SuffixedPath(config.obs.metrics_json, tag);
+  auto engine = core::MakeEngine(system, run_config, dataset.graph,
+                                 dataset.split.train);
   HETKG_CHECK(engine.ok()) << engine.status().ToString();
   if (with_validation_curve) {
     eval::EvalOptions valid_options = eval_options;
@@ -258,6 +321,12 @@ void RunLinkPredictionTable(const std::string& title,
     for (core::SystemKind system : kSystems) {
       core::TrainerConfig config = base_config;
       config.model = model;
+      // RunSystem adds the per-system suffix; the model tag here keeps
+      // multi-model tables from reusing a file across models.
+      const std::string tag(embedding::ModelKindName(model));
+      config.obs.trace_out = SuffixedPath(base_config.obs.trace_out, tag);
+      config.obs.metrics_json =
+          SuffixedPath(base_config.obs.metrics_json, tag);
       const RunOutcome outcome = RunSystem(system, config, dataset,
                                            num_epochs, eval_options);
       table.AddRow({std::string(core::SystemKindName(system)),

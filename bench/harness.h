@@ -24,6 +24,11 @@ class Table {
   /// Renders with aligned columns.
   std::string ToString() const;
 
+  /// Renders as RFC 4180 CSV: one header line then one line per row;
+  /// cells containing commas, quotes or newlines are quoted, with
+  /// embedded quotes doubled.
+  std::string ToCsv() const;
+
   /// Convenience: render to stdout with a title banner.
   void Print(const std::string& title) const;
 
@@ -45,7 +50,9 @@ void PrintBanner(const std::string& name, const std::string& what);
 /// fault-injection knobs --fault_drop --fault_duplicate --fault_delay
 /// --fault_delay_us --fault_retries --fault_backoff_us --fault_seed
 /// (all-zero probabilities = perfect network; a fixed --fault_seed
-/// replays a fault scenario bit-identically).
+/// replays a fault scenario bit-identically), plus the observability
+/// outputs --trace_out --metrics_json --metrics_window (empty paths =
+/// disabled; see DESIGN.md §8).
 /// Defaults are single-core scale; pass paper-scale values to override.
 void DefineCommonFlags(FlagParser* flags);
 
@@ -55,6 +62,17 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags);
 /// Builds the fault-injection plan from the parsed fault flags;
 /// `enabled` is set iff any fault probability is nonzero.
 sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags);
+
+/// Builds the observability outputs from --trace_out / --metrics_json /
+/// --metrics_window (empty paths leave tracing and export disabled).
+obs::ObsConfig ObsConfigFromFlags(const FlagParser& flags);
+
+/// Inserts "_tag" before `path`'s extension ("run.json", "cps" ->
+/// "run_cps.json"); appends when there is none. Empty paths stay empty,
+/// so disabled obs outputs pass through unchanged. Benches that train
+/// several systems use this to give each run its own trace/metrics file
+/// instead of letting later runs clobber earlier ones.
+std::string SuffixedPath(const std::string& path, const std::string& tag);
 
 /// Evaluation options from the parsed common flags.
 eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags);

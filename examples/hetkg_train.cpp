@@ -52,6 +52,17 @@ int main(int argc, char** argv) {
   flags.Define("fault_retries", "3",
                "retransmissions before the sender gives up");
   flags.Define("fault_seed", "42", "seed of the deterministic fault plan");
+  // Observability (DESIGN.md §8): empty paths keep tracing and metrics
+  // export disabled, bit-identical to a build without the obs layer.
+  flags.Define("trace_out", "",
+               "Chrome/Perfetto trace-event JSON output path; open at "
+               "ui.perfetto.dev (empty = tracing off)");
+  flags.Define("metrics_json", "",
+               "per-epoch metrics time-series JSON output path "
+               "(empty = export off)");
+  flags.Define("metrics_window", "0",
+               "also sample metrics every N iterations within an epoch "
+               "(0 = per-epoch only; needs --metrics_json)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -134,6 +145,10 @@ int main(int argc, char** argv) {
   config.fault.enabled = config.fault.drop_prob > 0.0 ||
                          config.fault.duplicate_prob > 0.0 ||
                          config.fault.delay_prob > 0.0;
+  config.obs.trace_out = flags.GetString("trace_out");
+  config.obs.metrics_json = flags.GetString("metrics_json");
+  config.obs.metrics_window =
+      static_cast<size_t>(flags.GetInt("metrics_window"));
 
   auto engine =
       core::MakeEngine(*system, config, dataset.graph, dataset.split.train);
@@ -188,6 +203,15 @@ int main(int argc, char** argv) {
             report->metrics.Get(metric::kTransportStaleServes)),
         static_cast<unsigned long long>(
             report->metrics.Get(metric::kTransportLostPushRows)));
+  }
+
+  if (config.obs.TraceRequested()) {
+    std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                config.obs.trace_out.c_str());
+  }
+  if (config.obs.MetricsRequested()) {
+    std::printf("metrics time-series written to %s\n",
+                config.obs.metrics_json.c_str());
   }
 
   // ---- Evaluate + checkpoint -------------------------------------------

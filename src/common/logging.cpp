@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace hetkg {
 
@@ -53,8 +54,17 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
-  std::fflush(stderr);
+  const std::string message = stream_.str();
+  {
+    // One buffered write per message, serialized process-wide, so
+    // concurrent engine threads can never interleave mid-line. (fputs
+    // is atomic per POSIX stdio locking, but nothing guarantees that
+    // for every libc, and the flush ordering was unspecified.)
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::fwrite(message.data(), 1, message.size(), stderr);
+    std::fflush(stderr);
+  }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }

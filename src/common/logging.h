@@ -49,7 +49,7 @@ struct LogMessageVoidify {
 }  // namespace internal
 }  // namespace hetkg
 
-/// Usage: HETKG_LOG(INFO) << "epoch " << e << " done";
+/// Usage: HETKG_LOG(Info) << "epoch " << e << " done";
 #define HETKG_LOG(severity)                                              \
   (::hetkg::LogLevel::k##severity < ::hetkg::GetLogLevel())              \
       ? (void)0                                                          \

@@ -1,8 +1,43 @@
 #include "common/metrics.h"
 
+#include <charconv>
+#include <cmath>
 #include <sstream>
 
 namespace hetkg {
+
+namespace {
+
+// Local JSON helpers. common/ sits below obs/ in the layering, so the
+// registry formats its own numbers instead of pulling in obs/json.h;
+// both use std::to_chars shortest form, so output stays identical.
+void AppendNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void AppendNumber(std::string* out, uint64_t value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void AppendKey(std::string* out, const std::string& name) {
+  // Metric names are code-chosen identifiers (letters, digits, dots,
+  // underscores), so quoting without escapes is safe.
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+}
+
+}  // namespace
 
 void MetricRegistry::Increment(const std::string& name, uint64_t delta) {
   counters_[name] += delta;
@@ -13,15 +48,46 @@ uint64_t MetricRegistry::Get(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void MetricRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double MetricRegistry::GetGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricRegistry::Observe(const std::string& name, double value) {
+  histograms_[name].Add(value);
+}
+
+const Histogram* MetricRegistry::FindHistogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void MetricRegistry::Merge(const MetricRegistry& other) {
   for (const auto& [name, value] : other.counters_) {
     counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    histograms_[name].Merge(histogram);
   }
 }
 
 void MetricRegistry::Clear() {
   for (auto& [name, value] : counters_) {
     value = 0;
+  }
+  for (auto& [name, value] : gauges_) {
+    value = 0.0;
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Clear();
   }
 }
 
@@ -30,10 +96,67 @@ std::vector<std::pair<std::string, uint64_t>> MetricRegistry::Snapshot()
   return {counters_.begin(), counters_.end()};
 }
 
+std::vector<std::pair<std::string, double>> MetricRegistry::GaugeSnapshot()
+    const {
+  return {gauges_.begin(), gauges_.end()};
+}
+
+std::string MetricRegistry::SnapshotJson() const {
+  std::string out;
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendKey(&out, name);
+    AppendNumber(&out, value);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendKey(&out, name);
+    AppendNumber(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendKey(&out, name);
+    out.append("{\"count\":");
+    AppendNumber(&out, histogram.count());
+    out.append(",\"sum\":");
+    AppendNumber(&out, histogram.sum());
+    out.append(",\"min\":");
+    AppendNumber(&out, histogram.min());
+    out.append(",\"max\":");
+    AppendNumber(&out, histogram.max());
+    out.append(",\"mean\":");
+    AppendNumber(&out, histogram.Mean());
+    out.append(",\"p50\":");
+    AppendNumber(&out, histogram.Quantile(0.50));
+    out.append(",\"p95\":");
+    AppendNumber(&out, histogram.Quantile(0.95));
+    out.append(",\"p99\":");
+    AppendNumber(&out, histogram.Quantile(0.99));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
 std::string MetricRegistry::ToString() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << name << " = " << histogram.ToString() << "\n";
   }
   return os.str();
 }

@@ -6,37 +6,78 @@
 #include <string>
 #include <vector>
 
+#include "common/histogram.h"
+
 namespace hetkg {
 
-/// A named bag of monotonically increasing counters. Each simulated
+/// A named bag of metrics: monotonically increasing counters, gauges
+/// (point-in-time doubles), and latency/size histograms. Each simulated
 /// component (PS client, cache, network link) owns one; benches merge
 /// them for reporting. Not thread-safe by design: simulation accounting
 /// is single-threaded and deterministic. The intra-batch compute
 /// fan-out (core/parallel_batch.h) must therefore NEVER touch a
 /// MetricRegistry from inside a parallel region — engines record
-/// counters before or after the fan-out, on the scheduling thread.
+/// metrics before or after the fan-out, on the scheduling thread.
 class MetricRegistry {
  public:
+  // -- Counters ----------------------------------------------------------
+
   /// Adds `delta` to counter `name`, creating it at zero on first use.
   void Increment(const std::string& name, uint64_t delta = 1);
 
   /// Current value; zero for counters never touched.
   uint64_t Get(const std::string& name) const;
 
-  /// Sums every counter of `other` into this registry.
+  // -- Gauges ------------------------------------------------------------
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void SetGauge(const std::string& name, double value);
+
+  /// Current gauge value; 0.0 for gauges never set.
+  double GetGauge(const std::string& name) const;
+
+  // -- Histograms --------------------------------------------------------
+
+  /// Records one observation into histogram `name`, creating it empty
+  /// on first use.
+  void Observe(const std::string& name, double value);
+
+  /// The named histogram, or nullptr when never observed.
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // -- Whole-registry operations ----------------------------------------
+
+  /// Folds `other` into this registry: counters sum, gauges take
+  /// `other`'s value when it has one (last write wins), histograms
+  /// merge bucket-wise.
   void Merge(const MetricRegistry& other);
 
-  /// Resets all counters to zero without forgetting their names.
+  /// Resets all metrics to zero/empty without forgetting their names.
   void Clear();
 
-  /// Snapshot of all counters in name order.
+  /// Snapshot of all counters in name order. Deliberately counters-only
+  /// so existing determinism tests comparing snapshots are unaffected
+  /// by new gauge/histogram instrumentation.
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Gauges in name order.
+  std::vector<std::pair<std::string, double>> GaugeSnapshot() const;
+
+  /// One JSON object covering everything:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  ///                          "mean":..,"p50":..,"p95":..,"p99":..}}}
+  /// Keys appear in name order; numbers use shortest-round-trip
+  /// formatting, so output is deterministic.
+  std::string SnapshotJson() const;
 
   /// Multi-line "name = value" rendering, for debug output.
   std::string ToString() const;
 
  private:
   std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// Well-known counter names shared between the PS, cache, and network
@@ -79,6 +120,23 @@ inline constexpr char kTransportDuplicatesIgnored[] =
     "transport.duplicates_ignored";
 inline constexpr char kTransportSkippedSyncs[] =
     "transport.skipped_relation_syncs";
+// Observability (src/obs/). Gauges and histograms below are recorded
+// only when tracing or metrics export is active, so plain runs keep
+// their counter snapshots unchanged. All time values are *simulated*
+// seconds from sim::ClusterSim — deterministic across thread counts —
+// matching the per-phase taxonomy of the paper's Fig. 7.
+inline constexpr char kPhasePrefetchSeconds[] = "phase.prefetch_s";
+inline constexpr char kPhaseRebuildSeconds[] = "phase.rebuild_s";
+inline constexpr char kPhasePullSeconds[] = "phase.pull_s";
+inline constexpr char kPhaseComputeSeconds[] = "phase.compute_s";
+inline constexpr char kPhasePushSeconds[] = "phase.push_s";
+inline constexpr char kPhaseSwapSeconds[] = "phase.swap_s";
+inline constexpr char kPhaseRelationSyncSeconds[] = "phase.relation_sync_s";
+inline constexpr char kCacheHitRatio[] = "cache.hit_ratio";
+inline constexpr char kSimSeconds[] = "sim.machine_seconds";
+inline constexpr char kPullSimSeconds[] = "ps.pull_sim_seconds";
+inline constexpr char kPushSimSeconds[] = "ps.push_sim_seconds";
+inline constexpr char kObsDroppedEvents[] = "obs.dropped_trace_events";
 }  // namespace metric
 
 }  // namespace hetkg

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace hetkg::core {
 
@@ -38,6 +39,8 @@ std::span<const float> HotEmbeddingTable::Row(EmbKey key) const {
 }
 
 std::vector<EmbKey> HotEmbeddingTable::Assign(std::span<const EmbKey> keys) {
+  obs::TraceSpan span("cache.assign", "cache");
+  span.Arg("keys", static_cast<double>(keys.size()));
   // Split the incoming set by kind, respecting the slot quotas.
   std::vector<EmbKey> want_entities;
   std::vector<EmbKey> want_relations;

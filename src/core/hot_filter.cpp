@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace hetkg::core {
 
 FilterQuota ComputeQuota(const FilterOptions& options, size_t num_entities,
@@ -55,6 +57,8 @@ bool ByHotness(const KeyFreq& a, const KeyFreq& b) {
 std::vector<EmbKey> FilterHotKeys(const FrequencyMap& frequencies,
                                   const FilterOptions& options,
                                   const FilterQuota& quota) {
+  obs::TraceSpan span("cache.filter", "cache");
+  span.Arg("candidates", static_cast<double>(frequencies.size()));
   std::vector<KeyFreq> entities;
   std::vector<KeyFreq> relations;
   entities.reserve(frequencies.size());

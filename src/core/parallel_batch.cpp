@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace hetkg::core {
 
 namespace {
@@ -106,6 +108,13 @@ BatchStats ParallelBatchScorer::Run(
   const size_t per_chunk = (pairs.size() + chunk_count - 1) / chunk_count;
   if (chunks_.size() < chunk_count) chunks_.resize(chunk_count);
   auto process_chunks = [&](size_t cb, size_t ce) {
+    // Runs on a pool worker thread: the span lands in that thread's own
+    // ring buffer. Tracing only ever WRITES thread-local state inside
+    // the parallel region, preserving the metrics.h determinism
+    // contract (no MetricRegistry access in here).
+    obs::TraceSpan span("compute.chunks", "compute");
+    span.Arg("first_chunk", static_cast<double>(cb));
+    span.Arg("chunks", static_cast<double>(ce - cb));
     for (size_t c = cb; c < ce; ++c) {
       const size_t begin = c * per_chunk;
       const size_t end = std::min(pairs.size(), begin + per_chunk);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace hetkg::core {
 
@@ -85,10 +87,13 @@ Status PbgEngine::Setup(const std::vector<Triple>& train) {
   }
 
   machine_held_.assign(config_.num_machines, {});
+  obs_active_ = config_.obs.Enabled();
   return Status::OK();
 }
 
 void PbgEngine::SwapPartitions(uint32_t machine, uint32_t i, uint32_t j) {
+  obs::TraceSpan span("pbg.swap", "pbg");
+  span.Arg("machine", static_cast<double>(machine));
   std::vector<uint32_t> want = {i};
   if (j != i) want.push_back(j);
 
@@ -117,11 +122,26 @@ void PbgEngine::SwapPartitions(uint32_t machine, uint32_t i, uint32_t j) {
 
 std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
                                                    uint32_t bucket_id) {
+  obs::TraceSpan bucket_span("pbg.bucket", "pbg");
+  bucket_span.Arg("bucket", static_cast<double>(bucket_id));
+  bucket_span.Arg("machine", static_cast<double>(machine));
+  // Per-phase simulated time (see PsTrainingEngine::Step).
+  const bool obs = obs_active_;
+  double phase_mark =
+      obs ? cluster_.MachineTime(machine).total_seconds() : 0.0;
+  auto account = [&](double* bucket_seconds) {
+    if (!obs) return;
+    const double now = cluster_.MachineTime(machine).total_seconds();
+    *bucket_seconds += now - phase_mark;
+    phase_mark = now;
+  };
+
   const uint32_t i =
       static_cast<uint32_t>(bucket_id / plan_.num_partitions);
   const uint32_t j =
       static_cast<uint32_t>(bucket_id % plan_.num_partitions);
   SwapPartitions(machine, i, j);
+  account(&phase_.swap);
 
   // Candidate pool for corruption: only the loaded partitions (PBG
   // samples negatives from in-memory partitions).
@@ -268,6 +288,7 @@ std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
       }
     }
     cluster_.RecordCompute(machine, updated_params * kUpdateFlopsPerParam);
+    account(&phase_.compute);
 
     // Dense relation weights round-trip to the shared parameter server
     // (hosted on machine 0) every `sync_period` iterations — PBG's
@@ -290,9 +311,12 @@ std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
                              2 * dense_relation_bytes);
         } else {
           metrics_.Increment(metric::kTransportSkippedSyncs);
+          obs::Tracer::Instant("net.skipped_sync", "net", "machine",
+                               static_cast<double>(machine));
         }
       }
     }
+    account(&phase_.relation_sync);
     ++iteration_in_bucket;
     metrics_.Increment(metric::kTriplesTrained, end - begin);
   }
@@ -310,14 +334,35 @@ void PbgEngine::EnableValidation(const graph::KnowledgeGraph* graph,
   }
 }
 
+MetricRegistry PbgEngine::CollectObsMetrics(double sim_seconds) const {
+  MetricRegistry m;
+  m.Merge(metrics_);
+  // Empty unless a fault fired, keeping fault-free reports unchanged.
+  m.Merge(transport_.metrics());
+  if (obs_active_) {
+    m.SetGauge(metric::kSimSeconds, sim_seconds);
+    m.SetGauge(metric::kPhaseSwapSeconds, phase_.swap);
+    m.SetGauge(metric::kPhaseComputeSeconds, phase_.compute);
+    m.SetGauge(metric::kPhaseRelationSyncSeconds, phase_.relation_sync);
+  }
+  return m;
+}
+
 Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
+  obs::TracerLease trace_lease{obs::TraceOptions{config_.obs.trace_out}};
+  const bool metrics_on = config_.obs.MetricsRequested();
+  Stopwatch train_wall;
+
   TrainReport report;
   double cumulative_seconds = 0.0;
   for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("pbg.epoch", "pbg");
+    epoch_span.Arg("epoch", static_cast<double>(epoch));
     double loss_sum = 0.0;
     uint64_t pair_count = 0;
     sim::TimeBreakdown epoch_time;
     uint64_t epoch_remote_bytes = 0;
+    size_t round_index = 0;
 
     Stopwatch wall;
     // Lock-server rounds: buckets inside a round run concurrently on
@@ -337,6 +382,30 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       epoch_time.compute_seconds += round_time.compute_seconds;
       epoch_time.comm_seconds += round_time.comm_seconds;
       epoch_remote_bytes += cluster_.TotalRemoteBytes();
+      ++round_index;
+      const double sim_now =
+          cumulative_seconds + epoch_time.total_seconds();
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::PublishSimSeconds(sim_now);
+        obs::Tracer::Counter(
+            "net.remote_bytes",
+            static_cast<double>(report.total_remote_bytes +
+                                epoch_remote_bytes));
+      }
+      // PBG has no iteration-level staleness window; when a window is
+      // requested, sample at lock-server round granularity instead.
+      if (metrics_on && config_.obs.metrics_window > 0 &&
+          round_index % config_.obs.metrics_window == 0 &&
+          round_index != plan_.schedule.size()) {
+        obs::MetricsSample sample;
+        sample.kind = "window";
+        sample.epoch = epoch;
+        sample.iteration = round_index;
+        sample.sim_seconds = sim_now;
+        sample.wall_seconds = train_wall.ElapsedSeconds();
+        sample.metrics = CollectObsMetrics(sim_now);
+        report.metrics_series.Add(std::move(sample));
+      }
     }
 
     EpochReport er;
@@ -361,10 +430,37 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       er.has_valid_metrics = true;
     }
     report.epochs.push_back(er);
+
+    if (metrics_on) {
+      obs::MetricsSample sample;
+      sample.kind = "epoch";
+      sample.epoch = epoch;
+      sample.iteration = plan_.schedule.size();
+      sample.sim_seconds = cumulative_seconds;
+      sample.wall_seconds = train_wall.ElapsedSeconds();
+      sample.metrics = CollectObsMetrics(cumulative_seconds);
+      report.metrics_series.Add(std::move(sample));
+    }
   }
-  report.metrics.Merge(metrics_);
-  // Empty unless a fault fired, keeping fault-free reports unchanged.
-  report.metrics.Merge(transport_.metrics());
+  report.metrics = CollectObsMetrics(cumulative_seconds);
+  if (trace_lease.owns()) {
+    const uint64_t dropped = obs::Tracer::DroppedEvents();
+    if (dropped > 0) {
+      report.metrics.Increment(metric::kObsDroppedEvents, dropped);
+    }
+    const Status trace_status = trace_lease.Finish();
+    if (!trace_status.ok()) {
+      HETKG_LOG(Warning) << "trace write failed: "
+                         << trace_status.ToString();
+    }
+  }
+  if (metrics_on) {
+    const Status status =
+        report.metrics_series.WriteJson(config_.obs.metrics_json);
+    if (!status.ok()) {
+      HETKG_LOG(Warning) << "metrics export failed: " << status.ToString();
+    }
+  }
   return report;
 }
 

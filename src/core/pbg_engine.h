@@ -83,6 +83,10 @@ class PbgEngine : public TrainingEngine {
   std::pair<double, uint64_t> TrainBucket(uint32_t machine,
                                           uint32_t bucket_id);
 
+  /// Cumulative metric state for reports and time-series samples; see
+  /// PsTrainingEngine::CollectObsMetrics for the contract.
+  MetricRegistry CollectObsMetrics(double sim_seconds) const;
+
   TrainerConfig config_;
   const graph::KnowledgeGraph& graph_;
   sim::ClusterSim cluster_;
@@ -101,6 +105,16 @@ class PbgEngine : public TrainingEngine {
   std::vector<std::vector<uint32_t>> machine_held_;  // Partitions held.
   Rng rng_{0};
   MetricRegistry metrics_;
+
+  // Observability (src/obs/); gated exactly like PsTrainingEngine.
+  // PBG's Fig. 7 phases: partition swap, compute, dense relation sync.
+  bool obs_active_ = false;
+  struct PhaseSeconds {
+    double swap = 0.0;
+    double compute = 0.0;
+    double relation_sync = 0.0;
+  };
+  PhaseSeconds phase_;
 
   const graph::KnowledgeGraph* valid_graph_ = nullptr;
   std::span<const Triple> valid_triples_;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/trace.h"
+
 namespace hetkg::core {
 
 Prefetcher::Prefetcher(const std::vector<Triple>* local_triples,
@@ -42,6 +44,8 @@ void Prefetcher::NextPositives(std::vector<Triple>* out) {
 }
 
 PrefetchWindow Prefetcher::Prefetch(size_t window_iterations) {
+  obs::TraceSpan span("prefetch.window", "prefetch");
+  span.Arg("iterations", static_cast<double>(window_iterations));
   PrefetchWindow window;
   window.batches.reserve(window_iterations);
   for (size_t i = 0; i < window_iterations; ++i) {
@@ -51,11 +55,14 @@ PrefetchWindow Prefetcher::Prefetch(size_t window_iterations) {
     window.total_accesses += CountBatchAccesses(batch, &window.frequencies);
     window.batches.push_back(std::move(batch));
   }
+  span.Arg("accesses", static_cast<double>(window.total_accesses));
   return window;
 }
 
 uint64_t Prefetcher::PrefetchCountOnly(size_t window_iterations,
                                        FrequencyMap* freq) {
+  obs::TraceSpan span("prefetch.count_only", "prefetch");
+  span.Arg("iterations", static_cast<double>(window_iterations));
   uint64_t accesses = 0;
   MiniBatch batch;
   for (size_t i = 0; i < window_iterations; ++i) {
@@ -63,6 +70,7 @@ uint64_t Prefetcher::PrefetchCountOnly(size_t window_iterations,
     sampler_->Sample(batch.positives, &batch.negatives);
     accesses += CountBatchAccesses(batch, freq);
   }
+  span.Arg("accesses", static_cast<double>(accesses));
   return accesses;
 }
 

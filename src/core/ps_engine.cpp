@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/hot_filter.h"
+#include "obs/trace.h"
 #include "partition/metis_partitioner.h"
 #include "partition/partitioner.h"
 
@@ -201,11 +202,14 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
   if (config_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_threads);
   }
+
+  obs_active_ = config_.obs.Enabled();
   return Status::OK();
 }
 
 void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
                                        size_t iter) {
+  obs::TraceSpan span("cache.rebuild", "cache");
   FrequencyMap freq;
   uint64_t accesses = 0;
   if (whole_epoch) {
@@ -232,6 +236,8 @@ void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
                           w->cache->relation_slots()};
   const std::vector<EmbKey> hot = FilterHotKeys(freq, options, quota);
   const std::vector<EmbKey> admitted = w->cache->Assign(hot);
+  span.Arg("candidates", static_cast<double>(freq.size()));
+  span.Arg("admitted", static_cast<double>(admitted.size()));
   // Staleness clocks: evicted keys drop their entries; admitted keys
   // are anchored at this iteration (their values are pulled below);
   // retained keys keep their existing anchors.
@@ -269,6 +275,8 @@ void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
       const std::span<float> dest = scratch_pull_spans_[idx];
       std::copy(value.begin(), value.end(), dest.begin());
       server_->metrics().Increment(metric::kTransportDegradedReads);
+      obs::Tracer::Instant("net.degraded_read", "net", "key",
+                           static_cast<double>(admitted[idx]));
     }
   }
 }
@@ -303,6 +311,8 @@ void PsTrainingEngine::HandleFailedPulls(
       // refresh round adds one more P window to the row's worst-case
       // lag (SyncController::DegradedMaxStaleness).
       server_->metrics().Increment(metric::kTransportStaleServes);
+      obs::Tracer::Instant("net.stale_serve", "net", "key",
+                           static_cast<double>(key));
       if (on_access_refresh) {
         // Re-stale the anchor so the very next access retries the
         // refresh instead of waiting another P iterations.
@@ -316,6 +326,8 @@ void PsTrainingEngine::HandleFailedPulls(
       const std::span<float> dest = spans[idx];
       std::copy(value.begin(), value.end(), dest.begin());
       server_->metrics().Increment(metric::kTransportDegradedReads);
+      obs::Tracer::Instant("net.degraded_read", "net", "key",
+                          static_cast<double>(key));
     }
   }
 }
@@ -334,6 +346,23 @@ void PsTrainingEngine::FillBatchQueue(Worker* w) {
 }
 
 std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
+  obs::TraceSpan step_span("ps.step", "ps");
+  step_span.Arg("iter", static_cast<double>(iter));
+  step_span.Arg("machine", static_cast<double>(w->machine));
+  // Per-phase simulated time: sample this machine's modeled clock
+  // around each Step phase (scheduling thread only). The deltas are
+  // pure functions of the recorded byte/flop counts, so the gauges they
+  // feed are deterministic at any thread count.
+  const bool obs = obs_active_;
+  double phase_mark =
+      obs ? cluster_.MachineTime(w->machine).total_seconds() : 0.0;
+  auto account = [&](double* bucket) {
+    if (!obs) return;
+    const double now = cluster_.MachineTime(w->machine).total_seconds();
+    *bucket += now - phase_mark;
+    phase_mark = now;
+  };
+
   const bool has_cache = w->cache != nullptr;
   if (has_cache) {
     // Algorithm 3 lines 5-7: (re)construct when the fetch threshold D
@@ -352,7 +381,9 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
       ConstructHotSet(w, false, iter);
     }
   }
+  account(&phase_.rebuild);
   FillBatchQueue(w);
+  account(&phase_.prefetch);
   MiniBatch batch = std::move(w->batch_queue.front());
   w->batch_queue.pop_front();
 
@@ -442,6 +473,11 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
                         pull.failed);
     }
   }
+  if (obs) {
+    const double before = phase_mark;
+    account(&phase_.pull);
+    obs_metrics_.Observe(metric::kPullSimSeconds, phase_mark - before);
+  }
 
   // Forward + backward over all (positive, negative) pairs: resolve the
   // batch's triples to dense key indices once, then run the
@@ -480,6 +516,7 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
       (batch.positives.size() + batch.negatives.size() +
        stats.backward_calls) *
           score_flops / 2);
+  account(&phase_.compute);
 
   // Local cache update for hot rows, then push the gradients of this
   // iteration to the PS (step 4 of Hot-Embedding Oriented Training).
@@ -529,6 +566,11 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   if (!push_keys.empty()) {
     server_->PushGradBatch(w->machine, push_keys, push_spans);
   }
+  if (obs) {
+    const double before = phase_mark;
+    account(&phase_.push);
+    obs_metrics_.Observe(metric::kPushSimSeconds, phase_mark - before);
+  }
 
   server_->metrics().Increment(metric::kTriplesTrained,
                                batch.positives.size());
@@ -556,15 +598,51 @@ double PsTrainingEngine::OverallHitRatio() const {
                           static_cast<double>(total);
 }
 
+MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
+  MetricRegistry m;
+  m.Merge(server_->metrics());
+  // Fault-free transports never touch a counter, so this merge leaves
+  // plain reports byte-identical to the perfect-network behaviour.
+  m.Merge(transport_.metrics());
+  uint64_t hits = total_hits_;
+  uint64_t misses = total_misses_;
+  for (const Worker& w : workers_) {
+    hits += w.hits;
+    misses += w.misses;
+  }
+  m.Increment(metric::kCacheHits, hits);
+  m.Increment(metric::kCacheMisses, misses);
+  if (obs_active_) {
+    m.Merge(obs_metrics_);
+    m.SetGauge(metric::kCacheHitRatio,
+               (hits + misses) == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(hits + misses));
+    m.SetGauge(metric::kSimSeconds, sim_seconds);
+    m.SetGauge(metric::kPhasePrefetchSeconds, phase_.prefetch);
+    m.SetGauge(metric::kPhaseRebuildSeconds, phase_.rebuild);
+    m.SetGauge(metric::kPhasePullSeconds, phase_.pull);
+    m.SetGauge(metric::kPhaseComputeSeconds, phase_.compute);
+    m.SetGauge(metric::kPhasePushSeconds, phase_.push);
+  }
+  return m;
+}
+
 Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
+  // Start a tracing session when the config asks for one and the
+  // embedding binary didn't already; the lease stops it (writing the
+  // file) on every exit path, including early error returns.
+  obs::TracerLease trace_lease{obs::TraceOptions{config_.obs.trace_out}};
+  const bool metrics_on = config_.obs.MetricsRequested();
+  Stopwatch train_wall;
+
   TrainReport report;
   double cumulative_seconds = 0.0;
   for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("ps.epoch", "ps");
+    epoch_span.Arg("epoch", static_cast<double>(epoch));
     cluster_.Reset();
-    for (Worker& w : workers_) {
-      w.hits = 0;
-      w.misses = 0;
-    }
     double loss_sum = 0.0;
     uint64_t pair_count = 0;
 
@@ -576,6 +654,41 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
         pair_count += pairs;
       }
       ++global_iteration_;
+      if (obs::Tracer::Enabled()) {
+        // Counter tracks, sampled once per global iteration on the
+        // scheduling thread.
+        obs::Tracer::PublishSimSeconds(
+            cumulative_seconds + cluster_.CriticalPath().total_seconds());
+        uint64_t hits = total_hits_;
+        uint64_t misses = total_misses_;
+        for (const Worker& w : workers_) {
+          hits += w.hits;
+          misses += w.misses;
+        }
+        obs::Tracer::Counter(
+            "cache.hit_ratio",
+            (hits + misses) == 0
+                ? 0.0
+                : static_cast<double>(hits) /
+                      static_cast<double>(hits + misses));
+        obs::Tracer::Counter(
+            "net.remote_bytes",
+            static_cast<double>(report.total_remote_bytes +
+                                cluster_.TotalRemoteBytes()));
+      }
+      if (metrics_on && config_.obs.metrics_window > 0 &&
+          (i + 1) % config_.obs.metrics_window == 0 &&
+          i + 1 != iterations_per_epoch_) {
+        obs::MetricsSample sample;
+        sample.kind = "window";
+        sample.epoch = epoch;
+        sample.iteration = i + 1;
+        sample.sim_seconds =
+            cumulative_seconds + cluster_.CriticalPath().total_seconds();
+        sample.wall_seconds = train_wall.ElapsedSeconds();
+        sample.metrics = CollectObsMetrics(sample.sim_seconds);
+        report.metrics_series.Add(std::move(sample));
+      }
     }
     // Epoch boundary: write-back gradients may not linger (validation
     // and checkpoints read the global tables).
@@ -592,9 +705,11 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
     er.wall_seconds = wall.ElapsedSeconds();
     uint64_t hits = 0;
     uint64_t misses = 0;
-    for (const Worker& w : workers_) {
+    for (Worker& w : workers_) {
       hits += w.hits;
       misses += w.misses;
+      w.hits = 0;
+      w.misses = 0;
     }
     total_hits_ += hits;
     total_misses_ += misses;
@@ -616,15 +731,38 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
       er.has_valid_metrics = true;
     }
     report.epochs.push_back(er);
+
+    if (metrics_on) {
+      obs::MetricsSample sample;
+      sample.kind = "epoch";
+      sample.epoch = epoch;
+      sample.iteration = iterations_per_epoch_;
+      sample.sim_seconds = cumulative_seconds;
+      sample.wall_seconds = train_wall.ElapsedSeconds();
+      sample.metrics = CollectObsMetrics(cumulative_seconds);
+      report.metrics_series.Add(std::move(sample));
+    }
   }
   report.overall_hit_ratio = OverallHitRatio();
-  report.metrics.Merge(server_->metrics());
-  // Fault-free transports never touch a counter, so this merge leaves
-  // the report byte-identical to the perfect-network behaviour.
-  report.metrics.Merge(transport_.metrics());
-  const uint64_t total = total_hits_ + total_misses_;
-  report.metrics.Increment(metric::kCacheHits, total_hits_);
-  report.metrics.Increment(metric::kCacheMisses, total - total_hits_);
+  report.metrics = CollectObsMetrics(cumulative_seconds);
+  if (trace_lease.owns()) {
+    const uint64_t dropped = obs::Tracer::DroppedEvents();
+    if (dropped > 0) {
+      report.metrics.Increment(metric::kObsDroppedEvents, dropped);
+    }
+    const Status trace_status = trace_lease.Finish();
+    if (!trace_status.ok()) {
+      HETKG_LOG(Warning) << "trace write failed: "
+                         << trace_status.ToString();
+    }
+  }
+  if (metrics_on) {
+    const Status status =
+        report.metrics_series.WriteJson(config_.obs.metrics_json);
+    if (!status.ok()) {
+      HETKG_LOG(Warning) << "metrics export failed: " << status.ToString();
+    }
+  }
   return report;
 }
 

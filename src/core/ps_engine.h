@@ -130,6 +130,12 @@ class PsTrainingEngine : public TrainingEngine {
   /// Returns the summed pair loss and pair count.
   std::pair<double, uint64_t> Step(Worker* w, size_t iter);
 
+  /// Cumulative metric state for reports and time-series samples:
+  /// server + transport counters, cache hit/miss totals, and — when
+  /// observability is active — the phase gauges and latency histograms.
+  /// `sim_seconds` is the cumulative critical-path time at the sample.
+  MetricRegistry CollectObsMetrics(double sim_seconds) const;
+
   TrainerConfig config_;
   SyncController sync_;
   const graph::KnowledgeGraph& graph_;
@@ -146,6 +152,25 @@ class PsTrainingEngine : public TrainingEngine {
   size_t global_iteration_ = 0;
   uint64_t total_hits_ = 0;
   uint64_t total_misses_ = 0;
+
+  // Observability (src/obs/). `obs_active_` is latched from
+  // config_.obs at setup; every instrumentation branch below is gated
+  // on it, so disabled runs take the exact pre-obs code path. Phase
+  // times are *simulated* seconds (MachineTime deltas around each Step
+  // phase), cumulative over the run — deterministic at any thread
+  // count, matching the Fig. 7 taxonomy.
+  bool obs_active_ = false;
+  struct PhaseSeconds {
+    double prefetch = 0.0;
+    double rebuild = 0.0;
+    double pull = 0.0;
+    double compute = 0.0;
+    double push = 0.0;
+  };
+  PhaseSeconds phase_;
+  /// Gauge/histogram side-registry (scheduling thread only), merged
+  /// into reports by CollectObsMetrics.
+  MetricRegistry obs_metrics_;
 
   // Validation hookup.
   const graph::KnowledgeGraph* valid_graph_ = nullptr;

@@ -12,6 +12,7 @@
 #include "embedding/score_function.h"
 #include "eval/link_prediction.h"
 #include "graph/knowledge_graph.h"
+#include "obs/metrics_export.h"
 #include "sim/cluster.h"
 #include "sim/transport.h"
 
@@ -76,6 +77,11 @@ struct TrainerConfig {
   /// fault decisions are a pure function of `fault.seed` and the
   /// message sequence, so a scenario replays bit-identically.
   sim::FaultConfig fault;
+  /// Observability: trace + metrics-export outputs (src/obs/). Disabled
+  /// by default; when disabled, engines take zero instrumentation
+  /// branches and results are bit-identical to a build without the obs
+  /// layer.
+  obs::ObsConfig obs;
   uint64_t seed = 1234;
 };
 
@@ -102,6 +108,9 @@ struct TrainReport {
   double overall_hit_ratio = 0.0;
   uint64_t total_remote_bytes = 0;
   MetricRegistry metrics;
+  /// Per-epoch (and optionally per-window) metric samples; populated
+  /// only when TrainerConfig::obs requested a metrics export.
+  obs::MetricsSeries metrics_series;
 };
 
 /// Common interface of the three engine families.

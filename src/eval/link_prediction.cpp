@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace hetkg::eval {
 
@@ -86,6 +87,8 @@ Result<EvalMetrics> EvaluateLinkPrediction(
   if (test.empty()) {
     return Status::InvalidArgument("empty test set");
   }
+  obs::TraceSpan span("eval.link_prediction", "eval");
+  span.Arg("triples", static_cast<double>(test.size()));
   if (options.filtered) {
     graph.BuildTripleSet();  // Built once, then shared read-only.
   }

@@ -1,0 +1,53 @@
+#ifndef HETKG_OBS_JSON_H_
+#define HETKG_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hetkg::obs {
+
+/// Appends `text` to `out` as a JSON string literal (quotes included),
+/// escaping quotes, backslashes, and control characters.
+void AppendJsonString(std::string* out, std::string_view text);
+
+/// Appends a JSON number. Uses the shortest round-trippable decimal
+/// form (std::to_chars), so output is deterministic across runs and
+/// platforms with IEEE-754 doubles. Non-finite values (which JSON
+/// cannot represent) are emitted as null.
+void AppendJsonNumber(std::string* out, double value);
+void AppendJsonNumber(std::string* out, uint64_t value);
+
+/// A parsed JSON document — just enough structure for the observability
+/// tests to round-trip traces and metric exports. Numbers are stored as
+/// double; integers beyond 2^53 lose precision, which the exporters
+/// never emit.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;                            // kArray.
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Recursive-descent parser for the JSON subset the exporters emit
+/// (full RFC 8259 minus \uXXXX surrogate pairs, which are decoded as
+/// replacement bytes). Returns InvalidArgument with an offset on
+/// malformed input, including trailing garbage.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace hetkg::obs
+
+#endif  // HETKG_OBS_JSON_H_

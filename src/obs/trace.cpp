@@ -1,0 +1,312 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hetkg::obs {
+
+namespace {
+
+/// One buffered trace event. Strings are unowned pointers to literals.
+struct Event {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'X';  // 'X' complete, 'i' instant, 'C' counter.
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;  // 'X' only.
+  double sim_s = 0.0;
+  const char* k1 = nullptr;
+  double v1 = 0.0;
+  const char* k2 = nullptr;
+  double v2 = 0.0;
+};
+
+/// Fixed-capacity event ring of one thread. Appends take the buffer's
+/// own mutex (uncontended except against the final drain), so the
+/// tracer is safe under TSan without any cross-thread ordering games.
+struct ThreadBuffer {
+  explicit ThreadBuffer(uint32_t id, size_t capacity) : tid(id) {
+    events.reserve(capacity);
+    this->capacity = capacity;
+  }
+
+  std::mutex mu;
+  uint32_t tid;
+  size_t capacity;
+  std::vector<Event> events;
+  uint64_t dropped = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// Session state. One global instance, reused (never freed) across
+/// Start/Stop cycles so a worker thread holding a stale buffer pointer
+/// can never dangle.
+struct TracerState {
+  std::mutex mu;  // Guards buffers/options/generation/session fields.
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  TraceOptions options;
+  Clock::time_point start_time{};
+  std::atomic<uint64_t> generation{0};
+  std::atomic<double> sim_seconds{0.0};
+};
+
+TracerState& State() {
+  static TracerState* state = new TracerState();  // Immortal.
+  return *state;
+}
+
+/// Per-thread cache of this thread's buffer for the current session.
+struct ThreadSlot {
+  uint64_t generation = 0;
+  ThreadBuffer* buffer = nullptr;
+};
+thread_local ThreadSlot t_slot;
+
+ThreadBuffer* LocalBuffer() {
+  TracerState& state = State();
+  const uint64_t gen = state.generation.load(std::memory_order_acquire);
+  if (t_slot.generation == gen && t_slot.buffer != nullptr) {
+    return t_slot.buffer;
+  }
+  std::lock_guard<std::mutex> lock(state.mu);
+  // Re-check under the lock: Stop() may have ended the session while we
+  // were acquiring it.
+  if (!Tracer::Enabled()) return nullptr;
+  auto buffer = std::make_unique<ThreadBuffer>(
+      static_cast<uint32_t>(state.buffers.size()),
+      state.options.ring_capacity);
+  t_slot.generation = gen;
+  t_slot.buffer = buffer.get();
+  state.buffers.push_back(std::move(buffer));
+  return t_slot.buffer;
+}
+
+void Append(const Event& event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  if (buffer == nullptr) return;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= buffer->capacity) {
+    ++buffer->dropped;
+    return;
+  }
+  Event e = event;
+  e.tid = buffer->tid;
+  buffer->events.push_back(e);
+}
+
+void AppendEventJson(std::string* out, const Event& e) {
+  out->append("{\"name\":");
+  AppendJsonString(out, e.name);
+  out->append(",\"cat\":");
+  AppendJsonString(out, e.cat);
+  out->append(",\"ph\":\"");
+  out->push_back(e.phase);
+  out->append("\",\"pid\":1,\"tid\":");
+  AppendJsonNumber(out, static_cast<uint64_t>(e.tid));
+  out->append(",\"ts\":");
+  AppendJsonNumber(out, e.ts_us);
+  if (e.phase == 'X') {
+    out->append(",\"dur\":");
+    AppendJsonNumber(out, e.dur_us);
+  }
+  if (e.phase == 'i') {
+    out->append(",\"s\":\"t\"");  // Thread-scoped instant.
+  }
+  out->append(",\"args\":{");
+  if (e.phase == 'C') {
+    // Counter tracks plot args.value over time.
+    out->append("\"value\":");
+    AppendJsonNumber(out, e.v1);
+    out->append(",");
+  } else {
+    if (e.k1 != nullptr) {
+      AppendJsonString(out, e.k1);
+      out->append(":");
+      AppendJsonNumber(out, e.v1);
+      out->append(",");
+    }
+    if (e.k2 != nullptr) {
+      AppendJsonString(out, e.k2);
+      out->append(":");
+      AppendJsonNumber(out, e.v2);
+      out->append(",");
+    }
+  }
+  out->append("\"sim_s\":");
+  AppendJsonNumber(out, e.sim_s);
+  out->append("}}");
+}
+
+Status WriteTraceFile(TracerState& state) {
+  std::string out;
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  auto emit = [&](const Event& e) {
+    if (!first) out.append(",\n");
+    first = false;
+    AppendEventJson(&out, e);
+  };
+  // Thread-name metadata rows so Perfetto labels the tracks.
+  uint64_t dropped = 0;
+  for (const auto& buffer : state.buffers) {
+    std::string label = buffer->tid == 0
+                            ? std::string("scheduler")
+                            : "worker-" + std::to_string(buffer->tid);
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+    AppendJsonNumber(&out, static_cast<uint64_t>(buffer->tid));
+    out.append(",\"args\":{\"name\":");
+    AppendJsonString(&out, label);
+    out.append("}}");
+    dropped += buffer->dropped;
+  }
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      emit(e);
+    }
+  }
+  if (dropped > 0) {
+    Event note;
+    note.name = "obs.dropped_events";
+    note.cat = "obs";
+    note.phase = 'C';
+    note.tid = 0;
+    note.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - state.start_time)
+                     .count();
+    note.v1 = static_cast<double>(dropped);
+    emit(note);
+  }
+  out.append("\n]}\n");
+
+  std::FILE* f = std::fopen(state.options.path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + state.options.path);
+  }
+  const size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != out.size() || !closed) {
+    return Status::IoError("short write to trace file: " +
+                           state.options.path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Status Tracer::Start(const TraceOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("trace path must not be empty");
+  }
+  if (options.ring_capacity == 0) {
+    return Status::InvalidArgument("trace ring capacity must be positive");
+  }
+  if (Enabled()) {
+    return Status::FailedPrecondition("a tracing session is already active");
+  }
+  TracerState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.clear();
+    state.options = options;
+    state.start_time = Clock::now();
+    state.sim_seconds.store(0.0, std::memory_order_relaxed);
+    state.generation.fetch_add(1, std::memory_order_release);
+  }
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Tracer::Stop() {
+  if (!Enabled()) {
+    return Status::FailedPrecondition("no tracing session is active");
+  }
+  enabled_.store(false, std::memory_order_release);
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const Status status = WriteTraceFile(state);
+  state.buffers.clear();
+  return status;
+}
+
+uint64_t Tracer::DroppedEvents() {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t dropped = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+void Tracer::PublishSimSeconds(double seconds) {
+  if (!Enabled()) return;
+  State().sim_seconds.store(seconds, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::NowMicros() {
+  if (!Enabled()) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now() - State().start_time)
+      .count();
+}
+
+void Tracer::Complete(const char* name, const char* cat, uint64_t ts_us,
+                      uint64_t dur_us, const char* k1, double v1,
+                      const char* k2, double v2) {
+  if (!Enabled()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.sim_s = State().sim_seconds.load(std::memory_order_relaxed);
+  e.k1 = k1;
+  e.v1 = v1;
+  e.k2 = k2;
+  e.v2 = v2;
+  Append(e);
+}
+
+void Tracer::Instant(const char* name, const char* cat, const char* k1,
+                     double v1, const char* k2, double v2) {
+  if (!Enabled()) return;
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_us = NowMicros();
+  e.sim_s = State().sim_seconds.load(std::memory_order_relaxed);
+  e.k1 = k1;
+  e.v1 = v1;
+  e.k2 = k2;
+  e.v2 = v2;
+  Append(e);
+}
+
+void Tracer::Counter(const char* name, double value) {
+  if (!Enabled()) return;
+  Event e;
+  e.name = name;
+  e.cat = "obs";
+  e.phase = 'C';
+  e.ts_us = NowMicros();
+  e.sim_s = State().sim_seconds.load(std::memory_order_relaxed);
+  e.v1 = value;
+  Append(e);
+}
+
+}  // namespace hetkg::obs

@@ -1,0 +1,178 @@
+#ifndef HETKG_OBS_TRACE_H_
+#define HETKG_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hetkg::obs {
+
+/// Options of one tracing session.
+struct TraceOptions {
+  /// Output file; Chrome trace-event JSON, loadable by Perfetto
+  /// (ui.perfetto.dev) and chrome://tracing.
+  std::string path;
+  /// Events buffered per thread between drains. When a thread's ring
+  /// fills, further events from that thread are dropped (and counted),
+  /// never blocking the training hot path.
+  size_t ring_capacity = 1 << 16;
+};
+
+/// Process-wide scoped-span tracer.
+///
+/// Design contract (DESIGN.md §8):
+///   * OFF by default. The only cost of an instrumentation point while
+///     disabled is one relaxed atomic load — no allocation, no lock, no
+///     clock read — so trace-off runs are bit-identical to an
+///     uninstrumented build.
+///   * Each thread appends events to its own fixed-capacity ring buffer
+///     (allocated lazily on that thread's first event of a session);
+///     buffers are drained only on the scheduling thread, inside
+///     Stop(). Instrumentation therefore never synchronizes worker
+///     threads against each other, and — matching the metrics.h
+///     determinism contract — nothing is ever *read* from inside a
+///     ParallelFor region.
+///   * Every event carries the wall-clock timestamp (`ts`, microseconds
+///     since Start) and the most recently published simulated-cluster
+///     timestamp (`args.sim_s`, seconds). Wall time explains where the
+///     process spent real time; sim time lines events up with the
+///     deterministic cost model the paper's figures are built on.
+///
+/// All methods are static: the session is process-global, like the
+/// profilers of HET and DGL-KE. Start/Stop are NOT thread-safe against
+/// each other — call them from the scheduling thread only.
+class Tracer {
+ public:
+  /// Begins a session. Fails with FailedPrecondition when one is
+  /// already active and InvalidArgument on an empty path.
+  static Status Start(const TraceOptions& options);
+
+  /// Ends the session: drains every thread's ring buffer, writes the
+  /// JSON file, and disables tracing. Returns the write status.
+  /// FailedPrecondition when no session is active.
+  static Status Stop();
+
+  /// True while a session is active. The disabled fast path of every
+  /// instrumentation point.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Events dropped so far in this session because a ring was full.
+  static uint64_t DroppedEvents();
+
+  /// Publishes the current simulated-cluster time; subsequent events
+  /// (from any thread) carry it as `args.sim_s`. Scheduling thread only.
+  static void PublishSimSeconds(double seconds);
+
+  /// Microseconds since Start (0 when disabled).
+  static uint64_t NowMicros();
+
+  // Low-level emitters; all no-ops when disabled. `name`, `cat`, and
+  // arg keys must be string literals (or otherwise outlive the
+  // session): only the pointer is buffered.
+  static void Complete(const char* name, const char* cat, uint64_t ts_us,
+                       uint64_t dur_us, const char* k1, double v1,
+                       const char* k2, double v2);
+  static void Instant(const char* name, const char* cat,
+                      const char* k1 = nullptr, double v1 = 0.0,
+                      const char* k2 = nullptr, double v2 = 0.0);
+  static void Counter(const char* name, double value);
+
+ private:
+  friend class TraceSpan;
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII scoped span: records one Chrome "X" (complete) event covering
+/// the scope's lifetime on the calling thread. Constructing while
+/// tracing is disabled costs one relaxed atomic load and nothing else.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat) : name_(name), cat_(cat) {
+    if (!Tracer::Enabled()) return;
+    active_ = true;
+    start_us_ = Tracer::NowMicros();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches up to two numeric args (rendered into `args` alongside
+  /// sim_s). `key` must be a string literal.
+  void Arg(const char* key, double value) {
+    if (!active_) return;
+    if (k1_ == nullptr) {
+      k1_ = key;
+      v1_ = value;
+    } else {
+      k2_ = key;
+      v2_ = value;
+    }
+  }
+
+  ~TraceSpan() {
+    if (!active_) return;
+    const uint64_t end_us = Tracer::NowMicros();
+    Tracer::Complete(name_, cat_, start_us_,
+                     end_us >= start_us_ ? end_us - start_us_ : 0, k1_, v1_,
+                     k2_, v2_);
+  }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  uint64_t start_us_ = 0;
+  bool active_ = false;
+  const char* k1_ = nullptr;
+  double v1_ = 0.0;
+  const char* k2_ = nullptr;
+  double v2_ = 0.0;
+};
+
+/// Engine-side ownership of a tracing session: starts one from the
+/// given path when no session is active yet (so a binary that already
+/// called Tracer::Start keeps control of its own session), and
+/// guarantees the owned session is stopped — and its file written — on
+/// every exit path, including early error returns. Call Finish() to
+/// observe the write status on the happy path.
+class TracerLease {
+ public:
+  TracerLease() = default;
+  explicit TracerLease(const TraceOptions& options) {
+    if (options.path.empty() || Tracer::Enabled()) return;
+    owns_ = Tracer::Start(options).ok();
+  }
+
+  TracerLease(const TracerLease&) = delete;
+  TracerLease& operator=(const TracerLease&) = delete;
+
+  ~TracerLease() { (void)Finish(); }
+
+  bool owns() const { return owns_; }
+
+  /// Stops the owned session (writing the trace file) and returns the
+  /// write status. OK and idempotent when this lease owns nothing.
+  Status Finish() {
+    if (!owns_) return Status::OK();
+    owns_ = false;
+    return Tracer::Stop();
+  }
+
+ private:
+  bool owns_ = false;
+};
+
+#define HETKG_OBS_CONCAT2(a, b) a##b
+#define HETKG_OBS_CONCAT(a, b) HETKG_OBS_CONCAT2(a, b)
+
+/// Anonymous scoped span covering the rest of the enclosing block.
+#define HETKG_TRACE_SPAN(name, cat) \
+  ::hetkg::obs::TraceSpan HETKG_OBS_CONCAT(_hetkg_trace_span_, \
+                                           __COUNTER__)(name, cat)
+
+}  // namespace hetkg::obs
+
+#endif  // HETKG_OBS_TRACE_H_

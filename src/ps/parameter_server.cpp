@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace hetkg::ps {
 
@@ -111,6 +112,8 @@ PullResult ParameterServer::PullBatch(uint32_t worker_machine,
                                       std::span<const EmbKey> keys,
                                       std::span<std::span<float>> out) {
   HETKG_CHECK(keys.size() == out.size());
+  obs::TraceSpan span("ps.pull_batch", "ps");
+  span.Arg("rows", static_cast<double>(keys.size()));
   PullResult result;
   const size_t num_machines = cluster_->num_machines();
   scratch_owner_rows_.assign(num_machines, 0);
@@ -125,6 +128,12 @@ PullResult ParameterServer::PullBatch(uint32_t worker_machine,
     scratch_key_owner_[i] = owner;
     ++scratch_owner_rows_[owner];
     scratch_payload_[owner] += RowBytes(key);
+  }
+
+  if (obs::Tracer::Enabled()) {
+    uint64_t payload = 0;
+    for (uint64_t b : scratch_payload_) payload += b;
+    span.Arg("bytes", static_cast<double>(payload));
   }
 
   // One request/response exchange per remote shard; the request carries
@@ -165,6 +174,8 @@ PushResult ParameterServer::PushGradBatch(
     uint32_t worker_machine, std::span<const EmbKey> keys,
     std::span<const std::span<const float>> grads) {
   HETKG_CHECK(keys.size() == grads.size());
+  obs::TraceSpan span("ps.push_batch", "ps");
+  span.Arg("rows", static_cast<double>(keys.size()));
   PushResult result;
   const size_t num_machines = cluster_->num_machines();
   scratch_owner_rows_.assign(num_machines, 0);
@@ -179,6 +190,12 @@ PushResult ParameterServer::PushGradBatch(
     scratch_key_owner_[i] = owner;
     ++scratch_owner_rows_[owner];
     scratch_payload_[owner] += RowBytes(key) + sizeof(EmbKey);
+  }
+
+  if (obs::Tracer::Enabled()) {
+    uint64_t payload = 0;
+    for (uint64_t b : scratch_payload_) payload += b;
+    span.Arg("bytes", static_cast<double>(payload));
   }
 
   // One message per remote shard, stamped with this worker's next

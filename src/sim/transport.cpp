@@ -1,5 +1,7 @@
 #include "sim/transport.h"
 
+#include "obs/trace.h"
+
 namespace hetkg::sim {
 
 namespace {
@@ -64,6 +66,9 @@ void Transport::ChargeBackoff(uint32_t machine, uint32_t retry_index) {
   cluster_->RecordStall(machine, plan_.config().retry_backoff_seconds *
                                      static_cast<double>(1ULL << retry_index));
   metrics_.Increment(metric::kTransportRetries);
+  obs::Tracer::Instant("net.retry", "net", "machine",
+                       static_cast<double>(machine), "backoff_index",
+                       static_cast<double>(retry_index));
 }
 
 Delivery Transport::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes) {
@@ -80,6 +85,9 @@ Delivery Transport::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes) {
       // The sender transmitted; the network ate it.
       cluster_->RecordDroppedMessage(src, payload_bytes);
       metrics_.Increment(metric::kTransportDroppedMessages);
+      obs::Tracer::Instant("net.drop", "net", "src",
+                           static_cast<double>(src), "dst",
+                           static_cast<double>(dst));
       continue;
     }
     cluster_->RecordRemoteMessage(src, dst, payload_bytes);
@@ -89,17 +97,25 @@ Delivery Transport::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes) {
       cluster_->RecordRemoteMessage(src, dst, payload_bytes);
       d.duplicated = true;
       metrics_.Increment(metric::kTransportDuplicates);
+      obs::Tracer::Instant("net.duplicate", "net", "src",
+                           static_cast<double>(src), "dst",
+                           static_cast<double>(dst));
     }
     if (plan_.Delays(tick)) {
       // A late push stalls the receiver's apply pipeline.
       cluster_->RecordStall(dst, plan_.config().delay_seconds);
       d.delayed = true;
       metrics_.Increment(metric::kTransportDelayed);
+      obs::Tracer::Instant("net.delay", "net", "machine",
+                           static_cast<double>(dst));
     }
     break;
   }
   if (!d.delivered) {
     metrics_.Increment(metric::kTransportExhaustedRetries);
+    obs::Tracer::Instant("net.exhausted_retries", "net", "src",
+                         static_cast<double>(src), "dst",
+                         static_cast<double>(dst));
   }
   return d;
 }
@@ -119,6 +135,9 @@ Delivery Transport::Exchange(uint32_t src, uint32_t dst,
     if (plan_.AttemptLost(request_tick, src, dst)) {
       cluster_->RecordDroppedMessage(src, request_bytes);
       metrics_.Increment(metric::kTransportDroppedMessages);
+      obs::Tracer::Instant("net.drop", "net", "src",
+                           static_cast<double>(src), "dst",
+                           static_cast<double>(dst));
       continue;
     }
     cluster_->RecordRemoteMessage(src, dst, request_bytes);
@@ -128,6 +147,9 @@ Delivery Transport::Exchange(uint32_t src, uint32_t dst,
       // the whole exchange is retried.
       cluster_->RecordDroppedMessage(dst, response_bytes);
       metrics_.Increment(metric::kTransportDroppedMessages);
+      obs::Tracer::Instant("net.drop", "net", "src",
+                           static_cast<double>(dst), "dst",
+                           static_cast<double>(src));
       continue;
     }
     cluster_->RecordRemoteMessage(dst, src, response_bytes);
@@ -138,17 +160,25 @@ Delivery Transport::Exchange(uint32_t src, uint32_t dst,
       cluster_->RecordRemoteMessage(dst, src, response_bytes);
       d.duplicated = true;
       metrics_.Increment(metric::kTransportDuplicates);
+      obs::Tracer::Instant("net.duplicate", "net", "src",
+                           static_cast<double>(dst), "dst",
+                           static_cast<double>(src));
     }
     if (plan_.Delays(response_tick)) {
       // The requester blocks on the pull, so the lateness is its stall.
       cluster_->RecordStall(src, plan_.config().delay_seconds);
       d.delayed = true;
       metrics_.Increment(metric::kTransportDelayed);
+      obs::Tracer::Instant("net.delay", "net", "machine",
+                           static_cast<double>(src));
     }
     break;
   }
   if (!d.delivered) {
     metrics_.Increment(metric::kTransportExhaustedRetries);
+    obs::Tracer::Instant("net.exhausted_retries", "net", "src",
+                         static_cast<double>(src), "dst",
+                         static_cast<double>(dst));
   }
   return d;
 }

@@ -1,0 +1,65 @@
+// bench::Table rendering: column widths must be computed over all rows
+// (not just headers), and ToCsv must follow RFC 4180 quoting. Also
+// covers the per-run output-path suffixing used by multi-system benches.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness.h"
+
+namespace hetkg::bench {
+namespace {
+
+TEST(BenchTableTest, AlignsColumnsToWidestCell) {
+  Table table({"S", "Value"});
+  table.AddRow({"short", "1"});
+  table.AddRow({"a-much-longer-system-name", "2"});
+  const std::string out = table.ToString();
+
+  // Every rendered line is equally wide: widths come from the widest
+  // cell of each column across headers AND rows.
+  size_t line_length = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    const size_t eol = out.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    if (line_length == std::string::npos) {
+      line_length = eol - pos;
+    } else {
+      EXPECT_EQ(eol - pos, line_length) << out;
+    }
+    pos = eol + 1;
+  }
+  EXPECT_NE(out.find("a-much-longer-system-name"), std::string::npos);
+}
+
+TEST(BenchTableTest, ToCsvQuotesOnlyWhenNeeded) {
+  Table table({"System", "Note"});
+  table.AddRow({"plain", "no quoting needed"});
+  table.AddRow({"with,comma", "say \"hi\""});
+  table.AddRow({"multi\nline", "trailing"});
+  EXPECT_EQ(table.ToCsv(),
+            "System,Note\n"
+            "plain,no quoting needed\n"
+            "\"with,comma\",\"say \"\"hi\"\"\"\n"
+            "\"multi\nline\",trailing\n");
+}
+
+TEST(BenchTableTest, ToCsvEmptyTableIsJustHeaders) {
+  Table table({"A", "B"});
+  EXPECT_EQ(table.ToCsv(), "A,B\n");
+}
+
+TEST(BenchPathTest, SuffixedPathInsertsBeforeExtension) {
+  EXPECT_EQ(SuffixedPath("run.json", "cps"), "run_cps.json");
+  EXPECT_EQ(SuffixedPath("/tmp/out/run.json", "cps"), "/tmp/out/run_cps.json");
+  EXPECT_EQ(SuffixedPath("noext", "cps"), "noext_cps");
+  // A dot inside a directory name is not an extension.
+  EXPECT_EQ(SuffixedPath("/tmp/v1.2/run", "cps"), "/tmp/v1.2/run_cps");
+  // Disabled outputs (empty paths) stay disabled.
+  EXPECT_EQ(SuffixedPath("", "cps"), "");
+  EXPECT_EQ(SuffixedPath("run.json", ""), "run.json");
+}
+
+}  // namespace
+}  // namespace hetkg::bench

@@ -1,0 +1,180 @@
+// MetricRegistry v2 (counters + gauges + histograms) and Histogram
+// edge-case semantics, including the SnapshotJson contract that the
+// obs/ metrics exporter builds on.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+#include "obs/json.h"
+
+namespace hetkg {
+namespace {
+
+TEST(MetricRegistryTest, MergeSumsDisjointCounters) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.Increment("x", 3);
+  b.Increment("y", 5);
+  a.Merge(b);
+  EXPECT_EQ(a.Get("x"), 3u);
+  EXPECT_EQ(a.Get("y"), 5u);
+  EXPECT_EQ(a.Snapshot().size(), 2u);
+  // The source registry is untouched.
+  EXPECT_EQ(b.Get("x"), 0u);
+  EXPECT_EQ(b.Get("y"), 5u);
+}
+
+TEST(MetricRegistryTest, MergeOverlappingCountersGaugesHistograms) {
+  MetricRegistry a;
+  MetricRegistry b;
+  a.Increment("n", 2);
+  b.Increment("n", 7);
+  a.SetGauge("g", 1.0);
+  b.SetGauge("g", 4.0);
+  a.Observe("h", 1.0);
+  a.Observe("h", 3.0);
+  b.Observe("h", 5.0);
+  a.Merge(b);
+
+  // Counters sum, gauges take the incoming value, histograms pool.
+  EXPECT_EQ(a.Get("n"), 9u);
+  EXPECT_EQ(a.GetGauge("g"), 4.0);
+  const Histogram* h = a.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_EQ(h->sum(), 9.0);
+  EXPECT_EQ(h->min(), 1.0);
+  EXPECT_EQ(h->max(), 5.0);
+}
+
+TEST(MetricRegistryTest, ClearZeroesButPreservesNames) {
+  MetricRegistry m;
+  m.Increment("c", 10);
+  m.SetGauge("g", 2.5);
+  m.Observe("h", 8.0);
+  m.Clear();
+
+  const auto counters = m.Snapshot();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "c");
+  EXPECT_EQ(counters[0].second, 0u);
+
+  const auto gauges = m.GaugeSnapshot();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].first, "g");
+  EXPECT_EQ(gauges[0].second, 0.0);
+
+  const Histogram* h = m.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(MetricRegistryTest, SnapshotJsonGolden) {
+  MetricRegistry m;
+  m.Increment("b.count", 2);
+  m.Increment("a.count", 1);
+  m.SetGauge("ratio", 0.5);
+  m.Observe("lat", 4.0);
+
+  // Maps iterate in key order, numbers use to_chars shortest form, so
+  // the rendering is fully deterministic.
+  EXPECT_EQ(m.SnapshotJson(),
+            "{\"counters\":{\"a.count\":1,\"b.count\":2},"
+            "\"gauges\":{\"ratio\":0.5},"
+            "\"histograms\":{\"lat\":{\"count\":1,\"sum\":4,\"min\":4,"
+            "\"max\":4,\"mean\":4,\"p50\":4,\"p95\":4,\"p99\":4}}}");
+}
+
+TEST(MetricRegistryTest, SnapshotJsonParsesBack) {
+  MetricRegistry m;
+  m.Increment("ps.pulls", 42);
+  m.SetGauge("cache.hit_ratio", 0.875);
+  m.Observe("ps.pull_sim_seconds", 0.25);
+  m.Observe("ps.pull_sim_seconds", 0.75);
+
+  auto parsed = obs::ParseJson(m.SnapshotJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  const obs::JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* pulls = counters->Find("ps.pulls");
+  ASSERT_NE(pulls, nullptr);
+  EXPECT_EQ(pulls->number, 42.0);
+  const obs::JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("cache.hit_ratio")->number, 0.875);
+  const obs::JsonValue* hist = parsed->Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const obs::JsonValue* lat = hist->Find("ps.pull_sim_seconds");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->number, 2.0);
+  EXPECT_EQ(lat->Find("sum")->number, 1.0);
+}
+
+TEST(MetricRegistryTest, SnapshotStaysCountersOnly) {
+  // The determinism tests compare Snapshot() across runs; gauges and
+  // histograms (which may carry wall-clock-derived values) must never
+  // leak into it.
+  MetricRegistry m;
+  m.Increment("c", 1);
+  m.SetGauge("g", 2.0);
+  m.Observe("h", 3.0);
+  const auto snapshot = m.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].first, "c");
+}
+
+TEST(HistogramEdgeTest, EmptyHistogramReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramEdgeTest, SingleSampleQuantilesStayInItsBucket) {
+  Histogram h;
+  h.Add(6.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 6.0);
+  EXPECT_EQ(h.max(), 6.0);
+  EXPECT_EQ(h.Mean(), 6.0);
+  // 6 lands in the [4, 8) bucket; every quantile must interpolate
+  // inside it.
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, 4.0) << "q=" << q;
+    EXPECT_LE(v, 8.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramEdgeTest, AllEqualSamplesShareOneBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(16.0);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 16.0);
+  EXPECT_EQ(h.max(), 16.0);
+  EXPECT_EQ(h.Mean(), 16.0);
+  // 16 is the lower edge of [16, 32); p50 and p99 may interpolate
+  // within the bucket but can never leave it.
+  EXPECT_GE(h.Quantile(0.5), 16.0);
+  EXPECT_LE(h.Quantile(0.5), 32.0);
+  EXPECT_GE(h.Quantile(0.99), 16.0);
+  EXPECT_LE(h.Quantile(0.99), 32.0);
+}
+
+TEST(HistogramEdgeTest, QuantileClampsOutOfRangeArguments) {
+  Histogram h;
+  h.Add(2.0);
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+}  // namespace
+}  // namespace hetkg

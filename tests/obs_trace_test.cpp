@@ -1,0 +1,344 @@
+// End-to-end observability: traced CPS and DPS training runs must emit
+// a valid Chrome trace-event JSON file (parse round-trip) with properly
+// nested spans per thread, the metrics exporter must produce a
+// per-epoch time-series, and turning the whole obs layer on must not
+// change a single trained bit.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "graph/synthetic.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace hetkg {
+namespace {
+
+using core::SystemKind;
+using core::TrainerConfig;
+
+std::string TempPath(const std::string& name) {
+  // ctest runs this binary several times concurrently under different
+  // gtest filters; a pid-qualified path keeps those processes from
+  // racing on the same file.
+  return ::testing::TempDir() + "hetkg_obs_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+graph::SyntheticDataset ObsDataset() {
+  graph::SyntheticSpec spec;
+  spec.name = "obs";
+  spec.num_entities = 200;
+  spec.num_relations = 8;
+  spec.num_triples = 2000;
+  spec.seed = 33;
+  return graph::GenerateDataset(spec).value();
+}
+
+struct ObsRun {
+  std::vector<float> embeddings;
+  std::vector<double> losses;
+  core::TrainReport report;
+};
+
+ObsRun TrainWithObs(SystemKind system, const graph::SyntheticDataset& dataset,
+                    size_t num_threads, const obs::ObsConfig& obs_config) {
+  TrainerConfig config;
+  config.dim = 16;
+  config.batch_size = 32;
+  config.negatives_per_positive = 8;
+  config.num_machines = 2;
+  config.cache_capacity = 64;
+  config.sync.staleness_bound = 4;
+  config.sync.dps_window = 8;
+  config.pbg_partitions = 4;
+  config.seed = 5;
+  config.num_threads = num_threads;
+  config.obs = obs_config;
+  auto engine =
+      core::MakeEngine(system, config, dataset.graph, dataset.split.train)
+          .value();
+  ObsRun run;
+  run.report = engine->Train(2).value();
+  const eval::EmbeddingLookup& lookup = engine->Embeddings();
+  for (size_t e = 0; e < lookup.num_entities(); ++e) {
+    const auto row = lookup.Entity(static_cast<EntityId>(e));
+    run.embeddings.insert(run.embeddings.end(), row.begin(), row.end());
+  }
+  for (size_t r = 0; r < lookup.num_relations(); ++r) {
+    const auto row = lookup.Relation(static_cast<RelationId>(r));
+    run.embeddings.insert(run.embeddings.end(), row.begin(), row.end());
+  }
+  for (const auto& epoch : run.report.epochs) {
+    run.losses.push_back(epoch.mean_loss);
+  }
+  return run;
+}
+
+struct SpanEvent {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string name;
+};
+
+/// Asserts the "X" events of one thread form a proper forest: sorted by
+/// start (ties broken longest-first), every span either nests fully
+/// inside the enclosing open span or starts after it ends.
+void ExpectProperNesting(int64_t tid, std::vector<SpanEvent> spans) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;
+                   });
+  std::vector<SpanEvent> stack;
+  for (const SpanEvent& s : spans) {
+    while (!stack.empty() && stack.back().ts + stack.back().dur <= s.ts) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      EXPECT_LE(s.ts + s.dur, stack.back().ts + stack.back().dur)
+          << "span " << s.name << " on tid " << tid
+          << " overlaps but does not nest inside " << stack.back().name;
+    }
+    stack.push_back(s);
+  }
+}
+
+class TracedTrainingTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(TracedTrainingTest, TraceParsesAndSpansNestPerThread) {
+  const auto dataset = ObsDataset();
+  const std::string trace_path =
+      TempPath(std::string("trace_") +
+               std::string(core::SystemKindName(GetParam())) + ".json");
+  std::remove(trace_path.c_str());
+
+  obs::ObsConfig obs_config;
+  obs_config.trace_out = trace_path;
+  TrainWithObs(GetParam(), dataset, 2, obs_config);
+  ASSERT_FALSE(obs::Tracer::Enabled()) << "session leaked past Train";
+
+  const std::string text = ReadFile(trace_path);
+  ASSERT_FALSE(text.empty()) << trace_path;
+  auto parsed = obs::ParseJson(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+
+  const obs::JsonValue* unit = parsed->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string_value, "ms");
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->items.empty());
+
+  std::map<int64_t, std::vector<SpanEvent>> spans_by_tid;
+  std::vector<std::string> names;
+  for (const obs::JsonValue& e : events->items) {
+    ASSERT_TRUE(e.is_object());
+    const obs::JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(e.Find("name"), nullptr);
+    if (ph->string_value != "X") continue;
+    const obs::JsonValue* tid = e.Find("tid");
+    const obs::JsonValue* ts = e.Find("ts");
+    const obs::JsonValue* dur = e.Find("dur");
+    ASSERT_NE(tid, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    // Wall-clock spans also carry the simulated clock for alignment
+    // with the cost model.
+    const obs::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->Find("sim_s"), nullptr);
+    names.push_back(e.Find("name")->string_value);
+    spans_by_tid[static_cast<int64_t>(tid->number)].push_back(
+        SpanEvent{ts->number, dur->number, names.back()});
+  }
+
+  // The scheduling thread traced the engine loop, and the ParallelFor
+  // fan-out put compute spans on at least one other thread.
+  EXPECT_GE(spans_by_tid.size(), 2u);
+  auto has = [&names](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("ps.step"));
+  EXPECT_TRUE(has("ps.epoch"));
+  EXPECT_TRUE(has("cache.rebuild"));
+  EXPECT_TRUE(has("compute.chunks"));
+
+  for (auto& [tid, spans] : spans_by_tid) {
+    ExpectProperNesting(tid, std::move(spans));
+  }
+}
+
+TEST_P(TracedTrainingTest, MetricsSeriesExportsEpochSamples) {
+  const auto dataset = ObsDataset();
+  const std::string metrics_path =
+      TempPath(std::string("metrics_") +
+               std::string(core::SystemKindName(GetParam())) + ".json");
+  std::remove(metrics_path.c_str());
+
+  obs::ObsConfig obs_config;
+  obs_config.metrics_json = metrics_path;
+  obs_config.metrics_window = 8;
+  const ObsRun run = TrainWithObs(GetParam(), dataset, 1, obs_config);
+  EXPECT_FALSE(run.report.metrics_series.empty());
+
+  auto parsed = obs::ParseJson(ReadFile(metrics_path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* samples = parsed->Find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_TRUE(samples->is_array());
+
+  size_t epoch_samples = 0;
+  size_t window_samples = 0;
+  for (const obs::JsonValue& s : samples->items) {
+    ASSERT_TRUE(s.is_object());
+    const obs::JsonValue* kind = s.Find("kind");
+    ASSERT_NE(kind, nullptr);
+    if (kind->string_value == "epoch") ++epoch_samples;
+    if (kind->string_value == "window") ++window_samples;
+    ASSERT_NE(s.Find("sim_seconds"), nullptr);
+    ASSERT_NE(s.Find("metrics"), nullptr);
+  }
+  EXPECT_EQ(epoch_samples, 2u);
+  EXPECT_GT(window_samples, 0u);
+
+  // The final epoch sample carries the Fig. 7 ingredients: hit ratio,
+  // per-phase simulated time, and the cumulative simulated clock.
+  const obs::JsonValue& last = samples->items.back();
+  EXPECT_EQ(last.Find("kind")->string_value, "epoch");
+  const obs::JsonValue* gauges = last.Find("metrics")->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->Find("sim.machine_seconds"), nullptr);
+  EXPECT_GT(gauges->Find("sim.machine_seconds")->number, 0.0);
+  ASSERT_NE(gauges->Find("phase.compute_s"), nullptr);
+  EXPECT_GT(gauges->Find("phase.compute_s")->number, 0.0);
+  ASSERT_NE(gauges->Find("cache.hit_ratio"), nullptr);
+  const obs::JsonValue* counters = last.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("cache.hits"), nullptr);
+}
+
+TEST_P(TracedTrainingTest, ObsOnIsBitIdenticalToObsOff) {
+  const auto dataset = ObsDataset();
+  const ObsRun off = TrainWithObs(GetParam(), dataset, 2, obs::ObsConfig{});
+
+  obs::ObsConfig obs_config;
+  obs_config.trace_out = TempPath("identity_trace.json");
+  obs_config.metrics_json = TempPath("identity_metrics.json");
+  obs_config.metrics_window = 4;
+  const ObsRun on = TrainWithObs(GetParam(), dataset, 2, obs_config);
+
+  EXPECT_EQ(on.losses, off.losses);
+  ASSERT_EQ(on.embeddings.size(), off.embeddings.size());
+  for (size_t j = 0; j < off.embeddings.size(); ++j) {
+    ASSERT_EQ(on.embeddings[j], off.embeddings[j])
+        << "embedding float " << j << " diverged with obs enabled";
+  }
+  // The deterministic counter set is also unchanged.
+  EXPECT_EQ(on.report.metrics.Snapshot(), off.report.metrics.Snapshot());
+}
+
+INSTANTIATE_TEST_SUITE_P(CacheEngines, TracedTrainingTest,
+                         ::testing::Values(SystemKind::kHetKgCps,
+                                           SystemKind::kHetKgDps),
+                         [](const ::testing::TestParamInfo<SystemKind>& info) {
+                           std::string name(core::SystemKindName(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(TracerSessionTest, StartValidatesAndStopsCleanly) {
+  EXPECT_FALSE(obs::Tracer::Enabled());
+  EXPECT_FALSE(obs::Tracer::Start(obs::TraceOptions{}).ok())
+      << "empty path must be rejected";
+  EXPECT_FALSE(obs::Tracer::Stop().ok()) << "no session to stop";
+
+  obs::TraceOptions options;
+  options.path = TempPath("session.json");
+  ASSERT_TRUE(obs::Tracer::Start(options).ok());
+  EXPECT_TRUE(obs::Tracer::Enabled());
+  // A second session cannot start while one is active.
+  EXPECT_FALSE(obs::Tracer::Start(options).ok());
+  obs::Tracer::Instant("test.instant", "test");
+  ASSERT_TRUE(obs::Tracer::Stop().ok());
+  EXPECT_FALSE(obs::Tracer::Enabled());
+
+  auto parsed = obs::ParseJson(ReadFile(options.path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(TracerSessionTest, FullRingDropsAndCountsInsteadOfGrowing) {
+  obs::TraceOptions options;
+  options.path = TempPath("overflow.json");
+  options.ring_capacity = 8;
+  ASSERT_TRUE(obs::Tracer::Start(options).ok());
+  for (int i = 0; i < 100; ++i) {
+    obs::Tracer::Instant("spam", "test");
+  }
+  EXPECT_GT(obs::Tracer::DroppedEvents(), 0u);
+  ASSERT_TRUE(obs::Tracer::Stop().ok());
+
+  // The overflowing session still writes valid JSON, with the drop
+  // count surfaced as a counter event.
+  auto parsed = obs::ParseJson(ReadFile(options.path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found_drop_counter = false;
+  for (const obs::JsonValue& e : events->items) {
+    const obs::JsonValue* name = e.Find("name");
+    if (name != nullptr && name->string_value == "obs.dropped_events") {
+      found_drop_counter = true;
+    }
+  }
+  EXPECT_TRUE(found_drop_counter);
+}
+
+TEST(TracerSessionTest, LeaseRespectsForeignSessionAndStopsOwnedOne) {
+  obs::TraceOptions options;
+  options.path = TempPath("lease.json");
+  {
+    obs::TracerLease lease(options);
+    EXPECT_TRUE(lease.owns());
+    EXPECT_TRUE(obs::Tracer::Enabled());
+    // A second lease over an active session must not steal or stop it.
+    obs::TracerLease second(options);
+    EXPECT_FALSE(second.owns());
+  }
+  EXPECT_FALSE(obs::Tracer::Enabled()) << "lease destructor must stop";
+  // An empty path means "tracing off": no session, nothing owned.
+  obs::TracerLease disabled{obs::TraceOptions{}};
+  EXPECT_FALSE(disabled.owns());
+  EXPECT_FALSE(obs::Tracer::Enabled());
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("[1,]").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_TRUE(obs::ParseJson("{\"a\":[1,2.5,-3e2,true,false,null]}").ok());
+}
+
+}  // namespace
+}  // namespace hetkg

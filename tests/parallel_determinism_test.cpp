@@ -171,7 +171,7 @@ TEST_P(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
   ASSERT_FALSE(serial.embeddings.empty());
   ASSERT_FALSE(serial.valid_mrrs.empty());
 
-  for (size_t threads : {2, 4}) {
+  for (size_t threads : {2, 4, 8}) {
     const RunResult parallel = TrainOnce(GetParam(), dataset, threads);
     // Exact double equality on the loss/validation traces: any
     // scheduling-dependent accumulation order would break this.
@@ -226,7 +226,7 @@ TEST_P(FaultTolerantTrainingTest, ConvergesAndStaysDeterministic) {
   EXPECT_GT(dropped, 0u);
 
   // Bit-identical across thread counts, faults and all.
-  for (size_t threads : {2, 4}) {
+  for (size_t threads : {2, 4, 8}) {
     const RunResult parallel =
         TrainOnce(GetParam(), dataset, threads, fault, kEpochs);
     EXPECT_EQ(parallel.losses, serial.losses) << threads << " threads";
