@@ -131,6 +131,31 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("fault_backoff_us", "200",
                 "first retry backoff (microseconds, doubles per retry)");
   flags->Define("fault_seed", "42", "seed of the deterministic fault plan");
+  // Process-level fault events (DESIGN.md §9). Unlike the probability
+  // knobs these are explicit schedules on the transport's logical
+  // clock, so a crash scenario replays bit-identically; they fire even
+  // when every probability above is zero.
+  flags->Define("fault_worker_crash", "",
+                "scheduled worker crashes as machine:tick[,machine:tick...] "
+                "on the transport's logical clock (empty = none)");
+  flags->Define("fault_ps_restart", "",
+                "scheduled PS shard restarts as machine:tick[,...] "
+                "(empty = none)");
+  flags->Define("fault_halt_after", "0",
+                "simulate a hard crash: stop training after N global "
+                "iterations without flushing (0 = run to completion)");
+  // Crash-recovery checkpointing (DESIGN.md §9).
+  flags->Define("checkpoint_dir", "",
+                "directory receiving periodic full-training-state "
+                "snapshots + MANIFEST (empty = checkpointing off)");
+  flags->Define("checkpoint_every", "0",
+                "snapshot every N global iterations (PBG: every N "
+                "epochs; 0 = no periodic saves)");
+  flags->Define("keep_checkpoints", "3",
+                "retained snapshots; older ones are pruned (0 = keep all)");
+  flags->Define("resume_from", "",
+                "resume training from a snapshot file or checkpoint "
+                "directory (newest valid manifest entry wins)");
   // Observability outputs (src/obs/, DESIGN.md §8). Empty paths keep
   // tracing and metrics export disabled, which is bit-identical to a
   // build without the obs layer.
@@ -145,6 +170,49 @@ void DefineCommonFlags(FlagParser* flags) {
                 "(0 = per-epoch only; needs --metrics_json)");
 }
 
+namespace {
+
+/// Parses a "machine:tick[,machine:tick...]" schedule. Malformed items
+/// (no colon, or non-numeric fields) are rejected loudly rather than
+/// silently skipped: a typo'd crash schedule must not turn a recovery
+/// bench into a fault-free run.
+std::vector<sim::ProcessFault> ParseProcessFaults(
+    const std::string& spec, sim::ProcessFaultKind kind,
+    const char* flag_name) {
+  std::vector<sim::ProcessFault> events;
+  size_t pos = 0;
+  while (pos <= spec.size() && !spec.empty()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t colon = item.find(':');
+    char* end = nullptr;
+    sim::ProcessFault fault;
+    fault.kind = kind;
+    if (colon != std::string::npos) {
+      fault.machine =
+          static_cast<uint32_t>(std::strtoul(item.c_str(), &end, 10));
+    }
+    if (colon == std::string::npos || end != item.c_str() + colon) {
+      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    fault.tick = std::strtoull(item.c_str() + colon + 1, &end, 10);
+    if (end != item.c_str() + item.size()) {
+      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    events.push_back(fault);
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  return events;
+}
+
+}  // namespace
+
 sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
   sim::FaultConfig fault;
   fault.drop_prob = flags.GetDouble("fault_drop");
@@ -156,6 +224,16 @@ sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags) {
   fault.seed = static_cast<uint64_t>(flags.GetInt("fault_seed"));
   fault.enabled = fault.drop_prob > 0.0 || fault.duplicate_prob > 0.0 ||
                   fault.delay_prob > 0.0;
+  for (const sim::ProcessFault& f : ParseProcessFaults(
+           flags.GetString("fault_worker_crash"),
+           sim::ProcessFaultKind::kWorkerCrash, "fault_worker_crash")) {
+    fault.process_faults.push_back(f);
+  }
+  for (const sim::ProcessFault& f : ParseProcessFaults(
+           flags.GetString("fault_ps_restart"),
+           sim::ProcessFaultKind::kPsShardRestart, "fault_ps_restart")) {
+    fault.process_faults.push_back(f);
+  }
   return fault;
 }
 
@@ -197,6 +275,14 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.fault = FaultConfigFromFlags(flags);
   config.obs = ObsConfigFromFlags(flags);
+  config.checkpoint_dir = flags.GetString("checkpoint_dir");
+  config.checkpoint_every =
+      static_cast<size_t>(flags.GetInt("checkpoint_every"));
+  config.keep_checkpoints =
+      static_cast<size_t>(flags.GetInt("keep_checkpoints"));
+  config.resume_from = flags.GetString("resume_from");
+  config.halt_after_iterations =
+      static_cast<size_t>(flags.GetInt("fault_halt_after"));
   return config;
 }
 
@@ -296,6 +382,11 @@ RunOutcome RunSystem(core::SystemKind system,
                          200);
     (*engine)->EnableValidation(&dataset.graph, dataset.split.valid,
                                 valid_options);
+  }
+  if (!run_config.resume_from.empty()) {
+    const Status status =
+        (*engine)->RestoreTrainState(run_config.resume_from);
+    HETKG_CHECK(status.ok()) << status.ToString();
   }
   auto report = (*engine)->Train(num_epochs);
   HETKG_CHECK(report.ok()) << report.status().ToString();

@@ -7,8 +7,53 @@
 //       --epochs 10 --dim 32 --checkpoint /tmp/model.ck
 //   ./example_hetkg_train --train train.tsv --valid valid.tsv --test test.tsv
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "hetkg/hetkg.h"
+
+namespace {
+
+// Parses a "machine:tick[,machine:tick...]" process-fault schedule;
+// exits with usage on malformed input so a typo'd crash scenario never
+// silently degrades to a fault-free run.
+std::vector<hetkg::sim::ProcessFault> ParseProcessFaults(
+    const std::string& spec, hetkg::sim::ProcessFaultKind kind,
+    const char* flag_name) {
+  std::vector<hetkg::sim::ProcessFault> events;
+  size_t pos = 0;
+  while (!spec.empty() && pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const size_t colon = item.find(':');
+    char* end = nullptr;
+    hetkg::sim::ProcessFault fault;
+    fault.kind = kind;
+    if (colon != std::string::npos) {
+      fault.machine =
+          static_cast<uint32_t>(std::strtoul(item.c_str(), &end, 10));
+    }
+    if (colon == std::string::npos || end != item.c_str() + colon) {
+      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    fault.tick = std::strtoull(item.c_str() + colon + 1, &end, 10);
+    if (end != item.c_str() + item.size()) {
+      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    events.push_back(fault);
+    if (comma == spec.size()) break;
+    pos = comma + 1;
+  }
+  return events;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace hetkg;
@@ -52,6 +97,27 @@ int main(int argc, char** argv) {
   flags.Define("fault_retries", "3",
                "retransmissions before the sender gives up");
   flags.Define("fault_seed", "42", "seed of the deterministic fault plan");
+  // Process-level faults + crash recovery (DESIGN.md §9).
+  flags.Define("fault_worker_crash", "",
+               "scheduled worker crashes as machine:tick[,machine:tick...] "
+               "on the transport's logical clock (empty = none)");
+  flags.Define("fault_ps_restart", "",
+               "scheduled PS shard restarts as machine:tick[,...] "
+               "(empty = none)");
+  flags.Define("fault_halt_after", "0",
+               "simulate a hard crash: stop after N global iterations "
+               "without flushing (0 = run to completion)");
+  flags.Define("checkpoint_dir", "",
+               "directory receiving periodic full-training-state "
+               "snapshots + MANIFEST (empty = checkpointing off)");
+  flags.Define("checkpoint_every", "0",
+               "snapshot every N global iterations (PBG: every N epochs; "
+               "0 = no periodic saves)");
+  flags.Define("keep_checkpoints", "3",
+               "retained snapshots; older ones are pruned (0 = keep all)");
+  flags.Define("resume_from", "",
+               "resume training from a snapshot file or checkpoint "
+               "directory (newest valid manifest entry wins)");
   // Observability (DESIGN.md §8): empty paths keep tracing and metrics
   // export disabled, bit-identical to a build without the obs layer.
   flags.Define("trace_out", "",
@@ -145,6 +211,24 @@ int main(int argc, char** argv) {
   config.fault.enabled = config.fault.drop_prob > 0.0 ||
                          config.fault.duplicate_prob > 0.0 ||
                          config.fault.delay_prob > 0.0;
+  for (const sim::ProcessFault& f : ParseProcessFaults(
+           flags.GetString("fault_worker_crash"),
+           sim::ProcessFaultKind::kWorkerCrash, "fault_worker_crash")) {
+    config.fault.process_faults.push_back(f);
+  }
+  for (const sim::ProcessFault& f : ParseProcessFaults(
+           flags.GetString("fault_ps_restart"),
+           sim::ProcessFaultKind::kPsShardRestart, "fault_ps_restart")) {
+    config.fault.process_faults.push_back(f);
+  }
+  config.checkpoint_dir = flags.GetString("checkpoint_dir");
+  config.checkpoint_every =
+      static_cast<size_t>(flags.GetInt("checkpoint_every"));
+  config.keep_checkpoints =
+      static_cast<size_t>(flags.GetInt("keep_checkpoints"));
+  config.resume_from = flags.GetString("resume_from");
+  config.halt_after_iterations =
+      static_cast<size_t>(flags.GetInt("fault_halt_after"));
   config.obs.trace_out = flags.GetString("trace_out");
   config.obs.metrics_json = flags.GetString("metrics_json");
   config.obs.metrics_window =
@@ -168,6 +252,15 @@ int main(int argc, char** argv) {
   }
 
   // ---- Train ----------------------------------------------------------
+  if (!config.resume_from.empty()) {
+    const Status restored = (*engine)->RestoreTrainState(config.resume_from);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "resume: %s\n", restored.ToString().c_str());
+      return 1;
+    }
+    std::printf("resumed training state from %s\n",
+                config.resume_from.c_str());
+  }
   auto report = (*engine)->Train(static_cast<size_t>(flags.GetInt("epochs")));
   if (!report.ok()) {
     std::fprintf(stderr, "train: %s\n", report.status().ToString().c_str());

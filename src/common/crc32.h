@@ -1,0 +1,27 @@
+#ifndef HETKG_COMMON_CRC32_H_
+#define HETKG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetkg {
+
+/// IEEE CRC-32 (polynomial 0xEDB88320, the zlib/PNG variant), table
+/// driven. Detects any single-byte corruption of a checkpoint payload,
+/// unlike the order-sensitive XOR fold the HETKGCK1 format used (which
+/// a pair of compensating flips could defeat).
+///
+/// `Crc32(data, size)` checksums one buffer; the Update form chains
+/// over multiple buffers:
+///   uint32_t crc = Crc32Init();
+///   crc = Crc32Update(crc, a, na);
+///   crc = Crc32Update(crc, b, nb);
+///   crc = Crc32Finish(crc);
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+uint32_t Crc32Finish(uint32_t crc);
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_CRC32_H_

@@ -92,6 +92,25 @@ double Histogram::Quantile(double q) const {
   return max_;
 }
 
+void Histogram::SaveState(ByteWriter* w) const {
+  w->U64(count_);
+  w->F64(sum_);
+  w->F64(min_);
+  w->F64(max_);
+  w->U64Vec(buckets_);
+}
+
+bool Histogram::LoadState(ByteReader* r) {
+  count_ = r->U64();
+  sum_ = r->F64();
+  min_ = r->F64();
+  max_ = r->F64();
+  std::vector<uint64_t> buckets = r->U64Vec();
+  if (!r->ok() || buckets.size() != kNumBuckets) return false;
+  buckets_ = std::move(buckets);
+  return true;
+}
+
 std::string Histogram::ToString() const {
   std::ostringstream os;
   os << "count=" << count_ << " mean=" << Mean() << " p50=" << Quantile(0.5)

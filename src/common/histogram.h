@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
+
 namespace hetkg {
 
 /// Streaming summary of a scalar distribution: exact count/mean/min/max
@@ -36,6 +38,10 @@ class Histogram {
 
   /// One-line rendering: count/mean/p50/p95/p99/max.
   std::string ToString() const;
+
+  /// Exact state round-trip for the HETKGCK2 training snapshots.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
 
  private:
   static constexpr size_t kNumBuckets = 128;

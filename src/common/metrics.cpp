@@ -147,6 +147,52 @@ std::string MetricRegistry::SnapshotJson() const {
   return out;
 }
 
+void MetricRegistry::SaveState(ByteWriter* w) const {
+  w->U64(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    w->Str(name);
+    w->U64(value);
+  }
+  w->U64(gauges_.size());
+  for (const auto& [name, value] : gauges_) {
+    w->Str(name);
+    w->F64(value);
+  }
+  w->U64(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    w->Str(name);
+    hist.SaveState(w);
+  }
+}
+
+bool MetricRegistry::LoadState(ByteReader* r) {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  const uint64_t num_counters = r->U64();
+  for (uint64_t i = 0; i < num_counters && r->ok(); ++i) {
+    std::string name = r->Str();
+    counters[std::move(name)] = r->U64();
+  }
+  const uint64_t num_gauges = r->U64();
+  for (uint64_t i = 0; i < num_gauges && r->ok(); ++i) {
+    std::string name = r->Str();
+    gauges[std::move(name)] = r->F64();
+  }
+  const uint64_t num_histograms = r->U64();
+  for (uint64_t i = 0; i < num_histograms && r->ok(); ++i) {
+    std::string name = r->Str();
+    Histogram hist;
+    if (!hist.LoadState(r)) return false;
+    histograms[std::move(name)] = std::move(hist);
+  }
+  if (!r->ok()) return false;
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  return true;
+}
+
 std::string MetricRegistry::ToString() const {
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {

@@ -74,6 +74,12 @@ class MetricRegistry {
   /// Multi-line "name = value" rendering, for debug output.
   std::string ToString() const;
 
+  /// Exact state round-trip (counters, gauges, histograms) for the
+  /// HETKGCK2 training snapshots, so a resumed run's final metric
+  /// snapshot is bit-identical to an uninterrupted run's.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
+
  private:
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
@@ -137,6 +143,30 @@ inline constexpr char kSimSeconds[] = "sim.machine_seconds";
 inline constexpr char kPullSimSeconds[] = "ps.pull_sim_seconds";
 inline constexpr char kPushSimSeconds[] = "ps.push_sim_seconds";
 inline constexpr char kObsDroppedEvents[] = "obs.dropped_trace_events";
+// Crash recovery (DESIGN.md §9). checkpoint.* counters exist only when
+// periodic checkpointing is configured; both the crashed and the
+// uninterrupted reference run take the same snapshot schedule, so the
+// counters stay bit-identical across a crash + resume. recovery.*
+// counters track in-sim process faults (kWorkerCrash/kPsShardRestart)
+// and are deterministic functions of the fault plan.
+inline constexpr char kCheckpointSaves[] = "checkpoint.saves";
+inline constexpr char kCheckpointBytes[] = "checkpoint.bytes";
+inline constexpr char kRecoveryWorkerCrashes[] = "recovery.worker_crashes";
+inline constexpr char kRecoveryPsShardRestarts[] =
+    "recovery.ps_shard_restarts";
+inline constexpr char kRecoveryReplayedIterations[] =
+    "recovery.replayed_iterations";
+inline constexpr char kRecoveryReplaySkippedRows[] =
+    "recovery.replay_skipped_push_rows";
+// Process-local restore bookkeeping, kept OUT of the training metric
+// snapshot (a resumed run restores once; the uninterrupted reference
+// run never does, so these may not perturb the bit-identity contract).
+// Engines expose them via RecoveryMetrics() instead.
+inline constexpr char kCheckpointRestores[] = "checkpoint.restores";
+inline constexpr char kCheckpointFallbacks[] =
+    "checkpoint.manifest_fallbacks";
+inline constexpr char kCheckpointOrphanTemps[] =
+    "checkpoint.orphan_temps_removed";
 }  // namespace metric
 
 }  // namespace hetkg

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/serialize.h"
+
 namespace hetkg {
 
 /// Deterministic pseudo-random number generator (xoshiro256**) seeded
@@ -47,6 +49,21 @@ class Rng {
       size_t j = static_cast<size_t>(NextBounded(i + 1));
       std::swap((*items)[i], (*items)[j]);
     }
+  }
+
+  /// Serializes the full generator state (stream position + cached
+  /// Box-Muller sample) so a restored generator continues the exact
+  /// stream it was saved at. Used by the HETKGCK2 training snapshots.
+  void SaveState(ByteWriter* w) const {
+    for (uint64_t s : state_) w->U64(s);
+    w->F64(cached_gaussian_);
+    w->U8(has_cached_gaussian_ ? 1 : 0);
+  }
+  bool LoadState(ByteReader* r) {
+    for (uint64_t& s : state_) s = r->U64();
+    cached_gaussian_ = r->F64();
+    has_cached_gaussian_ = r->U8() != 0;
+    return r->ok();
   }
 
  private:
@@ -96,6 +113,11 @@ class AliasSampler {
   size_t Next();
 
   size_t size() const { return prob_.size(); }
+
+  /// Stream-position snapshot (the alias tables are config-derived and
+  /// rebuilt at construction; only the RNG advances).
+  void SaveState(ByteWriter* w) const { rng_.SaveState(w); }
+  bool LoadState(ByteReader* r) { return rng_.LoadState(r); }
 
  private:
   std::vector<double> prob_;

@@ -1,0 +1,158 @@
+#include "core/checkpoint_manager.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hetkg::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+
+std::string JoinPath(const std::string& dir, const std::string& file) {
+  return (fs::path(dir) / file).string();
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, size_t keep)
+    : dir_(std::move(dir)), keep_(keep) {}
+
+Result<size_t> CheckpointManager::Prepare() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+  // Sweep "*.tmp" orphans: a writer that crashed between its temp write
+  // and the rename left one behind, and it would otherwise live
+  // forever. Nothing references a temp file (the manifest only names
+  // renamed snapshots), so removal is always safe. Directory iteration
+  // order is filesystem-defined, which is fine here — removal is
+  // per-file independent.
+  size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".tmp") {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+      if (!remove_ec) ++removed;
+    }
+  }
+  if (ec) {
+    return Status::IoError("cannot scan checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+  return removed;
+}
+
+std::string CheckpointManager::SnapshotPath(uint64_t iteration) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ck-%012" PRIu64 ".hetkg", iteration);
+  return JoinPath(dir_, name);
+}
+
+Result<std::vector<ManifestEntry>> CheckpointManager::ReadManifest() const {
+  std::vector<ManifestEntry> entries;
+  std::ifstream in(JoinPath(dir_, kManifestName));
+  if (!in) return entries;  // No manifest yet.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    ManifestEntry entry;
+    if (!(fields >> entry.iteration >> entry.file)) {
+      return Status::Corruption("malformed manifest line in " + dir_ + ": " +
+                                line);
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status CheckpointManager::WriteManifest(
+    const std::vector<ManifestEntry>& entries) const {
+  const std::string path = JoinPath(dir_, kManifestName);
+  const std::string tmp_path = path + ".manifest-tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    for (const ManifestEntry& entry : entries) {
+      out << entry.iteration << ' ' << entry.file << '\n';
+    }
+    if (!out) {
+      return Status::IoError("short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::Commit(uint64_t iteration) {
+  HETKG_ASSIGN_OR_RETURN(std::vector<ManifestEntry> entries, ReadManifest());
+  const std::string file =
+      fs::path(SnapshotPath(iteration)).filename().string();
+  // Re-saving the same iteration (a resumed run re-reaching a save
+  // point) replaces the entry instead of duplicating it.
+  std::erase_if(entries,
+                [&](const ManifestEntry& e) { return e.file == file; });
+  entries.push_back(ManifestEntry{iteration, file});
+  std::sort(entries.begin(), entries.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.iteration < b.iteration;
+            });
+
+  std::vector<std::string> pruned;
+  if (keep_ > 0 && entries.size() > keep_) {
+    const size_t drop = entries.size() - keep_;
+    for (size_t i = 0; i < drop; ++i) {
+      pruned.push_back(entries[i].file);
+    }
+    entries.erase(entries.begin(),
+                  entries.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  // Manifest first, then the pruned files: a crash between the two
+  // leaves unreferenced snapshots (harmless), never a manifest entry
+  // pointing at a deleted file.
+  HETKG_RETURN_IF_ERROR(WriteManifest(entries));
+  for (const std::string& file_name : pruned) {
+    std::error_code ec;
+    fs::remove(JoinPath(dir_, file_name), ec);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> CheckpointManager::ResumeCandidates(
+    const std::string& resume_from) {
+  std::error_code ec;
+  if (fs::is_directory(resume_from, ec)) {
+    CheckpointManager manager(resume_from, 0);
+    HETKG_ASSIGN_OR_RETURN(std::vector<ManifestEntry> entries,
+                           manager.ReadManifest());
+    if (entries.empty()) {
+      return Status::NotFound("no checkpoints in manifest of " + resume_from);
+    }
+    std::vector<std::string> candidates;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      candidates.push_back(JoinPath(resume_from, it->file));
+    }
+    return candidates;
+  }
+  if (!fs::exists(resume_from, ec)) {
+    return Status::NotFound("resume path does not exist: " + resume_from);
+  }
+  return std::vector<std::string>{resume_from};
+}
+
+}  // namespace hetkg::core

@@ -143,4 +143,71 @@ void HotEmbeddingTable::Refresh(EmbKey key, std::span<const float> value) {
   std::copy(value.begin(), value.end(), row.begin());
 }
 
+void HotEmbeddingTable::DropAll() { index_.clear(); }
+
+void HotEmbeddingTable::SaveState(ByteWriter* w) const {
+  w->U64(entity_slots_);
+  w->U64(relation_slots_);
+  w->U64(entity_rows_.dim());
+  w->U64(relation_rows_.dim());
+  // Index in sorted key order: the payload must not depend on
+  // unordered_map iteration order or resume bit-identity breaks.
+  std::vector<std::pair<EmbKey, SlotRef>> entries(index_.begin(),
+                                                  index_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->U64(entries.size());
+  for (const auto& [key, ref] : entries) {
+    w->U64(key);
+    w->U8(ref.is_relation ? 1 : 0);
+    w->U32(ref.slot);
+  }
+  auto save_slab = [&](const embedding::EmbeddingTable& rows,
+                       const embedding::AdaGrad& opt) {
+    for (size_t i = 0; i < rows.num_rows(); ++i) {
+      const auto row = rows.Row(i);
+      w->Raw(row.data(), row.size() * sizeof(float));
+    }
+    opt.SaveState(w);
+  };
+  save_slab(entity_rows_, entity_opt_);
+  save_slab(relation_rows_, relation_opt_);
+}
+
+bool HotEmbeddingTable::LoadState(ByteReader* r) {
+  if (r->U64() != entity_slots_ || r->U64() != relation_slots_ ||
+      r->U64() != entity_rows_.dim() || r->U64() != relation_rows_.dim()) {
+    return false;
+  }
+  const uint64_t count = r->U64();
+  if (!r->ok() || count > capacity()) return false;
+  std::unordered_map<EmbKey, SlotRef> index;
+  index.reserve(count * 2);
+  for (uint64_t i = 0; i < count; ++i) {
+    const EmbKey key = r->U64();
+    const bool is_relation = r->U8() != 0;
+    const uint32_t slot = r->U32();
+    if (!r->ok() ||
+        slot >= (is_relation ? relation_slots_ : entity_slots_) ||
+        !index.emplace(key, SlotRef{is_relation, slot}).second) {
+      return false;
+    }
+  }
+  auto load_slab = [&](embedding::EmbeddingTable* rows,
+                       embedding::AdaGrad* opt) {
+    std::vector<float> row(rows->dim());
+    for (size_t i = 0; i < rows->num_rows(); ++i) {
+      if (!r->ReadRaw(row.data(), row.size() * sizeof(float))) return false;
+      rows->SetRow(i, row);
+    }
+    return opt->LoadState(r);
+  };
+  if (!load_slab(&entity_rows_, &entity_opt_) ||
+      !load_slab(&relation_rows_, &relation_opt_)) {
+    return false;
+  }
+  index_ = std::move(index);
+  return true;
+}
+
 }  // namespace hetkg::core

@@ -62,6 +62,18 @@ class HotEmbeddingTable {
   /// pulls fresh global values). Resets nothing else.
   void Refresh(EmbKey key, std::span<const float> value);
 
+  /// Drops every cached entry (a crashed worker's cache is volatile
+  /// state; recovery rebuilds it from the snapshot or from scratch).
+  void DropAll();
+
+  /// Serializes the full cache state — key->slot index (in sorted key
+  /// order, so the payload is independent of hash iteration order),
+  /// both row slabs, and both local AdaGrad accumulators — for the
+  /// HETKGCK2 per-worker sections. LoadState validates the shape
+  /// against this table's configuration and replaces the contents.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
+
  private:
   struct SlotRef {
     bool is_relation = false;

@@ -88,6 +88,17 @@ Status PbgEngine::Setup(const std::vector<Triple>& train) {
 
   machine_held_.assign(config_.num_machines, {});
   obs_active_ = config_.obs.Enabled();
+
+  if (!config_.checkpoint_dir.empty()) {
+    ckpt_manager_ = std::make_unique<CheckpointManager>(
+        config_.checkpoint_dir, config_.keep_checkpoints);
+    HETKG_ASSIGN_OR_RETURN(const size_t orphan_temps,
+                           ckpt_manager_->Prepare());
+    if (orphan_temps > 0) {
+      recovery_metrics_.Increment(metric::kCheckpointOrphanTemps,
+                                  orphan_temps);
+    }
+  }
   return Status::OK();
 }
 
@@ -353,9 +364,17 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
   const bool metrics_on = config_.obs.MetricsRequested();
   Stopwatch train_wall;
 
+  size_t start_epoch = 0;
+  if (resume_pending_) {
+    resume_pending_ = false;
+    start_epoch = epochs_done_;
+  } else {
+    epochs_done_ = 0;
+    cumulative_seconds_ = 0.0;
+  }
+
   TrainReport report;
-  double cumulative_seconds = 0.0;
-  for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
     obs::TraceSpan epoch_span("pbg.epoch", "pbg");
     epoch_span.Arg("epoch", static_cast<double>(epoch));
     double loss_sum = 0.0;
@@ -374,6 +393,7 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       for (size_t slot = 0; slot < round.size(); ++slot) {
         const uint32_t machine =
             static_cast<uint32_t>(slot % config_.num_machines);
+        MaybeInjectProcessFaults();
         const auto [loss, pairs] = TrainBucket(machine, round[slot]);
         loss_sum += loss;
         pair_count += pairs;
@@ -384,7 +404,7 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       epoch_remote_bytes += cluster_.TotalRemoteBytes();
       ++round_index;
       const double sim_now =
-          cumulative_seconds + epoch_time.total_seconds();
+          cumulative_seconds_ + epoch_time.total_seconds();
       if (obs::Tracer::Enabled()) {
         obs::Tracer::PublishSimSeconds(sim_now);
         obs::Tracer::Counter(
@@ -412,8 +432,8 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
     er.epoch = epoch;
     er.mean_loss = pair_count == 0 ? 0.0 : loss_sum / pair_count;
     er.epoch_time = epoch_time;
-    cumulative_seconds += epoch_time.total_seconds();
-    er.cumulative_seconds = cumulative_seconds;
+    cumulative_seconds_ += epoch_time.total_seconds();
+    er.cumulative_seconds = cumulative_seconds_;
     er.wall_seconds = wall.ElapsedSeconds();
     er.cache_hit_ratio = 0.0;
     er.remote_bytes = epoch_remote_bytes;
@@ -430,19 +450,39 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       er.has_valid_metrics = true;
     }
     report.epochs.push_back(er);
+    epochs_done_ = epoch + 1;
+
+    if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0 &&
+        epochs_done_ % config_.checkpoint_every == 0) {
+      obs::TraceSpan ckpt_span("ckpt.save", "ckpt");
+      ckpt_span.Arg("epoch", static_cast<double>(epochs_done_));
+      embedding::CheckpointWriter writer;
+      BuildSnapshot(&writer);
+      // PBG counts saves in the process-local registry (unlike the PS
+      // engines, whose save counters ride inside the snapshot): the
+      // serialized metrics_ then never mention checkpointing, so a
+      // resumed run's report matches a reference run trained without
+      // any checkpoint configuration at all.
+      recovery_metrics_.Increment(metric::kCheckpointSaves);
+      recovery_metrics_.Increment(metric::kCheckpointBytes,
+                                  writer.payload_bytes());
+      HETKG_RETURN_IF_ERROR(
+          writer.WriteAtomic(ckpt_manager_->SnapshotPath(epochs_done_)));
+      HETKG_RETURN_IF_ERROR(ckpt_manager_->Commit(epochs_done_));
+    }
 
     if (metrics_on) {
       obs::MetricsSample sample;
       sample.kind = "epoch";
       sample.epoch = epoch;
       sample.iteration = plan_.schedule.size();
-      sample.sim_seconds = cumulative_seconds;
+      sample.sim_seconds = cumulative_seconds_;
       sample.wall_seconds = train_wall.ElapsedSeconds();
-      sample.metrics = CollectObsMetrics(cumulative_seconds);
+      sample.metrics = CollectObsMetrics(cumulative_seconds_);
       report.metrics_series.Add(std::move(sample));
     }
   }
-  report.metrics = CollectObsMetrics(cumulative_seconds);
+  report.metrics = CollectObsMetrics(cumulative_seconds_);
   if (trace_lease.owns()) {
     const uint64_t dropped = obs::Tracer::DroppedEvents();
     if (dropped > 0) {
@@ -462,6 +502,220 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
     }
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (DESIGN.md §9), epoch granularity.
+
+void PbgEngine::MaybeInjectProcessFaults() {
+  if (!transport_.HasPendingProcessFaults()) return;
+  for (const sim::ProcessFault& fault : transport_.TakeDueProcessFaults()) {
+    if (fault.machine >= config_.num_machines) {
+      HETKG_LOG(Warning) << "process fault targets machine "
+                         << fault.machine << " of " << config_.num_machines
+                         << "; ignored";
+      continue;
+    }
+    switch (fault.kind) {
+      case sim::ProcessFaultKind::kWorkerCrash:
+        obs::Tracer::Instant("recovery.worker_crash", "recovery",
+                             "machine", static_cast<double>(fault.machine));
+        // The crashed trainer loses its resident partitions; the next
+        // bucket it takes reloads them from the shared filesystem
+        // through the ordinary SwapPartitions accounting. Partition
+        // saves happen at bucket boundaries, so nothing written there
+        // is lost.
+        machine_held_[fault.machine].clear();
+        metrics_.Increment(metric::kRecoveryWorkerCrashes);
+        break;
+      case sim::ProcessFaultKind::kPsShardRestart:
+        // The shared relation PS mirrors dense weights every machine
+        // also holds locally; a restart re-seeds from any trainer's
+        // copy at the next sync, so only the event is recorded.
+        obs::Tracer::Instant("recovery.ps_shard_restart", "recovery",
+                             "machine", static_cast<double>(fault.machine));
+        metrics_.Increment(metric::kRecoveryPsShardRestarts);
+        break;
+    }
+  }
+}
+
+void PbgEngine::BuildSnapshot(embedding::CheckpointWriter* writer) const {
+  ByteWriter meta;
+  meta.Str(name());
+  meta.U64(config_.num_machines);
+  meta.U64(config_.dim);
+  meta.U64(score_fn_->RelationDim(config_.dim));
+  meta.U64(config_.batch_size);
+  meta.U64(config_.pbg_partitions);
+  meta.U64(config_.seed);
+  writer->AddSection(embedding::SectionTag::kTrainerMeta, std::move(meta));
+
+  embedding::AppendTableSection(writer, embedding::SectionTag::kEntityTable,
+                                entities_);
+  embedding::AppendTableSection(writer,
+                                embedding::SectionTag::kRelationTable,
+                                relations_);
+
+  ByteWriter state;
+  state.U64(epochs_done_);
+  state.F64(cumulative_seconds_);
+  state.F64(phase_.swap);
+  state.F64(phase_.compute);
+  state.F64(phase_.relation_sync);
+  rng_.SaveState(&state);
+  entity_opt_->SaveState(&state);
+  relation_opt_->SaveState(&state);
+  state.U64(machine_held_.size());
+  for (const std::vector<uint32_t>& held : machine_held_) {
+    state.U64(held.size());
+    for (uint32_t p : held) state.U32(p);
+  }
+  metrics_.SaveState(&state);
+  writer->AddSection(embedding::SectionTag::kPbgState, std::move(state));
+
+  ByteWriter cluster_state;
+  cluster_.SaveState(&cluster_state);
+  transport_.SaveState(&cluster_state);
+  writer->AddSection(embedding::SectionTag::kClusterState,
+                     std::move(cluster_state));
+}
+
+Status PbgEngine::SaveTrainState(const std::string& path) const {
+  embedding::CheckpointWriter writer;
+  BuildSnapshot(&writer);
+  return writer.WriteAtomic(path);
+}
+
+Status PbgEngine::RestoreFromFile(const std::string& path) {
+  HETKG_ASSIGN_OR_RETURN(const embedding::CheckpointReader reader,
+                         embedding::CheckpointReader::Open(path));
+  const std::string* meta =
+      reader.Find(embedding::SectionTag::kTrainerMeta);
+  if (meta == nullptr) {
+    return Status::Corruption("snapshot missing trainer meta section");
+  }
+  ByteReader mr(*meta);
+  const std::string snap_name = mr.Str();
+  const uint64_t machines = mr.U64();
+  const uint64_t dim = mr.U64();
+  const uint64_t relation_dim = mr.U64();
+  const uint64_t batch_size = mr.U64();
+  const uint64_t partitions = mr.U64();
+  const uint64_t seed = mr.U64();
+  if (!mr.ok() || mr.remaining() != 0) {
+    return Status::Corruption("bad trainer meta section");
+  }
+  if (snap_name != name() || machines != config_.num_machines ||
+      dim != config_.dim ||
+      relation_dim != score_fn_->RelationDim(config_.dim) ||
+      batch_size != config_.batch_size ||
+      partitions != config_.pbg_partitions || seed != config_.seed) {
+    return Status::FailedPrecondition(
+        "snapshot was written by a different training configuration");
+  }
+
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::EmbeddingTable entities,
+      ReadTableSection(reader, embedding::SectionTag::kEntityTable));
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::EmbeddingTable relations,
+      ReadTableSection(reader, embedding::SectionTag::kRelationTable));
+  if (entities.num_rows() != entities_.num_rows() ||
+      entities.dim() != entities_.dim() ||
+      relations.num_rows() != relations_.num_rows() ||
+      relations.dim() != relations_.dim()) {
+    return Status::Corruption("snapshot table shape mismatch");
+  }
+
+  const std::string* ps = reader.Find(embedding::SectionTag::kPbgState);
+  if (ps == nullptr) {
+    return Status::Corruption("snapshot missing PBG state section");
+  }
+  ByteReader sr(*ps);
+  const uint64_t epochs_done = sr.U64();
+  const double cumulative = sr.F64();
+  PhaseSeconds phase;
+  phase.swap = sr.F64();
+  phase.compute = sr.F64();
+  phase.relation_sync = sr.F64();
+  Rng rng(0);
+  embedding::AdaGrad entity_opt = *entity_opt_;
+  embedding::AdaGrad relation_opt = *relation_opt_;
+  if (!sr.ok() || !rng.LoadState(&sr) || !entity_opt.LoadState(&sr) ||
+      !relation_opt.LoadState(&sr)) {
+    return Status::Corruption("bad PBG state section");
+  }
+  const uint64_t held_count = sr.U64();
+  if (!sr.ok() || held_count != machine_held_.size()) {
+    return Status::Corruption("bad PBG state section");
+  }
+  std::vector<std::vector<uint32_t>> held(machine_held_.size());
+  for (std::vector<uint32_t>& partitions_held : held) {
+    const uint64_t n = sr.U64();
+    if (!sr.ok() || n > plan_.num_partitions) {
+      return Status::Corruption("bad PBG state section");
+    }
+    partitions_held.resize(n);
+    for (uint32_t& p : partitions_held) {
+      p = sr.U32();
+      if (!sr.ok() || p >= plan_.num_partitions) {
+        return Status::Corruption("bad PBG state section");
+      }
+    }
+  }
+  MetricRegistry metrics;
+  if (!metrics.LoadState(&sr) || sr.remaining() != 0) {
+    return Status::Corruption("bad PBG state section");
+  }
+
+  const std::string* cs =
+      reader.Find(embedding::SectionTag::kClusterState);
+  if (cs == nullptr) {
+    return Status::Corruption("snapshot missing cluster section");
+  }
+  ByteReader cr(*cs);
+  if (!cluster_.LoadState(&cr) || !transport_.LoadState(&cr) ||
+      cr.remaining() != 0) {
+    return Status::Corruption("bad cluster section");
+  }
+
+  entities_ = std::move(entities);
+  relations_ = std::move(relations);
+  lookup_ = TableLookup(&entities_, &relations_);
+  *entity_opt_ = std::move(entity_opt);
+  *relation_opt_ = std::move(relation_opt);
+  rng_ = rng;
+  machine_held_ = std::move(held);
+  metrics_ = std::move(metrics);
+  epochs_done_ = static_cast<size_t>(epochs_done);
+  cumulative_seconds_ = cumulative;
+  phase_ = phase;
+  resume_pending_ = true;
+  return Status::OK();
+}
+
+Status PbgEngine::RestoreTrainState(const std::string& path_or_dir) {
+  HETKG_ASSIGN_OR_RETURN(
+      const std::vector<std::string> candidates,
+      CheckpointManager::ResumeCandidates(path_or_dir));
+  Status last = Status::NotFound("no resume candidates");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Status status = RestoreFromFile(candidates[i]);
+    if (status.ok()) {
+      recovery_metrics_.Increment(metric::kCheckpointRestores);
+      obs::Tracer::Instant("ckpt.restore", "ckpt", "epoch",
+                           static_cast<double>(epochs_done_));
+      return status;
+    }
+    HETKG_LOG(Warning) << "snapshot " << candidates[i]
+                       << " rejected: " << status.ToString();
+    if (i + 1 < candidates.size()) {
+      recovery_metrics_.Increment(metric::kCheckpointFallbacks);
+    }
+    last = status;
+  }
+  return last;
 }
 
 }  // namespace hetkg::core

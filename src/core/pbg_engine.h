@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/checkpoint_manager.h"
 #include "core/parallel_batch.h"
 #include "core/trainer.h"
 #include "embedding/adagrad.h"
@@ -69,6 +70,17 @@ class PbgEngine : public TrainingEngine {
   /// shared filesystem, which the fault model treats as reliable.
   const sim::Transport& transport() const { return transport_; }
 
+  /// Crash recovery (DESIGN.md §9), at EPOCH granularity: PBG's unit of
+  /// durable progress is the completed epoch (partitions are saved back
+  /// to the shared filesystem between buckets, but the lock-server
+  /// schedule restarts per epoch). `checkpoint_every` counts epochs
+  /// here, not iterations.
+  Status SaveTrainState(const std::string& path) const override;
+  Status RestoreTrainState(const std::string& path_or_dir) override;
+  const MetricRegistry& RecoveryMetrics() const override {
+    return recovery_metrics_;
+  }
+
  private:
   PbgEngine(const TrainerConfig& config, const graph::KnowledgeGraph& graph);
   Status Setup(const std::vector<Triple>& train);
@@ -86,6 +98,21 @@ class PbgEngine : public TrainingEngine {
   /// Cumulative metric state for reports and time-series samples; see
   /// PsTrainingEngine::CollectObsMetrics for the contract.
   MetricRegistry CollectObsMetrics(double sim_seconds) const;
+
+  // -- Crash recovery internals (DESIGN.md §9) --------------------------
+
+  /// Appends meta + tables + kPbgState + kClusterState sections.
+  void BuildSnapshot(embedding::CheckpointWriter* writer) const;
+
+  /// Full-state restore from one snapshot file.
+  Status RestoreFromFile(const std::string& path);
+
+  /// Consumes due process-level fault events at a bucket boundary. A
+  /// kWorkerCrash drops the machine's resident partitions (they reload
+  /// from the shared filesystem on the next bucket — charged as a
+  /// normal swap); a kPsShardRestart is an instant + metric only, since
+  /// the shared relation PS mirrors weights every machine also holds.
+  void MaybeInjectProcessFaults();
 
   TrainerConfig config_;
   const graph::KnowledgeGraph& graph_;
@@ -105,6 +132,14 @@ class PbgEngine : public TrainingEngine {
   std::vector<std::vector<uint32_t>> machine_held_;  // Partitions held.
   Rng rng_{0};
   MetricRegistry metrics_;
+
+  // Crash recovery (epoch granularity). `epochs_done_` is the resume
+  // cursor; a restored engine's Train(n) continues at that epoch.
+  size_t epochs_done_ = 0;
+  double cumulative_seconds_ = 0.0;
+  bool resume_pending_ = false;
+  MetricRegistry recovery_metrics_;
+  std::unique_ptr<CheckpointManager> ckpt_manager_;
 
   // Observability (src/obs/); gated exactly like PsTrainingEngine.
   // PBG's Fig. 7 phases: partition swap, compute, dense relation sync.

@@ -74,6 +74,30 @@ uint64_t Prefetcher::PrefetchCountOnly(size_t window_iterations,
   return accesses;
 }
 
+void Prefetcher::SaveState(ByteWriter* w) const {
+  rng_.SaveState(w);
+  w->U64(cursor_);
+  w->U64(order_.size());
+  w->Raw(order_.data(), order_.size() * sizeof(uint32_t));
+}
+
+bool Prefetcher::LoadState(ByteReader* r) {
+  Rng rng = rng_;
+  if (!rng.LoadState(r)) return false;
+  const uint64_t cursor = r->U64();
+  const uint64_t size = r->U64();
+  if (!r->ok() || size != order_.size() || cursor > size) return false;
+  std::vector<uint32_t> order(size);
+  if (!r->ReadRaw(order.data(), size * sizeof(uint32_t))) return false;
+  for (uint32_t idx : order) {
+    if (idx >= local_triples_->size()) return false;
+  }
+  rng_ = rng;
+  cursor_ = cursor;
+  order_ = std::move(order);
+  return true;
+}
+
 uint64_t CountBatchAccesses(const MiniBatch& batch, FrequencyMap* freq) {
   uint64_t accesses = 0;
   auto touch = [&](EmbKey key) {

@@ -59,6 +59,13 @@ class Prefetcher {
   /// the number of accesses counted.
   uint64_t PrefetchCountOnly(size_t window_iterations, FrequencyMap* freq);
 
+  /// Serializes the sampling cursor (RNG stream, shuffled order, and
+  /// position) so a restored prefetcher deals the exact batch sequence
+  /// the saved one would have. The local triple list itself is rebuilt
+  /// by the engine's deterministic setup and is validated by size here.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
+
  private:
   /// Deals the next batch of positives, reshuffling at epoch wrap.
   void NextPositives(std::vector<Triple>* out);

@@ -161,31 +161,21 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
                     config_.heterogeneity_aware},
       graph_.num_entities(), graph_.num_relations());
   workers_.resize(config_.num_machines);
-  const std::vector<uint32_t> train_degrees =
-      config_.degree_weighted_negatives ? train_graph.EntityDegrees()
-                                        : std::vector<uint32_t>{};
+  train_degrees_ = config_.degree_weighted_negatives
+                       ? train_graph.EntityDegrees()
+                       : std::vector<uint32_t>{};
   Rng seeder(config_.seed ^ 0x5EED);
   for (uint32_t m = 0; m < config_.num_machines; ++m) {
     Worker& w = workers_[m];
     w.machine = m;
     w.triples = std::move(worker_triples[m]);
-    embedding::NegativeSamplerSpec sampler_spec;
-    sampler_spec.name = config_.negative_sampler;
-    sampler_spec.num_entities = graph_.num_entities();
-    sampler_spec.negatives_per_positive = config_.negatives_per_positive;
-    sampler_spec.chunk_size = config_.negative_chunk_size;
-    sampler_spec.seed = seeder.NextUint64();
-    sampler_spec.relation_corruption_prob =
-        config_.relation_corruption_prob;
-    sampler_spec.num_relations = graph_.num_relations();
-    if (config_.degree_weighted_negatives) {
-      sampler_spec.entity_degrees = &train_degrees;
-    }
-    HETKG_ASSIGN_OR_RETURN(w.sampler,
-                           embedding::MakeNegativeSampler(sampler_spec));
+    w.sampler_seed = seeder.NextUint64();
+    HETKG_ASSIGN_OR_RETURN(
+        w.sampler,
+        embedding::MakeNegativeSampler(SamplerSpecFor(w.sampler_seed)));
+    w.prefetch_seed = seeder.NextUint64();
     w.prefetcher = std::make_unique<Prefetcher>(
-        &w.triples, config_.batch_size, w.sampler.get(),
-        seeder.NextUint64());
+        &w.triples, config_.batch_size, w.sampler.get(), w.prefetch_seed);
     if (sync_.config().strategy != CacheStrategy::kNone) {
       w.cache = std::make_unique<HotEmbeddingTable>(
           quota.entity_slots, quota.relation_slots, config_.dim,
@@ -204,7 +194,36 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
   }
 
   obs_active_ = config_.obs.Enabled();
+
+  // Checkpoint directory: create, and sweep temp files orphaned by a
+  // crashed writer (they are never referenced by the manifest).
+  if (!config_.checkpoint_dir.empty()) {
+    ckpt_manager_ = std::make_unique<CheckpointManager>(
+        config_.checkpoint_dir, config_.keep_checkpoints);
+    HETKG_ASSIGN_OR_RETURN(const size_t orphan_temps,
+                           ckpt_manager_->Prepare());
+    if (orphan_temps > 0) {
+      recovery_metrics_.Increment(metric::kCheckpointOrphanTemps,
+                                  orphan_temps);
+    }
+  }
   return Status::OK();
+}
+
+embedding::NegativeSamplerSpec PsTrainingEngine::SamplerSpecFor(
+    uint64_t seed) const {
+  embedding::NegativeSamplerSpec spec;
+  spec.name = config_.negative_sampler;
+  spec.num_entities = graph_.num_entities();
+  spec.negatives_per_positive = config_.negatives_per_positive;
+  spec.chunk_size = config_.negative_chunk_size;
+  spec.seed = seed;
+  spec.relation_corruption_prob = config_.relation_corruption_prob;
+  spec.num_relations = graph_.num_relations();
+  if (config_.degree_weighted_negatives) {
+    spec.entity_degrees = &train_degrees_;
+  }
+  return spec;
 }
 
 void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
@@ -604,6 +623,9 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
   // Fault-free transports never touch a counter, so this merge leaves
   // plain reports byte-identical to the perfect-network behaviour.
   m.Merge(transport_.metrics());
+  // Same contract: checkpoint.saves/bytes and recovery.* exist only
+  // when checkpointing or process faults are configured.
+  m.Merge(engine_metrics_);
   uint64_t hits = total_hits_;
   uint64_t misses = total_misses_;
   for (const Worker& w : workers_) {
@@ -638,27 +660,55 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
   Stopwatch train_wall;
 
   TrainReport report;
-  double cumulative_seconds = 0.0;
-  for (size_t epoch = 0; epoch < num_epochs; ++epoch) {
+  size_t start_epoch = 0;
+  size_t resume_iter = 0;
+  bool resuming = false;
+  if (resume_pending_) {
+    // Continue the restored run: `num_epochs` counts from the start of
+    // training, and the snapshot's global iteration places us inside
+    // (or, for a snapshot taken right after an epoch's last iteration,
+    // at the still-pending boundary of) an epoch. The restored cluster
+    // clocks and loss accumulators continue that epoch bit-identically.
+    resume_pending_ = false;
+    resuming = true;
+    if (global_iteration_ > 0 &&
+        global_iteration_ % iterations_per_epoch_ == 0) {
+      start_epoch = global_iteration_ / iterations_per_epoch_ - 1;
+      resume_iter = iterations_per_epoch_;
+    } else {
+      start_epoch = global_iteration_ / iterations_per_epoch_;
+      resume_iter = global_iteration_ % iterations_per_epoch_;
+    }
+  } else {
+    cumulative_seconds_ = 0.0;
+  }
+  for (size_t epoch = start_epoch; epoch < num_epochs; ++epoch) {
     obs::TraceSpan epoch_span("ps.epoch", "ps");
     epoch_span.Arg("epoch", static_cast<double>(epoch));
-    cluster_.Reset();
-    double loss_sum = 0.0;
-    uint64_t pair_count = 0;
+    size_t iter_begin = 0;
+    if (resuming) {
+      resuming = false;
+      iter_begin = resume_iter;
+    } else {
+      cluster_.Reset();
+      epoch_loss_sum_ = 0.0;
+      epoch_pair_count_ = 0;
+    }
 
     Stopwatch wall;
-    for (size_t i = 0; i < iterations_per_epoch_; ++i) {
+    for (size_t i = iter_begin; i < iterations_per_epoch_; ++i) {
+      HETKG_RETURN_IF_ERROR(MaybeInjectProcessFaults());
       for (Worker& w : workers_) {
         const auto [loss, pairs] = Step(&w, global_iteration_);
-        loss_sum += loss;
-        pair_count += pairs;
+        epoch_loss_sum_ += loss;
+        epoch_pair_count_ += pairs;
       }
       ++global_iteration_;
       if (obs::Tracer::Enabled()) {
         // Counter tracks, sampled once per global iteration on the
         // scheduling thread.
         obs::Tracer::PublishSimSeconds(
-            cumulative_seconds + cluster_.CriticalPath().total_seconds());
+            cumulative_seconds_ + cluster_.CriticalPath().total_seconds());
         uint64_t hits = total_hits_;
         uint64_t misses = total_misses_;
         for (const Worker& w : workers_) {
@@ -684,10 +734,24 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
         sample.epoch = epoch;
         sample.iteration = i + 1;
         sample.sim_seconds =
-            cumulative_seconds + cluster_.CriticalPath().total_seconds();
+            cumulative_seconds_ + cluster_.CriticalPath().total_seconds();
         sample.wall_seconds = train_wall.ElapsedSeconds();
         sample.metrics = CollectObsMetrics(sample.sim_seconds);
         report.metrics_series.Add(std::move(sample));
+      }
+      if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0 &&
+          global_iteration_ % config_.checkpoint_every == 0) {
+        HETKG_RETURN_IF_ERROR(WritePeriodicCheckpoint());
+      }
+      if (config_.halt_after_iterations > 0 &&
+          global_iteration_ >= config_.halt_after_iterations) {
+        // Testing hook simulating a hard crash: stop mid-run without
+        // the epoch-boundary flush or report. The partial report only
+        // exists so callers can observe how far the run got.
+        report.overall_hit_ratio = OverallHitRatio();
+        report.metrics = CollectObsMetrics(
+            cumulative_seconds_ + cluster_.CriticalPath().total_seconds());
+        return report;
       }
     }
     // Epoch boundary: write-back gradients may not linger (validation
@@ -698,10 +762,12 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
 
     EpochReport er;
     er.epoch = epoch;
-    er.mean_loss = pair_count == 0 ? 0.0 : loss_sum / pair_count;
+    er.mean_loss = epoch_pair_count_ == 0
+                       ? 0.0
+                       : epoch_loss_sum_ / epoch_pair_count_;
     er.epoch_time = cluster_.CriticalPath();
-    cumulative_seconds += er.epoch_time.total_seconds();
-    er.cumulative_seconds = cumulative_seconds;
+    cumulative_seconds_ += er.epoch_time.total_seconds();
+    er.cumulative_seconds = cumulative_seconds_;
     er.wall_seconds = wall.ElapsedSeconds();
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -737,14 +803,14 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
       sample.kind = "epoch";
       sample.epoch = epoch;
       sample.iteration = iterations_per_epoch_;
-      sample.sim_seconds = cumulative_seconds;
+      sample.sim_seconds = cumulative_seconds_;
       sample.wall_seconds = train_wall.ElapsedSeconds();
-      sample.metrics = CollectObsMetrics(cumulative_seconds);
+      sample.metrics = CollectObsMetrics(cumulative_seconds_);
       report.metrics_series.Add(std::move(sample));
     }
   }
   report.overall_hit_ratio = OverallHitRatio();
-  report.metrics = CollectObsMetrics(cumulative_seconds);
+  report.metrics = CollectObsMetrics(cumulative_seconds_);
   if (trace_lease.owns()) {
     const uint64_t dropped = obs::Tracer::DroppedEvents();
     if (dropped > 0) {
@@ -764,6 +830,476 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
     }
   }
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (DESIGN.md §9).
+
+void PsTrainingEngine::BuildSnapshotSections(
+    embedding::CheckpointWriter* writer) const {
+  ByteWriter meta;
+  meta.Str(name());
+  meta.U64(config_.num_machines);
+  meta.U64(config_.dim);
+  meta.U64(server_->config().relation_dim);
+  meta.U64(config_.batch_size);
+  meta.U64(iterations_per_epoch_);
+  meta.U64(config_.seed);
+  writer->AddSection(embedding::SectionTag::kTrainerMeta, std::move(meta));
+
+  server_->SaveState(writer);
+
+  ByteWriter cluster_state;
+  cluster_.SaveState(&cluster_state);
+  transport_.SaveState(&cluster_state);
+  writer->AddSection(embedding::SectionTag::kClusterState,
+                     std::move(cluster_state));
+
+  for (const Worker& w : workers_) {
+    ByteWriter worker_state;
+    SaveWorkerState(w, &worker_state);
+    writer->AddSection(embedding::SectionTag::kWorker,
+                       std::move(worker_state));
+  }
+}
+
+void PsTrainingEngine::AppendEngineCountersSection(
+    embedding::CheckpointWriter* writer) const {
+  ByteWriter ec;
+  ec.U64(global_iteration_);
+  ec.U64(total_hits_);
+  ec.U64(total_misses_);
+  ec.F64(cumulative_seconds_);
+  ec.F64(epoch_loss_sum_);
+  ec.U64(epoch_pair_count_);
+  ec.F64(phase_.prefetch);
+  ec.F64(phase_.rebuild);
+  ec.F64(phase_.pull);
+  ec.F64(phase_.compute);
+  ec.F64(phase_.push);
+  engine_metrics_.SaveState(&ec);
+  obs_metrics_.SaveState(&ec);
+  writer->AddSection(embedding::SectionTag::kEngineCounters, std::move(ec));
+}
+
+void PsTrainingEngine::SaveWorkerState(const Worker& w,
+                                       ByteWriter* out) const {
+  out->U32(w.machine);
+  out->U64(w.hits);
+  out->U64(w.misses);
+  w.sampler->SaveState(out);
+  w.prefetcher->SaveState(out);
+
+  // Hash maps are serialized in sorted key order so the payload never
+  // depends on iteration order (the resume bit-identity contract).
+  std::vector<std::pair<EmbKey, uint64_t>> refresh(w.last_refresh.begin(),
+                                                   w.last_refresh.end());
+  std::sort(refresh.begin(), refresh.end());
+  out->U64(refresh.size());
+  for (const auto& [key, iter] : refresh) {
+    out->U64(key);
+    out->U64(iter);
+  }
+
+  std::vector<EmbKey> grad_keys;
+  grad_keys.reserve(w.pending_grads.size());
+  for (const auto& [key, grad] : w.pending_grads) {
+    grad_keys.push_back(key);
+  }
+  std::sort(grad_keys.begin(), grad_keys.end());
+  out->U64(grad_keys.size());
+  for (EmbKey key : grad_keys) {
+    out->U64(key);
+    out->FloatVec(w.pending_grads.at(key));
+  }
+
+  out->U64(w.batch_queue.size());
+  for (const MiniBatch& batch : w.batch_queue) {
+    out->U64(batch.positives.size());
+    for (const Triple& t : batch.positives) {
+      out->U32(t.head);
+      out->U32(t.relation);
+      out->U32(t.tail);
+    }
+    out->U64(batch.negatives.size());
+    for (const embedding::NegativeSample& n : batch.negatives) {
+      out->U32(n.positive_index);
+      out->U32(n.triple.head);
+      out->U32(n.triple.relation);
+      out->U32(n.triple.tail);
+      out->U8(static_cast<uint8_t>(n.corruption));
+    }
+  }
+
+  out->U8(w.cache != nullptr ? 1 : 0);
+  if (w.cache != nullptr) {
+    w.cache->SaveState(out);
+  }
+}
+
+bool PsTrainingEngine::LoadWorkerState(Worker* w, ByteReader* r) {
+  const uint64_t hits = r->U64();
+  const uint64_t misses = r->U64();
+  if (!r->ok()) return false;
+  if (!w->sampler->LoadState(r)) return false;
+  if (!w->prefetcher->LoadState(r)) return false;
+
+  auto valid_triple = [this](const Triple& t) {
+    return t.head < graph_.num_entities() && t.tail < graph_.num_entities() &&
+           t.relation < graph_.num_relations();
+  };
+
+  const uint64_t refresh_count = r->U64();
+  if (!r->ok() || refresh_count > r->remaining() / 16) return false;
+  std::unordered_map<EmbKey, size_t> last_refresh;
+  last_refresh.reserve(refresh_count * 2);
+  for (uint64_t i = 0; i < refresh_count; ++i) {
+    const EmbKey key = r->U64();
+    const uint64_t iter = r->U64();
+    if (!r->ok() ||
+        !last_refresh.emplace(key, static_cast<size_t>(iter)).second) {
+      return false;
+    }
+  }
+
+  const uint64_t grad_count = r->U64();
+  if (!r->ok() || grad_count > r->remaining() / 12) return false;
+  std::unordered_map<EmbKey, std::vector<float>> pending_grads;
+  pending_grads.reserve(grad_count * 2);
+  for (uint64_t i = 0; i < grad_count; ++i) {
+    const EmbKey key = r->U64();
+    std::vector<float> grad = r->FloatVec();
+    if (!r->ok() || grad.size() != server_->RowDim(key) ||
+        !pending_grads.emplace(key, std::move(grad)).second) {
+      return false;
+    }
+  }
+
+  const uint64_t queue_len = r->U64();
+  if (!r->ok() || queue_len > r->remaining()) return false;
+  std::deque<MiniBatch> batch_queue;
+  for (uint64_t b = 0; b < queue_len; ++b) {
+    MiniBatch batch;
+    const uint64_t num_pos = r->U64();
+    if (!r->ok() || num_pos > r->remaining() / 12) return false;
+    batch.positives.resize(num_pos);
+    for (Triple& t : batch.positives) {
+      t.head = r->U32();
+      t.relation = r->U32();
+      t.tail = r->U32();
+      if (!r->ok() || !valid_triple(t)) return false;
+    }
+    const uint64_t num_neg = r->U64();
+    if (!r->ok() || num_neg > r->remaining() / 17) return false;
+    batch.negatives.resize(num_neg);
+    for (embedding::NegativeSample& n : batch.negatives) {
+      n.positive_index = r->U32();
+      n.triple.head = r->U32();
+      n.triple.relation = r->U32();
+      n.triple.tail = r->U32();
+      const uint8_t corruption = r->U8();
+      if (!r->ok() || corruption > 2 || !valid_triple(n.triple) ||
+          n.positive_index >= batch.positives.size()) {
+        return false;
+      }
+      n.corruption = static_cast<embedding::Corruption>(corruption);
+    }
+    batch_queue.push_back(std::move(batch));
+  }
+
+  const uint8_t has_cache = r->U8();
+  if (!r->ok() || (has_cache != 0) != (w->cache != nullptr)) return false;
+  if (w->cache != nullptr && !w->cache->LoadState(r)) return false;
+
+  w->hits = hits;
+  w->misses = misses;
+  w->last_refresh = std::move(last_refresh);
+  w->pending_grads = std::move(pending_grads);
+  w->batch_queue = std::move(batch_queue);
+  return true;
+}
+
+Status PsTrainingEngine::SaveTrainState(const std::string& path) const {
+  embedding::CheckpointWriter writer;
+  BuildSnapshotSections(&writer);
+  AppendEngineCountersSection(&writer);
+  return writer.WriteAtomic(path);
+}
+
+Status PsTrainingEngine::WritePeriodicCheckpoint() {
+  obs::TraceSpan span("ckpt.save", "ckpt");
+  span.Arg("iteration", static_cast<double>(global_iteration_));
+  embedding::CheckpointWriter writer;
+  BuildSnapshotSections(&writer);
+  // The save counters go INSIDE the snapshot, so a resumed run's
+  // counters match the uninterrupted run's. checkpoint.bytes counts the
+  // state-section payload (the engine-counter section is excluded to
+  // break the self-reference of a counter stored inside the file whose
+  // size it measures).
+  engine_metrics_.Increment(metric::kCheckpointSaves);
+  engine_metrics_.Increment(metric::kCheckpointBytes,
+                            writer.payload_bytes());
+  AppendEngineCountersSection(&writer);
+  HETKG_RETURN_IF_ERROR(
+      writer.WriteAtomic(ckpt_manager_->SnapshotPath(global_iteration_)));
+  return ckpt_manager_->Commit(global_iteration_);
+}
+
+Status PsTrainingEngine::RestoreFromFile(const std::string& path) {
+  HETKG_ASSIGN_OR_RETURN(const embedding::CheckpointReader reader,
+                         embedding::CheckpointReader::Open(path));
+  const std::string* meta =
+      reader.Find(embedding::SectionTag::kTrainerMeta);
+  if (meta == nullptr) {
+    return Status::Corruption("snapshot missing trainer meta section");
+  }
+  ByteReader mr(*meta);
+  const std::string snap_name = mr.Str();
+  const uint64_t machines = mr.U64();
+  const uint64_t dim = mr.U64();
+  const uint64_t relation_dim = mr.U64();
+  const uint64_t batch_size = mr.U64();
+  const uint64_t ipe = mr.U64();
+  const uint64_t seed = mr.U64();
+  if (!mr.ok() || mr.remaining() != 0) {
+    return Status::Corruption("bad trainer meta section");
+  }
+  if (snap_name != name() || machines != config_.num_machines ||
+      dim != config_.dim ||
+      relation_dim != server_->config().relation_dim ||
+      batch_size != config_.batch_size || ipe != iterations_per_epoch_ ||
+      seed != config_.seed) {
+    return Status::FailedPrecondition(
+        "snapshot was written by a different training configuration");
+  }
+
+  HETKG_RETURN_IF_ERROR(server_->LoadState(reader));
+
+  const std::string* cs =
+      reader.Find(embedding::SectionTag::kClusterState);
+  if (cs == nullptr) {
+    return Status::Corruption("snapshot missing cluster section");
+  }
+  ByteReader cr(*cs);
+  if (!cluster_.LoadState(&cr) || !transport_.LoadState(&cr) ||
+      cr.remaining() != 0) {
+    return Status::Corruption("bad cluster section");
+  }
+
+  const std::string* ec =
+      reader.Find(embedding::SectionTag::kEngineCounters);
+  if (ec == nullptr) {
+    return Status::Corruption("snapshot missing engine section");
+  }
+  ByteReader er(*ec);
+  const uint64_t giter = er.U64();
+  const uint64_t hits = er.U64();
+  const uint64_t misses = er.U64();
+  const double cumulative = er.F64();
+  const double epoch_loss = er.F64();
+  const uint64_t epoch_pairs = er.U64();
+  PhaseSeconds phase;
+  phase.prefetch = er.F64();
+  phase.rebuild = er.F64();
+  phase.pull = er.F64();
+  phase.compute = er.F64();
+  phase.push = er.F64();
+  MetricRegistry engine_metrics;
+  MetricRegistry obs_metrics;
+  if (!er.ok() || !engine_metrics.LoadState(&er) ||
+      !obs_metrics.LoadState(&er) || er.remaining() != 0) {
+    return Status::Corruption("bad engine section");
+  }
+
+  const std::vector<const std::string*> sections =
+      reader.FindAll(embedding::SectionTag::kWorker);
+  if (sections.size() != workers_.size()) {
+    return Status::Corruption("worker section count mismatch");
+  }
+  std::vector<char> seen(workers_.size(), 0);
+  for (const std::string* payload : sections) {
+    ByteReader wr(*payload);
+    const uint32_t m = wr.U32();
+    if (!wr.ok() || m >= workers_.size() || seen[m]) {
+      return Status::Corruption("bad worker section id");
+    }
+    seen[m] = 1;
+    if (!LoadWorkerState(&workers_[m], &wr) || wr.remaining() != 0) {
+      return Status::Corruption("bad worker section");
+    }
+  }
+
+  global_iteration_ = static_cast<size_t>(giter);
+  total_hits_ = hits;
+  total_misses_ = misses;
+  cumulative_seconds_ = cumulative;
+  epoch_loss_sum_ = epoch_loss;
+  epoch_pair_count_ = epoch_pairs;
+  phase_ = phase;
+  engine_metrics_ = std::move(engine_metrics);
+  obs_metrics_ = std::move(obs_metrics);
+  resume_pending_ = true;
+  return Status::OK();
+}
+
+Status PsTrainingEngine::RestoreTrainState(const std::string& path_or_dir) {
+  HETKG_ASSIGN_OR_RETURN(
+      const std::vector<std::string> candidates,
+      CheckpointManager::ResumeCandidates(path_or_dir));
+  Status last = Status::NotFound("no resume candidates");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Status status = RestoreFromFile(candidates[i]);
+    if (status.ok()) {
+      recovery_metrics_.Increment(metric::kCheckpointRestores);
+      obs::Tracer::Instant("ckpt.restore", "ckpt", "iteration",
+                           static_cast<double>(global_iteration_));
+      return status;
+    }
+    HETKG_LOG(Warning) << "snapshot " << candidates[i]
+                       << " rejected: " << status.ToString();
+    if (i + 1 < candidates.size()) {
+      recovery_metrics_.Increment(metric::kCheckpointFallbacks);
+    }
+    last = status;
+  }
+  return last;
+}
+
+Result<embedding::CheckpointReader> PsTrainingEngine::OpenLatestSnapshot() {
+  if (ckpt_manager_ == nullptr) {
+    return Status::NotFound("checkpointing is not configured");
+  }
+  HETKG_ASSIGN_OR_RETURN(
+      const std::vector<std::string> candidates,
+      CheckpointManager::ResumeCandidates(ckpt_manager_->dir()));
+  Status last = Status::NotFound("no snapshots available");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    Result<embedding::CheckpointReader> reader =
+        embedding::CheckpointReader::Open(candidates[i]);
+    if (reader.ok()) return reader;
+    HETKG_LOG(Warning) << "snapshot " << candidates[i]
+                       << " rejected: " << reader.status().ToString();
+    if (i + 1 < candidates.size()) {
+      recovery_metrics_.Increment(metric::kCheckpointFallbacks);
+    }
+    last = reader.status();
+  }
+  return last;
+}
+
+Status PsTrainingEngine::MaybeInjectProcessFaults() {
+  if (!transport_.HasPendingProcessFaults()) return Status::OK();
+  for (const sim::ProcessFault& fault : transport_.TakeDueProcessFaults()) {
+    if (fault.machine >= workers_.size()) {
+      return Status::OutOfRange("process fault machine out of range");
+    }
+    switch (fault.kind) {
+      case sim::ProcessFaultKind::kWorkerCrash:
+        HETKG_RETURN_IF_ERROR(RecoverWorker(fault.machine));
+        break;
+      case sim::ProcessFaultKind::kPsShardRestart: {
+        obs::Tracer::Instant("recovery.ps_shard_restart", "recovery",
+                             "machine",
+                             static_cast<double>(fault.machine));
+        Result<embedding::CheckpointReader> snapshot = OpenLatestSnapshot();
+        HETKG_RETURN_IF_ERROR(server_->RestartShard(
+            fault.machine, snapshot.ok() ? &snapshot.value() : nullptr));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PsTrainingEngine::RecoverWorker(uint32_t machine) {
+  obs::TraceSpan span("recovery.worker_crash", "recovery");
+  span.Arg("machine", static_cast<double>(machine));
+  Worker& w = workers_[machine];
+  engine_metrics_.Increment(metric::kRecoveryWorkerCrashes);
+
+  // Everything the worker process held in memory dies with it.
+  if (w.cache != nullptr) w.cache->DropAll();
+  w.batch_queue.clear();
+  w.pending_grads.clear();
+  w.last_refresh.clear();
+
+  Result<embedding::CheckpointReader> snapshot = OpenLatestSnapshot();
+  if (snapshot.ok()) {
+    const embedding::CheckpointReader& reader = snapshot.value();
+    const std::string* ec =
+        reader.Find(embedding::SectionTag::kEngineCounters);
+    if (ec == nullptr) {
+      return Status::Corruption("snapshot missing engine section");
+    }
+    ByteReader er(*ec);
+    const uint64_t snap_iter = er.U64();
+    if (!er.ok() || snap_iter > global_iteration_) {
+      return Status::Corruption("snapshot is ahead of the running trainer");
+    }
+    bool found = false;
+    for (const std::string* payload :
+         reader.FindAll(embedding::SectionTag::kWorker)) {
+      ByteReader wr(*payload);
+      if (wr.U32() != machine) continue;
+      if (!LoadWorkerState(&w, &wr) || wr.remaining() != 0) {
+        return Status::Corruption("bad worker section");
+      }
+      found = true;
+      break;
+    }
+    if (!found) {
+      return Status::Corruption("snapshot missing crashed worker section");
+    }
+    const std::string* rt = reader.Find(embedding::SectionTag::kPsRuntime);
+    if (rt == nullptr) {
+      return Status::Corruption("snapshot missing PS runtime section");
+    }
+    ByteReader rr(*rt);
+    const std::vector<uint64_t> snap_push_seq = rr.U64Vec();
+    if (!rr.ok() || machine >= snap_push_seq.size()) {
+      return Status::Corruption("bad PS runtime section");
+    }
+    // Replay the iterations since the snapshot. The rewound sequence
+    // numbers plus the server's replay mode make every replayed push a
+    // no-op on the global tables; losses were already accumulated by
+    // the pre-crash execution, so they are discarded here.
+    server_->BeginWorkerReplay(machine, snap_push_seq[machine]);
+    for (uint64_t iter = snap_iter; iter < global_iteration_; ++iter) {
+      Step(&w, static_cast<size_t>(iter));
+      if ((iter + 1) % iterations_per_epoch_ == 0) {
+        // The original execution flushed write-back gradients at the
+        // epoch boundary; replay must track that bookkeeping too.
+        FlushPendingGradients(&w);
+      }
+    }
+    server_->EndWorkerReplay(machine);
+    engine_metrics_.Increment(metric::kRecoveryReplayedIterations,
+                              global_iteration_ - snap_iter);
+    return Status::OK();
+  }
+
+  // No snapshot: restart the worker from scratch. The sampling pipeline
+  // is rebuilt from its original seeds (deterministic, though its
+  // cursor restarts), consumed sequence numbers are never reused, and a
+  // cache-carrying worker rebuilds its hot set immediately — CPS would
+  // otherwise never reconstruct after iteration 0.
+  HETKG_LOG(Warning) << "worker " << machine
+                     << " crashed with no snapshot available ("
+                     << snapshot.status().ToString()
+                     << "); restarting from scratch";
+  w.hits = 0;
+  w.misses = 0;
+  HETKG_ASSIGN_OR_RETURN(
+      w.sampler,
+      embedding::MakeNegativeSampler(SamplerSpecFor(w.sampler_seed)));
+  w.prefetcher = std::make_unique<Prefetcher>(
+      &w.triples, config_.batch_size, w.sampler.get(), w.prefetch_seed);
+  server_->FastForwardPushSeq(machine, server_->applied_push_seq(machine));
+  if (w.cache != nullptr) {
+    ConstructHotSet(&w, sync_.config().strategy == CacheStrategy::kCps,
+                    global_iteration_);
+  }
+  return Status::OK();
 }
 
 }  // namespace hetkg::core

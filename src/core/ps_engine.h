@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/checkpoint_manager.h"
 #include "core/hot_embedding_table.h"
 #include "core/parallel_batch.h"
 #include "core/prefetcher.h"
@@ -82,6 +83,13 @@ class PsTrainingEngine : public TrainingEngine {
   /// benches/tests that inspect retry and degradation counters).
   const sim::Transport& transport() const { return transport_; }
 
+  /// Crash recovery (DESIGN.md §9): full-training-state snapshots.
+  Status SaveTrainState(const std::string& path) const override;
+  Status RestoreTrainState(const std::string& path_or_dir) override;
+  const MetricRegistry& RecoveryMetrics() const override {
+    return recovery_metrics_;
+  }
+
  private:
   struct Worker {
     uint32_t machine = 0;
@@ -92,6 +100,10 @@ class PsTrainingEngine : public TrainingEngine {
     std::deque<MiniBatch> batch_queue;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Construction seeds, kept so an in-sim worker crash with no
+    /// snapshot can rebuild its sampling pipeline deterministically.
+    uint64_t sampler_seed = 0;
+    uint64_t prefetch_seed = 0;
     /// kOnAccess refresh bookkeeping: iteration of each cached row's
     /// last pull from the PS.
     std::unordered_map<EmbKey, size_t> last_refresh;
@@ -136,6 +148,42 @@ class PsTrainingEngine : public TrainingEngine {
   /// `sim_seconds` is the cumulative critical-path time at the sample.
   MetricRegistry CollectObsMetrics(double sim_seconds) const;
 
+  // -- Crash recovery internals (DESIGN.md §9) --------------------------
+
+  /// The sampler spec Setup() would build for `seed` (shared by setup
+  /// and the no-snapshot worker recovery path).
+  embedding::NegativeSamplerSpec SamplerSpecFor(uint64_t seed) const;
+
+  /// Appends meta + PS + cluster/transport + per-worker sections.
+  void BuildSnapshotSections(embedding::CheckpointWriter* writer) const;
+
+  /// Appends the engine-counter section (always last: its payload size
+  /// is excluded from the checkpoint.bytes accounting, breaking the
+  /// self-reference of a counter stored inside the file it measures).
+  void AppendEngineCountersSection(embedding::CheckpointWriter* writer) const;
+
+  void SaveWorkerState(const Worker& w, ByteWriter* out) const;
+  /// `r` is positioned after the leading worker id.
+  bool LoadWorkerState(Worker* w, ByteReader* r);
+
+  /// Full-state restore from one snapshot file.
+  Status RestoreFromFile(const std::string& path);
+
+  /// Periodic save: counters, snapshot write, manifest commit.
+  Status WritePeriodicCheckpoint();
+
+  /// Newest snapshot readable from checkpoint_dir (manifest fallback on
+  /// corruption); NotFound when checkpointing is off or nothing saved.
+  Result<embedding::CheckpointReader> OpenLatestSnapshot();
+
+  /// Consumes due process-level fault events at an iteration boundary.
+  Status MaybeInjectProcessFaults();
+
+  /// kWorkerCrash handler: drops the worker's volatile state, then
+  /// restores from the latest snapshot + idempotent replay, or rebuilds
+  /// from seeds when no snapshot exists.
+  Status RecoverWorker(uint32_t machine);
+
   TrainerConfig config_;
   SyncController sync_;
   const graph::KnowledgeGraph& graph_;
@@ -152,6 +200,26 @@ class PsTrainingEngine : public TrainingEngine {
   size_t global_iteration_ = 0;
   uint64_t total_hits_ = 0;
   uint64_t total_misses_ = 0;
+
+  // Crash recovery. The run-cursor members below were Train() locals
+  // before snapshots existed; they are engine state now so a mid-epoch
+  // resume continues the epoch's accumulation bit-identically.
+  double cumulative_seconds_ = 0.0;
+  double epoch_loss_sum_ = 0.0;
+  uint64_t epoch_pair_count_ = 0;
+  /// Set only by RestoreTrainState; the next Train() starts mid-run.
+  bool resume_pending_ = false;
+  /// checkpoint.*/recovery.* counters that live INSIDE the training
+  /// snapshot (both the crashed and the reference run take the same
+  /// schedule, so merging them into reports keeps bit-identity).
+  MetricRegistry engine_metrics_;
+  /// Process-local restore/fallback/orphan counters — never serialized,
+  /// never merged into reports (see TrainingEngine::RecoveryMetrics).
+  MetricRegistry recovery_metrics_;
+  std::unique_ptr<CheckpointManager> ckpt_manager_;
+  /// Degree table for rebuilding degree-weighted samplers on recovery
+  /// (empty unless config_.degree_weighted_negatives).
+  std::vector<uint32_t> train_degrees_;
 
   // Observability (src/obs/). `obs_active_` is latched from
   // config_.obs at setup; every instrumentation branch below is gated

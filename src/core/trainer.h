@@ -83,6 +83,26 @@ struct TrainerConfig {
   /// layer.
   obs::ObsConfig obs;
   uint64_t seed = 1234;
+
+  // -- Crash recovery (DESIGN.md §9) ------------------------------------
+
+  /// Directory receiving periodic HETKGCK2 full-training-state
+  /// snapshots plus their MANIFEST. Empty disables checkpointing (and
+  /// keeps runs bit-identical to a build without it).
+  std::string checkpoint_dir;
+  /// Snapshot every N global iterations (0 disables periodic saves).
+  size_t checkpoint_every = 0;
+  /// Retained manifest entries; older snapshots are pruned (0 = all).
+  size_t keep_checkpoints = 3;
+  /// Resume source: a snapshot file, or a checkpoint directory whose
+  /// manifest picks the newest valid snapshot (falling back to older
+  /// entries on corruption). Empty starts fresh.
+  std::string resume_from;
+  /// Testing hook simulating a hard crash: Train() returns after this
+  /// many global iterations without flushing caches or finishing the
+  /// epoch (0 = run to completion). The partial report carries whatever
+  /// epochs completed.
+  size_t halt_after_iterations = 0;
 };
 
 /// Per-epoch observables. Times are the simulated cluster critical path
@@ -133,6 +153,34 @@ class TrainingEngine {
 
   /// Scoring model in use (for evaluation).
   virtual const embedding::ScoreFunction& ScoreFn() const = 0;
+
+  /// Writes the engine's complete training state to `path` as a
+  /// HETKGCK2 snapshot (DESIGN.md §9). Engines that do not implement
+  /// crash recovery return Unimplemented.
+  virtual Status SaveTrainState(const std::string& path) const {
+    (void)path;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support training snapshots");
+  }
+
+  /// Restores the state written by SaveTrainState. `path_or_dir` is a
+  /// snapshot file or a checkpoint directory (newest valid manifest
+  /// entry wins; corrupt entries fall back to older ones). Must be
+  /// called before Train(); the next Train() continues mid-run.
+  virtual Status RestoreTrainState(const std::string& path_or_dir) {
+    (void)path_or_dir;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support training snapshots");
+  }
+
+  /// Process-local restore/fallback/orphan-sweep counters. These stay
+  /// outside TrainReport::metrics because a resumed run restores once
+  /// while the uninterrupted reference run never does — folding them in
+  /// would break the bit-identity contract the snapshots exist to keep.
+  virtual const MetricRegistry& RecoveryMetrics() const {
+    static const MetricRegistry kEmpty;
+    return kEmpty;
+  }
 };
 
 /// Snapshots an engine's trained global embeddings to `path` (see

@@ -1,9 +1,12 @@
 #ifndef HETKG_EMBEDDING_ADAGRAD_H_
 #define HETKG_EMBEDDING_ADAGRAD_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "common/serialize.h"
 
 namespace hetkg::embedding {
 
@@ -33,6 +36,11 @@ class AdaGrad {
     return {accum_.data() + i * dim_, dim_};
   }
 
+  /// Overwrites one row's accumulator (row-granular shard restore).
+  void SetAccumulatorRow(size_t i, std::span<const float> value) {
+    std::copy(value.begin(), value.end(), accum_.begin() + i * dim_);
+  }
+
   /// Clears one row's accumulator (used when a cache slot is reassigned
   /// to a different embedding).
   void ResetRow(size_t i);
@@ -40,6 +48,16 @@ class AdaGrad {
   /// Memory held by the optimizer state (the paper notes AdaGrad's
   /// extra memory cost in Sec. VI-A).
   size_t SizeBytes() const { return accum_.size() * sizeof(float); }
+
+  /// Accumulator round-trip for the HETKGCK2 training snapshots (shape
+  /// parameters come from config; only the accumulators are state).
+  void SaveState(ByteWriter* w) const { w->FloatVec(accum_); }
+  bool LoadState(ByteReader* r) {
+    std::vector<float> accum = r->FloatVec();
+    if (!r->ok() || accum.size() != accum_.size()) return false;
+    accum_ = std::move(accum);
+    return true;
+  }
 
  private:
   size_t dim_;

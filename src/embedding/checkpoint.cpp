@@ -5,15 +5,23 @@
 #include <fstream>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace hetkg::embedding {
 
 namespace {
 
-constexpr char kMagic[8] = {'H', 'E', 'T', 'K', 'G', 'C', 'K', '1'};
+constexpr char kMagicV1[8] = {'H', 'E', 'T', 'K', 'G', 'C', 'K', '1'};
+constexpr char kMagicV2[8] = {'H', 'E', 'T', 'K', 'G', 'C', 'K', '2'};
 
-/// Order-sensitive 64-bit mix over the payload, cheap but sensitive to
-/// any flipped byte.
-uint64_t ChecksumRows(const EmbeddingTable& table, uint64_t state) {
+// Refuse absurd shapes before allocating.
+constexpr uint64_t kMaxElements = 1ULL << 36;  // 256 GiB of floats.
+// Structural cap on one section (same bound, in bytes).
+constexpr uint64_t kMaxSectionBytes = kMaxElements * sizeof(float);
+
+/// Order-sensitive 64-bit mix over the payload — the legacy HETKGCK1
+/// checksum, kept for read-compat only.
+uint64_t ChecksumRowsV1(const EmbeddingTable& table, uint64_t state) {
   for (size_t i = 0; i < table.num_rows(); ++i) {
     for (float v : table.Row(i)) {
       uint32_t bits = 0;
@@ -24,24 +32,12 @@ uint64_t ChecksumRows(const EmbeddingTable& table, uint64_t state) {
   return state;
 }
 
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
 bool ReadU64(std::ifstream& in, uint64_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return static_cast<bool>(in);
 }
 
-void WriteRows(std::ofstream& out, const EmbeddingTable& table) {
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    const auto row = table.Row(i);
-    out.write(reinterpret_cast<const char*>(row.data()),
-              static_cast<std::streamsize>(row.size() * sizeof(float)));
-  }
-}
-
-bool ReadRows(std::ifstream& in, EmbeddingTable* table) {
+bool ReadRowsV1(std::ifstream& in, EmbeddingTable* table) {
   std::vector<float> row(table->dim());
   for (size_t i = 0; i < table->num_rows(); ++i) {
     in.read(reinterpret_cast<char*>(row.data()),
@@ -52,47 +48,9 @@ bool ReadRows(std::ifstream& in, EmbeddingTable* table) {
   return true;
 }
 
-}  // namespace
-
-Status SaveCheckpoint(const std::string& path, const EmbeddingTable& entities,
-                      const EmbeddingTable& relations) {
-  const std::string tmp_path = path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + tmp_path + " for writing");
-    }
-    out.write(kMagic, sizeof(kMagic));
-    WriteU64(out, entities.num_rows());
-    WriteU64(out, entities.dim());
-    WriteU64(out, relations.num_rows());
-    WriteU64(out, relations.dim());
-    WriteRows(out, entities);
-    WriteRows(out, relations);
-    uint64_t checksum = 0xCBF29CE484222325ULL;
-    checksum = ChecksumRows(entities, checksum);
-    checksum = ChecksumRows(relations, checksum);
-    WriteU64(out, checksum);
-    if (!out) {
-      return Status::IoError("short write to " + tmp_path);
-    }
-  }
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    return Status::IoError("cannot rename " + tmp_path + " to " + path);
-  }
-  return Status::OK();
-}
-
-Result<Checkpoint> LoadCheckpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError("cannot open " + path);
-  }
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad checkpoint magic in " + path);
-  }
+/// Legacy fixed-layout reader (magic already consumed).
+Result<Checkpoint> LoadCheckpointV1(std::ifstream& in,
+                                    const std::string& path) {
   uint64_t num_entities = 0;
   uint64_t entity_dim = 0;
   uint64_t num_relations = 0;
@@ -105,8 +63,6 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
       relation_dim == 0) {
     return Status::Corruption("zero-sized table in checkpoint header");
   }
-  // Refuse absurd shapes before allocating.
-  constexpr uint64_t kMaxElements = 1ULL << 36;  // 256 GiB of floats.
   if (num_entities * entity_dim > kMaxElements ||
       num_relations * relation_dim > kMaxElements) {
     return Status::Corruption("implausible checkpoint shape");
@@ -115,7 +71,7 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   Checkpoint ck;
   ck.entities = EmbeddingTable(num_entities, entity_dim);
   ck.relations = EmbeddingTable(num_relations, relation_dim);
-  if (!ReadRows(in, &ck.entities) || !ReadRows(in, &ck.relations)) {
+  if (!ReadRowsV1(in, &ck.entities) || !ReadRowsV1(in, &ck.relations)) {
     return Status::Corruption("truncated checkpoint payload in " + path);
   }
   uint64_t stored_checksum = 0;
@@ -123,11 +79,201 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
     return Status::Corruption("missing checkpoint checksum in " + path);
   }
   uint64_t checksum = 0xCBF29CE484222325ULL;
-  checksum = ChecksumRows(ck.entities, checksum);
-  checksum = ChecksumRows(ck.relations, checksum);
+  checksum = ChecksumRowsV1(ck.entities, checksum);
+  checksum = ChecksumRowsV1(ck.relations, checksum);
   if (checksum != stored_checksum) {
     return Status::Corruption("checkpoint checksum mismatch in " + path);
   }
+  return ck;
+}
+
+Result<EmbeddingTable> DecodeTableSection(const std::string& payload) {
+  ByteReader r(payload);
+  const uint64_t num_rows = r.U64();
+  const uint64_t dim = r.U64();
+  if (!r.ok() || num_rows == 0 || dim == 0 ||
+      num_rows * dim > kMaxElements) {
+    return Status::Corruption("implausible checkpoint table shape");
+  }
+  EmbeddingTable table(num_rows, dim);
+  std::vector<float> row(dim);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    if (!r.ReadRaw(row.data(), dim * sizeof(float))) {
+      return Status::Corruption("truncated checkpoint table section");
+    }
+    table.SetRow(i, row);
+  }
+  return table;
+}
+
+}  // namespace
+
+void CheckpointWriter::AddSection(SectionTag tag, ByteWriter payload) {
+  Section section;
+  section.tag = static_cast<uint32_t>(tag);
+  section.payload = payload.buffer();
+  payload_bytes_ += section.payload.size();
+  sections_.push_back(std::move(section));
+}
+
+Status CheckpointWriter::WriteAtomic(const std::string& path) const {
+  // Assemble the whole file in memory: checkpoints are bounded by the
+  // training state itself, and a single buffered write keeps the
+  // temp-file window (the only non-atomic step) minimal.
+  std::string blob;
+  blob.append(kMagicV2, sizeof(kMagicV2));
+  const uint64_t count = sections_.size();
+  blob.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Section& section : sections_) {
+    const uint32_t reserved = 0;
+    const uint64_t len = section.payload.size();
+    blob.append(reinterpret_cast<const char*>(&section.tag),
+                sizeof(section.tag));
+    blob.append(reinterpret_cast<const char*>(&reserved), sizeof(reserved));
+    blob.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    blob.append(section.payload);
+  }
+  const uint32_t crc = Crc32(blob.data(), blob.size());
+  blob.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp_path + " for writing");
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      return Status::IoError("short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<CheckpointReader> CheckpointReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IoError("read failed for " + path);
+  }
+  if (blob.size() < sizeof(kMagicV2) + sizeof(uint64_t) + sizeof(uint32_t)) {
+    return Status::Corruption("checkpoint too small: " + path);
+  }
+  if (std::memcmp(blob.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, blob.data() + blob.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  const uint32_t crc =
+      Crc32(blob.data(), blob.size() - sizeof(stored_crc));
+  if (crc != stored_crc) {
+    return Status::Corruption("checkpoint CRC mismatch in " + path);
+  }
+
+  ByteReader r(blob.data() + sizeof(kMagicV2),
+               blob.size() - sizeof(kMagicV2) - sizeof(stored_crc));
+  const uint64_t count = r.U64();
+  CheckpointReader reader;
+  for (uint64_t i = 0; i < count; ++i) {
+    Section section;
+    section.tag = r.U32();
+    const uint32_t reserved = r.U32();
+    const uint64_t len = r.U64();
+    if (!r.ok() || reserved != 0 || len > kMaxSectionBytes ||
+        len > r.remaining()) {
+      return Status::Corruption("malformed checkpoint section in " + path);
+    }
+    section.payload.resize(len);
+    r.ReadRaw(section.payload.data(), len);
+    reader.sections_.push_back(std::move(section));
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Status::Corruption("trailing bytes in checkpoint " + path);
+  }
+  return reader;
+}
+
+const std::string* CheckpointReader::Find(SectionTag tag) const {
+  for (const Section& section : sections_) {
+    if (section.tag == static_cast<uint32_t>(tag)) return &section.payload;
+  }
+  return nullptr;
+}
+
+std::vector<const std::string*> CheckpointReader::FindAll(
+    SectionTag tag) const {
+  std::vector<const std::string*> out;
+  for (const Section& section : sections_) {
+    if (section.tag == static_cast<uint32_t>(tag)) {
+      out.push_back(&section.payload);
+    }
+  }
+  return out;
+}
+
+void AppendTableSection(CheckpointWriter* writer, SectionTag tag,
+                        const EmbeddingTable& table) {
+  ByteWriter w;
+  w.U64(table.num_rows());
+  w.U64(table.dim());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto row = table.Row(i);
+    w.Raw(row.data(), row.size() * sizeof(float));
+  }
+  writer->AddSection(tag, std::move(w));
+}
+
+Result<EmbeddingTable> ReadTableSection(const CheckpointReader& reader,
+                                        SectionTag tag) {
+  const std::string* payload = reader.Find(tag);
+  if (payload == nullptr) {
+    return Status::Corruption("checkpoint is missing table section " +
+                              std::to_string(static_cast<uint32_t>(tag)));
+  }
+  return DecodeTableSection(*payload);
+}
+
+Status SaveCheckpoint(const std::string& path, const EmbeddingTable& entities,
+                      const EmbeddingTable& relations) {
+  CheckpointWriter writer;
+  AppendTableSection(&writer, SectionTag::kEntityTable, entities);
+  AppendTableSection(&writer, SectionTag::kRelationTable, relations);
+  return writer.WriteAtomic(path);
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot open " + path);
+    }
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in) {
+      return Status::Corruption("bad checkpoint magic in " + path);
+    }
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+      return LoadCheckpointV1(in, path);
+    }
+    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0) {
+      return Status::Corruption("bad checkpoint magic in " + path);
+    }
+  }
+  HETKG_ASSIGN_OR_RETURN(CheckpointReader reader,
+                         CheckpointReader::Open(path));
+  Checkpoint ck;
+  HETKG_ASSIGN_OR_RETURN(
+      ck.entities, ReadTableSection(reader, SectionTag::kEntityTable));
+  HETKG_ASSIGN_OR_RETURN(
+      ck.relations, ReadTableSection(reader, SectionTag::kRelationTable));
   return ck;
 }
 

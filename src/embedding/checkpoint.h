@@ -1,32 +1,115 @@
 #ifndef HETKG_EMBEDDING_CHECKPOINT_H_
 #define HETKG_EMBEDDING_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "embedding/embedding_table.h"
 
 namespace hetkg::embedding {
 
-/// On-disk snapshot of a trained model: both embedding tables plus the
-/// shape metadata needed to reload them without external context.
+/// Section tags of the HETKGCK2 container. Embedding tables use fixed
+/// tags so an eval-only checkpoint and a full training-state snapshot
+/// share one format: LoadCheckpoint reads tags 1-2 from either file.
+enum class SectionTag : uint32_t {
+  kEntityTable = 1,
+  kRelationTable = 2,
+  kTrainerMeta = 3,
+  kPsOptimizer = 4,
+  kPsRuntime = 5,
+  kWorker = 6,        // Repeated, one per worker; payload leads with id.
+  kClusterState = 7,  // ClusterSim counters + transport clock/metrics.
+  kEngineCounters = 8,
+  kPbgState = 9,
+};
+
+/// Versioned checkpoint container (DESIGN.md §9):
 ///
-/// Format (little-endian):
-///   magic "HETKGCK1" | u64 num_entities | u64 entity_dim
-///   | u64 num_relations | u64 relation_dim
-///   | entity rows (f32) | relation rows (f32) | u64 xor-checksum
+///   magic "HETKGCK2"
+///   u64 section_count
+///   repeat: u32 tag | u32 reserved(0) | u64 payload_len | payload
+///   u32 CRC-32 (IEEE) over everything from the magic onward
+///
+/// Little-endian throughout. The legacy HETKGCK1 layout (fixed header,
+/// two raw tables, XOR-FNV checksum) stays readable; new files are
+/// always written as HETKGCK2.
+///
+/// Assembles sections in memory and writes the file atomically
+/// (temp file + rename), so a crash mid-write never leaves a truncated
+/// checkpoint under the final name. A stale "<path>.tmp" left by a
+/// crash between write and rename is truncated/overwritten on the next
+/// save; core/checkpoint_manager.h additionally sweeps orphaned temps
+/// at startup.
+class CheckpointWriter {
+ public:
+  /// Appends one section; `payload` is consumed.
+  void AddSection(SectionTag tag, ByteWriter payload);
+
+  /// Serializes magic + sections + CRC and atomically replaces `path`.
+  Status WriteAtomic(const std::string& path) const;
+
+  /// Total payload bytes appended so far (checkpoint.bytes metric).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  struct Section {
+    uint32_t tag = 0;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+  uint64_t payload_bytes_ = 0;
+};
+
+/// Parsed HETKGCK2 container: validates magic, structure, and CRC up
+/// front, then hands out read-only section payloads.
+class CheckpointReader {
+ public:
+  /// Reads and validates `path`; Corruption on bad magic/structure/CRC,
+  /// IoError when the file cannot be read. Rejects HETKGCK1 files (use
+  /// LoadCheckpoint for legacy eval checkpoints).
+  static Result<CheckpointReader> Open(const std::string& path);
+
+  /// First section with `tag`, or nullptr.
+  const std::string* Find(SectionTag tag) const;
+
+  /// All sections with `tag`, in file order.
+  std::vector<const std::string*> FindAll(SectionTag tag) const;
+
+ private:
+  struct Section {
+    uint32_t tag = 0;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Appends an embedding table as one section (u64 rows | u64 dim | f32
+/// row data).
+void AppendTableSection(CheckpointWriter* writer, SectionTag tag,
+                        const EmbeddingTable& table);
+
+/// Decodes a table section written by AppendTableSection.
+Result<EmbeddingTable> ReadTableSection(const CheckpointReader& reader,
+                                        SectionTag tag);
+
+/// In-memory snapshot of a trained model: both embedding tables plus
+/// the shape metadata needed to reload them without external context.
 struct Checkpoint {
   EmbeddingTable entities{1, 1};
   EmbeddingTable relations{1, 1};
 };
 
-/// Writes `entities` and `relations` to `path` atomically (temp file +
-/// rename), so a crash never leaves a truncated checkpoint behind.
+/// Writes `entities` and `relations` to `path` atomically as an
+/// eval-only HETKGCK2 file (table sections only).
 Status SaveCheckpoint(const std::string& path, const EmbeddingTable& entities,
                       const EmbeddingTable& relations);
 
-/// Reads a checkpoint; fails with Corruption on bad magic, size
-/// mismatch, or checksum failure.
+/// Reads the embedding tables of a checkpoint — HETKGCK2 (eval-only or
+/// full training snapshot) or legacy HETKGCK1. Fails with Corruption on
+/// bad magic, size mismatch, or checksum failure.
 Result<Checkpoint> LoadCheckpoint(const std::string& path);
 
 }  // namespace hetkg::embedding

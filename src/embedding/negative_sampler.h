@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/status.h"
 #include "graph/types.h"
 
@@ -47,6 +48,13 @@ class NegativeSampler {
   /// O(b_p * b_n) to O(b_p * b_n / b_c).
   virtual uint64_t EntityDrawsPerBatch(size_t batch_size) const = 0;
 
+  /// Serializes the sampler's random-stream position for the HETKGCK2
+  /// training snapshots; a restored sampler continues the exact draw
+  /// sequence. Save/load are symmetric because sampler structure (kind,
+  /// degree weighting, ...) is rebuilt from config before restoring.
+  virtual void SaveState(ByteWriter* w) const { rng_.SaveState(w); }
+  virtual bool LoadState(ByteReader* r) { return rng_.LoadState(r); }
+
  protected:
   NegativeSampler(size_t num_entities, size_t negatives_per_positive,
                   uint64_t seed)
@@ -81,6 +89,15 @@ class UniformNegativeSampler : public NegativeSampler {
   void Sample(std::span<const Triple> positives,
               std::vector<NegativeSample>* out) override;
   uint64_t EntityDrawsPerBatch(size_t batch_size) const override;
+
+  void SaveState(ByteWriter* w) const override {
+    NegativeSampler::SaveState(w);
+    if (degree_sampler_ != nullptr) degree_sampler_->SaveState(w);
+  }
+  bool LoadState(ByteReader* r) override {
+    if (!NegativeSampler::LoadState(r)) return false;
+    return degree_sampler_ == nullptr || degree_sampler_->LoadState(r);
+  }
 
  private:
   EntityId DrawEntity();

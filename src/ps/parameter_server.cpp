@@ -58,7 +58,8 @@ ParameterServer::ParameterServer(const PsConfig& config,
       relation_opt_(config.num_relations, config.relation_dim,
                     config.learning_rate),
       push_seq_(cluster->num_machines(), 0),
-      applied_push_seq_(cluster->num_machines(), 0) {}
+      applied_push_seq_(cluster->num_machines(), 0),
+      replaying_(cluster->num_machines(), 0) {}
 
 void ParameterServer::InitEmbeddings() {
   Rng rng(config_.init_seed);
@@ -236,11 +237,167 @@ PushResult ParameterServer::PushGradBatch(
     }
   }
 
+  // Replayed pushes (worker-crash recovery) repeat work the server has
+  // already applied: the rewound sequence numbers make the remote
+  // messages look like duplicates above, and here the apply loop is
+  // suppressed wholesale, covering the local-shard rows that never
+  // carry a sequence number.
+  if (replaying_[worker_machine]) {
+    metrics_.Increment(metric::kRecoveryReplaySkippedRows, keys.size());
+    return result;
+  }
   for (size_t i = 0; i < keys.size(); ++i) {
     if (!scratch_shard_ok_[scratch_key_owner_[i]]) continue;
     ApplyGradient(keys[i], grads[i]);
   }
   return result;
+}
+
+void ParameterServer::BeginWorkerReplay(uint32_t machine,
+                                        uint64_t snapshot_push_seq) {
+  HETKG_CHECK(machine < replaying_.size());
+  replaying_[machine] = 1;
+  push_seq_[machine] = snapshot_push_seq;
+}
+
+void ParameterServer::EndWorkerReplay(uint32_t machine) {
+  HETKG_CHECK(machine < replaying_.size());
+  replaying_[machine] = 0;
+  // Replay normally consumes exactly the original sequence numbers, but
+  // never let a recovered worker reuse one the server already applied.
+  push_seq_[machine] = std::max(push_seq_[machine],
+                                applied_push_seq_[machine]);
+}
+
+void ParameterServer::SaveState(embedding::CheckpointWriter* w) const {
+  AppendTableSection(w, embedding::SectionTag::kEntityTable, entity_table_);
+  AppendTableSection(w, embedding::SectionTag::kRelationTable,
+                     relation_table_);
+  ByteWriter opt;
+  entity_opt_.SaveState(&opt);
+  relation_opt_.SaveState(&opt);
+  w->AddSection(embedding::SectionTag::kPsOptimizer, std::move(opt));
+  ByteWriter runtime;
+  runtime.U64Vec(push_seq_);
+  runtime.U64Vec(applied_push_seq_);
+  metrics_.SaveState(&runtime);
+  w->AddSection(embedding::SectionTag::kPsRuntime, std::move(runtime));
+}
+
+Status ParameterServer::LoadState(const embedding::CheckpointReader& reader) {
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::EmbeddingTable entities,
+      ReadTableSection(reader, embedding::SectionTag::kEntityTable));
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::EmbeddingTable relations,
+      ReadTableSection(reader, embedding::SectionTag::kRelationTable));
+  if (entities.num_rows() != config_.num_entities ||
+      entities.dim() != config_.entity_dim ||
+      relations.num_rows() != config_.num_relations ||
+      relations.dim() != config_.relation_dim) {
+    return Status::Corruption("snapshot table shape mismatch");
+  }
+  const std::string* opt =
+      reader.Find(embedding::SectionTag::kPsOptimizer);
+  if (opt == nullptr) {
+    return Status::Corruption("snapshot missing PS optimizer section");
+  }
+  ByteReader opt_reader(*opt);
+  embedding::AdaGrad entity_opt = entity_opt_;
+  embedding::AdaGrad relation_opt = relation_opt_;
+  if (!entity_opt.LoadState(&opt_reader) ||
+      !relation_opt.LoadState(&opt_reader) || opt_reader.remaining() != 0) {
+    return Status::Corruption("bad PS optimizer section");
+  }
+  const std::string* runtime =
+      reader.Find(embedding::SectionTag::kPsRuntime);
+  if (runtime == nullptr) {
+    return Status::Corruption("snapshot missing PS runtime section");
+  }
+  ByteReader rt_reader(*runtime);
+  std::vector<uint64_t> push_seq = rt_reader.U64Vec();
+  std::vector<uint64_t> applied = rt_reader.U64Vec();
+  MetricRegistry metrics;
+  if (!rt_reader.ok() || push_seq.size() != push_seq_.size() ||
+      applied.size() != applied_push_seq_.size() ||
+      !metrics.LoadState(&rt_reader) || rt_reader.remaining() != 0) {
+    return Status::Corruption("bad PS runtime section");
+  }
+  entity_table_ = std::move(entities);
+  relation_table_ = std::move(relations);
+  entity_opt_ = std::move(entity_opt);
+  relation_opt_ = std::move(relation_opt);
+  push_seq_ = std::move(push_seq);
+  applied_push_seq_ = std::move(applied);
+  metrics_ = std::move(metrics);
+  std::fill(replaying_.begin(), replaying_.end(), 0);
+  return Status::OK();
+}
+
+Status ParameterServer::RestartShard(
+    uint32_t machine, const embedding::CheckpointReader* snapshot) {
+  if (machine >= cluster_->num_machines()) {
+    return Status::OutOfRange("shard machine out of range");
+  }
+  // Build the shard's reference state: the latest snapshot when one
+  // exists, else a deterministic re-initialization from the seed (what
+  // a freshly booted shard would compute) with cold accumulators.
+  embedding::EmbeddingTable entities(config_.num_entities,
+                                     config_.entity_dim);
+  embedding::EmbeddingTable relations(config_.num_relations,
+                                      config_.relation_dim);
+  embedding::AdaGrad entity_opt(config_.num_entities, config_.entity_dim,
+                                config_.learning_rate);
+  embedding::AdaGrad relation_opt(config_.num_relations,
+                                  config_.relation_dim,
+                                  config_.learning_rate);
+  if (snapshot != nullptr) {
+    HETKG_ASSIGN_OR_RETURN(
+        entities, ReadTableSection(*snapshot,
+                                   embedding::SectionTag::kEntityTable));
+    HETKG_ASSIGN_OR_RETURN(
+        relations, ReadTableSection(*snapshot,
+                                    embedding::SectionTag::kRelationTable));
+    if (entities.num_rows() != config_.num_entities ||
+        entities.dim() != config_.entity_dim ||
+        relations.num_rows() != config_.num_relations ||
+        relations.dim() != config_.relation_dim) {
+      return Status::Corruption("snapshot table shape mismatch");
+    }
+    const std::string* opt =
+        snapshot->Find(embedding::SectionTag::kPsOptimizer);
+    if (opt == nullptr) {
+      return Status::Corruption("snapshot missing PS optimizer section");
+    }
+    ByteReader opt_reader(*opt);
+    if (!entity_opt.LoadState(&opt_reader) ||
+        !relation_opt.LoadState(&opt_reader)) {
+      return Status::Corruption("bad PS optimizer section");
+    }
+  } else {
+    Rng rng(config_.init_seed);
+    entities.InitXavierUniform(&rng);
+    relations.InitXavierUniform(&rng);
+    if (config_.normalize_entities) {
+      for (size_t e = 0; e < config_.num_entities; ++e) {
+        entities.L2NormalizeRow(e);
+      }
+    }
+  }
+  // Overwrite only the rows this machine owns; the surviving shards
+  // keep their live state.
+  for (size_t e = 0; e < config_.num_entities; ++e) {
+    if (entity_owner_[e] != machine) continue;
+    entity_table_.SetRow(e, entities.Row(e));
+    entity_opt_.SetAccumulatorRow(e, entity_opt.AccumulatorRow(e));
+  }
+  for (size_t r = 0; r < config_.num_relations; ++r) {
+    if (r % cluster_->num_machines() != machine) continue;
+    relation_table_.SetRow(r, relations.Row(r));
+    relation_opt_.SetAccumulatorRow(r, relation_opt.AccumulatorRow(r));
+  }
+  metrics_.Increment(metric::kRecoveryPsShardRestarts);
+  return Status::OK();
 }
 
 }  // namespace hetkg::ps

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "embedding/adagrad.h"
+#include "embedding/checkpoint.h"
 #include "embedding/embedding_table.h"
 #include "graph/types.h"
 #include "sim/cluster.h"
@@ -124,6 +125,54 @@ class ParameterServer {
     return RowDim(key) * sizeof(float);
   }
 
+  // -- Crash recovery (DESIGN.md §9) ------------------------------------
+
+  /// Enters replay mode for `machine`'s worker: its push sequence
+  /// counter is rewound to `snapshot_push_seq` so replayed pushes carry
+  /// the same sequence numbers as the originals, and NO gradient from
+  /// this worker is applied (local-shard rows bypass the sequence
+  /// guard, so replay must suppress the apply loop wholesale). Skipped
+  /// rows are counted in recovery.replay_skipped_push_rows.
+  void BeginWorkerReplay(uint32_t machine, uint64_t snapshot_push_seq);
+
+  /// Leaves replay mode; the sequence counter is fast-forwarded past
+  /// every already-applied sequence, so post-recovery pushes are fresh.
+  void EndWorkerReplay(uint32_t machine);
+
+  bool IsReplaying(uint32_t machine) const {
+    return replaying_[machine] != 0;
+  }
+
+  /// Sequence-ledger accessors for the engine's worker snapshots.
+  uint64_t push_seq(uint32_t machine) const { return push_seq_[machine]; }
+  uint64_t applied_push_seq(uint32_t machine) const {
+    return applied_push_seq_[machine];
+  }
+
+  /// Advances `machine`'s push counter to at least `seq` (recovering a
+  /// crashed worker without a snapshot: no replay happens, but future
+  /// pushes must not reuse consumed sequence numbers).
+  void FastForwardPushSeq(uint32_t machine, uint64_t seq) {
+    push_seq_[machine] = std::max(push_seq_[machine], seq);
+  }
+
+  /// Appends the server's full state to a HETKGCK2 snapshot: both
+  /// tables (the shared eval tags 1/2), both AdaGrad accumulators, the
+  /// per-worker sequence ledger, and the server metrics.
+  void SaveState(embedding::CheckpointWriter* w) const;
+
+  /// Restores the state written by SaveState. Corruption when a section
+  /// is missing or its shape disagrees with this server's config.
+  Status LoadState(const embedding::CheckpointReader& reader);
+
+  /// Simulates the PS shard on `machine` restarting: the rows and
+  /// accumulators it owns are restored from `snapshot` when given, or
+  /// re-initialized deterministically from `init_seed` (accumulators
+  /// reset to zero) when not. Rows owned by other machines and the
+  /// sequence ledger (modeled as durable, WAL-backed) are untouched.
+  Status RestartShard(uint32_t machine,
+                      const embedding::CheckpointReader* snapshot);
+
  private:
   ParameterServer(const PsConfig& config, std::vector<uint32_t> entity_owner,
                   sim::ClusterSim* cluster, sim::Transport* transport);
@@ -150,6 +199,9 @@ class ParameterServer {
   /// idempotence guard against duplicated deliveries.
   std::vector<uint64_t> push_seq_;
   std::vector<uint64_t> applied_push_seq_;
+
+  /// Per-worker replay flags (BeginWorkerReplay/EndWorkerReplay).
+  std::vector<char> replaying_;
 
   // Scratch, reused across batches to avoid per-call allocation.
   std::vector<uint32_t> scratch_owner_rows_;

@@ -123,4 +123,34 @@ void ClusterSim::SetMachineSlowdown(uint32_t machine, double factor) {
   per_machine_[machine].slowdown = factor;
 }
 
+void ClusterSim::SaveState(ByteWriter* w) const {
+  w->U64(per_machine_.size());
+  for (const MachineCounters& c : per_machine_) {
+    w->U64(c.bytes_out);
+    w->U64(c.bytes_in);
+    w->U64(c.messages_initiated);
+    w->U64(c.local_bytes);
+    w->U64(c.flops);
+    w->F64(c.stall_seconds);
+    w->F64(c.slowdown);
+  }
+}
+
+bool ClusterSim::LoadState(ByteReader* r) {
+  if (r->U64() != per_machine_.size()) return false;
+  std::vector<MachineCounters> machines(per_machine_.size());
+  for (MachineCounters& c : machines) {
+    c.bytes_out = r->U64();
+    c.bytes_in = r->U64();
+    c.messages_initiated = r->U64();
+    c.local_bytes = r->U64();
+    c.flops = r->U64();
+    c.stall_seconds = r->F64();
+    c.slowdown = r->F64();
+  }
+  if (!r->ok()) return false;
+  per_machine_ = std::move(machines);
+  return true;
+}
+
 }  // namespace hetkg::sim

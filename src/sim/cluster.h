@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/status.h"
 
 namespace hetkg::sim {
@@ -110,6 +111,13 @@ class ClusterSim {
   /// `factor` (>= 1.0 slows it down — a straggler; < 1.0 models a
   /// faster node). Communication is unaffected.
   void SetMachineSlowdown(uint32_t machine, double factor);
+
+  /// Serializes every machine's counters — including stall time and
+  /// slowdown factors — for the HETKGCK2 snapshots. A mid-epoch resume
+  /// needs the partially accumulated clocks so the epoch's critical
+  /// path comes out bit-identical to an uninterrupted run.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
 
  private:
   struct MachineCounters {

@@ -1,5 +1,7 @@
 #include "sim/transport.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace hetkg::sim {
@@ -54,7 +56,41 @@ bool FaultPlan::Delays(uint64_t tick) const {
 }
 
 Transport::Transport(ClusterSim* cluster, FaultConfig config)
-    : cluster_(cluster), plan_(config) {}
+    : cluster_(cluster),
+      plan_(config),
+      process_schedule_(config.process_faults) {
+  std::sort(process_schedule_.begin(), process_schedule_.end(),
+            [](const ProcessFault& a, const ProcessFault& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              return a.machine < b.machine;
+            });
+}
+
+std::vector<ProcessFault> Transport::TakeDueProcessFaults() {
+  std::vector<ProcessFault> due;
+  while (process_cursor_ < process_schedule_.size() &&
+         process_schedule_[process_cursor_].tick <= tick_) {
+    due.push_back(process_schedule_[process_cursor_++]);
+  }
+  return due;
+}
+
+void Transport::SaveState(ByteWriter* w) const {
+  w->U64(tick_);
+  w->U64(process_cursor_);
+  metrics_.SaveState(w);
+}
+
+bool Transport::LoadState(ByteReader* r) {
+  const uint64_t tick = r->U64();
+  const uint64_t cursor = r->U64();
+  if (!r->ok() || cursor > process_schedule_.size()) return false;
+  if (!metrics_.LoadState(r)) return false;
+  tick_ = tick;
+  process_cursor_ = static_cast<size_t>(cursor);
+  return true;
+}
 
 bool Transport::FaultsActive() const {
   const FaultConfig& c = plan_.config();

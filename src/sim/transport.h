@@ -19,6 +19,30 @@ struct FaultOutage {
   uint64_t end_tick = 0;
 };
 
+/// Which process a scheduled process-level fault takes down.
+enum class ProcessFaultKind : uint32_t {
+  /// A worker process dies, losing all volatile worker state (cache,
+  /// batch queue, pending write-back gradients, staleness clocks). The
+  /// engine recovers it from the latest checkpoint (replaying the
+  /// iterations since, idempotently) or restarts it from scratch.
+  kWorkerCrash = 0,
+  /// The PS shard hosted on a machine restarts, losing its in-memory
+  /// rows and optimizer accumulators. The server restores them from the
+  /// latest checkpoint or re-initializes from the seed.
+  kPsShardRestart = 1,
+};
+
+/// One scheduled process-level failure, on the same logical clock as
+/// the outage windows: the event becomes due once the transport clock
+/// reaches `tick`, and engines consume due events at iteration
+/// boundaries (scheduling thread only). Like every fault decision, the
+/// schedule is data, so a crash scenario replays bit-identically.
+struct ProcessFault {
+  ProcessFaultKind kind = ProcessFaultKind::kWorkerCrash;
+  uint32_t machine = 0;
+  uint64_t tick = 0;
+};
+
 /// Knobs of the deterministic fault model. With `enabled == false`
 /// (the default) the transport is a transparent pass-through whose
 /// accounting is bit-identical to calling ClusterSim directly, and no
@@ -46,6 +70,10 @@ struct FaultConfig {
   double retry_backoff_seconds = 200e-6;
   /// Scheduled per-machine outage windows.
   std::vector<FaultOutage> outages;
+  /// Scheduled process-level failures (worker crash / PS shard
+  /// restart). Unlike the message faults above, these fire regardless
+  /// of `enabled`: the schedule is explicit, not probabilistic.
+  std::vector<ProcessFault> process_faults;
 };
 
 /// Pure-function-of-seed fault decider: every decision is a hash of
@@ -112,9 +140,20 @@ class Transport {
   Delivery Exchange(uint32_t src, uint32_t dst, uint64_t request_bytes,
                     uint64_t response_bytes);
 
-  /// Logical clock: wire attempts made so far. Outage windows are
-  /// expressed on this clock.
+  /// Logical clock: wire attempts made so far. Outage windows and
+  /// process-fault schedules are expressed on this clock.
   uint64_t clock() const { return tick_; }
+
+  /// Consumes and returns the scheduled process-level faults whose tick
+  /// the clock has reached, in schedule order (tick, kind, machine).
+  /// Engines poll this at iteration boundaries on the scheduling
+  /// thread; each event is delivered exactly once.
+  std::vector<ProcessFault> TakeDueProcessFaults();
+
+  /// True while unconsumed process faults remain scheduled.
+  bool HasPendingProcessFaults() const {
+    return process_cursor_ < process_schedule_.size();
+  }
 
   const FaultConfig& config() const { return plan_.config(); }
   ClusterSim* cluster() { return cluster_; }
@@ -122,6 +161,12 @@ class Transport {
   /// Fault counters (transport.* names); empty while no fault fires.
   MetricRegistry& metrics() { return metrics_; }
   const MetricRegistry& metrics() const { return metrics_; }
+
+  /// Serializes the transport's mutable state — the logical clock, the
+  /// process-fault delivery cursor, and the fault counters — for the
+  /// HETKGCK2 snapshots. The plan itself is config and is rebuilt.
+  void SaveState(ByteWriter* w) const;
+  bool LoadState(ByteReader* r);
 
  private:
   /// True when the fault machinery can fire at all.
@@ -135,6 +180,10 @@ class Transport {
   FaultPlan plan_;
   MetricRegistry metrics_;
   uint64_t tick_ = 0;
+  /// config().process_faults in deterministic delivery order, plus the
+  /// index of the first not-yet-delivered event.
+  std::vector<ProcessFault> process_schedule_;
+  size_t process_cursor_ = 0;
 };
 
 }  // namespace hetkg::sim

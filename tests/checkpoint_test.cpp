@@ -1,18 +1,41 @@
 #include "embedding/checkpoint.h"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint_manager.h"
 #include "core/trainer.h"
 #include "graph/synthetic.h"
 
 namespace hetkg {
 namespace {
 
+// Pid-qualified so concurrent ctest entries running this same binary
+// (hetkg_tests and hetkg_recovery_tests) never share a path.
 std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "-" +
+         name;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(static_cast<std::streamoff>(offset));
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
 }
 
 TEST(CheckpointTest, RoundTripsBothTables) {
@@ -136,6 +159,221 @@ TEST(CheckpointTest, EngineSnapshotEvaluatesIdentically) {
                             .value();
   EXPECT_DOUBLE_EQ(live.mrr, restored.mrr);
   EXPECT_DOUBLE_EQ(live.mr, restored.mr);
+}
+
+TEST(CheckpointV2Test, SectionRoundTripAndFindAll) {
+  embedding::CheckpointWriter writer;
+  {
+    ByteWriter meta;
+    meta.Str("unit-test");
+    meta.U64(42);
+    writer.AddSection(embedding::SectionTag::kTrainerMeta, std::move(meta));
+  }
+  for (uint32_t worker = 0; worker < 3; ++worker) {
+    ByteWriter w;
+    w.U32(worker);
+    w.U64(1000 + worker);
+    writer.AddSection(embedding::SectionTag::kWorker, std::move(w));
+  }
+  EXPECT_GT(writer.payload_bytes(), 0u);
+
+  const std::string path = TempPath("v2-sections.ck");
+  ASSERT_TRUE(writer.WriteAtomic(path).ok());
+
+  auto reader = embedding::CheckpointReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const std::string* meta =
+      reader->Find(embedding::SectionTag::kTrainerMeta);
+  ASSERT_NE(meta, nullptr);
+  ByteReader r(*meta);
+  EXPECT_EQ(r.Str(), "unit-test");
+  EXPECT_EQ(r.U64(), 42u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Repeated sections come back in file order.
+  const auto workers = reader->FindAll(embedding::SectionTag::kWorker);
+  ASSERT_EQ(workers.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    ByteReader wr(*workers[i]);
+    EXPECT_EQ(wr.U32(), i);
+    EXPECT_EQ(wr.U64(), 1000u + i);
+  }
+  EXPECT_EQ(reader->Find(embedding::SectionTag::kPbgState), nullptr);
+}
+
+// Builds a byte-exact legacy HETKGCK1 file: fixed header, raw rows,
+// XOR-FNV trailer.
+std::string CraftV1File(const embedding::EmbeddingTable& entities,
+                        const embedding::EmbeddingTable& relations) {
+  std::string bytes = "HETKGCK1";
+  auto put_u64 = [&bytes](uint64_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put_u64(entities.num_rows());
+  put_u64(entities.dim());
+  put_u64(relations.num_rows());
+  put_u64(relations.dim());
+  uint64_t checksum = 0xCBF29CE484222325ULL;
+  for (const auto* table : {&entities, &relations}) {
+    for (size_t i = 0; i < table->num_rows(); ++i) {
+      for (float v : table->Row(i)) {
+        bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        uint32_t b = 0;
+        std::memcpy(&b, &v, sizeof(b));
+        checksum = (checksum ^ b) * 0x100000001B3ULL;
+      }
+    }
+  }
+  put_u64(checksum);
+  return bytes;
+}
+
+TEST(CheckpointV2Test, LegacyV1FileStillLoads) {
+  embedding::EmbeddingTable entities(4, 3);
+  embedding::EmbeddingTable relations(2, 5);
+  Rng rng(11);
+  entities.InitGaussian(&rng, 1.0f);
+  relations.InitGaussian(&rng, 1.0f);
+  const std::string path = TempPath("legacy-v1.ck");
+  WriteFile(path, CraftV1File(entities, relations));
+
+  auto loaded = embedding::LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->entities.num_rows(), 4u);
+  ASSERT_EQ(loaded->relations.dim(), 5u);
+  for (size_t i = 0; i < entities.num_rows(); ++i) {
+    const auto a = entities.Row(i);
+    const auto b = loaded->entities.Row(i);
+    for (size_t j = 0; j < entities.dim(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(CheckpointV2Test, OpenRejectsLegacyV1) {
+  embedding::EmbeddingTable entities(2, 2);
+  embedding::EmbeddingTable relations(1, 2);
+  const std::string path = TempPath("legacy-v1-reject.ck");
+  WriteFile(path, CraftV1File(entities, relations));
+
+  // Full-state readers require the sectioned format; legacy files are
+  // eval-only and go through LoadCheckpoint.
+  auto reader = embedding::CheckpointReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CheckpointV2Test, BitFlipInSectionPayloadIsCorruption) {
+  embedding::EmbeddingTable entities(16, 4);
+  embedding::EmbeddingTable relations(4, 4);
+  Rng rng(13);
+  entities.InitGaussian(&rng, 1.0f);
+  relations.InitGaussian(&rng, 1.0f);
+  const std::string path = TempPath("v2-bitflip.ck");
+  ASSERT_TRUE(embedding::SaveCheckpoint(path, entities, relations).ok());
+  FlipByte(path, 48);  // Inside the entity table payload.
+  auto reader = embedding::CheckpointReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = TempPath(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void WriteSnapshot(core::CheckpointManager* manager, uint64_t iteration,
+                   uint64_t seed) {
+  embedding::EmbeddingTable entities(8, 4);
+  embedding::EmbeddingTable relations(2, 4);
+  Rng rng(seed);
+  entities.InitGaussian(&rng, 1.0f);
+  relations.InitGaussian(&rng, 1.0f);
+  ASSERT_TRUE(embedding::SaveCheckpoint(manager->SnapshotPath(iteration),
+                                        entities, relations)
+                  .ok());
+  ASSERT_TRUE(manager->Commit(iteration).ok());
+}
+
+TEST(CheckpointManagerTest, PrepareSweepsOrphanedTemps) {
+  const std::string dir = FreshDir("ckmgr-orphans");
+  core::CheckpointManager manager(dir, 3);
+  ASSERT_TRUE(manager.Prepare().ok());
+  WriteSnapshot(&manager, 10, 1);
+
+  // Simulate a writer that crashed between temp write and rename.
+  WriteFile(manager.SnapshotPath(20) + ".tmp", "half-written snapshot");
+  WriteFile(dir + "/stray.tmp", "another orphan");
+
+  core::CheckpointManager restarted(dir, 3);
+  auto swept = restarted.Prepare();
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(*swept, 2u);
+  EXPECT_FALSE(
+      std::filesystem::exists(manager.SnapshotPath(20) + ".tmp"));
+  // Real snapshots and the manifest survive the sweep.
+  EXPECT_TRUE(std::filesystem::exists(manager.SnapshotPath(10)));
+  auto manifest = restarted.ReadManifest();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->size(), 1u);
+  EXPECT_EQ((*manifest)[0].iteration, 10u);
+}
+
+TEST(CheckpointManagerTest, CommitRotationPrunesOldest) {
+  const std::string dir = FreshDir("ckmgr-rotate");
+  core::CheckpointManager manager(dir, 2);
+  ASSERT_TRUE(manager.Prepare().ok());
+  WriteSnapshot(&manager, 5, 1);
+  WriteSnapshot(&manager, 10, 2);
+  WriteSnapshot(&manager, 15, 3);
+
+  auto manifest = manager.ReadManifest();
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->size(), 2u);
+  EXPECT_EQ((*manifest)[0].iteration, 10u);
+  EXPECT_EQ((*manifest)[1].iteration, 15u);
+  EXPECT_FALSE(std::filesystem::exists(manager.SnapshotPath(5)));
+  EXPECT_TRUE(std::filesystem::exists(manager.SnapshotPath(10)));
+  EXPECT_TRUE(std::filesystem::exists(manager.SnapshotPath(15)));
+}
+
+TEST(CheckpointManagerTest, ResumeCandidatesNewestFirst) {
+  const std::string dir = FreshDir("ckmgr-candidates");
+  core::CheckpointManager manager(dir, 0);
+  ASSERT_TRUE(manager.Prepare().ok());
+  WriteSnapshot(&manager, 3, 1);
+  WriteSnapshot(&manager, 6, 2);
+
+  auto from_dir = core::CheckpointManager::ResumeCandidates(dir);
+  ASSERT_TRUE(from_dir.ok()) << from_dir.status().ToString();
+  ASSERT_EQ(from_dir->size(), 2u);
+  EXPECT_EQ((*from_dir)[0], manager.SnapshotPath(6));
+  EXPECT_EQ((*from_dir)[1], manager.SnapshotPath(3));
+
+  // A concrete snapshot file resolves to exactly itself.
+  auto from_file =
+      core::CheckpointManager::ResumeCandidates(manager.SnapshotPath(3));
+  ASSERT_TRUE(from_file.ok());
+  ASSERT_EQ(from_file->size(), 1u);
+  EXPECT_EQ((*from_file)[0], manager.SnapshotPath(3));
+}
+
+TEST(CheckpointManagerTest, CorruptNewestFallsBackToOlderCandidate) {
+  const std::string dir = FreshDir("ckmgr-fallback");
+  core::CheckpointManager manager(dir, 0);
+  ASSERT_TRUE(manager.Prepare().ok());
+  WriteSnapshot(&manager, 8, 1);
+  WriteSnapshot(&manager, 16, 2);
+  FlipByte(manager.SnapshotPath(16), 40);
+
+  auto candidates = core::CheckpointManager::ResumeCandidates(dir);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_EQ(candidates->size(), 2u);
+  auto newest = embedding::CheckpointReader::Open((*candidates)[0]);
+  ASSERT_FALSE(newest.ok());
+  EXPECT_EQ(newest.status().code(), StatusCode::kCorruption);
+  auto older = embedding::CheckpointReader::Open((*candidates)[1]);
+  EXPECT_TRUE(older.ok()) << older.status().ToString();
 }
 
 }  // namespace
