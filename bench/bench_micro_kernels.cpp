@@ -9,6 +9,18 @@ namespace {
 
 using namespace hetkg;
 
+/// Registers one benchmark instance per ModelKind (all 9).
+void AllModelKinds(benchmark::internal::Benchmark* b) {
+  for (embedding::ModelKind kind :
+       {embedding::ModelKind::kTransEL1, embedding::ModelKind::kTransEL2,
+        embedding::ModelKind::kDistMult, embedding::ModelKind::kComplEx,
+        embedding::ModelKind::kTransH, embedding::ModelKind::kTransR,
+        embedding::ModelKind::kTransD, embedding::ModelKind::kHolE,
+        embedding::ModelKind::kRescal}) {
+    b->Arg(static_cast<int>(kind));
+  }
+}
+
 void BM_ScoreForward(benchmark::State& state) {
   const auto kind = static_cast<embedding::ModelKind>(state.range(0));
   const size_t dim = 64;
@@ -23,11 +35,7 @@ void BM_ScoreForward(benchmark::State& state) {
   }
   state.SetLabel(std::string(fn->name()));
 }
-BENCHMARK(BM_ScoreForward)
-    ->Arg(static_cast<int>(embedding::ModelKind::kTransEL1))
-    ->Arg(static_cast<int>(embedding::ModelKind::kDistMult))
-    ->Arg(static_cast<int>(embedding::ModelKind::kComplEx))
-    ->Arg(static_cast<int>(embedding::ModelKind::kTransH));
+BENCHMARK(BM_ScoreForward)->Apply(AllModelKinds);
 
 void BM_ScoreBackward(benchmark::State& state) {
   const auto kind = static_cast<embedding::ModelKind>(state.range(0));
@@ -45,10 +53,85 @@ void BM_ScoreBackward(benchmark::State& state) {
   }
   state.SetLabel(std::string(fn->name()));
 }
-BENCHMARK(BM_ScoreBackward)
-    ->Arg(static_cast<int>(embedding::ModelKind::kTransEL1))
-    ->Arg(static_cast<int>(embedding::ModelKind::kDistMult))
-    ->Arg(static_cast<int>(embedding::ModelKind::kComplEx));
+BENCHMARK(BM_ScoreBackward)->Apply(AllModelKinds);
+
+// Batched forward+backward of one positive and N tail-corrupt
+// negatives, the exact shape ParallelBatchScorer::ProcessChunk issues.
+// range(3) selects the path: 0 = per-triple scalar loop under
+// --kernel=scalar (the pre-batching baseline), 1 = the batch API under
+// --kernel=vector. Items/sec ratio between the two at equal
+// (model, dim, negs) is the batched-kernel speedup (EXPERIMENTS.md).
+void BM_ScoreBatch(benchmark::State& state) {
+  const auto kind = static_cast<embedding::ModelKind>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t negs = static_cast<size_t>(state.range(2));
+  const bool batched = state.range(3) != 0;
+  embedding::kernels::SetKernelMode(
+      batched ? embedding::kernels::KernelMode::kVector
+              : embedding::kernels::KernelMode::kScalar);
+
+  auto fn = embedding::MakeScoreFunction(kind, dim).value();
+  const size_t rdim = fn->RelationDim(dim);
+  Rng rng(5);
+  std::vector<float> h(dim), r(rdim), t(dim);
+  for (auto* v : {&h, &r, &t}) {
+    for (auto& x : *v) x = static_cast<float>(rng.NextGaussian());
+  }
+  std::vector<std::vector<float>> neg_tails(negs, std::vector<float>(dim));
+  for (auto& tail : neg_tails) {
+    for (auto& x : tail) x = static_cast<float>(rng.NextGaussian());
+  }
+
+  const embedding::TripleView ref{h, r, t};
+  std::vector<embedding::TripleView> views(negs + 1);
+  views[0] = ref;
+  for (size_t g = 0; g < negs; ++g) {
+    views[g + 1] = {h, r, neg_tails[g]};
+  }
+  std::vector<double> upstreams(negs + 1, 1.0 / static_cast<double>(negs));
+  upstreams[0] = -1.0;
+  std::vector<float> gh(dim, 0.0f), gr(rdim, 0.0f);
+  std::vector<std::vector<float>> gts(negs + 1, std::vector<float>(dim));
+  std::vector<embedding::GradView> grads(negs + 1);
+  for (size_t k = 0; k <= negs; ++k) {
+    grads[k] = {gh, gr, gts[k]};
+  }
+  std::vector<double> scores(negs);
+  embedding::kernels::KernelScratch scratch;
+
+  for (auto _ : state) {
+    if (batched) {
+      fn->ScoreBatch(ref,
+                     std::span<const embedding::TripleView>(views).subspan(1),
+                     scores, &scratch);
+      fn->ScoreBackwardBatch(ref, views, upstreams, grads, &scratch);
+    } else {
+      for (size_t g = 0; g < negs; ++g) {
+        scores[g] = fn->Score(views[g + 1].h, views[g + 1].r, views[g + 1].t);
+      }
+      for (size_t k = 0; k <= negs; ++k) {
+        fn->ScoreBackward(views[k].h, views[k].r, views[k].t, upstreams[k],
+                          grads[k].h, grads[k].r, grads[k].t);
+      }
+    }
+    benchmark::DoNotOptimize(scores.data());
+    benchmark::DoNotOptimize(gh.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(negs + 1));
+  state.SetLabel(std::string(fn->name()) + " dim=" + std::to_string(dim) +
+                 " negs=" + std::to_string(negs) +
+                 (batched ? " batch" : " scalar"));
+  embedding::kernels::SetKernelMode(embedding::kernels::KernelMode::kAuto);
+}
+BENCHMARK(BM_ScoreBatch)
+    ->ArgsProduct({{static_cast<int>(embedding::ModelKind::kTransEL1),
+                    static_cast<int>(embedding::ModelKind::kTransEL2),
+                    static_cast<int>(embedding::ModelKind::kDistMult),
+                    static_cast<int>(embedding::ModelKind::kComplEx)},
+                   {64, 128, 400},
+                   {1, 8, 64},
+                   {0, 1}});
 
 void BM_AdaGradApply(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));
@@ -63,6 +146,33 @@ void BM_AdaGradApply(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * dim * sizeof(float));
 }
 BENCHMARK(BM_AdaGradApply)->Arg(16)->Arg(64)->Arg(400);
+
+// AdaGrad whole-row update: range(1) = 0 runs Apply under
+// --kernel=scalar, 1 runs ApplyBatch under --kernel=vector.
+void BM_AdaGradApplyBatch(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  embedding::kernels::SetKernelMode(
+      batched ? embedding::kernels::KernelMode::kVector
+              : embedding::kernels::KernelMode::kScalar);
+  embedding::EmbeddingTable table(1024, dim);
+  embedding::AdaGrad opt(1024, dim, 0.1);
+  std::vector<float> grad(dim, 0.01f);
+  size_t row = 0;
+  for (auto _ : state) {
+    if (batched) {
+      opt.ApplyBatch(row, table.Row(row), grad);
+    } else {
+      opt.Apply(row, table.Row(row), grad);
+    }
+    row = (row + 1) % 1024;
+  }
+  state.SetBytesProcessed(state.iterations() * dim * sizeof(float));
+  state.SetLabel("dim=" + std::to_string(dim) +
+                 (batched ? " batch" : " scalar"));
+  embedding::kernels::SetKernelMode(embedding::kernels::KernelMode::kAuto);
+}
+BENCHMARK(BM_AdaGradApplyBatch)->ArgsProduct({{64, 128, 400}, {0, 1}});
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfSampler zipf(static_cast<size_t>(state.range(0)), 0.8, 3);

@@ -114,6 +114,9 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("threads", "1",
                 "compute threads for the intra-batch forward/backward "
                 "fan-out (bit-identical results at any value)");
+  flags->Define("kernel", "auto",
+                "score/optimizer kernel path: auto | scalar | vector "
+                "(bit-identical results at any value)");
   flags->Define("seed", "1234", "global seed");
   // Fault-injection transport knobs (sim/transport.h). All-zero
   // probabilities (the default) keep the perfect-network behaviour
@@ -272,6 +275,7 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
   config.pbg_partitions = 2 * config.num_machines;
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+  config.kernel = flags.GetString("kernel");
   config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   config.fault = FaultConfigFromFlags(flags);
   config.obs = ObsConfigFromFlags(flags);

@@ -143,6 +143,10 @@ inline constexpr char kSimSeconds[] = "sim.machine_seconds";
 inline constexpr char kPullSimSeconds[] = "ps.pull_sim_seconds";
 inline constexpr char kPushSimSeconds[] = "ps.push_sim_seconds";
 inline constexpr char kObsDroppedEvents[] = "obs.dropped_trace_events";
+// Resolved score/optimizer kernel path (embedding/kernels.h):
+// 0 = scalar, 1 = portable vector, 2 = AVX2. Constant for a run; every
+// value produces bit-identical training output.
+inline constexpr char kKernelDispatch[] = "kernel.dispatch";
 // Crash recovery (DESIGN.md §9). checkpoint.* counters exist only when
 // periodic checkpointing is configured; both the crashed and the
 // uninterrupted reference run take the same snapshot schedule, so the

@@ -50,28 +50,72 @@ void ParallelBatchScorer::ProcessChunk(
                             grad_offsets[k + 1] - grad_offsets[k]);
   };
 
-  for (size_t i = begin; i < end; ++i) {
-    const ResolvedPair& pr = pairs[i];
-    const ResolvedTriple& nt = pr.negative;
-    const double neg_score =
-        score_fn.Score(rows[nt.head], rows[nt.relation], rows[nt.tail]);
-    const embedding::LossGrad lg =
-        loss_fn.PairLoss(pos_scores[pr.positive_index], neg_score);
-    cs.stats.loss_sum += lg.loss;
-    ++cs.stats.pairs;
-    if (lg.dpos != 0.0) {
-      const ResolvedTriple& pt = positives[pr.positive_index];
-      score_fn.ScoreBackward(rows[pt.head], rows[pt.relation], rows[pt.tail],
-                             lg.dpos, grad(pt.head), grad(pt.relation),
-                             grad(pt.tail));
-      ++cs.stats.backward_calls;
+  // Negatives of one positive arrive contiguously, so each group
+  // becomes ONE ScoreBatch + ONE ScoreBackwardBatch call instead of
+  // 1 + N virtual calls; tail-corrupt negatives then reuse the hoisted
+  // (h, r) query intermediate inside the kernel. The positive's
+  // gradient applies once with the group's summed dpos (the fused form
+  // is the canonical accumulation order; it is the same on every thread
+  // count and kernel path). `backward_calls` keeps per-pair semantics —
+  // it feeds the simulator's flops accounting.
+  size_t i = begin;
+  while (i < end) {
+    const uint32_t pi = pairs[i].positive_index;
+    size_t group_end = i + 1;
+    while (group_end < end && pairs[group_end].positive_index == pi) {
+      ++group_end;
     }
-    if (lg.dneg != 0.0) {
-      score_fn.ScoreBackward(rows[nt.head], rows[nt.relation], rows[nt.tail],
-                             lg.dneg, grad(nt.head), grad(nt.relation),
-                             grad(nt.tail));
-      ++cs.stats.backward_calls;
+    const size_t num_neg = group_end - i;
+    const ResolvedTriple& pt = positives[pi];
+
+    cs.views.resize(num_neg + 1);
+    cs.views[0] = {rows[pt.head], rows[pt.relation], rows[pt.tail]};
+    for (size_t g = 0; g < num_neg; ++g) {
+      const ResolvedTriple& nt = pairs[i + g].negative;
+      cs.views[g + 1] = {rows[nt.head], rows[nt.relation], rows[nt.tail]};
     }
+    cs.neg_scores.resize(num_neg);
+    score_fn.ScoreBatch(cs.views[0],
+                        std::span<const embedding::TripleView>(cs.views)
+                            .subspan(1),
+                        cs.neg_scores, &cs.kernel_scratch);
+
+    cs.upstreams.assign(num_neg + 1, 0.0);
+    double dpos_sum = 0.0;
+    for (size_t g = 0; g < num_neg; ++g) {
+      const embedding::LossGrad lg =
+          loss_fn.PairLoss(pos_scores[pi], cs.neg_scores[g]);
+      cs.stats.loss_sum += lg.loss;
+      ++cs.stats.pairs;
+      if (lg.dpos != 0.0) {
+        dpos_sum += lg.dpos;
+        ++cs.stats.backward_calls;
+      }
+      if (lg.dneg != 0.0) {
+        cs.upstreams[g + 1] = lg.dneg;
+        ++cs.stats.backward_calls;
+      }
+    }
+    cs.upstreams[0] = dpos_sum;
+
+    bool any_backward = false;
+    cs.grad_views.assign(num_neg + 1, embedding::GradView{});
+    if (cs.upstreams[0] != 0.0) {
+      cs.grad_views[0] = {grad(pt.head), grad(pt.relation), grad(pt.tail)};
+      any_backward = true;
+    }
+    for (size_t g = 0; g < num_neg; ++g) {
+      if (cs.upstreams[g + 1] == 0.0) continue;
+      const ResolvedTriple& nt = pairs[i + g].negative;
+      cs.grad_views[g + 1] = {grad(nt.head), grad(nt.relation),
+                              grad(nt.tail)};
+      any_backward = true;
+    }
+    if (any_backward) {
+      score_fn.ScoreBackwardBatch(cs.views[0], cs.views, cs.upstreams,
+                                  cs.grad_views, &cs.kernel_scratch);
+    }
+    i = group_end;
   }
 }
 
@@ -143,8 +187,10 @@ BatchStats ParallelBatchScorer::Run(
       const size_t row_end = grad_offsets[k + 1];
       for (size_t j = row_begin; j < row_end; ++j) {
         grads[j] += cs.grads[j];
-        cs.grads[j] = 0.0f;  // Leave the scratch zeroed for reuse.
       }
+      // Leave the scratch zeroed for reuse.
+      std::fill(cs.grads.begin() + row_begin, cs.grads.begin() + row_end,
+                0.0f);
       cs.touched_flag[k] = 0;
     }
     cs.touched.clear();

@@ -86,6 +86,13 @@ class ParallelBatchScorer {
     std::vector<uint32_t> touched;      // Key indices, first-touch order.
     std::vector<uint8_t> touched_flag;  // Per key index.
     BatchStats stats;
+    // Per-positive batch-call scratch (entry 0 is the positive, entries
+    // 1..G its negatives; upstream 0 is the group's summed dpos).
+    std::vector<embedding::TripleView> views;
+    std::vector<embedding::GradView> grad_views;
+    std::vector<double> upstreams;
+    std::vector<double> neg_scores;
+    embedding::kernels::KernelScratch kernel_scratch;
   };
 
   void ProcessChunk(size_t chunk, size_t begin, size_t end,

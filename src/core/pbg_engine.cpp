@@ -40,6 +40,13 @@ Result<std::unique_ptr<PbgEngine>> PbgEngine::Create(
 }
 
 Status PbgEngine::Setup(const std::vector<Triple>& train) {
+  // Kernel dispatch for the score/optimizer hot loops. Every path is
+  // bit-identical (DESIGN.md §10), so this only affects speed.
+  HETKG_ASSIGN_OR_RETURN(const embedding::kernels::KernelMode kernel_mode,
+                         embedding::kernels::ParseKernelMode(config_.kernel));
+  embedding::kernels::SetKernelMode(kernel_mode);
+  embedding::kernels::LogDispatchOnce();
+
   HETKG_ASSIGN_OR_RETURN(
       score_fn_, embedding::MakeScoreFunction(config_.model, config_.dim));
   HETKG_ASSIGN_OR_RETURN(
@@ -289,10 +296,10 @@ std::pair<double, uint64_t> PbgEngine::TrainBucket(uint32_t machine,
       const EmbKey key = scratch_keys_[k];
       if (IsRelationKey(key)) {
         const RelationId r = KeyRelation(key);
-        relation_opt_->Apply(r, relations_.Row(r), g);
+        relation_opt_->ApplyBatch(r, relations_.Row(r), g);
       } else {
         const EntityId e = KeyEntity(key);
-        entity_opt_->Apply(e, entities_.Row(e), g);
+        entity_opt_->ApplyBatch(e, entities_.Row(e), g);
         if (score_fn_->NormalizesEntities()) {
           entities_.L2NormalizeRow(e);
         }
@@ -355,6 +362,7 @@ MetricRegistry PbgEngine::CollectObsMetrics(double sim_seconds) const {
     m.SetGauge(metric::kPhaseSwapSeconds, phase_.swap);
     m.SetGauge(metric::kPhaseComputeSeconds, phase_.compute);
     m.SetGauge(metric::kPhaseRelationSyncSeconds, phase_.relation_sync);
+    m.SetGauge(metric::kKernelDispatch, embedding::kernels::DispatchGauge());
   }
   return m;
 }

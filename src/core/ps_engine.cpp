@@ -93,6 +93,13 @@ std::string_view PsTrainingEngine::name() const {
 }
 
 Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
+  // Kernel dispatch for the score/optimizer hot loops. Every path is
+  // bit-identical (DESIGN.md §10), so this only affects speed.
+  HETKG_ASSIGN_OR_RETURN(const embedding::kernels::KernelMode kernel_mode,
+                         embedding::kernels::ParseKernelMode(config_.kernel));
+  embedding::kernels::SetKernelMode(kernel_mode);
+  embedding::kernels::LogDispatchOnce();
+
   // Scoring model and loss.
   HETKG_ASSIGN_OR_RETURN(
       score_fn_, embedding::MakeScoreFunction(config_.model, config_.dim));
@@ -647,6 +654,7 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
     m.SetGauge(metric::kPhasePullSeconds, phase_.pull);
     m.SetGauge(metric::kPhaseComputeSeconds, phase_.compute);
     m.SetGauge(metric::kPhasePushSeconds, phase_.push);
+    m.SetGauge(metric::kKernelDispatch, embedding::kernels::DispatchGauge());
   }
   return m;
 }

@@ -1,7 +1,10 @@
 #include "embedding/adagrad.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "embedding/kernels.h"
 
 namespace hetkg::embedding {
 
@@ -17,9 +20,7 @@ AdaGrad::AdaGrad(size_t num_rows, size_t dim, double learning_rate,
 
 void AdaGrad::ResetRow(size_t i) {
   float* acc = accum_.data() + i * dim_;
-  for (size_t j = 0; j < dim_; ++j) {
-    acc[j] = 0.0f;
-  }
+  std::fill(acc, acc + dim_, 0.0f);
 }
 
 void AdaGrad::Apply(size_t row_index, std::span<float> row,
@@ -33,6 +34,18 @@ void AdaGrad::Apply(size_t row_index, std::span<float> row,
     row[j] -= static_cast<float>(learning_rate_ * g /
                                  std::sqrt(static_cast<double>(acc[j]) + epsilon_));
   }
+}
+
+void AdaGrad::ApplyBatch(size_t row_index, std::span<float> row,
+                         std::span<const float> grad) {
+  assert(row.size() == dim_);
+  assert(grad.size() == dim_);
+  if (!kernels::UseVectorPath()) {
+    Apply(row_index, row, grad);
+    return;
+  }
+  kernels::AdaGradApplyRow(row, grad, accum_.data() + row_index * dim_,
+                           learning_rate_, epsilon_);
 }
 
 }  // namespace hetkg::embedding

@@ -27,6 +27,12 @@ class AdaGrad {
   void Apply(size_t row_index, std::span<float> row,
              std::span<const float> grad);
 
+  /// Vectorized Apply (embedding/kernels.cpp): whole-row accumulator
+  /// update + step, bit-identical to Apply on every kernel path. Use on
+  /// hot paths; falls back to Apply under --kernel=scalar.
+  void ApplyBatch(size_t row_index, std::span<float> row,
+                  std::span<const float> grad);
+
   double learning_rate() const { return learning_rate_; }
   void set_learning_rate(double lr) { learning_rate_ = lr; }
   size_t dim() const { return dim_; }

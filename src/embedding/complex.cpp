@@ -2,27 +2,24 @@
 
 #include <cassert>
 
+#include "embedding/kernels.h"
+
 namespace hetkg::embedding {
+
+// The math lives in embedding/kernels.cpp; the scalar API delegates to
+// the canonical per-triple kernels so Score/ScoreBackward and the batch
+// overrides share one floating-point operation order (DESIGN.md §10).
+// The canonical score groups the sum by the h∘r complex product:
+//   A_j = hRe_j rRe_j - hIm_j rIm_j,  B_j = hIm_j rRe_j + hRe_j rIm_j,
+//   score = sum_j A_j tRe_j + B_j tIm_j
+// which is the same Re(<h, r, conj(t)>) with the (A, B) intermediate
+// hoistable across negatives sharing (h, r).
 
 double ComplEx::Score(std::span<const float> h, std::span<const float> r,
                       std::span<const float> t) const {
   assert(h.size() % 2 == 0);
   assert(h.size() == r.size() && h.size() == t.size());
-  const size_t m = h.size() / 2;
-  const float* hr = h.data();
-  const float* hi = h.data() + m;
-  const float* rr = r.data();
-  const float* ri = r.data() + m;
-  const float* tr = t.data();
-  const float* ti = t.data() + m;
-  double acc = 0.0;
-  for (size_t j = 0; j < m; ++j) {
-    acc += static_cast<double>(hr[j]) * rr[j] * tr[j] +
-           static_cast<double>(hi[j]) * rr[j] * ti[j] +
-           static_cast<double>(hr[j]) * ri[j] * ti[j] -
-           static_cast<double>(hi[j]) * ri[j] * tr[j];
-  }
-  return acc;
+  return kernels::ComplExScore(h, r, t);
 }
 
 void ComplEx::ScoreBackward(std::span<const float> h, std::span<const float> r,
@@ -30,28 +27,22 @@ void ComplEx::ScoreBackward(std::span<const float> h, std::span<const float> r,
                             std::span<float> gh, std::span<float> gr,
                             std::span<float> gt) const {
   assert(h.size() % 2 == 0);
-  const size_t m = h.size() / 2;
-  const float* hr = h.data();
-  const float* hi = h.data() + m;
-  const float* rr = r.data();
-  const float* ri = r.data() + m;
-  const float* tr = t.data();
-  const float* ti = t.data() + m;
-  float* ghr = gh.data();
-  float* ghi = gh.data() + m;
-  float* grr = gr.data();
-  float* gri = gr.data() + m;
-  float* gtr = gt.data();
-  float* gti = gt.data() + m;
-  const float u = static_cast<float>(upstream);
-  for (size_t j = 0; j < m; ++j) {
-    ghr[j] += u * (rr[j] * tr[j] + ri[j] * ti[j]);
-    ghi[j] += u * (rr[j] * ti[j] - ri[j] * tr[j]);
-    grr[j] += u * (hr[j] * tr[j] + hi[j] * ti[j]);
-    gri[j] += u * (hr[j] * ti[j] - hi[j] * tr[j]);
-    gtr[j] += u * (hr[j] * rr[j] - hi[j] * ri[j]);
-    gti[j] += u * (hi[j] * rr[j] + hr[j] * ri[j]);
-  }
+  kernels::ComplExScoreBackward(h, r, t, upstream, gh, gr, gt);
+}
+
+void ComplEx::ScoreBatch(const TripleView& ref,
+                         std::span<const TripleView> triples,
+                         std::span<double> scores,
+                         kernels::KernelScratch* scratch) const {
+  kernels::ComplExScoreBatch(ref, triples, scores, scratch);
+}
+
+void ComplEx::ScoreBackwardBatch(const TripleView& ref,
+                                 std::span<const TripleView> triples,
+                                 std::span<const double> upstreams,
+                                 std::span<const GradView> grads,
+                                 kernels::KernelScratch* scratch) const {
+  kernels::ComplExScoreBackwardBatch(ref, triples, upstreams, grads, scratch);
 }
 
 }  // namespace hetkg::embedding

@@ -22,6 +22,16 @@ class ComplEx : public ScoreFunction {
                      std::span<float> gh, std::span<float> gr,
                      std::span<float> gt) const override;
 
+  void ScoreBatch(const TripleView& ref, std::span<const TripleView> triples,
+                  std::span<double> scores,
+                  kernels::KernelScratch* scratch) const override;
+
+  void ScoreBackwardBatch(const TripleView& ref,
+                          std::span<const TripleView> triples,
+                          std::span<const double> upstreams,
+                          std::span<const GradView> grads,
+                          kernels::KernelScratch* scratch) const override;
+
   uint64_t FlopsPerTriple(size_t entity_dim) const override {
     return 22 * static_cast<uint64_t>(entity_dim);
   }

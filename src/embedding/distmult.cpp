@@ -2,16 +2,18 @@
 
 #include <cassert>
 
+#include "embedding/kernels.h"
+
 namespace hetkg::embedding {
+
+// The math lives in embedding/kernels.cpp; the scalar API delegates to
+// the canonical per-triple kernels so Score/ScoreBackward and the batch
+// overrides share one floating-point operation order (DESIGN.md §10).
 
 double DistMult::Score(std::span<const float> h, std::span<const float> r,
                        std::span<const float> t) const {
   assert(h.size() == r.size() && h.size() == t.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < h.size(); ++i) {
-    acc += static_cast<double>(h[i]) * r[i] * t[i];
-  }
-  return acc;
+  return kernels::DistMultScore(h, r, t);
 }
 
 void DistMult::ScoreBackward(std::span<const float> h,
@@ -20,11 +22,22 @@ void DistMult::ScoreBackward(std::span<const float> h,
                              std::span<float> gh, std::span<float> gr,
                              std::span<float> gt) const {
   assert(h.size() == r.size() && h.size() == t.size());
-  for (size_t i = 0; i < h.size(); ++i) {
-    gh[i] += static_cast<float>(upstream * r[i] * t[i]);
-    gr[i] += static_cast<float>(upstream * h[i] * t[i]);
-    gt[i] += static_cast<float>(upstream * h[i] * r[i]);
-  }
+  kernels::DistMultScoreBackward(h, r, t, upstream, gh, gr, gt);
+}
+
+void DistMult::ScoreBatch(const TripleView& ref,
+                          std::span<const TripleView> triples,
+                          std::span<double> scores,
+                          kernels::KernelScratch* scratch) const {
+  kernels::DistMultScoreBatch(ref, triples, scores, scratch);
+}
+
+void DistMult::ScoreBackwardBatch(const TripleView& ref,
+                                  std::span<const TripleView> triples,
+                                  std::span<const double> upstreams,
+                                  std::span<const GradView> grads,
+                                  kernels::KernelScratch* scratch) const {
+  kernels::DistMultScoreBackwardBatch(ref, triples, upstreams, grads, scratch);
 }
 
 }  // namespace hetkg::embedding

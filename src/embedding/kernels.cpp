@@ -1,0 +1,1099 @@
+#include "embedding/kernels.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/logging.h"
+
+// The AVX2 kernels are compiled with per-function target attributes so
+// the library still builds for (and runs on) baseline x86-64; dispatch
+// picks them only when the CPU reports AVX2. Bit-identity with the
+// portable lanes relies on every vector op being IEEE-exact (add, sub,
+// mul, div, sqrt, cvt, and bitwise abs/sign games) and on FMA
+// contraction being disabled project-wide (-ffp-contract=off): a fused
+// multiply-add rounds once where the portable path rounds twice.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HETKG_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace hetkg::embedding::kernels {
+
+// ======================================================================
+// Dispatch
+// ======================================================================
+
+namespace {
+
+std::atomic<int> g_path{-1};  // -1 = not yet resolved.
+std::atomic<int> g_mode{static_cast<int>(KernelMode::kAuto)};
+std::once_flag g_log_once;
+
+}  // namespace
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if HETKG_KERNELS_X86
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+std::string CpuFeatures::ToString() const {
+  std::string s;
+  if (avx2) s += "avx2";
+  if (fma) s += s.empty() ? "fma" : "+fma";
+  return s.empty() ? "none" : s;
+}
+
+Result<KernelMode> ParseKernelMode(std::string_view name) {
+  if (name == "auto") return KernelMode::kAuto;
+  if (name == "scalar") return KernelMode::kScalar;
+  if (name == "vector") return KernelMode::kVector;
+  return Status::InvalidArgument("unknown kernel mode: " + std::string(name) +
+                                 " (want auto | scalar | vector)");
+}
+
+std::string_view KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kAuto:
+      return "auto";
+    case KernelMode::kScalar:
+      return "scalar";
+    case KernelMode::kVector:
+      return "vector";
+  }
+  return "unknown";
+}
+
+std::string_view KernelPathName(KernelPath path) {
+  switch (path) {
+    case KernelPath::kScalar:
+      return "scalar";
+    case KernelPath::kPortableVector:
+      return "portable-vector";
+    case KernelPath::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+KernelPath ResolveKernelPath(KernelMode mode) {
+  if (mode == KernelMode::kAuto) {
+    if (const char* env = std::getenv("HETKG_KERNEL");
+        env != nullptr && *env != '\0') {
+      if (const Result<KernelMode> parsed = ParseKernelMode(env);
+          parsed.ok()) {
+        mode = *parsed;
+      }
+    }
+  }
+  if (mode == KernelMode::kScalar) return KernelPath::kScalar;
+#if HETKG_KERNELS_X86
+  if (DetectCpuFeatures().avx2) return KernelPath::kAvx2;
+#endif
+  return KernelPath::kPortableVector;
+}
+
+void SetKernelMode(KernelMode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+  g_path.store(static_cast<int>(ResolveKernelPath(mode)),
+               std::memory_order_relaxed);
+}
+
+KernelMode ActiveMode() {
+  return static_cast<KernelMode>(g_mode.load(std::memory_order_relaxed));
+}
+
+KernelPath ActivePath() {
+  int p = g_path.load(std::memory_order_relaxed);
+  if (p < 0) {
+    p = static_cast<int>(ResolveKernelPath(KernelMode::kAuto));
+    g_path.store(p, std::memory_order_relaxed);
+  }
+  return static_cast<KernelPath>(p);
+}
+
+bool UseVectorPath() { return ActivePath() != KernelPath::kScalar; }
+
+double DispatchGauge() { return static_cast<double>(ActivePath()); }
+
+void LogDispatchOnce() {
+  std::call_once(g_log_once, [] {
+    const char* env = std::getenv("HETKG_KERNEL");
+    HETKG_LOG(Info) << "kernel dispatch: path=" << KernelPathName(ActivePath())
+                    << " (mode=" << KernelModeName(ActiveMode())
+                    << ", cpu features: " << DetectCpuFeatures().ToString()
+                    << ", HETKG_KERNEL="
+                    << (env != nullptr && *env != '\0' ? env : "<unset>")
+                    << ")";
+  });
+}
+
+// ======================================================================
+// Primitives
+// ======================================================================
+//
+// Naming: *Full takes raw (h, r, t) rows; *Hoisted takes the
+// precomputed double-precision query intermediate instead of (h, r).
+// Every reduction accumulates element j into lane j % kLaneWidth and
+// merges through TreeReduce8, so the Full/Hoisted/portable/AVX2 forms
+// of one expression are interchangeable at the bit level.
+
+namespace {
+
+// ---- TransE ----------------------------------------------------------
+// Canonical element term: e_j = (double(h_j) + r_j) - t_j.
+// Score: -sum |e| (L1) or -sqrt(sum e^2) (L2).
+
+void TransEHoist(std::span<const float> h, std::span<const float> r,
+                 std::vector<double>* hr) {
+  const size_t n = h.size();
+  if (hr->size() < n) hr->resize(n);
+  const float* __restrict__ hp = h.data();
+  const float* __restrict__ rp = r.data();
+  double* __restrict__ out = hr->data();
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<double>(hp[j]) + rp[j];
+  }
+}
+
+double TransEReduceFull(int p, const float* __restrict__ h,
+                        const float* __restrict__ r,
+                        const float* __restrict__ t, size_t n) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < n; ++j) {
+    const double e = (static_cast<double>(h[j]) + r[j]) - t[j];
+    lane[j % kLaneWidth] += p == 1 ? std::fabs(e) : e * e;
+  }
+  return TreeReduce8(lane);
+}
+
+double TransEReduceHoisted(int p, const double* __restrict__ hr,
+                           const float* __restrict__ t, size_t n) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < n; ++j) {
+    const double e = hr[j] - t[j];
+    lane[j % kLaneWidth] += p == 1 ? std::fabs(e) : e * e;
+  }
+  return TreeReduce8(lane);
+}
+
+// Gradient application; coeff = -upstream (L1, multiplied by sign(e))
+// or -upstream/||e|| (L2, multiplied by e). The three updates run in
+// the same per-element order as the scalar API so aliased rows
+// (self-loop triples where gh and gt are the same row) stay identical.
+void TransEApplyFull(int p, double coeff, const float* h, const float* r,
+                     const float* t, float* gh, float* gr, float* gt,
+                     size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    const double e = (static_cast<double>(h[j]) + r[j]) - t[j];
+    const double v = p == 1 ? (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) : e;
+    const float g = static_cast<float>(coeff * v);
+    gh[j] += g;
+    gr[j] += g;
+    gt[j] -= g;
+  }
+}
+
+void TransEApplyHoisted(int p, double coeff, const double* hr, const float* t,
+                        float* gh, float* gr, float* gt, size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    const double e = hr[j] - t[j];
+    const double v = p == 1 ? (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) : e;
+    const float g = static_cast<float>(coeff * v);
+    gh[j] += g;
+    gr[j] += g;
+    gt[j] -= g;
+  }
+}
+
+#if HETKG_KERNELS_X86
+
+__attribute__((target("avx2"))) inline __m256d CvtLo(__m256 f) {
+  return _mm256_cvtps_pd(_mm256_castps256_ps128(f));
+}
+__attribute__((target("avx2"))) inline __m256d CvtHi(__m256 f) {
+  return _mm256_cvtps_pd(_mm256_extractf128_ps(f, 1));
+}
+
+__attribute__((target("avx2"))) double TransEReduceFullAvx2(
+    int p, const float* h, const float* r, const float* t, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 hf = _mm256_loadu_ps(h + j);
+    const __m256 rf = _mm256_loadu_ps(r + j);
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    const __m256d e0 =
+        _mm256_sub_pd(_mm256_add_pd(CvtLo(hf), CvtLo(rf)), CvtLo(tf));
+    const __m256d e1 =
+        _mm256_sub_pd(_mm256_add_pd(CvtHi(hf), CvtHi(rf)), CvtHi(tf));
+    if (p == 1) {
+      acc0 = _mm256_add_pd(acc0, _mm256_and_pd(e0, abs_mask));
+      acc1 = _mm256_add_pd(acc1, _mm256_and_pd(e1, abs_mask));
+    } else {
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(e0, e0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(e1, e1));
+    }
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < n; ++j, ++k) {
+    const double e = (static_cast<double>(h[j]) + r[j]) - t[j];
+    lane[k] += p == 1 ? std::fabs(e) : e * e;
+  }
+  return TreeReduce8(lane);
+}
+
+__attribute__((target("avx2"))) double TransEReduceHoistedAvx2(
+    int p, const double* hr, const float* t, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    const __m256d e0 = _mm256_sub_pd(_mm256_loadu_pd(hr + j), CvtLo(tf));
+    const __m256d e1 = _mm256_sub_pd(_mm256_loadu_pd(hr + j + 4), CvtHi(tf));
+    if (p == 1) {
+      acc0 = _mm256_add_pd(acc0, _mm256_and_pd(e0, abs_mask));
+      acc1 = _mm256_add_pd(acc1, _mm256_and_pd(e1, abs_mask));
+    } else {
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(e0, e0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(e1, e1));
+    }
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < n; ++j, ++k) {
+    const double e = hr[j] - t[j];
+    lane[k] += p == 1 ? std::fabs(e) : e * e;
+  }
+  return TreeReduce8(lane);
+}
+
+// sign(e) as (e > 0) - (e < 0) built from compare masks; multiplying by
+// the exact constants {1.0, -1.0, 0.0} matches the scalar branches.
+__attribute__((target("avx2"))) inline __m256d SignPd(__m256d e) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d pos =
+      _mm256_and_pd(_mm256_cmp_pd(e, zero, _CMP_GT_OQ), one);
+  const __m256d neg =
+      _mm256_and_pd(_mm256_cmp_pd(zero, e, _CMP_GT_OQ), one);
+  return _mm256_sub_pd(pos, neg);
+}
+
+__attribute__((target("avx2"))) void TransEApplyAvx2(
+    int p, double coeff, const double* hr_or_null, const float* h,
+    const float* r, const float* t, float* gh, float* gr, float* gt,
+    size_t n) {
+  const __m256d coeffv = _mm256_set1_pd(coeff);
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    __m256d e0, e1;
+    if (hr_or_null != nullptr) {
+      e0 = _mm256_sub_pd(_mm256_loadu_pd(hr_or_null + j), CvtLo(tf));
+      e1 = _mm256_sub_pd(_mm256_loadu_pd(hr_or_null + j + 4), CvtHi(tf));
+    } else {
+      const __m256 hf = _mm256_loadu_ps(h + j);
+      const __m256 rf = _mm256_loadu_ps(r + j);
+      e0 = _mm256_sub_pd(_mm256_add_pd(CvtLo(hf), CvtLo(rf)), CvtLo(tf));
+      e1 = _mm256_sub_pd(_mm256_add_pd(CvtHi(hf), CvtHi(rf)), CvtHi(tf));
+    }
+    const __m256d v0 = p == 1 ? SignPd(e0) : e0;
+    const __m256d v1 = p == 1 ? SignPd(e1) : e1;
+    const __m128 g0 = _mm256_cvtpd_ps(_mm256_mul_pd(coeffv, v0));
+    const __m128 g1 = _mm256_cvtpd_ps(_mm256_mul_pd(coeffv, v1));
+    const __m256 g8 = _mm256_set_m128(g1, g0);
+    _mm256_storeu_ps(gh + j, _mm256_add_ps(_mm256_loadu_ps(gh + j), g8));
+    _mm256_storeu_ps(gr + j, _mm256_add_ps(_mm256_loadu_ps(gr + j), g8));
+    _mm256_storeu_ps(gt + j, _mm256_sub_ps(_mm256_loadu_ps(gt + j), g8));
+  }
+  for (; j < n; ++j) {
+    const double e = hr_or_null != nullptr
+                         ? hr_or_null[j] - t[j]
+                         : (static_cast<double>(h[j]) + r[j]) - t[j];
+    const double v = p == 1 ? (e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0)) : e;
+    const float g = static_cast<float>(coeff * v);
+    gh[j] += g;
+    gr[j] += g;
+    gt[j] -= g;
+  }
+}
+
+#endif  // HETKG_KERNELS_X86
+
+double TransEReduceFullDispatch(int p, const float* h, const float* r,
+                                const float* t, size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return TransEReduceFullAvx2(p, h, r, t, n);
+  }
+#endif
+  return TransEReduceFull(p, h, r, t, n);
+}
+
+double TransEReduceHoistedDispatch(int p, const double* hr, const float* t,
+                                   size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return TransEReduceHoistedAvx2(p, hr, t, n);
+  }
+#endif
+  return TransEReduceHoisted(p, hr, t, n);
+}
+
+void TransEApplyDispatch(int p, double coeff, const double* hr_or_null,
+                         const float* h, const float* r, const float* t,
+                         float* gh, float* gr, float* gt, size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    TransEApplyAvx2(p, coeff, hr_or_null, h, r, t, gh, gr, gt, n);
+    return;
+  }
+#endif
+  if (hr_or_null != nullptr) {
+    TransEApplyHoisted(p, coeff, hr_or_null, t, gh, gr, gt, n);
+  } else {
+    TransEApplyFull(p, coeff, h, r, t, gh, gr, gt, n);
+  }
+}
+
+// ---- DistMult --------------------------------------------------------
+// Canonical element term: (double(h_j) * r_j) * t_j.
+
+void DistMultHoist(std::span<const float> h, std::span<const float> r,
+                   std::vector<double>* hr) {
+  const size_t n = h.size();
+  if (hr->size() < n) hr->resize(n);
+  const float* __restrict__ hp = h.data();
+  const float* __restrict__ rp = r.data();
+  double* __restrict__ out = hr->data();
+  for (size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<double>(hp[j]) * rp[j];
+  }
+}
+
+double DistMultReduceFull(const float* __restrict__ h,
+                          const float* __restrict__ r,
+                          const float* __restrict__ t, size_t n) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < n; ++j) {
+    lane[j % kLaneWidth] += (static_cast<double>(h[j]) * r[j]) * t[j];
+  }
+  return TreeReduce8(lane);
+}
+
+double DistMultReduceHoisted(const double* __restrict__ hr,
+                             const float* __restrict__ t, size_t n) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < n; ++j) {
+    lane[j % kLaneWidth] += hr[j] * t[j];
+  }
+  return TreeReduce8(lane);
+}
+
+void DistMultApply(double upstream, const float* h, const float* r,
+                   const float* t, float* gh, float* gr, float* gt,
+                   size_t n) {
+  for (size_t j = 0; j < n; ++j) {
+    gh[j] += static_cast<float>((upstream * r[j]) * t[j]);
+    gr[j] += static_cast<float>((upstream * h[j]) * t[j]);
+    gt[j] += static_cast<float>((upstream * h[j]) * r[j]);
+  }
+}
+
+#if HETKG_KERNELS_X86
+
+__attribute__((target("avx2"))) double DistMultReduceFullAvx2(
+    const float* h, const float* r, const float* t, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 hf = _mm256_loadu_ps(h + j);
+    const __m256 rf = _mm256_loadu_ps(r + j);
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_mul_pd(CvtLo(hf), CvtLo(rf)), CvtLo(tf)));
+    acc1 = _mm256_add_pd(
+        acc1, _mm256_mul_pd(_mm256_mul_pd(CvtHi(hf), CvtHi(rf)), CvtHi(tf)));
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < n; ++j, ++k) {
+    lane[k] += (static_cast<double>(h[j]) * r[j]) * t[j];
+  }
+  return TreeReduce8(lane);
+}
+
+__attribute__((target("avx2"))) double DistMultReduceHoistedAvx2(
+    const double* hr, const float* t, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    acc0 = _mm256_add_pd(acc0,
+                         _mm256_mul_pd(_mm256_loadu_pd(hr + j), CvtLo(tf)));
+    acc1 = _mm256_add_pd(
+        acc1, _mm256_mul_pd(_mm256_loadu_pd(hr + j + 4), CvtHi(tf)));
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < n; ++j, ++k) {
+    lane[k] += hr[j] * t[j];
+  }
+  return TreeReduce8(lane);
+}
+
+__attribute__((target("avx2"))) void DistMultApplyAvx2(
+    double upstream, const float* h, const float* r, const float* t,
+    float* gh, float* gr, float* gt, size_t n) {
+  const __m256d uv = _mm256_set1_pd(upstream);
+  size_t j = 0;
+  for (; j + kLaneWidth <= n; j += kLaneWidth) {
+    const __m256 hf = _mm256_loadu_ps(h + j);
+    const __m256 rf = _mm256_loadu_ps(r + j);
+    const __m256 tf = _mm256_loadu_ps(t + j);
+    const __m256d h0 = CvtLo(hf), h1 = CvtHi(hf);
+    const __m256d r0 = CvtLo(rf), r1 = CvtHi(rf);
+    const __m256d t0 = CvtLo(tf), t1 = CvtHi(tf);
+    const __m256 ghd = _mm256_set_m128(
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, r1), t1)),
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, r0), t0)));
+    const __m256 grd = _mm256_set_m128(
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, h1), t1)),
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, h0), t0)));
+    const __m256 gtd = _mm256_set_m128(
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, h1), r1)),
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(uv, h0), r0)));
+    _mm256_storeu_ps(gh + j, _mm256_add_ps(_mm256_loadu_ps(gh + j), ghd));
+    _mm256_storeu_ps(gr + j, _mm256_add_ps(_mm256_loadu_ps(gr + j), grd));
+    _mm256_storeu_ps(gt + j, _mm256_add_ps(_mm256_loadu_ps(gt + j), gtd));
+  }
+  for (; j < n; ++j) {
+    gh[j] += static_cast<float>((upstream * r[j]) * t[j]);
+    gr[j] += static_cast<float>((upstream * h[j]) * t[j]);
+    gt[j] += static_cast<float>((upstream * h[j]) * r[j]);
+  }
+}
+
+#endif  // HETKG_KERNELS_X86
+
+double DistMultReduceFullDispatch(const float* h, const float* r,
+                                  const float* t, size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return DistMultReduceFullAvx2(h, r, t, n);
+  }
+#endif
+  return DistMultReduceFull(h, r, t, n);
+}
+
+double DistMultReduceHoistedDispatch(const double* hr, const float* t,
+                                     size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return DistMultReduceHoistedAvx2(hr, t, n);
+  }
+#endif
+  return DistMultReduceHoisted(hr, t, n);
+}
+
+void DistMultApplyDispatch(double upstream, const float* h, const float* r,
+                           const float* t, float* gh, float* gr, float* gt,
+                           size_t n) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    DistMultApplyAvx2(upstream, h, r, t, gh, gr, gt, n);
+    return;
+  }
+#endif
+  DistMultApply(upstream, h, r, t, gh, gr, gt, n);
+}
+
+// ---- ComplEx ---------------------------------------------------------
+// Rows store [real; imag] halves of length m = dim/2. Canonical score
+// term groups by the tail (the h∘r complex product):
+//   A_j = (double(hRe_j) * rRe_j) - (double(hIm_j) * rIm_j)
+//   B_j = (double(hIm_j) * rRe_j) + (double(hRe_j) * rIm_j)
+//   term_j = (A_j * tRe_j) + (B_j * tIm_j)
+
+void ComplExHoist(std::span<const float> h, std::span<const float> r,
+                  std::vector<double>* a, std::vector<double>* b) {
+  const size_t m = h.size() / 2;
+  if (a->size() < m) a->resize(m);
+  if (b->size() < m) b->resize(m);
+  const float* __restrict__ hre = h.data();
+  const float* __restrict__ him = h.data() + m;
+  const float* __restrict__ rre = r.data();
+  const float* __restrict__ rim = r.data() + m;
+  double* __restrict__ A = a->data();
+  double* __restrict__ B = b->data();
+  for (size_t j = 0; j < m; ++j) {
+    A[j] = (static_cast<double>(hre[j]) * rre[j]) -
+           (static_cast<double>(him[j]) * rim[j]);
+    B[j] = (static_cast<double>(him[j]) * rre[j]) +
+           (static_cast<double>(hre[j]) * rim[j]);
+  }
+}
+
+double ComplExReduceFull(const float* __restrict__ hre,
+                         const float* __restrict__ him,
+                         const float* __restrict__ rre,
+                         const float* __restrict__ rim,
+                         const float* __restrict__ tre,
+                         const float* __restrict__ tim, size_t m) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < m; ++j) {
+    const double a = (static_cast<double>(hre[j]) * rre[j]) -
+                     (static_cast<double>(him[j]) * rim[j]);
+    const double b = (static_cast<double>(him[j]) * rre[j]) +
+                     (static_cast<double>(hre[j]) * rim[j]);
+    lane[j % kLaneWidth] += (a * tre[j]) + (b * tim[j]);
+  }
+  return TreeReduce8(lane);
+}
+
+double ComplExReduceHoisted(const double* __restrict__ A,
+                            const double* __restrict__ B,
+                            const float* __restrict__ tre,
+                            const float* __restrict__ tim, size_t m) {
+  double lane[kLaneWidth] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t j = 0; j < m; ++j) {
+    lane[j % kLaneWidth] += (A[j] * tre[j]) + (B[j] * tim[j]);
+  }
+  return TreeReduce8(lane);
+}
+
+// Backward keeps the scalar API's single-precision expression trees.
+void ComplExApply(float u, const float* hre, const float* him,
+                  const float* rre, const float* rim, const float* tre,
+                  const float* tim, float* ghre, float* ghim, float* grre,
+                  float* grim, float* gtre, float* gtim, size_t m) {
+  for (size_t j = 0; j < m; ++j) {
+    ghre[j] += u * (rre[j] * tre[j] + rim[j] * tim[j]);
+    ghim[j] += u * (rre[j] * tim[j] - rim[j] * tre[j]);
+    grre[j] += u * (hre[j] * tre[j] + him[j] * tim[j]);
+    grim[j] += u * (hre[j] * tim[j] - him[j] * tre[j]);
+    gtre[j] += u * (hre[j] * rre[j] - him[j] * rim[j]);
+    gtim[j] += u * (him[j] * rre[j] + hre[j] * rim[j]);
+  }
+}
+
+#if HETKG_KERNELS_X86
+
+__attribute__((target("avx2"))) double ComplExReduceFullAvx2(
+    const float* hre, const float* him, const float* rre, const float* rim,
+    const float* tre, const float* tim, size_t m) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + kLaneWidth <= m; j += kLaneWidth) {
+    const __m256 href = _mm256_loadu_ps(hre + j);
+    const __m256 himf = _mm256_loadu_ps(him + j);
+    const __m256 rref = _mm256_loadu_ps(rre + j);
+    const __m256 rimf = _mm256_loadu_ps(rim + j);
+    const __m256 tref = _mm256_loadu_ps(tre + j);
+    const __m256 timf = _mm256_loadu_ps(tim + j);
+    const __m256d a0 =
+        _mm256_sub_pd(_mm256_mul_pd(CvtLo(href), CvtLo(rref)),
+                      _mm256_mul_pd(CvtLo(himf), CvtLo(rimf)));
+    const __m256d a1 =
+        _mm256_sub_pd(_mm256_mul_pd(CvtHi(href), CvtHi(rref)),
+                      _mm256_mul_pd(CvtHi(himf), CvtHi(rimf)));
+    const __m256d b0 =
+        _mm256_add_pd(_mm256_mul_pd(CvtLo(himf), CvtLo(rref)),
+                      _mm256_mul_pd(CvtLo(href), CvtLo(rimf)));
+    const __m256d b1 =
+        _mm256_add_pd(_mm256_mul_pd(CvtHi(himf), CvtHi(rref)),
+                      _mm256_mul_pd(CvtHi(href), CvtHi(rimf)));
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_add_pd(_mm256_mul_pd(a0, CvtLo(tref)),
+                            _mm256_mul_pd(b0, CvtLo(timf))));
+    acc1 = _mm256_add_pd(
+        acc1, _mm256_add_pd(_mm256_mul_pd(a1, CvtHi(tref)),
+                            _mm256_mul_pd(b1, CvtHi(timf))));
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < m; ++j, ++k) {
+    const double a = (static_cast<double>(hre[j]) * rre[j]) -
+                     (static_cast<double>(him[j]) * rim[j]);
+    const double b = (static_cast<double>(him[j]) * rre[j]) +
+                     (static_cast<double>(hre[j]) * rim[j]);
+    lane[k] += (a * tre[j]) + (b * tim[j]);
+  }
+  return TreeReduce8(lane);
+}
+
+__attribute__((target("avx2"))) double ComplExReduceHoistedAvx2(
+    const double* A, const double* B, const float* tre, const float* tim,
+    size_t m) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t j = 0;
+  for (; j + kLaneWidth <= m; j += kLaneWidth) {
+    const __m256 tref = _mm256_loadu_ps(tre + j);
+    const __m256 timf = _mm256_loadu_ps(tim + j);
+    acc0 = _mm256_add_pd(
+        acc0,
+        _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(A + j), CvtLo(tref)),
+                      _mm256_mul_pd(_mm256_loadu_pd(B + j), CvtLo(timf))));
+    acc1 = _mm256_add_pd(
+        acc1,
+        _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(A + j + 4), CvtHi(tref)),
+                      _mm256_mul_pd(_mm256_loadu_pd(B + j + 4), CvtHi(timf))));
+  }
+  double lane[kLaneWidth];
+  _mm256_storeu_pd(lane, acc0);
+  _mm256_storeu_pd(lane + 4, acc1);
+  for (size_t k = 0; j < m; ++j, ++k) {
+    lane[k] += (A[j] * tre[j]) + (B[j] * tim[j]);
+  }
+  return TreeReduce8(lane);
+}
+
+__attribute__((target("avx2"))) void ComplExApplyAvx2(
+    float u, const float* hre, const float* him, const float* rre,
+    const float* rim, const float* tre, const float* tim, float* ghre,
+    float* ghim, float* grre, float* grim, float* gtre, float* gtim,
+    size_t m) {
+  const __m256 uv = _mm256_set1_ps(u);
+  size_t j = 0;
+  for (; j + kLaneWidth <= m; j += kLaneWidth) {
+    const __m256 href = _mm256_loadu_ps(hre + j);
+    const __m256 himf = _mm256_loadu_ps(him + j);
+    const __m256 rref = _mm256_loadu_ps(rre + j);
+    const __m256 rimf = _mm256_loadu_ps(rim + j);
+    const __m256 tref = _mm256_loadu_ps(tre + j);
+    const __m256 timf = _mm256_loadu_ps(tim + j);
+    _mm256_storeu_ps(
+        ghre + j,
+        _mm256_add_ps(_mm256_loadu_ps(ghre + j),
+                      _mm256_mul_ps(uv, _mm256_add_ps(
+                                            _mm256_mul_ps(rref, tref),
+                                            _mm256_mul_ps(rimf, timf)))));
+    _mm256_storeu_ps(
+        ghim + j,
+        _mm256_add_ps(_mm256_loadu_ps(ghim + j),
+                      _mm256_mul_ps(uv, _mm256_sub_ps(
+                                            _mm256_mul_ps(rref, timf),
+                                            _mm256_mul_ps(rimf, tref)))));
+    _mm256_storeu_ps(
+        grre + j,
+        _mm256_add_ps(_mm256_loadu_ps(grre + j),
+                      _mm256_mul_ps(uv, _mm256_add_ps(
+                                            _mm256_mul_ps(href, tref),
+                                            _mm256_mul_ps(himf, timf)))));
+    _mm256_storeu_ps(
+        grim + j,
+        _mm256_add_ps(_mm256_loadu_ps(grim + j),
+                      _mm256_mul_ps(uv, _mm256_sub_ps(
+                                            _mm256_mul_ps(href, timf),
+                                            _mm256_mul_ps(himf, tref)))));
+    _mm256_storeu_ps(
+        gtre + j,
+        _mm256_add_ps(_mm256_loadu_ps(gtre + j),
+                      _mm256_mul_ps(uv, _mm256_sub_ps(
+                                            _mm256_mul_ps(href, rref),
+                                            _mm256_mul_ps(himf, rimf)))));
+    _mm256_storeu_ps(
+        gtim + j,
+        _mm256_add_ps(_mm256_loadu_ps(gtim + j),
+                      _mm256_mul_ps(uv, _mm256_add_ps(
+                                            _mm256_mul_ps(himf, rref),
+                                            _mm256_mul_ps(href, rimf)))));
+  }
+  for (; j < m; ++j) {
+    ghre[j] += u * (rre[j] * tre[j] + rim[j] * tim[j]);
+    ghim[j] += u * (rre[j] * tim[j] - rim[j] * tre[j]);
+    grre[j] += u * (hre[j] * tre[j] + him[j] * tim[j]);
+    grim[j] += u * (hre[j] * tim[j] - him[j] * tre[j]);
+    gtre[j] += u * (hre[j] * rre[j] - him[j] * rim[j]);
+    gtim[j] += u * (him[j] * rre[j] + hre[j] * rim[j]);
+  }
+}
+
+#endif  // HETKG_KERNELS_X86
+
+double ComplExReduceFullDispatch(const float* hre, const float* him,
+                                 const float* rre, const float* rim,
+                                 const float* tre, const float* tim,
+                                 size_t m) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return ComplExReduceFullAvx2(hre, him, rre, rim, tre, tim, m);
+  }
+#endif
+  return ComplExReduceFull(hre, him, rre, rim, tre, tim, m);
+}
+
+double ComplExReduceHoistedDispatch(const double* A, const double* B,
+                                    const float* tre, const float* tim,
+                                    size_t m) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    return ComplExReduceHoistedAvx2(A, B, tre, tim, m);
+  }
+#endif
+  return ComplExReduceHoisted(A, B, tre, tim, m);
+}
+
+void ComplExApplyDispatch(float u, const float* hre, const float* him,
+                          const float* rre, const float* rim,
+                          const float* tre, const float* tim, float* ghre,
+                          float* ghim, float* grre, float* grim, float* gtre,
+                          float* gtim, size_t m) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    ComplExApplyAvx2(u, hre, him, rre, rim, tre, tim, ghre, ghim, grre, grim,
+                     gtre, gtim, m);
+    return;
+  }
+#endif
+  ComplExApply(u, hre, him, rre, rim, tre, tim, ghre, ghim, grre, grim, gtre,
+               gtim, m);
+}
+
+/// True when `v` can reuse a query intermediate hoisted from `ref`
+/// (same head and relation ROWS — detected by storage identity, which
+/// is exact because both alias the same batch scratch).
+bool SharesQuery(const TripleView& v, const TripleView& ref) {
+  return v.h.data() == ref.h.data() && v.r.data() == ref.r.data();
+}
+
+}  // namespace
+
+// ======================================================================
+// Canonical per-triple kernels (the scalar ScoreFunction API)
+// ======================================================================
+
+double TransEScore(int p, std::span<const float> h, std::span<const float> r,
+                   std::span<const float> t) {
+  assert(h.size() == r.size() && h.size() == t.size());
+  const double acc = TransEReduceFullDispatch(p, h.data(), r.data(), t.data(),
+                                              h.size());
+  return p == 1 ? -acc : -std::sqrt(acc);
+}
+
+void TransEScoreBackward(int p, std::span<const float> h,
+                         std::span<const float> r, std::span<const float> t,
+                         double upstream, std::span<float> gh,
+                         std::span<float> gr, std::span<float> gt) {
+  assert(h.size() == r.size() && h.size() == t.size());
+  assert(gh.size() == h.size() && gr.size() == r.size() &&
+         gt.size() == t.size());
+  const size_t n = h.size();
+  if (p == 1) {
+    // d(-|e|_1)/de_i = -sign(e_i).
+    TransEApplyDispatch(1, -upstream, nullptr, h.data(), r.data(), t.data(),
+                        gh.data(), gr.data(), gt.data(), n);
+    return;
+  }
+  // d(-||e||_2)/de_i = -e_i / ||e||_2.
+  const double norm =
+      std::sqrt(TransEReduceFullDispatch(2, h.data(), r.data(), t.data(), n));
+  if (norm <= 1e-12) return;  // Gradient is zero at the exact minimum.
+  TransEApplyDispatch(2, -upstream / norm, nullptr, h.data(), r.data(),
+                      t.data(), gh.data(), gr.data(), gt.data(), n);
+}
+
+double DistMultScore(std::span<const float> h, std::span<const float> r,
+                     std::span<const float> t) {
+  assert(h.size() == r.size() && h.size() == t.size());
+  return DistMultReduceFullDispatch(h.data(), r.data(), t.data(), h.size());
+}
+
+void DistMultScoreBackward(std::span<const float> h, std::span<const float> r,
+                           std::span<const float> t, double upstream,
+                           std::span<float> gh, std::span<float> gr,
+                           std::span<float> gt) {
+  assert(h.size() == r.size() && h.size() == t.size());
+  DistMultApplyDispatch(upstream, h.data(), r.data(), t.data(), gh.data(),
+                        gr.data(), gt.data(), h.size());
+}
+
+double ComplExScore(std::span<const float> h, std::span<const float> r,
+                    std::span<const float> t) {
+  assert(h.size() % 2 == 0);
+  assert(h.size() == r.size() && h.size() == t.size());
+  const size_t m = h.size() / 2;
+  return ComplExReduceFullDispatch(h.data(), h.data() + m, r.data(),
+                                   r.data() + m, t.data(), t.data() + m, m);
+}
+
+void ComplExScoreBackward(std::span<const float> h, std::span<const float> r,
+                          std::span<const float> t, double upstream,
+                          std::span<float> gh, std::span<float> gr,
+                          std::span<float> gt) {
+  assert(h.size() % 2 == 0);
+  const size_t m = h.size() / 2;
+  ComplExApplyDispatch(static_cast<float>(upstream), h.data(), h.data() + m,
+                       r.data(), r.data() + m, t.data(), t.data() + m,
+                       gh.data(), gh.data() + m, gr.data(), gr.data() + m,
+                       gt.data(), gt.data() + m, m);
+}
+
+// ======================================================================
+// Batched kernels
+// ======================================================================
+
+void TransEScoreBatch(int p, const TripleView& ref,
+                      std::span<const TripleView> triples,
+                      std::span<double> scores, KernelScratch* scratch) {
+  assert(scores.size() == triples.size());
+  if (!UseVectorPath() || scratch == nullptr) {
+    for (size_t k = 0; k < triples.size(); ++k) {
+      scores[k] = TransEScore(p, triples[k].h, triples[k].r, triples[k].t);
+    }
+    return;
+  }
+  bool hoisted = false;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    const TripleView& v = triples[k];
+    const size_t n = v.h.size();
+    double acc;
+    if (SharesQuery(v, ref)) {
+      if (!hoisted) {
+        TransEHoist(ref.h, ref.r, &scratch->a);
+        hoisted = true;
+      }
+      acc = TransEReduceHoistedDispatch(p, scratch->a.data(), v.t.data(), n);
+    } else {
+      acc = TransEReduceFullDispatch(p, v.h.data(), v.r.data(), v.t.data(), n);
+    }
+    scores[k] = p == 1 ? -acc : -std::sqrt(acc);
+  }
+}
+
+void TransEScoreBackwardBatch(int p, const TripleView& ref,
+                              std::span<const TripleView> triples,
+                              std::span<const double> upstreams,
+                              std::span<const GradView> grads,
+                              KernelScratch* scratch) {
+  assert(upstreams.size() == triples.size() &&
+         grads.size() == triples.size());
+  if (!UseVectorPath() || scratch == nullptr) {
+    for (size_t k = 0; k < triples.size(); ++k) {
+      if (upstreams[k] == 0.0) continue;
+      TransEScoreBackward(p, triples[k].h, triples[k].r, triples[k].t,
+                          upstreams[k], grads[k].h, grads[k].r, grads[k].t);
+    }
+    return;
+  }
+  bool hoisted = false;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    if (upstreams[k] == 0.0) continue;
+    const TripleView& v = triples[k];
+    const GradView& g = grads[k];
+    const size_t n = v.h.size();
+    const double* hr = nullptr;
+    if (SharesQuery(v, ref)) {
+      if (!hoisted) {
+        TransEHoist(ref.h, ref.r, &scratch->a);
+        hoisted = true;
+      }
+      hr = scratch->a.data();
+    }
+    if (p == 1) {
+      TransEApplyDispatch(1, -upstreams[k], hr, v.h.data(), v.r.data(),
+                          v.t.data(), g.h.data(), g.r.data(), g.t.data(), n);
+      continue;
+    }
+    const double norm = std::sqrt(
+        hr != nullptr
+            ? TransEReduceHoistedDispatch(2, hr, v.t.data(), n)
+            : TransEReduceFullDispatch(2, v.h.data(), v.r.data(), v.t.data(),
+                                       n));
+    if (norm <= 1e-12) continue;  // Zero gradient at the exact minimum.
+    TransEApplyDispatch(2, -upstreams[k] / norm, hr, v.h.data(), v.r.data(),
+                        v.t.data(), g.h.data(), g.r.data(), g.t.data(), n);
+  }
+}
+
+void DistMultScoreBatch(const TripleView& ref,
+                        std::span<const TripleView> triples,
+                        std::span<double> scores, KernelScratch* scratch) {
+  assert(scores.size() == triples.size());
+  if (!UseVectorPath() || scratch == nullptr) {
+    for (size_t k = 0; k < triples.size(); ++k) {
+      scores[k] = DistMultScore(triples[k].h, triples[k].r, triples[k].t);
+    }
+    return;
+  }
+  bool hoisted = false;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    const TripleView& v = triples[k];
+    const size_t n = v.h.size();
+    if (SharesQuery(v, ref)) {
+      if (!hoisted) {
+        DistMultHoist(ref.h, ref.r, &scratch->a);
+        hoisted = true;
+      }
+      scores[k] =
+          DistMultReduceHoistedDispatch(scratch->a.data(), v.t.data(), n);
+    } else {
+      scores[k] =
+          DistMultReduceFullDispatch(v.h.data(), v.r.data(), v.t.data(), n);
+    }
+  }
+}
+
+void DistMultScoreBackwardBatch(const TripleView& ref,
+                                std::span<const TripleView> triples,
+                                std::span<const double> upstreams,
+                                std::span<const GradView> grads,
+                                KernelScratch* scratch) {
+  (void)ref;
+  (void)scratch;
+  assert(upstreams.size() == triples.size() &&
+         grads.size() == triples.size());
+  // The DistMult gradient has no reusable (h, r) intermediate under the
+  // canonical association; each entry takes the vectorized full form.
+  for (size_t k = 0; k < triples.size(); ++k) {
+    if (upstreams[k] == 0.0) continue;
+    const TripleView& v = triples[k];
+    const GradView& g = grads[k];
+    DistMultApplyDispatch(upstreams[k], v.h.data(), v.r.data(), v.t.data(),
+                          g.h.data(), g.r.data(), g.t.data(), v.h.size());
+  }
+}
+
+void ComplExScoreBatch(const TripleView& ref,
+                       std::span<const TripleView> triples,
+                       std::span<double> scores, KernelScratch* scratch) {
+  assert(scores.size() == triples.size());
+  if (!UseVectorPath() || scratch == nullptr) {
+    for (size_t k = 0; k < triples.size(); ++k) {
+      scores[k] = ComplExScore(triples[k].h, triples[k].r, triples[k].t);
+    }
+    return;
+  }
+  bool hoisted = false;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    const TripleView& v = triples[k];
+    const size_t m = v.h.size() / 2;
+    if (SharesQuery(v, ref)) {
+      if (!hoisted) {
+        ComplExHoist(ref.h, ref.r, &scratch->a, &scratch->b);
+        hoisted = true;
+      }
+      scores[k] =
+          ComplExReduceHoistedDispatch(scratch->a.data(), scratch->b.data(),
+                                       v.t.data(), v.t.data() + m, m);
+    } else {
+      scores[k] = ComplExReduceFullDispatch(v.h.data(), v.h.data() + m,
+                                            v.r.data(), v.r.data() + m,
+                                            v.t.data(), v.t.data() + m, m);
+    }
+  }
+}
+
+void ComplExScoreBackwardBatch(const TripleView& ref,
+                               std::span<const TripleView> triples,
+                               std::span<const double> upstreams,
+                               std::span<const GradView> grads,
+                               KernelScratch* scratch) {
+  (void)ref;
+  (void)scratch;
+  assert(upstreams.size() == triples.size() &&
+         grads.size() == triples.size());
+  // Backward keeps the scalar API's float expression trees; there is no
+  // double-precision intermediate to reuse.
+  for (size_t k = 0; k < triples.size(); ++k) {
+    if (upstreams[k] == 0.0) continue;
+    const TripleView& v = triples[k];
+    const GradView& g = grads[k];
+    const size_t m = v.h.size() / 2;
+    ComplExApplyDispatch(static_cast<float>(upstreams[k]), v.h.data(),
+                         v.h.data() + m, v.r.data(), v.r.data() + m,
+                         v.t.data(), v.t.data() + m, g.h.data(),
+                         g.h.data() + m, g.r.data(), g.r.data() + m,
+                         g.t.data(), g.t.data() + m, m);
+  }
+}
+
+// ======================================================================
+// AdaGrad
+// ======================================================================
+
+namespace {
+
+void AdaGradApplyRowPortable(float* __restrict__ row,
+                             const float* __restrict__ grad,
+                             float* __restrict__ acc, size_t n, double lr,
+                             double eps) {
+  for (size_t j = 0; j < n; ++j) {
+    const double g = grad[j];
+    acc[j] += static_cast<float>(g * g);
+    row[j] -= static_cast<float>(
+        lr * g / std::sqrt(static_cast<double>(acc[j]) + eps));
+  }
+}
+
+#if HETKG_KERNELS_X86
+
+// IEEE sqrt and divide are correctly rounded, so this is bit-identical
+// to the scalar loop; no rsqrt approximation is allowed here.
+__attribute__((target("avx2"))) void AdaGradApplyRowAvx2(
+    float* row, const float* grad, float* acc, size_t n, double lr,
+    double eps) {
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d g = _mm256_cvtps_pd(_mm_loadu_ps(grad + j));
+    const __m128 gg = _mm256_cvtpd_ps(_mm256_mul_pd(g, g));
+    const __m128 acc_new = _mm_add_ps(_mm_loadu_ps(acc + j), gg);
+    _mm_storeu_ps(acc + j, acc_new);
+    const __m256d denom =
+        _mm256_sqrt_pd(_mm256_add_pd(_mm256_cvtps_pd(acc_new), epsv));
+    const __m256d step = _mm256_div_pd(_mm256_mul_pd(lrv, g), denom);
+    _mm_storeu_ps(row + j,
+                  _mm_sub_ps(_mm_loadu_ps(row + j), _mm256_cvtpd_ps(step)));
+  }
+  for (; j < n; ++j) {
+    const double g = grad[j];
+    acc[j] += static_cast<float>(g * g);
+    row[j] -= static_cast<float>(
+        lr * g / std::sqrt(static_cast<double>(acc[j]) + eps));
+  }
+}
+
+#endif  // HETKG_KERNELS_X86
+
+}  // namespace
+
+void AdaGradApplyRow(std::span<float> row, std::span<const float> grad,
+                     float* acc, double learning_rate, double epsilon) {
+  assert(row.size() == grad.size());
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    AdaGradApplyRowAvx2(row.data(), grad.data(), acc, row.size(),
+                        learning_rate, epsilon);
+    return;
+  }
+#endif
+  AdaGradApplyRowPortable(row.data(), grad.data(), acc, row.size(),
+                          learning_rate, epsilon);
+}
+
+}  // namespace hetkg::embedding::kernels

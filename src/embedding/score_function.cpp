@@ -11,6 +11,31 @@
 
 namespace hetkg::embedding {
 
+void ScoreFunction::ScoreBatch(const TripleView& ref,
+                               std::span<const TripleView> triples,
+                               std::span<double> scores,
+                               kernels::KernelScratch* scratch) const {
+  (void)ref;
+  (void)scratch;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    scores[k] = Score(triples[k].h, triples[k].r, triples[k].t);
+  }
+}
+
+void ScoreFunction::ScoreBackwardBatch(const TripleView& ref,
+                                       std::span<const TripleView> triples,
+                                       std::span<const double> upstreams,
+                                       std::span<const GradView> grads,
+                                       kernels::KernelScratch* scratch) const {
+  (void)ref;
+  (void)scratch;
+  for (size_t k = 0; k < triples.size(); ++k) {
+    if (upstreams[k] == 0.0) continue;
+    ScoreBackward(triples[k].h, triples[k].r, triples[k].t, upstreams[k],
+                  grads[k].h, grads[k].r, grads[k].t);
+  }
+}
+
 Result<ModelKind> ParseModelKind(std::string_view name) {
   if (name == "transe" || name == "transe_l1") return ModelKind::kTransEL1;
   if (name == "transe_l2") return ModelKind::kTransEL2;

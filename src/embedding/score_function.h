@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "embedding/kernels.h"
 
 namespace hetkg::embedding {
 
@@ -59,6 +60,26 @@ class ScoreFunction {
                              std::span<const float> t, double upstream,
                              std::span<float> gh, std::span<float> gr,
                              std::span<float> gt) const = 0;
+
+  /// Scores `triples` in one call (scores[k] = Score(triples[k])). A
+  /// triple sharing its (h, r) rows with `ref` — detected by data
+  /// pointer — may reuse a hoisted per-query intermediate. Output is
+  /// bit-identical to calling Score() per triple on every kernel path;
+  /// the base implementation simply loops the scalar API. `scratch`
+  /// (optional) amortizes intermediate storage across calls.
+  virtual void ScoreBatch(const TripleView& ref,
+                          std::span<const TripleView> triples,
+                          std::span<double> scores,
+                          kernels::KernelScratch* scratch = nullptr) const;
+
+  /// Batched ScoreBackward: accumulates d(upstreams[k] * score_k) into
+  /// grads[k] for every k, in ascending index order. Entries with
+  /// upstreams[k] == 0 are skipped and their GradView may be empty.
+  /// Bit-identical to the equivalent scalar loop on every kernel path.
+  virtual void ScoreBackwardBatch(
+      const TripleView& ref, std::span<const TripleView> triples,
+      std::span<const double> upstreams, std::span<const GradView> grads,
+      kernels::KernelScratch* scratch = nullptr) const;
 
   /// Approximate forward+backward floating-point operations per triple,
   /// used by the simulator's compute cost model.

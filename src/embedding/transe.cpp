@@ -1,64 +1,43 @@
 #include "embedding/transe.h"
 
 #include <cassert>
-#include <cmath>
+
+#include "embedding/kernels.h"
 
 namespace hetkg::embedding {
+
+// The math lives in embedding/kernels.cpp; the scalar API delegates to
+// the canonical per-triple kernels so Score/ScoreBackward and the batch
+// overrides share one floating-point operation order (DESIGN.md §10).
 
 TransE::TransE(int p) : p_(p) { assert(p == 1 || p == 2); }
 
 double TransE::Score(std::span<const float> h, std::span<const float> r,
                      std::span<const float> t) const {
-  assert(h.size() == r.size() && h.size() == t.size());
-  double acc = 0.0;
-  if (p_ == 1) {
-    for (size_t i = 0; i < h.size(); ++i) {
-      acc += std::fabs(static_cast<double>(h[i]) + r[i] - t[i]);
-    }
-    return -acc;
-  }
-  for (size_t i = 0; i < h.size(); ++i) {
-    const double e = static_cast<double>(h[i]) + r[i] - t[i];
-    acc += e * e;
-  }
-  return -std::sqrt(acc);
+  return kernels::TransEScore(p_, h, r, t);
 }
 
 void TransE::ScoreBackward(std::span<const float> h, std::span<const float> r,
                            std::span<const float> t, double upstream,
                            std::span<float> gh, std::span<float> gr,
                            std::span<float> gt) const {
-  assert(h.size() == r.size() && h.size() == t.size());
-  assert(gh.size() == h.size() && gr.size() == r.size() &&
-         gt.size() == t.size());
-  if (p_ == 1) {
-    // d(-|e|_1)/de_i = -sign(e_i).
-    for (size_t i = 0; i < h.size(); ++i) {
-      const double e = static_cast<double>(h[i]) + r[i] - t[i];
-      const double s = e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0);
-      const float g = static_cast<float>(-upstream * s);
-      gh[i] += g;
-      gr[i] += g;
-      gt[i] -= g;
-    }
-    return;
-  }
-  // d(-||e||_2)/de_i = -e_i / ||e||_2.
-  double norm_sq = 0.0;
-  for (size_t i = 0; i < h.size(); ++i) {
-    const double e = static_cast<double>(h[i]) + r[i] - t[i];
-    norm_sq += e * e;
-  }
-  const double norm = std::sqrt(norm_sq);
-  if (norm <= 1e-12) return;  // Gradient is zero at the exact minimum.
-  const double scale = -upstream / norm;
-  for (size_t i = 0; i < h.size(); ++i) {
-    const double e = static_cast<double>(h[i]) + r[i] - t[i];
-    const float g = static_cast<float>(scale * e);
-    gh[i] += g;
-    gr[i] += g;
-    gt[i] -= g;
-  }
+  kernels::TransEScoreBackward(p_, h, r, t, upstream, gh, gr, gt);
+}
+
+void TransE::ScoreBatch(const TripleView& ref,
+                        std::span<const TripleView> triples,
+                        std::span<double> scores,
+                        kernels::KernelScratch* scratch) const {
+  kernels::TransEScoreBatch(p_, ref, triples, scores, scratch);
+}
+
+void TransE::ScoreBackwardBatch(const TripleView& ref,
+                                std::span<const TripleView> triples,
+                                std::span<const double> upstreams,
+                                std::span<const GradView> grads,
+                                kernels::KernelScratch* scratch) const {
+  kernels::TransEScoreBackwardBatch(p_, ref, triples, upstreams, grads,
+                                    scratch);
 }
 
 }  // namespace hetkg::embedding

@@ -25,6 +25,16 @@ class TransE : public ScoreFunction {
                      std::span<float> gh, std::span<float> gr,
                      std::span<float> gt) const override;
 
+  void ScoreBatch(const TripleView& ref, std::span<const TripleView> triples,
+                  std::span<double> scores,
+                  kernels::KernelScratch* scratch) const override;
+
+  void ScoreBackwardBatch(const TripleView& ref,
+                          std::span<const TripleView> triples,
+                          std::span<const double> upstreams,
+                          std::span<const GradView> grads,
+                          kernels::KernelScratch* scratch) const override;
+
   uint64_t FlopsPerTriple(size_t entity_dim) const override {
     // Forward: d adds + d subs + d abs/sq + reduce; backward: ~3d.
     return 10 * static_cast<uint64_t>(entity_dim);

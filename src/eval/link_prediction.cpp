@@ -39,20 +39,44 @@ struct RankAccumulator {
   }
 };
 
+/// Candidate triples are scored in blocks of this size through the
+/// batched kernel API; tail corruptions share the positive's (h, r)
+/// rows, so the kernel reuses one hoisted query intermediate per block.
+constexpr size_t kCandidateBlock = 128;
+
+/// Reusable per-chunk block-scoring scratch.
+struct BlockScorer {
+  std::vector<embedding::TripleView> views;
+  std::vector<double> scores;
+  embedding::kernels::KernelScratch scratch;
+};
+
 /// Ranks one corruption side of one triple. Rank = 1 + number of valid
 /// candidates scoring strictly higher than the positive (optimistic on
-/// exact ties, the convention of DGL-KE).
+/// exact ties, the convention of DGL-KE). Candidate scores come from
+/// ScoreBatch, which is bit-identical to per-candidate Score calls.
 uint64_t RankOneSide(const EmbeddingLookup& embeddings,
                      const embedding::ScoreFunction& fn,
                      const graph::KnowledgeGraph& graph, const Triple& triple,
                      bool corrupt_head, std::span<const EntityId> candidates,
-                     bool filtered) {
+                     bool filtered, BlockScorer* block) {
   const auto h = embeddings.Entity(triple.head);
   const auto r = embeddings.Relation(triple.relation);
   const auto t = embeddings.Entity(triple.tail);
   const double positive_score = fn.Score(h, r, t);
+  const embedding::TripleView ref{h, r, t};
 
   uint64_t rank = 1;
+  block->views.clear();
+  auto flush = [&] {
+    if (block->views.empty()) return;
+    block->scores.resize(block->views.size());
+    fn.ScoreBatch(ref, block->views, block->scores, &block->scratch);
+    for (const double s : block->scores) {
+      if (s > positive_score) ++rank;
+    }
+    block->views.clear();
+  };
   for (EntityId cand : candidates) {
     if (corrupt_head) {
       if (cand == triple.head) continue;
@@ -60,20 +84,18 @@ uint64_t RankOneSide(const EmbeddingLookup& embeddings,
           graph.ContainsTriple({cand, triple.relation, triple.tail})) {
         continue;
       }
-      if (fn.Score(embeddings.Entity(cand), r, t) > positive_score) {
-        ++rank;
-      }
+      block->views.push_back({embeddings.Entity(cand), r, t});
     } else {
       if (cand == triple.tail) continue;
       if (filtered &&
           graph.ContainsTriple({triple.head, triple.relation, cand})) {
         continue;
       }
-      if (fn.Score(h, r, embeddings.Entity(cand)) > positive_score) {
-        ++rank;
-      }
+      block->views.push_back({h, r, embeddings.Entity(cand)});
     }
+    if (block->views.size() == kCandidateBlock) flush();
   }
+  flush();
   return rank;
 }
 
@@ -128,15 +150,16 @@ Result<EvalMetrics> EvaluateLinkPrediction(
       (triples.size() + kTriplesPerChunk - 1) / kTriplesPerChunk;
   std::vector<RankAccumulator> partials(chunk_count);
   auto rank_chunks = [&](size_t chunk_begin, size_t chunk_end) {
+    BlockScorer block;  // Private to this worker invocation.
     for (size_t c = chunk_begin; c < chunk_end; ++c) {
       RankAccumulator& acc = partials[c];
       const size_t begin = c * kTriplesPerChunk;
       const size_t end = std::min(triples.size(), begin + kTriplesPerChunk);
       for (size_t i = begin; i < end; ++i) {
         acc.Add(RankOneSide(embeddings, score_fn, graph, triples[i], true,
-                            candidates, options.filtered));
+                            candidates, options.filtered, &block));
         acc.Add(RankOneSide(embeddings, score_fn, graph, triples[i], false,
-                            candidates, options.filtered));
+                            candidates, options.filtered, &block));
       }
     }
   };

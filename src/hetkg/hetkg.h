@@ -44,6 +44,7 @@
 #include "embedding/adagrad.h"
 #include "embedding/checkpoint.h"
 #include "embedding/embedding_table.h"
+#include "embedding/kernels.h"
 #include "embedding/loss.h"
 #include "embedding/negative_sampler.h"
 #include "embedding/score_function.h"

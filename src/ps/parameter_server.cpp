@@ -99,11 +99,11 @@ void ParameterServer::SetValue(EmbKey key, std::span<const float> value) {
 void ParameterServer::ApplyGradient(EmbKey key, std::span<const float> grad) {
   if (IsRelationKey(key)) {
     const RelationId r = KeyRelation(key);
-    relation_opt_.Apply(r, relation_table_.Row(r), grad);
+    relation_opt_.ApplyBatch(r, relation_table_.Row(r), grad);
     return;
   }
   const EntityId e = KeyEntity(key);
-  entity_opt_.Apply(e, entity_table_.Row(e), grad);
+  entity_opt_.ApplyBatch(e, entity_table_.Row(e), grad);
   if (config_.normalize_entities) {
     entity_table_.L2NormalizeRow(e);
   }
