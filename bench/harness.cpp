@@ -1,6 +1,8 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -118,6 +120,16 @@ void DefineCommonFlags(FlagParser* flags) {
                 "score/optimizer kernel path: auto | scalar | vector "
                 "(bit-identical results at any value)");
   flags->Define("seed", "1234", "global seed");
+  // Async pipeline engine (DESIGN.md §12). Off by default: the
+  // deterministic mode ticks the stages in lockstep and stays
+  // bit-identical to the pre-pipeline engine.
+  flags->Define("async", "false",
+                "run the PS engines' sample/pull/compute/push stages on "
+                "their own threads with bounded-staleness overlap "
+                "(results no longer bit-reproducible run to run)");
+  flags->Define("max_pipeline_staleness", "2",
+                "async mode: iterations the pull stage may run ahead of "
+                "the last fully pushed iteration (0 = rendezvous)");
   // Fault-injection transport knobs (sim/transport.h). All-zero
   // probabilities (the default) keep the perfect-network behaviour
   // bit-identical; a fixed --fault_seed replays a scenario exactly.
@@ -159,6 +171,10 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("resume_from", "",
                 "resume training from a snapshot file or checkpoint "
                 "directory (newest valid manifest entry wins)");
+  flags->Define("checkpoint_fsync", "true",
+                "fsync snapshot/manifest temp files before the rename "
+                "and the directory after it (power-loss durability; "
+                "false = faster saves, process-crash durability only)");
   // Observability outputs (src/obs/, DESIGN.md §8). Empty paths keep
   // tracing and metrics export disabled, which is bit-identical to a
   // build without the obs layer.
@@ -173,15 +189,8 @@ void DefineCommonFlags(FlagParser* flags) {
                 "(0 = per-epoch only; needs --metrics_json)");
 }
 
-namespace {
-
-/// Parses a "machine:tick[,machine:tick...]" schedule. Malformed items
-/// (no colon, or non-numeric fields) are rejected loudly rather than
-/// silently skipped: a typo'd crash schedule must not turn a recovery
-/// bench into a fault-free run.
-std::vector<sim::ProcessFault> ParseProcessFaults(
-    const std::string& spec, sim::ProcessFaultKind kind,
-    const char* flag_name) {
+Result<std::vector<sim::ProcessFault>> ParseProcessFaultSpec(
+    const std::string& spec, sim::ProcessFaultKind kind) {
   std::vector<sim::ProcessFault> events;
   size_t pos = 0;
   while (pos <= spec.size() && !spec.empty()) {
@@ -189,29 +198,72 @@ std::vector<sim::ProcessFault> ParseProcessFaults(
     if (comma == std::string::npos) comma = spec.size();
     const std::string item = spec.substr(pos, comma - pos);
     const size_t colon = item.find(':');
+    // Both fields must be non-empty pure-digit runs. strtoul alone is
+    // too lenient here: it skips leading whitespace, accepts a sign
+    // (strtoull silently WRAPS "-5" to ULLONG_MAX - 4 with no ERANGE),
+    // and an empty field like ":5" parses zero digits yet lands end ==
+    // start, which the pointer check below cannot distinguish.
+    const auto all_digits = [&item](size_t from, size_t to) {
+      if (from >= to) return false;
+      for (size_t i = from; i < to; ++i) {
+        if (item[i] < '0' || item[i] > '9') return false;
+      }
+      return true;
+    };
+    if (colon == std::string::npos || !all_digits(0, colon) ||
+        !all_digits(colon + 1, item.size())) {
+      return Status::InvalidArgument("bad event \"" + item +
+                                     "\" (want machine:tick)");
+    }
     char* end = nullptr;
     sim::ProcessFault fault;
     fault.kind = kind;
-    if (colon != std::string::npos) {
-      fault.machine =
-          static_cast<uint32_t>(std::strtoul(item.c_str(), &end, 10));
+    errno = 0;
+    const unsigned long machine = std::strtoul(item.c_str(), &end, 10);
+    // strtoul both clamps at ULONG_MAX (ERANGE) and, on LP64, happily
+    // returns values a uint32 machine id cannot hold — either way the
+    // schedule would silently target the wrong machine.
+    if (errno == ERANGE || machine > UINT32_MAX) {
+      return Status::InvalidArgument("machine id out of range in \"" + item +
+                                     "\"");
     }
-    if (colon == std::string::npos || end != item.c_str() + colon) {
-      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
-                   flag_name, item.c_str());
-      std::exit(2);
-    }
+    fault.machine = static_cast<uint32_t>(machine);
+    errno = 0;
     fault.tick = std::strtoull(item.c_str() + colon + 1, &end, 10);
     if (end != item.c_str() + item.size()) {
-      std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
-                   flag_name, item.c_str());
-      std::exit(2);
+      return Status::InvalidArgument("bad event \"" + item +
+                                     "\" (want machine:tick)");
+    }
+    // An overflowing tick clamps to ULLONG_MAX: the fault would wait
+    // forever instead of firing — reject it instead.
+    if (errno == ERANGE) {
+      return Status::InvalidArgument("tick out of range in \"" + item +
+                                     "\"");
     }
     events.push_back(fault);
     if (comma == spec.size()) break;
     pos = comma + 1;
   }
   return events;
+}
+
+namespace {
+
+/// Flag plumbing around ParseProcessFaultSpec: malformed or
+/// out-of-range schedules are rejected loudly (exit 2) rather than
+/// silently skipped or clamped — a typo'd crash schedule must not turn
+/// a recovery bench into a fault-free run.
+std::vector<sim::ProcessFault> ParseProcessFaults(
+    const std::string& spec, sim::ProcessFaultKind kind,
+    const char* flag_name) {
+  Result<std::vector<sim::ProcessFault>> events =
+      ParseProcessFaultSpec(spec, kind);
+  if (!events.ok()) {
+    std::fprintf(stderr, "--%s: %s\n", flag_name,
+                 events.status().message().c_str());
+    std::exit(2);
+  }
+  return std::move(events).value();
 }
 
 }  // namespace
@@ -273,6 +325,9 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.sync.staleness_bound =
       static_cast<size_t>(flags.GetInt("staleness"));
   config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
+  config.sync.async_pipeline = flags.GetBool("async");
+  config.sync.pipeline_staleness =
+      static_cast<size_t>(flags.GetInt("max_pipeline_staleness"));
   config.pbg_partitions = 2 * config.num_machines;
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.kernel = flags.GetString("kernel");
@@ -287,6 +342,7 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.resume_from = flags.GetString("resume_from");
   config.halt_after_iterations =
       static_cast<size_t>(flags.GetInt("fault_halt_after"));
+  config.checkpoint_fsync = flags.GetBool("checkpoint_fsync");
   return config;
 }
 

@@ -63,6 +63,15 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags);
 /// `enabled` is set iff any fault probability is nonzero.
 sim::FaultConfig FaultConfigFromFlags(const FlagParser& flags);
 
+/// Parses one "machine:tick[,machine:tick...]" process-fault schedule
+/// (--fault_worker_crash / --fault_ps_restart). Malformed items, ids
+/// that do not fit a uint32, and ticks that overflow uint64 (ERANGE)
+/// are InvalidArgument — never silently clamped or wrapped. Exposed so
+/// the rejection paths are unit-testable; the flag plumbing exits(2)
+/// on error like every other malformed-flag path.
+Result<std::vector<sim::ProcessFault>> ParseProcessFaultSpec(
+    const std::string& spec, sim::ProcessFaultKind kind);
+
 /// Builds the observability outputs from --trace_out / --metrics_json /
 /// --metrics_window (empty paths leave tracing and export disabled).
 obs::ObsConfig ObsConfigFromFlags(const FlagParser& flags);

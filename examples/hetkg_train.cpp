@@ -6,6 +6,8 @@
 //   ./example_hetkg_train --dataset fb15k --system hetkg-d --model transe
 //       --epochs 10 --dim 32 --checkpoint /tmp/model.ck
 //   ./example_hetkg_train --train train.tsv --valid valid.tsv --test test.tsv
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,8 +18,9 @@
 namespace {
 
 // Parses a "machine:tick[,machine:tick...]" process-fault schedule;
-// exits with usage on malformed input so a typo'd crash scenario never
-// silently degrades to a fault-free run.
+// exits with usage on malformed input — including machine ids that do
+// not fit a uint32 and ticks that overflow uint64 (ERANGE) — so a
+// typo'd crash scenario never silently degrades or wraps around.
 std::vector<hetkg::sim::ProcessFault> ParseProcessFaults(
     const std::string& spec, hetkg::sim::ProcessFaultKind kind,
     const char* flag_name) {
@@ -28,21 +31,42 @@ std::vector<hetkg::sim::ProcessFault> ParseProcessFaults(
     if (comma == std::string::npos) comma = spec.size();
     const std::string item = spec.substr(pos, comma - pos);
     const size_t colon = item.find(':');
-    char* end = nullptr;
-    hetkg::sim::ProcessFault fault;
-    fault.kind = kind;
-    if (colon != std::string::npos) {
-      fault.machine =
-          static_cast<uint32_t>(std::strtoul(item.c_str(), &end, 10));
-    }
-    if (colon == std::string::npos || end != item.c_str() + colon) {
+    // Both fields must be non-empty pure-digit runs: strtoul skips
+    // whitespace, accepts signs (strtoull wraps "-5" without ERANGE),
+    // and parses zero digits for an empty field like ":5".
+    const auto all_digits = [&item](size_t from, size_t to) {
+      if (from >= to) return false;
+      for (size_t i = from; i < to; ++i) {
+        if (item[i] < '0' || item[i] > '9') return false;
+      }
+      return true;
+    };
+    if (colon == std::string::npos || !all_digits(0, colon) ||
+        !all_digits(colon + 1, item.size())) {
       std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
                    flag_name, item.c_str());
       std::exit(2);
     }
+    char* end = nullptr;
+    hetkg::sim::ProcessFault fault;
+    fault.kind = kind;
+    errno = 0;
+    const unsigned long machine = std::strtoul(item.c_str(), &end, 10);
+    if (errno == ERANGE || machine > UINT32_MAX) {
+      std::fprintf(stderr, "--%s: machine id out of range in \"%s\"\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    fault.machine = static_cast<uint32_t>(machine);
+    errno = 0;
     fault.tick = std::strtoull(item.c_str() + colon + 1, &end, 10);
     if (end != item.c_str() + item.size()) {
       std::fprintf(stderr, "--%s: bad event \"%s\" (want machine:tick)\n",
+                   flag_name, item.c_str());
+      std::exit(2);
+    }
+    if (errno == ERANGE) {
+      std::fprintf(stderr, "--%s: tick out of range in \"%s\"\n",
                    flag_name, item.c_str());
       std::exit(2);
     }
@@ -88,6 +112,13 @@ int main(int argc, char** argv) {
                "(results are bit-identical at any value)");
   flags.Define("checkpoint", "", "path to write the trained embeddings");
   flags.Define("seed", "1234", "seed");
+  flags.Define("async", "false",
+               "threaded sample/pull/compute/push pipeline with "
+               "bounded-staleness overlap (PS engines only; results no "
+               "longer bit-reproducible run to run)");
+  flags.Define("max_pipeline_staleness", "2",
+               "async mode: iterations the pull stage may run ahead "
+               "(0 = rendezvous)");
   // Fault injection: simulate an unreliable worker <-> PS network.
   // All-zero probabilities (default) = perfect network; with a fixed
   // --fault_seed the same scenario replays bit-identically.
@@ -118,6 +149,9 @@ int main(int argc, char** argv) {
                "0 = no periodic saves)");
   flags.Define("keep_checkpoints", "3",
                "retained snapshots; older ones are pruned (0 = keep all)");
+  flags.Define("checkpoint_fsync", "true",
+               "fsync snapshot/manifest writes for power-loss durability "
+               "(false = faster saves)");
   flags.Define("resume_from", "",
                "resume training from a snapshot file or checkpoint "
                "directory (newest valid manifest entry wins)");
@@ -203,6 +237,9 @@ int main(int argc, char** argv) {
   config.sync.staleness_bound =
       static_cast<size_t>(flags.GetInt("staleness"));
   config.sync.dps_window = static_cast<size_t>(flags.GetInt("dps_window"));
+  config.sync.async_pipeline = flags.GetBool("async");
+  config.sync.pipeline_staleness =
+      static_cast<size_t>(flags.GetInt("max_pipeline_staleness"));
   config.pbg_partitions = 2 * config.num_machines;
   config.num_threads = static_cast<size_t>(flags.GetInt("threads"));
   config.kernel = flags.GetString("kernel");
@@ -233,6 +270,7 @@ int main(int argc, char** argv) {
   config.resume_from = flags.GetString("resume_from");
   config.halt_after_iterations =
       static_cast<size_t>(flags.GetInt("fault_halt_after"));
+  config.checkpoint_fsync = flags.GetBool("checkpoint_fsync");
   config.obs.trace_out = flags.GetString("trace_out");
   config.obs.metrics_json = flags.GetString("metrics_json");
   config.obs.metrics_window =

@@ -1,0 +1,57 @@
+#include "common/fs_sync.h"
+
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define HETKG_HAS_FSYNC 1
+#else
+#define HETKG_HAS_FSYNC 0
+#endif
+
+namespace hetkg {
+
+namespace {
+
+#if HETKG_HAS_FSYNC
+Status SyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync failed for " + path);
+  }
+  return Status::OK();
+}
+#endif
+
+}  // namespace
+
+Status SyncFile(const std::string& path) {
+#if HETKG_HAS_FSYNC
+  return SyncPath(path, O_RDONLY);
+#else
+  (void)path;
+  return Status::OK();
+#endif
+}
+
+Status SyncDir(const std::string& path) {
+#if HETKG_HAS_FSYNC
+  return SyncPath(path, O_RDONLY | O_DIRECTORY);
+#else
+  (void)path;
+  return Status::OK();
+#endif
+}
+
+Status SyncParentDir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  return SyncDir(parent.empty() ? "." : parent.string());
+}
+
+}  // namespace hetkg

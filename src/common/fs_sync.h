@@ -1,0 +1,33 @@
+#ifndef HETKG_COMMON_FS_SYNC_H_
+#define HETKG_COMMON_FS_SYNC_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace hetkg {
+
+/// Crash-durability primitives for the atomic write-temp-then-rename
+/// protocol (DESIGN.md §9). `std::rename` alone only guarantees the
+/// *name* flips atomically; after a power loss the directory entry can
+/// point at a file whose data blocks never reached the platter. The
+/// durable sequence is
+///   write(tmp) -> SyncFile(tmp) -> rename(tmp, final) -> SyncDir(parent)
+/// — the file's bytes first, then the directory entry referencing them.
+/// On platforms without POSIX fsync these degrade to no-ops, matching
+/// the pre-durability behaviour.
+
+/// fsync()s the file's data and metadata to stable storage.
+Status SyncFile(const std::string& path);
+
+/// fsync()s the directory itself, making its entries (a just-renamed
+/// file) durable.
+Status SyncDir(const std::string& path);
+
+/// SyncDir on the parent directory of `path` ("." when `path` has no
+/// directory component).
+Status SyncParentDir(const std::string& path);
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_FS_SYNC_H_

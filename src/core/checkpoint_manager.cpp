@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fs_sync.h"
+
 namespace hetkg::core {
 
 namespace fs = std::filesystem;
@@ -21,8 +23,9 @@ std::string JoinPath(const std::string& dir, const std::string& file) {
 
 }  // namespace
 
-CheckpointManager::CheckpointManager(std::string dir, size_t keep)
-    : dir_(std::move(dir)), keep_(keep) {}
+CheckpointManager::CheckpointManager(std::string dir, size_t keep,
+                                     bool fsync)
+    : dir_(std::move(dir)), keep_(keep), fsync_(fsync) {}
 
 Result<size_t> CheckpointManager::Prepare() {
   std::error_code ec;
@@ -93,8 +96,18 @@ Status CheckpointManager::WriteManifest(
       return Status::IoError("short write to " + tmp_path);
     }
   }
+  // The manifest is the commit record of the whole checkpoint: fsync
+  // the temp file before the rename and the directory entry after, or
+  // a power loss could replay an old (or torn) manifest over snapshots
+  // it no longer describes.
+  if (fsync_) {
+    HETKG_RETURN_IF_ERROR(SyncFile(tmp_path));
+  }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  if (fsync_) {
+    HETKG_RETURN_IF_ERROR(SyncDir(dir_));
   }
   return Status::OK();
 }

@@ -29,8 +29,13 @@ struct ManifestEntry {
 /// "*.tmp" behind; Prepare() sweeps those at startup.
 class CheckpointManager {
  public:
-  /// `keep` == 0 means keep every snapshot.
-  CheckpointManager(std::string dir, size_t keep);
+  /// `keep` == 0 means keep every snapshot. `fsync` (the default)
+  /// makes every manifest commit power-loss durable: the manifest temp
+  /// file is fsync()ed before its rename and the directory after
+  /// (common/fs_sync.h); callers writing snapshots pass the same flag
+  /// to CheckpointWriter::WriteAtomic so the MANIFEST can never
+  /// reference a snapshot whose bytes were not yet on stable storage.
+  CheckpointManager(std::string dir, size_t keep, bool fsync = true);
 
   /// Creates the directory (like mkdir -p) and removes orphaned "*.tmp"
   /// files left by a crashed writer. Returns the number of orphans
@@ -50,6 +55,7 @@ class CheckpointManager {
 
   const std::string& dir() const { return dir_; }
   size_t keep() const { return keep_; }
+  bool fsync_enabled() const { return fsync_; }
 
   /// Resolves a --resume_from argument into snapshot paths to try,
   /// newest first: a snapshot file resolves to itself; a checkpoint
@@ -63,6 +69,7 @@ class CheckpointManager {
 
   std::string dir_;
   size_t keep_;
+  bool fsync_;
 };
 
 }  // namespace hetkg::core

@@ -40,6 +40,12 @@ Result<std::unique_ptr<PbgEngine>> PbgEngine::Create(
 }
 
 Status PbgEngine::Setup(const std::vector<Triple>& train) {
+  if (config_.sync.async_pipeline) {
+    // The staged pipeline engine (DESIGN.md §12) covers the PS-based
+    // systems; PBG's bucket scheduler is already its own overlap model.
+    HETKG_LOG(Warning)
+        << "--async applies to the PS engines; PBG trains serially";
+  }
   // Kernel dispatch for the score/optimizer hot loops. Every path is
   // bit-identical (DESIGN.md §10), so this only affects speed.
   HETKG_ASSIGN_OR_RETURN(const embedding::kernels::KernelMode kernel_mode,
@@ -98,7 +104,8 @@ Status PbgEngine::Setup(const std::vector<Triple>& train) {
 
   if (!config_.checkpoint_dir.empty()) {
     ckpt_manager_ = std::make_unique<CheckpointManager>(
-        config_.checkpoint_dir, config_.keep_checkpoints);
+        config_.checkpoint_dir, config_.keep_checkpoints,
+        config_.checkpoint_fsync);
     HETKG_ASSIGN_OR_RETURN(const size_t orphan_temps,
                            ckpt_manager_->Prepare());
     if (orphan_temps > 0) {
@@ -475,7 +482,8 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
       recovery_metrics_.Increment(metric::kCheckpointBytes,
                                   writer.payload_bytes());
       HETKG_RETURN_IF_ERROR(
-          writer.WriteAtomic(ckpt_manager_->SnapshotPath(epochs_done_)));
+          writer.WriteAtomic(ckpt_manager_->SnapshotPath(epochs_done_),
+                             config_.checkpoint_fsync));
       HETKG_RETURN_IF_ERROR(ckpt_manager_->Commit(epochs_done_));
     }
 
@@ -592,7 +600,7 @@ void PbgEngine::BuildSnapshot(embedding::CheckpointWriter* writer) const {
 Status PbgEngine::SaveTrainState(const std::string& path) const {
   embedding::CheckpointWriter writer;
   BuildSnapshot(&writer);
-  return writer.WriteAtomic(path);
+  return writer.WriteAtomic(path, config_.checkpoint_fsync);
 }
 
 Status PbgEngine::RestoreFromFile(const std::string& path) {

@@ -1,0 +1,63 @@
+#include "core/pipeline.h"
+
+namespace hetkg::core {
+
+void PipelineStage::Start() {
+  joined_ = false;
+  thread_ = std::thread([this] {
+    while (body_()) {
+    }
+  });
+}
+
+void PipelineStage::Join() {
+  if (thread_.joinable()) thread_.join();
+  joined_ = true;
+}
+
+PipelineStage* Pipeline::AddStage(std::string name,
+                                  std::function<bool()> body) {
+  stages_.push_back(
+      std::make_unique<PipelineStage>(std::move(name), std::move(body)));
+  return stages_.back().get();
+}
+
+void Pipeline::Start() {
+  for (auto& stage : stages_) stage->Start();
+}
+
+void Pipeline::Join() {
+  for (auto& stage : stages_) stage->Join();
+}
+
+void BoundedStalenessClock::Reset(size_t completed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_ = completed;
+  waits_ = 0;
+}
+
+void BoundedStalenessClock::WaitAdmissible(size_t iter, size_t bound) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (iter > completed_ + bound) {
+    ++waits_;
+    advanced_.wait(lock, [&] { return iter <= completed_ + bound; });
+  }
+}
+
+void BoundedStalenessClock::MarkCompleted(size_t iter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (iter + 1 > completed_) completed_ = iter + 1;
+  advanced_.notify_all();
+}
+
+size_t BoundedStalenessClock::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+uint64_t BoundedStalenessClock::waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waits_;
+}
+
+}  // namespace hetkg::core

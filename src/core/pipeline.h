@@ -1,0 +1,234 @@
+#ifndef HETKG_CORE_PIPELINE_H_
+#define HETKG_CORE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace hetkg::core {
+
+/// Bounded blocking queue joining two pipeline stages (DESIGN.md §12).
+///
+/// Single producer / single consumer in the engine's stage graph, but
+/// safe for multiple of either. Push blocks while the queue is full
+/// (backpressure: a fast upstream stage cannot run unboundedly ahead),
+/// Pop blocks while it is empty. Close() wakes everyone: subsequent
+/// pushes are rejected, pops keep draining buffered items and return
+/// nullopt only once the queue is both closed and empty — so shutdown
+/// never drops in-flight work.
+///
+/// The stall counters feed the `pipeline.stall` metrics and the
+/// high-water mark feeds `pipeline.queue_depth`; they are bookkeeping
+/// only and never affect training state.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue closes). Returns false —
+  /// and drops `item` — only when the queue is closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++push_stalls_;
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND
+  /// drained; nullopt signals end-of-stream.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      ++pop_stalls_;
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (closed or not).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// End-of-stream: rejects future pushes, lets pops drain the buffer.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Reopens a drained queue for the next pipeline segment.
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Times a Push had to wait on a full queue (downstream too slow).
+  uint64_t push_stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_stalls_;
+  }
+  /// Times a Pop had to wait on an empty queue (upstream too slow).
+  uint64_t pop_stalls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pop_stalls_;
+  }
+  /// Deepest the queue has ever been.
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t push_stalls_ = 0;
+  uint64_t pop_stalls_ = 0;
+  size_t high_water_ = 0;
+};
+
+/// One pipeline stage: a named loop body run on its own thread (async
+/// mode) or ticked inline by the scheduling thread (deterministic
+/// mode), in the spirit of SamGraph's LoopFunction stages.
+///
+/// The body returns true to be called again and false when its input
+/// stream has ended; the thread exits on the first false.
+class PipelineStage {
+ public:
+  PipelineStage(std::string name, std::function<bool()> body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  PipelineStage(const PipelineStage&) = delete;
+  PipelineStage& operator=(const PipelineStage&) = delete;
+  ~PipelineStage() { Join(); }
+
+  const std::string& name() const { return name_; }
+
+  /// Spawns the stage thread (async mode).
+  void Start();
+
+  /// Waits for the stage loop to end (its input closed and drained).
+  void Join();
+
+  bool joined() const { return joined_; }
+
+  /// One inline call of the loop body (deterministic mode).
+  bool Tick() { return body_(); }
+
+ private:
+  std::string name_;
+  std::function<bool()> body_;
+  std::thread thread_;
+  bool joined_ = true;
+};
+
+/// The stage set of one engine pipeline, started and joined together.
+class Pipeline {
+ public:
+  Pipeline() = default;
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  PipelineStage* AddStage(std::string name, std::function<bool()> body);
+
+  void Start();
+
+  /// Joins in stage order; callers close the head queue first so the
+  /// end-of-stream cascades down the graph.
+  void Join();
+
+  size_t num_stages() const { return stages_.size(); }
+  PipelineStage* stage(size_t i) { return stages_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<PipelineStage>> stages_;
+};
+
+/// Completion clock enforcing the pipeline staleness bound (DESIGN.md
+/// §12): the pull stage of iteration i may only proceed once iteration
+/// i - N has fully pushed, so no value a batch reads can lag the global
+/// table by more than N iterations. N = 0 degenerates to a full
+/// per-iteration rendezvous (pull i waits for push i-1).
+class BoundedStalenessClock {
+ public:
+  /// `completed` iterations are already fully pushed (resume support).
+  void Reset(size_t completed);
+
+  /// Blocks until iteration `iter` is admissible under staleness bound
+  /// `bound`: iter <= completed + bound, i.e. the values it pulls lag
+  /// the global tables by at most `bound` iterations.
+  void WaitAdmissible(size_t iter, size_t bound);
+
+  /// Push stage: iterations complete in order; `iter` is now durable in
+  /// the global tables.
+  void MarkCompleted(size_t iter);
+
+  /// Fully pushed iteration count.
+  size_t completed() const;
+
+  /// Times WaitAdmissible blocked (the staleness bound bit).
+  uint64_t waits() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable advanced_;
+  size_t completed_ = 0;
+  uint64_t waits_ = 0;
+};
+
+}  // namespace hetkg::core
+
+#endif  // HETKG_CORE_PIPELINE_H_

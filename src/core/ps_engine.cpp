@@ -202,11 +202,26 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
 
   obs_active_ = config_.obs.Enabled();
 
+  // Pipeline plumbing (DESIGN.md §12). Deterministic mode ticks the
+  // stages inline through capacity-1 queues (a rendezvous per
+  // iteration); --async threads them, with enough queue slack for the
+  // staleness window's worth of in-flight iterations.
+  async_mode_ = sync_.AsyncPipeline();
+  const size_t depth =
+      async_mode_
+          ? std::clamp<size_t>(
+                (sync_.PipelineStaleness() + 2) * workers_.size(), 2, 64)
+          : 1;
+  q_sample_pull_ = std::make_unique<BoundedQueue<StepTask*>>(depth);
+  q_pull_compute_ = std::make_unique<BoundedQueue<StepTask*>>(depth);
+  q_compute_push_ = std::make_unique<BoundedQueue<StepTask*>>(depth);
+
   // Checkpoint directory: create, and sweep temp files orphaned by a
   // crashed writer (they are never referenced by the manifest).
   if (!config_.checkpoint_dir.empty()) {
     ckpt_manager_ = std::make_unique<CheckpointManager>(
-        config_.checkpoint_dir, config_.keep_checkpoints);
+        config_.checkpoint_dir, config_.keep_checkpoints,
+        config_.checkpoint_fsync);
     HETKG_ASSIGN_OR_RETURN(const size_t orphan_temps,
                            ckpt_manager_->Prepare());
     if (orphan_temps > 0) {
@@ -233,28 +248,28 @@ embedding::NegativeSamplerSpec PsTrainingEngine::SamplerSpecFor(
   return spec;
 }
 
-void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
-                                       size_t iter) {
-  obs::TraceSpan span("cache.rebuild", "cache");
-  FrequencyMap freq;
-  uint64_t accesses = 0;
+uint64_t PsTrainingEngine::CollectHotSetPlan(Worker* w, bool whole_epoch,
+                                             FrequencyMap* freq) {
   if (whole_epoch) {
     // CPS: count one full pass over the local subgraph; the counted
     // samples are statistically identical to (though not literally) the
     // trained ones, which an epoch-scale preload buffer could not hold.
-    accesses = w->prefetcher->PrefetchCountOnly(
-        w->prefetcher->IterationsPerEpoch(), &freq);
-  } else {
-    // DPS: the next D batches are both counted and queued for training.
-    PrefetchWindow window =
-        w->prefetcher->Prefetch(sync_.config().dps_window);
-    accesses = window.total_accesses;
-    freq = std::move(window.frequencies);
-    for (auto& batch : window.batches) {
-      w->batch_queue.push_back(std::move(batch));
-    }
+    return w->prefetcher->PrefetchCountOnly(
+        w->prefetcher->IterationsPerEpoch(), freq);
   }
+  // DPS: the next D batches are both counted and queued for training.
+  PrefetchWindow window = w->prefetcher->Prefetch(sync_.config().dps_window);
+  *freq = std::move(window.frequencies);
+  for (auto& batch : window.batches) {
+    w->batch_queue.push_back(std::move(batch));
+  }
+  return window.total_accesses;
+}
 
+void PsTrainingEngine::ApplyHotSet(Worker* w, size_t iter,
+                                   const FrequencyMap& freq,
+                                   uint64_t accesses) {
+  obs::TraceSpan span("cache.rebuild", "cache");
   const FilterOptions options{config_.cache_capacity,
                               config_.cache_entity_ratio,
                               config_.heterogeneity_aware};
@@ -286,25 +301,32 @@ void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
 
   // Pull values for newly admitted rows.
   if (!admitted.empty()) {
-    scratch_pull_spans_.clear();
+    rebuild_pull_spans_.clear();
     for (EmbKey key : admitted) {
-      scratch_pull_spans_.push_back(w->cache->Row(key));
+      rebuild_pull_spans_.push_back(w->cache->Row(key));
     }
     const ps::PullResult pull =
-        server_->PullBatch(w->machine, admitted, scratch_pull_spans_);
+        server_->PullBatch(w->machine, admitted, rebuild_pull_spans_);
     // A newly admitted row has no stale copy to fall back on, so a
     // failed construction pull takes the degraded-read path: fill from
     // the global table directly (modeling the value arriving late,
     // outside the accounted fast path).
     for (uint32_t idx : pull.failed) {
       const std::span<const float> value = server_->Value(admitted[idx]);
-      const std::span<float> dest = scratch_pull_spans_[idx];
+      const std::span<float> dest = rebuild_pull_spans_[idx];
       std::copy(value.begin(), value.end(), dest.begin());
       server_->metrics().Increment(metric::kTransportDegradedReads);
       obs::Tracer::Instant("net.degraded_read", "net", "key",
                            static_cast<double>(admitted[idx]));
     }
   }
+}
+
+void PsTrainingEngine::ConstructHotSet(Worker* w, bool whole_epoch,
+                                       size_t iter) {
+  FrequencyMap freq;
+  const uint64_t accesses = CollectHotSetPlan(w, whole_epoch, &freq);
+  ApplyHotSet(w, iter, freq, accesses);
 }
 
 void PsTrainingEngine::FlushPendingGradients(Worker* w) {
@@ -358,28 +380,60 @@ void PsTrainingEngine::HandleFailedPulls(
   }
 }
 
-void PsTrainingEngine::FillBatchQueue(Worker* w) {
-  if (!w->batch_queue.empty()) return;
+uint64_t PsTrainingEngine::FillBatchQueue(Worker* w) {
+  if (!w->batch_queue.empty()) return 0;
   const size_t window = sync_.config().strategy == CacheStrategy::kDps
                             ? sync_.config().dps_window
                             : kRefillWindow;
   PrefetchWindow prefetched = w->prefetcher->Prefetch(window);
-  cluster_.RecordCompute(
-      w->machine, prefetched.total_accesses * kPrefetchFlopsPerAccess);
   for (auto& batch : prefetched.batches) {
     w->batch_queue.push_back(std::move(batch));
   }
+  return prefetched.total_accesses;
 }
 
-std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
-  obs::TraceSpan step_span("ps.step", "ps");
-  step_span.Arg("iter", static_cast<double>(iter));
-  step_span.Arg("machine", static_cast<double>(w->machine));
+void PsTrainingEngine::RunSampleStage(StepTask* task) {
+  obs::TraceSpan span("pipeline.sample", "pipeline");
+  span.Arg("iter", static_cast<double>(task->iter));
+  span.Arg("machine", static_cast<double>(task->w->machine));
+  Worker* w = task->w;
+  const size_t iter = task->iter;
+  if (w->cache != nullptr) {
+    // Algorithm 3 lines 5-7: (re)construct when the fetch threshold D
+    // is reached. Only the prefetcher-side counting runs here; the
+    // PS-side filter/assign/pull half waits for the pull stage, so the
+    // sample thread never touches shared PS state.
+    const size_t write_back = sync_.config().write_back_period;
+    task->flush_writeback = write_back > 1 && iter % write_back == 0;
+    if (iter == 0) {
+      task->rebuild = true;
+      task->whole_epoch = sync_.config().strategy == CacheStrategy::kCps;
+      task->rebuild_accesses =
+          CollectHotSetPlan(w, task->whole_epoch, &task->rebuild_freq);
+    } else if (sync_.ShouldRebuild(iter)) {
+      task->rebuild = true;
+      task->rebuild_accesses =
+          CollectHotSetPlan(w, false, &task->rebuild_freq);
+    }
+  }
+  task->refill_accesses = FillBatchQueue(w);
+  task->batch = std::move(w->batch_queue.front());
+  w->batch_queue.pop_front();
+}
+
+void PsTrainingEngine::RunPullStage(StepTask* task) {
+  obs::TraceSpan span("pipeline.pull", "pipeline");
+  span.Arg("iter", static_cast<double>(task->iter));
+  span.Arg("machine", static_cast<double>(task->w->machine));
+  Worker* w = task->w;
+  const size_t iter = task->iter;
   // Per-phase simulated time: sample this machine's modeled clock
-  // around each Step phase (scheduling thread only). The deltas are
-  // pure functions of the recorded byte/flop counts, so the gauges they
-  // feed are deterministic at any thread count.
-  const bool obs = obs_active_;
+  // around each phase (deterministic mode only — the scheduling thread
+  // owns obs_metrics_; async stall profiles come from the pipeline.*
+  // counters instead). The deltas are pure functions of the recorded
+  // byte/flop counts, so the gauges they feed are deterministic at any
+  // thread count.
+  const bool obs = obs_active_ && !async_mode_;
   double phase_mark =
       obs ? cluster_.MachineTime(w->machine).total_seconds() : 0.0;
   auto account = [&](double* bucket) {
@@ -390,87 +444,73 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   };
 
   const bool has_cache = w->cache != nullptr;
-  if (has_cache) {
-    // Algorithm 3 lines 5-7: (re)construct when the fetch threshold D
-    // is reached.
-    const size_t write_back = sync_.config().write_back_period;
-    if (write_back > 1 && iter % write_back == 0) {
-      FlushPendingGradients(w);
-    }
-    if (iter == 0) {
-      ConstructHotSet(w, sync_.config().strategy == CacheStrategy::kCps,
-                      iter);
-    } else if (sync_.ShouldRebuild(iter)) {
-      // The rebuild may evict rows whose pending gradients would
-      // otherwise be dropped.
-      FlushPendingGradients(w);
-      ConstructHotSet(w, false, iter);
-    }
+  if (task->flush_writeback) {
+    FlushPendingGradients(w);
+  }
+  if (task->rebuild) {
+    // The rebuild may evict rows whose pending gradients would
+    // otherwise be dropped (iteration 0 has none to flush).
+    if (iter != 0) FlushPendingGradients(w);
+    ApplyHotSet(w, iter, task->rebuild_freq, task->rebuild_accesses);
   }
   account(&phase_.rebuild);
-  FillBatchQueue(w);
+  if (task->refill_accesses > 0) {
+    cluster_.RecordCompute(w->machine,
+                           task->refill_accesses * kPrefetchFlopsPerAccess);
+  }
   account(&phase_.prefetch);
-  MiniBatch batch = std::move(w->batch_queue.front());
-  w->batch_queue.pop_front();
 
   // Resolve every required row ONCE: the batch's keys are sorted and
-  // mapped to dense scratch indices, so the score/backward hot loops
-  // index spans directly instead of paying a hash lookup per access.
-  // Cached rows are read in place; the rest are pulled from the PS in
-  // one accounted batch.
-  scratch_keys_ = BatchKeys(batch);
-  std::sort(scratch_keys_.begin(), scratch_keys_.end());  // Determinism.
-  const size_t num_keys = scratch_keys_.size();
-  scratch_missing_.clear();
-  scratch_pull_spans_.clear();
-  scratch_row_spans_.resize(num_keys);
-  scratch_grad_offsets_.resize(num_keys + 1);
+  // mapped to dense task indices, so the score/backward hot loops index
+  // spans directly instead of paying a hash lookup per access. Every
+  // row — cached or pulled — lands in the task's private value buffer,
+  // so the compute stage reads no shared storage.
+  task->keys = BatchKeys(task->batch);
+  std::sort(task->keys.begin(), task->keys.end());  // Determinism.
+  const size_t num_keys = task->keys.size();
+  task->missing.clear();
+  task->pull_spans.clear();
+  task->row_spans.resize(num_keys);
+  task->grad_offsets.resize(num_keys + 1);
 
   size_t grad_floats = 0;
-  size_t value_floats = 0;
   for (size_t k = 0; k < num_keys; ++k) {
-    const EmbKey key = scratch_keys_[k];
-    const size_t width = server_->RowDim(key);
-    scratch_grad_offsets_[k] = grad_floats;
-    grad_floats += width;
-    const bool cached = has_cache && w->cache->Contains(key);
-    if (!cached) value_floats += width;
+    grad_floats += server_->RowDim(task->keys[k]);
+    task->grad_offsets[k + 1] = grad_floats;
   }
-  scratch_grad_offsets_[num_keys] = grad_floats;
-  scratch_grads_.assign(grad_floats, 0.0f);
-  scratch_values_.resize(value_floats);
+  task->grad_offsets[0] = 0;
+  task->grads.assign(grad_floats, 0.0f);
+  task->values.resize(grad_floats);
 
   const bool on_access_refresh =
       has_cache &&
       sync_.config().refresh_mode == RefreshMode::kOnAccess;
   uint64_t refreshed_rows = 0;
-  size_t value_offset = 0;
   for (size_t k = 0; k < num_keys; ++k) {
-    const EmbKey key = scratch_keys_[k];
+    const EmbKey key = task->keys[k];
+    const std::span<float> dest(
+        task->values.data() + task->grad_offsets[k],
+        task->grad_offsets[k + 1] - task->grad_offsets[k]);
+    task->row_spans[k] = dest;
     if (has_cache && w->cache->Contains(key)) {
       ++w->hits;
-      scratch_row_spans_[k] = w->cache->Row(key);
       if (on_access_refresh) {
         // Fine-grained staleness: re-pull this row if its last refresh
-        // is older than P iterations.
+        // is older than P iterations. The refresh targets the cache's
+        // row; the private copy below picks up the refreshed bits.
         auto [it, inserted] = w->last_refresh.try_emplace(key, iter);
         if (!inserted &&
             iter - it->second >= sync_.config().staleness_bound) {
           it->second = iter;
-          scratch_missing_.push_back(key);
-          scratch_pull_spans_.push_back(w->cache->Row(key));
+          task->missing.push_back(key);
+          task->pull_spans.push_back(w->cache->Row(key));
           ++refreshed_rows;
         }
       }
     } else {
       ++w->misses;
-      const size_t width =
-          scratch_grad_offsets_[k + 1] - scratch_grad_offsets_[k];
-      std::span<float> dest(scratch_values_.data() + value_offset, width);
-      value_offset += width;
-      scratch_row_spans_[k] = dest;
-      scratch_missing_.push_back(key);
-      scratch_pull_spans_.push_back(dest);
+      task->missing.push_back(key);
+      task->pull_spans.push_back(dest);
     }
   }
   if (refreshed_rows > 0) {
@@ -486,17 +526,29 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
     FlushPendingGradients(w);
     const std::vector<EmbKey> cached = w->cache->Keys();
     for (EmbKey key : cached) {
-      scratch_missing_.push_back(key);
-      scratch_pull_spans_.push_back(w->cache->Row(key));
+      task->missing.push_back(key);
+      task->pull_spans.push_back(w->cache->Row(key));
     }
     server_->metrics().Increment(metric::kCacheRefreshRows, cached.size());
   }
-  if (!scratch_missing_.empty()) {
+  if (!task->missing.empty()) {
     const ps::PullResult pull =
-        server_->PullBatch(w->machine, scratch_missing_, scratch_pull_spans_);
+        server_->PullBatch(w->machine, task->missing, task->pull_spans);
     if (!pull.failed.empty()) {
-      HandleFailedPulls(w, iter, scratch_missing_, scratch_pull_spans_,
+      HandleFailedPulls(w, iter, task->missing, task->pull_spans,
                         pull.failed);
+    }
+  }
+  // Publish the cache's rows (post-refresh) into the task's private
+  // buffer. A float copy is bit-exact, so deterministic-mode results
+  // are identical to reading the cache in place; in async mode it keeps
+  // the compute stage from racing a concurrent push-stage update.
+  if (has_cache) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      const EmbKey key = task->keys[k];
+      if (!w->cache->Contains(key)) continue;
+      const std::span<const float> row = w->cache->Row(key);
+      std::copy(row.begin(), row.end(), task->row_spans[k].begin());
     }
   }
   if (obs) {
@@ -504,6 +556,17 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
     account(&phase_.pull);
     obs_metrics_.Observe(metric::kPullSimSeconds, phase_mark - before);
   }
+}
+
+void PsTrainingEngine::RunComputeStage(StepTask* task) {
+  obs::TraceSpan span("pipeline.compute", "pipeline");
+  span.Arg("iter", static_cast<double>(task->iter));
+  span.Arg("machine", static_cast<double>(task->w->machine));
+  Worker* w = task->w;
+  const MiniBatch& batch = task->batch;
+  const bool obs = obs_active_ && !async_mode_;
+  double phase_mark =
+      obs ? cluster_.MachineTime(w->machine).total_seconds() : 0.0;
 
   // Forward + backward over all (positive, negative) pairs: resolve the
   // batch's triples to dense key indices once, then run the
@@ -511,55 +574,76 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   // bit-identical either way).
   auto key_index = [&](EmbKey key) -> uint32_t {
     return static_cast<uint32_t>(
-        std::lower_bound(scratch_keys_.begin(), scratch_keys_.end(), key) -
-        scratch_keys_.begin());
+        std::lower_bound(task->keys.begin(), task->keys.end(), key) -
+        task->keys.begin());
   };
-  scratch_positives_.resize(batch.positives.size());
+  task->positives.resize(batch.positives.size());
   for (size_t i = 0; i < batch.positives.size(); ++i) {
     const Triple& t = batch.positives[i];
-    scratch_positives_[i] = ResolvedTriple{key_index(EntityKey(t.head)),
-                                           key_index(RelationKey(t.relation)),
-                                           key_index(EntityKey(t.tail))};
+    task->positives[i] = ResolvedTriple{key_index(EntityKey(t.head)),
+                                        key_index(RelationKey(t.relation)),
+                                        key_index(EntityKey(t.tail))};
   }
-  scratch_pairs_.resize(batch.negatives.size());
+  task->pairs.resize(batch.negatives.size());
   for (size_t i = 0; i < batch.negatives.size(); ++i) {
     const auto& neg = batch.negatives[i];
-    scratch_pairs_[i].positive_index = neg.positive_index;
-    scratch_pairs_[i].negative =
+    task->pairs[i].positive_index = neg.positive_index;
+    task->pairs[i].negative =
         ResolvedTriple{key_index(EntityKey(neg.triple.head)),
                        key_index(RelationKey(neg.triple.relation)),
                        key_index(EntityKey(neg.triple.tail))};
   }
 
   const BatchStats stats = scorer_.Run(
-      *score_fn_, *loss_fn_, scratch_positives_, scratch_pairs_,
-      scratch_row_spans_, scratch_grad_offsets_, scratch_grads_,
-      &scratch_pos_scores_, pool_.get());
+      *score_fn_, *loss_fn_, task->positives, task->pairs, task->row_spans,
+      task->grad_offsets, task->grads, &task->pos_scores, pool_.get());
 
   const uint64_t score_flops = score_fn_->FlopsPerTriple(config_.dim);
-  cluster_.RecordCompute(
-      w->machine,
-      (batch.positives.size() + batch.negatives.size() +
-       stats.backward_calls) *
-          score_flops / 2);
-  account(&phase_.compute);
+  const uint64_t flops = (batch.positives.size() + batch.negatives.size() +
+                          stats.backward_calls) *
+                         score_flops / 2;
+  if (async_mode_) {
+    // Only the sim accounting touches shared state on this stage.
+    std::lock_guard<std::mutex> lock(ps_mu_);
+    cluster_.RecordCompute(w->machine, flops);
+  } else {
+    cluster_.RecordCompute(w->machine, flops);
+    if (obs) {
+      const double now = cluster_.MachineTime(w->machine).total_seconds();
+      phase_.compute += now - phase_mark;
+    }
+  }
+  task->loss_sum = stats.loss_sum;
+  task->pair_count = stats.pairs;
+}
+
+void PsTrainingEngine::RunPushStage(StepTask* task) {
+  obs::TraceSpan span("pipeline.push", "pipeline");
+  span.Arg("iter", static_cast<double>(task->iter));
+  span.Arg("machine", static_cast<double>(task->w->machine));
+  Worker* w = task->w;
+  const bool obs = obs_active_ && !async_mode_;
+  double phase_mark =
+      obs ? cluster_.MachineTime(w->machine).total_seconds() : 0.0;
 
   // Local cache update for hot rows, then push the gradients of this
   // iteration to the PS (step 4 of Hot-Embedding Oriented Training).
   // Keys whose gradient is identically zero (margin satisfied for every
   // pair touching them, Algorithm 3 line 17) produce no update and are
   // not pushed — matching sparse-gradient systems.
+  const bool has_cache = w->cache != nullptr;
   const bool normalize = score_fn_->NormalizesEntities();
+  const size_t num_keys = task->keys.size();
   std::vector<EmbKey> push_keys;
   std::vector<std::span<const float>> push_spans;
-  push_keys.reserve(scratch_keys_.size());
-  push_spans.reserve(scratch_keys_.size());
+  push_keys.reserve(num_keys);
+  push_spans.reserve(num_keys);
   uint64_t local_update_params = 0;
   for (size_t k = 0; k < num_keys; ++k) {
-    const EmbKey key = scratch_keys_[k];
+    const EmbKey key = task->keys[k];
     const std::span<float> g(
-        scratch_grads_.data() + scratch_grad_offsets_[k],
-        scratch_grad_offsets_[k + 1] - scratch_grad_offsets_[k]);
+        task->grads.data() + task->grad_offsets[k],
+        task->grad_offsets[k + 1] - task->grad_offsets[k]);
     bool nonzero = false;
     for (float v : g) {
       if (v != 0.0f) {
@@ -594,15 +678,168 @@ std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
   }
   if (obs) {
     const double before = phase_mark;
-    account(&phase_.push);
-    obs_metrics_.Observe(metric::kPushSimSeconds, phase_mark - before);
+    const double now = cluster_.MachineTime(w->machine).total_seconds();
+    phase_.push += now - before;
+    obs_metrics_.Observe(metric::kPushSimSeconds, now - before);
   }
 
   server_->metrics().Increment(metric::kTriplesTrained,
-                               batch.positives.size());
+                               task->batch.positives.size());
   server_->metrics().Increment(metric::kNegativesTrained,
-                               batch.negatives.size());
-  return {stats.loss_sum, stats.pairs};
+                               task->batch.negatives.size());
+}
+
+PsTrainingEngine::StepTask* PsTrainingEngine::AcquireTask() {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  if (!free_tasks_.empty()) {
+    StepTask* task = free_tasks_.back();
+    free_tasks_.pop_back();
+    return task;
+  }
+  task_pool_.push_back(std::make_unique<StepTask>());
+  return task_pool_.back().get();
+}
+
+void PsTrainingEngine::ReleaseTask(StepTask* task) {
+  std::lock_guard<std::mutex> lock(task_mu_);
+  free_tasks_.push_back(task);
+}
+
+std::pair<double, uint64_t> PsTrainingEngine::Step(Worker* w, size_t iter) {
+  obs::TraceSpan step_span("ps.step", "ps");
+  step_span.Arg("iter", static_cast<double>(iter));
+  step_span.Arg("machine", static_cast<double>(w->machine));
+  // Deterministic mode: one task flows through the real bounded queues,
+  // each stage ticked inline in pre-pipeline order — a rendezvous per
+  // iteration, byte-identical to the former monolithic Step().
+  StepTask* task = AcquireTask();
+  task->Reset(w, iter);
+  RunSampleStage(task);
+  q_sample_pull_->Push(task);
+  task = *q_sample_pull_->Pop();
+  RunPullStage(task);
+  q_pull_compute_->Push(task);
+  task = *q_pull_compute_->Pop();
+  RunComputeStage(task);
+  q_compute_push_->Push(task);
+  task = *q_compute_push_->Pop();
+  RunPushStage(task);
+  const std::pair<double, uint64_t> result{task->loss_sum,
+                                           task->pair_count};
+  ReleaseTask(task);
+  return result;
+}
+
+// -- Async stage threads (DESIGN.md §12) ------------------------------------
+
+bool PsTrainingEngine::SampleLoop() {
+  if (sample_next_iter_ >= segment_end_ ||
+      (sample_next_worker_ == 0 &&
+       stop_feeding_.load(std::memory_order_acquire))) {
+    q_sample_pull_->Close();
+    return false;
+  }
+  Worker* w = &workers_[sample_next_worker_];
+  StepTask* task = AcquireTask();
+  task->Reset(w, sample_next_iter_);
+  RunSampleStage(task);
+  if (++sample_next_worker_ == workers_.size()) {
+    sample_next_worker_ = 0;
+    ++sample_next_iter_;
+  }
+  q_sample_pull_->Push(task);
+  return true;
+}
+
+bool PsTrainingEngine::PullLoop() {
+  std::optional<StepTask*> t = q_sample_pull_->Pop();
+  if (!t.has_value()) {
+    q_pull_compute_->Close();
+    return false;
+  }
+  StepTask* task = *t;
+  // HET-style bounded staleness: iteration i may pull only once
+  // iteration i - N has fully pushed, so every row a batch reads lags
+  // the server by at most N iterations (plus the configured cache
+  // staleness P for cached rows).
+  clock_.WaitAdmissible(task->iter, sync_.PipelineStaleness());
+  const size_t completed = clock_.completed();
+  const size_t lag = task->iter > completed ? task->iter - completed : 0;
+  if (lag > max_observed_lag_) max_observed_lag_ = lag;
+  {
+    std::lock_guard<std::mutex> lock(ps_mu_);
+    RunPullStage(task);
+  }
+  q_pull_compute_->Push(task);
+  return true;
+}
+
+bool PsTrainingEngine::ComputeLoop() {
+  std::optional<StepTask*> t = q_pull_compute_->Pop();
+  if (!t.has_value()) {
+    q_compute_push_->Close();
+    return false;
+  }
+  RunComputeStage(*t);
+  q_compute_push_->Push(*t);
+  return true;
+}
+
+bool PsTrainingEngine::PushLoop() {
+  std::optional<StepTask*> t = q_compute_push_->Pop();
+  if (!t.has_value()) return false;
+  StepTask* task = *t;
+  {
+    std::lock_guard<std::mutex> lock(ps_mu_);
+    RunPushStage(task);
+    if (transport_.HasDueProcessFaults()) {
+      // Recovery needs a consistent barrier: tell the sample stage to
+      // stop feeding at the next iteration boundary; the driver injects
+      // the fault once the pipeline drains.
+      stop_feeding_.store(true, std::memory_order_release);
+    }
+  }
+  // This thread is the only accumulator while the pipeline runs; the
+  // driver reads after Join().
+  epoch_loss_sum_ += task->loss_sum;
+  epoch_pair_count_ += task->pair_count;
+  if (task->w->machine == workers_.size() - 1) {
+    clock_.MarkCompleted(task->iter);
+  }
+  ReleaseTask(task);
+  return true;
+}
+
+size_t PsTrainingEngine::RunAsyncSegment(size_t max_iters) {
+  const size_t start = global_iteration_;
+  segment_end_ = start + max_iters;
+  sample_next_iter_ = start;
+  sample_next_worker_ = 0;
+  stop_feeding_.store(false, std::memory_order_release);
+  clock_.Reset(start);
+  q_sample_pull_->Reopen();
+  q_pull_compute_->Reopen();
+  q_compute_push_->Reopen();
+
+  Pipeline pipeline;
+  pipeline.AddStage("sample", [this] { return SampleLoop(); });
+  pipeline.AddStage("pull", [this] { return PullLoop(); });
+  pipeline.AddStage("compute", [this] { return ComputeLoop(); });
+  pipeline.AddStage("push", [this] { return PushLoop(); });
+  pipeline.Start();
+  pipeline.Join();
+
+  staleness_waits_total_ += clock_.waits();
+  // Reopen so the recovery replay path (which routes Step() through the
+  // same queues) and the next segment find them usable.
+  q_sample_pull_->Reopen();
+  q_pull_compute_->Reopen();
+  q_compute_push_->Reopen();
+  // The sample stage only stops at iteration boundaries, and Join()
+  // means every emitted task was pushed — so exactly the iterations
+  // [start, sample_next_iter_) completed in full.
+  global_iteration_ = sample_next_iter_;
+  return sample_next_iter_ - start;
 }
 
 void PsTrainingEngine::EnableValidation(const graph::KnowledgeGraph* graph,
@@ -656,6 +893,26 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
     m.SetGauge(metric::kPhasePushSeconds, phase_.push);
     m.SetGauge(metric::kKernelDispatch, embedding::kernels::DispatchGauge());
   }
+  // Pipeline stall/depth profile — async mode only. These depend on
+  // real thread scheduling, so the deterministic mode (whose reports
+  // are bit-identity-checked) never emits them.
+  if (async_mode_) {
+    m.Increment(metric::kPipelineStalls,
+                q_sample_pull_->push_stalls() + q_sample_pull_->pop_stalls() +
+                    q_pull_compute_->push_stalls() +
+                    q_pull_compute_->pop_stalls() +
+                    q_compute_push_->push_stalls() +
+                    q_compute_push_->pop_stalls());
+    m.Increment(metric::kPipelineStalenessWaits, staleness_waits_total_);
+    m.SetGauge(metric::kPipelineQueueDepthSample,
+               static_cast<double>(q_sample_pull_->high_water()));
+    m.SetGauge(metric::kPipelineQueueDepthCompute,
+               static_cast<double>(q_pull_compute_->high_water()));
+    m.SetGauge(metric::kPipelineQueueDepthPush,
+               static_cast<double>(q_compute_push_->high_water()));
+    m.SetGauge(metric::kPipelineMaxRowLag,
+               static_cast<double>(max_observed_lag_));
+  }
   return m;
 }
 
@@ -704,62 +961,113 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
     }
 
     Stopwatch wall;
-    for (size_t i = iter_begin; i < iterations_per_epoch_; ++i) {
-      HETKG_RETURN_IF_ERROR(MaybeInjectProcessFaults());
-      for (Worker& w : workers_) {
-        const auto [loss, pairs] = Step(&w, global_iteration_);
-        epoch_loss_sum_ += loss;
-        epoch_pair_count_ += pairs;
+    // Trace counter tracks + periodic metric samples, shared by both
+    // engine modes. `boundary` is the epoch-relative iteration just
+    // finished; in async mode these run only at drain barriers.
+    auto publish_trace_counters = [&] {
+      if (!obs::Tracer::Enabled()) return;
+      obs::Tracer::PublishSimSeconds(cumulative_seconds_ +
+                                     EpochCriticalPath().total_seconds());
+      uint64_t hits = total_hits_;
+      uint64_t misses = total_misses_;
+      for (const Worker& w : workers_) {
+        hits += w.hits;
+        misses += w.misses;
       }
-      ++global_iteration_;
-      if (obs::Tracer::Enabled()) {
-        // Counter tracks, sampled once per global iteration on the
-        // scheduling thread.
-        obs::Tracer::PublishSimSeconds(
-            cumulative_seconds_ + cluster_.CriticalPath().total_seconds());
-        uint64_t hits = total_hits_;
-        uint64_t misses = total_misses_;
-        for (const Worker& w : workers_) {
-          hits += w.hits;
-          misses += w.misses;
+      obs::Tracer::Counter(
+          "cache.hit_ratio",
+          (hits + misses) == 0
+              ? 0.0
+              : static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+      obs::Tracer::Counter(
+          "net.remote_bytes",
+          static_cast<double>(report.total_remote_bytes +
+                              cluster_.TotalRemoteBytes()));
+    };
+    auto maybe_window_sample = [&](size_t boundary) {
+      if (!metrics_on || config_.obs.metrics_window == 0 ||
+          boundary % config_.obs.metrics_window != 0 ||
+          boundary == iterations_per_epoch_) {
+        return;
+      }
+      obs::MetricsSample sample;
+      sample.kind = "window";
+      sample.epoch = epoch;
+      sample.iteration = boundary;
+      sample.sim_seconds =
+          cumulative_seconds_ + EpochCriticalPath().total_seconds();
+      sample.wall_seconds = train_wall.ElapsedSeconds();
+      sample.metrics = CollectObsMetrics(sample.sim_seconds);
+      report.metrics_series.Add(std::move(sample));
+    };
+    auto halt_report = [&]() -> TrainReport {
+      // Testing hook simulating a hard crash: stop mid-run without
+      // the epoch-boundary flush or report. The partial report only
+      // exists so callers can observe how far the run got.
+      report.overall_hit_ratio = OverallHitRatio();
+      report.metrics = CollectObsMetrics(
+          cumulative_seconds_ + EpochCriticalPath().total_seconds());
+      return report;
+    };
+
+    if (!async_mode_) {
+      for (size_t i = iter_begin; i < iterations_per_epoch_; ++i) {
+        HETKG_RETURN_IF_ERROR(MaybeInjectProcessFaults());
+        for (Worker& w : workers_) {
+          const auto [loss, pairs] = Step(&w, global_iteration_);
+          epoch_loss_sum_ += loss;
+          epoch_pair_count_ += pairs;
         }
-        obs::Tracer::Counter(
-            "cache.hit_ratio",
-            (hits + misses) == 0
-                ? 0.0
-                : static_cast<double>(hits) /
-                      static_cast<double>(hits + misses));
-        obs::Tracer::Counter(
-            "net.remote_bytes",
-            static_cast<double>(report.total_remote_bytes +
-                                cluster_.TotalRemoteBytes()));
+        ++global_iteration_;
+        publish_trace_counters();
+        maybe_window_sample(i + 1);
+        if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0 &&
+            global_iteration_ % config_.checkpoint_every == 0) {
+          HETKG_RETURN_IF_ERROR(WritePeriodicCheckpoint());
+        }
+        if (config_.halt_after_iterations > 0 &&
+            global_iteration_ >= config_.halt_after_iterations) {
+          return halt_report();
+        }
       }
-      if (metrics_on && config_.obs.metrics_window > 0 &&
-          (i + 1) % config_.obs.metrics_window == 0 &&
-          i + 1 != iterations_per_epoch_) {
-        obs::MetricsSample sample;
-        sample.kind = "window";
-        sample.epoch = epoch;
-        sample.iteration = i + 1;
-        sample.sim_seconds =
-            cumulative_seconds_ + cluster_.CriticalPath().total_seconds();
-        sample.wall_seconds = train_wall.ElapsedSeconds();
-        sample.metrics = CollectObsMetrics(sample.sim_seconds);
-        report.metrics_series.Add(std::move(sample));
-      }
-      if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0 &&
-          global_iteration_ % config_.checkpoint_every == 0) {
-        HETKG_RETURN_IF_ERROR(WritePeriodicCheckpoint());
-      }
-      if (config_.halt_after_iterations > 0 &&
-          global_iteration_ >= config_.halt_after_iterations) {
-        // Testing hook simulating a hard crash: stop mid-run without
-        // the epoch-boundary flush or report. The partial report only
-        // exists so callers can observe how far the run got.
-        report.overall_hit_ratio = OverallHitRatio();
-        report.metrics = CollectObsMetrics(
-            cumulative_seconds_ + cluster_.CriticalPath().total_seconds());
-        return report;
+    } else {
+      // Async mode: run the epoch as drained-pipeline segments. Every
+      // iteration-boundary obligation — fault injection, checkpoints,
+      // the halt hook, metric windows — becomes a segment barrier, so
+      // each one still observes fully consistent engine state.
+      size_t i = iter_begin;
+      while (i < iterations_per_epoch_) {
+        HETKG_RETURN_IF_ERROR(MaybeInjectProcessFaults());
+        if (config_.halt_after_iterations > 0 &&
+            global_iteration_ >= config_.halt_after_iterations) {
+          return halt_report();
+        }
+        size_t seg = iterations_per_epoch_ - i;
+        if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0) {
+          seg = std::min(seg, config_.checkpoint_every -
+                                  global_iteration_ %
+                                      config_.checkpoint_every);
+        }
+        if (config_.halt_after_iterations > 0) {
+          seg = std::min(seg, config_.halt_after_iterations -
+                                  global_iteration_);
+        }
+        if (metrics_on && config_.obs.metrics_window > 0) {
+          seg = std::min(seg, config_.obs.metrics_window -
+                                  i % config_.obs.metrics_window);
+        }
+        i += RunAsyncSegment(seg);
+        publish_trace_counters();
+        maybe_window_sample(i);
+        if (ckpt_manager_ != nullptr && config_.checkpoint_every > 0 &&
+            global_iteration_ % config_.checkpoint_every == 0) {
+          HETKG_RETURN_IF_ERROR(WritePeriodicCheckpoint());
+        }
+        if (config_.halt_after_iterations > 0 &&
+            global_iteration_ >= config_.halt_after_iterations) {
+          return halt_report();
+        }
       }
     }
     // Epoch boundary: write-back gradients may not linger (validation
@@ -773,7 +1081,7 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
     er.mean_loss = epoch_pair_count_ == 0
                        ? 0.0
                        : epoch_loss_sum_ / epoch_pair_count_;
-    er.epoch_time = cluster_.CriticalPath();
+    er.epoch_time = EpochCriticalPath();
     cumulative_seconds_ += er.epoch_time.total_seconds();
     er.cumulative_seconds = cumulative_seconds_;
     er.wall_seconds = wall.ElapsedSeconds();
@@ -795,6 +1103,7 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
     report.total_remote_bytes += er.remote_bytes;
     report.total_time.compute_seconds += er.epoch_time.compute_seconds;
     report.total_time.comm_seconds += er.epoch_time.comm_seconds;
+    report.total_time.overlap_seconds += er.epoch_time.overlap_seconds;
     report.total_wall_seconds += er.wall_seconds;
 
     if (valid_graph_ != nullptr && !valid_triples_.empty()) {
@@ -1031,7 +1340,7 @@ Status PsTrainingEngine::SaveTrainState(const std::string& path) const {
   embedding::CheckpointWriter writer;
   BuildSnapshotSections(&writer);
   AppendEngineCountersSection(&writer);
-  return writer.WriteAtomic(path);
+  return writer.WriteAtomic(path, config_.checkpoint_fsync);
 }
 
 Status PsTrainingEngine::WritePeriodicCheckpoint() {
@@ -1049,7 +1358,8 @@ Status PsTrainingEngine::WritePeriodicCheckpoint() {
                             writer.payload_bytes());
   AppendEngineCountersSection(&writer);
   HETKG_RETURN_IF_ERROR(
-      writer.WriteAtomic(ckpt_manager_->SnapshotPath(global_iteration_)));
+      writer.WriteAtomic(ckpt_manager_->SnapshotPath(global_iteration_),
+                         config_.checkpoint_fsync));
   return ckpt_manager_->Commit(global_iteration_);
 }
 

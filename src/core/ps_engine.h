@@ -1,15 +1,19 @@
 #ifndef HETKG_CORE_PS_ENGINE_H_
 #define HETKG_CORE_PS_ENGINE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/checkpoint_manager.h"
 #include "core/hot_embedding_table.h"
+#include "core/hot_filter.h"
 #include "core/parallel_batch.h"
+#include "core/pipeline.h"
 #include "core/prefetcher.h"
 #include "core/sync_controller.h"
 #include "core/trainer.h"
@@ -83,6 +87,13 @@ class PsTrainingEngine : public TrainingEngine {
   /// benches/tests that inspect retry and degradation counters).
   const sim::Transport& transport() const { return transport_; }
 
+  /// Async pipeline introspection (0 in deterministic mode). The max
+  /// observed lag is the largest (pull iteration - completed iteration)
+  /// any pull stage ran at — the staleness-bound property tests assert
+  /// it never exceeds --max_pipeline_staleness.
+  size_t MaxObservedPipelineLag() const { return max_observed_lag_; }
+  uint64_t PipelineStalenessWaits() const { return staleness_waits_total_; }
+
   /// Crash recovery (DESIGN.md §9): full-training-state snapshots.
   Status SaveTrainState(const std::string& path) const override;
   Status RestoreTrainState(const std::string& path_or_dir) override;
@@ -112,18 +123,84 @@ class PsTrainingEngine : public TrainingEngine {
     std::unordered_map<EmbKey, std::vector<float>> pending_grads;
   };
 
+  /// One iteration of one worker flowing through the pipeline
+  /// (DESIGN.md §12). The task owns every buffer its stages touch, so
+  /// in async mode tasks of different iterations can be in flight on
+  /// different stage threads without sharing scratch. Cached rows are
+  /// COPIED into `values` by the pull stage (a bit-exact float copy),
+  /// so the compute stage never reads cache storage that a concurrent
+  /// push stage may be updating.
+  struct StepTask {
+    Worker* w = nullptr;
+    size_t iter = 0;
+    MiniBatch batch;
+
+    // Plan produced by the sample stage, applied by the pull stage.
+    bool flush_writeback = false;
+    bool rebuild = false;
+    bool whole_epoch = false;
+    FrequencyMap rebuild_freq;
+    uint64_t rebuild_accesses = 0;
+    uint64_t refill_accesses = 0;
+
+    // Row/gradient buffers addressed by the dense index of the sorted
+    // key list (`keys`), not by hash lookups.
+    std::vector<EmbKey> keys;
+    std::vector<EmbKey> missing;
+    std::vector<float> values;
+    std::vector<float> grads;
+    std::vector<std::span<float>> pull_spans;
+    std::vector<std::span<float>> row_spans;  // Per key index.
+    std::vector<size_t> grad_offsets;         // K+1 prefix offsets.
+    std::vector<ResolvedTriple> positives;
+    std::vector<ResolvedPair> pairs;
+    std::vector<double> pos_scores;
+
+    // Results, filled by the compute stage.
+    double loss_sum = 0.0;
+    uint64_t pair_count = 0;
+
+    void Reset(Worker* worker, size_t iteration) {
+      w = worker;
+      iter = iteration;
+      flush_writeback = false;
+      rebuild = false;
+      whole_epoch = false;
+      rebuild_freq.clear();
+      rebuild_accesses = 0;
+      refill_accesses = 0;
+      loss_sum = 0.0;
+      pair_count = 0;
+    }
+  };
+
   PsTrainingEngine(const TrainerConfig& config, SyncController sync,
                    const graph::KnowledgeGraph& graph);
 
   Status Setup(const std::vector<Triple>& train);
 
-  /// Builds (CPS: whole epoch, counting-only) or rebuilds (DPS: next D
-  /// batches) the worker's hot set, pulling newly admitted rows.
-  /// `iter` anchors the staleness clock of the freshly pulled rows.
+  /// Prefetcher-side half of a hot-set (re)build: counts (CPS: whole
+  /// epoch) or counts-and-queues (DPS: next D batches) accesses into
+  /// `freq`, returning the counted access total. Touches only the
+  /// worker's sampling pipeline — safe on the sample stage.
+  uint64_t CollectHotSetPlan(Worker* w, bool whole_epoch,
+                             FrequencyMap* freq);
+
+  /// PS-side half: filters `freq`, assigns the hot set, re-anchors
+  /// staleness clocks at `iter`, and pulls newly admitted rows. Runs on
+  /// the pull stage (or the scheduling thread during recovery).
+  void ApplyHotSet(Worker* w, size_t iter, const FrequencyMap& freq,
+                   uint64_t accesses);
+
+  /// Both halves back-to-back — the recovery path's rebuild, which runs
+  /// serially outside the pipeline.
   void ConstructHotSet(Worker* w, bool whole_epoch, size_t iter);
 
-  /// Ensures the worker has a mini-batch ready.
-  void FillBatchQueue(Worker* w);
+  /// Ensures the worker has a mini-batch ready. Returns the prefetch
+  /// access count to charge (0 when no refill happened); the caller
+  /// records it on the pull stage so sim accounting stays ordered with
+  /// the iteration's other cluster traffic.
+  uint64_t FillBatchQueue(Worker* w);
 
   /// Pushes all locally accumulated (write-back) gradients to the PS.
   void FlushPendingGradients(Worker* w);
@@ -138,7 +215,62 @@ class PsTrainingEngine : public TrainingEngine {
                          std::span<const std::span<float>> spans,
                          std::span<const uint32_t> failed);
 
-  /// One training iteration for one worker at global iteration `iter`.
+  // -- Pipeline stages (DESIGN.md §12) ----------------------------------
+  // Each stage owns a disjoint slice of engine state: sample touches
+  // only the worker's sampling pipeline (prefetcher, negative sampler,
+  // batch queue); pull and push touch the shared PS/cluster/transport
+  // state (under ps_mu_ in async mode); compute touches only the
+  // task-private buffers. In deterministic mode the scheduling thread
+  // ticks all four inline, in pre-pipeline order, so results are
+  // bit-identical to the former monolithic Step().
+
+  /// Sample/prefetch stage: plans any hot-set rebuild, refills the
+  /// batch queue, and pops the iteration's mini-batch into the task.
+  void RunSampleStage(StepTask* task);
+
+  /// Cache-refresh/pull stage: applies the rebuild plan, resolves the
+  /// batch's rows (cache hits vs PS pulls, staleness-driven refreshes),
+  /// and leaves every row's bits in the task's private buffer.
+  void RunPullStage(StepTask* task);
+
+  /// Batch compute stage: forward + backward over all pairs via the
+  /// deterministic chunked executor.
+  void RunComputeStage(StepTask* task);
+
+  /// Gradient push stage: local cache updates, write-back accumulation,
+  /// and the iteration's PS push.
+  void RunPushStage(StepTask* task);
+
+  // Async stage-thread loop bodies (return false to stop; a closed
+  // upstream queue cascades shutdown to the next stage).
+  bool SampleLoop();
+  bool PullLoop();
+  bool ComputeLoop();
+  bool PushLoop();
+
+  /// Runs up to `max_iters` full iterations (all workers each) through
+  /// the threaded pipeline, stopping early at an iteration boundary
+  /// when a process fault comes due. Returns iterations completed and
+  /// advances global_iteration_; on return the pipeline is drained, so
+  /// engine state is at a consistent barrier.
+  size_t RunAsyncSegment(size_t max_iters);
+
+  StepTask* AcquireTask();
+  void ReleaseTask(StepTask* task);
+
+  /// Critical path of the current epoch's traffic: the plain serial
+  /// path in deterministic mode, the overlap-adjusted path in async
+  /// mode (stages ahead by up to the pipeline staleness hide the
+  /// smaller of compute/comm behind the larger).
+  sim::TimeBreakdown EpochCriticalPath() const {
+    return async_mode_
+               ? cluster_.OverlappedCriticalPath(sync_.PipelineStaleness())
+               : cluster_.CriticalPath();
+  }
+
+  /// One training iteration for one worker at global iteration `iter`:
+  /// routes one task through the staged pipeline inline (deterministic
+  /// mode and the recovery replay path).
   /// Returns the summed pair loss and pair count.
   std::pair<double, uint64_t> Step(Worker* w, size_t iter);
 
@@ -252,19 +384,42 @@ class PsTrainingEngine : public TrainingEngine {
   std::unique_ptr<ThreadPool> pool_;
   ParallelBatchScorer scorer_;
 
-  // Per-iteration scratch, reused to avoid allocation churn. Rows and
-  // gradients are addressed by the dense index of the batch's sorted
-  // key list (scratch_keys_), not by hash lookups.
-  std::vector<EmbKey> scratch_keys_;
-  std::vector<EmbKey> scratch_missing_;
-  std::vector<float> scratch_values_;
-  std::vector<float> scratch_grads_;
-  std::vector<std::span<float>> scratch_pull_spans_;
-  std::vector<std::span<float>> scratch_row_spans_;  // Per key index.
-  std::vector<size_t> scratch_grad_offsets_;         // K+1 prefix offsets.
-  std::vector<ResolvedTriple> scratch_positives_;
-  std::vector<ResolvedPair> scratch_pairs_;
-  std::vector<double> scratch_pos_scores_;
+  // Hot-set construction scratch (pull stage / recovery only).
+  std::vector<std::span<float>> rebuild_pull_spans_;
+
+  // -- Pipeline engine (DESIGN.md §12) ----------------------------------
+  // Both modes route every iteration through these bounded queues; the
+  // deterministic mode ticks the stages inline on the scheduling thread
+  // (each push is immediately popped — a once-per-iteration
+  // rendezvous), while --async runs one thread per stage and lets them
+  // advance independently under backpressure.
+  bool async_mode_ = false;
+  std::unique_ptr<BoundedQueue<StepTask*>> q_sample_pull_;
+  std::unique_ptr<BoundedQueue<StepTask*>> q_pull_compute_;
+  std::unique_ptr<BoundedQueue<StepTask*>> q_compute_push_;
+  /// HET-style bounded-staleness admission: the pull stage of iteration
+  /// i waits until i <= completed + N (async mode only).
+  BoundedStalenessClock clock_;
+  /// Async mode: coarse lock serializing the shared PS-side state
+  /// (server_, cluster_, transport_, caches, write-back maps) between
+  /// the pull and push stages. Compute holds it only for its sim-flop
+  /// accounting, so batch math overlaps communication.
+  std::mutex ps_mu_;
+  /// Task recycling (any stage thread).
+  std::mutex task_mu_;
+  std::vector<std::unique_ptr<StepTask>> task_pool_;
+  std::vector<StepTask*> free_tasks_;
+  // Per-segment sample-stage cursor (sample thread only while running).
+  size_t segment_end_ = 0;
+  size_t sample_next_iter_ = 0;
+  uint32_t sample_next_worker_ = 0;
+  /// Set by the push stage when a process fault comes due; the sample
+  /// stage stops feeding at the next iteration boundary so the drained
+  /// pipeline leaves a consistent barrier for recovery.
+  std::atomic<bool> stop_feeding_{false};
+  // Async observability, read by the driver after Join().
+  size_t max_observed_lag_ = 0;        // Pull thread only.
+  uint64_t staleness_waits_total_ = 0;  // Accumulated across segments.
 };
 
 }  // namespace hetkg::core

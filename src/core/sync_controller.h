@@ -48,6 +48,17 @@ struct SyncConfig {
   /// many iterations. Pending gradients are always flushed before a
   /// refresh or hot-set rebuild so no update is ever lost.
   size_t write_back_period = 1;
+  /// Asynchronous pipeline mode (DESIGN.md §12): the engine's
+  /// sample/pull/compute/push stages run on their own threads and
+  /// iterations overlap, HET-style. Off = deterministic mode, where the
+  /// stages rendezvous once per iteration and results are bit-identical
+  /// to the serial engine.
+  bool async_pipeline = false;
+  /// N: in async mode, the pull of iteration i may proceed once
+  /// iteration i - N has fully pushed, so every value an iteration
+  /// reads lags the global tables by at most N iterations (on top of
+  /// the cache's own staleness bound P). 0 = rendezvous per iteration.
+  size_t pipeline_staleness = 2;
 };
 
 /// Pure schedule logic of Algorithm 3's worker loop, factored out so the
@@ -92,6 +103,27 @@ class SyncController {
   size_t DegradedMaxStaleness(size_t missed_refreshes) const {
     if (config_.strategy == CacheStrategy::kNone) return 0;
     return (missed_refreshes + 1) * config_.staleness_bound;
+  }
+
+  /// Asynchronous pipeline mode on?
+  bool AsyncPipeline() const { return config_.async_pipeline; }
+
+  /// N: the pipeline run-ahead bound (0 in deterministic mode, where
+  /// the stages rendezvous every iteration).
+  size_t PipelineStaleness() const {
+    return config_.async_pipeline ? config_.pipeline_staleness : 0;
+  }
+
+  /// True when iteration `iter` may pull given `completed` fully pushed
+  /// iterations — the admission predicate the pull stage blocks on.
+  bool PullAdmissible(size_t iter, size_t completed) const {
+    return iter <= completed + PipelineStaleness();
+  }
+
+  /// Worst-case lag of any value an iteration reads: the cache bound P
+  /// plus the pipeline run-ahead N (uncached rows see only N).
+  size_t TotalMaxStaleness() const {
+    return MaxStaleness() + PipelineStaleness();
   }
 
  private:

@@ -108,6 +108,12 @@ struct TrainerConfig {
   /// epoch (0 = run to completion). The partial report carries whatever
   /// epochs completed.
   size_t halt_after_iterations = 0;
+  /// Durable checkpoint writes: fsync the snapshot/manifest temp file
+  /// before the rename and the directory after it, so a committed
+  /// checkpoint survives a host power loss (not just a process crash).
+  /// On by default; --checkpoint_fsync=false trades that guarantee for
+  /// faster saves in tests and benchmarks.
+  bool checkpoint_fsync = true;
 };
 
 /// Per-epoch observables. Times are the simulated cluster critical path

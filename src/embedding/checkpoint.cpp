@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/fs_sync.h"
 
 namespace hetkg::embedding {
 
@@ -116,7 +117,8 @@ void CheckpointWriter::AddSection(SectionTag tag, ByteWriter payload) {
   sections_.push_back(std::move(section));
 }
 
-Status CheckpointWriter::WriteAtomic(const std::string& path) const {
+Status CheckpointWriter::WriteAtomic(const std::string& path,
+                                     bool durable) const {
   // Assemble the whole file in memory: checkpoints are bounded by the
   // training state itself, and a single buffered write keeps the
   // temp-file window (the only non-atomic step) minimal.
@@ -147,8 +149,19 @@ Status CheckpointWriter::WriteAtomic(const std::string& path) const {
       return Status::IoError("short write to " + tmp_path);
     }
   }
+  // Durability order: the temp file's bytes must be on stable storage
+  // BEFORE the rename makes them reachable, and the directory entry
+  // itself after — otherwise a power loss can leave the final name (or
+  // a MANIFEST referencing it) pointing at a torn file that CRC-32
+  // rejects exactly when the snapshot is needed.
+  if (durable) {
+    HETKG_RETURN_IF_ERROR(SyncFile(tmp_path));
+  }
   if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
     return Status::IoError("cannot rename " + tmp_path + " to " + path);
+  }
+  if (durable) {
+    HETKG_RETURN_IF_ERROR(SyncParentDir(path));
   }
   return Status::OK();
 }

@@ -49,7 +49,12 @@ class CheckpointWriter {
   void AddSection(SectionTag tag, ByteWriter payload);
 
   /// Serializes magic + sections + CRC and atomically replaces `path`.
-  Status WriteAtomic(const std::string& path) const;
+  /// With `durable` (the default), the temp file is fsync()ed before
+  /// the rename and the parent directory after it, so a power loss
+  /// after this returns can never surface a torn file under the final
+  /// name (common/fs_sync.h). `durable = false` skips both syncs —
+  /// atomic against process crashes only (--checkpoint_fsync=false).
+  Status WriteAtomic(const std::string& path, bool durable = true) const;
 
   /// Total payload bytes appended so far (checkpoint.bytes metric).
   uint64_t payload_bytes() const { return payload_bytes_; }

@@ -32,6 +32,39 @@ std::atomic<int> g_path{-1};  // -1 = not yet resolved.
 std::atomic<int> g_mode{static_cast<int>(KernelMode::kAuto)};
 std::once_flag g_log_once;
 
+// HETKG_KERNEL is read exactly ONCE per dispatch resolution and the
+// observed value cached here, so the startup log always reports the
+// env string that actually steered the decision — never a second read
+// that could disagree if the environment changed in between.
+std::mutex g_env_mu;
+std::string g_env_snapshot;
+bool g_env_snapshot_set = false;
+
+/// The single environment read feeding one dispatch resolution.
+KernelMode SnapshotEnvOverride(KernelMode mode) {
+  const char* env = std::getenv("HETKG_KERNEL");
+  {
+    std::lock_guard<std::mutex> lock(g_env_mu);
+    g_env_snapshot_set = env != nullptr && *env != '\0';
+    g_env_snapshot = g_env_snapshot_set ? env : "";
+  }
+  if (mode == KernelMode::kAuto && env != nullptr && *env != '\0') {
+    if (const Result<KernelMode> parsed = ParseKernelMode(env); parsed.ok()) {
+      mode = *parsed;
+    }
+  }
+  return mode;
+}
+
+/// Pure mode -> path policy (no environment involved).
+KernelPath PathForMode(KernelMode mode) {
+  if (mode == KernelMode::kScalar) return KernelPath::kScalar;
+#if HETKG_KERNELS_X86
+  if (DetectCpuFeatures().avx2) return KernelPath::kAvx2;
+#endif
+  return KernelPath::kPortableVector;
+}
+
 }  // namespace
 
 CpuFeatures DetectCpuFeatures() {
@@ -92,16 +125,12 @@ KernelPath ResolveKernelPath(KernelMode mode) {
       }
     }
   }
-  if (mode == KernelMode::kScalar) return KernelPath::kScalar;
-#if HETKG_KERNELS_X86
-  if (DetectCpuFeatures().avx2) return KernelPath::kAvx2;
-#endif
-  return KernelPath::kPortableVector;
+  return PathForMode(mode);
 }
 
 void SetKernelMode(KernelMode mode) {
   g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
-  g_path.store(static_cast<int>(ResolveKernelPath(mode)),
+  g_path.store(static_cast<int>(PathForMode(SnapshotEnvOverride(mode))),
                std::memory_order_relaxed);
 }
 
@@ -112,7 +141,7 @@ KernelMode ActiveMode() {
 KernelPath ActivePath() {
   int p = g_path.load(std::memory_order_relaxed);
   if (p < 0) {
-    p = static_cast<int>(ResolveKernelPath(KernelMode::kAuto));
+    p = static_cast<int>(PathForMode(SnapshotEnvOverride(KernelMode::kAuto)));
     g_path.store(p, std::memory_order_relaxed);
   }
   return static_cast<KernelPath>(p);
@@ -122,15 +151,20 @@ bool UseVectorPath() { return ActivePath() != KernelPath::kScalar; }
 
 double DispatchGauge() { return static_cast<double>(ActivePath()); }
 
+std::string DispatchEnvSnapshot() {
+  std::lock_guard<std::mutex> lock(g_env_mu);
+  return g_env_snapshot_set ? g_env_snapshot : "<unset>";
+}
+
 void LogDispatchOnce() {
+  // Report the SAME env snapshot that steered the dispatch decision —
+  // a second getenv here could disagree with the resolution if the
+  // environment changed between the two reads.
   std::call_once(g_log_once, [] {
-    const char* env = std::getenv("HETKG_KERNEL");
     HETKG_LOG(Info) << "kernel dispatch: path=" << KernelPathName(ActivePath())
                     << " (mode=" << KernelModeName(ActiveMode())
                     << ", cpu features: " << DetectCpuFeatures().ToString()
-                    << ", HETKG_KERNEL="
-                    << (env != nullptr && *env != '\0' ? env : "<unset>")
-                    << ")";
+                    << ", HETKG_KERNEL=" << DispatchEnvSnapshot() << ")";
   });
 }
 

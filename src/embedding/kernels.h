@@ -93,6 +93,12 @@ bool UseVectorPath();
 /// ActivePath() as a double, for the `kernel.dispatch` metric gauge.
 double DispatchGauge();
 
+/// The HETKG_KERNEL value observed by the most recent dispatch
+/// resolution ("<unset>" when absent). The environment is read exactly
+/// once per resolution; this snapshot is what the startup log reports,
+/// so log and dispatch can never disagree.
+std::string DispatchEnvSnapshot();
+
 /// Logs detected CPU features + the chosen kernel path once per
 /// process (engines call this at startup).
 void LogDispatchOnce();

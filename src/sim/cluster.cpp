@@ -85,6 +85,23 @@ TimeBreakdown ClusterSim::CriticalPath() const {
   return worst;
 }
 
+TimeBreakdown ClusterSim::OverlappedCriticalPath(size_t staleness) const {
+  TimeBreakdown worst;
+  double worst_total = -1.0;
+  const double depth = static_cast<double>(staleness) + 1.0;
+  for (uint32_t m = 0; m < per_machine_.size(); ++m) {
+    TimeBreakdown t = MachineTime(m);
+    const double hidden =
+        std::min(t.compute_seconds, t.comm_seconds) * (1.0 - 1.0 / depth);
+    t.overlap_seconds = hidden;
+    if (t.total_seconds() > worst_total) {
+      worst_total = t.total_seconds();
+      worst = t;
+    }
+  }
+  return worst;
+}
+
 uint64_t ClusterSim::TotalRemoteBytes() const {
   uint64_t total = 0;
   for (const auto& c : per_machine_) {

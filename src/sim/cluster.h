@@ -42,10 +42,19 @@ struct ComputeConfig {
 
 /// Seconds of computation and communication attributed to one machine
 /// (or aggregated over the cluster's critical path).
+///
+/// `overlap_seconds` is nonzero only for the async pipeline engine
+/// (DESIGN.md §12): the seconds during which the machine's compute and
+/// communication proceeded concurrently, which the elapsed-time total
+/// therefore does not pay twice. Serial engines leave it at 0, so
+/// total = compute + comm exactly as before.
 struct TimeBreakdown {
   double compute_seconds = 0.0;
   double comm_seconds = 0.0;
-  double total_seconds() const { return compute_seconds + comm_seconds; }
+  double overlap_seconds = 0.0;
+  double total_seconds() const {
+    return compute_seconds + comm_seconds - overlap_seconds;
+  }
 };
 
 /// Deterministic accounting of a simulated cluster.
@@ -97,6 +106,17 @@ class ClusterSim {
 
   /// Critical-path epoch time: max over machines of compute + comm.
   TimeBreakdown CriticalPath() const;
+
+  /// Critical path when each machine's compute and communication
+  /// overlap under a pipeline with run-ahead bound `staleness` (the
+  /// async engine, DESIGN.md §12). With N in-flight iterations the
+  /// shorter of the two phases hides behind the longer for N out of
+  /// every N+1 iterations, so per machine
+  ///   total = max(compute, comm) + min(compute, comm) / (N + 1)
+  /// — N = 0 degenerates to the serial sum, N -> inf to perfect
+  /// overlap. Pure arithmetic over the same counters as CriticalPath,
+  /// so it is just as bit-reproducible.
+  TimeBreakdown OverlappedCriticalPath(size_t staleness) const;
 
   /// Cluster-wide totals, for traffic reporting.
   uint64_t TotalRemoteBytes() const;

@@ -155,6 +155,15 @@ class Transport {
     return process_cursor_ < process_schedule_.size();
   }
 
+  /// True when the next unconsumed process fault is already due at the
+  /// current clock — i.e. TakeDueProcessFaults() would return events.
+  /// The async pipeline's push stage polls this to stop feeding new
+  /// iterations, without tripping on faults scheduled far in the future.
+  bool HasDueProcessFaults() const {
+    return process_cursor_ < process_schedule_.size() &&
+           process_schedule_[process_cursor_].tick <= tick_;
+  }
+
   const FaultConfig& config() const { return plan_.config(); }
   ClusterSim* cluster() { return cluster_; }
 

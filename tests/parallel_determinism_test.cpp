@@ -4,6 +4,12 @@
 // must be BIT-identical at any --threads value.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -183,6 +189,69 @@ TEST_P(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
       ASSERT_EQ(parallel.embeddings[j], serial.embeddings[j])
           << "embedding float " << j << " diverged at " << threads
           << " threads";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint files written by the staged (pipelined) sync engine must
+// be byte-identical at any --threads value: the pipeline stages
+// rendezvous once per iteration in deterministic mode, so every
+// snapshot captures exactly the same training state regardless of how
+// the intra-batch work was scheduled.
+// ---------------------------------------------------------------------
+
+std::map<std::string, std::string> CheckpointDirBytes(
+    const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    files[entry.path().filename().string()] =
+        std::string(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  return files;
+}
+
+TEST(ParallelDeterminismCheckpointTest, FilesBitIdenticalAcrossThreads) {
+  const auto dataset = TinyDataset();
+
+  const auto run = [&dataset](size_t threads) {
+    const std::string dir = ::testing::TempDir() + "/det-ck-" +
+                            std::to_string(threads) + "-" +
+                            std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    TrainerConfig config;
+    config.dim = 16;
+    config.batch_size = 32;
+    config.negatives_per_positive = 8;
+    config.num_machines = 2;
+    config.cache_capacity = 64;
+    config.sync.staleness_bound = 4;
+    config.sync.dps_window = 8;
+    config.seed = 5;
+    config.num_threads = threads;
+    config.checkpoint_dir = dir;
+    config.checkpoint_every = 25;
+    config.keep_checkpoints = 2;
+    auto engine = core::MakeEngine(SystemKind::kHetKgDps, config,
+                                   dataset.graph, dataset.split.train)
+                      .value();
+    EXPECT_TRUE(engine->Train(2).ok());
+    return CheckpointDirBytes(dir);
+  };
+
+  const auto serial = run(1);
+  ASSERT_FALSE(serial.empty());
+  for (size_t threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (const auto& [name, bytes] : serial) {
+      const auto it = parallel.find(name);
+      ASSERT_NE(it, parallel.end()) << name;
+      EXPECT_EQ(it->second, bytes)
+          << "checkpoint file " << name << " diverged";
     }
   }
 }
