@@ -77,6 +77,36 @@ std::vector<hetkg::sim::ProcessFault> ParseProcessFaults(
   return events;
 }
 
+// Parses a "machine:iter[,machine:iter...]" real-kill schedule for the
+// process runtime (the worker SIGKILLs itself at that step command).
+std::vector<hetkg::net::ProcKill> ParseProcKills(const std::string& spec) {
+  std::vector<hetkg::net::ProcKill> kills;
+  for (const hetkg::sim::ProcessFault& f : ParseProcessFaults(
+           spec, hetkg::sim::ProcessFaultKind::kWorkerCrash, "proc_kill")) {
+    kills.push_back(hetkg::net::ProcKill{f.machine, f.tick});
+  }
+  return kills;
+}
+
+// Splits "host:port"; exits with usage on malformed input.
+std::pair<std::string, uint16_t> ParseHostPort(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long port =
+      colon == std::string::npos
+          ? 0
+          : std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (colon == std::string::npos || colon == 0 ||
+      end != spec.c_str() + spec.size() || errno == ERANGE || port == 0 ||
+      port > 65535) {
+    std::fprintf(stderr, "--connect: want host:port, got \"%s\"\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  return {spec.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -166,6 +196,31 @@ int main(int argc, char** argv) {
   flags.Define("metrics_window", "0",
                "also sample metrics every N iterations within an epoch "
                "(0 = per-epoch only; needs --metrics_json)");
+  // Process runtime (DESIGN.md §13): real worker processes behind the
+  // same engine; checkpoints stay bit-identical to --runtime=sim.
+  flags.Define("runtime", "sim",
+               "sim (in-process simulated workers) | proc (one real OS "
+               "process per worker; PS engines, deterministic mode only)");
+  flags.Define("workers", "0",
+               "proc runtime: worker process count (overrides --machines "
+               "when > 0)");
+  flags.Define("proc_transport", "shm",
+               "proc runtime coordinator<->worker transport: shm "
+               "(shared-memory rings) | tcp (loopback sockets)");
+  flags.Define("listen", "0",
+               "proc runtime: accept externally started workers on this "
+               "TCP port instead of forking (0 = fork locally)");
+  flags.Define("connect", "",
+               "run as a standalone proc worker: coordinator host:port "
+               "(requires --worker_id; suppresses training output)");
+  flags.Define("worker_id", "0", "machine id of this --connect worker");
+  flags.Define("proc_kill", "",
+               "real fault injection: machine:iter[,machine:iter...] — the "
+               "worker process SIGKILLs itself at that step (proc runtime "
+               "analogue of --fault_worker_crash)");
+  flags.Define("save_state", "",
+               "write a full training-state snapshot here after Train() "
+               "(the byte-comparable artifact of equivalence tests)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -233,6 +288,16 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("negatives"));
   config.negative_chunk_size = config.negatives_per_positive;
   config.num_machines = static_cast<size_t>(flags.GetInt("machines"));
+  const std::string runtime = flags.GetString("runtime");
+  if (runtime != "sim" && runtime != "proc") {
+    std::fprintf(stderr, "--runtime: want sim | proc, got \"%s\"\n",
+                 runtime.c_str());
+    return 2;
+  }
+  const bool proc_runtime = runtime == "proc";
+  if (proc_runtime && flags.GetInt("workers") > 0) {
+    config.num_machines = static_cast<size_t>(flags.GetInt("workers"));
+  }
   config.cache_capacity = static_cast<size_t>(flags.GetInt("cache"));
   config.sync.staleness_bound =
       static_cast<size_t>(flags.GetInt("staleness"));
@@ -282,6 +347,53 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     return 1;
   }
+
+  // ---- Process runtime setup ------------------------------------------
+  net::ProcOptions proc_options;
+  core::PsTrainingEngine* ps_engine = nullptr;
+  if (proc_runtime) {
+    ps_engine = dynamic_cast<core::PsTrainingEngine*>(engine->get());
+    if (ps_engine == nullptr) {
+      std::fprintf(stderr,
+                   "--runtime=proc supports the parameter-server engines "
+                   "only (pbg trains partition-at-a-time in one process; "
+                   "keep --runtime=sim for it)\n");
+      return 2;
+    }
+    auto transport =
+        net::ParseTransportKind(flags.GetString("proc_transport"));
+    if (!transport.ok()) {
+      std::fprintf(stderr, "%s\n", transport.status().ToString().c_str());
+      return 2;
+    }
+    proc_options.transport = *transport;
+    proc_options.retry = net::RetryPolicy::FromFaultConfig(config.fault);
+    proc_options.kills = ParseProcKills(flags.GetString("proc_kill"));
+  }
+  if (!flags.GetString("connect").empty()) {
+    // Standalone worker: serve the remote coordinator until shutdown;
+    // no local training, evaluation, or output.
+    if (!proc_runtime) {
+      std::fprintf(stderr, "--connect requires --runtime=proc\n");
+      return 2;
+    }
+    const auto [host, port] = ParseHostPort(flags.GetString("connect"));
+    const auto machine =
+        static_cast<uint32_t>(flags.GetInt("worker_id"));
+    if (machine >= config.num_machines) {
+      std::fprintf(stderr, "--worker_id %u out of range (%zu machines)\n",
+                   machine, config.num_machines);
+      return 2;
+    }
+    const Status served = net::RunStandaloneWorker(
+        ps_engine, machine, host, port, proc_options);
+    if (!served.ok()) {
+      std::fprintf(stderr, "worker: %s\n", served.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+
   eval::EvalOptions eval_options;
   eval_options.max_triples = 500;
   eval_options.num_candidates = 1000;
@@ -302,6 +414,23 @@ int main(int argc, char** argv) {
     }
     std::printf("resumed training state from %s\n",
                 config.resume_from.c_str());
+  }
+  // Launch worker processes AFTER any restore so they inherit (fork) or
+  // are shipped (listen) the resumed state, then train through them.
+  std::unique_ptr<net::ProcCoordinator> coordinator;
+  if (proc_runtime) {
+    const auto listen_port = static_cast<uint16_t>(flags.GetInt("listen"));
+    auto launched =
+        listen_port != 0
+            ? net::ProcCoordinator::ListenForWorkers(ps_engine, listen_port,
+                                                     proc_options)
+            : net::ProcCoordinator::ForkWorkers(ps_engine, proc_options);
+    if (!launched.ok()) {
+      std::fprintf(stderr, "proc launch: %s\n",
+                   launched.status().ToString().c_str());
+      return 1;
+    }
+    coordinator = std::move(launched).value();
   }
   auto report = (*engine)->Train(static_cast<size_t>(flags.GetInt("epochs")));
   if (!report.ok()) {
@@ -338,6 +467,23 @@ int main(int argc, char** argv) {
             report->metrics.Get(metric::kTransportStaleServes)),
         static_cast<unsigned long long>(
             report->metrics.Get(metric::kTransportLostPushRows)));
+  }
+
+  const std::string save_state = flags.GetString("save_state");
+  if (!save_state.empty()) {
+    const Status saved = (*engine)->SaveTrainState(save_state);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save_state: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("training state saved to %s\n", save_state.c_str());
+  }
+  if (coordinator != nullptr) {
+    const Status stopped = coordinator->Shutdown();
+    if (!stopped.ok()) {
+      std::fprintf(stderr, "proc shutdown: %s\n",
+                   stopped.ToString().c_str());
+    }
   }
 
   if (config.obs.TraceRequested()) {

@@ -96,10 +96,17 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
-  /// Reopens a drained queue for the next pipeline segment.
+  /// Reopens a drained queue for the next pipeline segment. The stall
+  /// counters and high-water mark restart at zero: they profile exactly
+  /// one segment, and the engine folds them into its cross-segment
+  /// totals before reopening — a reopened queue would otherwise keep
+  /// reporting the previous segment's stalls forever.
   void Reopen() {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = false;
+    push_stalls_ = 0;
+    pop_stalls_ = 0;
+    high_water_ = 0;
   }
 
   size_t size() const {

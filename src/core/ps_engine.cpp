@@ -161,6 +161,9 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
                                            &cluster_, &transport_));
   server_->InitEmbeddings();
   lookup_ = PsEmbeddingLookup(server_.get());
+  local_backend_ =
+      std::make_unique<LocalPsBackend>(server_.get(), &cluster_);
+  backend_ = local_backend_.get();
 
   // Workers, one per machine.
   const FilterQuota quota = ComputeQuota(
@@ -294,10 +297,10 @@ void PsTrainingEngine::ApplyHotSet(Worker* w, size_t iter,
   }
 
   // Charge the modeled bookkeeping cost of prefetch + filter.
-  cluster_.RecordCompute(w->machine,
-                         accesses * kPrefetchFlopsPerAccess +
-                             freq.size() * kFilterFlopsPerKey);
-  server_->metrics().Increment(metric::kCacheRebuilds);
+  backend_->RecordCompute(w->machine,
+                          accesses * kPrefetchFlopsPerAccess +
+                              freq.size() * kFilterFlopsPerKey);
+  backend_->IncrementServerMetric(metric::kCacheRebuilds, 1);
 
   // Pull values for newly admitted rows.
   if (!admitted.empty()) {
@@ -306,16 +309,14 @@ void PsTrainingEngine::ApplyHotSet(Worker* w, size_t iter,
       rebuild_pull_spans_.push_back(w->cache->Row(key));
     }
     const ps::PullResult pull =
-        server_->PullBatch(w->machine, admitted, rebuild_pull_spans_);
+        backend_->PullBatch(w->machine, admitted, rebuild_pull_spans_);
     // A newly admitted row has no stale copy to fall back on, so a
     // failed construction pull takes the degraded-read path: fill from
     // the global table directly (modeling the value arriving late,
     // outside the accounted fast path).
     for (uint32_t idx : pull.failed) {
-      const std::span<const float> value = server_->Value(admitted[idx]);
-      const std::span<float> dest = rebuild_pull_spans_[idx];
-      std::copy(value.begin(), value.end(), dest.begin());
-      server_->metrics().Increment(metric::kTransportDegradedReads);
+      backend_->ReadRow(admitted[idx], rebuild_pull_spans_[idx]);
+      backend_->IncrementServerMetric(metric::kTransportDegradedReads, 1);
       obs::Tracer::Instant("net.degraded_read", "net", "key",
                            static_cast<double>(admitted[idx]));
     }
@@ -339,8 +340,8 @@ void PsTrainingEngine::FlushPendingGradients(Worker* w) {
     keys.push_back(key);
     grads.emplace_back(grad.data(), grad.size());
   }
-  server_->PushGradBatch(w->machine, keys, grads);
-  server_->metrics().Increment(metric::kWriteBackFlushes);
+  backend_->PushGradBatch(w->machine, keys, grads);
+  backend_->IncrementServerMetric(metric::kWriteBackFlushes, 1);
   w->pending_grads.clear();
 }
 
@@ -358,7 +359,7 @@ void PsTrainingEngine::HandleFailedPulls(
       // stale cached copy. Staleness degrades gracefully — each lost
       // refresh round adds one more P window to the row's worst-case
       // lag (SyncController::DegradedMaxStaleness).
-      server_->metrics().Increment(metric::kTransportStaleServes);
+      backend_->IncrementServerMetric(metric::kTransportStaleServes, 1);
       obs::Tracer::Instant("net.stale_serve", "net", "key",
                            static_cast<double>(key));
       if (on_access_refresh) {
@@ -370,10 +371,8 @@ void PsTrainingEngine::HandleFailedPulls(
     } else {
       // A cold miss has no cached fallback; take the degraded read so
       // the iteration can proceed with a live value.
-      const std::span<const float> value = server_->Value(key);
-      const std::span<float> dest = spans[idx];
-      std::copy(value.begin(), value.end(), dest.begin());
-      server_->metrics().Increment(metric::kTransportDegradedReads);
+      backend_->ReadRow(key, spans[idx]);
+      backend_->IncrementServerMetric(metric::kTransportDegradedReads, 1);
       obs::Tracer::Instant("net.degraded_read", "net", "key",
                           static_cast<double>(key));
     }
@@ -455,8 +454,8 @@ void PsTrainingEngine::RunPullStage(StepTask* task) {
   }
   account(&phase_.rebuild);
   if (task->refill_accesses > 0) {
-    cluster_.RecordCompute(w->machine,
-                           task->refill_accesses * kPrefetchFlopsPerAccess);
+    backend_->RecordCompute(w->machine,
+                            task->refill_accesses * kPrefetchFlopsPerAccess);
   }
   account(&phase_.prefetch);
 
@@ -514,7 +513,8 @@ void PsTrainingEngine::RunPullStage(StepTask* task) {
     }
   }
   if (refreshed_rows > 0) {
-    server_->metrics().Increment(metric::kCacheRefreshRows, refreshed_rows);
+    backend_->IncrementServerMetric(metric::kCacheRefreshRows,
+                                    refreshed_rows);
   }
   // Algorithm 3 lines 8-9: when the sync threshold P is reached, the
   // latest versions of ALL cached hot-embeddings are pulled, bounding
@@ -529,11 +529,12 @@ void PsTrainingEngine::RunPullStage(StepTask* task) {
       task->missing.push_back(key);
       task->pull_spans.push_back(w->cache->Row(key));
     }
-    server_->metrics().Increment(metric::kCacheRefreshRows, cached.size());
+    backend_->IncrementServerMetric(metric::kCacheRefreshRows,
+                                    cached.size());
   }
   if (!task->missing.empty()) {
     const ps::PullResult pull =
-        server_->PullBatch(w->machine, task->missing, task->pull_spans);
+        backend_->PullBatch(w->machine, task->missing, task->pull_spans);
     if (!pull.failed.empty()) {
       HandleFailedPulls(w, iter, task->missing, task->pull_spans,
                         pull.failed);
@@ -605,9 +606,9 @@ void PsTrainingEngine::RunComputeStage(StepTask* task) {
   if (async_mode_) {
     // Only the sim accounting touches shared state on this stage.
     std::lock_guard<std::mutex> lock(ps_mu_);
-    cluster_.RecordCompute(w->machine, flops);
+    backend_->RecordCompute(w->machine, flops);
   } else {
-    cluster_.RecordCompute(w->machine, flops);
+    backend_->RecordCompute(w->machine, flops);
     if (obs) {
       const double now = cluster_.MachineTime(w->machine).total_seconds();
       phase_.compute += now - phase_mark;
@@ -671,10 +672,10 @@ void PsTrainingEngine::RunPushStage(StepTask* task) {
     push_keys.push_back(key);
     push_spans.emplace_back(g.data(), g.size());
   }
-  cluster_.RecordCompute(w->machine,
-                         local_update_params * kUpdateFlopsPerParam);
+  backend_->RecordCompute(w->machine,
+                          local_update_params * kUpdateFlopsPerParam);
   if (!push_keys.empty()) {
-    server_->PushGradBatch(w->machine, push_keys, push_spans);
+    backend_->PushGradBatch(w->machine, push_keys, push_spans);
   }
   if (obs) {
     const double before = phase_mark;
@@ -683,10 +684,10 @@ void PsTrainingEngine::RunPushStage(StepTask* task) {
     obs_metrics_.Observe(metric::kPushSimSeconds, now - before);
   }
 
-  server_->metrics().Increment(metric::kTriplesTrained,
-                               task->batch.positives.size());
-  server_->metrics().Increment(metric::kNegativesTrained,
-                               task->batch.negatives.size());
+  backend_->IncrementServerMetric(metric::kTriplesTrained,
+                                  task->batch.positives.size());
+  backend_->IncrementServerMetric(metric::kNegativesTrained,
+                                  task->batch.negatives.size());
 }
 
 PsTrainingEngine::StepTask* PsTrainingEngine::AcquireTask() {
@@ -830,6 +831,18 @@ size_t PsTrainingEngine::RunAsyncSegment(size_t max_iters) {
   pipeline.Join();
 
   staleness_waits_total_ += clock_.waits();
+  // Fold this segment's queue profile into the cross-segment totals
+  // before Reopen() zeroes the per-queue counters.
+  queue_stalls_total_ +=
+      q_sample_pull_->push_stalls() + q_sample_pull_->pop_stalls() +
+      q_pull_compute_->push_stalls() + q_pull_compute_->pop_stalls() +
+      q_compute_push_->push_stalls() + q_compute_push_->pop_stalls();
+  queue_high_water_sample_ =
+      std::max(queue_high_water_sample_, q_sample_pull_->high_water());
+  queue_high_water_compute_ =
+      std::max(queue_high_water_compute_, q_pull_compute_->high_water());
+  queue_high_water_push_ =
+      std::max(queue_high_water_push_, q_compute_push_->high_water());
   // Reopen so the recovery replay path (which routes Step() through the
   // same queues) and the next segment find them usable.
   q_sample_pull_->Reopen();
@@ -840,6 +853,30 @@ size_t PsTrainingEngine::RunAsyncSegment(size_t max_iters) {
   // [start, sample_next_iter_) completed in full.
   global_iteration_ = sample_next_iter_;
   return sample_next_iter_ - start;
+}
+
+Status PsTrainingEngine::SyncAllWorkers() {
+  if (step_driver_ == nullptr) return Status::OK();
+  for (Worker& w : workers_) {
+    HETKG_RETURN_IF_ERROR(step_driver_->SyncWorkerState(w.machine));
+  }
+  return Status::OK();
+}
+
+void PsTrainingEngine::TeardownPool() {
+  // ~ThreadPool joins its threads, so after this the process is
+  // single-threaded and safe to fork() under the sanitizers.
+  pool_valid_options_aliased_ =
+      valid_options_.pool != nullptr && valid_options_.pool == pool_.get();
+  pool_.reset();
+  if (pool_valid_options_aliased_) valid_options_.pool = nullptr;
+}
+
+void PsTrainingEngine::RebuildPool() {
+  if (config_.num_threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+  if (pool_valid_options_aliased_) valid_options_.pool = pool_.get();
 }
 
 void PsTrainingEngine::EnableValidation(const graph::KnowledgeGraph* graph,
@@ -897,19 +934,17 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
   // real thread scheduling, so the deterministic mode (whose reports
   // are bit-identity-checked) never emits them.
   if (async_mode_) {
-    m.Increment(metric::kPipelineStalls,
-                q_sample_pull_->push_stalls() + q_sample_pull_->pop_stalls() +
-                    q_pull_compute_->push_stalls() +
-                    q_pull_compute_->pop_stalls() +
-                    q_compute_push_->push_stalls() +
-                    q_compute_push_->pop_stalls());
+    // The per-queue counters reset on every segment Reopen(), so the
+    // profile comes from the cross-segment accumulators RunAsyncSegment
+    // folds in at each drain barrier.
+    m.Increment(metric::kPipelineStalls, queue_stalls_total_);
     m.Increment(metric::kPipelineStalenessWaits, staleness_waits_total_);
     m.SetGauge(metric::kPipelineQueueDepthSample,
-               static_cast<double>(q_sample_pull_->high_water()));
+               static_cast<double>(queue_high_water_sample_));
     m.SetGauge(metric::kPipelineQueueDepthCompute,
-               static_cast<double>(q_pull_compute_->high_water()));
+               static_cast<double>(queue_high_water_compute_));
     m.SetGauge(metric::kPipelineQueueDepthPush,
-               static_cast<double>(q_compute_push_->high_water()));
+               static_cast<double>(queue_high_water_push_));
     m.SetGauge(metric::kPipelineMaxRowLag,
                static_cast<double>(max_observed_lag_));
   }
@@ -917,6 +952,46 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
 }
 
 Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
+  if (step_driver_ == nullptr) return TrainInner(num_epochs);
+  // Process runtime (DESIGN.md §13). The step driver services worker
+  // RPCs strictly in sim order, which is only well-defined for the
+  // deterministic scheduler, and real worker processes make the sim's
+  // scheduled process faults redundant — real SIGKILLs replace them.
+  if (async_mode_) {
+    return Status::InvalidArgument(
+        "--runtime=proc requires the deterministic scheduler (drop --async)");
+  }
+  if (!config_.fault.process_faults.empty()) {
+    return Status::InvalidArgument(
+        "--runtime=proc replaces simulated process faults with real worker "
+        "kills (drop --fault_process)");
+  }
+  if (config_.obs.Enabled()) {
+    return Status::InvalidArgument(
+        "--runtime=proc does not support observability (phase gauges and "
+        "latency histograms are per-process; drop --obs_* flags)");
+  }
+  for (;;) {
+    Result<TrainReport> report = TrainInner(num_epochs);
+    if (report.ok() || !step_driver_->WorkerFailed()) return report;
+    // A worker process died mid-run. Recovery is a full rewind: every
+    // surviving process is discarded too, the coordinator restores the
+    // latest HETKGCK2 snapshot (the exact state a sim-mode halt/resume
+    // would restore), re-forks the fleet from it, and TrainInner
+    // continues down the proven resume path — so the final bytes match
+    // an uninterrupted run.
+    recovery_metrics_.Increment(metric::kRecoveryWorkerCrashes);
+    const Status restored = RestoreTrainState(config_.checkpoint_dir);
+    if (!restored.ok()) {
+      return Status::FailedPrecondition(
+          "worker process died and no checkpoint is restorable: " +
+          restored.ToString());
+    }
+    HETKG_RETURN_IF_ERROR(step_driver_->RestartWorkers());
+  }
+}
+
+Result<TrainReport> PsTrainingEngine::TrainInner(size_t num_epochs) {
   // Start a tracing session when the config asks for one and the
   // embedding binary didn't already; the lease stops it (writing the
   // file) on every exit path, including early error returns.
@@ -1015,9 +1090,19 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
       for (size_t i = iter_begin; i < iterations_per_epoch_; ++i) {
         HETKG_RETURN_IF_ERROR(MaybeInjectProcessFaults());
         for (Worker& w : workers_) {
-          const auto [loss, pairs] = Step(&w, global_iteration_);
-          epoch_loss_sum_ += loss;
-          epoch_pair_count_ += pairs;
+          if (step_driver_ != nullptr) {
+            // Process runtime: the step executes in the worker's own
+            // process; its PS/cluster RPCs land here in sim order.
+            HETKG_ASSIGN_OR_RETURN(
+                const auto result,
+                step_driver_->DriveStep(w.machine, global_iteration_));
+            epoch_loss_sum_ += result.first;
+            epoch_pair_count_ += result.second;
+          } else {
+            const auto [loss, pairs] = Step(&w, global_iteration_);
+            epoch_loss_sum_ += loss;
+            epoch_pair_count_ += pairs;
+          }
         }
         ++global_iteration_;
         publish_trace_counters();
@@ -1028,6 +1113,7 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
         }
         if (config_.halt_after_iterations > 0 &&
             global_iteration_ >= config_.halt_after_iterations) {
+          HETKG_RETURN_IF_ERROR(SyncAllWorkers());
           return halt_report();
         }
       }
@@ -1071,9 +1157,18 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
       }
     }
     // Epoch boundary: write-back gradients may not linger (validation
-    // and checkpoints read the global tables).
-    for (Worker& w : workers_) {
-      FlushPendingGradients(&w);
+    // and checkpoints read the global tables). In the process runtime
+    // each worker flushes from its own process (the pending gradients
+    // live there) and reports its epoch hit/miss counters back into the
+    // parent's worker mirrors so the harvest below sees them.
+    if (step_driver_ != nullptr) {
+      for (Worker& w : workers_) {
+        HETKG_RETURN_IF_ERROR(step_driver_->DriveEpochEnd(w.machine));
+      }
+    } else {
+      for (Worker& w : workers_) {
+        FlushPendingGradients(&w);
+      }
     }
 
     EpochReport er;
@@ -1126,6 +1221,9 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
       report.metrics_series.Add(std::move(sample));
     }
   }
+  // Process runtime: pull every worker's final state into the engine
+  // mirrors so SaveTrainState after Train() serializes current bytes.
+  HETKG_RETURN_IF_ERROR(SyncAllWorkers());
   report.overall_hit_ratio = OverallHitRatio();
   report.metrics = CollectObsMetrics(cumulative_seconds_);
   if (trace_lease.owns()) {
@@ -1346,6 +1444,9 @@ Status PsTrainingEngine::SaveTrainState(const std::string& path) const {
 Status PsTrainingEngine::WritePeriodicCheckpoint() {
   obs::TraceSpan span("ckpt.save", "ckpt");
   span.Arg("iteration", static_cast<double>(global_iteration_));
+  // Process runtime: the worker sections must serialize the worker
+  // processes' CURRENT state, not the stale parent-side mirrors.
+  HETKG_RETURN_IF_ERROR(SyncAllWorkers());
   embedding::CheckpointWriter writer;
   BuildSnapshotSections(&writer);
   // The save counters go INSIDE the snapshot, so a resumed run's

@@ -15,11 +15,17 @@
 #include "core/parallel_batch.h"
 #include "core/pipeline.h"
 #include "core/prefetcher.h"
+#include "core/ps_backend.h"
 #include "core/sync_controller.h"
 #include "core/trainer.h"
 #include "embedding/loss.h"
 #include "embedding/negative_sampler.h"
 #include "ps/parameter_server.h"
+
+namespace hetkg::net {
+class ProcCoordinator;
+class ProcWorker;
+}  // namespace hetkg::net
 
 namespace hetkg::core {
 
@@ -101,7 +107,45 @@ class PsTrainingEngine : public TrainingEngine {
     return recovery_metrics_;
   }
 
+  // -- Process runtime hooks (src/net/, DESIGN.md §13) -------------------
+
+  /// Coordinator-side driver of real worker processes. When installed,
+  /// Train() forwards each worker step / epoch flush / state sync to
+  /// this interface instead of executing the stages locally; the
+  /// driver services the worker's PsBackend RPCs against this engine's
+  /// authoritative server/cluster in sim order.
+  class StepDriver {
+   public:
+    virtual ~StepDriver() = default;
+    /// Runs one worker step remotely; returns {loss_sum, pair_count}.
+    virtual Result<std::pair<double, uint64_t>> DriveStep(uint32_t machine,
+                                                          size_t iter) = 0;
+    /// Epoch boundary: remote write-back flush, then harvest the
+    /// worker's hit/miss counters into the engine's worker mirror.
+    virtual Status DriveEpochEnd(uint32_t machine) = 0;
+    /// Pulls the worker's full serialized state into the engine's
+    /// worker mirror (checkpoint barriers and end of training).
+    virtual Status SyncWorkerState(uint32_t machine) = 0;
+    /// True when a worker process died since the last restart.
+    virtual bool WorkerFailed() const = 0;
+    /// Kills and relaunches every worker process from the engine's
+    /// current (just-restored) state; clears the failure flag.
+    virtual Status RestartWorkers() = 0;
+  };
+
+  /// Installs the process-runtime driver (nullptr restores sim mode).
+  void SetStepDriver(StepDriver* driver) { step_driver_ = driver; }
+
+  /// Reroutes the pipeline stages' shared-state calls — a forked worker
+  /// process installs its RPC backend here (nullptr restores the local
+  /// in-process backend).
+  void SetPsBackend(PsBackend* backend) {
+    backend_ = backend != nullptr ? backend : local_backend_.get();
+  }
+
  private:
+  friend class ::hetkg::net::ProcCoordinator;
+  friend class ::hetkg::net::ProcWorker;
   struct Worker {
     uint32_t machine = 0;
     std::vector<Triple> triples;
@@ -274,6 +318,24 @@ class PsTrainingEngine : public TrainingEngine {
   /// Returns the summed pair loss and pair count.
   std::pair<double, uint64_t> Step(Worker* w, size_t iter);
 
+  /// The body of Train(); the public Train() adds the process-runtime
+  /// crash-retry wrapper around it when a StepDriver is installed.
+  Result<TrainReport> TrainInner(size_t num_epochs);
+
+  /// Process runtime: refreshes every worker mirror from its process
+  /// (no-op in sim mode). Runs before checkpoints, halts, and the end
+  /// of training so serialized worker sections are always current.
+  Status SyncAllWorkers();
+
+  /// fork() hygiene for the process runtime: joins and destroys the
+  /// compute pool so the process is single-threaded across fork(), then
+  /// rebuilds it (in parent and child independently) afterwards.
+  void TeardownPool();
+  void RebuildPool();
+  /// Whether EnableValidation borrowed pool_ (so RebuildPool re-patches
+  /// the dangling pointer after a fork-cycle rebuild).
+  bool pool_valid_options_aliased_ = false;
+
   /// Cumulative metric state for reports and time-series samples:
   /// server + transport counters, cache hit/miss totals, and — when
   /// observability is active — the phase gauges and latency histograms.
@@ -323,6 +385,13 @@ class PsTrainingEngine : public TrainingEngine {
   sim::ClusterSim cluster_;
   sim::Transport transport_;
   std::unique_ptr<ps::ParameterServer> server_;
+  /// PS/cluster seam (DESIGN.md §13): stage code mutates shared state
+  /// through backend_ only. Sim runtime: the local backend below.
+  /// Process runtime: a forked worker swaps in its RPC backend.
+  std::unique_ptr<LocalPsBackend> local_backend_;
+  PsBackend* backend_ = nullptr;
+  /// Process runtime driver (coordinator side); null in sim mode.
+  StepDriver* step_driver_ = nullptr;
   std::unique_ptr<embedding::ScoreFunction> score_fn_;
   std::unique_ptr<embedding::LossFunction> loss_fn_;
   PsEmbeddingLookup lookup_{nullptr};
@@ -420,6 +489,13 @@ class PsTrainingEngine : public TrainingEngine {
   // Async observability, read by the driver after Join().
   size_t max_observed_lag_ = 0;        // Pull thread only.
   uint64_t staleness_waits_total_ = 0;  // Accumulated across segments.
+  // Queue stall/depth profile accumulated across segments: Reopen()
+  // zeroes the per-queue counters, so the driver folds each drained
+  // segment's numbers in here before reopening.
+  uint64_t queue_stalls_total_ = 0;
+  size_t queue_high_water_sample_ = 0;
+  size_t queue_high_water_compute_ = 0;
+  size_t queue_high_water_push_ = 0;
 };
 
 }  // namespace hetkg::core

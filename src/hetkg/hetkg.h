@@ -54,6 +54,12 @@
 #include "graph/serialize.h"
 #include "graph/stats.h"
 #include "graph/synthetic.h"
+#include "net/channel.h"
+#include "net/local_channel.h"
+#include "net/proc_runtime.h"
+#include "net/rpc.h"
+#include "net/shm_ring.h"
+#include "net/tcp_channel.h"
 #include "partition/bucketizer.h"
 #include "partition/metis_partitioner.h"
 #include "partition/partitioner.h"

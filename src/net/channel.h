@@ -1,0 +1,120 @@
+#ifndef HETKG_NET_CHANNEL_H_
+#define HETKG_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "sim/transport.h"
+
+namespace hetkg::net {
+
+/// Upper bound on one framed message. Generous enough for a full
+/// worker-state blob of any test-scale run; a frame above it signals a
+/// corrupted length prefix, not a real payload.
+constexpr uint64_t kMaxFrameBytes = 256ull << 20;
+
+enum class RecvStatus {
+  kOk,
+  /// No frame arrived within the caller's timeout; the channel is
+  /// still usable.
+  kTimeout,
+  /// The peer closed (or died) and every buffered frame has been
+  /// drained — the terminal state.
+  kClosed,
+};
+
+/// A bidirectional, reliable, ordered byte-frame channel between two
+/// processes (DESIGN.md §13). Implementations: the in-process
+/// LocalChannel (tests), the shared-memory ring pair (co-located
+/// workers), and TCP with length-prefixed framing (cross-machine).
+///
+/// Contract shared by every implementation:
+///   * frames arrive whole, in send order, at most `kMaxFrameBytes`;
+///   * `Send` returns false only when the channel is closed (the frame
+///     is dropped);
+///   * `Recv` with `timeout_ms < 0` blocks until a frame or close; a
+///     non-negative timeout applies to the *start* of a frame — once a
+///     frame's first bytes exist, Recv finishes it (a stalled peer
+///     mid-frame eventually reads as kClosed, never as a desynced
+///     stream);
+///   * `Close` is safe from another thread and wakes blocked callers;
+///   * zero-length frames are legal and round-trip.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual bool Send(std::string_view frame) = 0;
+  virtual RecvStatus Recv(std::string* frame, int timeout_ms) = 0;
+  virtual void Close() = 0;
+};
+
+/// Connect-retry policy for the real-socket transports, shaped from the
+/// same sim::FaultConfig fields PR-2's transport retries use —
+/// `max_retries` attempts after the first, exponential backoff starting
+/// at `backoff_seconds` (floored at 1ms: simulated backoffs are
+/// microseconds, real sockets need real waits).
+struct RetryPolicy {
+  uint32_t max_retries = 3;
+  double backoff_seconds = 200e-6;
+
+  static RetryPolicy FromFaultConfig(const sim::FaultConfig& fault) {
+    RetryPolicy policy;
+    policy.max_retries = fault.max_retries;
+    policy.backoff_seconds = fault.retry_backoff_seconds;
+    return policy;
+  }
+};
+
+/// Sequenced messaging over a Channel: every frame carries a little-
+/// endian u64 sequence number, and the receiver drops any frame whose
+/// sequence it has already delivered. Real sockets can present
+/// duplicates (a retried send whose first copy did arrive); dropping
+/// them here is the transport-level analogue of the parameter server's
+/// per-worker push-sequence guard, and makes RPC delivery exactly-once
+/// from the dispatcher's point of view.
+class Messenger {
+ public:
+  explicit Messenger(Channel* channel) : channel_(channel) {}
+
+  bool Send(std::string_view payload) {
+    return SendWithSeq(++next_seq_, payload);
+  }
+
+  /// Test hook: send under an explicit sequence number (re-sending a
+  /// consumed one injects a duplicate the receiver must drop).
+  bool SendWithSeq(uint64_t seq, std::string_view payload) {
+    std::string frame;
+    frame.resize(8 + payload.size());
+    std::memcpy(frame.data(), &seq, 8);
+    std::memcpy(frame.data() + 8, payload.data(), payload.size());
+    return channel_->Send(frame);
+  }
+
+  RecvStatus Recv(std::string* payload, int timeout_ms) {
+    for (;;) {
+      std::string frame;
+      const RecvStatus status = channel_->Recv(&frame, timeout_ms);
+      if (status != RecvStatus::kOk) return status;
+      if (frame.size() < 8) return RecvStatus::kClosed;  // Corrupt peer.
+      uint64_t seq = 0;
+      std::memcpy(&seq, frame.data(), 8);
+      if (seq <= delivered_seq_) continue;  // Duplicate: drop silently.
+      delivered_seq_ = seq;
+      payload->assign(frame.data() + 8, frame.size() - 8);
+      return RecvStatus::kOk;
+    }
+  }
+
+  Channel* channel() { return channel_; }
+  uint64_t last_sent_seq() const { return next_seq_; }
+
+ private:
+  Channel* channel_;
+  uint64_t next_seq_ = 0;
+  uint64_t delivered_seq_ = 0;
+};
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_CHANNEL_H_

@@ -1,0 +1,82 @@
+#ifndef HETKG_NET_LOCAL_CHANNEL_H_
+#define HETKG_NET_LOCAL_CHANNEL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+
+namespace hetkg::net {
+
+/// In-process Channel pair: two mutex-guarded frame queues, one per
+/// direction. The conformance baseline every real transport is tested
+/// against, and the endpoint for same-process worker threads in tests.
+class LocalChannel final : public Channel {
+ public:
+  static std::pair<std::unique_ptr<LocalChannel>,
+                   std::unique_ptr<LocalChannel>>
+  CreatePair() {
+    auto shared = std::make_shared<Shared>();
+    std::unique_ptr<LocalChannel> a(new LocalChannel(shared, 0));
+    std::unique_ptr<LocalChannel> b(new LocalChannel(shared, 1));
+    return {std::move(a), std::move(b)};
+  }
+
+  bool Send(std::string_view frame) override {
+    if (frame.size() > kMaxFrameBytes) return false;
+    Shared::Direction& dir = shared_->dirs[1 - side_];
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (shared_->closed) return false;
+    dir.frames.emplace_back(frame);
+    shared_->cv.notify_all();
+    return true;
+  }
+
+  RecvStatus Recv(std::string* frame, int timeout_ms) override {
+    Shared::Direction& dir = shared_->dirs[side_];
+    std::unique_lock<std::mutex> lock(shared_->mu);
+    auto ready = [&] { return !dir.frames.empty() || shared_->closed; };
+    if (timeout_ms < 0) {
+      shared_->cv.wait(lock, ready);
+    } else if (!shared_->cv.wait_for(
+                   lock, std::chrono::milliseconds(timeout_ms), ready)) {
+      return RecvStatus::kTimeout;
+    }
+    if (dir.frames.empty()) return RecvStatus::kClosed;
+    *frame = std::move(dir.frames.front());
+    dir.frames.pop_front();
+    return RecvStatus::kOk;
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->closed = true;
+    shared_->cv.notify_all();
+  }
+
+ private:
+  struct Shared {
+    struct Direction {
+      std::deque<std::string> frames;
+    };
+    std::mutex mu;
+    std::condition_variable cv;
+    Direction dirs[2];
+    bool closed = false;
+  };
+
+  LocalChannel(std::shared_ptr<Shared> shared, int side)
+      : shared_(std::move(shared)), side_(side) {}
+
+  std::shared_ptr<Shared> shared_;
+  const int side_;
+};
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_LOCAL_CHANNEL_H_

@@ -1,0 +1,712 @@
+#include "net/proc_runtime.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "net/local_channel.h"
+#include "net/rpc.h"
+#include "net/shm_ring.h"
+
+namespace hetkg::net {
+
+namespace {
+
+/// Handshake / shutdown grace deadline (ms).
+constexpr int kHandshakeMs = 30'000;
+constexpr int kShutdownGraceMs = 5'000;
+
+uint8_t TypeByte(MsgType t) { return static_cast<uint8_t>(t); }
+
+}  // namespace
+
+Result<TransportKind> ParseTransportKind(std::string_view name) {
+  if (name == "shm") return TransportKind::kShm;
+  if (name == "tcp") return TransportKind::kTcp;
+  return Status::InvalidArgument("unknown proc transport: " +
+                                 std::string(name));
+}
+
+// ---------------------------------------------------------------------------
+// RemotePsBackend (worker-process side of the seam).
+
+void RemotePsBackend::Abort(const char* what) {
+  HETKG_LOG(Warning) << "worker RPC channel failed (" << what
+                     << "); exiting";
+  std::_Exit(2);
+}
+
+void RemotePsBackend::SendOrAbort(const ByteWriter& msg) {
+  if (!messenger_->Send(msg.buffer())) Abort("send");
+}
+
+ps::PullResult RemotePsBackend::PullBatch(uint32_t machine,
+                                          std::span<const EmbKey> keys,
+                                          std::span<std::span<float>> out) {
+  (void)machine;  // The channel itself identifies the worker.
+  ByteWriter msg = RpcMessage(MsgType::kPull);
+  msg.U64Vec(keys);
+  SendOrAbort(msg);
+
+  std::string payload;
+  if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  MsgType type;
+  ByteReader r{std::string_view()};
+  if (!RpcOpen(payload, &type, &r) || type != MsgType::kPullReply) {
+    Abort("expected kPullReply");
+  }
+  ps::PullResult result;
+  const uint64_t n_failed = r.U64();
+  std::vector<char> is_failed(keys.size(), 0);
+  for (uint64_t i = 0; i < n_failed; ++i) {
+    const uint32_t idx = r.U32();
+    if (!r.ok() || idx >= keys.size()) Abort("bad kPullReply index");
+    result.failed.push_back(idx);
+    is_failed[idx] = 1;
+  }
+  // The reply carries every key's row back-to-back in key order; spans
+  // of failed keys keep their previous contents (the stale-serve /
+  // degraded-read contract of ParameterServer::PullBatch).
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const size_t dim = server_->RowDim(keys[k]);
+    if (is_failed[k]) {
+      std::vector<float> discard(dim);
+      if (!r.ReadRaw(discard.data(), dim * sizeof(float))) {
+        Abort("short kPullReply");
+      }
+      continue;
+    }
+    if (out[k].size() != dim ||
+        !r.ReadRaw(out[k].data(), dim * sizeof(float))) {
+      Abort("short kPullReply");
+    }
+  }
+  if (!r.ok() || r.remaining() != 0) Abort("trailing kPullReply bytes");
+  return result;
+}
+
+ps::PushResult RemotePsBackend::PushGradBatch(
+    uint32_t machine, std::span<const EmbKey> keys,
+    std::span<const std::span<const float>> grads) {
+  (void)machine;
+  ByteWriter msg = RpcMessage(MsgType::kPush);
+  msg.U64Vec(keys);
+  for (const std::span<const float>& g : grads) {
+    msg.Raw(g.data(), g.size() * sizeof(float));
+  }
+  // Fire-and-forget: the channel is FIFO and the coordinator applies
+  // every queued message before answering the next blocking RPC, so
+  // ordering (and hence the push-sequence numbering) is preserved. The
+  // engine ignores the result in both runtimes.
+  SendOrAbort(msg);
+  return ps::PushResult{};
+}
+
+void RemotePsBackend::ReadRow(EmbKey key, std::span<float> out) {
+  ByteWriter msg = RpcMessage(MsgType::kReadRow);
+  msg.U64(key);
+  SendOrAbort(msg);
+  std::string payload;
+  if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  MsgType type;
+  ByteReader r{std::string_view()};
+  if (!RpcOpen(payload, &type, &r) || type != MsgType::kReadRowReply ||
+      !r.ReadRaw(out.data(), out.size() * sizeof(float)) ||
+      r.remaining() != 0) {
+    Abort("bad kReadRowReply");
+  }
+}
+
+void RemotePsBackend::RecordCompute(uint32_t machine, uint64_t flops) {
+  (void)machine;
+  ByteWriter msg = RpcMessage(MsgType::kCharge);
+  msg.U64(flops);
+  SendOrAbort(msg);
+}
+
+void RemotePsBackend::IncrementServerMetric(const std::string& name,
+                                            uint64_t delta) {
+  ByteWriter msg = RpcMessage(MsgType::kMetric);
+  msg.Str(name);
+  msg.U64(delta);
+  SendOrAbort(msg);
+}
+
+// ---------------------------------------------------------------------------
+// ProcWorker (worker-process command loop).
+
+int ProcWorker::Run() {
+  // The worker process never runs Train(), checkpoints, or obs; the
+  // coordinator owns all of those. It executes exactly the per-step
+  // stage code, with every shared-state call routed over the channel.
+  engine_->obs_active_ = false;
+  engine_->SetStepDriver(nullptr);
+  RemotePsBackend backend(messenger_, engine_->server_.get());
+  engine_->SetPsBackend(&backend);
+  core::PsTrainingEngine::Worker* w = &engine_->workers_[machine_];
+
+  int exit_code = 1;
+  for (;;) {
+    std::string payload;
+    if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) break;
+    MsgType type;
+    ByteReader r{std::string_view()};
+    if (!RpcOpen(payload, &type, &r)) break;
+    if (type == MsgType::kRunStep) {
+      const uint64_t iter = r.U64();
+      if (!r.ok()) break;
+      for (const ProcKill& kill : kills_) {
+        if (kill.machine == machine_ && kill.iter == iter) {
+          // Real fault injection: die exactly like a crashed worker,
+          // BEFORE any RPC of this step, so the coordinator's state
+          // sits at the pre-step barrier when it notices.
+          raise(SIGKILL);
+        }
+      }
+      const auto [loss, pairs] = engine_->Step(w, iter);
+      ByteWriter done = RpcMessage(MsgType::kStepDone);
+      done.F64(loss);
+      done.U64(pairs);
+      if (!messenger_->Send(done.buffer())) break;
+    } else if (type == MsgType::kEpochEnd) {
+      engine_->FlushPendingGradients(w);
+      ByteWriter done = RpcMessage(MsgType::kEpochDone);
+      done.U64(w->hits);
+      done.U64(w->misses);
+      // The engine's epoch harvest zeroes the per-epoch counters; the
+      // worker mirrors that so next epoch's ratio starts fresh.
+      w->hits = 0;
+      w->misses = 0;
+      if (!messenger_->Send(done.buffer())) break;
+    } else if (type == MsgType::kSyncState) {
+      ByteWriter blob;
+      engine_->SaveWorkerState(*w, &blob);
+      ByteWriter msg = RpcMessage(MsgType::kWorkerState);
+      msg.Raw(blob.buffer().data(), blob.size());
+      if (!messenger_->Send(msg.buffer())) break;
+    } else if (type == MsgType::kLoadState) {
+      const uint32_t m = r.U32();
+      if (!r.ok() || m != machine_ ||
+          !engine_->LoadWorkerState(w, &r) || r.remaining() != 0) {
+        break;
+      }
+    } else if (type == MsgType::kShutdown) {
+      messenger_->Send(RpcMessage(MsgType::kBye).buffer());
+      exit_code = 0;
+      break;
+    } else {
+      break;  // Protocol violation.
+    }
+  }
+  engine_->SetPsBackend(nullptr);
+  return exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// ProcCoordinator.
+
+Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ForkWorkers(
+    core::PsTrainingEngine* engine, const ProcOptions& options) {
+  std::unique_ptr<ProcCoordinator> coord(
+      new ProcCoordinator(engine, options));
+  coord->links_.resize(engine->workers_.size());
+  if (options.transport == TransportKind::kTcp) {
+    HETKG_ASSIGN_OR_RETURN(coord->listener_, TcpListener::Create(0));
+  }
+  HETKG_RETURN_IF_ERROR(coord->ForkFleet());
+  engine->SetStepDriver(coord.get());
+  return coord;
+}
+
+Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
+    core::PsTrainingEngine* engine, uint16_t port,
+    const ProcOptions& options) {
+  std::unique_ptr<ProcCoordinator> coord(
+      new ProcCoordinator(engine, options));
+  coord->standalone_ = true;
+  coord->links_.resize(engine->workers_.size());
+  HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpListener> listener,
+                         TcpListener::Create(port));
+  HETKG_LOG(Info) << "coordinator listening on port " << listener->port()
+                  << " for " << coord->links_.size() << " workers";
+  for (size_t i = 0; i < coord->links_.size(); ++i) {
+    HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpChannel> channel,
+                           listener->Accept(kHandshakeMs));
+    auto messenger = std::make_unique<Messenger>(channel.get());
+    std::string payload;
+    if (messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk) {
+      return Status::IoError("worker hello timed out");
+    }
+    MsgType type;
+    ByteReader r{std::string_view()};
+    if (!RpcOpen(payload, &type, &r) || type != MsgType::kHello) {
+      return Status::Corruption("expected kHello");
+    }
+    const uint32_t machine = r.U32();
+    if (!r.ok() || machine >= coord->links_.size() ||
+        coord->links_[machine].alive) {
+      return Status::InvalidArgument("bad or duplicate worker id " +
+                                     std::to_string(machine));
+    }
+    WorkerLink& link = coord->links_[machine];
+    link.pid = -1;
+    link.channel = std::move(channel);
+    link.messenger = std::move(messenger);
+    link.alive = true;
+    // Ship the authoritative initial worker state (a fresh engine's
+    // state round-trips to itself; a restored one must override the
+    // remote process's fresh construction).
+    ByteWriter blob;
+    engine->SaveWorkerState(engine->workers_[machine], &blob);
+    ByteWriter msg = RpcMessage(MsgType::kLoadState);
+    msg.Raw(blob.buffer().data(), blob.size());
+    if (!link.messenger->Send(msg.buffer())) {
+      return Status::IoError("initial state send failed");
+    }
+  }
+  engine->SetStepDriver(coord.get());
+  return coord;
+}
+
+ProcCoordinator::~ProcCoordinator() {
+  const Status status = Shutdown();
+  if (!status.ok()) {
+    HETKG_LOG(Warning) << "proc shutdown: " << status.ToString();
+  }
+}
+
+Status ProcCoordinator::ForkFleet() {
+  // fork() duplicates only the calling thread: join the compute pool
+  // first so no lock is held by a thread that won't exist in the
+  // child. Parent and child each rebuild their own pool.
+  engine_->TeardownPool();
+  Status forked = Status::OK();
+  for (uint32_t m = 0; m < links_.size() && forked.ok(); ++m) {
+    forked = ForkWorker(m);
+  }
+  if (options_.transport == TransportKind::kTcp && forked.ok()) {
+    // TCP children race to connect; map each accepted connection to
+    // its machine by the kHello it opens with.
+    for (size_t i = 0; i < links_.size() && forked.ok(); ++i) {
+      Result<std::unique_ptr<TcpChannel>> accepted =
+          listener_->Accept(kHandshakeMs);
+      if (!accepted.ok()) {
+        forked = accepted.status();
+        break;
+      }
+      auto messenger = std::make_unique<Messenger>(accepted.value().get());
+      std::string payload;
+      MsgType type;
+      ByteReader r{std::string_view()};
+      if (messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk ||
+          !RpcOpen(payload, &type, &r) || type != MsgType::kHello) {
+        forked = Status::Corruption("worker hello failed");
+        break;
+      }
+      const uint32_t machine = r.U32();
+      if (!r.ok() || machine >= links_.size() ||
+          links_[machine].channel != nullptr) {
+        forked = Status::Corruption("bad worker hello id");
+        break;
+      }
+      links_[machine].channel = std::move(accepted.value());
+      links_[machine].messenger = std::move(messenger);
+      links_[machine].alive = true;
+    }
+  }
+  engine_->RebuildPool();
+  if (!forked.ok()) KillFleet();
+  return forked;
+}
+
+Status ProcCoordinator::ForkWorker(uint32_t machine) {
+  std::unique_ptr<Channel> parent_ep;
+  std::unique_ptr<Channel> child_ep;
+  if (options_.transport == TransportKind::kShm) {
+    HETKG_ASSIGN_OR_RETURN(auto pair,
+                           ShmRingChannel::CreatePair(
+                               options_.shm_ring_bytes));
+    parent_ep = std::move(pair.first);
+    child_ep = std::move(pair.second);
+  }
+  const uint16_t connect_port =
+      listener_ != nullptr ? listener_->port() : 0;
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return Status::Internal("fork() failed: " +
+                            std::string(strerror(errno)));
+  }
+  if (pid == 0) {
+    // Worker process. Runs the command loop against the inherited
+    // engine and never returns to the caller's stack; _Exit skips
+    // atexit/destructors so the parent's duplicated buffers and files
+    // are left strictly alone.
+    engine_->RebuildPool();
+    std::unique_ptr<Channel> channel = std::move(child_ep);
+    if (options_.transport == TransportKind::kTcp) {
+      Result<std::unique_ptr<TcpChannel>> connected =
+          TcpConnect("127.0.0.1", connect_port, options_.retry);
+      if (!connected.ok()) std::_Exit(3);
+      channel = std::move(connected.value());
+    }
+    Messenger messenger(channel.get());
+    if (options_.transport == TransportKind::kTcp) {
+      ByteWriter hello = RpcMessage(MsgType::kHello);
+      hello.U32(machine);
+      if (!messenger.Send(hello.buffer())) std::_Exit(3);
+    }
+    ProcWorker worker(engine_, machine, &messenger, options_.kills);
+    std::_Exit(worker.Run());
+  }
+
+  WorkerLink& link = links_[machine];
+  link.pid = pid;
+  if (options_.transport == TransportKind::kShm) {
+    link.channel = std::move(parent_ep);
+    link.messenger = std::make_unique<Messenger>(link.channel.get());
+    link.alive = true;
+  }
+  // TCP: channel attached by the accept loop in ForkFleet.
+  return Status::OK();
+}
+
+void ProcCoordinator::KillFleet() {
+  for (WorkerLink& link : links_) {
+    if (link.pid > 0) {
+      kill(link.pid, SIGKILL);
+      waitpid(link.pid, nullptr, 0);
+      link.pid = -1;
+    }
+    if (link.channel != nullptr) link.channel->Close();
+    link.messenger.reset();
+    link.channel.reset();
+    link.alive = false;
+  }
+}
+
+void ProcCoordinator::MarkWorkerFailed(uint32_t machine, uint64_t at_iter) {
+  worker_failed_ = true;
+  WorkerLink& link = links_[machine];
+  link.alive = false;
+  if (link.pid > 0) {
+    kill(link.pid, SIGKILL);
+    waitpid(link.pid, nullptr, 0);
+    link.pid = -1;
+  }
+  if (link.channel != nullptr) link.channel->Close();
+  // Kill-once semantics: any scheduled kill at or before the failure
+  // point has had its effect; pruning it keeps the relaunched fleet
+  // (which rewinds to an earlier iteration) from dying forever.
+  std::erase_if(options_.kills, [at_iter](const ProcKill& k) {
+    return k.iter <= at_iter;
+  });
+}
+
+Status ProcCoordinator::ApplyBackendRpc(uint32_t machine, uint8_t type,
+                                        ByteReader* r, bool* handled) {
+  *handled = true;
+  ps::ParameterServer* server = engine_->server_.get();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPull: {
+      const std::vector<uint64_t> keys = r->U64Vec();
+      if (!r->ok() || r->remaining() != 0) {
+        return Status::Corruption("bad kPull");
+      }
+      size_t total_floats = 0;
+      for (const uint64_t key : keys) total_floats += server->RowDim(key);
+      std::vector<float> values(total_floats, 0.0f);
+      std::vector<std::span<float>> spans;
+      spans.reserve(keys.size());
+      size_t offset = 0;
+      for (const uint64_t key : keys) {
+        const size_t dim = server->RowDim(key);
+        spans.emplace_back(values.data() + offset, dim);
+        offset += dim;
+      }
+      const ps::PullResult pull = server->PullBatch(machine, keys, spans);
+      ByteWriter reply = RpcMessage(MsgType::kPullReply);
+      reply.U64(pull.failed.size());
+      for (const uint32_t idx : pull.failed) reply.U32(idx);
+      reply.Raw(values.data(), values.size() * sizeof(float));
+      if (!links_[machine].messenger->Send(reply.buffer())) {
+        return Status::Internal("kPullReply send failed");
+      }
+      return Status::OK();
+    }
+    case MsgType::kPush: {
+      const std::vector<uint64_t> keys = r->U64Vec();
+      if (!r->ok()) return Status::Corruption("bad kPush");
+      size_t total_floats = 0;
+      for (const uint64_t key : keys) total_floats += server->RowDim(key);
+      std::vector<float> grads(total_floats);
+      if (!r->ReadRaw(grads.data(), total_floats * sizeof(float)) ||
+          r->remaining() != 0) {
+        return Status::Corruption("bad kPush payload");
+      }
+      std::vector<std::span<const float>> spans;
+      spans.reserve(keys.size());
+      size_t offset = 0;
+      for (const uint64_t key : keys) {
+        const size_t dim = server->RowDim(key);
+        spans.emplace_back(grads.data() + offset, dim);
+        offset += dim;
+      }
+      server->PushGradBatch(machine, keys, spans);
+      return Status::OK();
+    }
+    case MsgType::kReadRow: {
+      const uint64_t key = r->U64();
+      if (!r->ok() || r->remaining() != 0) {
+        return Status::Corruption("bad kReadRow");
+      }
+      const std::span<const float> value = server->Value(key);
+      ByteWriter reply = RpcMessage(MsgType::kReadRowReply);
+      reply.Raw(value.data(), value.size() * sizeof(float));
+      if (!links_[machine].messenger->Send(reply.buffer())) {
+        return Status::Internal("kReadRowReply send failed");
+      }
+      return Status::OK();
+    }
+    case MsgType::kCharge: {
+      const uint64_t flops = r->U64();
+      if (!r->ok() || r->remaining() != 0) {
+        return Status::Corruption("bad kCharge");
+      }
+      engine_->cluster_.RecordCompute(machine, flops);
+      return Status::OK();
+    }
+    case MsgType::kMetric: {
+      const std::string name = r->Str();
+      const uint64_t delta = r->U64();
+      if (!r->ok() || r->remaining() != 0) {
+        return Status::Corruption("bad kMetric");
+      }
+      server->metrics().Increment(name, delta);
+      return Status::OK();
+    }
+    default:
+      *handled = false;
+      return Status::OK();
+  }
+}
+
+Status ProcCoordinator::ServiceUntil(uint32_t machine, uint8_t until,
+                                     std::string* payload,
+                                     ByteReader* reader, uint64_t at_iter) {
+  WorkerLink& link = links_[machine];
+  int elapsed_ms = 0;
+  for (;;) {
+    if (!link.alive) {
+      return Status::Internal("worker " + std::to_string(machine) +
+                              " is not running");
+    }
+    const RecvStatus status =
+        link.messenger->Recv(payload, options_.poll_ms);
+    if (status == RecvStatus::kTimeout) {
+      if (link.pid > 0 && waitpid(link.pid, nullptr, WNOHANG) == link.pid) {
+        link.pid = -1;
+        MarkWorkerFailed(machine, at_iter);
+        return Status::Internal("worker " + std::to_string(machine) +
+                                " process died");
+      }
+      elapsed_ms += options_.poll_ms;
+      if (elapsed_ms >= options_.worker_deadline_ms) {
+        MarkWorkerFailed(machine, at_iter);
+        return Status::Internal("worker " + std::to_string(machine) +
+                                " deadline exceeded");
+      }
+      continue;
+    }
+    if (status == RecvStatus::kClosed) {
+      MarkWorkerFailed(machine, at_iter);
+      return Status::Internal("worker " + std::to_string(machine) +
+                              " channel closed");
+    }
+    MsgType type;
+    ByteReader r{std::string_view()};
+    if (!RpcOpen(*payload, &type, &r)) {
+      MarkWorkerFailed(machine, at_iter);
+      return Status::Corruption("empty rpc frame");
+    }
+    if (TypeByte(type) == until) {
+      *reader = r;
+      return Status::OK();
+    }
+    bool handled = false;
+    const Status applied = ApplyBackendRpc(machine, TypeByte(type), &r,
+                                           &handled);
+    if (!applied.ok() || !handled) {
+      MarkWorkerFailed(machine, at_iter);
+      return applied.ok() ? Status::Corruption("unexpected rpc type " +
+                                               std::to_string(TypeByte(type)))
+                          : applied;
+    }
+  }
+}
+
+Result<std::pair<double, uint64_t>> ProcCoordinator::DriveStep(
+    uint32_t machine, size_t iter) {
+  WorkerLink& link = links_[machine];
+  if (!link.alive) {
+    return Status::Internal("worker " + std::to_string(machine) +
+                            " is not running");
+  }
+  ByteWriter cmd = RpcMessage(MsgType::kRunStep);
+  cmd.U64(iter);
+  if (!link.messenger->Send(cmd.buffer())) {
+    MarkWorkerFailed(machine, iter);
+    return Status::Internal("kRunStep send failed");
+  }
+  std::string payload;
+  ByteReader r{std::string_view()};
+  HETKG_RETURN_IF_ERROR(ServiceUntil(machine, TypeByte(MsgType::kStepDone),
+                                     &payload, &r, iter));
+  const double loss = r.F64();
+  const uint64_t pairs = r.U64();
+  if (!r.ok() || r.remaining() != 0) {
+    MarkWorkerFailed(machine, iter);
+    return Status::Corruption("bad kStepDone");
+  }
+  return std::make_pair(loss, pairs);
+}
+
+Status ProcCoordinator::DriveEpochEnd(uint32_t machine) {
+  WorkerLink& link = links_[machine];
+  if (!link.alive) {
+    return Status::Internal("worker " + std::to_string(machine) +
+                            " is not running");
+  }
+  const uint64_t at_iter = engine_->global_iteration_;
+  if (!link.messenger->Send(RpcMessage(MsgType::kEpochEnd).buffer())) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Internal("kEpochEnd send failed");
+  }
+  std::string payload;
+  ByteReader r{std::string_view()};
+  HETKG_RETURN_IF_ERROR(ServiceUntil(machine, TypeByte(MsgType::kEpochDone),
+                                     &payload, &r, at_iter));
+  const uint64_t hits = r.U64();
+  const uint64_t misses = r.U64();
+  if (!r.ok() || r.remaining() != 0) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Corruption("bad kEpochDone");
+  }
+  // Land the worker's epoch counters in the engine's mirror; the
+  // harvest loop right after DriveEpochEnd reads and zeroes them
+  // exactly as it does the sim runtime's in-process counters.
+  engine_->workers_[machine].hits = hits;
+  engine_->workers_[machine].misses = misses;
+  return Status::OK();
+}
+
+Status ProcCoordinator::SyncWorkerState(uint32_t machine) {
+  WorkerLink& link = links_[machine];
+  if (!link.alive) {
+    return Status::Internal("worker " + std::to_string(machine) +
+                            " is not running");
+  }
+  const uint64_t at_iter = engine_->global_iteration_;
+  if (!link.messenger->Send(RpcMessage(MsgType::kSyncState).buffer())) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Internal("kSyncState send failed");
+  }
+  std::string payload;
+  ByteReader r{std::string_view()};
+  HETKG_RETURN_IF_ERROR(
+      ServiceUntil(machine, TypeByte(MsgType::kWorkerState), &payload, &r,
+                   at_iter));
+  const uint32_t m = r.U32();
+  if (!r.ok() || m != machine ||
+      !engine_->LoadWorkerState(&engine_->workers_[machine], &r) ||
+      r.remaining() != 0) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Corruption("bad worker state blob");
+  }
+  return Status::OK();
+}
+
+Status ProcCoordinator::RestartWorkers() {
+  if (standalone_) {
+    return Status::Unimplemented(
+        "cannot relaunch externally started (--connect) workers");
+  }
+  KillFleet();
+  HETKG_RETURN_IF_ERROR(ForkFleet());
+  worker_failed_ = false;
+  return Status::OK();
+}
+
+Status ProcCoordinator::Shutdown() {
+  if (shut_down_) return Status::OK();
+  shut_down_ = true;
+  Status result = Status::OK();
+  for (size_t m = 0; m < links_.size(); ++m) {
+    WorkerLink& link = links_[m];
+    if (!link.alive) continue;
+    bool orderly = false;
+    if (link.messenger->Send(RpcMessage(MsgType::kShutdown).buffer())) {
+      int waited = 0;
+      while (waited < kShutdownGraceMs) {
+        std::string payload;
+        const RecvStatus status =
+            link.messenger->Recv(&payload, options_.poll_ms);
+        if (status == RecvStatus::kClosed) break;
+        if (status == RecvStatus::kTimeout) {
+          waited += options_.poll_ms;
+          continue;
+        }
+        MsgType type;
+        ByteReader r{std::string_view()};
+        if (RpcOpen(payload, &type, &r) && type == MsgType::kBye) {
+          orderly = true;
+          break;
+        }
+        // Tolerate (and drop) any straggler message before the kBye.
+      }
+    }
+    if (link.pid > 0) {
+      if (!orderly) {
+        kill(link.pid, SIGKILL);
+        result = Status::Internal("worker " + std::to_string(m) +
+                                  " needed SIGKILL at shutdown");
+      }
+      waitpid(link.pid, nullptr, 0);
+      link.pid = -1;
+    }
+    if (link.channel != nullptr) link.channel->Close();
+    link.alive = false;
+  }
+  engine_->SetStepDriver(nullptr);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Standalone TCP worker.
+
+Status RunStandaloneWorker(core::PsTrainingEngine* engine, uint32_t machine,
+                           const std::string& host, uint16_t port,
+                           const ProcOptions& options) {
+  HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpChannel> channel,
+                         TcpConnect(host, port, options.retry));
+  Messenger messenger(channel.get());
+  ByteWriter hello = RpcMessage(MsgType::kHello);
+  hello.U32(machine);
+  if (!messenger.Send(hello.buffer())) {
+    return Status::IoError("hello send failed");
+  }
+  ProcWorker worker(engine, machine, &messenger, options.kills);
+  const int code = worker.Run();
+  if (code != 0) {
+    return Status::Internal("worker loop exited with code " +
+                            std::to_string(code));
+  }
+  return Status::OK();
+}
+
+}  // namespace hetkg::net

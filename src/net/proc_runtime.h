@@ -1,0 +1,188 @@
+#ifndef HETKG_NET_PROC_RUNTIME_H_
+#define HETKG_NET_PROC_RUNTIME_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ps_engine.h"
+#include "net/channel.h"
+#include "net/tcp_channel.h"
+
+namespace hetkg::net {
+
+enum class TransportKind { kShm, kTcp };
+
+Result<TransportKind> ParseTransportKind(std::string_view name);
+
+/// Real process-fault injection: the worker for `machine` SIGKILLs
+/// itself upon receiving the kRunStep command for `iter` — before it
+/// issues any RPC of that step, so the coordinator's state stays at
+/// the pre-step barrier.
+struct ProcKill {
+  uint32_t machine = 0;
+  uint64_t iter = 0;
+};
+
+struct ProcOptions {
+  TransportKind transport = TransportKind::kShm;
+  /// Per-direction shm ring capacity.
+  size_t shm_ring_bytes = 1 << 20;
+  /// Connect retry policy (shaped from the run's sim::FaultConfig).
+  RetryPolicy retry;
+  /// Scheduled worker kills (see ProcKill). Entries are pruned once
+  /// triggered so the relaunched fleet does not re-die forever.
+  std::vector<ProcKill> kills;
+  /// Liveness-poll granularity while waiting on a worker message: each
+  /// timeout slice reaps dead children via waitpid(WNOHANG), so a
+  /// SIGKILLed worker is detected in ~this many milliseconds.
+  int poll_ms = 100;
+  /// Hard deadline for one worker message (a hung worker becomes a
+  /// worker failure after this long).
+  int worker_deadline_ms = 120'000;
+};
+
+/// The worker-process side of the PsBackend seam: every shared-state
+/// mutation the pipeline stages perform is serialized as an RPC to the
+/// coordinator, which applies it to the authoritative server/cluster
+/// in the worker's program order. Row-dimension queries resolve
+/// locally (pure construction-config functions).
+class RemotePsBackend final : public core::PsBackend {
+ public:
+  RemotePsBackend(Messenger* messenger, const ps::ParameterServer* server)
+      : messenger_(messenger), server_(server) {}
+
+  ps::PullResult PullBatch(uint32_t machine, std::span<const EmbKey> keys,
+                           std::span<std::span<float>> out) override;
+  ps::PushResult PushGradBatch(
+      uint32_t machine, std::span<const EmbKey> keys,
+      std::span<const std::span<const float>> grads) override;
+  void ReadRow(EmbKey key, std::span<float> out) override;
+  void RecordCompute(uint32_t machine, uint64_t flops) override;
+  void IncrementServerMetric(const std::string& name,
+                             uint64_t delta) override;
+
+ private:
+  /// An RPC failure means the coordinator is gone; the worker process
+  /// has nothing left to do and exits.
+  [[noreturn]] void Abort(const char* what);
+  void SendOrAbort(const ByteWriter& msg);
+
+  Messenger* messenger_;
+  const ps::ParameterServer* server_;
+};
+
+/// Command loop of one worker process: executes kRunStep / kEpochEnd /
+/// kSyncState / kLoadState against its (fork-inherited or locally
+/// constructed) engine until kShutdown. Returns the process exit code.
+class ProcWorker {
+ public:
+  ProcWorker(core::PsTrainingEngine* engine, uint32_t machine,
+             Messenger* messenger, std::vector<ProcKill> kills)
+      : engine_(engine),
+        machine_(machine),
+        messenger_(messenger),
+        kills_(std::move(kills)) {}
+
+  int Run();
+
+ private:
+  core::PsTrainingEngine* engine_;
+  const uint32_t machine_;
+  Messenger* messenger_;
+  std::vector<ProcKill> kills_;
+};
+
+/// Coordinator (parent-process) side of the process runtime
+/// (DESIGN.md §13). Owns the worker processes and their channels,
+/// implements the engine's StepDriver by running each step in the
+/// worker's process while servicing its backend RPCs against the
+/// authoritative PS/cluster — strictly turn-based, so every mutation
+/// lands in exactly the order the sim runtime would produce (the
+/// checkpoint bit-identity invariant).
+class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
+ public:
+  /// Fork-mode launch: forks one worker process per engine machine
+  /// over the chosen transport (shm ring pairs created pre-fork; TCP
+  /// children connect back to an ephemeral loopback listener). On
+  /// return the engine's step driver is installed.
+  static Result<std::unique_ptr<ProcCoordinator>> ForkWorkers(
+      core::PsTrainingEngine* engine, const ProcOptions& options);
+
+  /// Standalone launch (`--listen`): accepts one TCP connection per
+  /// machine from externally started workers (`--connect`), matches
+  /// them by their kHello machine id, and ships each its initial
+  /// worker state. RestartWorkers is Unimplemented in this mode (the
+  /// coordinator cannot relaunch a remote process).
+  static Result<std::unique_ptr<ProcCoordinator>> ListenForWorkers(
+      core::PsTrainingEngine* engine, uint16_t port,
+      const ProcOptions& options);
+
+  ~ProcCoordinator() override;
+
+  /// Orderly shutdown: kShutdown/kBye round-trip, reap children.
+  Status Shutdown();
+
+  // StepDriver:
+  Result<std::pair<double, uint64_t>> DriveStep(uint32_t machine,
+                                                size_t iter) override;
+  Status DriveEpochEnd(uint32_t machine) override;
+  Status SyncWorkerState(uint32_t machine) override;
+  bool WorkerFailed() const override { return worker_failed_; }
+  Status RestartWorkers() override;
+
+ private:
+  struct WorkerLink {
+    pid_t pid = -1;  // -1: standalone remote worker (not our child).
+    std::unique_ptr<Channel> channel;
+    std::unique_ptr<Messenger> messenger;
+    bool alive = false;
+  };
+
+  ProcCoordinator(core::PsTrainingEngine* engine, ProcOptions options)
+      : engine_(engine), options_(std::move(options)) {}
+
+  /// Forks the whole fleet from the engine's current state (initial
+  /// launch and post-restore relaunch share this path).
+  Status ForkFleet();
+  /// Forks one worker; the child never returns from this call.
+  Status ForkWorker(uint32_t machine);
+  /// SIGKILL + reap + channel teardown of every child.
+  void KillFleet();
+  void MarkWorkerFailed(uint32_t machine, uint64_t at_iter);
+
+  /// Receives the worker's message stream, applying backend RPCs in
+  /// arrival order, until a message of type `until` arrives (its
+  /// fields land in `reader`). Fails (and marks the worker dead) on
+  /// channel close, child death, protocol violation, or deadline.
+  Status ServiceUntil(uint32_t machine, uint8_t until, std::string* payload,
+                      ByteReader* reader, uint64_t at_iter);
+
+  /// Applies one worker→coordinator backend RPC. `handled` is false
+  /// for non-backend message types (the caller's terminator).
+  Status ApplyBackendRpc(uint32_t machine, uint8_t type, ByteReader* r,
+                         bool* handled);
+
+  core::PsTrainingEngine* engine_;
+  ProcOptions options_;
+  std::vector<WorkerLink> links_;
+  std::unique_ptr<TcpListener> listener_;  // TCP fork mode only.
+  bool standalone_ = false;
+  bool worker_failed_ = false;
+  bool shut_down_ = false;
+};
+
+/// Entry point of an externally started TCP worker (`--runtime=proc
+/// --connect=host:port --worker_id=m`): connects, introduces itself,
+/// loads the coordinator-shipped state, and serves until shutdown.
+Status RunStandaloneWorker(core::PsTrainingEngine* engine, uint32_t machine,
+                           const std::string& host, uint16_t port,
+                           const ProcOptions& options);
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_PROC_RUNTIME_H_

@@ -1,0 +1,289 @@
+#include "net/shm_ring.h"
+
+#include <errno.h>
+#include <pthread.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace hetkg::net {
+
+namespace {
+
+/// Internal deadline for mid-frame progress. Recv's caller timeout
+/// applies only at a frame boundary; once a header exists, the reader
+/// insists on the body but will not hang forever on a peer that
+/// stalled mid-frame (it reads as kClosed after this long).
+constexpr int kMidFrameStallMs = 60'000;
+
+timespec DeadlineAfterMs(int ms) {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  ts.tv_sec += ms / 1000;
+  ts.tv_nsec += static_cast<long>(ms % 1000) * 1'000'000L;
+  if (ts.tv_nsec >= 1'000'000'000L) {
+    ts.tv_sec += 1;
+    ts.tv_nsec -= 1'000'000'000L;
+  }
+  return ts;
+}
+
+}  // namespace
+
+/// Control block + buffer of one ring direction, living in the shared
+/// mapping. All cursor state is mutex-guarded; the cursors are
+/// monotonically increasing absolute byte counts (fill = tail - head).
+struct Ring {
+  pthread_mutex_t mu;
+  pthread_cond_t readable;
+  pthread_cond_t writable;
+  uint64_t head;    // Consumed bytes (reader cursor).
+  uint64_t tail;    // Produced bytes (writer cursor).
+  uint32_t closed;  // Sticky; set by Close() or on EOWNERDEAD.
+  uint64_t capacity;
+  char data[];  // `capacity` bytes follow in the mapping.
+
+  /// Robust lock: a peer that died holding the mutex reads as closed.
+  /// Returns false when the ring is unusable (peer dead, state made
+  /// consistent and marked closed).
+  bool Lock() {
+    const int rc = pthread_mutex_lock(&mu);
+    if (rc == 0) return true;
+    if (rc == EOWNERDEAD) {
+      pthread_mutex_consistent(&mu);
+      closed = 1;
+      pthread_cond_broadcast(&readable);
+      pthread_cond_broadcast(&writable);
+      return true;  // Locked; caller observes closed.
+    }
+    return false;  // ENOTRECOVERABLE or corrupt: treat as closed.
+  }
+
+  void Unlock() { pthread_mutex_unlock(&mu); }
+
+  void CopyIn(uint64_t at, const char* src, uint64_t n) {
+    const uint64_t pos = at % capacity;
+    const uint64_t first = std::min(n, capacity - pos);
+    std::memcpy(data + pos, src, first);
+    if (n > first) std::memcpy(data, src + first, n - first);
+  }
+
+  void CopyOut(uint64_t at, char* dst, uint64_t n) {
+    const uint64_t pos = at % capacity;
+    const uint64_t first = std::min(n, capacity - pos);
+    std::memcpy(dst, data + pos, first);
+    if (n > first) std::memcpy(dst + first, data, n - first);
+  }
+};
+
+class ShmRegion {
+ public:
+  static Result<std::shared_ptr<ShmRegion>> Create(size_t ring_bytes) {
+    if (ring_bytes == 0) {
+      return Status::InvalidArgument("shm ring capacity must be positive");
+    }
+    const size_t ring_size = sizeof(Ring) + ring_bytes;
+    const size_t total = 2 * ring_size;
+    void* mem = mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) {
+      return Status::Internal("mmap(shm ring) failed: " +
+                              std::string(strerror(errno)));
+    }
+    std::shared_ptr<ShmRegion> region(new ShmRegion(mem, total, ring_size));
+    for (int i = 0; i < 2; ++i) {
+      HETKG_RETURN_IF_ERROR(InitRing(region->ring(i), ring_bytes));
+    }
+    return region;
+  }
+
+  ~ShmRegion() { munmap(mem_, total_); }
+
+  Ring* ring(int i) {
+    return reinterpret_cast<Ring*>(static_cast<char*>(mem_) + i * ring_size_);
+  }
+
+ private:
+  ShmRegion(void* mem, size_t total, size_t ring_size)
+      : mem_(mem), total_(total), ring_size_(ring_size) {}
+
+  static Status InitRing(Ring* ring, size_t capacity) {
+    pthread_mutexattr_t ma;
+    pthread_mutexattr_init(&ma);
+    pthread_mutexattr_setpshared(&ma, PTHREAD_PROCESS_SHARED);
+    pthread_mutexattr_setrobust(&ma, PTHREAD_MUTEX_ROBUST);
+    if (pthread_mutex_init(&ring->mu, &ma) != 0) {
+      pthread_mutexattr_destroy(&ma);
+      return Status::Internal("pthread_mutex_init(pshared) failed");
+    }
+    pthread_mutexattr_destroy(&ma);
+
+    pthread_condattr_t ca;
+    pthread_condattr_init(&ca);
+    pthread_condattr_setpshared(&ca, PTHREAD_PROCESS_SHARED);
+    pthread_condattr_setclock(&ca, CLOCK_MONOTONIC);
+    const bool cond_ok = pthread_cond_init(&ring->readable, &ca) == 0 &&
+                         pthread_cond_init(&ring->writable, &ca) == 0;
+    pthread_condattr_destroy(&ca);
+    if (!cond_ok) {
+      return Status::Internal("pthread_cond_init(pshared) failed");
+    }
+    ring->head = 0;
+    ring->tail = 0;
+    ring->closed = 0;
+    ring->capacity = capacity;
+    return Status::OK();
+  }
+
+  void* mem_;
+  size_t total_;
+  size_t ring_size_;
+};
+
+namespace {
+
+/// Streams `n` bytes into the ring, chunked under backpressure.
+/// Returns false when the ring closes (or the reader stalls past the
+/// mid-frame deadline) before everything is written.
+bool RingWrite(Ring* ring, const char* src, uint64_t n) {
+  uint64_t written = 0;
+  if (!ring->Lock()) return false;
+  while (written < n) {
+    if (ring->closed) {
+      ring->Unlock();
+      return false;
+    }
+    const uint64_t space = ring->capacity - (ring->tail - ring->head);
+    if (space == 0) {
+      const timespec deadline = DeadlineAfterMs(kMidFrameStallMs);
+      const int rc =
+          pthread_cond_timedwait(&ring->writable, &ring->mu, &deadline);
+      if (rc == ETIMEDOUT) {
+        ring->Unlock();
+        return false;
+      }
+      if (rc == EOWNERDEAD) {
+        pthread_mutex_consistent(&ring->mu);
+        ring->closed = 1;
+      }
+      continue;
+    }
+    const uint64_t chunk = std::min(space, n - written);
+    ring->CopyIn(ring->tail, src + written, chunk);
+    ring->tail += chunk;
+    written += chunk;
+    pthread_cond_broadcast(&ring->readable);
+  }
+  ring->Unlock();
+  return true;
+}
+
+enum class RingReadResult { kOk, kTimeout, kClosed };
+
+/// Streams `n` bytes out of the ring. `timeout_ms < 0` waits under the
+/// generous mid-frame deadline; otherwise the caller's timeout applies
+/// to the FIRST byte only (frame-start semantics live in Recv).
+RingReadResult RingRead(Ring* ring, char* dst, uint64_t n, int timeout_ms) {
+  uint64_t read = 0;
+  if (!ring->Lock()) return RingReadResult::kClosed;
+  while (read < n) {
+    const uint64_t avail = ring->tail - ring->head;
+    if (avail == 0) {
+      if (ring->closed) {
+        ring->Unlock();
+        return RingReadResult::kClosed;
+      }
+      const int wait_ms =
+          (read == 0 && timeout_ms >= 0) ? timeout_ms : kMidFrameStallMs;
+      const timespec deadline = DeadlineAfterMs(wait_ms);
+      const int rc =
+          pthread_cond_timedwait(&ring->readable, &ring->mu, &deadline);
+      if (rc == ETIMEDOUT) {
+        ring->Unlock();
+        return (read == 0 && timeout_ms >= 0) ? RingReadResult::kTimeout
+                                              : RingReadResult::kClosed;
+      }
+      if (rc == EOWNERDEAD) {
+        pthread_mutex_consistent(&ring->mu);
+        ring->closed = 1;
+      }
+      continue;
+    }
+    const uint64_t chunk = std::min(avail, n - read);
+    ring->CopyOut(ring->head, dst + read, chunk);
+    ring->head += chunk;
+    read += chunk;
+    pthread_cond_broadcast(&ring->writable);
+    // After the first byte the frame must complete: switch to the
+    // internal stall deadline for the remainder.
+    timeout_ms = -1;
+  }
+  ring->Unlock();
+  return RingReadResult::kOk;
+}
+
+void RingClose(Ring* ring) {
+  if (!ring->Lock()) return;
+  ring->closed = 1;
+  pthread_cond_broadcast(&ring->readable);
+  pthread_cond_broadcast(&ring->writable);
+  ring->Unlock();
+}
+
+}  // namespace
+
+Result<std::pair<std::unique_ptr<ShmRingChannel>,
+                 std::unique_ptr<ShmRingChannel>>>
+ShmRingChannel::CreatePair(size_t ring_bytes) {
+  HETKG_ASSIGN_OR_RETURN(std::shared_ptr<ShmRegion> region,
+                         ShmRegion::Create(ring_bytes));
+  std::unique_ptr<ShmRingChannel> a(new ShmRingChannel(region, 0));
+  std::unique_ptr<ShmRingChannel> b(new ShmRingChannel(region, 1));
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+ShmRingChannel::ShmRingChannel(std::shared_ptr<ShmRegion> region, int side)
+    : region_(std::move(region)), side_(side) {}
+
+// The destructor only drops this process's mapping reference: the
+// rings stay usable by the peer process, and an unused endpoint (each
+// side of the fork keeps one of the pair) must not tear them down.
+ShmRingChannel::~ShmRingChannel() = default;
+
+bool ShmRingChannel::Send(std::string_view frame) {
+  if (frame.size() > kMaxFrameBytes) return false;
+  Ring* ring = region_->ring(side_);  // Side i writes ring i.
+  const uint64_t len = frame.size();
+  if (!RingWrite(ring, reinterpret_cast<const char*>(&len), 8)) return false;
+  if (len == 0) return true;
+  return RingWrite(ring, frame.data(), len);
+}
+
+RecvStatus ShmRingChannel::Recv(std::string* frame, int timeout_ms) {
+  Ring* ring = region_->ring(1 - side_);  // Side i reads ring 1-i.
+  uint64_t len = 0;
+  switch (RingRead(ring, reinterpret_cast<char*>(&len), 8, timeout_ms)) {
+    case RingReadResult::kTimeout:
+      return RecvStatus::kTimeout;
+    case RingReadResult::kClosed:
+      return RecvStatus::kClosed;
+    case RingReadResult::kOk:
+      break;
+  }
+  if (len > kMaxFrameBytes) return RecvStatus::kClosed;  // Corrupt stream.
+  frame->resize(len);
+  if (len == 0) return RecvStatus::kOk;
+  return RingRead(ring, frame->data(), len, -1) == RingReadResult::kOk
+             ? RecvStatus::kOk
+             : RecvStatus::kClosed;
+}
+
+void ShmRingChannel::Close() {
+  RingClose(region_->ring(0));
+  RingClose(region_->ring(1));
+}
+
+}  // namespace hetkg::net

@@ -1,0 +1,53 @@
+#ifndef HETKG_NET_SHM_RING_H_
+#define HETKG_NET_SHM_RING_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "net/channel.h"
+
+namespace hetkg::net {
+
+/// One anonymous MAP_SHARED region holding a pair of SPSC streaming
+/// byte rings (one per direction) plus their process-shared, robust
+/// synchronization state. Created BEFORE fork(); both processes then
+/// address the same physical pages through their inherited mapping —
+/// the co-located-worker transport (DESIGN.md §13), matching DGL-KE's
+/// shared-memory path for same-host workers.
+///
+/// Robustness: the mutexes are PTHREAD_MUTEX_ROBUST, so a worker dying
+/// (SIGKILL) while holding one surfaces as EOWNERDEAD on the peer's
+/// next lock; the survivor makes the mutex consistent and treats the
+/// channel as closed instead of hanging — which is how the coordinator
+/// detects a killed worker without a signal round-trip.
+class ShmRegion;
+
+/// Channel endpoint over one direction-pair of a ShmRegion. Frames are
+/// [u64 length][payload] streamed through the ring in chunks, so a
+/// frame larger than the ring capacity still flows under backpressure.
+class ShmRingChannel final : public Channel {
+ public:
+  /// The region and both endpoints, ready to split across a fork().
+  /// `ring_bytes` is the per-direction buffer capacity.
+  static Result<std::pair<std::unique_ptr<ShmRingChannel>,
+                          std::unique_ptr<ShmRingChannel>>>
+  CreatePair(size_t ring_bytes);
+
+  ~ShmRingChannel() override;
+
+  bool Send(std::string_view frame) override;
+  RecvStatus Recv(std::string* frame, int timeout_ms) override;
+  void Close() override;
+
+ private:
+  ShmRingChannel(std::shared_ptr<ShmRegion> region, int side);
+
+  std::shared_ptr<ShmRegion> region_;
+  const int side_;
+};
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_SHM_RING_H_

@@ -1,0 +1,216 @@
+#include "net/tcp_channel.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace hetkg::net {
+
+namespace {
+
+/// Mid-frame progress deadline (see Channel contract): once a frame's
+/// length prefix arrived, the body must keep flowing or the stream
+/// reads as closed.
+constexpr int kMidFrameStallMs = 60'000;
+
+/// Writes all of `n` bytes; false on any error (EPIPE included —
+/// MSG_NOSIGNAL keeps a dead peer from killing the process).
+bool SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+enum class ReadResult { kOk, kTimeout, kClosed };
+
+/// Reads exactly `n` bytes. `timeout_ms` applies to the first byte
+/// only; the remainder runs under the mid-frame deadline.
+ReadResult ReadAll(int fd, char* data, size_t n, int timeout_ms) {
+  size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int wait_ms =
+        (got == 0 && timeout_ms >= 0) ? timeout_ms : kMidFrameStallMs;
+    const int prc = poll(&pfd, 1, wait_ms);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kClosed;
+    }
+    if (prc == 0) {
+      return (got == 0 && timeout_ms >= 0) ? ReadResult::kTimeout
+                                           : ReadResult::kClosed;
+    }
+    const ssize_t rc = recv(fd, data + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kClosed;
+    }
+    if (rc == 0) return ReadResult::kClosed;  // Orderly shutdown / death.
+    got += static_cast<size_t>(rc);
+  }
+  return ReadResult::kOk;
+}
+
+}  // namespace
+
+TcpChannel::TcpChannel(int fd) : fd_(fd) {
+  const int one = 1;
+  // RPC turns are latency-bound request/reply pairs; never Nagle them.
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool TcpChannel::Send(std::string_view frame) {
+  if (closed_.load(std::memory_order_acquire) ||
+      frame.size() > kMaxFrameBytes) {
+    return false;
+  }
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  char header[4];
+  std::memcpy(header, &len, 4);
+  if (!SendAll(fd_, header, 4)) return false;
+  if (len == 0) return true;
+  return SendAll(fd_, frame.data(), len);
+}
+
+RecvStatus TcpChannel::Recv(std::string* frame, int timeout_ms) {
+  if (closed_.load(std::memory_order_acquire)) return RecvStatus::kClosed;
+  char header[4];
+  switch (ReadAll(fd_, header, 4, timeout_ms)) {
+    case ReadResult::kTimeout:
+      return RecvStatus::kTimeout;
+    case ReadResult::kClosed:
+      return RecvStatus::kClosed;
+    case ReadResult::kOk:
+      break;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, header, 4);
+  if (len > kMaxFrameBytes) return RecvStatus::kClosed;  // Corrupt stream.
+  frame->resize(len);
+  if (len == 0) return RecvStatus::kOk;
+  return ReadAll(fd_, frame->data(), len, -1) == ReadResult::kOk
+             ? RecvStatus::kOk
+             : RecvStatus::kClosed;
+}
+
+void TcpChannel::Close() {
+  // shutdown() (not close()) so a Recv blocked on another thread wakes
+  // with EOF instead of racing a reused descriptor number.
+  closed_.store(true, std::memory_order_release);
+  shutdown(fd_, SHUT_RDWR);
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Create(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::IoError("bind(port " + std::to_string(port) +
+                           ") failed: " + err);
+  }
+  if (listen(fd, 16) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::IoError("listen() failed: " + err);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::Internal("getsockname() failed: " + err);
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpListener::Accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int prc = poll(&pfd, 1, timeout_ms);
+    if (prc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("poll(accept) failed: " +
+                             std::string(strerror(errno)));
+    }
+    if (prc == 0) return Status::NotFound("accept timed out");
+    break;
+  }
+  const int fd = accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    return Status::IoError("accept() failed: " +
+                           std::string(strerror(errno)));
+  }
+  return std::make_unique<TcpChannel>(fd);
+}
+
+Result<std::unique_ptr<TcpChannel>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               const RetryPolicy& retry) {
+  // Simulated backoffs are microseconds; real connect retries need a
+  // real floor so a not-yet-listening coordinator has time to arrive.
+  double backoff_s = std::max(retry.backoff_seconds, 1e-3);
+  std::string last_error;
+  for (uint32_t attempt = 0; attempt <= retry.max_retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_s));
+      backoff_s *= 2.0;
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      last_error = std::string("socket() failed: ") + strerror(errno);
+      continue;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      close(fd);
+      return Status::InvalidArgument("not an IPv4 address: " + host);
+    }
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return std::make_unique<TcpChannel>(fd);
+    }
+    last_error = std::string("connect() failed: ") + strerror(errno);
+    close(fd);
+  }
+  return Status::IoError("connect to " + host + ":" + std::to_string(port) +
+                         " exhausted " + std::to_string(retry.max_retries) +
+                         " retries: " + last_error);
+}
+
+}  // namespace hetkg::net

@@ -1,0 +1,64 @@
+#ifndef HETKG_NET_TCP_CHANNEL_H_
+#define HETKG_NET_TCP_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/channel.h"
+
+namespace hetkg::net {
+
+/// Channel over a connected TCP socket with [u32 length][payload]
+/// framing — the cross-machine transport (DESIGN.md §13). Recv
+/// timeouts use poll(); Close() shuts the socket down from either
+/// direction, waking a blocked peer-thread Recv without racing fd
+/// reuse (the descriptor itself closes in the destructor).
+class TcpChannel final : public Channel {
+ public:
+  /// Takes ownership of a connected socket fd.
+  explicit TcpChannel(int fd);
+  ~TcpChannel() override;
+
+  bool Send(std::string_view frame) override;
+  RecvStatus Recv(std::string* frame, int timeout_ms) override;
+  void Close() override;
+
+ private:
+  int fd_;
+  /// Atomic because Close() is called from a different thread than the
+  /// one blocked in Recv (the Channel contract makes Close thread-safe).
+  std::atomic<bool> closed_{false};
+};
+
+/// Listening socket. `port == 0` binds an ephemeral port (the fork
+/// launcher listens before forking and passes `port()` to children).
+class TcpListener {
+ public:
+  static Result<std::unique_ptr<TcpListener>> Create(uint16_t port);
+  ~TcpListener();
+
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection; kTimeout surfaces as NotFound.
+  Result<std::unique_ptr<TcpChannel>> Accept(int timeout_ms);
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+  int fd_;
+  uint16_t port_;
+};
+
+/// Connects to host:port, retrying under the policy (exponential
+/// backoff between attempts) — workers race the coordinator's listen()
+/// at launch, and cross-machine links reuse the PR-2 fault-policy
+/// shape for transient refusals.
+Result<std::unique_ptr<TcpChannel>> TcpConnect(const std::string& host,
+                                               uint16_t port,
+                                               const RetryPolicy& retry);
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_TCP_CHANNEL_H_

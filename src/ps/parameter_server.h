@@ -64,6 +64,12 @@ struct PushResult {
 /// (Algorithm 4's pull handler). Push messages carry a per-worker
 /// sequence number and the server applies each sequence at most once,
 /// so a duplicated push never double-applies AdaGrad.
+///
+/// Under `--runtime=proc` (DESIGN.md §13) the server stays in the
+/// coordinator process; worker processes reach PullBatch/PushGradBatch
+/// through the core::PsBackend seam over net::Messenger channels,
+/// whose sequence-numbered frames extend the same at-most-once push
+/// guarantee across real process boundaries.
 class ParameterServer {
  public:
   /// `entity_owner[e]` is the machine hosting entity e; any value

@@ -121,6 +121,13 @@ struct Delivery {
 /// charged as stall time, and fault events are mirrored into a
 /// MetricRegistry. Single-threaded by design, like all simulation
 /// accounting: engines call it only from the scheduling thread.
+///
+/// Under the process runtime (DESIGN.md §13, src/net/) this object
+/// lives in the coordinator process only: worker processes route their
+/// PS traffic there as RPCs, and the coordinator applies them in the
+/// workers' program order — so the fault plan, the accounting, and the
+/// serialized clocks stay bit-identical to the in-process run even
+/// though the bytes really crossed a process boundary.
 class Transport {
  public:
   /// `cluster` must outlive the transport.

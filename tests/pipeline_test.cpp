@@ -137,6 +137,35 @@ TEST(BoundedQueueTest, ReopenStartsNextSegment) {
   EXPECT_EQ(q.Pop().value(), 2);
 }
 
+// Regression: Reopen() used to carry the previous segment's stall and
+// high-water counters into the next segment, double-counting them in
+// every per-segment sample after the first (the engine accumulates the
+// per-segment values into run totals at each segment boundary).
+TEST(BoundedQueueTest, ReopenResetsObservabilityCounters) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { ASSERT_TRUE(q.Push(2)); });  // Stalls: full.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  producer.join();
+  std::thread consumer([&] { EXPECT_EQ(q.Pop().value(), 3); });  // Stalls.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(q.Push(3));
+  consumer.join();
+  EXPECT_GE(q.push_stalls(), 1u);
+  EXPECT_GE(q.pop_stalls(), 1u);
+  EXPECT_EQ(q.high_water(), 1u);
+  q.Close();
+  q.Reopen();
+  EXPECT_EQ(q.push_stalls(), 0u);
+  EXPECT_EQ(q.pop_stalls(), 0u);
+  EXPECT_EQ(q.high_water(), 0u);
+  ASSERT_TRUE(q.Push(9));  // The new segment counts from zero.
+  EXPECT_EQ(q.high_water(), 1u);
+  EXPECT_EQ(q.Pop().value(), 9);
+}
+
 // ---------------------------------------------------------------------
 // PipelineStage / Pipeline
 // ---------------------------------------------------------------------
