@@ -468,6 +468,35 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(
             report->metrics.Get(metric::kTransportLostPushRows)));
   }
+  if (coordinator != nullptr) {
+    // Real-transport totals (DESIGN.md §14): always counted, even with
+    // observability off — they live outside the training state.
+    const net::ProcCoordinator::TransportTotals totals =
+        coordinator->Totals();
+    std::printf(
+        "proc net (%s): %llu rpc round trips, %llu frames / %s sent, "
+        "%llu frames / %s received, %llu send stalls\n",
+        coordinator->TransportName(),
+        static_cast<unsigned long long>(totals.rpc_round_trips),
+        static_cast<unsigned long long>(totals.frames_sent),
+        HumanBytes(static_cast<double>(totals.bytes_sent)).c_str(),
+        static_cast<unsigned long long>(totals.frames_received),
+        HumanBytes(static_cast<double>(totals.bytes_received)).c_str(),
+        static_cast<unsigned long long>(totals.send_stalls));
+    if (config.obs.Enabled()) {
+      const Histogram* rpc = report->metrics.FindHistogram(
+          std::string(metric::kNetRpcLatency) + "." +
+          coordinator->TransportName());
+      if (rpc != nullptr && rpc->count() > 0) {
+        std::printf(
+            "proc rpc latency (%s): p50=%.0fus p99=%.0fus over %llu "
+            "timed rpcs\n",
+            coordinator->TransportName(), rpc->Quantile(0.5),
+            rpc->Quantile(0.99),
+            static_cast<unsigned long long>(rpc->count()));
+      }
+    }
+  }
 
   const std::string save_state = flags.GetString("save_state");
   if (!save_state.empty()) {

@@ -142,7 +142,20 @@ inline constexpr char kCacheHitRatio[] = "cache.hit_ratio";
 inline constexpr char kSimSeconds[] = "sim.machine_seconds";
 inline constexpr char kPullSimSeconds[] = "ps.pull_sim_seconds";
 inline constexpr char kPushSimSeconds[] = "ps.push_sim_seconds";
-inline constexpr char kObsDroppedEvents[] = "obs.dropped_trace_events";
+inline constexpr char kTraceDroppedEvents[] = "trace.dropped_events";
+// Real-transport profiling under --runtime=proc (DESIGN.md §14). The
+// frame/byte counters and per-transport histograms
+// (net.frame.bytes.<shm|tcp>, net.rpc.latency_us.<shm|tcp>) are
+// recorded only when obs is enabled, and only into process-local
+// registries that are never serialized — proc snapshots stay
+// byte-identical to sim, obs on or off.
+inline constexpr char kNetRpcLatency[] = "net.rpc.latency_us";
+inline constexpr char kNetFrameBytes[] = "net.frame.bytes";
+inline constexpr char kNetShipBytes[] = "net.ship.bytes";
+inline constexpr char kNetFramesSent[] = "net.frames.sent";
+inline constexpr char kNetFramesReceived[] = "net.frames.received";
+inline constexpr char kNetBytesSent[] = "net.bytes.sent";
+inline constexpr char kNetBytesReceived[] = "net.bytes.received";
 // Async pipeline engine (DESIGN.md §12). Reported only in --async
 // runs: stall/depth counts depend on real thread scheduling, so the
 // deterministic mode — whose reports are bit-identity-checked — never

@@ -502,7 +502,7 @@ Result<TrainReport> PbgEngine::Train(size_t num_epochs) {
   if (trace_lease.owns()) {
     const uint64_t dropped = obs::Tracer::DroppedEvents();
     if (dropped > 0) {
-      report.metrics.Increment(metric::kObsDroppedEvents, dropped);
+      report.metrics.Increment(metric::kTraceDroppedEvents, dropped);
     }
     const Status trace_status = trace_lease.Finish();
     if (!trace_status.ok()) {

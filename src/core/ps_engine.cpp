@@ -917,6 +917,19 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
   m.Increment(metric::kCacheMisses, misses);
   if (obs_active_) {
     m.Merge(obs_metrics_);
+    // Process runtime: the driver's merged never-serialized metrics —
+    // transport histograms plus each worker's shipped registry (with
+    // per-worker *.w<id> gauge breakdowns).
+    if (step_driver_ != nullptr) {
+      const MetricRegistry* driver_metrics = step_driver_->ObsMetrics();
+      if (driver_metrics != nullptr) m.Merge(*driver_metrics);
+    }
+    // Locally dropped trace events (workers ship theirs in their
+    // registries, merged above).
+    if (obs::Tracer::Enabled()) {
+      const uint64_t dropped = obs::Tracer::DroppedEvents();
+      if (dropped > 0) m.Increment(metric::kTraceDroppedEvents, dropped);
+    }
     m.SetGauge(metric::kCacheHitRatio,
                (hits + misses) == 0
                    ? 0.0
@@ -966,11 +979,6 @@ Result<TrainReport> PsTrainingEngine::Train(size_t num_epochs) {
         "--runtime=proc replaces simulated process faults with real worker "
         "kills (drop --fault_process)");
   }
-  if (config_.obs.Enabled()) {
-    return Status::InvalidArgument(
-        "--runtime=proc does not support observability (phase gauges and "
-        "latency histograms are per-process; drop --obs_* flags)");
-  }
   for (;;) {
     Result<TrainReport> report = TrainInner(num_epochs);
     if (report.ok() || !step_driver_->WorkerFailed()) return report;
@@ -998,6 +1006,12 @@ Result<TrainReport> PsTrainingEngine::TrainInner(size_t num_epochs) {
   obs::TracerLease trace_lease{obs::TraceOptions{config_.obs.trace_out}};
   const bool metrics_on = config_.obs.MetricsRequested();
   Stopwatch train_wall;
+  // Process runtime: arm the workers' per-process tracers/transport
+  // profiling and run the clock-offset handshake (DESIGN.md §14). Must
+  // follow the lease above — the handshake reads this session's clock.
+  if (step_driver_ != nullptr && config_.obs.Enabled()) {
+    HETKG_RETURN_IF_ERROR(step_driver_->SetupObs());
+  }
 
   TrainReport report;
   size_t start_epoch = 0;
@@ -1114,6 +1128,9 @@ Result<TrainReport> PsTrainingEngine::TrainInner(size_t num_epochs) {
         if (config_.halt_after_iterations > 0 &&
             global_iteration_ >= config_.halt_after_iterations) {
           HETKG_RETURN_IF_ERROR(SyncAllWorkers());
+          if (step_driver_ != nullptr) {
+            HETKG_RETURN_IF_ERROR(step_driver_->FlushObs());
+          }
           return halt_report();
         }
       }
@@ -1224,13 +1241,14 @@ Result<TrainReport> PsTrainingEngine::TrainInner(size_t num_epochs) {
   // Process runtime: pull every worker's final state into the engine
   // mirrors so SaveTrainState after Train() serializes current bytes.
   HETKG_RETURN_IF_ERROR(SyncAllWorkers());
+  // ... and the final obs shipment, so the trace file written below
+  // has every worker's events and the report every worker's metrics.
+  if (step_driver_ != nullptr) {
+    HETKG_RETURN_IF_ERROR(step_driver_->FlushObs());
+  }
   report.overall_hit_ratio = OverallHitRatio();
   report.metrics = CollectObsMetrics(cumulative_seconds_);
   if (trace_lease.owns()) {
-    const uint64_t dropped = obs::Tracer::DroppedEvents();
-    if (dropped > 0) {
-      report.metrics.Increment(metric::kObsDroppedEvents, dropped);
-    }
     const Status trace_status = trace_lease.Finish();
     if (!trace_status.ok()) {
       HETKG_LOG(Warning) << "trace write failed: "

@@ -131,6 +131,20 @@ class PsTrainingEngine : public TrainingEngine {
     /// Kills and relaunches every worker process from the engine's
     /// current (just-restored) state; clears the failure flag.
     virtual Status RestartWorkers() = 0;
+
+    // -- Cross-process observability (DESIGN.md §14). Default no-ops so
+    // -- drivers without obs support need no changes. ------------------
+    /// Called once at the start of TrainInner when config.obs is
+    /// enabled: arms per-process tracers/metrics in the workers and
+    /// runs the clock-offset handshake.
+    virtual Status SetupObs() { return Status::OK(); }
+    /// Final shipment drain before the engine writes its trace/metrics
+    /// files (end of training and halt paths).
+    virtual Status FlushObs() { return Status::OK(); }
+    /// Merged never-serialized runtime metrics (transport histograms,
+    /// per-worker gauges) for CollectObsMetrics, or null when the
+    /// driver has none.
+    virtual const MetricRegistry* ObsMetrics() const { return nullptr; }
   };
 
   /// Installs the process-runtime driver (nullptr restores sim mode).

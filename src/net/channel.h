@@ -1,11 +1,13 @@
 #ifndef HETKG_NET_CHANNEL_H_
 #define HETKG_NET_CHANNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "sim/transport.h"
 
 namespace hetkg::net {
@@ -41,12 +43,45 @@ enum class RecvStatus {
 ///     stream);
 ///   * `Close` is safe from another thread and wakes blocked callers;
 ///   * zero-length frames are legal and round-trip.
+/// Always-on transport accounting. Relaxed atomics so the real
+/// transports (whose Send/Recv run in different processes' threads)
+/// can share one instance per coordinator; never serialized into
+/// training state, so counting has no bit-identity impact. The
+/// launcher's proc `net.*` summary reads these even with obs off.
+struct ChannelStats {
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> bytes_received{0};
+  /// Times a sender found its ring full and had to wait (shm only —
+  /// the backpressure signal of an undersized --shm_ring_bytes).
+  std::atomic<uint64_t> send_stalls{0};
+};
+
 class Channel {
  public:
   virtual ~Channel() = default;
   virtual bool Send(std::string_view frame) = 0;
   virtual RecvStatus Recv(std::string* frame, int timeout_ms) = 0;
   virtual void Close() = 0;
+
+  /// Attaches a stats sink (owned by the caller, outliving the
+  /// channel). Implementations without instrumentation ignore it.
+  void set_stats(ChannelStats* stats) { stats_ = stats; }
+
+ protected:
+  void RecordSend(size_t bytes) {
+    if (stats_ == nullptr) return;
+    stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void RecordRecv(size_t bytes) {
+    if (stats_ == nullptr) return;
+    stats_->frames_received.fetch_add(1, std::memory_order_relaxed);
+    stats_->bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  ChannelStats* stats_ = nullptr;
 };
 
 /// Connect-retry policy for the real-socket transports, shaped from the
@@ -88,7 +123,13 @@ class Messenger {
     frame.resize(8 + payload.size());
     std::memcpy(frame.data(), &seq, 8);
     std::memcpy(frame.data() + 8, payload.data(), payload.size());
-    return channel_->Send(frame);
+    const bool sent = channel_->Send(frame);
+    if (sent && metrics_ != nullptr) {
+      metrics_->Increment(metric::kNetFramesSent);
+      metrics_->Increment(metric::kNetBytesSent, frame.size());
+      metrics_->Observe(frame_hist_, static_cast<double>(frame.size()));
+    }
+    return sent;
   }
 
   RecvStatus Recv(std::string* payload, int timeout_ms) {
@@ -96,6 +137,10 @@ class Messenger {
       std::string frame;
       const RecvStatus status = channel_->Recv(&frame, timeout_ms);
       if (status != RecvStatus::kOk) return status;
+      if (metrics_ != nullptr) {
+        metrics_->Increment(metric::kNetFramesReceived);
+        metrics_->Increment(metric::kNetBytesReceived, frame.size());
+      }
       if (frame.size() < 8) return RecvStatus::kClosed;  // Corrupt peer.
       uint64_t seq = 0;
       std::memcpy(&seq, frame.data(), 8);
@@ -106,6 +151,24 @@ class Messenger {
     }
   }
 
+  /// Enables transport profiling (DESIGN.md §14) into `metrics`, which
+  /// must outlive the messenger and be touched only from the thread
+  /// that calls Send/Recv: per-frame payload sizes land in the
+  /// net.frame.bytes.<transport> histogram and frame/byte counters;
+  /// blocking round-trip times fed via ObserveRpcLatency land in
+  /// net.rpc.latency_us.<transport>.
+  void EnableMetrics(MetricRegistry* metrics, std::string_view transport) {
+    metrics_ = metrics;
+    frame_hist_ = std::string(metric::kNetFrameBytes) + "." +
+                  std::string(transport);
+    rpc_hist_ = std::string(metric::kNetRpcLatency) + "." +
+                std::string(transport);
+  }
+  bool MetricsEnabled() const { return metrics_ != nullptr; }
+  void ObserveRpcLatency(double micros) {
+    if (metrics_ != nullptr) metrics_->Observe(rpc_hist_, micros);
+  }
+
   Channel* channel() { return channel_; }
   uint64_t last_sent_seq() const { return next_seq_; }
 
@@ -113,6 +176,9 @@ class Messenger {
   Channel* channel_;
   uint64_t next_seq_ = 0;
   uint64_t delivered_seq_ = 0;
+  MetricRegistry* metrics_ = nullptr;
+  std::string frame_hist_;
+  std::string rpc_hist_;
 };
 
 }  // namespace hetkg::net

@@ -9,9 +9,11 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "net/local_channel.h"
 #include "net/rpc.h"
 #include "net/shm_ring.h"
+#include "obs/trace.h"
 
 namespace hetkg::net {
 
@@ -51,10 +53,13 @@ ps::PullResult RemotePsBackend::PullBatch(uint32_t machine,
   (void)machine;  // The channel itself identifies the worker.
   ByteWriter msg = RpcMessage(MsgType::kPull);
   msg.U64Vec(keys);
+  const bool profile = messenger_->MetricsEnabled();
+  Stopwatch sw;
   SendOrAbort(msg);
 
   std::string payload;
   if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  if (profile) messenger_->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   MsgType type;
   ByteReader r{std::string_view()};
   if (!RpcOpen(payload, &type, &r) || type != MsgType::kPullReply) {
@@ -110,9 +115,12 @@ ps::PushResult RemotePsBackend::PushGradBatch(
 void RemotePsBackend::ReadRow(EmbKey key, std::span<float> out) {
   ByteWriter msg = RpcMessage(MsgType::kReadRow);
   msg.U64(key);
+  const bool profile = messenger_->MetricsEnabled();
+  Stopwatch sw;
   SendOrAbort(msg);
   std::string payload;
   if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  if (profile) messenger_->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   MsgType type;
   ByteReader r{std::string_view()};
   if (!RpcOpen(payload, &type, &r) || type != MsgType::kReadRowReply ||
@@ -139,6 +147,72 @@ void RemotePsBackend::IncrementServerMetric(const std::string& name,
 
 // ---------------------------------------------------------------------------
 // ProcWorker (worker-process command loop).
+
+void ProcWorker::HandleStartObs(ByteReader* r) {
+  const bool trace_on = r->U8() != 0;
+  const uint64_t ring_capacity = r->U64();
+  const uint8_t flight_kind = r->U8();
+  const uint64_t flight_slots = r->U64();
+  const std::string flight_path = r->Str();
+  const std::string transport = r->Str();
+  if (!r->ok() || r->remaining() != 0) return;
+  obs_on_ = true;
+  obs_trace_ = trace_on;
+  // Transport profiling into the process-local, never-serialized
+  // registry; shipped to the coordinator with every kObsData.
+  messenger_->EnableMetrics(&net_metrics_, transport);
+  if (!trace_on) return;
+  if (!obs::Tracer::StartShipping(ring_capacity).ok()) {
+    obs_trace_ = false;
+    return;
+  }
+  last_dropped_ = 0;
+  // Arm the crash flight recorder as the tracer's event mirror: the
+  // fork-inherited shm region, or a spill file the coordinator can
+  // open post-mortem.
+  if (flight_kind == 1 && shared_flight_ != nullptr) {
+    obs::Tracer::SetEventSink(shared_flight_);
+  } else if (flight_kind == 2 && !flight_path.empty()) {
+    Result<std::unique_ptr<obs::FlightRecorder>> created =
+        obs::FlightRecorder::CreateFile(flight_path, flight_slots);
+    if (created.ok()) {
+      file_flight_ = std::move(created.value());
+      obs::Tracer::SetEventSink(file_flight_.get());
+    }
+  }
+}
+
+bool ProcWorker::SendObsData(core::PsTrainingEngine::Worker* w) {
+  ByteWriter msg = RpcMessage(MsgType::kObsData);
+  ByteWriter trace;
+  if (obs_trace_) {
+    obs::Tracer::DrainShipment(&trace);
+    const uint64_t dropped = obs::Tracer::DroppedEvents();
+    if (dropped > last_dropped_) {
+      net_metrics_.Increment(metric::kTraceDroppedEvents,
+                             dropped - last_dropped_);
+      last_dropped_ = dropped;
+    }
+  }
+  msg.U64(trace.size());
+  msg.Raw(trace.buffer().data(), trace.size());
+  // Gauges that only this process can compute (the command loop zeroes
+  // the per-epoch counters, so the ratio is over the cum_* mirror).
+  const uint64_t hits = cum_hits_ + w->hits;
+  const uint64_t misses = cum_misses_ + w->misses;
+  uint64_t n_gauges = 0;
+  ByteWriter gauges;
+  if (hits + misses > 0) {
+    gauges.Str(metric::kCacheHitRatio);
+    gauges.F64(static_cast<double>(hits) /
+               static_cast<double>(hits + misses));
+    ++n_gauges;
+  }
+  msg.U64(n_gauges);
+  msg.Raw(gauges.buffer().data(), gauges.size());
+  net_metrics_.SaveState(&msg);
+  return messenger_->Send(msg.buffer());
+}
 
 int ProcWorker::Run() {
   // The worker process never runs Train(), checkpoints, or obs; the
@@ -179,7 +253,11 @@ int ProcWorker::Run() {
       done.U64(w->hits);
       done.U64(w->misses);
       // The engine's epoch harvest zeroes the per-epoch counters; the
-      // worker mirrors that so next epoch's ratio starts fresh.
+      // worker mirrors that so next epoch's ratio starts fresh. The
+      // obs cache.hit_ratio gauge is run-cumulative, so fold the epoch
+      // into the cum_* mirror first.
+      cum_hits_ += w->hits;
+      cum_misses_ += w->misses;
       w->hits = 0;
       w->misses = 0;
       if (!messenger_->Send(done.buffer())) break;
@@ -195,13 +273,28 @@ int ProcWorker::Run() {
           !engine_->LoadWorkerState(w, &r) || r.remaining() != 0) {
         break;
       }
+    } else if (type == MsgType::kStartObs) {
+      HandleStartObs(&r);
+    } else if (type == MsgType::kClockSync) {
+      ByteWriter reply = RpcMessage(MsgType::kClockSyncReply);
+      reply.U64(obs::Tracer::NowMicros());
+      if (!messenger_->Send(reply.buffer())) break;
+    } else if (type == MsgType::kShipObs) {
+      if (!SendObsData(w)) break;
     } else if (type == MsgType::kShutdown) {
+      // Final unsolicited shipment so the coordinator's kBye drain
+      // gets everything traced since the last barrier.
+      if (obs_on_) (void)SendObsData(w);
       messenger_->Send(RpcMessage(MsgType::kBye).buffer());
       exit_code = 0;
       break;
     } else {
       break;  // Protocol violation.
     }
+  }
+  if (obs_trace_) {
+    obs::Tracer::SetEventSink(nullptr);
+    (void)obs::Tracer::Stop();  // Ship-only session: discards.
   }
   engine_->SetPsBackend(nullptr);
   return exit_code;
@@ -229,6 +322,7 @@ Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
   std::unique_ptr<ProcCoordinator> coord(
       new ProcCoordinator(engine, options));
   coord->standalone_ = true;
+  coord->options_.transport = TransportKind::kTcp;  // For TransportName().
   coord->links_.resize(engine->workers_.size());
   HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpListener> listener,
                          TcpListener::Create(port));
@@ -256,6 +350,7 @@ Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
     WorkerLink& link = coord->links_[machine];
     link.pid = -1;
     link.channel = std::move(channel);
+    link.channel->set_stats(&coord->channel_stats_);
     link.messenger = std::move(messenger);
     link.alive = true;
     // Ship the authoritative initial worker state (a fresh engine's
@@ -315,6 +410,7 @@ Status ProcCoordinator::ForkFleet() {
         break;
       }
       links_[machine].channel = std::move(accepted.value());
+      links_[machine].channel->set_stats(&channel_stats_);
       links_[machine].messenger = std::move(messenger);
       links_[machine].alive = true;
     }
@@ -333,6 +429,15 @@ Status ProcCoordinator::ForkWorker(uint32_t machine) {
                                options_.shm_ring_bytes));
     parent_ep = std::move(pair.first);
     child_ep = std::move(pair.second);
+  }
+  // Crash flight recorder (shm transport): the region must exist
+  // before fork() so both processes map the same pages — the child
+  // writes into it, the parent harvests after a SIGKILL.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (options_.transport == TransportKind::kShm &&
+      engine_->config_.obs.TraceRequested()) {
+    HETKG_ASSIGN_OR_RETURN(
+        flight, obs::FlightRecorder::CreateAnonymous(options_.flight_slots));
   }
   const uint16_t connect_port =
       listener_ != nullptr ? listener_->port() : 0;
@@ -361,14 +466,17 @@ Status ProcCoordinator::ForkWorker(uint32_t machine) {
       hello.U32(machine);
       if (!messenger.Send(hello.buffer())) std::_Exit(3);
     }
-    ProcWorker worker(engine_, machine, &messenger, options_.kills);
+    ProcWorker worker(engine_, machine, &messenger, options_.kills,
+                      flight.get());
     std::_Exit(worker.Run());
   }
 
   WorkerLink& link = links_[machine];
   link.pid = pid;
+  link.flight = std::move(flight);
   if (options_.transport == TransportKind::kShm) {
     link.channel = std::move(parent_ep);
+    link.channel->set_stats(&channel_stats_);
     link.messenger = std::make_unique<Messenger>(link.channel.get());
     link.alive = true;
   }
@@ -400,6 +508,9 @@ void ProcCoordinator::MarkWorkerFailed(uint32_t machine, uint64_t at_iter) {
     link.pid = -1;
   }
   if (link.channel != nullptr) link.channel->Close();
+  // Post-mortem: the dead worker's flight-recorder ring (shm region or
+  // tcp spill file) still holds its last trace events.
+  if (obs_on_) HarvestFlight(machine);
   // Kill-once semantics: any scheduled kill at or before the failure
   // point has had its effect; pruning it keeps the relaunched fleet
   // (which rewinds to an earlier iteration) from dying forever.
@@ -559,6 +670,7 @@ Result<std::pair<double, uint64_t>> ProcCoordinator::DriveStep(
   }
   ByteWriter cmd = RpcMessage(MsgType::kRunStep);
   cmd.U64(iter);
+  Stopwatch sw;
   if (!link.messenger->Send(cmd.buffer())) {
     MarkWorkerFailed(machine, iter);
     return Status::Internal("kRunStep send failed");
@@ -567,6 +679,8 @@ Result<std::pair<double, uint64_t>> ProcCoordinator::DriveStep(
   ByteReader r{std::string_view()};
   HETKG_RETURN_IF_ERROR(ServiceUntil(machine, TypeByte(MsgType::kStepDone),
                                      &payload, &r, iter));
+  ++rpc_round_trips_;
+  link.messenger->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   const double loss = r.F64();
   const uint64_t pairs = r.U64();
   if (!r.ok() || r.remaining() != 0) {
@@ -583,6 +697,7 @@ Status ProcCoordinator::DriveEpochEnd(uint32_t machine) {
                             " is not running");
   }
   const uint64_t at_iter = engine_->global_iteration_;
+  Stopwatch sw;
   if (!link.messenger->Send(RpcMessage(MsgType::kEpochEnd).buffer())) {
     MarkWorkerFailed(machine, at_iter);
     return Status::Internal("kEpochEnd send failed");
@@ -591,6 +706,8 @@ Status ProcCoordinator::DriveEpochEnd(uint32_t machine) {
   ByteReader r{std::string_view()};
   HETKG_RETURN_IF_ERROR(ServiceUntil(machine, TypeByte(MsgType::kEpochDone),
                                      &payload, &r, at_iter));
+  ++rpc_round_trips_;
+  link.messenger->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   const uint64_t hits = r.U64();
   const uint64_t misses = r.U64();
   if (!r.ok() || r.remaining() != 0) {
@@ -602,6 +719,9 @@ Status ProcCoordinator::DriveEpochEnd(uint32_t machine) {
   // exactly as it does the sim runtime's in-process counters.
   engine_->workers_[machine].hits = hits;
   engine_->workers_[machine].misses = misses;
+  // Segment barrier: drain the worker's trace ring + cumulative
+  // metrics while the protocol is between turns anyway.
+  if (obs_on_) return ShipObs(machine);
   return Status::OK();
 }
 
@@ -612,6 +732,7 @@ Status ProcCoordinator::SyncWorkerState(uint32_t machine) {
                             " is not running");
   }
   const uint64_t at_iter = engine_->global_iteration_;
+  Stopwatch sw;
   if (!link.messenger->Send(RpcMessage(MsgType::kSyncState).buffer())) {
     MarkWorkerFailed(machine, at_iter);
     return Status::Internal("kSyncState send failed");
@@ -621,6 +742,8 @@ Status ProcCoordinator::SyncWorkerState(uint32_t machine) {
   HETKG_RETURN_IF_ERROR(
       ServiceUntil(machine, TypeByte(MsgType::kWorkerState), &payload, &r,
                    at_iter));
+  ++rpc_round_trips_;
+  link.messenger->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   const uint32_t m = r.U32();
   if (!r.ok() || m != machine ||
       !engine_->LoadWorkerState(&engine_->workers_[machine], &r) ||
@@ -640,6 +763,221 @@ Status ProcCoordinator::RestartWorkers() {
   HETKG_RETURN_IF_ERROR(ForkFleet());
   worker_failed_ = false;
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process observability (DESIGN.md §14).
+
+const char* ProcCoordinator::TransportName() const {
+  return options_.transport == TransportKind::kShm ? "shm" : "tcp";
+}
+
+ProcCoordinator::TransportTotals ProcCoordinator::Totals() const {
+  TransportTotals t;
+  t.rpc_round_trips = rpc_round_trips_;
+  t.frames_sent = channel_stats_.frames_sent.load(std::memory_order_relaxed);
+  t.bytes_sent = channel_stats_.bytes_sent.load(std::memory_order_relaxed);
+  t.frames_received =
+      channel_stats_.frames_received.load(std::memory_order_relaxed);
+  t.bytes_received =
+      channel_stats_.bytes_received.load(std::memory_order_relaxed);
+  t.send_stalls = channel_stats_.send_stalls.load(std::memory_order_relaxed);
+  return t;
+}
+
+Status ProcCoordinator::SetupObs() {
+  const obs::ObsConfig& obs_config = engine_->config_.obs;
+  if (!obs_config.Enabled()) return Status::OK();
+  obs_on_ = true;
+  trace_on_ = obs_config.TraceRequested();
+  worker_regs_.assign(links_.size(), MetricRegistry());
+  worker_gauges_.assign(links_.size(), {});
+  for (uint32_t m = 0; m < links_.size(); ++m) {
+    WorkerLink& link = links_[m];
+    if (!link.alive) continue;
+    link.messenger->EnableMetrics(&net_metrics_, TransportName());
+    uint8_t flight_kind = 0;
+    std::string flight_path;
+    if (trace_on_) {
+      if (link.flight != nullptr) {
+        flight_kind = 1;  // Fork-inherited shm region.
+      } else if (options_.transport == TransportKind::kTcp && !standalone_) {
+        // Forked tcp worker: same filesystem, spill file next to the
+        // trace output. (Standalone --connect workers may be on
+        // another machine — no flight recorder there.)
+        flight_kind = 2;
+        flight_path = obs_config.trace_out + ".flight.w" + std::to_string(m);
+        link.flight_path = flight_path;
+      }
+    }
+    ByteWriter cmd = RpcMessage(MsgType::kStartObs);
+    cmd.U8(trace_on_ ? 1 : 0);
+    cmd.U64(options_.trace_ring_capacity);
+    cmd.U8(flight_kind);
+    cmd.U64(options_.flight_slots);
+    cmd.Str(flight_path);
+    cmd.Str(TransportName());
+    if (!link.messenger->Send(cmd.buffer())) {
+      MarkWorkerFailed(m, engine_->global_iteration_);
+      return Status::Internal("kStartObs send failed");
+    }
+    if (trace_on_) HETKG_RETURN_IF_ERROR(ClockSync(m));
+  }
+  // Post-crash retry: the fresh trace session overwrites the file that
+  // carried previously harvested flight tracks — re-inject them.
+  for (const FlightCapture& capture : flights_) InjectFlight(capture);
+  return Status::OK();
+}
+
+Status ProcCoordinator::ClockSync(uint32_t machine) {
+  WorkerLink& link = links_[machine];
+  const uint64_t at_iter = engine_->global_iteration_;
+  int64_t best_offset = 0;
+  uint64_t best_rtt = UINT64_MAX;
+  // Min-RTT filter: the round with the least in-flight delay gives the
+  // tightest bound on the midpoint estimate.
+  for (int round = 0; round < 5; ++round) {
+    const uint64_t t0 = obs::Tracer::NowMicros();
+    if (!link.messenger->Send(RpcMessage(MsgType::kClockSync).buffer())) {
+      MarkWorkerFailed(machine, at_iter);
+      return Status::Internal("kClockSync send failed");
+    }
+    std::string payload;
+    ByteReader r{std::string_view()};
+    HETKG_RETURN_IF_ERROR(ServiceUntil(
+        machine, TypeByte(MsgType::kClockSyncReply), &payload, &r, at_iter));
+    const uint64_t worker_now = r.U64();
+    if (!r.ok() || r.remaining() != 0) {
+      MarkWorkerFailed(machine, at_iter);
+      return Status::Corruption("bad kClockSyncReply");
+    }
+    const uint64_t t1 = obs::Tracer::NowMicros();
+    const uint64_t rtt = t1 - t0;
+    if (rtt < best_rtt) {
+      best_rtt = rtt;
+      best_offset = static_cast<int64_t>(worker_now) -
+                    static_cast<int64_t>((t0 + t1) / 2);
+    }
+  }
+  link.clock_offset_us = best_offset;
+  return Status::OK();
+}
+
+Status ProcCoordinator::ShipObs(uint32_t machine) {
+  WorkerLink& link = links_[machine];
+  if (!link.alive) return Status::OK();
+  const uint64_t at_iter = engine_->global_iteration_;
+  Stopwatch sw;
+  if (!link.messenger->Send(RpcMessage(MsgType::kShipObs).buffer())) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Internal("kShipObs send failed");
+  }
+  std::string payload;
+  ByteReader r{std::string_view()};
+  HETKG_RETURN_IF_ERROR(ServiceUntil(machine, TypeByte(MsgType::kObsData),
+                                     &payload, &r, at_iter));
+  ++rpc_round_trips_;
+  link.messenger->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
+  if (!IngestObsData(machine, &r)) {
+    MarkWorkerFailed(machine, at_iter);
+    return Status::Corruption("bad kObsData");
+  }
+  return Status::OK();
+}
+
+bool ProcCoordinator::IngestObsData(uint32_t machine, ByteReader* r) {
+  if (machine >= worker_regs_.size()) return false;
+  const uint64_t trace_len = r->U64();
+  if (!r->ok() || trace_len > r->remaining()) return false;
+  std::string trace_blob(trace_len, '\0');
+  if (trace_len != 0 && !r->ReadRaw(trace_blob.data(), trace_len)) {
+    return false;
+  }
+  if (trace_on_ && trace_len != 0 && obs::Tracer::Enabled()) {
+    net_metrics_.Increment(metric::kNetShipBytes, trace_len);
+    ByteReader tr(trace_blob.data(), trace_blob.size());
+    if (!obs::Tracer::AddRemoteEvents(
+            2 + machine, "worker " + std::to_string(machine),
+            links_[machine].clock_offset_us, &tr)) {
+      return false;
+    }
+  }
+  const uint64_t n_gauges = r->U64();
+  if (!r->ok()) return false;
+  std::vector<std::pair<std::string, double>> gauges;
+  gauges.reserve(n_gauges);
+  for (uint64_t i = 0; i < n_gauges; ++i) {
+    std::string name = r->Str();
+    const double value = r->F64();
+    if (!r->ok()) return false;
+    gauges.emplace_back(std::move(name), value);
+  }
+  MetricRegistry reg;
+  if (!reg.LoadState(r) || r->remaining() != 0) return false;
+  // The shipment is cumulative: REPLACE the worker's slice wholesale,
+  // so re-ships (epoch barriers, final drain) never double-count.
+  worker_regs_[machine] = std::move(reg);
+  worker_gauges_[machine] = std::move(gauges);
+  return true;
+}
+
+Status ProcCoordinator::FlushObs() {
+  if (!obs_on_) return Status::OK();
+  for (uint32_t m = 0; m < links_.size(); ++m) {
+    if (!links_[m].alive) continue;
+    HETKG_RETURN_IF_ERROR(ShipObs(m));
+  }
+  return Status::OK();
+}
+
+const MetricRegistry* ProcCoordinator::ObsMetrics() const {
+  if (!obs_on_) return nullptr;
+  obs_report_ = net_metrics_;
+  for (size_t m = 0; m < worker_regs_.size(); ++m) {
+    obs_report_.Merge(worker_regs_[m]);
+    const std::string suffix = ".w" + std::to_string(m);
+    for (const auto& [name, value] : worker_regs_[m].Snapshot()) {
+      obs_report_.SetGauge(name + suffix, static_cast<double>(value));
+    }
+    for (const auto& [name, value] : worker_gauges_[m]) {
+      obs_report_.SetGauge(name + suffix, value);
+    }
+  }
+  return &obs_report_;
+}
+
+void ProcCoordinator::HarvestFlight(uint32_t machine) {
+  if (!trace_on_) return;
+  WorkerLink& link = links_[machine];
+  ByteWriter blob;
+  if (link.flight != nullptr) {
+    link.flight->SerializeHarvest(&blob);
+  } else if (!link.flight_path.empty()) {
+    Result<std::unique_ptr<obs::FlightRecorder>> opened =
+        obs::FlightRecorder::OpenFile(link.flight_path);
+    if (!opened.ok()) return;
+    opened.value()->SerializeHarvest(&blob);
+  } else {
+    return;
+  }
+  ByteReader probe(blob.buffer().data(), blob.size());
+  if (probe.U64() == 0) return;  // Nothing recorded.
+  FlightCapture capture;
+  capture.machine = machine;
+  capture.offset_us = link.clock_offset_us;
+  capture.blob.assign(blob.buffer().data(), blob.size());
+  InjectFlight(capture);
+  // Keep the capture: a post-crash retry starts a fresh trace session
+  // over the same file, and SetupObs re-injects it there.
+  flights_.push_back(std::move(capture));
+}
+
+void ProcCoordinator::InjectFlight(const FlightCapture& capture) {
+  if (!obs::Tracer::Enabled()) return;
+  ByteReader r(capture.blob.data(), capture.blob.size());
+  (void)obs::Tracer::AddRemoteEvents(
+      1002 + capture.machine,
+      "flight.w" + std::to_string(capture.machine), capture.offset_us, &r);
 }
 
 Status ProcCoordinator::Shutdown() {
@@ -663,9 +1001,17 @@ Status ProcCoordinator::Shutdown() {
         }
         MsgType type;
         ByteReader r{std::string_view()};
-        if (RpcOpen(payload, &type, &r) && type == MsgType::kBye) {
+        if (!RpcOpen(payload, &type, &r)) continue;
+        if (type == MsgType::kBye) {
           orderly = true;
           break;
+        }
+        if (type == MsgType::kObsData && obs_on_ &&
+            m < worker_regs_.size()) {
+          // The worker's final unsolicited shipment (sent just before
+          // its kBye).
+          (void)IngestObsData(static_cast<uint32_t>(m), &r);
+          continue;
         }
         // Tolerate (and drop) any straggler message before the kBye.
       }
@@ -700,7 +1046,8 @@ Status RunStandaloneWorker(core::PsTrainingEngine* engine, uint32_t machine,
   if (!messenger.Send(hello.buffer())) {
     return Status::IoError("hello send failed");
   }
-  ProcWorker worker(engine, machine, &messenger, options.kills);
+  ProcWorker worker(engine, machine, &messenger, options.kills,
+                    /*flight=*/nullptr);
   const int code = worker.Run();
   if (code != 0) {
     return Status::Internal("worker loop exited with code " +

@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/ps_engine.h"
 #include "net/channel.h"
 #include "net/tcp_channel.h"
+#include "obs/flight.h"
 
 namespace hetkg::net {
 
@@ -44,6 +46,13 @@ struct ProcOptions {
   /// Hard deadline for one worker message (a hung worker becomes a
   /// worker failure after this long).
   int worker_deadline_ms = 120'000;
+  /// Per-worker trace ring capacity when obs tracing is on (events
+  /// buffered between kShipObs drains; overflow counts as
+  /// trace.dropped_events).
+  size_t trace_ring_capacity = 1 << 16;
+  /// Crash flight-recorder depth (last-N trace events preserved across
+  /// SIGKILL; DESIGN.md §14).
+  size_t flight_slots = obs::FlightRecorder::kDefaultSlots;
 };
 
 /// The worker-process side of the PsBackend seam: every shared-state
@@ -81,20 +90,49 @@ class RemotePsBackend final : public core::PsBackend {
 /// constructed) engine until kShutdown. Returns the process exit code.
 class ProcWorker {
  public:
+  /// `flight` is the fork-inherited shm flight recorder (shm transport
+  /// only; null otherwise — tcp workers create a spill-file recorder on
+  /// kStartObs).
   ProcWorker(core::PsTrainingEngine* engine, uint32_t machine,
-             Messenger* messenger, std::vector<ProcKill> kills)
+             Messenger* messenger, std::vector<ProcKill> kills,
+             obs::FlightRecorder* flight)
       : engine_(engine),
         machine_(machine),
         messenger_(messenger),
-        kills_(std::move(kills)) {}
+        kills_(std::move(kills)),
+        shared_flight_(flight) {}
 
   int Run();
 
  private:
+  /// kStartObs handler: turns on this process's tracer session,
+  /// transport profiling, and flight recorder per the coordinator's
+  /// payload.
+  void HandleStartObs(ByteReader* r);
+  /// Ships the cumulative obs snapshot (trace ring drain + gauges +
+  /// never-serialized metric registry) as one kObsData message.
+  bool SendObsData(core::PsTrainingEngine::Worker* w);
+
   core::PsTrainingEngine* engine_;
   const uint32_t machine_;
   Messenger* messenger_;
   std::vector<ProcKill> kills_;
+  /// Fork-inherited shm flight region (not owned) / tcp spill-file
+  /// recorder (owned). At most one is active as the tracer event sink.
+  obs::FlightRecorder* shared_flight_ = nullptr;
+  std::unique_ptr<obs::FlightRecorder> file_flight_;
+  /// Process-local, never serialized: transport profiling + dropped-
+  /// event counts shipped to the coordinator, kept out of engine state
+  /// so proc snapshots stay byte-identical to sim, obs on or off.
+  MetricRegistry net_metrics_;
+  bool obs_on_ = false;
+  bool obs_trace_ = false;
+  /// Epoch-cumulative cache counters: the command loop zeroes the
+  /// engine's per-epoch hit/miss counters at kEpochEnd, so the shipped
+  /// cache.hit_ratio gauge accumulates here first.
+  uint64_t cum_hits_ = 0;
+  uint64_t cum_misses_ = 0;
+  uint64_t last_dropped_ = 0;
 };
 
 /// Coordinator (parent-process) side of the process runtime
@@ -134,6 +172,22 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
   Status SyncWorkerState(uint32_t machine) override;
   bool WorkerFailed() const override { return worker_failed_; }
   Status RestartWorkers() override;
+  Status SetupObs() override;
+  Status FlushObs() override;
+  const MetricRegistry* ObsMetrics() const override;
+
+  /// Always-on transport totals for the launcher's end-of-run net.*
+  /// summary (counted even with obs off; never serialized).
+  struct TransportTotals {
+    uint64_t rpc_round_trips = 0;
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    uint64_t send_stalls = 0;
+  };
+  TransportTotals Totals() const;
+  const char* TransportName() const;
 
  private:
   struct WorkerLink {
@@ -141,6 +195,15 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
     std::unique_ptr<Channel> channel;
     std::unique_ptr<Messenger> messenger;
     bool alive = false;
+    /// Worker monotonic clock minus coordinator monotonic clock, from
+    /// the kClockSync min-RTT handshake; remote trace timestamps are
+    /// rebased by subtracting it.
+    int64_t clock_offset_us = 0;
+    /// shm transport: the fork-shared flight-recorder region (parent's
+    /// mapping; survives the child's SIGKILL). tcp: null — the worker
+    /// spills to `flight_path` instead.
+    std::unique_ptr<obs::FlightRecorder> flight;
+    std::string flight_path;
   };
 
   ProcCoordinator(core::PsTrainingEngine* engine, ProcOptions options)
@@ -167,6 +230,29 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
   Status ApplyBackendRpc(uint32_t machine, uint8_t type, ByteReader* r,
                          bool* handled);
 
+  // -- Cross-process observability (DESIGN.md §14) ----------------------
+
+  /// Min-RTT monotonic clock-offset handshake with one worker; stores
+  /// the offset in its link.
+  Status ClockSync(uint32_t machine);
+  /// Segment-barrier shipment: kShipObs round trip + ingest.
+  Status ShipObs(uint32_t machine);
+  /// Parses one kObsData payload into the merged trace / per-worker
+  /// registries. Returns false on a malformed payload.
+  bool IngestObsData(uint32_t machine, ByteReader* r);
+  /// Post-mortem flight-recorder harvest of a dead worker (shm region
+  /// or tcp spill file), injected as a "flight.w<m>" track.
+  void HarvestFlight(uint32_t machine);
+
+  /// Harvested flight events, kept so a post-crash retry's fresh trace
+  /// session (which overwrites the same trace file) re-injects them.
+  struct FlightCapture {
+    uint32_t machine = 0;
+    int64_t offset_us = 0;
+    std::string blob;  // SerializeHarvest wire bytes.
+  };
+  void InjectFlight(const FlightCapture& capture);
+
   core::PsTrainingEngine* engine_;
   ProcOptions options_;
   std::vector<WorkerLink> links_;
@@ -174,6 +260,23 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
   bool standalone_ = false;
   bool worker_failed_ = false;
   bool shut_down_ = false;
+
+  // Observability state. None of it is ever serialized into training
+  // snapshots (the byte-identity invariant); `net_metrics_` holds the
+  // coordinator-side transport histograms, `worker_regs_`/
+  // `worker_gauges_` the last cumulative shipment of each worker
+  // (replaced wholesale per shipment, so re-ships never double-count),
+  // and `obs_report_` the merged view ObsMetrics() hands the engine.
+  bool obs_on_ = false;
+  bool trace_on_ = false;
+  MetricRegistry net_metrics_;
+  std::vector<MetricRegistry> worker_regs_;
+  std::vector<std::vector<std::pair<std::string, double>>> worker_gauges_;
+  mutable MetricRegistry obs_report_;
+  std::vector<FlightCapture> flights_;
+  /// Always-on frame/byte totals shared by every worker channel.
+  ChannelStats channel_stats_;
+  uint64_t rpc_round_trips_ = 0;
 };
 
 /// Entry point of an externally started TCP worker (`--runtime=proc

@@ -25,6 +25,13 @@ enum class MsgType : uint8_t {
   kShutdown,      // Orderly exit.
   kPullReply,     // U64 n_failed, U32 failed[n], raw floats (all keys).
   kReadRowReply,  // raw floats (one row).
+  // Cross-process observability (DESIGN.md §14).
+  kStartObs,    // U8 trace_on, U64 ring_capacity, U8 flight_kind
+                // (0 none / 1 inherited shm / 2 spill file),
+                // U64 flight_slots, Str flight_path, Str transport —
+                // start the worker's obs session.
+  kClockSync,   // empty — reply kClockSyncReply with the worker clock.
+  kShipObs,     // empty — reply kObsData with drained trace + metrics.
 
   // Worker → coordinator: backend calls and completions.
   kHello = 32,   // U32 machine — standalone TCP worker introduction.
@@ -37,6 +44,14 @@ enum class MsgType : uint8_t {
   kEpochDone,    // U64 hits, U64 misses.
   kWorkerState,  // raw SaveWorkerState blob.
   kBye,          // Acknowledges kShutdown.
+  kClockSyncReply,  // U64 worker Tracer::NowMicros().
+  kObsData,         // U64 trace_len, raw Tracer shipment batch,
+                    // U64 n_gauges, {Str name, F64 value}[n],
+                    // MetricRegistry::SaveState bytes (cumulative —
+                    // the coordinator replaces, never accumulates).
+                    // Sent in reply to kShipObs and unsolicited right
+                    // before kBye, so the kShutdown drain gets the
+                    // final shipment.
 };
 
 inline ByteWriter RpcMessage(MsgType type) {

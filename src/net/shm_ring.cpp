@@ -147,8 +147,10 @@ namespace {
 
 /// Streams `n` bytes into the ring, chunked under backpressure.
 /// Returns false when the ring closes (or the reader stalls past the
-/// mid-frame deadline) before everything is written.
-bool RingWrite(Ring* ring, const char* src, uint64_t n) {
+/// mid-frame deadline) before everything is written. `stalls`, when
+/// non-null, counts full-ring waits (the shm backpressure signal).
+bool RingWrite(Ring* ring, const char* src, uint64_t n,
+               std::atomic<uint64_t>* stalls) {
   uint64_t written = 0;
   if (!ring->Lock()) return false;
   while (written < n) {
@@ -158,6 +160,9 @@ bool RingWrite(Ring* ring, const char* src, uint64_t n) {
     }
     const uint64_t space = ring->capacity - (ring->tail - ring->head);
     if (space == 0) {
+      if (stalls != nullptr) {
+        stalls->fetch_add(1, std::memory_order_relaxed);
+      }
       const timespec deadline = DeadlineAfterMs(kMidFrameStallMs);
       const int rc =
           pthread_cond_timedwait(&ring->writable, &ring->mu, &deadline);
@@ -257,9 +262,14 @@ bool ShmRingChannel::Send(std::string_view frame) {
   if (frame.size() > kMaxFrameBytes) return false;
   Ring* ring = region_->ring(side_);  // Side i writes ring i.
   const uint64_t len = frame.size();
-  if (!RingWrite(ring, reinterpret_cast<const char*>(&len), 8)) return false;
-  if (len == 0) return true;
-  return RingWrite(ring, frame.data(), len);
+  std::atomic<uint64_t>* stalls =
+      stats_ != nullptr ? &stats_->send_stalls : nullptr;
+  if (!RingWrite(ring, reinterpret_cast<const char*>(&len), 8, stalls)) {
+    return false;
+  }
+  if (len != 0 && !RingWrite(ring, frame.data(), len, stalls)) return false;
+  RecordSend(frame.size());
+  return true;
 }
 
 RecvStatus ShmRingChannel::Recv(std::string* frame, int timeout_ms) {
@@ -275,10 +285,12 @@ RecvStatus ShmRingChannel::Recv(std::string* frame, int timeout_ms) {
   }
   if (len > kMaxFrameBytes) return RecvStatus::kClosed;  // Corrupt stream.
   frame->resize(len);
-  if (len == 0) return RecvStatus::kOk;
-  return RingRead(ring, frame->data(), len, -1) == RingReadResult::kOk
-             ? RecvStatus::kOk
-             : RecvStatus::kClosed;
+  if (len != 0 &&
+      RingRead(ring, frame->data(), len, -1) != RingReadResult::kOk) {
+    return RecvStatus::kClosed;
+  }
+  RecordRecv(len);
+  return RecvStatus::kOk;
 }
 
 void ShmRingChannel::Close() {

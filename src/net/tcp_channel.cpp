@@ -88,8 +88,9 @@ bool TcpChannel::Send(std::string_view frame) {
   char header[4];
   std::memcpy(header, &len, 4);
   if (!SendAll(fd_, header, 4)) return false;
-  if (len == 0) return true;
-  return SendAll(fd_, frame.data(), len);
+  if (len != 0 && !SendAll(fd_, frame.data(), len)) return false;
+  RecordSend(frame.size());
+  return true;
 }
 
 RecvStatus TcpChannel::Recv(std::string* frame, int timeout_ms) {
@@ -107,10 +108,12 @@ RecvStatus TcpChannel::Recv(std::string* frame, int timeout_ms) {
   std::memcpy(&len, header, 4);
   if (len > kMaxFrameBytes) return RecvStatus::kClosed;  // Corrupt stream.
   frame->resize(len);
-  if (len == 0) return RecvStatus::kOk;
-  return ReadAll(fd_, frame->data(), len, -1) == ReadResult::kOk
-             ? RecvStatus::kOk
-             : RecvStatus::kClosed;
+  if (len != 0 &&
+      ReadAll(fd_, frame->data(), len, -1) != ReadResult::kOk) {
+    return RecvStatus::kClosed;
+  }
+  RecordRecv(len);
+  return RecvStatus::kOk;
 }
 
 void TcpChannel::Close() {

@@ -1,0 +1,225 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace hetkg::obs {
+
+namespace {
+
+constexpr uint64_t kFlightMagic = 0x314B4C46474B5448ull;  // "HTKGFLK1".
+
+}  // namespace
+
+/// Mapped layout: one Header followed by `slot_count` Slots. All
+/// cross-process coordination is the two atomics; everything else is
+/// plain data guarded by the per-slot sequence protocol.
+struct FlightRecorder::Header {
+  uint64_t magic;
+  uint64_t slot_count;
+  /// Total records ever claimed (monotonic). Slot for record i is
+  /// i % slot_count; its published seq is i + 1.
+  std::atomic<uint64_t> head;
+};
+
+struct FlightRecorder::Slot {
+  /// 0 while a writer owns the slot; record_index + 1 once published.
+  std::atomic<uint64_t> seq;
+  uint64_t ts_us;
+  uint64_t dur_us;
+  double v1;
+  uint32_t tid;
+  char phase;
+  char name[43];
+  char cat[16];
+};
+
+static_assert(sizeof(FlightRecorder::Header) == 24);
+static_assert(sizeof(FlightRecorder::Slot) == 96);
+
+FlightRecorder::Header* FlightRecorder::header() const {
+  return static_cast<Header*>(mem_);
+}
+
+FlightRecorder::Slot* FlightRecorder::slots() const {
+  return reinterpret_cast<Slot*>(static_cast<char*>(mem_) +
+                                 sizeof(Header));
+}
+
+size_t FlightRecorder::slot_count() const { return header()->slot_count; }
+
+namespace {
+
+size_t RegionBytes(size_t slots) {
+  return sizeof(FlightRecorder::Header) +
+         slots * sizeof(FlightRecorder::Slot);
+}
+
+void InitRegion(void* mem, size_t slots) {
+  auto* header = static_cast<FlightRecorder::Header*>(mem);
+  header->magic = kFlightMagic;
+  header->slot_count = slots;
+  header->head.store(0, std::memory_order_relaxed);
+  auto* slot_base = reinterpret_cast<FlightRecorder::Slot*>(
+      static_cast<char*>(mem) + sizeof(FlightRecorder::Header));
+  for (size_t i = 0; i < slots; ++i) {
+    slot_base[i].seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FlightRecorder>> FlightRecorder::CreateAnonymous(
+    size_t slots) {
+  if (slots == 0) {
+    return Status::InvalidArgument("flight slot count must be positive");
+  }
+  const size_t bytes = RegionBytes(slots);
+  void* mem = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::Internal("mmap(flight) failed: " +
+                            std::string(strerror(errno)));
+  }
+  InitRegion(mem, slots);
+  return std::unique_ptr<FlightRecorder>(new FlightRecorder(mem, bytes));
+}
+
+Result<std::unique_ptr<FlightRecorder>> FlightRecorder::CreateFile(
+    const std::string& path, size_t slots) {
+  if (slots == 0) {
+    return Status::InvalidArgument("flight slot count must be positive");
+  }
+  const size_t bytes = RegionBytes(slots);
+  const int fd = open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(flight file " + path +
+                           ") failed: " + std::string(strerror(errno)));
+  }
+  if (ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const std::string err = strerror(errno);
+    close(fd);
+    return Status::IoError("ftruncate(flight file) failed: " + err);
+  }
+  void* mem =
+      mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  // The mapping keeps the file open; published slots reach the page
+  // cache directly, so a SIGKILL loses nothing already published.
+  close(fd);
+  if (mem == MAP_FAILED) {
+    return Status::Internal("mmap(flight file) failed: " +
+                            std::string(strerror(errno)));
+  }
+  InitRegion(mem, slots);
+  return std::unique_ptr<FlightRecorder>(new FlightRecorder(mem, bytes));
+}
+
+Result<std::unique_ptr<FlightRecorder>> FlightRecorder::OpenFile(
+    const std::string& path) {
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("open(flight file " + path +
+                           ") failed: " + std::string(strerror(errno)));
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0 ||
+      static_cast<size_t>(st.st_size) < sizeof(Header)) {
+    close(fd);
+    return Status::Corruption("flight file too small: " + path);
+  }
+  const size_t bytes = static_cast<size_t>(st.st_size);
+  void* mem = mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+  close(fd);
+  if (mem == MAP_FAILED) {
+    return Status::Internal("mmap(flight file) failed: " +
+                            std::string(strerror(errno)));
+  }
+  std::unique_ptr<FlightRecorder> recorder(new FlightRecorder(mem, bytes));
+  const Header* header = recorder->header();
+  if (header->magic != kFlightMagic || header->slot_count == 0 ||
+      RegionBytes(header->slot_count) > bytes) {
+    return Status::Corruption("not a flight-recorder file: " + path);
+  }
+  return recorder;
+}
+
+FlightRecorder::~FlightRecorder() { munmap(mem_, bytes_); }
+
+void FlightRecorder::OnEvent(const char* name, const char* cat, char phase,
+                             uint32_t tid, uint64_t ts_us, uint64_t dur_us,
+                             double v1) {
+  Header* h = header();
+  const uint64_t idx = h->head.fetch_add(1, std::memory_order_acq_rel);
+  Slot* slot = &slots()[idx % h->slot_count];
+  slot->seq.store(0, std::memory_order_release);  // Invalidate while writing.
+  slot->ts_us = ts_us;
+  slot->dur_us = dur_us;
+  slot->v1 = v1;
+  slot->tid = tid;
+  slot->phase = phase;
+  std::strncpy(slot->name, name, sizeof(slot->name) - 1);
+  slot->name[sizeof(slot->name) - 1] = '\0';
+  std::strncpy(slot->cat, cat, sizeof(slot->cat) - 1);
+  slot->cat[sizeof(slot->cat) - 1] = '\0';
+  slot->seq.store(idx + 1, std::memory_order_release);  // Publish.
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Harvest() const {
+  const Header* h = header();
+  const uint64_t head = h->head.load(std::memory_order_acquire);
+  const uint64_t n = h->slot_count;
+  const uint64_t begin = head > n ? head - n : 0;
+  std::vector<Event> events;
+  for (uint64_t i = begin; i < head; ++i) {
+    const Slot* slot = &slots()[i % n];
+    if (slot->seq.load(std::memory_order_acquire) != i + 1) continue;
+    Event e;
+    // Copy through bounded buffers: a writer killed mid-strncpy may
+    // have left the arrays unterminated.
+    char name[sizeof(slot->name)];
+    char cat[sizeof(slot->cat)];
+    std::memcpy(name, slot->name, sizeof(name));
+    std::memcpy(cat, slot->cat, sizeof(cat));
+    name[sizeof(name) - 1] = '\0';
+    cat[sizeof(cat) - 1] = '\0';
+    e.ts_us = slot->ts_us;
+    e.dur_us = slot->dur_us;
+    e.v1 = slot->v1;
+    e.tid = slot->tid;
+    e.phase = slot->phase;
+    // Re-check after reading: a live writer lapping the ring would
+    // have invalidated the stamp before touching the fields.
+    if (slot->seq.load(std::memory_order_acquire) != i + 1) continue;
+    e.name = name;
+    e.cat = cat;
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+void FlightRecorder::SerializeHarvest(ByteWriter* out) const {
+  const std::vector<Event> events = Harvest();
+  out->U64(events.size());
+  for (const Event& e : events) {
+    out->U8(static_cast<uint8_t>(e.phase));
+    out->U32(e.tid);
+    out->U64(e.ts_us);
+    out->U64(e.dur_us);
+    out->F64(0.0);  // sim_s: not mirrored through the sink.
+    out->Str(e.name);
+    out->Str(e.cat);
+    out->U8(1);  // argmask: always carry v1 as a "value" arg.
+    out->F64(e.v1);
+    out->F64(0.0);
+    out->Str("value");
+  }
+}
+
+}  // namespace hetkg::obs

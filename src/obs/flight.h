@@ -1,0 +1,91 @@
+#ifndef HETKG_OBS_FLIGHT_H_
+#define HETKG_OBS_FLIGHT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace hetkg::obs {
+
+/// Crash flight recorder (DESIGN.md §14): a fixed-slot ring of the
+/// last-N trace events of one worker process, living in memory the
+/// coordinator can still read after the worker is SIGKILLed — an
+/// anonymous MAP_SHARED region created before fork() for the shm
+/// transport, or an mmap'd spill file the worker creates (and the
+/// coordinator opens post-mortem) for tcp.
+///
+/// Installed as the Tracer's EventSink, so it mirrors every event the
+/// worker emits — including ones the shipping ring then drops. The
+/// write path is lock-free: one fetch_add claims a slot, the slot's
+/// sequence stamp is invalidated while the fields are written and
+/// published (release) last. A worker dying mid-write can at worst
+/// leave torn newest records; Harvest() detects those through the
+/// sequence stamp and skips them.
+class FlightRecorder final : public Tracer::EventSink {
+ public:
+  static constexpr size_t kDefaultSlots = 256;
+
+  /// Pre-fork shared-memory recorder (both processes map the pages).
+  static Result<std::unique_ptr<FlightRecorder>> CreateAnonymous(
+      size_t slots);
+  /// Worker-side spill-file recorder: creates/truncates `path` and
+  /// maps it shared, so every published slot is visible to a post-
+  /// mortem OpenFile() without any flushing discipline from the
+  /// (possibly SIGKILLed) writer.
+  static Result<std::unique_ptr<FlightRecorder>> CreateFile(
+      const std::string& path, size_t slots);
+  /// Coordinator-side harvest of a spill file (read-only mapping).
+  static Result<std::unique_ptr<FlightRecorder>> OpenFile(
+      const std::string& path);
+
+  ~FlightRecorder() override;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Tracer::EventSink — lock-free, safe from any tracing thread.
+  void OnEvent(const char* name, const char* cat, char phase, uint32_t tid,
+               uint64_t ts_us, uint64_t dur_us, double v1) override;
+
+  struct Event {
+    std::string name;
+    std::string cat;
+    char phase = 'X';
+    uint32_t tid = 0;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    double v1 = 0.0;
+  };
+
+  /// The surviving records, oldest first (overwritten and torn slots
+  /// skipped). Meaningful even while the writer lives, but designed to
+  /// be read after it is dead.
+  std::vector<Event> Harvest() const;
+
+  /// Harvest() in the Tracer shipment wire format, ready to inject as
+  /// the dead worker's `flight.w<id>` track via Tracer::AddRemoteEvents.
+  void SerializeHarvest(ByteWriter* out) const;
+
+  size_t slot_count() const;
+
+  // Mapped-layout types: public so the .cpp's layout helpers and
+  // static_asserts can name them, but not part of the API.
+  struct Header;
+  struct Slot;
+
+ private:
+  FlightRecorder(void* mem, size_t bytes) : mem_(mem), bytes_(bytes) {}
+  Header* header() const;
+  Slot* slots() const;
+
+  void* mem_;
+  size_t bytes_;
+};
+
+}  // namespace hetkg::obs
+
+#endif  // HETKG_OBS_FLIGHT_H_

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string_view>
 #include <vector>
 
 #include "obs/json.h"
@@ -25,6 +28,32 @@ struct Event {
   double v1 = 0.0;
   const char* k2 = nullptr;
   double v2 = 0.0;
+};
+
+/// A remote-process event (shipped over the proc runtime's kObsData /
+/// flight-recorder harvest): same shape as Event but owning its
+/// strings, since the literals of another process mean nothing here.
+struct OwnedEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  double sim_s = 0.0;
+  bool has_k1 = false;
+  std::string k1;
+  double v1 = 0.0;
+  bool has_k2 = false;
+  std::string k2;
+  double v2 = 0.0;
+};
+
+/// One remote process's track group in the merged trace.
+struct RemoteTrack {
+  uint32_t pid = 0;
+  std::string process_name;
+  std::vector<OwnedEvent> events;
 };
 
 /// Fixed-capacity event ring of one thread. Appends take the buffer's
@@ -51,10 +80,14 @@ using Clock = std::chrono::steady_clock;
 struct TracerState {
   std::mutex mu;  // Guards buffers/options/generation/session fields.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<RemoteTrack> remote;  // Merged-in remote process tracks.
   TraceOptions options;
+  bool ship_only = false;  // StartShipping session: Stop() writes no file.
   Clock::time_point start_time{};
   std::atomic<uint64_t> generation{0};
   std::atomic<double> sim_seconds{0.0};
+  std::atomic<Tracer::EventSink*> sink{nullptr};
+  std::atomic<bool> drop_warned{false};  // One stderr warning a session.
 };
 
 TracerState& State() {
@@ -91,24 +124,95 @@ ThreadBuffer* LocalBuffer() {
 void Append(const Event& event) {
   ThreadBuffer* buffer = LocalBuffer();
   if (buffer == nullptr) return;
+  Event e = event;
+  e.tid = buffer->tid;
+  // The flight recorder mirrors every event, including ones the ring
+  // then drops: it keeps the newest events, the ring the oldest.
+  if (Tracer::EventSink* sink =
+          State().sink.load(std::memory_order_acquire)) {
+    sink->OnEvent(e.name, e.cat, e.phase, e.tid, e.ts_us, e.dur_us, e.v1);
+  }
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->events.size() >= buffer->capacity) {
     ++buffer->dropped;
+    if (!State().drop_warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "hetkg: trace ring full; dropping further events "
+                   "(counted as trace.dropped_events)\n");
+    }
     return;
   }
-  Event e = event;
-  e.tid = buffer->tid;
   buffer->events.push_back(e);
 }
 
-void AppendEventJson(std::string* out, const Event& e) {
+/// Borrowed view over either event representation, plus the process id
+/// it renders under (local events are pid 1; remote tracks keep the
+/// pid AddRemoteEvents assigned).
+struct EventView {
+  std::string_view name;
+  std::string_view cat;
+  char phase = 'X';
+  uint32_t pid = 1;
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  double sim_s = 0.0;
+  bool has_k1 = false;
+  std::string_view k1;
+  double v1 = 0.0;
+  bool has_k2 = false;
+  std::string_view k2;
+  double v2 = 0.0;
+};
+
+EventView ViewOf(const Event& e) {
+  EventView v;
+  v.name = e.name;
+  v.cat = e.cat;
+  v.phase = e.phase;
+  v.pid = 1;
+  v.tid = e.tid;
+  v.ts_us = e.ts_us;
+  v.dur_us = e.dur_us;
+  v.sim_s = e.sim_s;
+  v.has_k1 = e.k1 != nullptr;
+  if (v.has_k1) v.k1 = e.k1;
+  v.v1 = e.v1;
+  v.has_k2 = e.k2 != nullptr;
+  if (v.has_k2) v.k2 = e.k2;
+  v.v2 = e.v2;
+  return v;
+}
+
+EventView ViewOf(const OwnedEvent& e, uint32_t pid) {
+  EventView v;
+  v.name = e.name;
+  v.cat = e.cat;
+  v.phase = e.phase;
+  v.pid = pid;
+  v.tid = e.tid;
+  v.ts_us = e.ts_us;
+  v.dur_us = e.dur_us;
+  v.sim_s = e.sim_s;
+  v.has_k1 = e.has_k1;
+  v.k1 = e.k1;
+  v.v1 = e.v1;
+  v.has_k2 = e.has_k2;
+  v.k2 = e.k2;
+  v.v2 = e.v2;
+  return v;
+}
+
+void AppendEventJson(std::string* out, const EventView& e) {
   out->append("{\"name\":");
   AppendJsonString(out, e.name);
   out->append(",\"cat\":");
   AppendJsonString(out, e.cat);
   out->append(",\"ph\":\"");
   out->push_back(e.phase);
-  out->append("\",\"pid\":1,\"tid\":");
+  out->append("\",\"pid\":");
+  AppendJsonNumber(out, static_cast<uint64_t>(e.pid));
+  out->append(",\"tid\":");
   AppendJsonNumber(out, static_cast<uint64_t>(e.tid));
   out->append(",\"ts\":");
   AppendJsonNumber(out, e.ts_us);
@@ -126,13 +230,13 @@ void AppendEventJson(std::string* out, const Event& e) {
     AppendJsonNumber(out, e.v1);
     out->append(",");
   } else {
-    if (e.k1 != nullptr) {
+    if (e.has_k1) {
       AppendJsonString(out, e.k1);
       out->append(":");
       AppendJsonNumber(out, e.v1);
       out->append(",");
     }
-    if (e.k2 != nullptr) {
+    if (e.has_k2) {
       AppendJsonString(out, e.k2);
       out->append(":");
       AppendJsonNumber(out, e.v2);
@@ -144,39 +248,78 @@ void AppendEventJson(std::string* out, const Event& e) {
   out->append("}}");
 }
 
+/// Emits a Perfetto metadata row ({"ph":"M"}) naming a process or
+/// thread track.
+void AppendMetadataJson(std::string* out, const char* what, uint32_t pid,
+                        uint32_t tid, bool with_tid,
+                        std::string_view label) {
+  out->append("{\"name\":\"");
+  out->append(what);
+  out->append("\",\"ph\":\"M\",\"pid\":");
+  AppendJsonNumber(out, static_cast<uint64_t>(pid));
+  if (with_tid) {
+    out->append(",\"tid\":");
+    AppendJsonNumber(out, static_cast<uint64_t>(tid));
+  }
+  out->append(",\"args\":{\"name\":");
+  AppendJsonString(out, label);
+  out->append("}}");
+}
+
 Status WriteTraceFile(TracerState& state) {
   std::string out;
   out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
   bool first = true;
-  auto emit = [&](const Event& e) {
+  auto emit = [&](const EventView& e) {
     if (!first) out.append(",\n");
     first = false;
     AppendEventJson(&out, e);
   };
-  // Thread-name metadata rows so Perfetto labels the tracks.
+  auto emit_meta = [&](const char* what, uint32_t pid, uint32_t tid,
+                       bool with_tid, std::string_view label) {
+    if (!first) out.append(",\n");
+    first = false;
+    AppendMetadataJson(&out, what, pid, tid, with_tid, label);
+  };
+  // Process/thread-name metadata rows so Perfetto labels the track
+  // groups. The local process only gets an explicit name when remote
+  // tracks exist to distinguish it from (i.e. a merged proc-runtime
+  // trace); a single-process trace keeps the PR-3 layout untouched.
+  if (!state.remote.empty()) {
+    emit_meta("process_name", 1, 0, false, "coordinator");
+  }
   uint64_t dropped = 0;
   for (const auto& buffer : state.buffers) {
     std::string label = buffer->tid == 0
                             ? std::string("scheduler")
                             : "worker-" + std::to_string(buffer->tid);
-    if (!first) out.append(",\n");
-    first = false;
-    out.append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
-    AppendJsonNumber(&out, static_cast<uint64_t>(buffer->tid));
-    out.append(",\"args\":{\"name\":");
-    AppendJsonString(&out, label);
-    out.append("}}");
+    emit_meta("thread_name", 1, buffer->tid, true, label);
     dropped += buffer->dropped;
+  }
+  for (const RemoteTrack& track : state.remote) {
+    emit_meta("process_name", track.pid, 0, false, track.process_name);
+    std::set<uint32_t> tids;
+    for (const OwnedEvent& e : track.events) tids.insert(e.tid);
+    for (const uint32_t tid : tids) {
+      std::string label = tid == 0 ? std::string("scheduler")
+                                   : "worker-" + std::to_string(tid);
+      emit_meta("thread_name", track.pid, tid, true, label);
+    }
   }
   for (const auto& buffer : state.buffers) {
     std::lock_guard<std::mutex> lock(buffer->mu);
     for (const Event& e : buffer->events) {
-      emit(e);
+      emit(ViewOf(e));
+    }
+  }
+  for (const RemoteTrack& track : state.remote) {
+    for (const OwnedEvent& e : track.events) {
+      emit(ViewOf(e, track.pid));
     }
   }
   if (dropped > 0) {
     Event note;
-    note.name = "obs.dropped_events";
+    note.name = "trace.dropped_events";
     note.cat = "obs";
     note.phase = 'C';
     note.tid = 0;
@@ -184,7 +327,7 @@ Status WriteTraceFile(TracerState& state) {
                      Clock::now() - state.start_time)
                      .count();
     note.v1 = static_cast<double>(dropped);
-    emit(note);
+    emit(ViewOf(note));
   }
   out.append("\n]}\n");
 
@@ -219,9 +362,37 @@ Status Tracer::Start(const TraceOptions& options) {
   {
     std::lock_guard<std::mutex> lock(state.mu);
     state.buffers.clear();
+    state.remote.clear();
     state.options = options;
+    state.ship_only = false;
     state.start_time = Clock::now();
     state.sim_seconds.store(0.0, std::memory_order_relaxed);
+    state.drop_warned.store(false, std::memory_order_relaxed);
+    state.generation.fetch_add(1, std::memory_order_release);
+  }
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Tracer::StartShipping(size_t ring_capacity) {
+  if (ring_capacity == 0) {
+    return Status::InvalidArgument("trace ring capacity must be positive");
+  }
+  // A forked worker inherits the parent's live session in its address
+  // space; discard that copy (the parent's own is untouched) so this
+  // process buffers raw events for shipment instead of writing files.
+  enabled_.store(false, std::memory_order_release);
+  TracerState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.clear();
+    state.remote.clear();
+    state.options = TraceOptions{};
+    state.options.ring_capacity = ring_capacity;
+    state.ship_only = true;
+    state.start_time = Clock::now();
+    state.sim_seconds.store(0.0, std::memory_order_relaxed);
+    state.drop_warned.store(false, std::memory_order_relaxed);
     state.generation.fetch_add(1, std::memory_order_release);
   }
   enabled_.store(true, std::memory_order_release);
@@ -235,9 +406,106 @@ Status Tracer::Stop() {
   enabled_.store(false, std::memory_order_release);
   TracerState& state = State();
   std::lock_guard<std::mutex> lock(state.mu);
-  const Status status = WriteTraceFile(state);
+  const Status status =
+      state.ship_only ? Status::OK() : WriteTraceFile(state);
+  state.ship_only = false;
   state.buffers.clear();
+  state.remote.clear();
   return status;
+}
+
+void Tracer::SetEventSink(EventSink* sink) {
+  State().sink.store(sink, std::memory_order_release);
+}
+
+// Shipment wire format (one batch): U64 event count, then per event
+// U8 phase, U32 tid, U64 ts_us, U64 dur_us, F64 sim_s, Str name,
+// Str cat, U8 argmask (bit0: k1 present, bit1: k2), F64 v1, F64 v2,
+// then the present arg-key strings. Versioned implicitly by the RPC
+// protocol that carries it (net/rpc.h).
+
+void Tracer::DrainShipment(ByteWriter* out) {
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t count = 0;
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    count += buffer->events.size();
+  }
+  out->U64(count);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      out->U8(static_cast<uint8_t>(e.phase));
+      out->U32(e.tid);
+      out->U64(e.ts_us);
+      out->U64(e.dur_us);
+      out->F64(e.sim_s);
+      out->Str(e.name);
+      out->Str(e.cat);
+      const uint8_t argmask = static_cast<uint8_t>(
+          (e.k1 != nullptr ? 1 : 0) | (e.k2 != nullptr ? 2 : 0));
+      out->U8(argmask);
+      out->F64(e.v1);
+      out->F64(e.v2);
+      if (e.k1 != nullptr) out->Str(e.k1);
+      if (e.k2 != nullptr) out->Str(e.k2);
+    }
+    buffer->events.clear();
+  }
+}
+
+bool Tracer::AddRemoteEvents(uint32_t pid, const std::string& process_name,
+                             int64_t clock_offset_us, ByteReader* r) {
+  if (!Enabled()) return false;
+  const uint64_t count = r->U64();
+  if (!r->ok()) return false;
+  std::vector<OwnedEvent> events;
+  for (uint64_t i = 0; i < count; ++i) {
+    OwnedEvent e;
+    e.phase = static_cast<char>(r->U8());
+    e.tid = r->U32();
+    const uint64_t raw_ts = r->U64();
+    e.dur_us = r->U64();
+    e.sim_s = r->F64();
+    e.name = r->Str();
+    e.cat = r->Str();
+    const uint8_t argmask = r->U8();
+    e.v1 = r->F64();
+    e.v2 = r->F64();
+    if ((argmask & 1) != 0) {
+      e.has_k1 = true;
+      e.k1 = r->Str();
+    }
+    if ((argmask & 2) != 0) {
+      e.has_k2 = true;
+      e.k2 = r->Str();
+    }
+    if (!r->ok()) return false;
+    // Rebase the remote clock onto this session's; clamp below zero
+    // (sub-RTT handshake error can place an early event before Start).
+    const int64_t rebased =
+        static_cast<int64_t>(raw_ts) - clock_offset_us;
+    e.ts_us = rebased < 0 ? 0 : static_cast<uint64_t>(rebased);
+    events.push_back(std::move(e));
+  }
+  TracerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (RemoteTrack& track : state.remote) {
+    if (track.pid == pid) {
+      track.process_name = process_name;
+      track.events.insert(track.events.end(),
+                          std::make_move_iterator(events.begin()),
+                          std::make_move_iterator(events.end()));
+      return true;
+    }
+  }
+  RemoteTrack track;
+  track.pid = pid;
+  track.process_name = process_name;
+  track.events = std::move(events);
+  state.remote.push_back(std::move(track));
+  return true;
 }
 
 uint64_t Tracer::DroppedEvents() {

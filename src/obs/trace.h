@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serialize.h"
 #include "common/status.h"
 
 namespace hetkg::obs {
@@ -45,9 +46,49 @@ struct TraceOptions {
 /// each other — call them from the scheduling thread only.
 class Tracer {
  public:
+  /// Mirror invoked synchronously for every appended event — the crash
+  /// flight recorder (obs/flight.h) hangs off this so a worker's final
+  /// events survive a SIGKILL even though its rings die with it.
+  /// Implementations must be safe to call from any tracing thread.
+  class EventSink {
+   public:
+    virtual ~EventSink() = default;
+    virtual void OnEvent(const char* name, const char* cat, char phase,
+                         uint32_t tid, uint64_t ts_us, uint64_t dur_us,
+                         double v1) = 0;
+  };
+
   /// Begins a session. Fails with FailedPrecondition when one is
   /// already active and InvalidArgument on an empty path.
   static Status Start(const TraceOptions& options);
+
+  /// Begins a ship-only session (proc-runtime workers, DESIGN.md §14):
+  /// events buffer for DrainShipment() and Stop() discards instead of
+  /// writing a file. Unlike Start(), an already-active session — which
+  /// a forked worker inherits from its parent — is silently reset; the
+  /// parent keeps the original, this process starts clean.
+  static Status StartShipping(size_t ring_capacity);
+
+  /// Serializes and clears every thread ring's buffered events (the
+  /// session stays active, so tracing continues into the next
+  /// shipment). Safe while disabled: writes an empty batch. The wire
+  /// format is private to DrainShipment/AddRemoteEvents.
+  static void DrainShipment(ByteWriter* out);
+
+  /// Ingests one DrainShipment batch as events of remote process
+  /// `pid`, whose Perfetto track group is labeled `process_name`.
+  /// Each timestamp is rebased by `clock_offset_us` (remote clock
+  /// minus local clock, from the coordinator's clock handshake);
+  /// negative results clamp to 0. Repeated calls for one pid append;
+  /// the events are written out with the local session's trace file.
+  /// False on a malformed batch or when no session is active.
+  static bool AddRemoteEvents(uint32_t pid, const std::string& process_name,
+                              int64_t clock_offset_us, ByteReader* r);
+
+  /// Installs (or, with nullptr, removes) the event mirror. The sink
+  /// must outlive its installation; install/remove from the command
+  /// thread while no other thread is emitting.
+  static void SetEventSink(EventSink* sink);
 
   /// Ends the session: drains every thread's ring buffer, writes the
   /// JSON file, and disables tracing. Returns the write status.

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.h"
 #include "core/trainer.h"
 #include "graph/synthetic.h"
+#include "obs/flight.h"
 #include "obs/json.h"
 #include "obs/trace.h"
 
@@ -319,7 +321,7 @@ TEST(TracerSessionTest, FullRingDropsAndCountsInsteadOfGrowing) {
   bool found_drop_counter = false;
   for (const obs::JsonValue& e : events->items) {
     const obs::JsonValue* name = e.Find("name");
-    if (name != nullptr && name->string_value == "obs.dropped_events") {
+    if (name != nullptr && name->string_value == "trace.dropped_events") {
       found_drop_counter = true;
     }
   }
@@ -342,6 +344,127 @@ TEST(TracerSessionTest, LeaseRespectsForeignSessionAndStopsOwnedOne) {
   obs::TracerLease disabled{obs::TraceOptions{}};
   EXPECT_FALSE(disabled.owns());
   EXPECT_FALSE(obs::Tracer::Enabled());
+}
+
+// One hop of the proc-runtime trace pipeline (DESIGN.md §14), all in
+// one process: a ship-only session buffers events, DrainShipment
+// serializes them, and a later file-backed session ingests the batch
+// as remote process 2 ("worker 0") with its timestamps rebased by the
+// clock offset.
+TEST(TracerShipmentTest, ShipmentRoundTripMergesRemoteTrack) {
+  ASSERT_TRUE(obs::Tracer::StartShipping(1 << 10).ok());
+  obs::Tracer::Instant("remote.instant", "test");
+  obs::Tracer::Complete("remote.span", "test", /*ts_us=*/100, /*dur_us=*/50,
+                        "rows", 7.0, nullptr, 0.0);
+  ByteWriter shipment;
+  obs::Tracer::DrainShipment(&shipment);
+  // The drain clears the rings but keeps the session live; a second
+  // drain is empty (count == 0 is the only payload).
+  ByteWriter empty_shipment;
+  obs::Tracer::DrainShipment(&empty_shipment);
+  EXPECT_EQ(empty_shipment.size(), sizeof(uint64_t));
+  ASSERT_TRUE(obs::Tracer::Stop().ok()) << "ship-only stop discards";
+
+  obs::TraceOptions options;
+  options.path = TempPath("shipment_merge.json");
+  ASSERT_TRUE(obs::Tracer::Start(options).ok());
+  ByteReader r(shipment.buffer().data(), shipment.size());
+  // Remote clock ran 40us ahead of ours: ts 100 lands at 60.
+  ASSERT_TRUE(
+      obs::Tracer::AddRemoteEvents(2, "worker 0", /*clock_offset_us=*/40, &r));
+  ASSERT_TRUE(obs::Tracer::Stop().ok());
+
+  auto parsed = obs::ParseJson(ReadFile(options.path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found_process_name = false;
+  bool found_span = false;
+  bool found_instant = false;
+  for (const obs::JsonValue& e : events->items) {
+    const obs::JsonValue* name = e.Find("name");
+    const obs::JsonValue* ph = e.Find("ph");
+    const obs::JsonValue* pid = e.Find("pid");
+    if (name == nullptr || ph == nullptr || pid == nullptr) continue;
+    if (ph->string_value == "M" && name->string_value == "process_name" &&
+        pid->number == 2.0) {
+      const obs::JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->Find("name"), nullptr);
+      EXPECT_EQ(args->Find("name")->string_value, "worker 0");
+      found_process_name = true;
+    }
+    if (name->string_value == "remote.span") {
+      EXPECT_EQ(pid->number, 2.0);
+      ASSERT_NE(e.Find("ts"), nullptr);
+      EXPECT_EQ(e.Find("ts")->number, 60.0) << "ts must be offset-rebased";
+      ASSERT_NE(e.Find("dur"), nullptr);
+      EXPECT_EQ(e.Find("dur")->number, 50.0);
+      const obs::JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->Find("rows"), nullptr);
+      EXPECT_EQ(args->Find("rows")->number, 7.0);
+      found_span = true;
+    }
+    if (name->string_value == "remote.instant") {
+      EXPECT_EQ(pid->number, 2.0);
+      found_instant = true;
+    }
+  }
+  EXPECT_TRUE(found_process_name)
+      << "remote track needs a process_name metadata row";
+  EXPECT_TRUE(found_span);
+  EXPECT_TRUE(found_instant);
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestEventsAndHarvestsOldestFirst) {
+  auto recorder = obs::FlightRecorder::CreateAnonymous(/*slots=*/4);
+  ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+  EXPECT_EQ((*recorder)->slot_count(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    (*recorder)->OnEvent("flight.event", "test", 'i', /*tid=*/1,
+                         /*ts_us=*/static_cast<uint64_t>(i * 10),
+                         /*dur_us=*/0, /*v1=*/static_cast<double>(i));
+  }
+  const auto events = (*recorder)->Harvest();
+  ASSERT_EQ(events.size(), 4u) << "older events must be overwritten";
+  for (size_t j = 0; j < events.size(); ++j) {
+    EXPECT_EQ(events[j].name, "flight.event");
+    EXPECT_EQ(events[j].v1, static_cast<double>(6 + j))
+        << "harvest must return the newest records, oldest first";
+  }
+}
+
+TEST(FlightRecorderTest, SpillFileSurvivesWriterAndInjectsAsTrack) {
+  const std::string path = TempPath("flight.spill");
+  {
+    auto writer = obs::FlightRecorder::CreateFile(path, /*slots=*/8);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    (*writer)->OnEvent("crash.marker", "flight", 'i', /*tid=*/3,
+                       /*ts_us=*/123, /*dur_us=*/0, /*v1=*/1.0);
+    // Writer destroyed without any flush call — as if SIGKILLed.
+  }
+  auto reader = obs::FlightRecorder::OpenFile(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const auto events = (*reader)->Harvest();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "crash.marker");
+  EXPECT_EQ(events[0].tid, 3u);
+  EXPECT_EQ(events[0].ts_us, 123u);
+
+  // The harvest injects into a live session as the dead worker's track.
+  ByteWriter harvest;
+  (*reader)->SerializeHarvest(&harvest);
+  obs::TraceOptions options;
+  options.path = TempPath("flight_merge.json");
+  ASSERT_TRUE(obs::Tracer::Start(options).ok());
+  ByteReader r(harvest.buffer().data(), harvest.size());
+  ASSERT_TRUE(obs::Tracer::AddRemoteEvents(1003, "flight.w1", 0, &r));
+  ASSERT_TRUE(obs::Tracer::Stop().ok());
+  const std::string merged = ReadFile(options.path);
+  EXPECT_NE(merged.find("flight.w1"), std::string::npos);
+  EXPECT_NE(merged.find("crash.marker"), std::string::npos);
+  ::remove(path.c_str());
 }
 
 TEST(JsonParserTest, RejectsMalformedDocuments) {

@@ -133,6 +133,85 @@ TEST_F(ProcEquivalenceTest, SigkilledWorkerRecoversBitIdentically) {
       << "post-SIGKILL recovery diverged from the uninterrupted run";
 }
 
+// Cross-process observability (DESIGN.md §14): turning on tracing and
+// metrics export under --runtime=proc must not move a single trained
+// bit, on either transport, while the merged artifacts prove the
+// worker telemetry actually arrived — the Perfetto file carries the
+// workers' track groups and the metrics JSON carries per-worker
+// counters plus real transport RPC latency histograms.
+TEST_F(ProcEquivalenceTest, ObsRunsKeepSnapshotsByteIdentical) {
+  const std::string dir = FreshDir("proc-obs");
+  for (const int workers : {1, 2, 4}) {
+    const std::string tag = std::to_string(workers);
+    const std::string off_state = dir + "/off" + tag + ".state";
+    ASSERT_EQ(RunTrainer("--runtime proc --workers " + tag +
+                             " --save_state " + off_state,
+                         dir + "/off" + tag + ".log"),
+              0)
+        << ReadFileBytes(dir + "/off" + tag + ".log");
+    const std::string off_bytes = ReadFileBytes(off_state);
+    ASSERT_FALSE(off_bytes.empty());
+    for (const std::string transport : {"shm", "tcp"}) {
+      const std::string base = dir + "/" + transport + tag;
+      ASSERT_EQ(RunTrainer("--runtime proc --workers " + tag +
+                               " --proc_transport " + transport +
+                               " --save_state " + base + ".state" +
+                               " --trace_out " + base + ".trace.json" +
+                               " --metrics_json " + base + ".metrics.json",
+                           base + ".log"),
+                0)
+          << ReadFileBytes(base + ".log");
+      EXPECT_EQ(off_bytes, ReadFileBytes(base + ".state"))
+          << "obs-on " << transport << " snapshot diverged at " << workers
+          << " workers";
+      const std::string trace = ReadFileBytes(base + ".trace.json");
+      EXPECT_NE(trace.find("\"worker 0\""), std::string::npos)
+          << transport << " trace is missing the worker 0 track group";
+      const std::string metrics = ReadFileBytes(base + ".metrics.json");
+      EXPECT_NE(metrics.find("net.rpc.latency_us." + transport),
+                std::string::npos)
+          << "metrics JSON is missing the " << transport
+          << " RPC latency histogram";
+      EXPECT_NE(metrics.find(".w0"), std::string::npos)
+          << "metrics JSON is missing per-worker gauges";
+    }
+  }
+}
+
+// A SIGKILLed worker's last trace events survive it: the coordinator
+// harvests the flight-recorder ring (inherited shm pages, or the
+// worker's spill file under tcp) and appends it to the merged trace as
+// a `flight.w<id>` track — and the traced kill run still recovers to
+// the exact bytes of the untraced kill run.
+TEST_F(ProcEquivalenceTest, SigkillRunCapturesFlightRecorderTrack) {
+  const std::string dir = FreshDir("proc-obs-kill");
+  for (const std::string transport : {"shm", "tcp"}) {
+    const std::string common = "--runtime proc --workers 2 --proc_transport " +
+                               transport +
+                               " --checkpoint_every 20 --proc_kill 1:47 ";
+    const std::string base = dir + "/" + transport;
+    ASSERT_EQ(RunTrainer(common + "--checkpoint_dir " + base +
+                             "_ck_off --save_state " + base + "_off.state",
+                         base + "_off.log"),
+              0)
+        << ReadFileBytes(base + "_off.log");
+    ASSERT_EQ(RunTrainer(common + "--checkpoint_dir " + base +
+                             "_ck_on --save_state " + base + "_on.state" +
+                             " --trace_out " + base + ".trace.json",
+                         base + "_on.log"),
+              0)
+        << ReadFileBytes(base + "_on.log");
+    const std::string off_bytes = ReadFileBytes(base + "_off.state");
+    ASSERT_FALSE(off_bytes.empty());
+    EXPECT_EQ(off_bytes, ReadFileBytes(base + "_on.state"))
+        << "traced " << transport << " kill run diverged from untraced";
+    const std::string trace = ReadFileBytes(base + ".trace.json");
+    EXPECT_NE(trace.find("\"flight.w1\""), std::string::npos)
+        << transport
+        << " merged trace is missing the killed worker's flight track";
+  }
+}
+
 TEST_F(ProcEquivalenceTest, KillWithoutCheckpointsFailsCleanly) {
   const std::string dir = FreshDir("proc-kill-nock");
   EXPECT_NE(RunTrainer("--runtime proc --workers 2 --proc_kill 1:47",

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Schema checker for the Chrome trace-event JSON files hetkg emits.
+
+Validates the structural contract that ui.perfetto.dev and
+chrome://tracing rely on (DESIGN.md §8/§14): a top-level object with
+`displayTimeUnit` and a `traceEvents` array whose entries are
+well-formed "X" (complete span), "i" (instant), "C" (counter), or "M"
+(metadata) events with integer pid/tid and non-negative timestamps.
+
+Usage:
+    validate_trace.py TRACE.json [TRACE2.json ...]
+        Validate existing trace files.
+
+    validate_trace.py --train-bin PATH --workdir DIR [--transport shm]
+        Generation mode: run one small `--runtime proc` training under
+        DIR with tracing enabled, then validate the merged trace it
+        produced. This is what the `hetkg_trace_schema` ctest entry
+        runs.
+
+Exits 0 when every checked file is valid, 1 otherwise. Uses only the
+standard library.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+METADATA_NAMES = {"process_name", "thread_name", "process_sort_index",
+                  "thread_sort_index"}
+
+
+def _is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_events(doc, errors):
+    """Appends one message per schema violation to `errors`."""
+    if not isinstance(doc, dict):
+        errors.append("top level must be a JSON object")
+        return
+    if not isinstance(doc.get("displayTimeUnit"), str):
+        errors.append("missing string field 'displayTimeUnit'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing array field 'traceEvents'")
+        return
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            errors.append(f"{where}: bad phase {phase!r}")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing event name")
+        if not _is_int(event.get("pid")):
+            errors.append(f"{where} ({name}): pid must be an integer")
+        # Metadata rows naming a process track legitimately omit tid.
+        if "tid" in event and not _is_int(event.get("tid")):
+            errors.append(f"{where} ({name}): tid must be an integer")
+        elif phase != "M" and "tid" not in event:
+            errors.append(f"{where} ({name}): missing tid")
+        if phase != "M":
+            ts = event.get("ts")
+            if not _is_number(ts) or ts < 0:
+                errors.append(f"{where} ({name}): ts must be a number >= 0")
+        args = event.get("args")
+        if phase == "X":
+            dur = event.get("dur")
+            if not _is_number(dur) or dur < 0:
+                errors.append(f"{where} ({name}): X needs dur >= 0")
+        elif phase == "C":
+            if not isinstance(args, dict) or not _is_number(
+                    args.get("value")):
+                errors.append(f"{where} ({name}): C needs numeric args.value")
+        elif phase == "M":
+            if name not in METADATA_NAMES:
+                errors.append(f"{where}: unknown metadata record {name!r}")
+            elif name.endswith("_name") and (not isinstance(args, dict)
+                                            or not isinstance(
+                                                args.get("name"), str)):
+                errors.append(f"{where} ({name}): M needs string args.name")
+
+
+def validate_file(path):
+    """Returns a list of violation messages (empty == valid)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"cannot parse: {e}"]
+    errors = []
+    validate_events(doc, errors)
+    return errors
+
+
+def generate_trace(train_bin, workdir, transport):
+    """Runs one traced proc training; returns the trace file path."""
+    os.makedirs(workdir, exist_ok=True)
+    trace_path = os.path.join(workdir, "validate_trace.json")
+    cmd = [
+        train_bin, "--dataset", "fb15k", "--triple_fraction", "0.01",
+        "--epochs", "2", "--seed", "77", "--threads", "2", "--runtime",
+        "proc", "--workers", "2", "--proc_transport", transport,
+        "--trace_out", trace_path,
+    ]
+    log = subprocess.run(cmd, cwd=workdir, capture_output=True, text=True)
+    if log.returncode != 0:
+        sys.stderr.write(log.stdout + log.stderr)
+        raise SystemExit(f"trainer exited {log.returncode}")
+    return trace_path
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate hetkg Chrome trace-event JSON files.")
+    parser.add_argument("traces", nargs="*", help="trace files to validate")
+    parser.add_argument("--train-bin",
+                        help="trainer binary; generates a proc trace first")
+    parser.add_argument("--workdir", default=".",
+                        help="scratch directory for generation mode")
+    parser.add_argument("--transport", default="shm",
+                        choices=["shm", "tcp"],
+                        help="proc transport for generation mode")
+    args = parser.parse_args()
+
+    traces = list(args.traces)
+    if args.train_bin:
+        traces.append(
+            generate_trace(args.train_bin, args.workdir, args.transport))
+    if not traces:
+        parser.error("nothing to validate: pass trace files or --train-bin")
+
+    failed = False
+    for path in traces:
+        errors = validate_file(path)
+        if errors:
+            failed = True
+            print(f"{path}: INVALID")
+            for message in errors[:20]:
+                print(f"  {message}")
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more")
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                count = len(json.load(f)["traceEvents"])
+            print(f"{path}: ok ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
