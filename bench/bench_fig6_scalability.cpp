@@ -63,38 +63,59 @@ int main(int argc, char** argv) {
   // through the process runtime (one real OS process per worker over
   // shm rings). Simulated time is identical by construction — the
   // bit-identity invariant — so the interesting column is measured
-  // wall-clock: real fork/IPC/turn-taking overhead vs worker count.
+  // wall-clock: real fork/IPC/turn-taking overhead vs worker count,
+  // and on the fault-on rows (DESIGN.md §15) the added cost of the
+  // CRC/ack/retransmit machinery healing an injected-fault wire.
   if (flags.GetBool("proc")) {
     bench::Table proc_table(
-        {"Runtime", "Workers", "Wall(s)", "Epoch time(s)"});
+        {"Runtime", "Workers", "Wall(s)", "Overhead", "Epoch time(s)"});
     for (size_t machines : machine_counts) {
-      core::TrainerConfig config = base;
-      config.num_machines = machines;
-      config.pbg_partitions = 2 * machines;
-      config.obs = obs::ObsConfig{};  // The proc runtime rejects obs.
-      auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
-                                     dataset.graph, dataset.split.train)
-                        .value();
-      auto* ps_engine =
-          dynamic_cast<core::PsTrainingEngine*>(engine.get());
-      net::ProcOptions options;
-      options.retry = net::RetryPolicy::FromFaultConfig(config.fault);
-      auto coordinator =
-          net::ProcCoordinator::ForkWorkers(ps_engine, options).value();
-      Stopwatch wall;
-      const auto report = engine->Train(1).value();
-      const double wall_s = wall.ElapsedSeconds();
-      const Status stopped = coordinator->Shutdown();
-      if (!stopped.ok()) {
-        std::fprintf(stderr, "proc shutdown: %s\n",
-                     stopped.ToString().c_str());
+      double clean_wall_s = 0.0;
+      for (const bool faults : {false, true}) {
+        core::TrainerConfig config = base;
+        config.num_machines = machines;
+        config.pbg_partitions = 2 * machines;
+        config.obs = obs::ObsConfig{};  // The proc runtime rejects obs.
+        auto engine = core::MakeEngine(core::SystemKind::kHetKgDps, config,
+                                       dataset.graph, dataset.split.train)
+                          .value();
+        auto* ps_engine =
+            dynamic_cast<core::PsTrainingEngine*>(engine.get());
+        net::ProcOptions options;
+        options.retry = net::RetryPolicy::FromFaultConfig(config.fault);
+        if (faults) {
+          // The robustness suite's fault plan (proc_fault_test.cpp):
+          // every fault kind at once, healed by the reliable layer.
+          options.fault.enabled = true;
+          options.fault.seed = 1001;
+          options.fault.drop_prob = 0.02;
+          options.fault.duplicate_prob = 0.02;
+          options.fault.corrupt_prob = 0.02;
+          options.fault.reset_prob = 0.01;
+          options.fault.delay_prob = 0.01;
+        }
+        auto coordinator =
+            net::ProcCoordinator::ForkWorkers(ps_engine, options).value();
+        Stopwatch wall;
+        const auto report = engine->Train(1).value();
+        const double wall_s = wall.ElapsedSeconds();
+        const Status stopped = coordinator->Shutdown();
+        if (!stopped.ok()) {
+          std::fprintf(stderr, "proc shutdown: %s\n",
+                       stopped.ToString().c_str());
+        }
+        if (!faults) clean_wall_s = wall_s;
+        proc_table.AddRow(
+            {faults ? "proc/shm+faults" : "proc/shm",
+             std::to_string(machines), bench::Fmt(wall_s, 2),
+             faults ? bench::Fmt((wall_s / clean_wall_s - 1.0) * 100.0, 1) +
+                          "%"
+                    : "-",
+             bench::Fmt(report.total_time.total_seconds(), 2)});
       }
-      proc_table.AddRow({"proc/shm", std::to_string(machines),
-                         bench::Fmt(wall_s, 2),
-                         bench::Fmt(report.total_time.total_seconds(), 2)});
     }
     proc_table.Print("Fig. 6 companion: HET-KG DPS under the process "
-                     "runtime (measured wall-clock)");
+                     "runtime (measured wall-clock, fault-off vs fault-on)");
   }
   return 0;
 }

@@ -218,6 +218,34 @@ int main(int argc, char** argv) {
                "real fault injection: machine:iter[,machine:iter...] — the "
                "worker process SIGKILLs itself at that step (proc runtime "
                "analogue of --fault_worker_crash)");
+  flags.Define("proc_stop", "",
+               "hung-worker injection: machine:iter[,machine:iter...] — the "
+               "worker process SIGSTOPs itself at that step; only the "
+               "heartbeat watchdog can detect and recover it");
+  // Real-transport wire faults (DESIGN.md §15): injected on actual
+  // shm/tcp frames of every link, healed by CRC + retransmit so the
+  // run's final bytes stay identical to a fault-free one.
+  flags.Define("proc_fault_drop", "0",
+               "probability one sent proc frame is silently lost");
+  flags.Define("proc_fault_duplicate", "0",
+               "probability one sent proc frame crosses the wire twice");
+  flags.Define("proc_fault_delay", "0",
+               "probability one sent proc frame is delayed");
+  flags.Define("proc_fault_corrupt", "0",
+               "probability one byte of a sent proc frame is flipped "
+               "(caught by the CRC-32 frame trailer)");
+  flags.Define("proc_fault_reset", "0",
+               "probability a mid-frame connection reset truncates a sent "
+               "proc frame");
+  flags.Define("proc_fault_seed", "42",
+               "seed of the deterministic wire-fault plan (per-link "
+               "counter-mode, replayable)");
+  flags.Define("proc_heartbeat_ms", "1000",
+               "worker liveness-beacon period in ms (0 = heartbeats off)");
+  flags.Define("proc_watchdog_ms", "15000",
+               "coordinator hung-worker deadline in ms: no frame or "
+               "heartbeat for this long mid-turn SIGKILLs the worker into "
+               "crash recovery (0 = watchdog off; requires heartbeats)");
   flags.Define("save_state", "",
                "write a full training-state snapshot here after Train() "
                "(the byte-comparable artifact of equivalence tests)");
@@ -369,6 +397,40 @@ int main(int argc, char** argv) {
     proc_options.transport = *transport;
     proc_options.retry = net::RetryPolicy::FromFaultConfig(config.fault);
     proc_options.kills = ParseProcKills(flags.GetString("proc_kill"));
+    for (const net::ProcKill& stop :
+         ParseProcKills(flags.GetString("proc_stop"))) {
+      proc_options.stops.push_back(stop);
+    }
+    proc_options.fault.drop_prob = flags.GetDouble("proc_fault_drop");
+    proc_options.fault.duplicate_prob =
+        flags.GetDouble("proc_fault_duplicate");
+    proc_options.fault.delay_prob = flags.GetDouble("proc_fault_delay");
+    proc_options.fault.corrupt_prob = flags.GetDouble("proc_fault_corrupt");
+    proc_options.fault.reset_prob = flags.GetDouble("proc_fault_reset");
+    proc_options.fault.seed =
+        static_cast<uint64_t>(flags.GetInt("proc_fault_seed"));
+    proc_options.fault.enabled = proc_options.fault.drop_prob > 0.0 ||
+                                 proc_options.fault.duplicate_prob > 0.0 ||
+                                 proc_options.fault.delay_prob > 0.0 ||
+                                 proc_options.fault.corrupt_prob > 0.0 ||
+                                 proc_options.fault.reset_prob > 0.0;
+    proc_options.heartbeat_ms = flags.GetInt("proc_heartbeat_ms");
+    proc_options.watchdog_ms = flags.GetInt("proc_watchdog_ms");
+    if (proc_options.watchdog_ms > 0 && proc_options.heartbeat_ms <= 0) {
+      std::fprintf(stderr,
+                   "--proc_watchdog_ms needs --proc_heartbeat_ms > 0 (a "
+                   "silent-but-healthy worker would be escalated); pass "
+                   "--proc_watchdog_ms=0 to disable the watchdog\n");
+      return 2;
+    }
+    if (!proc_options.stops.empty() &&
+        (proc_options.watchdog_ms <= 0 || proc_options.heartbeat_ms <= 0)) {
+      std::fprintf(stderr,
+                   "--proc_stop freezes a worker forever; only the "
+                   "watchdog can recover it (needs --proc_heartbeat_ms > 0 "
+                   "and --proc_watchdog_ms > 0)\n");
+      return 2;
+    }
   }
   if (!flags.GetString("connect").empty()) {
     // Standalone worker: serve the remote coordinator until shutdown;
@@ -483,6 +545,19 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(totals.frames_received),
         HumanBytes(static_cast<double>(totals.bytes_received)).c_str(),
         static_cast<unsigned long long>(totals.send_stalls));
+    if (proc_options.fault.enabled || totals.watchdog_escalations > 0) {
+      // Coordinator-direction counters only; each worker's own
+      // injections ship through the obs registry (net.fault.* keys).
+      std::printf(
+          "proc faults (coordinator side): %llu injected, %llu crc "
+          "errors, %llu retransmits, %llu heartbeats seen, %llu watchdog "
+          "escalations\n",
+          static_cast<unsigned long long>(totals.faults_injected),
+          static_cast<unsigned long long>(totals.crc_errors),
+          static_cast<unsigned long long>(totals.retransmits),
+          static_cast<unsigned long long>(totals.heartbeats_received),
+          static_cast<unsigned long long>(totals.watchdog_escalations));
+    }
     if (config.obs.Enabled()) {
       const Histogram* rpc = report->metrics.FindHistogram(
           std::string(metric::kNetRpcLatency) + "." +
@@ -512,6 +587,15 @@ int main(int argc, char** argv) {
     if (!stopped.ok()) {
       std::fprintf(stderr, "proc shutdown: %s\n",
                    stopped.ToString().c_str());
+    }
+    // Abnormal worker terminations the coordinator reaped (injected
+    // kills, watchdog escalations, genuine crashes). Orderly exits are
+    // silent.
+    for (const net::ProcCoordinator::WorkerExit& we :
+         coordinator->WorkerExits()) {
+      std::printf("proc worker %u terminated abnormally: %s %d (%s)\n",
+                  we.machine, we.signaled ? "signal" : "exit code", we.code,
+                  we.context.c_str());
     }
   }
 

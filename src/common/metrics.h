@@ -156,6 +156,31 @@ inline constexpr char kNetFramesSent[] = "net.frames.sent";
 inline constexpr char kNetFramesReceived[] = "net.frames.received";
 inline constexpr char kNetBytesSent[] = "net.bytes.sent";
 inline constexpr char kNetBytesReceived[] = "net.bytes.received";
+// Real-transport fault hardening (DESIGN.md §15). Injection counters
+// fire in the FaultChannel decorator; detection/healing counters fire
+// in the Messenger's CRC + retransmit layer. All live in the
+// never-serialized per-process net registries, and every entry is
+// created lazily on its first increment — a fault-free run exports no
+// net.fault.* keys at all.
+inline constexpr char kNetFaultInjectedDrops[] = "net.fault.injected_drops";
+inline constexpr char kNetFaultInjectedDuplicates[] =
+    "net.fault.injected_duplicates";
+inline constexpr char kNetFaultInjectedDelays[] = "net.fault.injected_delays";
+inline constexpr char kNetFaultInjectedCorruptions[] =
+    "net.fault.injected_corruptions";
+inline constexpr char kNetFaultInjectedResets[] = "net.fault.injected_resets";
+inline constexpr char kNetFaultCrcErrors[] = "net.fault.crc_errors";
+inline constexpr char kNetFaultRetransmits[] = "net.fault.retransmits";
+inline constexpr char kNetFaultDuplicatesDropped[] =
+    "net.fault.duplicate_frames_dropped";
+// Hung-worker watchdog (DESIGN.md §15). Heartbeats tick on every
+// liveness frame a worker emits; escalations count SIGKILLs the
+// coordinator issued after a liveness deadline expired.
+inline constexpr char kWatchdogHeartbeats[] = "watchdog.heartbeats";
+inline constexpr char kWatchdogEscalations[] = "watchdog.escalations";
+// Orphaned flight-recorder spill files removed at proc-obs startup.
+inline constexpr char kObsFlightOrphansRemoved[] =
+    "obs.flight_orphans_removed";
 // Async pipeline engine (DESIGN.md §12). Reported only in --async
 // runs: stall/depth counts depend on real thread scheduling, so the
 // deterministic mode — whose reports are bit-identity-checked — never

@@ -1,0 +1,320 @@
+#include "net/channel.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/crc32.h"
+#include "obs/trace.h"
+
+namespace hetkg::net {
+
+namespace {
+
+/// Salt of the retransmit-backoff jitter decisions (counter-mode hash,
+/// same family as sim/transport.cpp's drop/duplicate/delay salts).
+constexpr uint64_t kJitterSalt = 0xBACCULL;
+
+std::string EncodeFrame(FrameKind kind, uint64_t seq,
+                        std::string_view payload) {
+  std::string frame;
+  frame.resize(kFrameOverheadBytes + payload.size());
+  frame[0] = static_cast<char>(kind);
+  std::memcpy(frame.data() + 1, &seq, 8);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + 9, payload.data(), payload.size());
+  }
+  const uint32_t crc = Crc32(frame.data(), 9 + payload.size());
+  std::memcpy(frame.data() + 9 + payload.size(), &crc, 4);
+  return frame;
+}
+
+/// Splits a wire frame into its parts; false on a short frame, a CRC
+/// mismatch, or an unknown kind byte (all indistinguishable from
+/// corruption — the CRC covers the kind).
+bool DecodeFrame(const std::string& frame, FrameKind* kind, uint64_t* seq,
+                 std::string_view* payload) {
+  if (frame.size() < kFrameOverheadBytes) return false;
+  uint32_t stated = 0;
+  std::memcpy(&stated, frame.data() + frame.size() - 4, 4);
+  if (Crc32(frame.data(), frame.size() - 4) != stated) return false;
+  const uint8_t k = static_cast<uint8_t>(frame[0]);
+  if (k < static_cast<uint8_t>(FrameKind::kData) ||
+      k > static_cast<uint8_t>(FrameKind::kHeartbeat)) {
+    return false;
+  }
+  *kind = static_cast<FrameKind>(k);
+  std::memcpy(seq, frame.data() + 1, 8);
+  *payload = std::string_view(frame.data() + 9,
+                              frame.size() - kFrameOverheadBytes);
+  return true;
+}
+
+}  // namespace
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FoldFaultStats(const NetFaultStats& stats, NetFaultCounts* last,
+                    MetricRegistry* metrics) {
+  const auto fold = [&](const std::atomic<uint64_t>& counter,
+                        uint64_t NetFaultCounts::* watermark,
+                        const char* name) {
+    const uint64_t total = counter.load(std::memory_order_relaxed);
+    const uint64_t base = last != nullptr ? (*last).*watermark : 0;
+    if (total > base) {
+      metrics->Increment(name, total - base);
+      if (last != nullptr) (*last).*watermark = total;
+    }
+  };
+  fold(stats.injected_drops, &NetFaultCounts::injected_drops,
+       metric::kNetFaultInjectedDrops);
+  fold(stats.injected_duplicates, &NetFaultCounts::injected_duplicates,
+       metric::kNetFaultInjectedDuplicates);
+  fold(stats.injected_delays, &NetFaultCounts::injected_delays,
+       metric::kNetFaultInjectedDelays);
+  fold(stats.injected_corruptions, &NetFaultCounts::injected_corruptions,
+       metric::kNetFaultInjectedCorruptions);
+  fold(stats.injected_resets, &NetFaultCounts::injected_resets,
+       metric::kNetFaultInjectedResets);
+  fold(stats.crc_errors, &NetFaultCounts::crc_errors,
+       metric::kNetFaultCrcErrors);
+  fold(stats.retransmits, &NetFaultCounts::retransmits,
+       metric::kNetFaultRetransmits);
+  fold(stats.duplicate_frames_dropped,
+       &NetFaultCounts::duplicate_frames_dropped,
+       metric::kNetFaultDuplicatesDropped);
+  fold(stats.heartbeats_received, &NetFaultCounts::heartbeats_received,
+       metric::kWatchdogHeartbeats);
+}
+
+Messenger::Messenger(Channel* channel)
+    : channel_(channel), last_activity_ms_(SteadyNowMs()) {}
+
+void Messenger::EnableMetrics(MetricRegistry* metrics,
+                              std::string_view transport) {
+  metrics_ = metrics;
+  frame_hist_ =
+      std::string(metric::kNetFrameBytes) + "." + std::string(transport);
+  rpc_hist_ =
+      std::string(metric::kNetRpcLatency) + "." + std::string(transport);
+}
+
+int64_t Messenger::BackoffMs(int attempt, uint64_t seq) const {
+  const int64_t doubled = static_cast<int64_t>(reliable_.base_backoff_ms)
+                          << std::min(attempt, 12);
+  const int64_t base =
+      std::min<int64_t>(doubled, reliable_.max_backoff_ms);
+  // Seeded jitter up to +50% of the backoff, a pure function of
+  // (seed, seq, attempt) so fault scenarios stay reproducible.
+  const double unit = sim::FaultPlan::HashUnit(
+      reliable_.seed, (seq << 8) ^ static_cast<uint64_t>(attempt),
+      kJitterSalt);
+  return base + static_cast<int64_t>(unit * 0.5 * static_cast<double>(base));
+}
+
+void Messenger::PumpRetransmitsLocked(int64_t now_ms) {
+  if (!reliable_.enabled || broken_ || unacked_.empty()) return;
+  if (now_ms < next_retransmit_ms_) return;
+  if (attempt_ >= reliable_.max_attempts) {
+    // The bounded part of "bounded retransmit": a peer that never acks
+    // is unreachable, and the link fails closed instead of retrying
+    // forever.
+    broken_ = true;
+    channel_->Close();
+    return;
+  }
+  ++attempt_;
+  for (const UnackedFrame& u : unacked_) {
+    if (!channel_->Send(u.frame)) {
+      broken_ = true;
+      return;
+    }
+    if (fault_stats_ != nullptr) {
+      fault_stats_->retransmits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  next_retransmit_ms_ = now_ms + BackoffMs(attempt_, unacked_.front().seq);
+}
+
+void Messenger::HandleAckLocked(uint64_t acked_seq, int64_t now_ms) {
+  if (!reliable_.enabled) return;
+  bool progressed = false;
+  while (!unacked_.empty() && unacked_.front().seq <= acked_seq) {
+    unacked_.pop_front();
+    progressed = true;
+  }
+  if (progressed) {
+    attempt_ = 0;
+    if (!unacked_.empty()) {
+      next_retransmit_ms_ =
+          now_ms + BackoffMs(0, unacked_.front().seq);
+    }
+  }
+}
+
+void Messenger::SendAckLocked(uint64_t delivered_seq) {
+  if (broken_) return;
+  channel_->Send(EncodeFrame(FrameKind::kAck, delivered_seq, {}));
+}
+
+bool Messenger::SendDataLocked(uint64_t seq, std::string_view payload) {
+  if (broken_) return false;
+  const int64_t now = SteadyNowMs();
+  PumpRetransmitsLocked(now);
+  if (broken_) return false;
+  std::string frame = EncodeFrame(FrameKind::kData, seq, payload);
+  const bool sent = channel_->Send(frame);
+  if (sent && reliable_.enabled) {
+    if (unacked_.empty()) {
+      attempt_ = 0;
+      next_retransmit_ms_ = now + BackoffMs(0, seq);
+    }
+    unacked_.push_back(UnackedFrame{seq, std::move(frame)});
+  }
+  if (sent && metrics_ != nullptr) {
+    // Note `frame` may be moved-out here; account the known size.
+    const size_t wire_bytes = kFrameOverheadBytes + payload.size();
+    metrics_->Increment(metric::kNetFramesSent);
+    metrics_->Increment(metric::kNetBytesSent, wire_bytes);
+    metrics_->Observe(frame_hist_, static_cast<double>(wire_bytes));
+  }
+  return sent;
+}
+
+bool Messenger::Send(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return SendDataLocked(++next_seq_, payload);
+}
+
+bool Messenger::SendWithSeq(uint64_t seq, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  return SendDataLocked(seq, payload);
+}
+
+bool Messenger::SendHeartbeat() {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (broken_) return false;
+  PumpRetransmitsLocked(SteadyNowMs());
+  if (broken_) return false;
+  const bool sent =
+      channel_->Send(EncodeFrame(FrameKind::kHeartbeat, ++heartbeat_seq_, {}));
+  if (sent && fault_stats_ != nullptr) {
+    fault_stats_->heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  return sent;
+}
+
+RecvStatus Messenger::Recv(std::string* payload, int timeout_ms) {
+  const int64_t deadline =
+      timeout_ms < 0 ? -1 : SteadyNowMs() + timeout_ms;
+  for (;;) {
+    // Window this wait so due retransmits fire even while the caller
+    // blocks here indefinitely waiting for the reply they unblock.
+    int slice = -1;
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      PumpRetransmitsLocked(SteadyNowMs());
+      if (broken_) return RecvStatus::kClosed;
+      if (reliable_.enabled && !unacked_.empty()) {
+        slice = static_cast<int>(std::clamp<int64_t>(
+            next_retransmit_ms_ - SteadyNowMs(), 1, 100));
+      }
+    }
+    if (deadline >= 0) {
+      const int64_t remain = deadline - SteadyNowMs();
+      if (remain <= 0) return RecvStatus::kTimeout;
+      slice = slice < 0 ? static_cast<int>(remain)
+                        : static_cast<int>(std::min<int64_t>(slice, remain));
+    }
+    std::string frame;
+    const RecvStatus status = channel_->Recv(&frame, slice);
+    if (status == RecvStatus::kClosed) return status;
+    if (status == RecvStatus::kTimeout) {
+      if (deadline >= 0 && SteadyNowMs() >= deadline) {
+        return RecvStatus::kTimeout;
+      }
+      continue;  // Retransmit-window expiry, not the caller's timeout.
+    }
+    if (metrics_ != nullptr) {
+      metrics_->Increment(metric::kNetFramesReceived);
+      metrics_->Increment(metric::kNetBytesReceived, frame.size());
+    }
+    FrameKind kind;
+    uint64_t seq = 0;
+    std::string_view body;
+    if (!DecodeFrame(frame, &kind, &seq, &body)) {
+      if (fault_stats_ != nullptr) {
+        fault_stats_->crc_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      obs::Tracer::Instant("net.fault.crc_error", "net", "bytes",
+                           static_cast<double>(frame.size()));
+      // With the retransmit layer on, a corrupted frame is just a lost
+      // frame: the sender's timer re-sends it intact. Without it the
+      // caller gets the typed verdict.
+      if (reliable_.enabled) continue;
+      return RecvStatus::kCorrupt;
+    }
+    TouchActivity();
+    if (kind == FrameKind::kAck) {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      HandleAckLocked(seq, SteadyNowMs());
+      continue;
+    }
+    if (kind == FrameKind::kHeartbeat) {
+      if (fault_stats_ != nullptr) {
+        fault_stats_->heartbeats_received.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    // Data frame.
+    if (!reliable_.enabled) {
+      if (seq <= delivered_seq_) {
+        if (fault_stats_ != nullptr) {
+          fault_stats_->duplicate_frames_dropped.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        continue;  // Duplicate: drop silently.
+      }
+      delivered_seq_ = seq;
+      payload->assign(body.data(), body.size());
+      return RecvStatus::kOk;
+    }
+    if (seq == delivered_seq_ + 1) {
+      delivered_seq_ = seq;
+      std::lock_guard<std::mutex> lock(send_mu_);
+      SendAckLocked(delivered_seq_);
+      payload->assign(body.data(), body.size());
+      return RecvStatus::kOk;
+    }
+    // Duplicate (<= delivered) or gap (an earlier frame was lost and
+    // this one raced ahead): drop, and re-ack the delivery point so
+    // the sender converges with a full go-back-N burst.
+    if (seq <= delivered_seq_ && fault_stats_ != nullptr) {
+      fault_stats_->duplicate_frames_dropped.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    std::lock_guard<std::mutex> lock(send_mu_);
+    SendAckLocked(delivered_seq_);
+  }
+}
+
+Status Messenger::RecvOrDeadline(std::string* payload, int deadline_ms) {
+  switch (Recv(payload, deadline_ms)) {
+    case RecvStatus::kOk:
+      return Status::OK();
+    case RecvStatus::kTimeout:
+      return Status::DeadlineExceeded("no frame within " +
+                                      std::to_string(deadline_ms) + " ms");
+    case RecvStatus::kCorrupt:
+      return Status::Corruption("frame failed CRC-32 verification");
+    case RecvStatus::kClosed:
+      break;
+  }
+  return Status::IoError("channel closed");
+}
+
+}  // namespace hetkg::net

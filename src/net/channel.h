@@ -4,10 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "sim/transport.h"
 
 namespace hetkg::net {
@@ -25,6 +28,11 @@ enum class RecvStatus {
   /// The peer closed (or died) and every buffered frame has been
   /// drained — the terminal state.
   kClosed,
+  /// A frame arrived but failed integrity verification (short frame or
+  /// CRC-32 mismatch). Only the Messenger returns this, and only in
+  /// non-reliable mode — with the retransmit layer on, corruption is
+  /// healed internally instead (DESIGN.md §15).
+  kCorrupt,
 };
 
 /// A bidirectional, reliable, ordered byte-frame channel between two
@@ -57,6 +65,53 @@ struct ChannelStats {
   /// the backpressure signal of an undersized --shm_ring_bytes).
   std::atomic<uint64_t> send_stalls{0};
 };
+
+/// Always-on fault accounting (DESIGN.md §15), shared by the
+/// FaultChannel decorator (injection side) and the Messenger
+/// (detection/healing side). Relaxed atomics: the worker's heartbeat
+/// thread and the main command loop both count into one instance.
+/// Never serialized into training state; folded into the
+/// never-serialized net metric registries (FoldFaultStats) only when a
+/// counter is nonzero, so fault-free runs export no net.fault.* keys.
+struct NetFaultStats {
+  std::atomic<uint64_t> injected_drops{0};
+  std::atomic<uint64_t> injected_duplicates{0};
+  std::atomic<uint64_t> injected_delays{0};
+  std::atomic<uint64_t> injected_corruptions{0};
+  std::atomic<uint64_t> injected_resets{0};
+  std::atomic<uint64_t> crc_errors{0};
+  std::atomic<uint64_t> retransmits{0};
+  std::atomic<uint64_t> duplicate_frames_dropped{0};
+  std::atomic<uint64_t> heartbeats_sent{0};
+  std::atomic<uint64_t> heartbeats_received{0};
+};
+
+/// Plain snapshot of NetFaultStats, used as the "already folded"
+/// watermark for delta folding.
+struct NetFaultCounts {
+  uint64_t injected_drops = 0;
+  uint64_t injected_duplicates = 0;
+  uint64_t injected_delays = 0;
+  uint64_t injected_corruptions = 0;
+  uint64_t injected_resets = 0;
+  uint64_t crc_errors = 0;
+  uint64_t retransmits = 0;
+  uint64_t duplicate_frames_dropped = 0;
+  uint64_t heartbeats_received = 0;
+};
+
+/// Folds `stats` into `metrics` under the net.fault.* / watchdog.*
+/// names. With `last` non-null, only the delta since the previous fold
+/// is added and `last` advances (for cumulative registries that are
+/// shipped repeatedly); with `last` null the absolute totals are added
+/// (for registries rebuilt from scratch per export). Zero counters are
+/// never touched, so their keys are never created.
+void FoldFaultStats(const NetFaultStats& stats, NetFaultCounts* last,
+                    MetricRegistry* metrics);
+
+/// Monotonic milliseconds (steady clock) for retransmit timers and
+/// liveness deadlines. Wall-clock only — never feeds training state.
+int64_t SteadyNowMs();
 
 class Channel {
  public:
@@ -101,69 +156,116 @@ struct RetryPolicy {
   }
 };
 
-/// Sequenced messaging over a Channel: every frame carries a little-
-/// endian u64 sequence number, and the receiver drops any frame whose
-/// sequence it has already delivered. Real sockets can present
-/// duplicates (a retried send whose first copy did arrive); dropping
-/// them here is the transport-level analogue of the parameter server's
-/// per-worker push-sequence guard, and makes RPC delivery exactly-once
-/// from the dispatcher's point of view.
+/// Kind byte of one Messenger wire frame (DESIGN.md §15).
+enum class FrameKind : uint8_t {
+  /// Sequenced application payload.
+  kData = 1,
+  /// Cumulative acknowledgement: the seq field carries the highest
+  /// in-order sequence the receiver has delivered. Unsequenced.
+  kAck = 2,
+  /// Liveness beacon from the worker's heartbeat thread. Unsequenced,
+  /// never acked, swallowed by the receiving Messenger (it only
+  /// refreshes the activity clock the coordinator's watchdog reads).
+  kHeartbeat = 3,
+};
+
+/// Fixed per-frame overhead: [u8 kind][u64 seq] header + [u32 crc]
+/// trailer. Any shorter frame is corrupt by construction.
+constexpr size_t kFrameOverheadBytes = 13;
+
+/// Sequenced, integrity-checked messaging over a Channel.
+///
+/// Every frame is [u8 kind][u64 seq le][payload][u32 crc32 le], the
+/// CRC covering kind..payload — so a corrupted or truncated frame
+/// (e.g. a mid-frame connection reset surfacing as a short frame) is
+/// detected on receive, never delivered. The receiver drops any data
+/// frame whose sequence it has already delivered: real sockets can
+/// present duplicates (a retried send whose first copy did arrive);
+/// dropping them here is the transport-level analogue of the parameter
+/// server's per-worker push-sequence guard, and makes RPC delivery
+/// exactly-once from the dispatcher's point of view.
+///
+/// With EnableReliable the Messenger additionally *heals* lost or
+/// corrupted frames (DESIGN.md §15): the receiver delivers strictly
+/// in-order and acks cumulatively; the sender keeps unacked data
+/// frames and retransmits them all (go-back-N) on an exponential
+/// backoff timer with seeded jitter, giving up — and closing the
+/// channel — after `max_attempts` unanswered bursts. Retransmits are
+/// pumped from Send/Recv/SendHeartbeat, so a blocked RPC still makes
+/// progress. Without it (the fault-free production default) the wire
+/// carries no acks and the hot path stays a single Send per message;
+/// a CRC failure then surfaces as RecvStatus::kCorrupt.
+///
+/// Threading: Send/SendWithSeq/Recv are single-caller (the process's
+/// command/scheduling thread); SendHeartbeat may race them from the
+/// heartbeat thread. All shared state is guarded by an internal send
+/// mutex; the attached MetricRegistry (not thread-safe) is only ever
+/// touched from the main thread's Send/Recv paths.
 class Messenger {
  public:
-  explicit Messenger(Channel* channel) : channel_(channel) {}
+  struct ReliableConfig {
+    bool enabled = false;
+    /// Seeds the retransmit-backoff jitter (sim::FaultPlan::HashUnit).
+    uint64_t seed = 42;
+    /// First retransmit fires this long after the original send;
+    /// doubles per unanswered burst up to max_backoff_ms.
+    int base_backoff_ms = 40;
+    int max_backoff_ms = 1000;
+    /// Unanswered retransmit bursts before the link is declared broken.
+    int max_attempts = 15;
+  };
 
-  bool Send(std::string_view payload) {
-    return SendWithSeq(++next_seq_, payload);
-  }
+  explicit Messenger(Channel* channel);
+
+  bool Send(std::string_view payload);
 
   /// Test hook: send under an explicit sequence number (re-sending a
   /// consumed one injects a duplicate the receiver must drop).
-  bool SendWithSeq(uint64_t seq, std::string_view payload) {
-    std::string frame;
-    frame.resize(8 + payload.size());
-    std::memcpy(frame.data(), &seq, 8);
-    std::memcpy(frame.data() + 8, payload.data(), payload.size());
-    const bool sent = channel_->Send(frame);
-    if (sent && metrics_ != nullptr) {
-      metrics_->Increment(metric::kNetFramesSent);
-      metrics_->Increment(metric::kNetBytesSent, frame.size());
-      metrics_->Observe(frame_hist_, static_cast<double>(frame.size()));
-    }
-    return sent;
+  /// Non-reliable mode only — the reliable receiver's in-order window
+  /// assumes the sender numbers contiguously.
+  bool SendWithSeq(uint64_t seq, std::string_view payload);
+
+  RecvStatus Recv(std::string* payload, int timeout_ms);
+
+  /// Recv with a typed verdict: kTimeout becomes DeadlineExceeded (the
+  /// per-RPC deadline contract), kCorrupt becomes Corruption, kClosed
+  /// becomes IoError.
+  Status RecvOrDeadline(std::string* payload, int deadline_ms);
+
+  /// Emits one liveness beacon (and pumps due retransmits). Safe to
+  /// call from a dedicated heartbeat thread concurrently with
+  /// Send/Recv on the main thread.
+  bool SendHeartbeat();
+
+  /// Milliseconds since the last valid frame (any kind) arrived — the
+  /// coordinator watchdog's liveness signal. TouchActivity resets the
+  /// clock (called when a turn starts, so idle time between turns
+  /// never counts against the worker).
+  int64_t MillisSinceActivity() const {
+    return SteadyNowMs() - last_activity_ms_.load(std::memory_order_relaxed);
+  }
+  void TouchActivity() {
+    last_activity_ms_.store(SteadyNowMs(), std::memory_order_relaxed);
   }
 
-  RecvStatus Recv(std::string* payload, int timeout_ms) {
-    for (;;) {
-      std::string frame;
-      const RecvStatus status = channel_->Recv(&frame, timeout_ms);
-      if (status != RecvStatus::kOk) return status;
-      if (metrics_ != nullptr) {
-        metrics_->Increment(metric::kNetFramesReceived);
-        metrics_->Increment(metric::kNetBytesReceived, frame.size());
-      }
-      if (frame.size() < 8) return RecvStatus::kClosed;  // Corrupt peer.
-      uint64_t seq = 0;
-      std::memcpy(&seq, frame.data(), 8);
-      if (seq <= delivered_seq_) continue;  // Duplicate: drop silently.
-      delivered_seq_ = seq;
-      payload->assign(frame.data() + 8, frame.size() - 8);
-      return RecvStatus::kOk;
-    }
-  }
+  /// Turns on the loss-healing retransmit layer. Must be called before
+  /// any traffic, on both endpoints of the link.
+  void EnableReliable(const ReliableConfig& config) { reliable_ = config; }
+  bool reliable() const { return reliable_.enabled; }
+
+  /// Attaches the fault/heartbeat counter sink (outlives the
+  /// messenger; shared with the link's FaultChannel).
+  void set_fault_stats(NetFaultStats* stats) { fault_stats_ = stats; }
 
   /// Enables transport profiling (DESIGN.md §14) into `metrics`, which
   /// must outlive the messenger and be touched only from the thread
   /// that calls Send/Recv: per-frame payload sizes land in the
   /// net.frame.bytes.<transport> histogram and frame/byte counters;
   /// blocking round-trip times fed via ObserveRpcLatency land in
-  /// net.rpc.latency_us.<transport>.
-  void EnableMetrics(MetricRegistry* metrics, std::string_view transport) {
-    metrics_ = metrics;
-    frame_hist_ = std::string(metric::kNetFrameBytes) + "." +
-                  std::string(transport);
-    rpc_hist_ = std::string(metric::kNetRpcLatency) + "." +
-                std::string(transport);
-  }
+  /// net.rpc.latency_us.<transport>. Heartbeat/retransmit traffic is
+  /// deliberately excluded (it may run on the heartbeat thread) and is
+  /// counted in NetFaultStats instead.
+  void EnableMetrics(MetricRegistry* metrics, std::string_view transport);
   bool MetricsEnabled() const { return metrics_ != nullptr; }
   void ObserveRpcLatency(double micros) {
     if (metrics_ != nullptr) metrics_->Observe(rpc_hist_, micros);
@@ -173,9 +275,39 @@ class Messenger {
   uint64_t last_sent_seq() const { return next_seq_; }
 
  private:
+  struct UnackedFrame {
+    uint64_t seq = 0;
+    std::string frame;
+  };
+
+  bool SendDataLocked(uint64_t seq, std::string_view payload);
+  /// Retransmits every unacked frame when the backoff timer is due;
+  /// declares the link broken after max_attempts unanswered bursts.
+  void PumpRetransmitsLocked(int64_t now_ms);
+  void HandleAckLocked(uint64_t acked_seq, int64_t now_ms);
+  void SendAckLocked(uint64_t delivered_seq);
+  int64_t BackoffMs(int attempt, uint64_t seq) const;
+
   Channel* channel_;
+  ReliableConfig reliable_;
+  NetFaultStats* fault_stats_ = nullptr;
+
+  /// Guards next_seq_, unacked_, the retransmit timer, broken_, and
+  /// every channel_->Send (main thread and heartbeat thread share the
+  /// send path). channel_->Recv runs outside it (single receiver).
+  std::mutex send_mu_;
   uint64_t next_seq_ = 0;
+  std::deque<UnackedFrame> unacked_;
+  int attempt_ = 0;
+  int64_t next_retransmit_ms_ = 0;
+  uint64_t heartbeat_seq_ = 0;
+  bool broken_ = false;
+
+  /// Receive-side state (receiver thread only).
   uint64_t delivered_seq_ = 0;
+
+  std::atomic<int64_t> last_activity_ms_;
+
   MetricRegistry* metrics_ = nullptr;
   std::string frame_hist_;
   std::string rpc_hist_;

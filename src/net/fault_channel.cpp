@@ -1,0 +1,121 @@
+#include "net/fault_channel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/trace.h"
+
+namespace hetkg::net {
+
+namespace {
+
+// Wire-fault decision salts, disjoint from sim/transport.cpp's and the
+// Messenger's jitter salt so shared seeds stay independent.
+constexpr uint64_t kWireDropSalt = 0xF1D0ULL;
+constexpr uint64_t kWireDuplicateSalt = 0xF1D1ULL;
+constexpr uint64_t kWireDelaySalt = 0xF1D2ULL;
+constexpr uint64_t kWireCorruptSalt = 0xF1C0ULL;
+constexpr uint64_t kWireCorruptIndexSalt = 0xF1C1ULL;
+constexpr uint64_t kWireResetSalt = 0xF1CEULL;
+
+bool Scripted(const std::vector<uint64_t>& ticks, uint64_t tick) {
+  return std::find(ticks.begin(), ticks.end(), tick) != ticks.end();
+}
+
+}  // namespace
+
+Messenger::ReliableConfig ReliableFromWireFaults(
+    const WireFaultConfig& fault) {
+  Messenger::ReliableConfig config;
+  config.enabled = fault.enabled;
+  config.seed = fault.seed;
+  return config;
+}
+
+FaultChannel::FaultChannel(Channel* inner, const WireFaultConfig& config,
+                           uint64_t link_salt)
+    : inner_(inner), config_(config), link_salt_(link_salt) {}
+
+double FaultChannel::Unit(uint64_t tick, uint64_t salt) const {
+  return sim::FaultPlan::HashUnit(config_.seed ^ link_salt_, tick, salt);
+}
+
+void FaultChannel::Count(std::atomic<uint64_t> NetFaultStats::* counter) {
+  if (fault_stats_ != nullptr) {
+    (fault_stats_->*counter).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool FaultChannel::Send(std::string_view frame) {
+  const uint64_t tick = tick_++;
+  if (!config_.enabled) return inner_->Send(frame);
+
+  if (Scripted(config_.drop_ticks, tick) ||
+      (config_.drop_prob > 0.0 &&
+       Unit(tick, kWireDropSalt) < config_.drop_prob)) {
+    // Swallowed: from the sender's view the frame left; the receiver
+    // never sees it. The retransmit layer above must heal it.
+    Count(&NetFaultStats::injected_drops);
+    obs::Tracer::Instant("net.fault.drop", "net", "tick",
+                         static_cast<double>(tick));
+    return true;
+  }
+
+  if (Scripted(config_.reset_ticks, tick) ||
+      (config_.reset_prob > 0.0 &&
+       Unit(tick, kWireResetSalt) < config_.reset_prob)) {
+    Count(&NetFaultStats::injected_resets);
+    obs::Tracer::Instant("net.fault.reset", "net", "tick",
+                         static_cast<double>(tick));
+    // Mid-frame connection reset: only a prefix of the frame made it
+    // out. Frames too small to truncate are simply lost.
+    if (frame.size() <= 1) return true;
+    return inner_->Send(frame.substr(0, frame.size() / 2));
+  }
+
+  std::string mutated;
+  std::string_view out = frame;
+  if (Scripted(config_.corrupt_ticks, tick) ||
+      (config_.corrupt_prob > 0.0 &&
+       Unit(tick, kWireCorruptSalt) < config_.corrupt_prob)) {
+    Count(&NetFaultStats::injected_corruptions);
+    obs::Tracer::Instant("net.fault.corrupt", "net", "tick",
+                         static_cast<double>(tick));
+    mutated.assign(frame);
+    if (mutated.empty()) {
+      mutated.push_back('\x5A');
+    } else {
+      const size_t index = static_cast<size_t>(
+          Unit(tick, kWireCorruptIndexSalt) *
+          static_cast<double>(mutated.size()));
+      mutated[std::min(index, mutated.size() - 1)] ^= 0x5A;
+    }
+    out = mutated;
+  }
+
+  if (config_.delay_prob > 0.0 &&
+      Unit(tick, kWireDelaySalt) < config_.delay_prob) {
+    Count(&NetFaultStats::injected_delays);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.delay_ms));
+  }
+
+  const bool sent = inner_->Send(out);
+  if (sent && (Scripted(config_.duplicate_ticks, tick) ||
+               (config_.duplicate_prob > 0.0 &&
+                Unit(tick, kWireDuplicateSalt) < config_.duplicate_prob))) {
+    Count(&NetFaultStats::injected_duplicates);
+    obs::Tracer::Instant("net.fault.duplicate", "net", "tick",
+                         static_cast<double>(tick));
+    inner_->Send(out);
+  }
+  return sent;
+}
+
+RecvStatus FaultChannel::Recv(std::string* frame, int timeout_ms) {
+  return inner_->Recv(frame, timeout_ms);
+}
+
+void FaultChannel::Close() { inner_->Close(); }
+
+}  // namespace hetkg::net

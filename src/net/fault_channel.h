@@ -1,0 +1,103 @@
+#ifndef HETKG_NET_FAULT_CHANNEL_H_
+#define HETKG_NET_FAULT_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace hetkg::net {
+
+/// Knobs of the real-transport fault model (DESIGN.md §15): the PR-2
+/// seeded counter-mode plan, ported from the simulated wire to real
+/// shm/TCP frames. Every decision is a pure hash of
+/// (seed ^ link_salt, send tick, fault kind) — one logical clock per
+/// channel direction, one tick per Send — so a fault scenario replays
+/// identically for a given topology, independent of wall-clock timing.
+struct WireFaultConfig {
+  /// Master switch; also arms the Messenger's retransmit layer on
+  /// every link (faults without healing would just kill the run).
+  bool enabled = false;
+  uint64_t seed = 42;
+  /// Probability one sent frame is silently swallowed.
+  double drop_prob = 0.0;
+  /// Probability one sent frame crosses the wire twice.
+  double duplicate_prob = 0.0;
+  /// Probability one sent frame is late by `delay_ms` (a real sleep —
+  /// proc wall-clock is not simulated).
+  double delay_prob = 0.0;
+  /// Probability one byte of a sent frame is flipped (the CRC-32
+  /// trailer must catch it).
+  double corrupt_prob = 0.0;
+  /// Probability a mid-frame connection reset truncates a sent frame.
+  /// The frame-based Channel contract delivers whole-frames-or-closed,
+  /// so the faithful frame-level analogue is the receiver seeing the
+  /// prefix that made it out before the reset — which the length/CRC
+  /// check rejects and the retransmit layer heals.
+  double reset_prob = 0.0;
+  int delay_ms = 1;
+  /// Scripted faults for deterministic tests: fire on exactly these
+  /// send ticks (0-based, per channel direction), in addition to the
+  /// probabilistic plan.
+  std::vector<uint64_t> drop_ticks;
+  std::vector<uint64_t> duplicate_ticks;
+  std::vector<uint64_t> corrupt_ticks;
+  std::vector<uint64_t> reset_ticks;
+
+  /// True when any fault can actually fire (the decorator is only
+  /// installed then, keeping the fault-free hot path undecorated).
+  bool Armed() const {
+    return enabled &&
+           (drop_prob > 0.0 || duplicate_prob > 0.0 || delay_prob > 0.0 ||
+            corrupt_prob > 0.0 || reset_prob > 0.0 || !drop_ticks.empty() ||
+            !duplicate_ticks.empty() || !corrupt_ticks.empty() ||
+            !reset_ticks.empty());
+  }
+};
+
+/// Shapes the Messenger's retransmit layer from the wire fault config:
+/// same master switch, same seed (for the backoff jitter).
+Messenger::ReliableConfig ReliableFromWireFaults(const WireFaultConfig& fault);
+
+/// Channel decorator injecting wire faults on the send side
+/// (DESIGN.md §15). Wrap both endpoints of a link to fault both
+/// directions. At most one fault fires per sent frame, decided in
+/// fixed precedence — drop, reset, corrupt, then delay/duplicate
+/// (which compose with delivery). Receives pass through untouched.
+///
+/// Sits *below* the Messenger: faults mangle fully framed wire bytes
+/// (CRC trailer included), so the integrity check above genuinely
+/// exercises detection, and the raw transport underneath still sees
+/// well-formed [len][payload] frames.
+class FaultChannel final : public Channel {
+ public:
+  /// `inner` must outlive the decorator. `link_salt` diversifies the
+  /// plan across links/directions sharing one seed.
+  FaultChannel(Channel* inner, const WireFaultConfig& config,
+               uint64_t link_salt);
+
+  bool Send(std::string_view frame) override;
+  RecvStatus Recv(std::string* frame, int timeout_ms) override;
+  void Close() override;
+
+  void set_fault_stats(NetFaultStats* stats) { fault_stats_ = stats; }
+  uint64_t send_ticks() const { return tick_; }
+
+ private:
+  double Unit(uint64_t tick, uint64_t salt) const;
+  void Count(std::atomic<uint64_t> NetFaultStats::* counter);
+
+  Channel* inner_;
+  const WireFaultConfig config_;
+  const uint64_t link_salt_;
+  /// Logical send clock; callers serialize Send (the Messenger's send
+  /// mutex in the proc runtime), so no atomics needed.
+  uint64_t tick_ = 0;
+  NetFaultStats* fault_stats_ = nullptr;
+};
+
+}  // namespace hetkg::net
+
+#endif  // HETKG_NET_FAULT_CHANNEL_H_

@@ -5,8 +5,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -47,6 +52,12 @@ void RemotePsBackend::SendOrAbort(const ByteWriter& msg) {
   if (!messenger_->Send(msg.buffer())) Abort("send");
 }
 
+void RemotePsBackend::RecvOrAbort(std::string* payload) {
+  const Status status =
+      messenger_->RecvOrDeadline(payload, rpc_deadline_ms_);
+  if (!status.ok()) Abort(status.ToString().c_str());
+}
+
 ps::PullResult RemotePsBackend::PullBatch(uint32_t machine,
                                           std::span<const EmbKey> keys,
                                           std::span<std::span<float>> out) {
@@ -58,7 +69,7 @@ ps::PullResult RemotePsBackend::PullBatch(uint32_t machine,
   SendOrAbort(msg);
 
   std::string payload;
-  if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  RecvOrAbort(&payload);
   if (profile) messenger_->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   MsgType type;
   ByteReader r{std::string_view()};
@@ -119,7 +130,7 @@ void RemotePsBackend::ReadRow(EmbKey key, std::span<float> out) {
   Stopwatch sw;
   SendOrAbort(msg);
   std::string payload;
-  if (messenger_->Recv(&payload, -1) != RecvStatus::kOk) Abort("recv");
+  RecvOrAbort(&payload);
   if (profile) messenger_->ObserveRpcLatency(sw.ElapsedSeconds() * 1e6);
   MsgType type;
   ByteReader r{std::string_view()};
@@ -210,6 +221,12 @@ bool ProcWorker::SendObsData(core::PsTrainingEngine::Worker* w) {
   }
   msg.U64(n_gauges);
   msg.Raw(gauges.buffer().data(), gauges.size());
+  // Fold this process's wire-fault/heartbeat counters (delta since the
+  // last shipment) into the cumulative registry; nothing is folded —
+  // and no net.fault.* key created — unless a counter moved.
+  if (fault_stats_ != nullptr) {
+    FoldFaultStats(*fault_stats_, &folded_faults_, &net_metrics_);
+  }
   net_metrics_.SaveState(&msg);
   return messenger_->Send(msg.buffer());
 }
@@ -220,9 +237,38 @@ int ProcWorker::Run() {
   // stage code, with every shared-state call routed over the channel.
   engine_->obs_active_ = false;
   engine_->SetStepDriver(nullptr);
-  RemotePsBackend backend(messenger_, engine_->server_.get());
+  RemotePsBackend backend(messenger_, engine_->server_.get(),
+                          rpc_deadline_ms_);
   engine_->SetPsBackend(&backend);
   core::PsTrainingEngine::Worker* w = &engine_->workers_[machine_];
+
+  // Liveness beacons for the coordinator's watchdog: a dedicated
+  // thread so a long compute phase (no RPC traffic) still proves the
+  // process is alive. The Messenger serializes the shared send path.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread hb_thread;
+  if (heartbeat_ms_ > 0) {
+    hb_thread = std::thread([this, &hb_mu, &hb_cv, &hb_stop] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      while (!hb_cv.wait_for(lock, std::chrono::milliseconds(heartbeat_ms_),
+                             [&hb_stop] { return hb_stop; })) {
+        lock.unlock();
+        messenger_->SendHeartbeat();
+        lock.lock();
+      }
+    });
+  }
+  const auto stop_heartbeats = [&] {
+    if (!hb_thread.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    hb_thread.join();
+  };
 
   int exit_code = 1;
   for (;;) {
@@ -240,6 +286,16 @@ int ProcWorker::Run() {
           // BEFORE any RPC of this step, so the coordinator's state
           // sits at the pre-step barrier when it notices.
           raise(SIGKILL);
+        }
+      }
+      for (const ProcKill& stop : stops_) {
+        if (stop.machine == machine_ && stop.iter == iter) {
+          // Hung-worker injection: freeze alive at the same pre-step
+          // barrier (heartbeat thread frozen too — SIGSTOP stops every
+          // thread), so only the coordinator's liveness watchdog can
+          // tell this from a healthy slow worker. Never resumed: the
+          // watchdog's SIGKILL escalation is the only exit.
+          raise(SIGSTOP);
         }
       }
       const auto [loss, pairs] = engine_->Step(w, iter);
@@ -292,6 +348,7 @@ int ProcWorker::Run() {
       break;  // Protocol violation.
     }
   }
+  stop_heartbeats();
   if (obs_trace_) {
     obs::Tracer::SetEventSink(nullptr);
     (void)obs::Tracer::Stop();  // Ship-only session: discards.
@@ -331,9 +388,13 @@ Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
   for (size_t i = 0; i < coord->links_.size(); ++i) {
     HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpChannel> channel,
                            listener->Accept(kHandshakeMs));
-    auto messenger = std::make_unique<Messenger>(channel.get());
+    // The machine id is only known after the hello, so the accept-order
+    // index salts this link's fault plan instead.
+    WorkerLink probe;
+    probe.channel = std::move(channel);
+    coord->WireLink(probe, /*link_salt=*/2000 + 2 * i);
     std::string payload;
-    if (messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk) {
+    if (probe.messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk) {
       return Status::IoError("worker hello timed out");
     }
     MsgType type;
@@ -349,9 +410,9 @@ Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
     }
     WorkerLink& link = coord->links_[machine];
     link.pid = -1;
-    link.channel = std::move(channel);
-    link.channel->set_stats(&coord->channel_stats_);
-    link.messenger = std::move(messenger);
+    link.channel = std::move(probe.channel);
+    link.faulty = std::move(probe.faulty);
+    link.messenger = std::move(probe.messenger);
     link.alive = true;
     // Ship the authoritative initial worker state (a fresh engine's
     // state round-trips to itself; a restored one must override the
@@ -366,6 +427,22 @@ Result<std::unique_ptr<ProcCoordinator>> ProcCoordinator::ListenForWorkers(
   }
   engine->SetStepDriver(coord.get());
   return coord;
+}
+
+void ProcCoordinator::WireLink(WorkerLink& link, uint64_t link_salt) {
+  link.channel->set_stats(&channel_stats_);
+  Channel* endpoint = link.channel.get();
+  if (options_.fault.Armed()) {
+    link.faulty =
+        std::make_unique<FaultChannel>(endpoint, options_.fault, link_salt);
+    link.faulty->set_fault_stats(&net_fault_stats_);
+    endpoint = link.faulty.get();
+  }
+  link.messenger = std::make_unique<Messenger>(endpoint);
+  link.messenger->set_fault_stats(&net_fault_stats_);
+  if (options_.fault.enabled) {
+    link.messenger->EnableReliable(ReliableFromWireFaults(options_.fault));
+  }
 }
 
 ProcCoordinator::~ProcCoordinator() {
@@ -394,11 +471,13 @@ Status ProcCoordinator::ForkFleet() {
         forked = accepted.status();
         break;
       }
-      auto messenger = std::make_unique<Messenger>(accepted.value().get());
+      WorkerLink probe;
+      probe.channel = std::move(accepted.value());
+      WireLink(probe, /*link_salt=*/2000 + 2 * i);
       std::string payload;
       MsgType type;
       ByteReader r{std::string_view()};
-      if (messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk ||
+      if (probe.messenger->Recv(&payload, kHandshakeMs) != RecvStatus::kOk ||
           !RpcOpen(payload, &type, &r) || type != MsgType::kHello) {
         forked = Status::Corruption("worker hello failed");
         break;
@@ -409,9 +488,9 @@ Status ProcCoordinator::ForkFleet() {
         forked = Status::Corruption("bad worker hello id");
         break;
       }
-      links_[machine].channel = std::move(accepted.value());
-      links_[machine].channel->set_stats(&channel_stats_);
-      links_[machine].messenger = std::move(messenger);
+      links_[machine].channel = std::move(probe.channel);
+      links_[machine].faulty = std::move(probe.faulty);
+      links_[machine].messenger = std::move(probe.messenger);
       links_[machine].alive = true;
     }
   }
@@ -460,14 +539,30 @@ Status ProcCoordinator::ForkWorker(uint32_t machine) {
       if (!connected.ok()) std::_Exit(3);
       channel = std::move(connected.value());
     }
-    Messenger messenger(channel.get());
+    // The worker direction of the link gets its own fault decorator
+    // and counter sink (odd link salts; the coordinator direction uses
+    // even ones), so faults fire independently on both directions.
+    NetFaultStats fault_stats;
+    Channel* endpoint = channel.get();
+    std::unique_ptr<FaultChannel> faulty;
+    if (options_.fault.Armed()) {
+      faulty = std::make_unique<FaultChannel>(endpoint, options_.fault,
+                                              /*link_salt=*/2 * machine + 1);
+      faulty->set_fault_stats(&fault_stats);
+      endpoint = faulty.get();
+    }
+    Messenger messenger(endpoint);
+    messenger.set_fault_stats(&fault_stats);
+    if (options_.fault.enabled) {
+      messenger.EnableReliable(ReliableFromWireFaults(options_.fault));
+    }
     if (options_.transport == TransportKind::kTcp) {
       ByteWriter hello = RpcMessage(MsgType::kHello);
       hello.U32(machine);
       if (!messenger.Send(hello.buffer())) std::_Exit(3);
     }
-    ProcWorker worker(engine_, machine, &messenger, options_.kills,
-                      flight.get());
+    ProcWorker worker(engine_, machine, &messenger, options_, flight.get(),
+                      &fault_stats);
     std::_Exit(worker.Run());
   }
 
@@ -476,8 +571,7 @@ Status ProcCoordinator::ForkWorker(uint32_t machine) {
   link.flight = std::move(flight);
   if (options_.transport == TransportKind::kShm) {
     link.channel = std::move(parent_ep);
-    link.channel->set_stats(&channel_stats_);
-    link.messenger = std::make_unique<Messenger>(link.channel.get());
+    WireLink(link, /*link_salt=*/2 * machine);
     link.alive = true;
   }
   // TCP: channel attached by the accept loop in ForkFleet.
@@ -485,6 +579,8 @@ Status ProcCoordinator::ForkWorker(uint32_t machine) {
 }
 
 void ProcCoordinator::KillFleet() {
+  // Deliberate fleet teardown (restart path): the kills are the
+  // coordinator's own doing, so no abnormal exit is recorded.
   for (WorkerLink& link : links_) {
     if (link.pid > 0) {
       kill(link.pid, SIGKILL);
@@ -493,28 +589,58 @@ void ProcCoordinator::KillFleet() {
     }
     if (link.channel != nullptr) link.channel->Close();
     link.messenger.reset();
+    link.faulty.reset();
     link.channel.reset();
     link.alive = false;
   }
 }
 
-void ProcCoordinator::MarkWorkerFailed(uint32_t machine, uint64_t at_iter) {
+void ProcCoordinator::RecordExit(uint32_t machine, int wait_status,
+                                 const char* context) {
+  // Only abnormal terminations are worth surfacing in the end-of-run
+  // summary; an orderly exit(0) is the expected shutdown handshake.
+  WorkerExit exit;
+  exit.machine = machine;
+  exit.context = context;
+  if (WIFSIGNALED(wait_status)) {
+    exit.signaled = true;
+    exit.code = WTERMSIG(wait_status);
+  } else if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) != 0) {
+    exit.signaled = false;
+    exit.code = WEXITSTATUS(wait_status);
+  } else {
+    return;
+  }
+  worker_exits_.push_back(std::move(exit));
+}
+
+void ProcCoordinator::MarkWorkerFailed(uint32_t machine, uint64_t at_iter,
+                                       const char* context) {
   worker_failed_ = true;
   WorkerLink& link = links_[machine];
   link.alive = false;
   if (link.pid > 0) {
+    // SIGKILL works on SIGSTOPped processes too — this is the
+    // watchdog's escalation path for hung (not just dead) workers.
     kill(link.pid, SIGKILL);
-    waitpid(link.pid, nullptr, 0);
+    int wait_status = 0;
+    if (waitpid(link.pid, &wait_status, 0) == link.pid) {
+      RecordExit(machine, wait_status, context);
+    }
     link.pid = -1;
   }
   if (link.channel != nullptr) link.channel->Close();
   // Post-mortem: the dead worker's flight-recorder ring (shm region or
   // tcp spill file) still holds its last trace events.
   if (obs_on_) HarvestFlight(machine);
-  // Kill-once semantics: any scheduled kill at or before the failure
-  // point has had its effect; pruning it keeps the relaunched fleet
-  // (which rewinds to an earlier iteration) from dying forever.
+  // Kill-once / stop-once semantics: any scheduled fault at or before
+  // the failure point has had its effect; pruning it keeps the
+  // relaunched fleet (which rewinds to an earlier iteration) from
+  // dying forever.
   std::erase_if(options_.kills, [at_iter](const ProcKill& k) {
+    return k.iter <= at_iter;
+  });
+  std::erase_if(options_.stops, [at_iter](const ProcKill& k) {
     return k.iter <= at_iter;
   });
 }
@@ -611,6 +737,14 @@ Status ProcCoordinator::ServiceUntil(uint32_t machine, uint8_t until,
                                      std::string* payload,
                                      ByteReader* reader, uint64_t at_iter) {
   WorkerLink& link = links_[machine];
+  // Fresh turn: the link may have sat idle while other workers took
+  // theirs, so the liveness clock starts now, not at the last frame.
+  link.messenger->TouchActivity();
+  // The watchdog only makes sense when the worker actually beats: with
+  // heartbeats off, a long compute phase is indistinguishable from a
+  // hang and silence must not escalate.
+  const bool watchdog_armed =
+      options_.watchdog_ms > 0 && options_.heartbeat_ms > 0;
   int elapsed_ms = 0;
   for (;;) {
     if (!link.alive) {
@@ -620,24 +754,53 @@ Status ProcCoordinator::ServiceUntil(uint32_t machine, uint8_t until,
     const RecvStatus status =
         link.messenger->Recv(payload, options_.poll_ms);
     if (status == RecvStatus::kTimeout) {
-      if (link.pid > 0 && waitpid(link.pid, nullptr, WNOHANG) == link.pid) {
-        link.pid = -1;
-        MarkWorkerFailed(machine, at_iter);
-        return Status::Internal("worker " + std::to_string(machine) +
-                                " process died");
+      if (link.pid > 0) {
+        int wait_status = 0;
+        if (waitpid(link.pid, &wait_status, WNOHANG) == link.pid) {
+          RecordExit(machine, wait_status, "died mid-turn");
+          link.pid = -1;
+          MarkWorkerFailed(machine, at_iter, "died mid-turn");
+          return Status::Internal("worker " + std::to_string(machine) +
+                                  " process died");
+        }
+      }
+      if (watchdog_armed &&
+          link.messenger->MillisSinceActivity() >= options_.watchdog_ms) {
+        // The process exists (WNOHANG above) but nothing — not even a
+        // heartbeat — arrived for a full watchdog window: hung (e.g.
+        // SIGSTOPped). Escalate to SIGKILL and let the Train() rewind
+        // path recover, exactly like a crashed worker.
+        ++watchdog_escalations_;
+        net_metrics_.Increment(metric::kWatchdogEscalations);
+        obs::Tracer::Instant("watchdog.escalate", "proc", "machine",
+                             static_cast<double>(machine), "silent_ms",
+                             static_cast<double>(
+                                 link.messenger->MillisSinceActivity()));
+        MarkWorkerFailed(machine, at_iter, "watchdog escalation");
+        return Status::DeadlineExceeded(
+            "worker " + std::to_string(machine) +
+            " hung (no heartbeat for " +
+            std::to_string(options_.watchdog_ms) + " ms)");
       }
       elapsed_ms += options_.poll_ms;
       if (elapsed_ms >= options_.worker_deadline_ms) {
-        MarkWorkerFailed(machine, at_iter);
-        return Status::Internal("worker " + std::to_string(machine) +
-                                " deadline exceeded");
+        MarkWorkerFailed(machine, at_iter, "turn deadline exceeded");
+        return Status::DeadlineExceeded("worker " + std::to_string(machine) +
+                                        " deadline exceeded");
       }
       continue;
     }
     if (status == RecvStatus::kClosed) {
-      MarkWorkerFailed(machine, at_iter);
+      MarkWorkerFailed(machine, at_iter, "channel closed");
       return Status::Internal("worker " + std::to_string(machine) +
                               " channel closed");
+    }
+    if (status == RecvStatus::kCorrupt) {
+      // Only possible without the retransmit layer (faults off): a
+      // frame failed its CRC and nothing can resend it.
+      MarkWorkerFailed(machine, at_iter, "corrupt frame");
+      return Status::Corruption("worker " + std::to_string(machine) +
+                                " sent a corrupt frame");
     }
     MsgType type;
     ByteReader r{std::string_view()};
@@ -782,7 +945,49 @@ ProcCoordinator::TransportTotals ProcCoordinator::Totals() const {
   t.bytes_received =
       channel_stats_.bytes_received.load(std::memory_order_relaxed);
   t.send_stalls = channel_stats_.send_stalls.load(std::memory_order_relaxed);
+  const auto load = [](const std::atomic<uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  // Coordinator-side injections only; each worker process reports its
+  // own direction through the shipped obs registry.
+  t.faults_injected = load(net_fault_stats_.injected_drops) +
+                      load(net_fault_stats_.injected_duplicates) +
+                      load(net_fault_stats_.injected_delays) +
+                      load(net_fault_stats_.injected_corruptions) +
+                      load(net_fault_stats_.injected_resets);
+  t.crc_errors = load(net_fault_stats_.crc_errors);
+  t.retransmits = load(net_fault_stats_.retransmits);
+  t.heartbeats_received = load(net_fault_stats_.heartbeats_received);
+  t.watchdog_escalations = watchdog_escalations_;
   return t;
+}
+
+void ProcCoordinator::SweepOrphanFlightSpills(const std::string& trace_out) {
+  // A crashed previous run can leave <trace_out>.flight.w<m> spill
+  // files behind (the coordinator died before its orderly-shutdown
+  // cleanup). Sweep them once, before this run creates its own —
+  // mirroring the stale-*.tmp checkpoint sweep.
+  if (flight_swept_) return;
+  flight_swept_ = true;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path out(trace_out);
+  fs::path dir = out.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = out.filename().string() + ".flight.w";
+  uint64_t removed = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  if (removed > 0) {
+    HETKG_LOG(Info) << "swept " << removed
+                    << " orphaned flight spill file(s) matching " << prefix
+                    << "*";
+    net_metrics_.Increment(metric::kObsFlightOrphansRemoved, removed);
+  }
 }
 
 Status ProcCoordinator::SetupObs() {
@@ -790,6 +995,7 @@ Status ProcCoordinator::SetupObs() {
   if (!obs_config.Enabled()) return Status::OK();
   obs_on_ = true;
   trace_on_ = obs_config.TraceRequested();
+  if (trace_on_ && !standalone_) SweepOrphanFlightSpills(obs_config.trace_out);
   worker_regs_.assign(links_.size(), MetricRegistry());
   worker_gauges_.assign(links_.size(), {});
   for (uint32_t m = 0; m < links_.size(); ++m) {
@@ -933,6 +1139,10 @@ Status ProcCoordinator::FlushObs() {
 const MetricRegistry* ProcCoordinator::ObsMetrics() const {
   if (!obs_on_) return nullptr;
   obs_report_ = net_metrics_;
+  // The report is rebuilt wholesale each call, so the coordinator's
+  // wire-fault counters fold in absolute (no watermark); zero counters
+  // never create net.fault.* keys.
+  FoldFaultStats(net_fault_stats_, /*last=*/nullptr, &obs_report_);
   for (size_t m = 0; m < worker_regs_.size(); ++m) {
     obs_report_.Merge(worker_regs_[m]);
     const std::string suffix = ".w" + std::to_string(m);
@@ -995,7 +1205,10 @@ Status ProcCoordinator::Shutdown() {
         const RecvStatus status =
             link.messenger->Recv(&payload, options_.poll_ms);
         if (status == RecvStatus::kClosed) break;
-        if (status == RecvStatus::kTimeout) {
+        if (status == RecvStatus::kTimeout || status == RecvStatus::kCorrupt) {
+          // A corrupt straggler frame at teardown is not worth failing
+          // the run over; just keep draining until kBye or the grace
+          // deadline.
           waited += options_.poll_ms;
           continue;
         }
@@ -1022,11 +1235,24 @@ Status ProcCoordinator::Shutdown() {
         result = Status::Internal("worker " + std::to_string(m) +
                                   " needed SIGKILL at shutdown");
       }
-      waitpid(link.pid, nullptr, 0);
+      int wait_status = 0;
+      if (waitpid(link.pid, &wait_status, 0) == link.pid) {
+        // Surfaces both escalated teardowns and workers that died
+        // abnormally on their own way out (nonzero exit, stray signal).
+        RecordExit(static_cast<uint32_t>(m), wait_status,
+                   orderly ? "abnormal exit at shutdown"
+                           : "shutdown escalation");
+      }
       link.pid = -1;
     }
     if (link.channel != nullptr) link.channel->Close();
     link.alive = false;
+    // Orderly end of run: this run's own flight spill file has served
+    // its purpose (the worker exited cleanly, nothing to harvest).
+    if (orderly && !link.flight_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(link.flight_path, ec);
+    }
   }
   engine_->SetStepDriver(nullptr);
   return result;
@@ -1040,14 +1266,27 @@ Status RunStandaloneWorker(core::PsTrainingEngine* engine, uint32_t machine,
                            const ProcOptions& options) {
   HETKG_ASSIGN_OR_RETURN(std::unique_ptr<TcpChannel> channel,
                          TcpConnect(host, port, options.retry));
-  Messenger messenger(channel.get());
+  NetFaultStats fault_stats;
+  Channel* endpoint = channel.get();
+  std::unique_ptr<FaultChannel> faulty;
+  if (options.fault.Armed()) {
+    faulty = std::make_unique<FaultChannel>(endpoint, options.fault,
+                                            /*link_salt=*/3000 + machine);
+    faulty->set_fault_stats(&fault_stats);
+    endpoint = faulty.get();
+  }
+  Messenger messenger(endpoint);
+  messenger.set_fault_stats(&fault_stats);
+  if (options.fault.enabled) {
+    messenger.EnableReliable(ReliableFromWireFaults(options.fault));
+  }
   ByteWriter hello = RpcMessage(MsgType::kHello);
   hello.U32(machine);
   if (!messenger.Send(hello.buffer())) {
     return Status::IoError("hello send failed");
   }
-  ProcWorker worker(engine, machine, &messenger, options.kills,
-                    /*flight=*/nullptr);
+  ProcWorker worker(engine, machine, &messenger, options,
+                    /*flight=*/nullptr, &fault_stats);
   const int code = worker.Run();
   if (code != 0) {
     return Status::Internal("worker loop exited with code " +

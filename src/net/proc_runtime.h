@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/ps_engine.h"
 #include "net/channel.h"
+#include "net/fault_channel.h"
 #include "net/tcp_channel.h"
 #include "obs/flight.h"
 
@@ -24,7 +25,9 @@ Result<TransportKind> ParseTransportKind(std::string_view name);
 /// Real process-fault injection: the worker for `machine` SIGKILLs
 /// itself upon receiving the kRunStep command for `iter` — before it
 /// issues any RPC of that step, so the coordinator's state stays at
-/// the pre-step barrier.
+/// the pre-step barrier. The same schedule shape drives `--proc_stop`
+/// SIGSTOP injection (a hung-but-alive worker the watchdog must
+/// detect; DESIGN.md §15).
 struct ProcKill {
   uint32_t machine = 0;
   uint64_t iter = 0;
@@ -39,12 +42,32 @@ struct ProcOptions {
   /// Scheduled worker kills (see ProcKill). Entries are pruned once
   /// triggered so the relaunched fleet does not re-die forever.
   std::vector<ProcKill> kills;
+  /// Scheduled worker SIGSTOPs (same schedule shape and pruning as
+  /// `kills`): the worker hangs alive at the kRunStep barrier, and
+  /// only the heartbeat watchdog can tell it from a slow one.
+  std::vector<ProcKill> stops;
+  /// Wire-level fault injection (DESIGN.md §15), applied on every
+  /// link in both directions; `fault.enabled` also arms the
+  /// Messenger's retransmit layer that heals the injected faults.
+  WireFaultConfig fault;
+  /// Worker liveness-beacon period (heartbeat thread in each worker
+  /// process); 0 disables heartbeats.
+  int heartbeat_ms = 1000;
+  /// Coordinator watchdog: a worker whose link shows no activity (no
+  /// RPC, no heartbeat) for this long mid-turn is declared hung and
+  /// SIGKILLed into the rewind-and-refork recovery path. 0 disables;
+  /// requires heartbeat_ms > 0 to be meaningful.
+  int watchdog_ms = 15'000;
+  /// Worker-side deadline on each blocking RPC reply (a vanished
+  /// coordinator fails the RPC with DeadlineExceeded instead of
+  /// hanging the worker forever).
+  int rpc_deadline_ms = 120'000;
   /// Liveness-poll granularity while waiting on a worker message: each
   /// timeout slice reaps dead children via waitpid(WNOHANG), so a
   /// SIGKILLed worker is detected in ~this many milliseconds.
   int poll_ms = 100;
   /// Hard deadline for one worker message (a hung worker becomes a
-  /// worker failure after this long).
+  /// worker failure after this long even with the watchdog off).
   int worker_deadline_ms = 120'000;
   /// Per-worker trace ring capacity when obs tracing is on (events
   /// buffered between kShipObs drains; overflow counts as
@@ -62,8 +85,14 @@ struct ProcOptions {
 /// locally (pure construction-config functions).
 class RemotePsBackend final : public core::PsBackend {
  public:
-  RemotePsBackend(Messenger* messenger, const ps::ParameterServer* server)
-      : messenger_(messenger), server_(server) {}
+  /// `rpc_deadline_ms` bounds every blocking reply wait; a reply that
+  /// never comes aborts the worker (DeadlineExceeded) instead of
+  /// hanging it forever.
+  RemotePsBackend(Messenger* messenger, const ps::ParameterServer* server,
+                  int rpc_deadline_ms = 120'000)
+      : messenger_(messenger),
+        server_(server),
+        rpc_deadline_ms_(rpc_deadline_ms) {}
 
   ps::PullResult PullBatch(uint32_t machine, std::span<const EmbKey> keys,
                            std::span<std::span<float>> out) override;
@@ -80,9 +109,13 @@ class RemotePsBackend final : public core::PsBackend {
   /// has nothing left to do and exits.
   [[noreturn]] void Abort(const char* what);
   void SendOrAbort(const ByteWriter& msg);
+  /// Blocking reply wait under the per-RPC deadline; aborts the worker
+  /// on deadline, corruption, or close.
+  void RecvOrAbort(std::string* payload);
 
   Messenger* messenger_;
   const ps::ParameterServer* server_;
+  const int rpc_deadline_ms_;
 };
 
 /// Command loop of one worker process: executes kRunStep / kEpochEnd /
@@ -92,15 +125,21 @@ class ProcWorker {
  public:
   /// `flight` is the fork-inherited shm flight recorder (shm transport
   /// only; null otherwise — tcp workers create a spill-file recorder on
-  /// kStartObs).
+  /// kStartObs). `fault_stats` is the process's fault/heartbeat
+  /// counter sink (shared with its FaultChannel/Messenger; may be
+  /// null), folded into the shipped obs registry.
   ProcWorker(core::PsTrainingEngine* engine, uint32_t machine,
-             Messenger* messenger, std::vector<ProcKill> kills,
-             obs::FlightRecorder* flight)
+             Messenger* messenger, const ProcOptions& options,
+             obs::FlightRecorder* flight, NetFaultStats* fault_stats)
       : engine_(engine),
         machine_(machine),
         messenger_(messenger),
-        kills_(std::move(kills)),
-        shared_flight_(flight) {}
+        kills_(options.kills),
+        stops_(options.stops),
+        heartbeat_ms_(options.heartbeat_ms),
+        rpc_deadline_ms_(options.rpc_deadline_ms),
+        shared_flight_(flight),
+        fault_stats_(fault_stats) {}
 
   int Run();
 
@@ -117,6 +156,9 @@ class ProcWorker {
   const uint32_t machine_;
   Messenger* messenger_;
   std::vector<ProcKill> kills_;
+  std::vector<ProcKill> stops_;
+  const int heartbeat_ms_;
+  const int rpc_deadline_ms_;
   /// Fork-inherited shm flight region (not owned) / tcp spill-file
   /// recorder (owned). At most one is active as the tracer event sink.
   obs::FlightRecorder* shared_flight_ = nullptr;
@@ -125,6 +167,11 @@ class ProcWorker {
   /// event counts shipped to the coordinator, kept out of engine state
   /// so proc snapshots stay byte-identical to sim, obs on or off.
   MetricRegistry net_metrics_;
+  /// Fault/heartbeat counter sink (not owned; may be null) plus the
+  /// already-folded watermark, so each kObsData shipment adds only the
+  /// delta into the cumulative net_metrics_.
+  NetFaultStats* fault_stats_ = nullptr;
+  NetFaultCounts folded_faults_;
   bool obs_on_ = false;
   bool obs_trace_ = false;
   /// Epoch-cumulative cache counters: the command loop zeroes the
@@ -185,14 +232,40 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
     uint64_t frames_received = 0;
     uint64_t bytes_received = 0;
     uint64_t send_stalls = 0;
+    /// Coordinator-side fault accounting (injection on its send
+    /// direction; detection/healing on its receive direction).
+    uint64_t faults_injected = 0;
+    uint64_t crc_errors = 0;
+    uint64_t retransmits = 0;
+    uint64_t heartbeats_received = 0;
+    uint64_t watchdog_escalations = 0;
   };
   TransportTotals Totals() const;
   const char* TransportName() const;
+
+  /// One reaped worker termination worth reporting (died by signal, or
+  /// exited nonzero, or was escalated to SIGKILL by the coordinator).
+  /// Orderly kBye exits are not recorded.
+  struct WorkerExit {
+    uint32_t machine = 0;
+    bool signaled = false;
+    /// Signal number when signaled, exit code otherwise.
+    int code = 0;
+    /// Why the coordinator reaped it ("died mid-turn", "watchdog
+    /// escalation", ...).
+    std::string context;
+  };
+  const std::vector<WorkerExit>& WorkerExits() const {
+    return worker_exits_;
+  }
 
  private:
   struct WorkerLink {
     pid_t pid = -1;  // -1: standalone remote worker (not our child).
     std::unique_ptr<Channel> channel;
+    /// Coordinator-direction fault decorator (installed between
+    /// channel and messenger when wire faults are armed).
+    std::unique_ptr<FaultChannel> faulty;
     std::unique_ptr<Messenger> messenger;
     bool alive = false;
     /// Worker monotonic clock minus coordinator monotonic clock, from
@@ -214,9 +287,18 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
   Status ForkFleet();
   /// Forks one worker; the child never returns from this call.
   Status ForkWorker(uint32_t machine);
-  /// SIGKILL + reap + channel teardown of every child.
+  /// Installs the per-link wire stack on `link`: always-on channel
+  /// stats, the FaultChannel decorator when wire faults are armed, and
+  /// a Messenger (reliable mode armed with the faults) on top.
+  void WireLink(WorkerLink& link, uint64_t link_salt);
+  /// SIGKILL + reap + channel teardown of every child (deliberate
+  /// teardown: exits are not recorded).
   void KillFleet();
-  void MarkWorkerFailed(uint32_t machine, uint64_t at_iter);
+  void MarkWorkerFailed(uint32_t machine, uint64_t at_iter,
+                        const char* context = "worker failure");
+  /// Decodes a waitpid status and records it when abnormal (signaled
+  /// or nonzero exit).
+  void RecordExit(uint32_t machine, int wait_status, const char* context);
 
   /// Receives the worker's message stream, applying backend RPCs in
   /// arrival order, until a message of type `until` arrives (its
@@ -232,6 +314,9 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
 
   // -- Cross-process observability (DESIGN.md §14) ----------------------
 
+  /// One-time removal of <trace_out>.flight.w* spill files a crashed
+  /// previous run left behind (mirrors the stale-checkpoint sweep).
+  void SweepOrphanFlightSpills(const std::string& trace_out);
   /// Min-RTT monotonic clock-offset handshake with one worker; stores
   /// the offset in its link.
   Status ClockSync(uint32_t machine);
@@ -276,7 +361,17 @@ class ProcCoordinator final : public core::PsTrainingEngine::StepDriver {
   std::vector<FlightCapture> flights_;
   /// Always-on frame/byte totals shared by every worker channel.
   ChannelStats channel_stats_;
+  /// Always-on fault/heartbeat totals shared by every coordinator-side
+  /// FaultChannel and Messenger. Folded (absolute) into the ObsMetrics
+  /// report; read directly by Totals() with obs off.
+  NetFaultStats net_fault_stats_;
   uint64_t rpc_round_trips_ = 0;
+  uint64_t watchdog_escalations_ = 0;
+  /// Reaped abnormal worker terminations, for the launcher summary.
+  std::vector<WorkerExit> worker_exits_;
+  /// The orphaned flight-spill sweep runs once per coordinator, before
+  /// the first fleet can create fresh spill files.
+  bool flight_swept_ = false;
 };
 
 /// Entry point of an externally started TCP worker (`--runtime=proc

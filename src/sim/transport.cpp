@@ -24,10 +24,14 @@ constexpr uint64_t kDelaySalt = 0xDE1AULL;
 
 }  // namespace
 
-double FaultPlan::UnitAt(uint64_t tick, uint64_t salt) const {
-  const uint64_t h = Mix64(config_.seed ^ Mix64(tick ^ (salt << 32)));
+double FaultPlan::HashUnit(uint64_t seed, uint64_t tick, uint64_t salt) {
+  const uint64_t h = Mix64(seed ^ Mix64(tick ^ (salt << 32)));
   // 53 mantissa bits -> uniform double in [0, 1).
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double FaultPlan::UnitAt(uint64_t tick, uint64_t salt) const {
+  return HashUnit(config_.seed, tick, salt);
 }
 
 bool FaultPlan::InOutage(uint32_t machine, uint64_t tick) const {

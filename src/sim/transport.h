@@ -99,6 +99,13 @@ class FaultPlan {
 
   const FaultConfig& config() const { return config_; }
 
+  /// The plan's counter-mode hash as a pure function: a deterministic
+  /// uniform double in [0, 1) for (seed, tick, salt). Exposed so other
+  /// fault deciders — notably the real-transport FaultChannel
+  /// (src/net/fault_channel.h) — share the exact PR-2 semantics
+  /// instead of reinventing a hash.
+  static double HashUnit(uint64_t seed, uint64_t tick, uint64_t salt);
+
  private:
   /// Deterministic uniform double in [0, 1) for (tick, salt).
   double UnitAt(uint64_t tick, uint64_t salt) const;
