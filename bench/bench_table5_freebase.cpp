@@ -1,7 +1,9 @@
 // Reproduces Table V: link prediction on Freebase-86m with TransE.
 // Paper shape: HET-KG matches or slightly beats DGL-KE accuracy while
 // training faster; PBG is ~3.6x slower than either. The dataset is
-// generated at --fb86m_scale of the real 86M-entity graph.
+// generated at --freebase_scale of the real 86M-entity graph; at
+// --freebase_scale=1.0 pass --storage=tiered --cold_dir=<dir> (and
+// optionally --cold_dtype=int8) so the full tables fit one machine.
 #include "harness.h"
 
 #include "hetkg/hetkg.h"
@@ -19,9 +21,16 @@ int main(int argc, char** argv) {
   core::TrainerConfig config = bench::ConfigFromFlags(flags);
   bench::ApplyDatasetDefaults("freebase86m", flags, &config);
   bench::RunLinkPredictionTable(
-      "Table V: Freebase-86m (synthetic @" + flags.GetString("fb86m_scale") +
-          " scale, " + std::to_string(dataset.graph.num_triples()) +
-          " triples, d=" + std::to_string(config.dim) + ")",
+      "Table V: Freebase-86m (synthetic @" +
+          flags.GetString("freebase_scale") + " scale, " +
+          std::to_string(dataset.graph.num_triples()) +
+          " triples, d=" + std::to_string(config.dim) + ", storage=" +
+          flags.GetString("storage") +
+          (config.storage.enabled
+               ? "/" + std::string(embedding::ColdDtypeName(
+                     config.storage.dtype))
+               : "") +
+          ")",
       dataset, config, {embedding::ModelKind::kTransEL1},
       static_cast<size_t>(flags.GetInt("epochs")),
       bench::EvalOptionsFromFlags(flags));

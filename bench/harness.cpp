@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/proc_stats.h"
 #include "graph/serialize.h"
 
 namespace hetkg::bench {
@@ -108,8 +109,9 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("entity_ratio", "0.25", "entity share of the cache");
   flags->Define("triple_fraction", "0.25",
                 "fraction of the dataset's triples to generate");
-  flags->Define("fb86m_scale", "0.002",
-                "Freebase-86m entity/triple scale (paper: 1.0)");
+  flags->Define("freebase_scale", "0.002",
+                "Freebase-86m entity/triple scale (paper: 1.0; full scale "
+                "needs --storage=tiered to fit in RAM)");
   flags->Define("eval_triples", "400", "test triples evaluated (0 = all)");
   flags->Define("eval_candidates", "1000",
                 "ranking candidates (0 = all entities)");
@@ -187,6 +189,15 @@ void DefineCommonFlags(FlagParser* flags) {
   flags->Define("metrics_window", "0",
                 "also sample metrics every N iterations within an epoch "
                 "(0 = per-epoch only; needs --metrics_json)");
+  // Two-tier embedding storage (DESIGN.md §16).
+  flags->Define("storage", "ram",
+                "embedding table backing: ram (all rows resident) | "
+                "tiered (mmap-backed cold tier; PS engines only)");
+  flags->Define("cold_dir", "",
+                "directory for the tiered cold-tier slab files (required "
+                "with --storage=tiered)");
+  flags->Define("cold_dtype", "fp32",
+                "cold-tier row encoding: fp32 | fp16 | int8");
 }
 
 Result<std::vector<sim::ProcessFault>> ParseProcessFaultSpec(
@@ -343,6 +354,18 @@ core::TrainerConfig ConfigFromFlags(const FlagParser& flags) {
   config.halt_after_iterations =
       static_cast<size_t>(flags.GetInt("fault_halt_after"));
   config.checkpoint_fsync = flags.GetBool("checkpoint_fsync");
+  const std::string storage = flags.GetString("storage");
+  HETKG_CHECK(storage == "ram" || storage == "tiered")
+      << "--storage: want ram | tiered, got \"" << storage << "\"";
+  if (storage == "tiered") {
+    HETKG_CHECK(!flags.GetString("cold_dir").empty())
+        << "--storage=tiered needs --cold_dir=<dir>";
+    auto dtype = embedding::ParseColdDtype(flags.GetString("cold_dtype"));
+    HETKG_CHECK(dtype.ok()) << dtype.status().ToString();
+    config.storage.enabled = true;
+    config.storage.cold_dir = flags.GetString("cold_dir");
+    config.storage.dtype = *dtype;
+  }
   return config;
 }
 
@@ -365,7 +388,7 @@ graph::SyntheticDataset GetDataset(const std::string& name,
   } else if (name == "wn18") {
     spec = graph::Wn18Spec();
   } else if (name == "freebase86m") {
-    spec = graph::Freebase86mSpec(flags.GetDouble("fb86m_scale"));
+    spec = graph::Freebase86mSpec(flags.GetDouble("freebase_scale"));
   } else {
     HETKG_CHECK(false) << "unknown dataset: " << name;
   }
@@ -467,11 +490,15 @@ void RunLinkPredictionTable(const std::string& title,
       core::SystemKind::kPbg, core::SystemKind::kDglKe,
       core::SystemKind::kHetKgCps, core::SystemKind::kHetKgDps};
   Table table({"System", "Model", "MRR", "Hits@1", "Hits@10", "Time(s)",
-               "Hit ratio"});
+               "Hit ratio", "Rows/s", "RSS(MB)"});
   for (embedding::ModelKind model : models) {
     for (core::SystemKind system : kSystems) {
       core::TrainerConfig config = base_config;
       config.model = model;
+      // PBG rejects --storage=tiered (it swaps whole partitions from
+      // disk by design — that IS its tiering); keep the baseline
+      // comparable by running it in-RAM as always.
+      if (system == core::SystemKind::kPbg) config.storage = {};
       // RunSystem adds the per-system suffix; the model tag here keeps
       // multi-model tables from reusing a file across models.
       const std::string tag(embedding::ModelKindName(model));
@@ -480,6 +507,15 @@ void RunLinkPredictionTable(const std::string& title,
           SuffixedPath(base_config.obs.metrics_json, tag);
       const RunOutcome outcome = RunSystem(system, config, dataset,
                                            num_epochs, eval_options);
+      // Trained-triples throughput against real wall time (the
+      // simulated Time(s) column models the cluster critical path, not
+      // this process), and the process RSS right after the run — the
+      // number the tiered storage mode exists to shrink.
+      const double wall = outcome.report.total_wall_seconds;
+      const double rows_per_sec =
+          wall > 0.0 ? static_cast<double>(dataset.split.train.size()) *
+                           static_cast<double>(num_epochs) / wall
+                     : 0.0;
       table.AddRow({std::string(core::SystemKindName(system)),
                     std::string(embedding::ModelKindName(model)),
                     Fmt(outcome.test_metrics.mrr, 3),
@@ -489,7 +525,10 @@ void RunLinkPredictionTable(const std::string& title,
                     system == core::SystemKind::kPbg ||
                             system == core::SystemKind::kDglKe
                         ? "-"
-                        : Fmt(outcome.report.overall_hit_ratio, 3)});
+                        : Fmt(outcome.report.overall_hit_ratio, 3),
+                    Fmt(rows_per_sec, 0),
+                    Fmt(static_cast<double>(CurrentRssBytes()) / 1048576.0,
+                        1)});
     }
   }
   table.Print(title);

@@ -45,8 +45,10 @@ void PrintBanner(const std::string& name, const std::string& what);
 
 /// Registers the flags shared by every table/figure bench:
 ///   --dim --epochs --machines --lr --batch --negatives --cache
-///   --staleness --dps_window --triple_fraction --fb86m_scale
+///   --staleness --dps_window --triple_fraction --freebase_scale
 ///   --eval_triples --eval_candidates --threads --seed, plus the
+/// tiered-storage knobs --storage --cold_dir --cold_dtype
+/// (DESIGN.md §16), plus the
 /// fault-injection knobs --fault_drop --fault_duplicate --fault_delay
 /// --fault_delay_us --fault_retries --fault_backoff_us --fault_seed
 /// (all-zero probabilities = perfect network; a fixed --fault_seed
@@ -89,7 +91,7 @@ eval::EvalOptions EvalOptionsFromFlags(const FlagParser& flags);
 /// One of the paper's datasets, generated synthetically at the scale
 /// given by the flags. `name` is "fb15k", "wn18" or "freebase86m";
 /// `triple_fraction` (from flags) scales the triple count so benches
-/// finish on one core, and `fb86m_scale` scales the Freebase entity
+/// finish on one core, and `freebase_scale` scales the Freebase entity
 /// count.
 graph::SyntheticDataset GetDataset(const std::string& name,
                                    const FlagParser& flags);

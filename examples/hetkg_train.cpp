@@ -117,6 +117,9 @@ int main(int argc, char** argv) {
                "synthetic preset: fb15k | wn18 | freebase86m (ignored when "
                "--train is given)");
   flags.Define("triple_fraction", "0.1", "scale of the synthetic dataset");
+  flags.Define("freebase_scale", "0.002",
+               "scale of the freebase86m synthetic preset: 1.0 = full "
+               "86.1M entities (needs --storage=tiered to fit)");
   flags.Define("train", "", "TSV training triples (head\\trel\\ttail)");
   flags.Define("valid", "", "TSV validation triples");
   flags.Define("test", "", "TSV test triples");
@@ -249,6 +252,18 @@ int main(int argc, char** argv) {
   flags.Define("save_state", "",
                "write a full training-state snapshot here after Train() "
                "(the byte-comparable artifact of equivalence tests)");
+  // Two-tier embedding storage (DESIGN.md §16): hot rows stay in the
+  // worker caches; the full tables live behind a memory-mapped cold
+  // file, optionally quantized.
+  flags.Define("storage", "ram",
+               "embedding table backing: ram (all rows resident) | tiered "
+               "(mmap-backed cold tier; PS engines + sim runtime only)");
+  flags.Define("cold_dir", "",
+               "directory for the tiered cold-tier slab files (required "
+               "with --storage=tiered)");
+  flags.Define("cold_dtype", "fp32",
+               "cold-tier row encoding: fp32 | fp16 | int8 (per-row "
+               "affine scale; fp32 accumulation everywhere)");
   const Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n%s", parsed.ToString().c_str(),
@@ -277,7 +292,7 @@ int main(int argc, char** argv) {
     } else if (name == "wn18") {
       spec = graph::Wn18Spec();
     } else if (name == "freebase86m") {
-      spec = graph::Freebase86mSpec(0.002);
+      spec = graph::Freebase86mSpec(flags.GetDouble("freebase_scale"));
     } else {
       std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
       return 2;
@@ -364,6 +379,36 @@ int main(int argc, char** argv) {
   config.halt_after_iterations =
       static_cast<size_t>(flags.GetInt("fault_halt_after"));
   config.checkpoint_fsync = flags.GetBool("checkpoint_fsync");
+  const std::string storage = flags.GetString("storage");
+  if (storage != "ram" && storage != "tiered") {
+    std::fprintf(stderr, "--storage: want ram | tiered, got \"%s\"\n",
+                 storage.c_str());
+    return 2;
+  }
+  if (storage == "tiered") {
+    if (flags.GetString("cold_dir").empty()) {
+      std::fprintf(stderr,
+                   "--storage=tiered needs --cold_dir=<dir> for the "
+                   "cold-tier slab files\n");
+      return 2;
+    }
+    if (proc_runtime) {
+      std::fprintf(stderr,
+                   "--storage=tiered supports --runtime=sim only (the "
+                   "proc coordinator owns the PS in its own process; its "
+                   "workers never map the cold slabs)\n");
+      return 2;
+    }
+    auto dtype = embedding::ParseColdDtype(flags.GetString("cold_dtype"));
+    if (!dtype.ok()) {
+      std::fprintf(stderr, "--cold_dtype: %s\n",
+                   dtype.status().ToString().c_str());
+      return 2;
+    }
+    config.storage.enabled = true;
+    config.storage.cold_dir = flags.GetString("cold_dir");
+    config.storage.dtype = *dtype;
+  }
   config.obs.trace_out = flags.GetString("trace_out");
   config.obs.metrics_json = flags.GetString("metrics_json");
   config.obs.metrics_window =

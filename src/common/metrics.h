@@ -181,6 +181,16 @@ inline constexpr char kWatchdogEscalations[] = "watchdog.escalations";
 // Orphaned flight-recorder spill files removed at proc-obs startup.
 inline constexpr char kObsFlightOrphansRemoved[] =
     "obs.flight_orphans_removed";
+// Tiered embedding storage (DESIGN.md §16). Reported only under
+// --storage=tiered, in never-serialized registries: cold_reads counts
+// rows dequantized out of the cold tier, promotions counts cold->cache
+// admissions, bytes_mapped is the total mmap-backed footprint, and
+// mem.rss_bytes samples /proc/self/status VmRSS at report time (the
+// number the full-scale RSS budget in EXPERIMENTS.md tracks).
+inline constexpr char kTierColdReads[] = "tier.cold_reads";
+inline constexpr char kTierPromotions[] = "tier.promotions";
+inline constexpr char kTierBytesMapped[] = "tier.bytes_mapped";
+inline constexpr char kMemRssBytes[] = "mem.rss_bytes";
 // Async pipeline engine (DESIGN.md §12). Reported only in --async
 // runs: stall/depth counts depend on real thread scheduling, so the
 // deterministic mode — whose reports are bit-identity-checked — never

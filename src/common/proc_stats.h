@@ -1,0 +1,22 @@
+#ifndef HETKG_COMMON_PROC_STATS_H_
+#define HETKG_COMMON_PROC_STATS_H_
+
+#include <cstdint>
+
+namespace hetkg {
+
+/// Resident-set size of the calling process in bytes (Linux: VmRSS of
+/// /proc/self/status). 0 when the platform offers no cheap way to read
+/// it. Feeds the `mem.rss_bytes` gauge of tiered-storage runs and the
+/// RSS column of the scaling benches.
+uint64_t CurrentRssBytes();
+
+/// High-water resident-set size in bytes (Linux: VmHWM). 0 when
+/// unavailable. The bench tables report this one: a run's verdict
+/// ("did full-scale Freebase fit the budget?") is about the peak, not
+/// the instantaneous value at print time.
+uint64_t PeakRssBytes();
+
+}  // namespace hetkg
+
+#endif  // HETKG_COMMON_PROC_STATS_H_

@@ -21,6 +21,22 @@ std::string JoinPath(const std::string& dir, const std::string& file) {
   return (fs::path(dir) / file).string();
 }
 
+// Recognizes a cold-tier sidecar name "<base>.cold<digits>" (the layout
+// CheckpointWriter::AddColdSidecar produces) and extracts the base
+// container name. Anything else — including the sidecar temp files,
+// whose extension is ".tmp" — is not a sidecar.
+bool ParseColdSidecarName(const std::string& name, std::string* base) {
+  const size_t pos = name.rfind(".cold");
+  if (pos == std::string::npos) return false;
+  const std::string digits = name.substr(pos + 5);
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  *base = name.substr(0, pos);
+  return true;
+}
+
 }  // namespace
 
 CheckpointManager::CheckpointManager(std::string dir, size_t keep,
@@ -41,17 +57,33 @@ Result<size_t> CheckpointManager::Prepare() {
   // order is filesystem-defined, which is fine here — removal is
   // per-file independent.
   size_t removed = 0;
+  std::vector<std::string> names;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file()) continue;
     if (entry.path().extension() == ".tmp") {
       std::error_code remove_ec;
       fs::remove(entry.path(), remove_ec);
       if (!remove_ec) ++removed;
+      continue;
     }
+    names.push_back(entry.path().filename().string());
   }
   if (ec) {
     return Status::IoError("cannot scan checkpoint dir " + dir_ + ": " +
                            ec.message());
+  }
+  // Sweep cold sidecars whose base container is gone: sidecars are
+  // committed BEFORE their container, so a crash in that gap (or a
+  // pruning crash after the container was removed) leaves "<base>.cold*"
+  // files nothing will ever open. A sidecar whose container exists is
+  // live and must stay.
+  for (const std::string& name : names) {
+    std::string base;
+    if (!ParseColdSidecarName(name, &base)) continue;
+    if (std::find(names.begin(), names.end(), base) != names.end()) continue;
+    std::error_code remove_ec;
+    fs::remove(JoinPath(dir_, name), remove_ec);
+    if (!remove_ec) ++removed;
   }
   return removed;
 }
@@ -142,6 +174,19 @@ Status CheckpointManager::Commit(uint64_t iteration) {
   for (const std::string& file_name : pruned) {
     std::error_code ec;
     fs::remove(JoinPath(dir_, file_name), ec);
+    // A tiered snapshot's cold sidecars ("<file>.cold<tag>") are only
+    // reachable through its container; prune them with it or quantized
+    // runs leak one slab-sized file per dropped snapshot.
+    std::error_code scan_ec;
+    for (const auto& entry : fs::directory_iterator(dir_, scan_ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::string base;
+      if (ParseColdSidecarName(entry.path().filename().string(), &base) &&
+          base == file_name) {
+        std::error_code remove_ec;
+        fs::remove(entry.path(), remove_ec);
+      }
+    }
   }
   return Status::OK();
 }

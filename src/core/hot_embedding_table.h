@@ -36,6 +36,13 @@ class HotEmbeddingTable {
   size_t capacity() const { return entity_slots_ + relation_slots_; }
   size_t size() const { return index_.size(); }
 
+  /// Resident bytes of the hot tier's row slabs (cache rows stay fp32
+  /// in RAM regardless of the cold tier's dtype). Reported next to the
+  /// cold tier's mapped bytes so the two-tier split is visible.
+  size_t SizeBytes() const {
+    return entity_rows_.SizeBytes() + relation_rows_.SizeBytes();
+  }
+
   bool Contains(EmbKey key) const { return index_.contains(key); }
 
   /// Cached row for `key`; must be present.

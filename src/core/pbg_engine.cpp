@@ -656,8 +656,13 @@ Status PbgEngine::RestoreFromFile(const std::string& path) {
   phase.compute = sr.F64();
   phase.relation_sync = sr.F64();
   Rng rng(0);
-  embedding::AdaGrad entity_opt = *entity_opt_;
-  embedding::AdaGrad relation_opt = *relation_opt_;
+  embedding::AdaGrad entity_opt(entity_opt_->num_rows(), entity_opt_->dim(),
+                                entity_opt_->learning_rate(),
+                                entity_opt_->epsilon());
+  embedding::AdaGrad relation_opt(relation_opt_->num_rows(),
+                                  relation_opt_->dim(),
+                                  relation_opt_->learning_rate(),
+                                  relation_opt_->epsilon());
   if (!sr.ok() || !rng.LoadState(&sr) || !entity_opt.LoadState(&sr) ||
       !relation_opt.LoadState(&sr)) {
     return Status::Corruption("bad PBG state section");

@@ -135,4 +135,25 @@ std::vector<EmbKey> BatchKeys(const MiniBatch& batch) {
   return {keys.begin(), keys.end()};
 }
 
+std::vector<EmbKey> WindowKeys(const PrefetchWindow& window) {
+  std::unordered_set<EmbKey> seen;
+  std::vector<EmbKey> keys;
+  auto touch = [&](EmbKey key) {
+    if (seen.insert(key).second) keys.push_back(key);
+  };
+  for (const MiniBatch& batch : window.batches) {
+    for (const Triple& t : batch.positives) {
+      touch(EntityKey(t.head));
+      touch(RelationKey(t.relation));
+      touch(EntityKey(t.tail));
+    }
+    for (const auto& neg : batch.negatives) {
+      touch(EntityKey(neg.triple.head));
+      touch(EntityKey(neg.triple.tail));
+      touch(RelationKey(neg.triple.relation));
+    }
+  }
+  return keys;
+}
+
 }  // namespace hetkg::core

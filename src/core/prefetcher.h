@@ -87,6 +87,11 @@ uint64_t CountBatchAccesses(const MiniBatch& batch, FrequencyMap* freq);
 /// must have locally to run the iteration).
 std::vector<EmbKey> BatchKeys(const MiniBatch& batch);
 
+/// De-duplicated list of keys a whole prefetch window touches, in
+/// first-access order. Tiered storage (DESIGN.md §16) feeds this to
+/// madvise so the cold pages of upcoming pulls fault in ahead of use.
+std::vector<EmbKey> WindowKeys(const PrefetchWindow& window);
+
 }  // namespace hetkg::core
 
 #endif  // HETKG_CORE_PREFETCHER_H_

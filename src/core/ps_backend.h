@@ -57,6 +57,16 @@ class PsBackend {
   /// Server-side metric increment (cache.rebuilds, stale serves, ...).
   virtual void IncrementServerMetric(const std::string& name,
                                      uint64_t delta) = 0;
+
+  /// Hotness hint for tiered storage (DESIGN.md §16): the keys the hot
+  /// filter just admitted (or the prefetch window is about to pull) —
+  /// the server madvise()s their cold pages in ahead of use. Purely
+  /// advisory: results are identical with or without the call, so the
+  /// remote runtime may drop it (default no-op) without breaking the
+  /// sim/proc bit-identity invariant.
+  virtual void AdviseHotKeys(std::span<const EmbKey> keys) {
+    (void)keys;
+  }
 };
 
 /// The sim-runtime backend: every call forwards to the in-process
@@ -89,6 +99,10 @@ class LocalPsBackend final : public PsBackend {
   void IncrementServerMetric(const std::string& name,
                              uint64_t delta) override {
     server_->metrics().Increment(name, delta);
+  }
+
+  void AdviseHotKeys(std::span<const EmbKey> keys) override {
+    server_->AdviseHotKeys(keys);
   }
 
  private:

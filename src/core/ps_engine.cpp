@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/proc_stats.h"
 #include "common/stopwatch.h"
 #include "core/hot_filter.h"
 #include "obs/trace.h"
@@ -155,6 +156,7 @@ Status PsTrainingEngine::Setup(const std::vector<Triple>& train) {
   ps_config.learning_rate = config_.learning_rate;
   ps_config.normalize_entities = score_fn_->NormalizesEntities();
   ps_config.init_seed = config_.seed ^ 0xE1B0;
+  ps_config.storage = config_.storage;
   HETKG_ASSIGN_OR_RETURN(
       server_, ps::ParameterServer::Create(ps_config,
                                            std::move(parts.entity_part),
@@ -304,6 +306,13 @@ void PsTrainingEngine::ApplyHotSet(Worker* w, size_t iter,
 
   // Pull values for newly admitted rows.
   if (!admitted.empty()) {
+    if (config_.storage.enabled) {
+      // Hot promotion (DESIGN.md §16): fault the admitted rows' cold
+      // pages in before the batched pull decodes them, and count the
+      // promotions (cold tier -> fp32 cache) for the tier.* gauges.
+      backend_->AdviseHotKeys(admitted);
+      tier_promotions_ += admitted.size();
+    }
     rebuild_pull_spans_.clear();
     for (EmbKey key : admitted) {
       rebuild_pull_spans_.push_back(w->cache->Row(key));
@@ -385,6 +394,11 @@ uint64_t PsTrainingEngine::FillBatchQueue(Worker* w) {
                             ? sync_.config().dps_window
                             : kRefillWindow;
   PrefetchWindow prefetched = w->prefetcher->Prefetch(window);
+  if (config_.storage.enabled) {
+    // Upcoming pulls are now known exactly; start faulting their cold
+    // pages in while this window trains (advisory — no result change).
+    backend_->AdviseHotKeys(WindowKeys(prefetched));
+  }
   for (auto& batch : prefetched.batches) {
     w->batch_queue.push_back(std::move(batch));
   }
@@ -960,6 +974,18 @@ MetricRegistry PsTrainingEngine::CollectObsMetrics(double sim_seconds) const {
                static_cast<double>(queue_high_water_push_));
     m.SetGauge(metric::kPipelineMaxRowLag,
                static_cast<double>(max_observed_lag_));
+  }
+  // Tiered storage (DESIGN.md §16): cold-tier traffic + memory gauges.
+  // Counters live in the table/engine (never in the serialized server
+  // metrics), so tiered snapshots stay comparable to in-RAM ones; the
+  // gauges appear only under --storage=tiered.
+  if (config_.storage.enabled && server_ != nullptr) {
+    m.Increment(metric::kTierColdReads, server_->TierColdReads());
+    m.Increment(metric::kTierPromotions, tier_promotions_);
+    m.SetGauge(metric::kTierBytesMapped,
+               static_cast<double>(server_->TierBytesMapped()));
+    m.SetGauge(metric::kMemRssBytes,
+               static_cast<double>(CurrentRssBytes()));
   }
   return m;
 }

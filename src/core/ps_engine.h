@@ -431,6 +431,11 @@ class PsTrainingEngine : public TrainingEngine {
   /// Process-local restore/fallback/orphan counters — never serialized,
   /// never merged into reports (see TrainingEngine::RecoveryMetrics).
   MetricRegistry recovery_metrics_;
+  /// Cold-tier -> cache promotions (tier.promotions). A plain engine
+  /// counter — like the table-side cold_reads counters it must never
+  /// enter serialized state, or tiered and in-RAM snapshots of the same
+  /// run would diverge.
+  uint64_t tier_promotions_ = 0;
   std::unique_ptr<CheckpointManager> ckpt_manager_;
   /// Degree table for rebuilding degree-weighted samplers on recovery
   /// (empty unless config_.degree_weighted_negatives).

@@ -36,6 +36,12 @@ Result<std::unique_ptr<TrainingEngine>> MakeEngine(
       effective.sync.strategy = CacheStrategy::kNone;
       break;
     case SystemKind::kPbg: {
+      if (effective.storage.enabled) {
+        return Status::InvalidArgument(
+            "tiered storage requires a parameter-server engine; PBG "
+            "partitions swap whole buckets and gain nothing from "
+            "row-granular tiering");
+      }
       HETKG_ASSIGN_OR_RETURN(std::unique_ptr<PbgEngine> engine,
                              PbgEngine::Create(effective, graph, train));
       return std::unique_ptr<TrainingEngine>(std::move(engine));

@@ -114,6 +114,14 @@ struct TrainerConfig {
   /// On by default; --checkpoint_fsync=false trades that guarantee for
   /// faster saves in tests and benchmarks.
   bool checkpoint_fsync = true;
+
+  /// Tiered embedding storage (DESIGN.md §16, --storage=tiered): the
+  /// global tables and AdaGrad accumulators move behind mmap-backed
+  /// cold slabs in `storage.cold_dir`, optionally quantized to
+  /// fp16/int8 (`storage.dtype`); the hotness-aware worker caches stay
+  /// fp32 in RAM. PS engines only — the PBG engine swaps whole
+  /// partitions and gains nothing from row-granular tiering.
+  embedding::TieredOptions storage;
 };
 
 /// Per-epoch observables. Times are the simulated cluster critical path

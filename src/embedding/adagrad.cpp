@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "embedding/kernels.h"
 
@@ -16,10 +17,38 @@ AdaGrad::AdaGrad(size_t num_rows, size_t dim, double learning_rate,
       accum_(num_rows * dim, 0.0f) {
   assert(dim > 0);
   assert(learning_rate > 0.0);
+  accum_data_ = accum_.data();
+  accum_size_ = accum_.size();
+}
+
+Result<AdaGrad> AdaGrad::CreateTiered(size_t num_rows, size_t dim,
+                                      double learning_rate,
+                                      const TieredOptions& opts,
+                                      const std::string& name,
+                                      double epsilon) {
+  if (!opts.enabled) {
+    return AdaGrad(num_rows, dim, learning_rate, epsilon);
+  }
+  if (dim == 0 || learning_rate <= 0.0) {
+    return Status::InvalidArgument("tiered optimizer " + name +
+                                   ": bad dim/learning_rate");
+  }
+  HETKG_ASSIGN_OR_RETURN(
+      MmapFile slab,
+      MmapFile::Create(ColdSlabPath(opts.cold_dir, name),
+                       num_rows * dim * sizeof(float)));
+  AdaGrad opt;
+  opt.dim_ = dim;
+  opt.learning_rate_ = learning_rate;
+  opt.epsilon_ = epsilon;
+  opt.cold_ = std::move(slab);
+  opt.accum_data_ = reinterpret_cast<float*>(opt.cold_.data());
+  opt.accum_size_ = num_rows * dim;
+  return opt;
 }
 
 void AdaGrad::ResetRow(size_t i) {
-  float* acc = accum_.data() + i * dim_;
+  float* acc = accum_data_ + i * dim_;
   std::fill(acc, acc + dim_, 0.0f);
 }
 
@@ -27,7 +56,7 @@ void AdaGrad::Apply(size_t row_index, std::span<float> row,
                     std::span<const float> grad) {
   assert(row.size() == dim_);
   assert(grad.size() == dim_);
-  float* acc = accum_.data() + row_index * dim_;
+  float* acc = accum_data_ + row_index * dim_;
   for (size_t j = 0; j < dim_; ++j) {
     const double g = grad[j];
     acc[j] += static_cast<float>(g * g);
@@ -44,7 +73,7 @@ void AdaGrad::ApplyBatch(size_t row_index, std::span<float> row,
     Apply(row_index, row, grad);
     return;
   }
-  kernels::AdaGradApplyRow(row, grad, accum_.data() + row_index * dim_,
+  kernels::AdaGradApplyRow(row, grad, accum_data_ + row_index * dim_,
                            learning_rate_, epsilon_);
 }
 

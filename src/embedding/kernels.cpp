@@ -1,9 +1,11 @@
 #include "embedding/kernels.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 #include "common/logging.h"
@@ -72,6 +74,7 @@ CpuFeatures DetectCpuFeatures() {
 #if HETKG_KERNELS_X86
   f.avx2 = __builtin_cpu_supports("avx2") != 0;
   f.fma = __builtin_cpu_supports("fma") != 0;
+  f.f16c = __builtin_cpu_supports("f16c") != 0;
 #endif
   return f;
 }
@@ -80,6 +83,7 @@ std::string CpuFeatures::ToString() const {
   std::string s;
   if (avx2) s += "avx2";
   if (fma) s += s.empty() ? "fma" : "+fma";
+  if (f16c) s += s.empty() ? "f16c" : "+f16c";
   return s.empty() ? "none" : s;
 }
 
@@ -1128,6 +1132,233 @@ void AdaGradApplyRow(std::span<float> row, std::span<const float> grad,
 #endif
   AdaGradApplyRowPortable(row.data(), grad.data(), acc, row.size(),
                           learning_rate, epsilon);
+}
+
+// ======================================================================
+// Cold-tier row codecs (DESIGN.md §16)
+// ======================================================================
+
+namespace {
+
+// Scalar fp32 -> binary16 with round-to-nearest-even, bit-exact with
+// the F16C VCVTPS2PH(_MM_FROUND_TO_NEAREST_INT) hardware conversion:
+// NaN/Inf map to their half encodings, overflow saturates to Inf, and
+// values below the half-normal range round into (or out of) the
+// denormal encodings via the same shifted-RNE arithmetic.
+uint16_t Fp16FromFloatScalar(float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t abs = bits & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // Inf / NaN.
+    const uint32_t mantissa = abs > 0x7F800000u ? 0x0200u : 0;
+    return static_cast<uint16_t>(sign | 0x7C00u | mantissa |
+                                 ((abs >> 13) & 0x03FFu));
+  }
+  if (abs >= 0x47800000u) {  // >= 65536: overflows half, saturate to Inf.
+    return static_cast<uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {  // Below half-normal: denormal or zero.
+    // Add the implicit bit, then shift right so the result's ULP is the
+    // half-denormal ULP (2^-24); RNE on the shifted-out bits.
+    const uint32_t mantissa = (abs & 0x007FFFFFu) | 0x00800000u;
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    if (shift > 24) return static_cast<uint16_t>(sign);  // Rounds to 0.
+    const uint32_t shifted = mantissa >> shift;
+    const uint32_t rest = mantissa & ((1u << shift) - 1);
+    const uint32_t half = 1u << (shift - 1);
+    uint32_t q = shifted;
+    if (rest > half || (rest == half && (shifted & 1))) ++q;
+    return static_cast<uint16_t>(sign | q);
+  }
+  // Normal range: rebias exponent (127 -> 15), RNE on the low 13 bits.
+  uint32_t half_bits = sign | ((abs - 0x38000000u) >> 13);
+  const uint32_t rest = abs & 0x1FFFu;
+  if (rest > 0x1000u || (rest == 0x1000u && (half_bits & 1))) ++half_bits;
+  return static_cast<uint16_t>(half_bits);
+}
+
+float Fp16ToFloatScalar(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mantissa = h & 0x03FFu;
+  uint32_t bits;
+  if (exp == 0x1Fu) {  // Inf / NaN.
+    bits = sign | 0x7F800000u | (mantissa << 13);
+  } else if (exp != 0) {  // Normal.
+    bits = sign | ((exp + 112u) << 23) | (mantissa << 13);
+  } else if (mantissa != 0) {  // Denormal: renormalize.
+    uint32_t m = mantissa;
+    uint32_t e = 113;
+    while ((m & 0x0400u) == 0) {
+      m <<= 1;
+      --e;
+    }
+    bits = sign | (e << 23) | ((m & 0x03FFu) << 13);
+  } else {  // Zero.
+    bits = sign;
+  }
+  float v = 0.0f;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+#if HETKG_KERNELS_X86
+
+__attribute__((target("f16c"))) void EncodeRowFp16F16c(const float* src,
+                                                       uint16_t* dst,
+                                                       size_t n) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 v = _mm256_loadu_ps(src + j);
+    const __m128i h = _mm256_cvtps_ph(v, _MM_FROUND_TO_NEAREST_INT);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + j), h);
+  }
+  for (; j < n; ++j) dst[j] = Fp16FromFloatScalar(src[j]);
+}
+
+__attribute__((target("f16c"))) void DecodeRowFp16F16c(const uint16_t* src,
+                                                       float* dst,
+                                                       size_t n) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + j));
+    _mm256_storeu_ps(dst + j, _mm256_cvtph_ps(h));
+  }
+  for (; j < n; ++j) dst[j] = Fp16ToFloatScalar(src[j]);
+}
+
+// int8 quantize: t = (v - min) * inv; q = clamp(rne(t), 0, 255).
+// CVTPS2DQ rounds RNE under the default MXCSR mode, matching the scalar
+// lrintf; sub and mul are IEEE-exact, so both paths emit the same q.
+__attribute__((target("avx2"))) void EncodeRowInt8Avx2(const float* src,
+                                                       uint8_t* q, float min,
+                                                       float inv, size_t n) {
+  const __m256 vmin = _mm256_set1_ps(min);
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256i lo = _mm256_setzero_si256();
+  const __m256i hi = _mm256_set1_epi32(255);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 t = _mm256_mul_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(src + j), vmin), vinv);
+    __m256i qi = _mm256_cvtps_epi32(t);
+    qi = _mm256_min_epi32(_mm256_max_epi32(qi, lo), hi);
+    alignas(32) int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), qi);
+    for (int k = 0; k < 8; ++k) q[j + k] = static_cast<uint8_t>(lanes[k]);
+  }
+  for (; j < n; ++j) {
+    const float t = (src[j] - min) * inv;
+    long v = std::lrintf(t);
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    q[j] = static_cast<uint8_t>(v);
+  }
+}
+
+// int8 dequantize: v = min + q * scale, explicit mul then add (never an
+// FMA) so the bits match the scalar loop under -ffp-contract=off.
+__attribute__((target("avx2"))) void DecodeRowInt8Avx2(const uint8_t* q,
+                                                       float scale, float min,
+                                                       float* dst, size_t n) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 vmin = _mm256_set1_ps(min);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(q + j));
+    const __m256 t = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    _mm256_storeu_ps(dst + j,
+                     _mm256_add_ps(_mm256_mul_ps(t, vscale), vmin));
+  }
+  for (; j < n; ++j) {
+    dst[j] = static_cast<float>(q[j]) * scale + min;
+  }
+}
+
+/// F16C rides the vector dispatch: available on every AVX2 part this
+/// project targets, but gated independently for odd configurations.
+bool UseF16c() {
+  return ActivePath() == KernelPath::kAvx2 && DetectCpuFeatures().f16c;
+}
+
+#endif  // HETKG_KERNELS_X86
+
+}  // namespace
+
+uint16_t Fp16FromFloat(float v) { return Fp16FromFloatScalar(v); }
+
+float Fp16ToFloat(uint16_t h) { return Fp16ToFloatScalar(h); }
+
+void EncodeRowFp16(std::span<const float> src, uint16_t* dst) {
+#if HETKG_KERNELS_X86
+  if (UseF16c()) {
+    EncodeRowFp16F16c(src.data(), dst, src.size());
+    return;
+  }
+#endif
+  for (size_t j = 0; j < src.size(); ++j) dst[j] = Fp16FromFloatScalar(src[j]);
+}
+
+void DecodeRowFp16(const uint16_t* src, std::span<float> dst) {
+#if HETKG_KERNELS_X86
+  if (UseF16c()) {
+    DecodeRowFp16F16c(src, dst.data(), dst.size());
+    return;
+  }
+#endif
+  for (size_t j = 0; j < dst.size(); ++j) dst[j] = Fp16ToFloatScalar(src[j]);
+}
+
+void EncodeRowInt8(std::span<const float> src, uint8_t* q, float* scale,
+                   float* min) {
+  assert(!src.empty());
+  // Range scan stays scalar on every path: it costs one pass, and a
+  // vectorized min/max would have to reproduce scalar NaN semantics to
+  // keep the (scale, min) bits identical.
+  float lo = src[0];
+  float hi = src[0];
+  for (const float v : src) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const float range = hi - lo;
+  *min = lo;
+  if (!(range > 0.0f)) {  // Constant row (or NaN range): all-zero codes.
+    *scale = 0.0f;
+    std::memset(q, 0, src.size());
+    return;
+  }
+  *scale = range / 255.0f;
+  const float inv = 255.0f / range;
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    EncodeRowInt8Avx2(src.data(), q, lo, inv, src.size());
+    return;
+  }
+#endif
+  for (size_t j = 0; j < src.size(); ++j) {
+    const float t = (src[j] - lo) * inv;
+    long v = std::lrintf(t);
+    if (v < 0) v = 0;
+    if (v > 255) v = 255;
+    q[j] = static_cast<uint8_t>(v);
+  }
+}
+
+void DecodeRowInt8(const uint8_t* q, float scale, float min,
+                   std::span<float> dst) {
+#if HETKG_KERNELS_X86
+  if (ActivePath() == KernelPath::kAvx2) {
+    DecodeRowInt8Avx2(q, scale, min, dst.data(), dst.size());
+    return;
+  }
+#endif
+  for (size_t j = 0; j < dst.size(); ++j) {
+    dst[j] = static_cast<float>(q[j]) * scale + min;
+  }
 }
 
 }  // namespace hetkg::embedding::kernels

@@ -66,6 +66,7 @@ enum class KernelPath {
 struct CpuFeatures {
   bool avx2 = false;
   bool fma = false;
+  bool f16c = false;  // Hardware fp32<->fp16 conversion (VCVTPH2PS).
   std::string ToString() const;
 };
 CpuFeatures DetectCpuFeatures();
@@ -194,6 +195,36 @@ void ComplExScoreBackwardBatch(const TripleView& ref,
 /// SIMD path is bit-identical to AdaGrad::Apply's scalar loop.
 void AdaGradApplyRow(std::span<float> row, std::span<const float> grad,
                      float* acc, double learning_rate, double epsilon);
+
+// -- Cold-tier row codecs (DESIGN.md §16) ------------------------------
+// The quantize-on-write-back / dequantize-on-pull primitives of the
+// tiered embedding store (embedding/tiered_store.h). They follow the
+// same contract as every other kernel here: the scalar loop and the
+// AVX2/F16C path produce identical bits, so `--kernel` stays a pure
+// performance knob even when cold rows round-trip through int8/fp16.
+//
+// fp16 is IEEE binary16 with round-to-nearest-even (the F16C hardware
+// rounding); the scalar encoder reproduces the hardware bits exactly,
+// including denormal and infinity handling. int8 is per-row affine:
+//   scale = (max - min) / 255,  q[j] = rne((v[j] - min) / scale)
+// stored alongside the row; decode is v = min + q * scale (explicit
+// mul+add, never an FMA, so vector and scalar bits agree).
+
+/// fp32 -> binary16 (RNE), one value. Exposed for tests.
+uint16_t Fp16FromFloat(float v);
+/// binary16 -> fp32, exact.
+float Fp16ToFloat(uint16_t h);
+
+/// Row encode/decode; `dst`/`src` hold src.size() halves.
+void EncodeRowFp16(std::span<const float> src, uint16_t* dst);
+void DecodeRowFp16(const uint16_t* src, std::span<float> dst);
+
+/// Row encode: writes q[j] for all j and the row's (scale, min) affine
+/// parameters. A constant row encodes as scale 0 (all q = 0).
+void EncodeRowInt8(std::span<const float> src, uint8_t* q, float* scale,
+                   float* min);
+void DecodeRowInt8(const uint8_t* q, float scale, float min,
+                   std::span<float> dst);
 
 }  // namespace kernels
 }  // namespace hetkg::embedding

@@ -1,0 +1,225 @@
+#include "embedding/tiered_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define HETKG_TIERED_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "embedding/kernels.h"
+
+namespace hetkg::embedding {
+
+namespace fs = std::filesystem;
+
+Result<ColdDtype> ParseColdDtype(std::string_view name) {
+  if (name == "fp32") return ColdDtype::kFp32;
+  if (name == "fp16") return ColdDtype::kFp16;
+  if (name == "int8") return ColdDtype::kInt8;
+  return Status::InvalidArgument("unknown cold dtype: " + std::string(name) +
+                                 " (want fp32 | fp16 | int8)");
+}
+
+std::string_view ColdDtypeName(ColdDtype dtype) {
+  switch (dtype) {
+    case ColdDtype::kFp32:
+      return "fp32";
+    case ColdDtype::kFp16:
+      return "fp16";
+    case ColdDtype::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+size_t ColdRowBytes(ColdDtype dtype, size_t dim) {
+  switch (dtype) {
+    case ColdDtype::kFp32:
+      return dim * sizeof(float);
+    case ColdDtype::kFp16:
+      return dim * sizeof(uint16_t);
+    case ColdDtype::kInt8:
+      return 2 * sizeof(float) + dim;  // [scale][min][q...]
+  }
+  return 0;
+}
+
+MmapFile::~MmapFile() {
+#if HETKG_TIERED_MMAP
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      fd_(other.fd_),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.fd_ = -1;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+#if HETKG_TIERED_MMAP
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  fd_ = other.fd_;
+  path_ = std::move(other.path_);
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.fd_ = -1;
+  return *this;
+}
+
+Result<MmapFile> MmapFile::Create(const std::string& path, size_t bytes) {
+#if HETKG_TIERED_MMAP
+  if (bytes == 0) {
+    return Status::InvalidArgument("empty cold-tier mapping: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create cold-tier file " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot size cold-tier file " + path + " to " +
+                           std::to_string(bytes) + " bytes: " + err);
+  }
+  void* mapped =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mapped == MAP_FAILED) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot map cold-tier file " + path + ": " + err);
+  }
+#if defined(MADV_RANDOM)
+  // Row pulls follow the training access distribution, not file order;
+  // default readahead would fault in pages the run never touches.
+  ::madvise(mapped, bytes, MADV_RANDOM);
+#endif
+  MmapFile f;
+  f.data_ = static_cast<uint8_t*>(mapped);
+  f.size_ = bytes;
+  f.fd_ = fd;
+  f.path_ = path;
+  return f;
+#else
+  (void)bytes;
+  return Status::Unimplemented("tiered storage needs mmap support (" + path +
+                               ")");
+#endif
+}
+
+Status MmapFile::Sync() const {
+#if HETKG_TIERED_MMAP
+  if (data_ == nullptr) return Status::OK();
+  if (::msync(data_, size_, MS_SYNC) != 0) {
+    return Status::IoError("msync failed for " + path_ + ": " +
+                           std::strerror(errno));
+  }
+#endif
+  return Status::OK();
+}
+
+void MmapFile::AdviseWillNeed(size_t offset, size_t len) const {
+#if HETKG_TIERED_MMAP && defined(MADV_WILLNEED)
+  if (data_ == nullptr || offset >= size_) return;
+  len = std::min(len, size_ - offset);
+  // madvise wants page-aligned addresses; widen to the covering pages.
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t begin = (offset / page) * page;
+  const size_t end = offset + len;
+  ::madvise(data_ + begin, end - begin, MADV_WILLNEED);
+#else
+  (void)offset;
+  (void)len;
+#endif
+}
+
+void MmapFile::DropResidency() const {
+#if HETKG_TIERED_MMAP && defined(MADV_DONTNEED)
+  if (data_ == nullptr) return;
+  // Shared file-backed pages survive DONTNEED (dirty ones are flushed
+  // to the file first); only this process's residency drops.
+  ::msync(data_, size_, MS_ASYNC);
+  ::madvise(data_, size_, MADV_DONTNEED);
+#endif
+}
+
+size_t SweepOrphanedColdFiles(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 9 && name.ends_with(".cold.tmp")) {
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+      if (!remove_ec) ++removed;
+    }
+  }
+  return removed;
+}
+
+std::string ColdSlabPath(const std::string& cold_dir,
+                         const std::string& name) {
+  return (fs::path(cold_dir) / (name + ".cold.tmp")).string();
+}
+
+void EncodeColdRow(ColdDtype dtype, std::span<const float> src,
+                   uint8_t* dst) {
+  switch (dtype) {
+    case ColdDtype::kFp32:
+      std::memcpy(dst, src.data(), src.size() * sizeof(float));
+      return;
+    case ColdDtype::kFp16:
+      kernels::EncodeRowFp16(src, reinterpret_cast<uint16_t*>(dst));
+      return;
+    case ColdDtype::kInt8: {
+      float scale = 0.0f;
+      float min = 0.0f;
+      kernels::EncodeRowInt8(src, dst + 2 * sizeof(float), &scale, &min);
+      std::memcpy(dst, &scale, sizeof(scale));
+      std::memcpy(dst + sizeof(float), &min, sizeof(min));
+      return;
+    }
+  }
+}
+
+void DecodeColdRow(ColdDtype dtype, const uint8_t* src,
+                   std::span<float> dst) {
+  switch (dtype) {
+    case ColdDtype::kFp32:
+      std::memcpy(dst.data(), src, dst.size() * sizeof(float));
+      return;
+    case ColdDtype::kFp16:
+      kernels::DecodeRowFp16(reinterpret_cast<const uint16_t*>(src), dst);
+      return;
+    case ColdDtype::kInt8: {
+      float scale = 0.0f;
+      float min = 0.0f;
+      std::memcpy(&scale, src, sizeof(scale));
+      std::memcpy(&min, src + sizeof(float), sizeof(min));
+      kernels::DecodeRowInt8(src + 2 * sizeof(float), scale, min, dst);
+      return;
+    }
+  }
+}
+
+}  // namespace hetkg::embedding

@@ -1,0 +1,106 @@
+#ifndef HETKG_EMBEDDING_TIERED_STORE_H_
+#define HETKG_EMBEDDING_TIERED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace hetkg::embedding {
+
+/// Storage dtype of cold-tier embedding rows (DESIGN.md §16). The hot
+/// tier (worker caches) and all arithmetic stay fp32; the cold tier
+/// trades precision for footprint:
+///   fp32 : 4 B/elem, a pure placement change (bit-identical training).
+///   fp16 : 2 B/elem, IEEE binary16 with RNE rounding.
+///   int8 : 1 B/elem + one (scale, min) affine pair per row.
+enum class ColdDtype : uint32_t {
+  kFp32 = 0,
+  kFp16 = 1,
+  kInt8 = 2,
+};
+
+Result<ColdDtype> ParseColdDtype(std::string_view name);
+std::string_view ColdDtypeName(ColdDtype dtype);
+
+/// Bytes of one encoded cold row of `dim` elements (int8 rows lead with
+/// their f32 scale + f32 min).
+size_t ColdRowBytes(ColdDtype dtype, size_t dim);
+
+/// Tiered-storage configuration, threaded from the launcher flags
+/// (--storage=tiered --cold_dir=... --cold_dtype=...) down to the
+/// embedding tables.
+struct TieredOptions {
+  bool enabled = false;
+  std::string cold_dir;
+  ColdDtype dtype = ColdDtype::kFp32;
+};
+
+/// Move-only RAII wrapper of one file-backed shared mapping — the cold
+/// tier's slab. Created files carry the ".cold.tmp" suffix by
+/// convention: the live working tier is disposable (durable state is
+/// the checkpoints), and SweepOrphanedColdFiles() reclaims slabs a
+/// crashed run left behind. The mapping is advised MADV_RANDOM up
+/// front (row access follows the training distribution, not file
+/// order); AdviseWillNeed() overlays hotness-driven readahead.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Creates (or truncates) `path` at `bytes` and maps it MAP_SHARED
+  /// read-write, zero-filled.
+  static Result<MmapFile> Create(const std::string& path, size_t bytes);
+
+  bool valid() const { return data_ != nullptr; }
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// msync(MS_SYNC): every dirty page reaches the backing file.
+  Status Sync() const;
+
+  /// madvise(MADV_WILLNEED) on [offset, offset+len): fault the range in
+  /// ahead of use (hot-set promotion).
+  void AdviseWillNeed(size_t offset, size_t len) const;
+
+  /// madvise(MADV_DONTNEED): drop this process's resident pages (dirty
+  /// ones are written back first — the mapping is file-backed shared).
+  /// Bounds RSS after bulk passes like table initialization.
+  void DropResidency() const;
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Removes "*.cold.tmp" files from `dir` (non-recursive), mirroring the
+/// checkpoint manager's "*.tmp" orphan sweep: a crashed run's cold
+/// slabs are referenced by nothing and would otherwise live forever.
+/// Returns the number of files removed; a missing directory counts 0.
+size_t SweepOrphanedColdFiles(const std::string& dir);
+
+/// Path of a table's live cold slab: "<cold_dir>/<name>.cold.tmp".
+std::string ColdSlabPath(const std::string& cold_dir,
+                         const std::string& name);
+
+/// Encode `src` (dim floats) into `dst` (ColdRowBytes) / decode back.
+/// Dispatches to the kernel-layer codecs; fp32 is a raw copy.
+void EncodeColdRow(ColdDtype dtype, std::span<const float> src,
+                   uint8_t* dst);
+void DecodeColdRow(ColdDtype dtype, const uint8_t* src,
+                   std::span<float> dst);
+
+}  // namespace hetkg::embedding
+
+#endif  // HETKG_EMBEDDING_TIERED_STORE_H_

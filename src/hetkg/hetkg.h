@@ -48,6 +48,7 @@
 #include "embedding/loss.h"
 #include "embedding/negative_sampler.h"
 #include "embedding/score_function.h"
+#include "embedding/tiered_store.h"
 #include "eval/link_prediction.h"
 #include "graph/knowledge_graph.h"
 #include "graph/loader.h"

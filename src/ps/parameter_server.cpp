@@ -36,14 +36,50 @@ Result<std::unique_ptr<ParameterServer>> ParameterServer::Create(
     return Status::InvalidArgument(
         "transport must account to the same cluster");
   }
+  if (config.storage.enabled) {
+    // Reclaim slabs a crashed run left behind before mapping new ones
+    // (mirrors the checkpoint manager's "*.tmp" orphan sweep).
+    const size_t swept =
+        embedding::SweepOrphanedColdFiles(config.storage.cold_dir);
+    if (swept > 0) {
+      HETKG_LOG(Info) << "swept " << swept << " orphaned cold slab(s) from "
+                      << config.storage.cold_dir;
+    }
+  }
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::EmbeddingTable entity_table,
+      embedding::EmbeddingTable::CreateTiered(
+          config.num_entities, config.entity_dim, config.storage, "entity"));
+  HETKG_ASSIGN_OR_RETURN(embedding::EmbeddingTable relation_table,
+                         embedding::EmbeddingTable::CreateTiered(
+                             config.num_relations, config.relation_dim,
+                             config.storage, "relation"));
+  // AdaGrad accumulators scale with the tables, so at tiered scale they
+  // move behind mmap too — but always as fp32 (see adagrad.h).
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::AdaGrad entity_opt,
+      embedding::AdaGrad::CreateTiered(config.num_entities, config.entity_dim,
+                                       config.learning_rate, config.storage,
+                                       "entity.accum"));
+  HETKG_ASSIGN_OR_RETURN(
+      embedding::AdaGrad relation_opt,
+      embedding::AdaGrad::CreateTiered(
+          config.num_relations, config.relation_dim, config.learning_rate,
+          config.storage, "relation.accum"));
   return std::unique_ptr<ParameterServer>(new ParameterServer(
-      config, std::move(entity_owner), cluster, transport));
+      config, std::move(entity_owner), cluster, transport,
+      std::move(entity_table), std::move(relation_table),
+      std::move(entity_opt), std::move(relation_opt)));
 }
 
 ParameterServer::ParameterServer(const PsConfig& config,
                                  std::vector<uint32_t> entity_owner,
                                  sim::ClusterSim* cluster,
-                                 sim::Transport* transport)
+                                 sim::Transport* transport,
+                                 embedding::EmbeddingTable entity_table,
+                                 embedding::EmbeddingTable relation_table,
+                                 embedding::AdaGrad entity_opt,
+                                 embedding::AdaGrad relation_opt)
     : config_(config),
       entity_owner_(std::move(entity_owner)),
       cluster_(cluster),
@@ -51,12 +87,10 @@ ParameterServer::ParameterServer(const PsConfig& config,
                            ? std::make_unique<sim::Transport>(cluster)
                            : nullptr),
       transport_(transport == nullptr ? owned_transport_.get() : transport),
-      entity_table_(config.num_entities, config.entity_dim),
-      relation_table_(config.num_relations, config.relation_dim),
-      entity_opt_(config.num_entities, config.entity_dim,
-                  config.learning_rate),
-      relation_opt_(config.num_relations, config.relation_dim,
-                    config.learning_rate),
+      entity_table_(std::move(entity_table)),
+      relation_table_(std::move(relation_table)),
+      entity_opt_(std::move(entity_opt)),
+      relation_opt_(std::move(relation_opt)),
       push_seq_(cluster->num_machines(), 0),
       applied_push_seq_(cluster->num_machines(), 0),
       replaying_(cluster->num_machines(), 0) {}
@@ -68,6 +102,27 @@ void ParameterServer::InitEmbeddings() {
   if (config_.normalize_entities) {
     for (size_t e = 0; e < config_.num_entities; ++e) {
       entity_table_.L2NormalizeRow(e);
+    }
+  }
+  // Bulk init touched every cold page; drop them so steady-state RSS
+  // reflects the training working set, not the init sweep.
+  DropColdResidency();
+}
+
+void ParameterServer::DropColdResidency() const {
+  entity_table_.DropColdResidency();
+  relation_table_.DropColdResidency();
+  entity_opt_.DropColdResidency();
+  relation_opt_.DropColdResidency();
+}
+
+void ParameterServer::AdviseHotKeys(std::span<const EmbKey> keys) const {
+  if (!tiered()) return;
+  for (const EmbKey key : keys) {
+    if (IsRelationKey(key)) {
+      relation_table_.AdviseRowWillNeed(KeyRelation(key));
+    } else {
+      entity_table_.AdviseRowWillNeed(KeyEntity(key));
     }
   }
 }
@@ -83,9 +138,17 @@ uint32_t ParameterServer::OwnerOf(EmbKey key) const {
 
 std::span<const float> ParameterServer::Value(EmbKey key) const {
   if (IsRelationKey(key)) {
-    return relation_table_.Row(KeyRelation(key));
+    return relation_table_.DecodedRow(KeyRelation(key));
   }
-  return entity_table_.Row(KeyEntity(key));
+  return entity_table_.DecodedRow(KeyEntity(key));
+}
+
+void ParameterServer::ReadValueInto(EmbKey key, std::span<float> out) const {
+  if (IsRelationKey(key)) {
+    relation_table_.ReadRowInto(KeyRelation(key), out);
+  } else {
+    entity_table_.ReadRowInto(KeyEntity(key), out);
+  }
 }
 
 void ParameterServer::SetValue(EmbKey key, std::span<const float> value) {
@@ -99,14 +162,37 @@ void ParameterServer::SetValue(EmbKey key, std::span<const float> value) {
 void ParameterServer::ApplyGradient(EmbKey key, std::span<const float> grad) {
   if (IsRelationKey(key)) {
     const RelationId r = KeyRelation(key);
-    relation_opt_.ApplyBatch(r, relation_table_.Row(r), grad);
+    if (relation_table_.row_addressable()) {
+      relation_opt_.ApplyBatch(r, relation_table_.Row(r), grad);
+      return;
+    }
+    // Quantized row: dequantize, take the fp32 AdaGrad step (the
+    // accumulator is fp32 regardless of the cold dtype), requantize.
+    scratch_apply_row_.resize(config_.relation_dim);
+    relation_table_.ReadRowInto(r, scratch_apply_row_);
+    relation_opt_.ApplyBatch(r, scratch_apply_row_, grad);
+    relation_table_.SetRow(r, scratch_apply_row_);
     return;
   }
   const EntityId e = KeyEntity(key);
-  entity_opt_.ApplyBatch(e, entity_table_.Row(e), grad);
-  if (config_.normalize_entities) {
-    entity_table_.L2NormalizeRow(e);
+  if (entity_table_.row_addressable()) {
+    entity_opt_.ApplyBatch(e, entity_table_.Row(e), grad);
+    if (config_.normalize_entities) {
+      entity_table_.L2NormalizeRow(e);
+    }
+    return;
   }
+  scratch_apply_row_.resize(config_.entity_dim);
+  entity_table_.ReadRowInto(e, scratch_apply_row_);
+  entity_opt_.ApplyBatch(e, scratch_apply_row_, grad);
+  if (config_.normalize_entities) {
+    const double norm = embedding::RowNorm(scratch_apply_row_);
+    if (norm > 1e-12) {
+      const float inv = static_cast<float>(1.0 / norm);
+      for (float& v : scratch_apply_row_) v *= inv;
+    }
+  }
+  entity_table_.SetRow(e, scratch_apply_row_);
 }
 
 PullResult ParameterServer::PullBatch(uint32_t worker_machine,
@@ -165,8 +251,7 @@ PullResult ParameterServer::PullBatch(uint32_t worker_machine,
       result.failed.push_back(static_cast<uint32_t>(i));
       continue;
     }
-    const std::span<const float> value = Value(keys[i]);
-    std::copy(value.begin(), value.end(), out[i].begin());
+    ReadValueInto(keys[i], out[i]);
   }
   return result;
 }
@@ -270,13 +355,31 @@ void ParameterServer::EndWorkerReplay(uint32_t machine) {
 }
 
 void ParameterServer::SaveState(embedding::CheckpointWriter* w) const {
-  AppendTableSection(w, embedding::SectionTag::kEntityTable, entity_table_);
-  AppendTableSection(w, embedding::SectionTag::kRelationTable,
-                     relation_table_);
-  ByteWriter opt;
-  entity_opt_.SaveState(&opt);
-  relation_opt_.SaveState(&opt);
-  w->AddSection(embedding::SectionTag::kPsOptimizer, std::move(opt));
+  const bool quantized =
+      tiered() && config_.storage.dtype != embedding::ColdDtype::kFp32;
+  if (!quantized) {
+    // fp32 rows — in-RAM or behind mmap — serialize identically, so a
+    // tiered-fp32 snapshot is byte-for-byte the in-RAM snapshot.
+    AppendTableSection(w, embedding::SectionTag::kEntityTable, entity_table_);
+    AppendTableSection(w, embedding::SectionTag::kRelationTable,
+                       relation_table_);
+    ByteWriter opt;
+    entity_opt_.SaveState(&opt);
+    relation_opt_.SaveState(&opt);
+    w->AddSection(embedding::SectionTag::kPsOptimizer, std::move(opt));
+  } else {
+    // Quantized tables snapshot their encoded slabs as cold sidecars —
+    // streamed from the mapping, never materialized in RAM — with the
+    // fp32 accumulators alongside as fp32 sidecars.
+    w->AddColdTable(embedding::SectionTag::kEntityTable, entity_table_);
+    w->AddColdTable(embedding::SectionTag::kRelationTable, relation_table_);
+    w->AddColdFloats(embedding::SectionTag::kEntityOptState,
+                     entity_opt_.AccumulatorData(), config_.num_entities,
+                     config_.entity_dim);
+    w->AddColdFloats(embedding::SectionTag::kRelationOptState,
+                     relation_opt_.AccumulatorData(), config_.num_relations,
+                     config_.relation_dim);
+  }
   ByteWriter runtime;
   runtime.U64Vec(push_seq_);
   runtime.U64Vec(applied_push_seq_);
@@ -285,28 +388,35 @@ void ParameterServer::SaveState(embedding::CheckpointWriter* w) const {
 }
 
 Status ParameterServer::LoadState(const embedding::CheckpointReader& reader) {
-  HETKG_ASSIGN_OR_RETURN(
-      embedding::EmbeddingTable entities,
-      ReadTableSection(reader, embedding::SectionTag::kEntityTable));
-  HETKG_ASSIGN_OR_RETURN(
-      embedding::EmbeddingTable relations,
-      ReadTableSection(reader, embedding::SectionTag::kRelationTable));
-  if (entities.num_rows() != config_.num_entities ||
-      entities.dim() != config_.entity_dim ||
-      relations.num_rows() != config_.num_relations ||
-      relations.dim() != config_.relation_dim) {
-    return Status::Corruption("snapshot table shape mismatch");
+  // Validate everything first, then commit. Table payloads are checked
+  // structurally (shape + container/sidecar CRC, verified at Open)
+  // before any live state is touched; the in-place table restore below
+  // can then only fail on a filesystem-level IO error.
+  const bool in_band_tables =
+      reader.Find(embedding::SectionTag::kEntityTable) != nullptr;
+  std::vector<float> entity_accum;
+  std::vector<float> relation_accum;
+  if (const std::string* opt =
+          reader.Find(embedding::SectionTag::kPsOptimizer);
+      opt != nullptr) {
+    ByteReader opt_reader(*opt);
+    entity_accum = opt_reader.FloatVec();
+    relation_accum = opt_reader.FloatVec();
+    if (!opt_reader.ok() || opt_reader.remaining() != 0) {
+      return Status::Corruption("bad PS optimizer section");
+    }
+  } else {
+    // Quantized snapshot: the accumulators live in fp32 sidecars.
+    HETKG_ASSIGN_OR_RETURN(
+        entity_accum,
+        ReadColdFloats(reader, embedding::SectionTag::kEntityOptState));
+    HETKG_ASSIGN_OR_RETURN(
+        relation_accum,
+        ReadColdFloats(reader, embedding::SectionTag::kRelationOptState));
   }
-  const std::string* opt =
-      reader.Find(embedding::SectionTag::kPsOptimizer);
-  if (opt == nullptr) {
-    return Status::Corruption("snapshot missing PS optimizer section");
-  }
-  ByteReader opt_reader(*opt);
-  embedding::AdaGrad entity_opt = entity_opt_;
-  embedding::AdaGrad relation_opt = relation_opt_;
-  if (!entity_opt.LoadState(&opt_reader) ||
-      !relation_opt.LoadState(&opt_reader) || opt_reader.remaining() != 0) {
+  if (entity_accum.size() != config_.num_entities * config_.entity_dim ||
+      relation_accum.size() !=
+          config_.num_relations * config_.relation_dim) {
     return Status::Corruption("bad PS optimizer section");
   }
   const std::string* runtime =
@@ -323,10 +433,35 @@ Status ParameterServer::LoadState(const embedding::CheckpointReader& reader) {
       !metrics.LoadState(&rt_reader) || rt_reader.remaining() != 0) {
     return Status::Corruption("bad PS runtime section");
   }
-  entity_table_ = std::move(entities);
-  relation_table_ = std::move(relations);
-  entity_opt_ = std::move(entity_opt);
-  relation_opt_ = std::move(relation_opt);
+  if (!tiered() && in_band_tables) {
+    // In-RAM path: materialize and swap (identical to historical
+    // behavior, including on validation failure).
+    HETKG_ASSIGN_OR_RETURN(
+        embedding::EmbeddingTable entities,
+        ReadTableSection(reader, embedding::SectionTag::kEntityTable));
+    HETKG_ASSIGN_OR_RETURN(
+        embedding::EmbeddingTable relations,
+        ReadTableSection(reader, embedding::SectionTag::kRelationTable));
+    if (entities.num_rows() != config_.num_entities ||
+        entities.dim() != config_.entity_dim ||
+        relations.num_rows() != config_.num_relations ||
+        relations.dim() != config_.relation_dim) {
+      return Status::Corruption("snapshot table shape mismatch");
+    }
+    entity_table_ = std::move(entities);
+    relation_table_ = std::move(relations);
+  } else {
+    // Tiered path (or cross-format restore): stream into the existing
+    // slabs without materializing a second full copy. A matching-dtype
+    // sidecar raw-copies (bit-exact quantized resume); anything else
+    // decodes + re-encodes row by row.
+    HETKG_RETURN_IF_ERROR(LoadTableSectionInto(
+        reader, embedding::SectionTag::kEntityTable, &entity_table_));
+    HETKG_RETURN_IF_ERROR(LoadTableSectionInto(
+        reader, embedding::SectionTag::kRelationTable, &relation_table_));
+  }
+  entity_opt_.SetAccumulatorData(entity_accum);
+  relation_opt_.SetAccumulatorData(relation_accum);
   push_seq_ = std::move(push_seq);
   applied_push_seq_ = std::move(applied);
   metrics_ = std::move(metrics);
@@ -366,13 +501,28 @@ Status ParameterServer::RestartShard(
     }
     const std::string* opt =
         snapshot->Find(embedding::SectionTag::kPsOptimizer);
-    if (opt == nullptr) {
-      return Status::Corruption("snapshot missing PS optimizer section");
-    }
-    ByteReader opt_reader(*opt);
-    if (!entity_opt.LoadState(&opt_reader) ||
-        !relation_opt.LoadState(&opt_reader)) {
-      return Status::Corruption("bad PS optimizer section");
+    if (opt != nullptr) {
+      ByteReader opt_reader(*opt);
+      if (!entity_opt.LoadState(&opt_reader) ||
+          !relation_opt.LoadState(&opt_reader)) {
+        return Status::Corruption("bad PS optimizer section");
+      }
+    } else {
+      // Quantized snapshot: accumulators live in fp32 sidecars.
+      HETKG_ASSIGN_OR_RETURN(
+          const std::vector<float> entity_accum,
+          ReadColdFloats(*snapshot, embedding::SectionTag::kEntityOptState));
+      HETKG_ASSIGN_OR_RETURN(
+          const std::vector<float> relation_accum,
+          ReadColdFloats(*snapshot,
+                         embedding::SectionTag::kRelationOptState));
+      if (entity_accum.size() != config_.num_entities * config_.entity_dim ||
+          relation_accum.size() !=
+              config_.num_relations * config_.relation_dim) {
+        return Status::Corruption("bad PS optimizer section");
+      }
+      entity_opt.SetAccumulatorData(entity_accum);
+      relation_opt.SetAccumulatorData(relation_accum);
     }
   } else {
     Rng rng(config_.init_seed);

@@ -28,6 +28,10 @@ struct PsConfig {
   /// L2-normalize entity rows after each update (TransE convention).
   bool normalize_entities = false;
   uint64_t init_seed = 7;
+  /// Tiered embedding storage (DESIGN.md §16): when enabled, the global
+  /// tables and AdaGrad accumulators live behind mmap slabs in
+  /// `storage.cold_dir`; hot rows stay in the workers' fp32 caches.
+  embedding::TieredOptions storage;
 };
 
 /// Outcome of one batched pull under the fault-injection transport.
@@ -113,10 +117,44 @@ class ParameterServer {
                            std::span<const std::span<const float>> grads);
 
   /// Unaccounted read of the current global value (evaluation only).
+  /// On a quantized tiered server the returned span points into a
+  /// thread-local decode ring (EmbeddingTable::DecodedRow) — valid for
+  /// a batch of subsequent reads, but not indefinitely.
   std::span<const float> Value(EmbKey key) const;
+
+  /// Decodes the current global value of `key` into `out` (RowDim).
+  /// Works on every storage backend; the quantized dequantize-on-pull
+  /// path counts toward TierColdReads().
+  void ReadValueInto(EmbKey key, std::span<float> out) const;
 
   /// Unaccounted write (tests and checkpoint restore).
   void SetValue(EmbKey key, std::span<const float> value);
+
+  // -- Tiered storage (DESIGN.md §16) ------------------------------------
+
+  bool tiered() const { return config_.storage.enabled; }
+
+  /// madvise(MADV_WILLNEED) the cold pages of `keys` — called with the
+  /// hot filter's admitted set and the prefetch window, so rows the
+  /// next iterations will pull fault in ahead of use. No-op when not
+  /// tiered.
+  void AdviseHotKeys(std::span<const EmbKey> keys) const;
+
+  /// Rows dequantized from the cold tier so far (`tier.cold_reads`).
+  uint64_t TierColdReads() const {
+    return entity_table_.cold_reads() + relation_table_.cold_reads();
+  }
+
+  /// Bytes of mmap-backed state (`tier.bytes_mapped`): both cold slabs
+  /// plus the accumulator slabs.
+  uint64_t TierBytesMapped() const {
+    return entity_table_.ColdBytes() + relation_table_.ColdBytes() +
+           entity_opt_.ColdBytes() + relation_opt_.ColdBytes();
+  }
+
+  /// Drops resident cold pages after bulk passes (no-op when not
+  /// tiered); steady-state residency then reflects actual row traffic.
+  void DropColdResidency() const;
 
   const PsConfig& config() const { return config_; }
   MetricRegistry& metrics() { return metrics_; }
@@ -181,9 +219,15 @@ class ParameterServer {
 
  private:
   ParameterServer(const PsConfig& config, std::vector<uint32_t> entity_owner,
-                  sim::ClusterSim* cluster, sim::Transport* transport);
+                  sim::ClusterSim* cluster, sim::Transport* transport,
+                  embedding::EmbeddingTable entity_table,
+                  embedding::EmbeddingTable relation_table,
+                  embedding::AdaGrad entity_opt,
+                  embedding::AdaGrad relation_opt);
 
-  /// Applies one gradient row to the global table.
+  /// Applies one gradient row to the global table. Quantized tables
+  /// take the dequantize -> fp32 AdaGrad step -> requantize path; the
+  /// accumulator itself is always fp32.
   void ApplyGradient(EmbKey key, std::span<const float> grad);
 
   PsConfig config_;
@@ -214,6 +258,7 @@ class ParameterServer {
   std::vector<uint32_t> scratch_key_owner_;
   std::vector<uint64_t> scratch_payload_;
   std::vector<char> scratch_shard_ok_;
+  std::vector<float> scratch_apply_row_;  // Quantized apply staging.
 };
 
 }  // namespace hetkg::ps
